@@ -1,0 +1,176 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. hypothesis-test refinement vs fixed equi-width binning (the paper's
+//      core construction idea),
+//   2. GreedyGD bases vs min/max seeding of the initial 1-d edges
+//      (Section 3's compression<->AQP link: construction time effect),
+//   3. the engine's pair-grid aggregation and same-column value clipping
+//      (this implementation's additions; see engine.h),
+//   4. dense vs sparse (Golomb) bin-count encoding win rates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/pairwise_hist.h"
+#include "gd/greedy_gd.h"
+#include "query/engine.h"
+#include "query/exact.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+double MedianError(const Table& table, const std::vector<Query>& workload,
+                   const PairwiseHist& ph, AqpEngineOptions options) {
+  AqpEngine engine(&ph, options);
+  std::vector<double> errors;
+  for (const Query& q : workload) {
+    auto exact = ExecuteExact(table, q);
+    auto approx = engine.Execute(q);
+    if (!exact.ok() || !approx.ok()) continue;
+    if (exact->Scalar().empty_selection ||
+        approx->Scalar().empty_selection) {
+      continue;
+    }
+    errors.push_back(RelativeErrorPct(exact->Scalar().estimate,
+                                      approx->Scalar().estimate));
+  }
+  return Median(errors);
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows = EnvSize("PH_ROWS", 30000);
+  const size_t queries = EnvSize("PH_QUERIES", 80);
+
+  // ------------------------------------------------------------------
+  Banner("Ablation 1: hypothesis-test refinement vs coarse M");
+  // Large M effectively disables refinement (bins stay at their seeds),
+  // which is the closest in-framework proxy for "no hypothesis testing".
+  for (const char* name : {"furnace", "taxis"}) {
+    auto t = MakeDataset(name, rows, 101);
+    if (!t.ok()) continue;
+    WorkloadConfig wcfg = InitialWorkloadConfig(102);
+    wcfg.num_queries = queries;
+    auto workload = GenerateWorkload(*t, wcfg);
+    if (!workload.ok()) continue;
+    std::printf("%-10s:", name);
+    for (uint64_t m :
+         {uint64_t{150}, uint64_t{1500}, uint64_t{1000000}}) {
+      PairwiseHistConfig cfg;
+      cfg.sample_size = 0;
+      cfg.min_points_override = m;
+      auto ph = PairwiseHist::BuildFromTable(*t, cfg);
+      if (!ph.ok()) continue;
+      std::printf("  M=%-8llu err=%6.2f%% size=%-10s",
+                  static_cast<unsigned long long>(m),
+                  MedianError(*t, *workload, ph.value(), {}),
+                  HumanBytes(ph->StorageBytes()).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(expected: refinement (small M) cuts error; M=1e6 ~= "
+              "unrefined single bins)\n");
+
+  // ------------------------------------------------------------------
+  Banner("Ablation 2: GD-bases seeding vs min/max seeding");
+  for (const char* name : {"power", "gas"}) {
+    auto t = MakeDataset(name, rows, 103);
+    if (!t.ok()) continue;
+    auto gd = CompressTable(*t);
+    if (!gd.ok()) continue;
+    PairwiseHistConfig cfg;
+    cfg.sample_size = rows / 2;
+
+    double t0 = NowSeconds();
+    auto seeded = PairwiseHist::BuildFromCompressed(*gd, cfg);
+    double seeded_time = NowSeconds() - t0;
+
+    PairwiseHistConfig plain_cfg = cfg;
+    plain_cfg.use_bases_for_edges = false;
+    PreprocessedTable codes = gd->DecompressCodes();
+    t0 = NowSeconds();
+    auto plain = PairwiseHist::Build(codes, nullptr, plain_cfg);
+    double plain_time = NowSeconds() - t0;
+
+    if (!seeded.ok() || !plain.ok()) continue;
+    WorkloadConfig wcfg = InitialWorkloadConfig(104);
+    wcfg.num_queries = queries;
+    auto workload = GenerateWorkload(*t, wcfg);
+    if (!workload.ok()) continue;
+    std::printf(
+        "%-10s: bases-seeded build %8s err %5.2f%% | min/max build %8s "
+        "err %5.2f%%\n",
+        name, HumanSeconds(seeded_time).c_str(),
+        MedianError(*t, *workload, seeded.value(), {}),
+        HumanSeconds(plain_time).c_str(),
+        MedianError(*t, *workload, plain.value(), {}));
+  }
+  std::printf("(paper: seeding with bases mainly accelerates construction; "
+              "accuracy comparable)\n");
+
+  // ------------------------------------------------------------------
+  Banner("Ablation 3: engine options (pair-grid / value clipping)");
+  {
+    auto t = MakeDataset("power", rows, 105);
+    WorkloadConfig wcfg = ScaledWorkloadConfig(106);
+    wcfg.num_queries = queries;
+    wcfg.min_selectivity = 1e-4;
+    auto workload = GenerateWorkload(*t, wcfg);
+    PairwiseHistConfig cfg;
+    cfg.sample_size = 0;
+    auto ph = PairwiseHist::BuildFromTable(*t, cfg);
+    if (workload.ok() && ph.ok()) {
+      struct Case {
+        const char* label;
+        AqpEngineOptions opt;
+      };
+      AqpEngineOptions none{false, false, false};
+      AqpEngineOptions grid_only{true, false, false};
+      AqpEngineOptions clip_only{false, true, false};
+      AqpEngineOptions all{true, true, true};
+      for (const Case& c :
+           {Case{"paper-literal (all off)", none},
+            Case{"+pair-grid", grid_only}, Case{"+value-clip", clip_only},
+            Case{"all on (default)", all}}) {
+        std::printf("  %-26s median err %6.2f%%\n", c.label,
+                    MedianError(*t, *workload, ph.value(), c.opt));
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  Banner("Ablation 4: dense vs sparse bin-count encoding");
+  {
+    auto t = MakeDataset("flights", rows, 107);
+    PairwiseHistConfig cfg;
+    cfg.sample_size = rows / 2;
+    auto ph = PairwiseHist::BuildFromTable(*t, cfg);
+    if (ph.ok()) {
+      // The codec picks per pair; report the aggregate outcome by
+      // serializing and measuring, then compare against a counterfactual
+      // estimate of all-dense storage.
+      size_t actual = ph->StorageBytes();
+      size_t dense_cells_bits = 0, cells_total = 0, cells_nonzero = 0;
+      for (size_t p = 0; p < ph->num_pairs(); ++p) {
+        const auto& pair = ph->pair_at(p);
+        uint64_t mx = 0;
+        for (uint64_t c : pair.cells) {
+          mx = std::max(mx, c);
+          cells_nonzero += (c != 0);
+        }
+        int bits = 1;
+        while ((uint64_t{1} << bits) <= mx && bits < 63) ++bits;
+        dense_cells_bits += pair.cells.size() * bits;
+        cells_total += pair.cells.size();
+      }
+      std::printf(
+          "  serialized synopsis: %s | cells: %zu (%.1f%% non-zero) | "
+          "all-dense counts alone would need %s\n",
+          HumanBytes(actual).c_str(), cells_total,
+          100.0 * cells_nonzero / std::max<size_t>(1, cells_total),
+          HumanBytes(dense_cells_bits / 8.0).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 10(d): query accuracy on the original ("real") data vs
+// IDEBench-generated synthetic data of the same size, for PairwiseHist and
+// the SPN baseline.
+//
+// Paper headline: DeepDB looks far better on IDEBench-smoothed data than on
+// real data (up to 31x), while PairwiseHist is consistent on both — the
+// Gaussian-model smoothing hides exactly the structure learned models rely
+// on being simple.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/idebench_scaler.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+double MedianErrorOn(const Table& table, const std::vector<Query>& workload,
+                     const AqpMethod& method) {
+  std::vector<const AqpMethod*> methods = {&method};
+  auto runs = RunWorkload(table, workload, methods);
+  if (!runs.ok()) return -1;
+  return runs.value()[0].MedianErrorPct();
+}
+
+}  // namespace
+
+int main() {
+  Banner("Fig. 10(d): real vs IDEBench-generated data");
+  const size_t rows = EnvSize("PH_ROWS", 0);
+  const size_t queries = EnvSize("PH_QUERIES", 80);
+
+  std::printf("%-10s | %16s %16s | %16s %16s\n", "Dataset", "PH real",
+              "PH IDEBench", "SPN real", "SPN IDEBench");
+  for (const char* name : {"power", "flights"}) {
+    auto real = MakeDataset(name, rows, 41);
+    if (!real.ok()) continue;
+    auto scaler = IdebenchScaler::Fit(*real);
+    if (!scaler.ok()) continue;
+    Table synthetic = scaler->Generate(real->NumRows(), 43);
+    synthetic.set_name(real->name());
+
+    // Identical query templates on both tables (generated on the real one).
+    WorkloadConfig cfg = InitialWorkloadConfig(44);
+    cfg.num_queries = queries;
+    auto workload = GenerateWorkload(*real, cfg);
+    if (!workload.ok()) continue;
+
+    size_t ns = real->NumRows() / 2;
+    BuiltMethod ph_real = BuildPairwiseHistMethod(*real, ns);
+    BuiltMethod ph_syn = BuildPairwiseHistMethod(synthetic, ns);
+    BuiltMethod spn_real = BuildSpnMethod(*real, ns);
+    BuiltMethod spn_syn = BuildSpnMethod(synthetic, ns);
+
+    double ph_r = MedianErrorOn(*real, *workload, *ph_real.method);
+    double ph_s = MedianErrorOn(synthetic, *workload, *ph_syn.method);
+    double spn_r = MedianErrorOn(*real, *workload, *spn_real.method);
+    double spn_s = MedianErrorOn(synthetic, *workload, *spn_syn.method);
+    std::printf("%-10s | %15.2f%% %15.2f%% | %15.2f%% %15.2f%%\n", name,
+                ph_r, ph_s, spn_r, spn_s);
+  }
+  std::printf(
+      "\n(paper shape: SPN error drops sharply on IDEBench data; PH stays "
+      "consistent)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 11(d): synopsis construction time per method at two
+// sample sizes on the scaled datasets.
+//
+// Paper headline: PairwiseHist builds 1.2-4x faster than DeepDB and more
+// than two orders of magnitude faster than DBEst++ (<3 min at 1m samples
+// vs 30+ hours).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+int main() {
+  Banner("Fig. 11(d): synopsis construction time");
+  const size_t scale_rows = EnvSize("PH_SCALE_ROWS", 200000);
+  const size_t queries = EnvSize("PH_QUERIES", 40);
+  const size_t ns_large = EnvSize("PH_NS", scale_rows / 10);
+  const size_t ns_small = ns_large / 10;
+
+  for (const char* name : {"power", "flights"}) {
+    BenchDataset ds = MakeScaledDataset(name, scale_rows, queries, 81);
+    if (ds.table.NumRows() == 0) continue;
+    std::printf("\n--- %s (%zu rows) ---\n", name, ds.table.NumRows());
+    std::printf("%-26s %14s\n", "Method", "build time");
+
+    BuiltMethod ph_lg = BuildPairwiseHistMethod(ds.table, ns_large);
+    std::printf("%-26s %14s\n", "PairwiseHist (large Ns)",
+                HumanSeconds(ph_lg.build_seconds).c_str());
+    BuiltMethod ph_sm = BuildPairwiseHistMethod(ds.table, ns_small);
+    std::printf("%-26s %14s\n", "PairwiseHist (small Ns)",
+                HumanSeconds(ph_sm.build_seconds).c_str());
+    BuiltMethod spn_lg = BuildSpnMethod(ds.table, ns_large);
+    std::printf("%-26s %14s\n", "SPN (large Ns)",
+                HumanSeconds(spn_lg.build_seconds).c_str());
+    BuiltMethod spn_sm = BuildSpnMethod(ds.table, ns_small);
+    std::printf("%-26s %14s\n", "SPN (small Ns)",
+                HumanSeconds(spn_sm.build_seconds).c_str());
+    BuiltMethod dbest = BuildDbestMethod(ds.table, ds.workload, ns_small);
+    std::printf("%-26s %14s  (%zu templates)\n", "DBEst (small Ns)",
+                HumanSeconds(dbest.build_seconds).c_str(),
+                static_cast<DbestBaseline*>(dbest.method.get())
+                    ->num_templates());
+    if (ph_lg.build_seconds > 0) {
+      std::printf("%-26s %13.1fx\n", "SPN/PH build-time ratio",
+                  spn_lg.build_seconds / ph_lg.build_seconds);
+      std::printf("%-26s %13.1fx\n", "DBEst/PH build-time ratio",
+                  dbest.build_seconds / ph_lg.build_seconds);
+    }
+  }
+  std::printf(
+      "\n(paper shape: PH fastest; DBEst slowest by orders of magnitude)\n");
+  return 0;
+}

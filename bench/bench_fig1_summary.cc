@@ -1,0 +1,70 @@
+// Reproduces Fig. 1 / Table 1: the cross-method summary over the paper's
+// six axes — accuracy, latency, query bounds, construction time, synopsis
+// size and total storage — measured on one scaled dataset and printed as a
+// comparison table (the paper renders the same data as a radar chart).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gd/greedy_gd.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+int main() {
+  Banner("Fig. 1 / Table 1: cross-method summary (scaled Power)");
+  const size_t scale_rows = EnvSize("PH_SCALE_ROWS", 200000);
+  const size_t queries = EnvSize("PH_QUERIES", 120);
+  const size_t ns = EnvSize("PH_NS", scale_rows / 10);
+
+  BenchDataset ds = MakeScaledDataset("power", scale_rows, queries, 91);
+  if (ds.workload.empty()) {
+    std::fprintf(stderr, "workload generation failed\n");
+    return 1;
+  }
+
+  BuiltMethod ph = BuildPairwiseHistMethod(ds.table, ns);
+  BuiltMethod spn = BuildSpnMethod(ds.table, ns);
+  BuiltMethod sampling = BuildSamplingMethod(ds.table, ns);
+  BuiltMethod avi = BuildAviMethod(ds.table, ns);
+  BuiltMethod dbest = BuildDbestMethod(ds.table, ds.workload, ns / 10);
+
+  std::vector<const BuiltMethod*> built = {&ph, &spn, &sampling, &avi,
+                                           &dbest};
+  std::vector<const AqpMethod*> methods;
+  for (const BuiltMethod* b : built) methods.push_back(b->method.get());
+  auto runs = RunWorkload(ds.table, ds.workload, methods);
+  if (!runs.ok()) {
+    std::fprintf(stderr, "%s\n", runs.status().ToString().c_str());
+    return 1;
+  }
+
+  auto gd = CompressTable(ds.table);
+  double raw = static_cast<double>(ds.table.RawSizeBytes());
+
+  std::printf("%-14s %10s %12s %9s %11s %11s %10s %10s\n", "Method",
+              "err(med%)", "latency", "bounds%", "build", "size",
+              "storage*", "supported");
+  for (size_t i = 0; i < built.size(); ++i) {
+    const MethodRun& r = runs.value()[i];
+    double total_storage = raw + built[i]->method->StorageBytes();
+    if (i == 0 && gd.ok()) {
+      // PairwiseHist rides on GD-compressed data (the paper's framework).
+      total_storage = static_cast<double>(gd->CompressedSizeBytes()) +
+                      built[i]->method->StorageBytes();
+    }
+    std::printf("%-14s %10.2f %12s %9.1f %11s %11s %9.2fx %7zu/%zu\n",
+                built[i]->label.c_str(), r.MedianErrorPct(),
+                HumanSeconds(r.MedianLatencyUs() / 1e6).c_str(),
+                r.BoundsCorrectRate(),
+                HumanSeconds(built[i]->build_seconds).c_str(),
+                HumanBytes(built[i]->method->StorageBytes()).c_str(),
+                raw / total_storage, r.queries_supported,
+                ds.workload.size());
+  }
+  std::printf(
+      "\n*storage = raw bytes / (data-at-rest + synopsis); PairwiseHist "
+      "stores data GD-compressed.\n");
+  std::printf(
+      "(paper's Fig. 1: PairwiseHist on the outer ring of every axis)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Fig. 8: median query error (a) and synopsis size (b) across
+// the 11 real-world datasets for PairwiseHist, the SPN baseline
+// (DeepDB-lite) and DBEst-lite, each at two sample sizes.
+//
+// Paper workload: 100 random single-predicate COUNT/SUM/AVG queries per
+// dataset with minimum selectivity 1e-5. Paper headline: PairwiseHist has
+// the lowest error on 10/11 datasets (overall medians 0.28% vs 0.73% vs
+// 28.9%) and synopses 1–2 orders of magnitude smaller.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+int main() {
+  Banner("Fig. 8: median error (%) and synopsis size across 11 datasets");
+  const size_t rows = EnvSize("PH_ROWS", 0);
+  const size_t queries = EnvSize("PH_QUERIES", 60);
+  // Sample sizes scaled to the laptop-scale data (paper: 100k / 10k on
+  // 0.4M–14M rows; we keep the same 10:1 ratio against smaller tables).
+  const size_t ns_large = EnvSize("PH_NS_LARGE", 10000);
+  const size_t ns_small = EnvSize("PH_NS_SMALL", 1000);
+
+  std::printf("%-10s | %14s %14s %14s | %12s %12s %12s\n", "Dataset",
+              "PH err%", "SPN err%", "DBEst err%", "PH size", "SPN size",
+              "DBEst size");
+  std::printf("%-10s | %14s %14s %14s | %12s %12s %12s\n", "", "(lg/sm)",
+              "(lg/sm)", "(lg)", "(lg)", "(lg)", "(lg)");
+
+  std::vector<double> ph_all, spn_all, dbest_all;
+  for (const DatasetSpec& spec : AllDatasets()) {
+    BenchDataset ds = MakeInitialDataset(spec.name, rows, queries, 7);
+    if (ds.workload.empty()) {
+      std::printf("%-10s | workload generation failed\n", spec.name.c_str());
+      continue;
+    }
+    BuiltMethod ph_lg = BuildPairwiseHistMethod(ds.table, ns_large);
+    BuiltMethod ph_sm = BuildPairwiseHistMethod(ds.table, ns_small);
+    BuiltMethod spn_lg = BuildSpnMethod(ds.table, ns_large);
+    BuiltMethod spn_sm = BuildSpnMethod(ds.table, ns_small);
+    // DBEst trains on the small sample, as the paper did for DBEst++
+    // ("a smaller sample size was used ... due to its prohibitively long
+    // training time", Section 6.3).
+    BuiltMethod dbest_lg =
+        BuildDbestMethod(ds.table, ds.workload, ns_small);
+
+    std::vector<const AqpMethod*> methods = {
+        ph_lg.method.get(), ph_sm.method.get(), spn_lg.method.get(),
+        spn_sm.method.get(), dbest_lg.method.get()};
+    auto runs = RunWorkload(ds.table, ds.workload, methods);
+    if (!runs.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   runs.status().ToString().c_str());
+      continue;
+    }
+    const auto& r = runs.value();
+    std::printf("%-10s | %6.2f /%6.2f %6.2f /%6.2f %14.2f | %12s %12s %12s\n",
+                spec.name.c_str(), r[0].MedianErrorPct(),
+                r[1].MedianErrorPct(), r[2].MedianErrorPct(),
+                r[3].MedianErrorPct(), r[4].MedianErrorPct(),
+                HumanBytes(ph_lg.method->StorageBytes()).c_str(),
+                HumanBytes(spn_lg.method->StorageBytes()).c_str(),
+                HumanBytes(dbest_lg.method->StorageBytes()).c_str());
+    for (double e : r[0].errors_pct) ph_all.push_back(e);
+    for (double e : r[2].errors_pct) spn_all.push_back(e);
+    for (double e : r[4].errors_pct) dbest_all.push_back(e);
+  }
+
+  std::printf("\nOverall median error (large samples): PairwiseHist %.2f%%"
+              "  SPN %.2f%%  DBEst %.2f%%\n",
+              Median(ph_all), Median(spn_all), Median(dbest_all));
+  std::printf("(paper: 0.28%% vs DeepDB 0.73%% vs DBEst++ 28.9%%; shape "
+              "check = PairwiseHist lowest, DBEst worst)\n");
+  return 0;
+}

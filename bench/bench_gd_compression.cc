@@ -1,0 +1,82 @@
+// GreedyGD compression behaviour across all 11 datasets (the Fig. 3
+// mechanics and the Section-3 framework claims): compression ratio,
+// base/deviation split, base counts, random-access cost and the
+// bases-as-bin-edges link to PairwiseHist.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "gd/greedy_gd.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+void BM_RandomAccessRow(benchmark::State& state) {
+  static const CompressedTable* compressed = [] {
+    Table t = MakePower(20000, 3);
+    auto c = CompressTable(t);
+    return c.ok() ? new CompressedTable(std::move(c).value()) : nullptr;
+  }();
+  if (compressed == nullptr) {
+    state.SkipWithError("compression failed");
+    return;
+  }
+  size_t row = 0;
+  for (auto _ : state) {
+    auto codes = compressed->GetRowCodes(row);
+    benchmark::DoNotOptimize(codes);
+    row = (row + 7919) % compressed->num_rows();
+  }
+}
+BENCHMARK(BM_RandomAccessRow);
+
+void BM_CompressPower10k(benchmark::State& state) {
+  Table t = MakePower(10000, 3);
+  auto pre = Preprocess(t);
+  for (auto _ : state) {
+    auto c = CompressedTable::Compress(*pre);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CompressPower10k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("GreedyGD compression across the 11 datasets");
+  const size_t rows = EnvSize("PH_ROWS", 0);
+
+  std::printf("%-10s %10s %10s %8s %8s %10s %10s\n", "Dataset", "raw",
+              "compressed", "ratio", "bases", "base-bits", "dev-bits");
+  for (const DatasetSpec& spec : AllDatasets()) {
+    auto t = MakeDataset(spec.name, rows, 3);
+    if (!t.ok()) continue;
+    auto c = CompressTable(*t);
+    if (!c.ok()) {
+      std::printf("%-10s compression failed: %s\n", spec.name.c_str(),
+                  c.status().ToString().c_str());
+      continue;
+    }
+    int base_bits = 0, dev_bits = 0;
+    for (size_t col = 0; col < c->num_columns(); ++col) {
+      base_bits += c->base_bits(col);
+      dev_bits += c->deviation_bits(col);
+    }
+    std::printf("%-10s %10s %10s %7.2fx %8zu %10d %10d\n",
+                spec.name.c_str(),
+                HumanBytes(static_cast<double>(t->RawSizeBytes())).c_str(),
+                HumanBytes(static_cast<double>(c->CompressedSizeBytes()))
+                    .c_str(),
+                static_cast<double>(t->RawSizeBytes()) /
+                    c->CompressedSizeBytes(),
+                c->num_bases(), base_bits, dev_bits);
+  }
+
+  std::printf("\nRandom access / compression micro-benchmarks:\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

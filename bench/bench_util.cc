@@ -1,0 +1,172 @@
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pairwise_hist.h"
+
+namespace pairwisehist {
+namespace bench {
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<size_t>(parsed);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024);
+  } else if (bytes < 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GB",
+                  bytes / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60);
+  }
+  return buf;
+}
+
+BuiltMethod BuildPairwiseHistMethod(const Table& table, size_t sample_size,
+                                    const std::string& label_suffix) {
+  BuiltMethod out;
+  out.label = "PairwiseHist" + label_suffix;
+  PairwiseHistConfig cfg;
+  cfg.sample_size = sample_size;
+  double t0 = NowSeconds();
+  auto ph = PairwiseHist::BuildFromTable(table, cfg);
+  out.build_seconds = NowSeconds() - t0;
+  if (ph.ok()) {
+    out.method =
+        std::make_unique<PairwiseHistMethod>(std::move(ph).value());
+  } else {
+    std::fprintf(stderr, "PairwiseHist build failed: %s\n",
+                 ph.status().ToString().c_str());
+  }
+  return out;
+}
+
+BuiltMethod BuildSpnMethod(const Table& table, size_t sample_size,
+                           const std::string& label_suffix) {
+  BuiltMethod out;
+  out.label = "SPN" + label_suffix;
+  SpnBaseline::Config cfg;
+  cfg.sample_size = sample_size;
+  double t0 = NowSeconds();
+  out.method = std::make_unique<SpnBaseline>(table, cfg);
+  out.build_seconds = NowSeconds() - t0;
+  return out;
+}
+
+BuiltMethod BuildDbestMethod(const Table& table,
+                             const std::vector<Query>& workload,
+                             size_t sample_size,
+                             const std::string& label_suffix) {
+  BuiltMethod out;
+  out.label = "DBEst" + label_suffix;
+  DbestBaseline::Config cfg;
+  cfg.sample_size = sample_size;
+  auto dbest = std::make_unique<DbestBaseline>(cfg);
+  double t0 = NowSeconds();
+  auto trained = dbest->TrainForWorkload(table, workload);
+  out.build_seconds = NowSeconds() - t0;
+  if (!trained.ok()) {
+    std::fprintf(stderr, "DBEst training failed: %s\n",
+                 trained.status().ToString().c_str());
+  }
+  out.method = std::move(dbest);
+  return out;
+}
+
+BuiltMethod BuildSamplingMethod(const Table& table, size_t sample_size,
+                                const std::string& label_suffix) {
+  BuiltMethod out;
+  out.label = "Sampling" + label_suffix;
+  double t0 = NowSeconds();
+  out.method = std::make_unique<SamplingAqp>(table, sample_size, 17);
+  out.build_seconds = NowSeconds() - t0;
+  return out;
+}
+
+BuiltMethod BuildAviMethod(const Table& table, size_t sample_size,
+                           const std::string& label_suffix) {
+  BuiltMethod out;
+  out.label = "AVI-Hist" + label_suffix;
+  double t0 = NowSeconds();
+  out.method = std::make_unique<AviHistogram>(table, sample_size, 64, 17);
+  out.build_seconds = NowSeconds() - t0;
+  return out;
+}
+
+BenchDataset MakeInitialDataset(const std::string& name, size_t rows,
+                                size_t queries, uint64_t seed) {
+  BenchDataset out;
+  out.name = name;
+  auto table = MakeDataset(name, rows, seed);
+  if (!table.ok()) {
+    std::fprintf(stderr, "dataset %s failed: %s\n", name.c_str(),
+                 table.status().ToString().c_str());
+    return out;
+  }
+  out.table = std::move(table).value();
+  WorkloadConfig cfg = InitialWorkloadConfig(seed + 1);
+  cfg.num_queries = queries;
+  auto workload = GenerateWorkload(out.table, cfg);
+  if (workload.ok()) out.workload = std::move(workload).value();
+  return out;
+}
+
+BenchDataset MakeScaledDataset(const std::string& name, size_t scale_rows,
+                               size_t queries, uint64_t seed) {
+  BenchDataset out;
+  out.name = name + "-scaled";
+  auto base = MakeDataset(name, 0, seed);
+  if (!base.ok()) return out;
+  auto scaler = IdebenchScaler::Fit(*base);
+  if (!scaler.ok()) {
+    std::fprintf(stderr, "scaler fit failed for %s\n", name.c_str());
+    return out;
+  }
+  out.table = scaler->Generate(scale_rows, seed + 2);
+  out.table.set_name(name);
+  WorkloadConfig cfg = ScaledWorkloadConfig(seed + 3);
+  cfg.num_queries = queries;
+  auto workload = GenerateWorkload(out.table, cfg);
+  if (workload.ok()) out.workload = std::move(workload).value();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace pairwisehist

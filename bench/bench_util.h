@@ -1,0 +1,93 @@
+// Shared plumbing for the per-table/figure benchmark binaries.
+//
+// Every bench binary honours these environment variables:
+//   PH_ROWS        rows per original dataset (0 = laptop-scale default)
+//   PH_SCALE_ROWS  rows for the IDEBench-scaled datasets (default 200000;
+//                  the paper uses 1e9 — see DESIGN.md §3.4)
+//   PH_QUERIES     workload size cap (default: per-bench)
+// Output is the paper's row/series structure printed as aligned text.
+#ifndef PAIRWISEHIST_BENCH_BENCH_UTIL_H_
+#define PAIRWISEHIST_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/aqp_method.h"
+#include "baselines/avi_hist.h"
+#include "baselines/dbest.h"
+#include "baselines/sampling_aqp.h"
+#include "baselines/spn.h"
+#include "datagen/datasets.h"
+#include "datagen/idebench_scaler.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+namespace bench {
+
+/// Reads a size_t environment variable with a default.
+size_t EnvSize(const char* name, size_t def);
+
+/// Seconds wall-clock now (monotonic).
+double NowSeconds();
+
+/// Prints a section banner.
+void Banner(const std::string& title);
+
+/// Formats bytes as "12.3 KB" / "4.56 MB".
+std::string HumanBytes(double bytes);
+/// Formats seconds as "850 ms" / "12.3 s" / "2.1 min".
+std::string HumanSeconds(double seconds);
+
+/// An AQP method plus its measured construction cost.
+struct BuiltMethod {
+  std::string label;
+  std::unique_ptr<AqpMethod> method;
+  double build_seconds = 0;
+};
+
+/// Builds PairwiseHist on `table` with the given sample size (paper
+/// defaults: M = 1% of Ns, α = 0.001), measuring construction time.
+BuiltMethod BuildPairwiseHistMethod(const Table& table, size_t sample_size,
+                                    const std::string& label_suffix = "");
+
+/// Builds the SPN (DeepDB-lite) baseline.
+BuiltMethod BuildSpnMethod(const Table& table, size_t sample_size,
+                           const std::string& label_suffix = "");
+
+/// Builds the DBEst-lite baseline, training one model per template the
+/// workload needs.
+BuiltMethod BuildDbestMethod(const Table& table,
+                             const std::vector<Query>& workload,
+                             size_t sample_size,
+                             const std::string& label_suffix = "");
+
+/// Builds the uniform-sampling baseline.
+BuiltMethod BuildSamplingMethod(const Table& table, size_t sample_size,
+                                const std::string& label_suffix = "");
+
+/// Builds the AVI 1-d histogram baseline.
+BuiltMethod BuildAviMethod(const Table& table, size_t sample_size,
+                           const std::string& label_suffix = "");
+
+/// An evaluation dataset: original or IDEBench-scaled, with a workload.
+struct BenchDataset {
+  std::string name;
+  Table table;
+  std::vector<Query> workload;
+};
+
+/// Original dataset + initial-experiment workload (Fig. 8 setting).
+BenchDataset MakeInitialDataset(const std::string& name, size_t rows,
+                                size_t queries, uint64_t seed);
+
+/// IDEBench-scaled dataset + scaled workload (Table 5 setting).
+BenchDataset MakeScaledDataset(const std::string& name, size_t scale_rows,
+                               size_t queries, uint64_t seed);
+
+}  // namespace bench
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,149 @@
+// Interactive AQP shell: load or generate a dataset, build the synopsis,
+// and type SQL against it. Demonstrates the full public API surface a
+// downstream user touches, including the incremental-update extension.
+//
+// Usage:
+//   aqp_shell                      # flights demo dataset
+//   aqp_shell power                # any of the 11 generator names
+//   aqp_shell /path/to/data.csv    # your own CSV
+//
+// Shell commands besides SQL:
+//   .schema   .stats   .exact <sql>   .append <rows>   .quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/pairwise_hist.h"
+#include "datagen/datasets.h"
+#include "query/engine.h"
+#include "query/exact.h"
+#include "storage/csv.h"
+
+using namespace pairwisehist;
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  for (const auto& g : result.groups) {
+    if (!g.label.empty()) std::printf("  %-16s", g.label.c_str());
+    if (g.agg.empty_selection) {
+      std::printf("  (empty selection)\n");
+      continue;
+    }
+    std::printf("  %14.4f   bounds [%0.4f, %0.4f]\n", g.agg.estimate,
+                g.agg.lower, g.agg.upper);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = argc > 1 ? argv[1] : "flights";
+
+  Table table;
+  if (source.find(".csv") != std::string::npos) {
+    auto loaded = ReadCsv(source);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", source.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    table = std::move(loaded).value();
+  } else {
+    auto made = MakeDataset(source, 0, 1);
+    if (!made.ok()) {
+      std::fprintf(stderr, "unknown dataset '%s' (try: ", source.c_str());
+      for (const auto& spec : AllDatasets()) {
+        std::fprintf(stderr, "%s ", spec.name.c_str());
+      }
+      std::fprintf(stderr, "or a .csv path)\n");
+      return 1;
+    }
+    table = std::move(made).value();
+  }
+
+  std::printf("loaded '%s': %zu rows x %zu columns\n", table.name().c_str(),
+              table.NumRows(), table.NumColumns());
+  PairwiseHistConfig config;
+  config.sample_size = std::min<size_t>(table.NumRows(), 50000);
+  auto synopsis = PairwiseHist::BuildFromTable(table, config);
+  if (!synopsis.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 synopsis.status().ToString().c_str());
+    return 1;
+  }
+  AqpEngine engine(&synopsis.value());
+  std::printf("synopsis ready: %zu bytes. Type SQL or .help\n",
+              synopsis->StorageBytes());
+
+  std::string line;
+  while (std::printf("aqp> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      std::printf(
+          "SQL:  SELECT <agg>(col|*) FROM t [WHERE ...] [GROUP BY col];\n"
+          "      aggs: COUNT SUM AVG MIN MAX MEDIAN VAR\n"
+          ".schema          column names and types\n"
+          ".stats           synopsis statistics\n"
+          ".exact <sql>     run the same SQL exactly (ground truth)\n"
+          ".append <rows>   generate+fold new rows into the synopsis\n"
+          ".quit\n");
+      continue;
+    }
+    if (line == ".schema") {
+      std::printf("%s\n", table.SchemaString().c_str());
+      continue;
+    }
+    if (line == ".stats") {
+      std::printf("rows N=%llu  sample Ns=%llu  rho=%.4f  M=%llu  "
+                  "columns=%zu  pairs=%zu  bytes=%zu\n",
+                  (unsigned long long)synopsis->total_rows(),
+                  (unsigned long long)synopsis->sample_rows(),
+                  synopsis->sampling_ratio(),
+                  (unsigned long long)synopsis->min_points(),
+                  synopsis->num_columns(), synopsis->num_pairs(),
+                  synopsis->StorageBytes());
+      continue;
+    }
+    if (line.rfind(".exact ", 0) == 0) {
+      auto result = ExecuteExactSql(table, line.substr(7));
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintResult(result.value());
+      }
+      continue;
+    }
+    if (line.rfind(".append ", 0) == 0) {
+      size_t rows = std::strtoull(line.c_str() + 8, nullptr, 10);
+      if (rows == 0 || rows > 1000000) {
+        std::printf("usage: .append <1..1000000>\n");
+        continue;
+      }
+      auto fresh = MakeDataset(source, rows, synopsis->total_rows() + 1);
+      if (!fresh.ok()) {
+        std::printf("append only works for generated datasets\n");
+        continue;
+      }
+      Status st = synopsis->UpdateFromTable(*fresh);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("folded %zu rows; N=%llu, synopsis %zu bytes\n", rows,
+                    (unsigned long long)synopsis->total_rows(),
+                    synopsis->StorageBytes());
+      }
+      continue;
+    }
+    auto result = engine.ExecuteSql(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(result.value());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Common interface for every AQP method in the evaluation: PairwiseHist
+// itself plus the comparison baselines (sampling, AVI histograms, the SPN
+// "DeepDB-lite" and the per-template "DBEst-lite"). The harness treats all
+// of them uniformly when reproducing the paper's tables and figures.
+#ifndef PAIRWISEHIST_BASELINES_AQP_METHOD_H_
+#define PAIRWISEHIST_BASELINES_AQP_METHOD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/pairwise_hist.h"
+#include "query/ast.h"
+#include "query/engine.h"
+
+namespace pairwisehist {
+
+/// Abstract AQP method: a fitted synopsis/model that answers queries.
+class AqpMethod {
+ public:
+  virtual ~AqpMethod() = default;
+
+  /// Display name, e.g. "PairwiseHist", "SPN".
+  virtual std::string name() const = 0;
+
+  /// Answers a query; Unsupported for query shapes the method cannot
+  /// handle (the paper reports per-method supported-query subsets).
+  virtual StatusOr<QueryResult> Execute(const Query& query) const = 0;
+
+  /// Synopsis/model size in bytes.
+  virtual size_t StorageBytes() const = 0;
+
+  /// True if the method returns meaningful lower/upper bounds.
+  virtual bool ProvidesBounds() const { return false; }
+
+  /// Cheap static check whether the query shape is supported (used to
+  /// build the per-method supported-query subsets for Fig. 10).
+  virtual bool SupportsQuery(const Query& query) const {
+    (void)query;
+    return true;
+  }
+};
+
+/// PairwiseHist exposed through the common interface. Owns the synopsis.
+class PairwiseHistMethod : public AqpMethod {
+ public:
+  explicit PairwiseHistMethod(PairwiseHist synopsis)
+      : synopsis_(std::move(synopsis)), engine_(&synopsis_) {}
+
+  std::string name() const override { return "PairwiseHist"; }
+  StatusOr<QueryResult> Execute(const Query& query) const override {
+    return engine_.Execute(query);
+  }
+  size_t StorageBytes() const override { return synopsis_.StorageBytes(); }
+  bool ProvidesBounds() const override { return true; }
+
+  const PairwiseHist& synopsis() const { return synopsis_; }
+
+ private:
+  PairwiseHist synopsis_;
+  AqpEngine engine_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_BASELINES_AQP_METHOD_H_

@@ -1,0 +1,233 @@
+#include "baselines/avi_hist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pairwisehist {
+
+AviHistogram::AviHistogram(const Table& table, size_t sample_size,
+                           size_t buckets, uint64_t seed)
+    : total_rows_(table.NumRows()) {
+  Table sample = table.Sample(sample_size, seed);
+  for (size_t c = 0; c < sample.NumColumns(); ++c) {
+    const Column& col = sample.column(c);
+    ColumnHist h;
+    h.name = col.name();
+    std::vector<double> vals;
+    vals.reserve(col.non_null_count());
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col.IsNull(r)) vals.push_back(col.Value(r));
+    }
+    h.non_null_fraction =
+        col.size() == 0 ? 1.0
+                        : static_cast<double>(vals.size()) / col.size();
+    std::sort(vals.begin(), vals.end());
+    if (!vals.empty()) {
+      size_t k = std::min(buckets, vals.size());
+      h.edges.push_back(vals.front());
+      size_t prev = 0;
+      for (size_t b = 1; b <= k; ++b) {
+        size_t idx = std::min(vals.size() - 1, b * vals.size() / k);
+        double edge = (b == k) ? vals.back() + 1
+                               : vals[idx];
+        if (edge <= h.edges.back()) continue;  // merge ties
+        size_t end = std::lower_bound(vals.begin() + prev, vals.end(), edge) -
+                     vals.begin();
+        double sum = 0;
+        for (size_t i = prev; i < end; ++i) sum += vals[i];
+        size_t n = end - prev;
+        h.edges.push_back(edge);
+        h.counts.push_back(static_cast<double>(n));
+        h.means.push_back(n > 0 ? sum / n : 0.0);
+        prev = end;
+      }
+      size_t distinct = 1;
+      for (size_t i = 1; i < vals.size(); ++i) {
+        if (vals[i] != vals[i - 1]) ++distinct;
+      }
+      h.distinct_per_bucket =
+          std::max(1.0, static_cast<double>(distinct) /
+                            std::max<size_t>(1, h.counts.size()));
+    }
+    columns_.push_back(std::move(h));
+    dicts_.emplace_back(col.name(), col.dictionary());
+  }
+}
+
+const AviHistogram::ColumnHist* AviHistogram::Find(
+    const std::string& name) const {
+  for (const auto& h : columns_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double AviHistogram::Selectivity(const ColumnHist& h, CmpOp op,
+                                 double value) const {
+  double total = 0;
+  for (double c : h.counts) total += c;
+  if (total <= 0) return 0.0;
+  double satisfied = 0;
+  for (size_t b = 0; b < h.counts.size(); ++b) {
+    double lo = h.edges[b], hi = h.edges[b + 1];
+    double width = std::max(hi - lo, 1e-12);
+    double frac = 0;
+    switch (op) {
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        frac = std::clamp((value - lo) / width, 0.0, 1.0);
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        frac = std::clamp((hi - value) / width, 0.0, 1.0);
+        break;
+      case CmpOp::kEq:
+        frac = (value >= lo && value < hi)
+                   ? 1.0 / h.distinct_per_bucket
+                   : 0.0;
+        break;
+      case CmpOp::kNe:
+        frac = (value >= lo && value < hi)
+                   ? 1.0 - 1.0 / h.distinct_per_bucket
+                   : 1.0;
+        break;
+    }
+    satisfied += h.counts[b] * frac;
+  }
+  return std::clamp(satisfied / total, 0.0, 1.0);
+}
+
+bool AviHistogram::SupportsQuery(const Query& query) const {
+  if (query.func != AggFunc::kCount && query.func != AggFunc::kSum &&
+      query.func != AggFunc::kAvg) {
+    return false;
+  }
+  if (!query.group_by.empty()) return false;
+  // Only conjunctive predicates (the classical AVI setting).
+  if (query.where.has_value()) {
+    const PredicateNode& root = *query.where;
+    if (root.type == PredicateNode::Type::kOr) return false;
+    if (root.type == PredicateNode::Type::kAnd) {
+      for (const auto& child : root.children) {
+        if (child.type != PredicateNode::Type::kCondition) return false;
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<QueryResult> AviHistogram::Execute(const Query& query) const {
+  if (!SupportsQuery(query)) {
+    return Status::Unsupported("AVI-Hist: unsupported query shape");
+  }
+  // Gather flat conjunctive conditions.
+  std::vector<const Condition*> conditions;
+  if (query.where.has_value()) {
+    const PredicateNode& root = *query.where;
+    if (root.type == PredicateNode::Type::kCondition) {
+      conditions.push_back(&root.condition);
+    } else {
+      for (const auto& child : root.children) {
+        conditions.push_back(&child.condition);
+      }
+    }
+  }
+
+  double selectivity = 1.0;
+  for (const Condition* cond : conditions) {
+    const ColumnHist* h = Find(cond->column);
+    if (h == nullptr) {
+      return Status::NotFound("AVI-Hist: unknown column " + cond->column);
+    }
+    double literal = cond->value;
+    if (cond->is_string) {
+      // Resolve category strings through the stored dictionary.
+      bool found = false;
+      for (const auto& [name, dict] : dicts_) {
+        if (name != cond->column) continue;
+        for (size_t i = 0; i < dict.size(); ++i) {
+          if (dict[i] == cond->text_value) {
+            literal = static_cast<double>(i);
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) literal = -1;
+    }
+    selectivity *= h->non_null_fraction *
+                   Selectivity(*h, cond->op, literal);
+  }
+
+  const ColumnHist* agg =
+      query.count_star ? nullptr : Find(query.agg_column);
+  if (!query.count_star && agg == nullptr) {
+    return Status::NotFound("AVI-Hist: unknown column " + query.agg_column);
+  }
+
+  AggResult r;
+  double matched = selectivity * total_rows_;
+  if (query.func == AggFunc::kCount) {
+    double frac = query.count_star ? 1.0 : agg->non_null_fraction;
+    // Same-column predicates already include the non-null fraction.
+    bool pred_on_agg = false;
+    for (const Condition* c : conditions) {
+      if (!query.count_star && c->column == query.agg_column) {
+        pred_on_agg = true;
+      }
+    }
+    r.estimate = matched * (pred_on_agg ? 1.0 : frac);
+    r.empty_selection = r.estimate <= 0;
+  } else {
+    // AVI: predicates on other columns do not change the aggregation
+    // column's distribution; same-column predicates restrict buckets.
+    double total = 0, weighted = 0;
+    for (size_t b = 0; b < agg->counts.size(); ++b) {
+      double w = agg->counts[b];
+      for (const Condition* cond : conditions) {
+        if (cond->column != agg->name) continue;
+        ColumnHist single;
+        single.edges = {agg->edges[b], agg->edges[b + 1]};
+        single.counts = {1.0};
+        single.means = {agg->means[b]};
+        single.distinct_per_bucket = agg->distinct_per_bucket;
+        w *= Selectivity(single, cond->op, cond->value);
+      }
+      total += w;
+      weighted += w * agg->means[b];
+    }
+    if (total <= 0) {
+      r.empty_selection = true;
+      r.estimate = std::numeric_limits<double>::quiet_NaN();
+    } else if (query.func == AggFunc::kAvg) {
+      r.estimate = weighted / total;
+    } else {  // SUM
+      bool pred_on_agg = false;
+      for (const Condition* c : conditions) {
+        if (c->column == agg->name) pred_on_agg = true;
+      }
+      double mean = weighted / total;
+      double count = pred_on_agg
+                         ? selectivity * total_rows_
+                         : matched * agg->non_null_fraction;
+      r.estimate = mean * count;
+    }
+  }
+  r.lower = r.estimate;
+  r.upper = r.estimate;
+  QueryResult result;
+  result.groups.push_back({"", r});
+  return result;
+}
+
+size_t AviHistogram::StorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& h : columns_) {
+    bytes += h.name.size() + 16;
+    bytes += h.edges.size() * 8 + h.counts.size() * 4 + h.means.size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,51 @@
+// Classical per-column equi-depth histograms with the attribute-value-
+// independence (AVI) assumption — the textbook selectivity-estimation
+// synopsis (the family the paper's Section 2 discusses before
+// multi-dimensional histograms). Used as the ablation reference that shows
+// what PairwiseHist's pairwise histograms and hypothesis-test refinement
+// buy over naive 1-d histograms.
+#ifndef PAIRWISEHIST_BASELINES_AVI_HIST_H_
+#define PAIRWISEHIST_BASELINES_AVI_HIST_H_
+
+#include <vector>
+
+#include "baselines/aqp_method.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+class AviHistogram : public AqpMethod {
+ public:
+  /// Builds `buckets`-bucket equi-depth histograms per column from a
+  /// `sample_size`-row sample.
+  AviHistogram(const Table& table, size_t sample_size, size_t buckets,
+               uint64_t seed);
+
+  std::string name() const override { return "AVI-Hist"; }
+  StatusOr<QueryResult> Execute(const Query& query) const override;
+  size_t StorageBytes() const override;
+  bool SupportsQuery(const Query& query) const override;
+
+ private:
+  struct ColumnHist {
+    std::string name;
+    std::vector<double> edges;    // k+1
+    std::vector<double> counts;   // k (sample counts)
+    std::vector<double> means;    // k (mean value per bucket)
+    double non_null_fraction = 1.0;
+    double distinct_per_bucket = 1.0;
+  };
+
+  /// Fraction of the column's non-null values satisfying the condition.
+  double Selectivity(const ColumnHist& h, CmpOp op, double value) const;
+  const ColumnHist* Find(const std::string& name) const;
+
+  std::vector<ColumnHist> columns_;
+  size_t total_rows_;
+  // Categorical dictionaries for literal resolution.
+  std::vector<std::pair<std::string, std::vector<std::string>>> dicts_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_BASELINES_AVI_HIST_H_

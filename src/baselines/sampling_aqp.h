@@ -1,0 +1,37 @@
+// Uniform-sampling AQP baseline (the VerdictDB / BlinkDB method family).
+//
+// Keeps a uniform row sample and answers queries by exact execution on the
+// sample, scaling COUNT/SUM by 1/ρ and attaching CLT confidence bounds with
+// finite-population correction. This is the classical comparator the paper's
+// Table 1 cites for the sampling column.
+#ifndef PAIRWISEHIST_BASELINES_SAMPLING_AQP_H_
+#define PAIRWISEHIST_BASELINES_SAMPLING_AQP_H_
+
+#include "baselines/aqp_method.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+class SamplingAqp : public AqpMethod {
+ public:
+  /// Draws a `sample_size`-row uniform sample from `table`.
+  SamplingAqp(const Table& table, size_t sample_size, uint64_t seed,
+              double confidence = 0.98);
+
+  std::string name() const override { return "Sampling"; }
+  StatusOr<QueryResult> Execute(const Query& query) const override;
+  size_t StorageBytes() const override;
+  bool ProvidesBounds() const override { return true; }
+
+  double sampling_ratio() const { return rho_; }
+
+ private:
+  Table sample_;
+  size_t total_rows_;
+  double rho_;
+  double z_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_BASELINES_SAMPLING_AQP_H_

@@ -1,0 +1,579 @@
+#include "baselines/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pairwisehist {
+
+namespace {
+
+// Column-major training matrix with explicit null flags.
+struct Matrix {
+  size_t rows = 0;
+  std::vector<std::vector<double>> values;  // [col][row]
+  std::vector<std::vector<uint8_t>> nulls;  // [col][row]
+};
+
+// Union-find for the column-dependency partitioning.
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Merge(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+};
+
+double PearsonOnRows(const Matrix& m, const std::vector<uint32_t>& rows,
+                     size_t a, size_t b) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = 0;
+  for (uint32_t r : rows) {
+    if (m.nulls[a][r] || m.nulls[b][r]) continue;
+    double x = m.values[a][r], y = m.values[b][r];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 8) return 0.0;
+  double vx = sxx - sx * sx / n;
+  double vy = syy - sy * sy / n;
+  if (vx <= 0 || vy <= 0) return 0.0;
+  return (sxy - sx * sy / n) / std::sqrt(vx * vy);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Structure learning.
+
+SpnBaseline::SpnBaseline(const Table& table, const Config& config)
+    : total_rows_(table.NumRows()),
+      z_(NormalQuantile(0.5 + config.confidence / 2.0)) {
+  Table sample = table.Sample(config.sample_size, config.seed);
+  sample_rows_ = sample.NumRows();
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    schema_.emplace_back(table.column(c).name(),
+                         table.column(c).dictionary());
+  }
+
+  Matrix m;
+  m.rows = sample.NumRows();
+  m.values.resize(sample.NumColumns());
+  m.nulls.resize(sample.NumColumns());
+  for (size_t c = 0; c < sample.NumColumns(); ++c) {
+    const Column& col = sample.column(c);
+    m.values[c].resize(m.rows);
+    m.nulls[c].resize(m.rows);
+    for (size_t r = 0; r < m.rows; ++r) {
+      m.nulls[c][r] = col.IsNull(r) ? 1 : 0;
+      m.values[c][r] = col.IsNull(r) ? 0.0 : col.Value(r);
+    }
+  }
+
+  Rng rng(config.seed + 1);
+
+  // Leaf construction: equi-depth histogram over the rows' non-null values.
+  auto make_leaf = [&](const std::vector<uint32_t>& rows, size_t col) {
+    Leaf leaf;
+    leaf.col = col;
+    std::vector<double> vals;
+    vals.reserve(rows.size());
+    for (uint32_t r : rows) {
+      if (!m.nulls[col][r]) vals.push_back(m.values[col][r]);
+    }
+    leaf.null_fraction =
+        rows.empty() ? 0.0
+                     : 1.0 - static_cast<double>(vals.size()) / rows.size();
+    std::sort(vals.begin(), vals.end());
+    if (!vals.empty()) {
+      size_t k = std::min(config.leaf_bins, vals.size());
+      leaf.edges.push_back(vals.front());
+      size_t prev = 0;
+      for (size_t b = 1; b <= k; ++b) {
+        double edge = (b == k) ? vals.back() + 1.0
+                               : vals[std::min(vals.size() - 1,
+                                               b * vals.size() / k)];
+        if (edge <= leaf.edges.back()) continue;
+        size_t end =
+            std::lower_bound(vals.begin() + prev, vals.end(), edge) -
+            vals.begin();
+        double sum = 0;
+        for (size_t i = prev; i < end; ++i) sum += vals[i];
+        leaf.edges.push_back(edge);
+        leaf.counts.push_back(static_cast<double>(end - prev));
+        leaf.means.push_back(end > prev ? sum / (end - prev) : 0.0);
+        prev = end;
+      }
+      size_t distinct = 1;
+      for (size_t i = 1; i < vals.size(); ++i) {
+        if (vals[i] != vals[i - 1]) ++distinct;
+      }
+      leaf.distinct_per_bucket =
+          std::max(1.0, static_cast<double>(distinct) /
+                            std::max<size_t>(1, leaf.counts.size()));
+    }
+    return leaf;
+  };
+
+  // 2-means row clustering on z-scored values (nulls at the mean).
+  auto cluster_rows = [&](const std::vector<uint32_t>& rows,
+                          const std::vector<size_t>& cols,
+                          std::vector<uint32_t>* left,
+                          std::vector<uint32_t>* right) {
+    // Normalize per column.
+    std::vector<double> mean(cols.size(), 0), sd(cols.size(), 1);
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+      double s = 0, s2 = 0;
+      size_t n = 0;
+      for (uint32_t r : rows) {
+        if (m.nulls[cols[ci]][r]) continue;
+        double v = m.values[cols[ci]][r];
+        s += v;
+        s2 += v * v;
+        ++n;
+      }
+      if (n > 1) {
+        mean[ci] = s / n;
+        double var = s2 / n - mean[ci] * mean[ci];
+        sd[ci] = var > 1e-12 ? std::sqrt(var) : 1.0;
+      }
+    }
+    auto feature = [&](uint32_t r, size_t ci) {
+      if (m.nulls[cols[ci]][r]) return 0.0;
+      return (m.values[cols[ci]][r] - mean[ci]) / sd[ci];
+    };
+    // Init centroids from two random rows.
+    std::vector<double> c0(cols.size()), c1(cols.size());
+    uint32_t r0 = rows[rng.UniformInt(uint64_t(rows.size()))];
+    uint32_t r1 = rows[rng.UniformInt(uint64_t(rows.size()))];
+    for (size_t ci = 0; ci < cols.size(); ++ci) {
+      c0[ci] = feature(r0, ci);
+      c1[ci] = feature(r1, ci) + 1e-3;
+    }
+    std::vector<uint8_t> assign(rows.size(), 0);
+    for (int iter = 0; iter < 8; ++iter) {
+      // Assign.
+      for (size_t i = 0; i < rows.size(); ++i) {
+        double d0 = 0, d1 = 0;
+        for (size_t ci = 0; ci < cols.size(); ++ci) {
+          double f = feature(rows[i], ci);
+          d0 += (f - c0[ci]) * (f - c0[ci]);
+          d1 += (f - c1[ci]) * (f - c1[ci]);
+        }
+        assign[i] = d1 < d0 ? 1 : 0;
+      }
+      // Update.
+      std::vector<double> n0(cols.size(), 0), n1(cols.size(), 0);
+      size_t k0 = 0, k1 = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t ci = 0; ci < cols.size(); ++ci) {
+          double f = feature(rows[i], ci);
+          (assign[i] ? n1[ci] : n0[ci]) += f;
+        }
+        (assign[i] ? k1 : k0) += 1;
+      }
+      if (k0 == 0 || k1 == 0) break;
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        c0[ci] = n0[ci] / k0;
+        c1[ci] = n1[ci] / k1;
+      }
+    }
+    left->clear();
+    right->clear();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (assign[i] ? *right : *left).push_back(rows[i]);
+    }
+  };
+
+  // Recursive structure learning.
+  std::function<std::unique_ptr<Node>(std::vector<uint32_t>,
+                                      std::vector<size_t>, int)>
+      build = [&](std::vector<uint32_t> rows, std::vector<size_t> cols,
+                  int depth) -> std::unique_ptr<Node> {
+    auto node = std::make_unique<Node>();
+    if (cols.size() == 1) {
+      node->type = Node::Type::kLeaf;
+      node->leaf = make_leaf(rows, cols[0]);
+      return node;
+    }
+    // Column partitioning by pairwise correlation.
+    UnionFind uf(cols.size());
+    for (size_t a = 0; a < cols.size(); ++a) {
+      for (size_t b = a + 1; b < cols.size(); ++b) {
+        if (std::fabs(PearsonOnRows(m, rows, cols[a], cols[b])) >=
+            config.corr_threshold) {
+          uf.Merge(a, b);
+        }
+      }
+    }
+    std::vector<std::vector<size_t>> groups;
+    {
+      std::vector<int> group_of(cols.size(), -1);
+      for (size_t a = 0; a < cols.size(); ++a) {
+        size_t root = uf.Find(a);
+        if (group_of[root] < 0) {
+          group_of[root] = static_cast<int>(groups.size());
+          groups.emplace_back();
+        }
+        groups[group_of[root]].push_back(cols[a]);
+      }
+    }
+    if (groups.size() > 1) {
+      node->type = Node::Type::kProduct;
+      for (auto& g : groups) {
+        node->children.push_back(build(rows, std::move(g), depth + 1));
+      }
+      return node;
+    }
+    // All columns dependent: try a sum split.
+    if (rows.size() >= 2 * config.min_instances &&
+        depth < config.max_depth) {
+      std::vector<uint32_t> left, right;
+      cluster_rows(rows, cols, &left, &right);
+      if (left.size() >= config.min_instances / 4 &&
+          right.size() >= config.min_instances / 4) {
+        node->type = Node::Type::kSum;
+        node->weights.push_back(static_cast<double>(left.size()) /
+                                rows.size());
+        node->weights.push_back(static_cast<double>(right.size()) /
+                                rows.size());
+        node->children.push_back(build(std::move(left), cols, depth + 1));
+        node->children.push_back(build(std::move(right), cols, depth + 1));
+        return node;
+      }
+    }
+    // Give up on dependence: naive factorization into leaves.
+    node->type = Node::Type::kProduct;
+    for (size_t col : cols) {
+      auto child = std::make_unique<Node>();
+      child->type = Node::Type::kLeaf;
+      child->leaf = make_leaf(rows, col);
+      node->children.push_back(std::move(child));
+    }
+    return node;
+  };
+
+  std::vector<uint32_t> all_rows(m.rows);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<size_t> all_cols(sample.NumColumns());
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  if (m.rows == 0 || all_cols.empty()) {
+    root_ = std::make_unique<Node>();
+    root_->type = Node::Type::kLeaf;
+  } else {
+    root_ = build(std::move(all_rows), std::move(all_cols), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+
+double SpnBaseline::LeafSelectivity(const Leaf& leaf, CmpOp op,
+                                    double value) {
+  double total = 0;
+  for (double c : leaf.counts) total += c;
+  if (total <= 0) return 0.0;
+  double satisfied = 0;
+  for (size_t b = 0; b < leaf.counts.size(); ++b) {
+    double lo = leaf.edges[b], hi = leaf.edges[b + 1];
+    double width = std::max(hi - lo, 1e-12);
+    double frac = 0;
+    switch (op) {
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        frac = std::clamp((value - lo) / width, 0.0, 1.0);
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        frac = std::clamp((hi - value) / width, 0.0, 1.0);
+        break;
+      case CmpOp::kEq:
+        frac = (value >= lo && value < hi) ? 1.0 / leaf.distinct_per_bucket
+                                           : 0.0;
+        break;
+      case CmpOp::kNe:
+        frac = (value >= lo && value < hi)
+                   ? 1.0 - 1.0 / leaf.distinct_per_bucket
+                   : 1.0;
+        break;
+    }
+    satisfied += leaf.counts[b] * frac;
+  }
+  return std::clamp(satisfied / total, 0.0, 1.0);
+}
+
+SpnBaseline::EvalOut SpnBaseline::Eval(const Node& node,
+                                       const std::vector<Cond>& conds,
+                                       int agg_col) const {
+  EvalOut out;
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      const Leaf& leaf = node.leaf;
+      double p = 1.0;
+      // All conditions on this leaf's column apply conjunctively; the
+      // within-leaf product over bucket fractions is an approximation in
+      // the same spirit as DeepDB's leaf likelihoods.
+      bool has_cond = false;
+      double cond_sel = 1.0;
+      for (const Cond& c : conds) {
+        if (c.col != leaf.col) continue;
+        has_cond = true;
+        cond_sel *= LeafSelectivity(leaf, c.op, c.value);
+      }
+      if (has_cond) p = (1.0 - leaf.null_fraction) * cond_sel;
+      out.prob = p;
+      if (agg_col >= 0 && static_cast<size_t>(agg_col) == leaf.col) {
+        // E[x * 1(conds)]: restrict buckets by the conditions.
+        double total = 0;
+        for (double c : leaf.counts) total += c;
+        double expect = 0, nn = 0;
+        if (total > 0) {
+          for (size_t b = 0; b < leaf.counts.size(); ++b) {
+            double w = leaf.counts[b] / total;
+            for (const Cond& c : conds) {
+              if (c.col != leaf.col) continue;
+              Leaf single;
+              single.edges = {leaf.edges[b], leaf.edges[b + 1]};
+              single.counts = {1.0};
+              single.means = {leaf.means[b]};
+              single.distinct_per_bucket = leaf.distinct_per_bucket;
+              w *= LeafSelectivity(single, c.op, c.value);
+            }
+            expect += w * leaf.means[b];
+            nn += w;
+          }
+        }
+        out.expect = (1.0 - leaf.null_fraction) * expect;
+        out.nn_prob = (1.0 - leaf.null_fraction) * nn;
+      } else {
+        out.expect = 0.0;
+        out.nn_prob = p;
+      }
+      return out;
+    }
+    case Node::Type::kProduct: {
+      // The child whose subtree holds the aggregation column contributes
+      // its expectation; every other child contributes only a probability.
+      out.prob = 1.0;
+      double others_p = 1.0;
+      EvalOut agg_out;
+      bool found = false;
+      for (const auto& child : node.children) {
+        if (agg_col >= 0 &&
+            SubtreeContains(*child, static_cast<size_t>(agg_col))) {
+          agg_out = Eval(*child, conds, agg_col);
+          out.prob *= agg_out.prob;
+          found = true;
+        } else {
+          double p = Eval(*child, conds, -1).prob;
+          out.prob *= p;
+          others_p *= p;
+        }
+      }
+      if (found) {
+        out.expect = agg_out.expect * others_p;
+        out.nn_prob = agg_out.nn_prob * others_p;
+      } else {
+        out.expect = 0;
+        out.nn_prob = out.prob;
+      }
+      return out;
+    }
+    case Node::Type::kSum: {
+      out.prob = 0;
+      out.expect = 0;
+      out.nn_prob = 0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        EvalOut c = Eval(*node.children[i], conds, agg_col);
+        out.prob += node.weights[i] * c.prob;
+        out.expect += node.weights[i] * c.expect;
+        out.nn_prob += node.weights[i] * c.nn_prob;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+bool SpnBaseline::SupportsQuery(const Query& query) const {
+  if (query.func != AggFunc::kCount && query.func != AggFunc::kSum &&
+      query.func != AggFunc::kAvg) {
+    return false;
+  }
+  if (!query.group_by.empty()) return false;
+  if (query.where.has_value()) {
+    const PredicateNode& root = *query.where;
+    if (root.type == PredicateNode::Type::kOr) return false;
+    if (root.type == PredicateNode::Type::kAnd) {
+      for (const auto& child : root.children) {
+        if (child.type != PredicateNode::Type::kCondition) return false;
+      }
+    }
+  }
+  return true;
+}
+
+StatusOr<QueryResult> SpnBaseline::Execute(const Query& query) const {
+  if (!SupportsQuery(query)) {
+    return Status::Unsupported("SPN: unsupported query shape (no OR, no " +
+                               std::string(AggFuncName(query.func)) +
+                               " beyond COUNT/SUM/AVG)");
+  }
+  // Resolve conditions.
+  std::vector<Cond> conds;
+  if (query.where.has_value()) {
+    std::vector<const Condition*> raw;
+    const PredicateNode& root = *query.where;
+    if (root.type == PredicateNode::Type::kCondition) {
+      raw.push_back(&root.condition);
+    } else {
+      for (const auto& c : root.children) raw.push_back(&c.condition);
+    }
+    for (const Condition* c : raw) {
+      Cond resolved;
+      bool found = false;
+      for (size_t i = 0; i < schema_.size(); ++i) {
+        if (schema_[i].first == c->column) {
+          resolved.col = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Status::NotFound("SPN: column " + c->column);
+      resolved.op = c->op;
+      resolved.value = c->value;
+      if (c->is_string) {
+        const auto& dict = schema_[resolved.col].second;
+        resolved.value = -1;
+        for (size_t i = 0; i < dict.size(); ++i) {
+          if (dict[i] == c->text_value) {
+            resolved.value = static_cast<double>(i);
+            break;
+          }
+        }
+      }
+      conds.push_back(resolved);
+    }
+  }
+
+  int agg_col = -1;
+  if (!query.count_star) {
+    bool found = false;
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      if (schema_[i].first == query.agg_column) {
+        agg_col = static_cast<int>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound("SPN: column " + query.agg_column);
+  }
+
+  EvalOut e = Eval(*root_, conds, agg_col);
+  const double n = static_cast<double>(total_rows_);
+  const double ns = static_cast<double>(sample_rows_);
+
+  AggResult r;
+  switch (query.func) {
+    case AggFunc::kCount: {
+      double p = query.count_star ? e.prob : e.nn_prob;
+      r.estimate = n * p;
+      double se = std::sqrt(std::max(0.0, p * (1.0 - p) / ns));
+      r.lower = std::max(0.0, n * (p - z_ * se));
+      r.upper = n * (p + z_ * se);
+      r.empty_selection = r.estimate <= 0;
+      break;
+    }
+    case AggFunc::kSum: {
+      r.estimate = n * e.expect;
+      double m_eff = std::max(1.0, ns * e.nn_prob);
+      double rel = z_ / std::sqrt(m_eff);
+      r.lower = r.estimate - std::fabs(r.estimate) * rel;
+      r.upper = r.estimate + std::fabs(r.estimate) * rel;
+      r.empty_selection = e.nn_prob <= 0;
+      break;
+    }
+    case AggFunc::kAvg: {
+      if (e.nn_prob <= 1e-12) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper =
+            std::numeric_limits<double>::quiet_NaN();
+      } else {
+        r.estimate = e.expect / e.nn_prob;
+        double m_eff = std::max(1.0, ns * e.nn_prob);
+        double rel = z_ / std::sqrt(m_eff);
+        r.lower = r.estimate - std::fabs(r.estimate) * rel;
+        r.upper = r.estimate + std::fabs(r.estimate) * rel;
+      }
+      break;
+    }
+    default:
+      return Status::Unsupported("SPN: aggregation not supported");
+  }
+  QueryResult result;
+  result.groups.push_back({"", r});
+  return result;
+}
+
+bool SpnBaseline::SubtreeContains(const Node& node, size_t col) {
+  if (node.type == Node::Type::kLeaf) return node.leaf.col == col;
+  for (const auto& child : node.children) {
+    if (SubtreeContains(*child, col)) return true;
+  }
+  return false;
+}
+
+SpnBaseline::Stats SpnBaseline::GetStats() const {
+  Stats stats;
+  std::function<void(const Node&, int)> walk = [&](const Node& node,
+                                                   int depth) {
+    stats.depth = std::max(stats.depth, depth);
+    switch (node.type) {
+      case Node::Type::kSum:
+        ++stats.sum_nodes;
+        break;
+      case Node::Type::kProduct:
+        ++stats.product_nodes;
+        break;
+      case Node::Type::kLeaf:
+        ++stats.leaves;
+        break;
+    }
+    for (const auto& c : node.children) walk(*c, depth + 1);
+  };
+  if (root_) walk(*root_, 0);
+  return stats;
+}
+
+size_t SpnBaseline::StorageBytes() const {
+  size_t bytes = 64;
+  std::function<void(const Node&)> walk = [&](const Node& node) {
+    bytes += 24;
+    if (node.type == Node::Type::kLeaf) {
+      bytes += node.leaf.edges.size() * 8 + node.leaf.counts.size() * 4 +
+               node.leaf.means.size() * 8 + 24;
+    }
+    bytes += node.weights.size() * 8;
+    for (const auto& c : node.children) walk(*c);
+  };
+  if (root_) walk(*root_);
+  return bytes;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,96 @@
+// Sum-Product Network AQP baseline ("DeepDB-lite").
+//
+// Reimplements the model family of DeepDB [20] from scratch: structure
+// learning that alternates row clustering (sum nodes) and column
+// independence partitioning (product nodes), with per-column histogram
+// leaves, evaluated by expectation propagation over the tree. Mirrors the
+// public DeepDB's query support that the paper measured: COUNT/SUM/AVG,
+// conjunctive predicates only (no OR), no MIN/MAX/MEDIAN/VAR, probabilistic
+// bounds that tend to be narrow but optimistic. See DESIGN.md §3.2.
+#ifndef PAIRWISEHIST_BASELINES_SPN_H_
+#define PAIRWISEHIST_BASELINES_SPN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/aqp_method.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+class SpnBaseline : public AqpMethod {
+ public:
+  struct Config {
+    size_t sample_size = 100000;  ///< rows sampled for structure learning
+    size_t min_instances = 512;   ///< stop row-splitting below this
+    double corr_threshold = 0.3;  ///< |corr| above which columns stay joint
+    size_t leaf_bins = 64;        ///< histogram buckets per leaf
+    int max_depth = 12;
+    uint64_t seed = 7;
+    double confidence = 0.98;     ///< for the root CLT bounds
+  };
+
+  SpnBaseline(const Table& table, const Config& config);
+
+  std::string name() const override { return "SPN"; }
+  StatusOr<QueryResult> Execute(const Query& query) const override;
+  size_t StorageBytes() const override;
+  bool ProvidesBounds() const override { return true; }
+  bool SupportsQuery(const Query& query) const override;
+
+  /// Structure statistics for documentation/ablation output.
+  struct Stats {
+    size_t sum_nodes = 0;
+    size_t product_nodes = 0;
+    size_t leaves = 0;
+    int depth = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Leaf {
+    size_t col = 0;
+    double null_fraction = 0;
+    std::vector<double> edges;   // k+1 (equi-depth over non-null values)
+    std::vector<double> counts;  // k
+    std::vector<double> means;   // k
+    double distinct_per_bucket = 1.0;
+  };
+  struct Node {
+    enum class Type { kSum, kProduct, kLeaf };
+    Type type = Type::kLeaf;
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<double> weights;  // sum nodes
+    Leaf leaf;                    // leaf nodes
+  };
+
+  /// A single resolved conjunctive condition.
+  struct Cond {
+    size_t col;
+    CmpOp op;
+    double value;
+  };
+
+  // prob = P(all conds); expect = E[agg * 1(conds) * 1(agg non-null)];
+  // nn_prob = P(all conds and agg non-null).
+  struct EvalOut {
+    double prob = 1.0;
+    double expect = 0.0;
+    double nn_prob = 1.0;
+  };
+  EvalOut Eval(const Node& node, const std::vector<Cond>& conds,
+               int agg_col) const;
+
+  static double LeafSelectivity(const Leaf& leaf, CmpOp op, double value);
+  static bool SubtreeContains(const Node& node, size_t col);
+
+  std::unique_ptr<Node> root_;
+  size_t total_rows_ = 0;
+  size_t sample_rows_ = 0;
+  double z_ = 2.326;
+  std::vector<std::pair<std::string, std::vector<std::string>>> schema_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_BASELINES_SPN_H_

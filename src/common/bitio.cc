@@ -1,0 +1,70 @@
+#include "common/bitio.h"
+
+namespace pairwisehist {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  if (nbits <= 0) return;
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  for (int i = nbits - 1; i >= 0; --i) {
+    size_t byte_index = bit_count_ >> 3;
+    int bit_in_byte = 7 - static_cast<int>(bit_count_ & 7);
+    if (byte_index >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1) {
+      bytes_[byte_index] |= static_cast<uint8_t>(1u << bit_in_byte);
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::WriteUnary(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) WriteBit(true);
+  WriteBit(false);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  // Buffer already contains zero padding in the final partial byte.
+  return std::move(bytes_);
+}
+
+StatusOr<uint64_t> BitReader::ReadBits(int nbits) {
+  if (nbits < 0 || nbits > 64) {
+    return Status::InvalidArgument("ReadBits: nbits out of [0,64]");
+  }
+  if (pos_ + static_cast<size_t>(nbits) > size_bits_) {
+    return Status::DataLoss("BitReader: read past end of stream");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    size_t byte_index = pos_ >> 3;
+    int bit_in_byte = 7 - static_cast<int>(pos_ & 7);
+    value = (value << 1) | ((data_[byte_index] >> bit_in_byte) & 1);
+    ++pos_;
+  }
+  return value;
+}
+
+StatusOr<uint64_t> BitReader::ReadUnary() {
+  uint64_t count = 0;
+  while (true) {
+    if (pos_ >= size_bits_) {
+      return Status::DataLoss("BitReader: unterminated unary code");
+    }
+    size_t byte_index = pos_ >> 3;
+    int bit_in_byte = 7 - static_cast<int>(pos_ & 7);
+    bool bit = (data_[byte_index] >> bit_in_byte) & 1;
+    ++pos_;
+    if (!bit) break;
+    ++count;
+  }
+  return count;
+}
+
+Status BitReader::Skip(size_t nbits) {
+  if (pos_ + nbits > size_bits_) {
+    return Status::DataLoss("BitReader: skip past end of stream");
+  }
+  pos_ += nbits;
+  return Status::OK();
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,75 @@
+#include "common/golomb.h"
+
+#include <cmath>
+
+namespace pairwisehist {
+
+namespace {
+
+// Number of bits needed to represent values 0..n-1 (ceil(log2 n)), n >= 1.
+int CeilLog2(uint64_t n) {
+  int bits = 0;
+  uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+void GolombEncode(uint64_t value, uint64_t m, BitWriter* writer) {
+  if (m == 0) m = 1;
+  uint64_t q = value / m;
+  uint64_t r = value % m;
+  writer->WriteUnary(q);
+  if (m == 1) return;  // remainder is always 0; no bits needed
+  // Truncated binary encoding of the remainder.
+  int b = CeilLog2(m);
+  uint64_t cutoff = (uint64_t{1} << b) - m;
+  if (r < cutoff) {
+    writer->WriteBits(r, b - 1);
+  } else {
+    writer->WriteBits(r + cutoff, b);
+  }
+}
+
+StatusOr<uint64_t> GolombDecode(uint64_t m, BitReader* reader) {
+  if (m == 0) m = 1;
+  PH_ASSIGN_OR_RETURN(uint64_t q, reader->ReadUnary());
+  if (m == 1) return q;
+  int b = CeilLog2(m);
+  uint64_t cutoff = (uint64_t{1} << b) - m;
+  PH_ASSIGN_OR_RETURN(uint64_t r, reader->ReadBits(b - 1));
+  if (r >= cutoff) {
+    PH_ASSIGN_OR_RETURN(uint64_t extra, reader->ReadBits(1));
+    r = (r << 1 | extra) - cutoff;
+  }
+  return q * m + r;
+}
+
+uint64_t GolombOptimalM(double mean) {
+  if (!(mean > 0)) return 1;
+  double p = mean / (mean + 1.0);
+  // Golomb's rule: m = ceil(log(1+p)/log(1/p)) is also common; the simple
+  // -1/log2(p) estimator is within one bit of optimal for all p.
+  double m = -1.0 / std::log2(p);
+  if (m < 1.0) return 1;
+  return static_cast<uint64_t>(std::llround(m));
+}
+
+uint64_t GolombCodeLengthBits(uint64_t value, uint64_t m) {
+  if (m == 0) m = 1;
+  uint64_t q = value / m;
+  uint64_t r = value % m;
+  uint64_t bits = q + 1;  // unary quotient
+  if (m == 1) return bits;
+  int b = CeilLog2(m);
+  uint64_t cutoff = (uint64_t{1} << b) - m;
+  bits += (r < cutoff) ? static_cast<uint64_t>(b - 1)
+                       : static_cast<uint64_t>(b);
+  return bits;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,35 @@
+// Golomb coding for non-negative integers.
+//
+// The PairwiseHist sparse bin-count encoding stores deltas between non-zero
+// matrix indices with a Golomb code, which is optimal for geometrically
+// distributed values (Section 4.3 of the paper). We implement the general
+// Golomb code with parameter m (quotient in unary, remainder in truncated
+// binary) plus the standard m estimator from the sample mean.
+#ifndef PAIRWISEHIST_COMMON_GOLOMB_H_
+#define PAIRWISEHIST_COMMON_GOLOMB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitio.h"
+#include "common/status.h"
+
+namespace pairwisehist {
+
+/// Encodes `value` with Golomb parameter `m` (m >= 1) into `writer`.
+void GolombEncode(uint64_t value, uint64_t m, BitWriter* writer);
+
+/// Decodes one Golomb(m)-coded value from `reader`.
+StatusOr<uint64_t> GolombDecode(uint64_t m, BitReader* reader);
+
+/// Chooses the (near-)optimal Golomb parameter for geometrically distributed
+/// data with the given sample mean: m = max(1, round(-1/log2(p)) ) with
+/// p = mean/(mean+1). Returns 1 for mean <= 0.
+uint64_t GolombOptimalM(double mean);
+
+/// Total bits Golomb(m) uses for `value` (without encoding).
+uint64_t GolombCodeLengthBits(uint64_t value, uint64_t m);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_GOLOMB_H_

@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+namespace pairwisehist {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Cumulative inversion over precomputed weights would allocate per call;
+  // for generator use we accept O(n) scan, n is small (categorical domains).
+  double total = 0;
+  for (size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(double(i), s);
+  double u = Uniform() * total;
+  double acc = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (u < acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<double> ZipfWeights(size_t n, double s) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 1.0 / std::pow(double(i + 1), s);
+  return w;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,127 @@
+// Deterministic random number generation helpers.
+//
+// Every component that involves randomness (dataset generators, sampling,
+// workload generation, the IDEBench-style scaler) takes an explicit seed so
+// experiments are reproducible bit-for-bit. This wraps a SplitMix64-seeded
+// xoshiro256** generator plus the distribution helpers the generators need
+// (uniform, normal, exponential, Pareto, Zipf, categorical).
+#ifndef PAIRWISEHIST_COMMON_RNG_H_
+#define PAIRWISEHIST_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pairwisehist {
+
+/// xoshiro256** PRNG. Fast, high-quality, and fully deterministic from the
+/// seed (unlike std::mt19937_64's unspecified distribution implementations,
+/// our distribution code below is pinned, so streams never change between
+/// standard library versions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double Normal() {
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    double u = Uniform();
+    while (u <= 1e-300) u = Uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto with scale x_m and shape alpha (heavy-tailed).
+  double Pareto(double x_m, double alpha) {
+    double u = Uniform();
+    while (u <= 1e-300) u = Uniform();
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Index drawn from the (unnormalized) weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double u = Uniform() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s > 0). Uses the
+  /// cumulative method; intended for modest n (categorical cardinalities).
+  size_t Zipf(size_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+/// Returns Zipf weights (1/rank^s) for n ranks; useful for building
+/// frequency-skewed categorical dictionaries.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_RNG_H_

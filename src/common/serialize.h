@@ -1,0 +1,154 @@
+// Byte-level serialization helpers for synopses and compressed tables.
+//
+// Little-endian fixed-width primitives plus LEB128 varints. The PairwiseHist
+// storage encoding (Fig. 6 of the paper) is byte-oriented at the section
+// level with bit-packed payloads produced by BitWriter.
+#ifndef PAIRWISEHIST_COMMON_SERIALIZE_H_
+#define PAIRWISEHIST_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+
+/// Appends primitives to a growable byte buffer.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v) { WriteLE(&v, 2); }
+  void WriteU32(uint32_t v) { WriteLE(&v, 4); }
+  void WriteU64(uint64_t v) { WriteLE(&v, 8); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    WriteU64(bits);
+  }
+
+  /// Unsigned LEB128.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed varint.
+  void WriteSignedVarint(int64_t v) {
+    WriteVarint((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Length-prefixed string.
+  void WriteString(const std::string& s) {
+    WriteVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed raw bytes.
+  void WriteBytes(const std::vector<uint8_t>& b) {
+    WriteVarint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Finish() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void WriteLE(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);  // assumes little-endian host
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads primitives written by ByteWriter. All reads are bounds-checked and
+/// return DataLoss on truncation.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  StatusOr<uint8_t> ReadU8() {
+    if (pos_ + 1 > size_) return Truncated();
+    return data_[pos_++];
+  }
+  StatusOr<uint16_t> ReadU16() { return ReadLE<uint16_t>(); }
+  StatusOr<uint32_t> ReadU32() { return ReadLE<uint32_t>(); }
+  StatusOr<uint64_t> ReadU64() { return ReadLE<uint64_t>(); }
+  StatusOr<int64_t> ReadI64() {
+    PH_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+  StatusOr<double> ReadF64() {
+    PH_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  StatusOr<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Truncated();
+      uint8_t byte = data_[pos_++];
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) break;
+      shift += 7;
+      if (shift >= 64) return Status::DataLoss("varint too long");
+    }
+    return v;
+  }
+
+  StatusOr<int64_t> ReadSignedVarint() {
+    PH_ASSIGN_OR_RETURN(uint64_t z, ReadVarint());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  StatusOr<std::string> ReadString() {
+    PH_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > size_) return Truncated();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  StatusOr<std::vector<uint8_t>> ReadBytes() {
+    PH_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > size_) return Truncated();
+    std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  StatusOr<T> ReadLE() {
+    if (pos_ + sizeof(T) > size_) return Truncated();
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  static Status Truncated() {
+    return Status::DataLoss("ByteReader: truncated input");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_SERIALIZE_H_

@@ -1,0 +1,52 @@
+// Statistical special functions implemented from scratch.
+//
+// PairwiseHist needs the chi-squared distribution (uniformity hypothesis
+// tests and the Theorem-1/2 bound formulas use the critical value χ²_α) and
+// the standard normal quantile (Eq. 29 sampling-uncertainty widening).
+// Everything is built on the regularized incomplete gamma function using the
+// classic series / continued-fraction split (Numerical Recipes style), so the
+// library has no dependency beyond <cmath>.
+#ifndef PAIRWISEHIST_COMMON_STATS_H_
+#define PAIRWISEHIST_COMMON_STATS_H_
+
+#include <cstdint>
+
+namespace pairwisehist {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Accuracy ~1e-12 over the ranges used by the library.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// CDF of the chi-squared distribution with `df` degrees of freedom.
+double Chi2Cdf(double x, double df);
+
+/// Quantile (inverse CDF) of the chi-squared distribution: the x such that
+/// Chi2Cdf(x, df) = p, for p in (0, 1). Uses a Wilson–Hilferty initial guess
+/// refined by Newton iterations with bisection fallback.
+double Chi2Quantile(double p, double df);
+
+/// Upper critical value χ²_α with significance α: Pr(X > x) = α.
+/// Equivalent to Chi2Quantile(1 - α, df).
+double Chi2CriticalValue(double alpha, double df);
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0,1). Acklam's rational
+/// approximation refined with one Halley step (absolute error < 1e-9).
+double NormalQuantile(double p);
+
+/// Pearson chi-squared statistic for observed sub-bin counts against a
+/// uniform expectation. `counts` has `s` entries summing to `total`.
+double Chi2UniformStatistic(const uint64_t* counts, int s, uint64_t total);
+
+/// Terrell–Scott sub-bin count used throughout the paper:
+/// s = ceil((2u)^(1/3)) for u unique values, clamped to >= 1.
+int TerrellScottSubBins(uint64_t unique_values);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_STATS_H_

@@ -1,0 +1,143 @@
+// Status / StatusOr: exception-free error handling for the public API.
+//
+// The library follows the Google C++ style guide convention of returning
+// Status (or StatusOr<T>) from any operation that can fail, instead of
+// throwing. Status carries a code and a human-readable message; StatusOr<T>
+// carries either a value or a non-OK Status.
+#ifndef PAIRWISEHIST_COMMON_STATUS_H_
+#define PAIRWISEHIST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pairwisehist {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named column/table/value does not exist
+  kOutOfRange,        ///< index or literal outside the valid domain
+  kUnimplemented,     ///< feature intentionally not supported
+  kInternal,          ///< invariant violation inside the library
+  kDataLoss,          ///< corrupt serialized synopsis / compressed data
+  kUnsupported,       ///< query shape a given engine cannot answer
+};
+
+/// Returns a stable lowercase name for a status code (for messages/logs).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   StatusOr<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// StatusOr<T>.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK (an OK status carries no
+  /// value, which would make the object unusable).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pairwisehist
+
+/// Propagates a non-OK Status from an expression, Google-style.
+#define PH_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::pairwisehist::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a StatusOr expression, assigning the value or propagating the
+/// error. `lhs` must be a declaration or assignable lvalue.
+#define PH_ASSIGN_OR_RETURN(lhs, expr)          \
+  PH_ASSIGN_OR_RETURN_IMPL_(                    \
+      PH_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define PH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define PH_STATUS_CONCAT_(a, b) PH_STATUS_CONCAT_IMPL_(a, b)
+#define PH_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PAIRWISEHIST_COMMON_STATUS_H_

@@ -1,0 +1,218 @@
+#include "core/pairwise_hist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pairwisehist {
+
+size_t PairwiseHist::PairSlot(size_t i, size_t j) {
+  // i > j; slots are laid out in Algorithm 1's loop order.
+  return i * (i - 1) / 2 + j;
+}
+
+StatusOr<size_t> PairwiseHist::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < transforms_.size(); ++c) {
+    if (transforms_[c].name == name) return c;
+  }
+  return Status::NotFound("column '" + name + "' not in synopsis");
+}
+
+PairView PairwiseHist::GetPair(size_t agg_col, size_t pred_col) const {
+  if (agg_col == pred_col || agg_col >= num_columns() ||
+      pred_col >= num_columns()) {
+    return PairView();
+  }
+  if (agg_col > pred_col) {
+    return PairView(&pairs_[PairSlot(agg_col, pred_col)], /*swapped=*/false);
+  }
+  return PairView(&pairs_[PairSlot(pred_col, agg_col)], /*swapped=*/true);
+}
+
+CentreBounds PairwiseHist::WeightedCentreBounds(const HistogramDim& dim,
+                                                size_t t) const {
+  CentreBounds b;
+  const uint64_t h = dim.counts[t];
+  const uint64_t u = dim.unique[t];
+  const double v_lo = dim.v_min[t];
+  const double v_hi = dim.v_max[t];
+  if (h == 0 || u <= 1) {
+    b.lo = v_lo;
+    b.hi = v_hi;
+    return b;
+  }
+  if (h < min_points_) {
+    // Non-passing bin: h-u+1 points may sit at one extremum with the other
+    // unique values packed µ=1 apart next to it (Eq. 10 upper case).
+    const double shift =
+        static_cast<double>(u - 1) * static_cast<double>(u) /
+        (2.0 * static_cast<double>(h));
+    b.lo = v_lo + shift;
+    b.hi = v_hi - shift;
+  } else {
+    // Passing bin: Theorem 1.
+    const int s = TerrellScottSubBins(u);
+    const double delta = (v_hi - v_lo) / s;
+    const double chi2 = critical_->Get(s - 1);
+    const double spread =
+        delta / 6.0 *
+        std::sqrt(3.0 * chi2 * (static_cast<double>(s) * s - 1.0) /
+                  static_cast<double>(h));
+    b.lo = v_lo + (s - 1) * delta / 2.0 - spread;
+    b.hi = v_lo + (s + 1) * delta / 2.0 + spread;
+  }
+  b.lo = std::clamp(b.lo, v_lo, v_hi);
+  b.hi = std::clamp(b.hi, b.lo, v_hi);
+  return b;
+}
+
+namespace {
+
+// Deterministically samples `ns` of `n` row indices (sorted).
+std::vector<uint32_t> SampleRows(size_t n, size_t ns, uint64_t seed) {
+  std::vector<uint32_t> rows;
+  if (ns >= n) {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+    return rows;
+  }
+  Rng rng(seed);
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < ns; ++i) {
+    size_t j = i + static_cast<size_t>(rng.UniformInt(uint64_t(n - i)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(ns);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+// Initial 1-d bin edges for one column: either GreedyGD base-aligned edges
+// (downsampled to at most `max_edges` interior values) or just {min, max+1}.
+// `lo` / `hi` are the min and max non-null codes present in the sample.
+std::vector<double> InitialEdges(const std::vector<uint64_t>* base_values,
+                                 size_t max_edges, double lo, double hi) {
+  std::vector<double> edges;
+  edges.push_back(lo);
+  if (base_values != nullptr && !base_values->empty() && max_edges > 2) {
+    // Keep base edges strictly inside (lo, hi], downsampled evenly.
+    std::vector<double> interior;
+    interior.reserve(base_values->size());
+    for (uint64_t v : *base_values) {
+      double e = static_cast<double>(v);
+      if (e > lo && e <= hi) interior.push_back(e);
+    }
+    size_t stride =
+        std::max<size_t>(1, (interior.size() + max_edges - 1) / max_edges);
+    for (size_t i = 0; i < interior.size(); i += stride) {
+      edges.push_back(interior[i]);
+    }
+  }
+  edges.push_back(hi + 1.0);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
+                                           const CompressedTable* gd,
+                                           const PairwiseHistConfig& config) {
+  const size_t d = pre.NumColumns();
+  const size_t n = pre.NumRows();
+  if (d == 0) return Status::InvalidArgument("Build: no columns");
+  if (n == 0) return Status::InvalidArgument("Build: no rows");
+
+  PairwiseHist out;
+  out.transforms_ = pre.transforms;
+  out.total_rows_ = n;
+  size_t ns = config.sample_size == 0 ? n : std::min(config.sample_size, n);
+  out.sample_rows_ = ns;
+  out.min_points_ =
+      config.min_points_override > 0
+          ? config.min_points_override
+          : std::max<uint64_t>(
+                2, static_cast<uint64_t>(
+                       std::llround(config.min_points_fraction * ns)));
+  out.alpha_ = config.alpha;
+  out.critical_ = std::make_shared<Chi2CriticalCache>(config.alpha);
+
+  RefineConfig refine;
+  refine.min_points = out.min_points_;
+  refine.alpha = config.alpha;
+
+  std::vector<uint32_t> rows = SampleRows(n, ns, config.seed);
+
+  // ---- 1-d histograms ----------------------------------------------------
+  // Per column: sorted non-null sampled codes.
+  std::vector<std::vector<double>> col_values(d);
+  out.hist1d_.resize(d);
+  const size_t max_edges = static_cast<size_t>(
+      std::ceil(static_cast<double>(ns) / out.min_points_));
+  for (size_t c = 0; c < d; ++c) {
+    auto& vals = col_values[c];
+    vals.reserve(rows.size());
+    for (uint32_t r : rows) {
+      uint64_t code = pre.codes[c][r];
+      if (code != kMissingCode) vals.push_back(static_cast<double>(code));
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.empty()) {
+      // All-null column: degenerate single empty bin.
+      out.hist1d_[c] = BuildHistogram1D({}, {1.0, 2.0}, refine,
+                                        *out.critical_);
+      continue;
+    }
+    std::vector<uint64_t> bases;
+    const std::vector<uint64_t>* bases_ptr = nullptr;
+    if (gd != nullptr && config.use_bases_for_edges) {
+      bases = gd->ColumnBaseValues(c);
+      bases_ptr = &bases;
+    }
+    std::vector<double> edges =
+        InitialEdges(bases_ptr, max_edges, vals.front(), vals.back());
+    out.hist1d_[c] =
+        BuildHistogram1D(vals, edges, refine, *out.critical_);
+  }
+
+  // ---- 2-d histograms ----------------------------------------------------
+  if (d > 1) {
+    out.pairs_.resize(d * (d - 1) / 2);
+    std::vector<double> xi, xj;
+    for (size_t i = 1; i < d; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        xi.clear();
+        xj.clear();
+        for (uint32_t r : rows) {
+          uint64_t ci = pre.codes[i][r];
+          uint64_t cj = pre.codes[j][r];
+          if (ci == kMissingCode || cj == kMissingCode) continue;
+          xi.push_back(static_cast<double>(ci));
+          xj.push_back(static_cast<double>(cj));
+        }
+        out.pairs_[PairSlot(i, j)] = BuildPairHistogram(
+            xi, xj, static_cast<uint32_t>(i), static_cast<uint32_t>(j),
+            out.hist1d_[i], out.hist1d_[j], refine, *out.critical_);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<PairwiseHist> PairwiseHist::BuildFromTable(
+    const Table& table, const PairwiseHistConfig& cfg) {
+  PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));
+  return Build(pre, nullptr, cfg);
+}
+
+StatusOr<PairwiseHist> PairwiseHist::BuildFromCompressed(
+    const CompressedTable& gd, const PairwiseHistConfig& cfg) {
+  PreprocessedTable pre = gd.DecompressCodes();
+  return Build(pre, &gd, cfg);
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,102 @@
+// Incremental synopsis updates — the paper's Section-7 future-work item
+// ("histogram updates"), implemented as an extension.
+//
+// New rows are folded into the existing bin structure: 1-d and pairwise
+// cell counts grow, per-bin min/max extend, and unique counts increase
+// when a value lands outside a bin's previously observed [v−, v+] span
+// (an upper-bound approximation — values inside the span may also be new,
+// but uniqueness inside a span cannot be tracked without storing values).
+// Bin *edges* are not re-refined; after heavy drift, rebuild (the paper's
+// "online refinement" remains future work there too). Updated rows count
+// toward both N and Ns, so the sampling ratio ρ adjusts automatically.
+#include <algorithm>
+
+#include "core/pairwise_hist.h"
+
+namespace pairwisehist {
+
+namespace {
+
+// Folds one value into a dimension's bin metadata, returning the bin.
+size_t FoldValue(HistogramDim* dim, double value) {
+  size_t t = dim->BinIndex(value);
+  if (dim->counts[t] == 0) {
+    dim->v_min[t] = value;
+    dim->v_max[t] = value;
+    dim->unique[t] = 1;
+  } else {
+    if (value < dim->v_min[t]) {
+      dim->v_min[t] = value;
+      ++dim->unique[t];
+    } else if (value > dim->v_max[t]) {
+      dim->v_max[t] = value;
+      ++dim->unique[t];
+    }
+  }
+  ++dim->counts[t];
+  return t;
+}
+
+}  // namespace
+
+Status PairwiseHist::Update(const PreprocessedTable& batch) {
+  if (batch.NumColumns() != num_columns()) {
+    return Status::InvalidArgument(
+        "Update: batch has " + std::to_string(batch.NumColumns()) +
+        " columns, synopsis has " + std::to_string(num_columns()));
+  }
+  const size_t d = num_columns();
+  const size_t n = batch.NumRows();
+  for (size_t c = 0; c < d; ++c) {
+    if (batch.transforms[c].name != transforms_[c].name) {
+      return Status::InvalidArgument("Update: column mismatch at " +
+                                     std::to_string(c));
+    }
+    // Codes beyond the fitted domain would silently clamp; surface that.
+    if (batch.transforms[c].min_scaled != transforms_[c].min_scaled ||
+        batch.transforms[c].scale != transforms_[c].scale) {
+      return Status::InvalidArgument(
+          "Update: batch '" + batch.transforms[c].name +
+          "' was pre-processed with different transforms; apply the "
+          "synopsis's transforms (ApplyTransforms) to the new batch");
+    }
+  }
+
+  // 1-d histograms.
+  for (size_t c = 0; c < d; ++c) {
+    HistogramDim& h = hist1d_[c];
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t code = batch.codes[c][r];
+      if (code == kMissingCode) continue;
+      FoldValue(&h, static_cast<double>(code));
+    }
+  }
+
+  // Pairwise histograms.
+  for (size_t i = 1; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      PairHistogram& pair = pairs_[PairSlot(i, j)];
+      const size_t kj = pair.dim_j.NumBins();
+      for (size_t r = 0; r < n; ++r) {
+        uint64_t ci = batch.codes[i][r];
+        uint64_t cj = batch.codes[j][r];
+        if (ci == kMissingCode || cj == kMissingCode) continue;
+        size_t ti = FoldValue(&pair.dim_i, static_cast<double>(ci));
+        size_t tj = FoldValue(&pair.dim_j, static_cast<double>(cj));
+        ++pair.cells[ti * kj + tj];
+      }
+    }
+  }
+
+  total_rows_ += n;
+  sample_rows_ += n;
+  return Status::OK();
+}
+
+Status PairwiseHist::UpdateFromTable(const Table& batch) {
+  PH_ASSIGN_OR_RETURN(PreprocessedTable pre,
+                      ApplyTransforms(batch, transforms_));
+  return Update(pre);
+}
+
+}  // namespace pairwisehist

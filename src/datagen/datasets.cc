@@ -1,0 +1,912 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pairwisehist {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+// Diurnal shape in [0,1]: low overnight, morning ramp, evening peak.
+double DiurnalProfile(double t_seconds) {
+  double hour = std::fmod(t_seconds / 3600.0, 24.0);
+  double morning = std::exp(-std::pow(hour - 8.0, 2) / 8.0);
+  double evening = std::exp(-std::pow(hour - 19.0, 2) / 6.0);
+  double base = 0.15;
+  return base + 0.45 * morning + 0.75 * evening;
+}
+
+// Seasonal shape in [-1,1] over a year starting at t=0.
+double SeasonalProfile(double t_seconds) {
+  return std::sin(2.0 * M_PI * t_seconds / (365.25 * kSecondsPerDay));
+}
+
+// Two-state Markov regime (e.g. an appliance that is on or off). `p_on` and
+// `p_off` are per-step switching probabilities.
+class OnOffRegime {
+ public:
+  OnOffRegime(Rng* rng, double p_turn_on, double p_turn_off)
+      : rng_(rng), p_on_(p_turn_on), p_off_(p_turn_off) {}
+  bool Step() {
+    if (on_) {
+      if (rng_->Bernoulli(p_off_)) on_ = false;
+    } else {
+      if (rng_->Bernoulli(p_on_)) on_ = true;
+    }
+    return on_;
+  }
+
+ private:
+  Rng* rng_;
+  double p_on_, p_off_;
+  bool on_ = false;
+};
+
+// Mean-reverting random walk (Ornstein–Uhlenbeck-ish), used for sensor
+// baselines that drift slowly.
+class DriftWalk {
+ public:
+  DriftWalk(Rng* rng, double mean, double revert, double step)
+      : rng_(rng), mean_(mean), revert_(revert), step_(step), x_(mean) {}
+  double Step() {
+    x_ += revert_ * (mean_ - x_) + rng_->Normal(0.0, step_);
+    return x_;
+  }
+
+ private:
+  Rng* rng_;
+  double mean_, revert_, step_;
+  double x_;
+};
+
+double Round(double v, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(v * scale) / scale;
+}
+
+Column TimestampColumn(const std::string& name, size_t rows,
+                       double interval_s, double jitter_s, Rng* rng) {
+  Column c(name, DataType::kTimestamp, 0);
+  c.Reserve(rows);
+  double t = 1577836800.0;  // 2020-01-01 00:00 UTC
+  for (size_t i = 0; i < rows; ++i) {
+    c.Append(std::floor(t));
+    t += interval_s + (jitter_s > 0 ? rng->Uniform(0, jitter_s) : 0.0);
+  }
+  return c;
+}
+
+std::vector<std::string> NamedCategories(const std::string& prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* kSpecs =
+      new std::vector<DatasetSpec>{
+          {"aqua", 25000, 913465, 13, "aquaponics ponds, async sampling"},
+          {"basement", 25000, 1051200, 12, "basement power meters"},
+          {"build", 40000, 14381639, 7, "smart building room sensors"},
+          {"current", 25000, 1051200, 24, "electric meter currents"},
+          {"flights", 50000, 5819079, 32, "flight delays & cancellations"},
+          {"furnace", 25000, 1051200, 12, "furnace power, cycling load"},
+          {"gas", 25000, 928991, 12, "home gas sensor array"},
+          {"light", 15000, 405184, 9, "IoT light detection"},
+          {"power", 40000, 2049280, 10, "household power consumption"},
+          {"taxis", 40000, 3889032, 23, "Chicago taxi trips 2020"},
+          {"temp", 40000, 10553597, 5, "temperature IoT"},
+      };
+  return *kSpecs;
+}
+
+StatusOr<Table> MakeDataset(const std::string& name, size_t rows,
+                            uint64_t seed) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.name != name) continue;
+    size_t n = rows == 0 ? spec.default_rows : rows;
+    if (name == "aqua") return MakeAqua(n, seed);
+    if (name == "basement") return MakeBasement(n, seed);
+    if (name == "build") return MakeBuild(n, seed);
+    if (name == "current") return MakeCurrent(n, seed);
+    if (name == "flights") return MakeFlights(n, seed);
+    if (name == "furnace") return MakeFurnace(n, seed);
+    if (name == "gas") return MakeGas(n, seed);
+    if (name == "light") return MakeLight(n, seed);
+    if (name == "power") return MakePower(n, seed);
+    if (name == "taxis") return MakeTaxis(n, seed);
+    if (name == "temp") return MakeTemp(n, seed);
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+// ---------------------------------------------------------------------------
+// Aqua: 4 aquaponics ponds, each reporting (temperature, pH, dissolved
+// oxygen) on its own schedule, merged on a shared timestamp. Every row comes
+// from exactly one pond, so 9 of the 12 sensor columns are null — the
+// asynchronous-sampling null pattern the paper calls out.
+// Columns (13): timestamp + 4 × (temp, ph, do).
+Table MakeAqua(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("aqua");
+  t.AddColumn(TimestampColumn("timestamp", rows, 30.0, 15.0, &rng));
+
+  std::vector<DriftWalk> temp_walks, ph_walks, do_walks;
+  for (int p = 0; p < 4; ++p) {
+    temp_walks.emplace_back(&rng, 24.0 + p * 1.5, 0.01, 0.08);
+    ph_walks.emplace_back(&rng, 6.8 + 0.2 * p, 0.02, 0.02);
+    do_walks.emplace_back(&rng, 5.5 + 0.8 * p, 0.02, 0.10);
+  }
+  std::vector<Column> cols;
+  for (int p = 0; p < 4; ++p) {
+    cols.emplace_back("pond" + std::to_string(p) + "_temp",
+                      DataType::kFloat64, 2);
+    cols.emplace_back("pond" + std::to_string(p) + "_ph", DataType::kFloat64,
+                      2);
+    cols.emplace_back("pond" + std::to_string(p) + "_do", DataType::kFloat64,
+                      2);
+  }
+  for (auto& c : cols) c.Reserve(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    int pond = static_cast<int>(rng.UniformInt(uint64_t{4}));
+    double temp = temp_walks[pond].Step();
+    double ph = ph_walks[pond].Step();
+    // Dissolved oxygen anti-correlates with temperature.
+    double dox = do_walks[pond].Step() - 0.12 * (temp - 24.0) +
+                 rng.Normal(0.0, 0.05);
+    for (int p = 0; p < 4; ++p) {
+      if (p == pond) {
+        cols[p * 3 + 0].Append(Round(temp, 2));
+        cols[p * 3 + 1].Append(Round(std::clamp(ph, 4.0, 9.5), 2));
+        cols[p * 3 + 2].Append(Round(std::max(0.1, dox), 2));
+      } else {
+        cols[p * 3 + 0].AppendNull();
+        cols[p * 3 + 1].AppendNull();
+        cols[p * 3 + 2].AppendNull();
+      }
+    }
+  }
+  for (auto& c : cols) t.AddColumn(std::move(c));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Basement: minutely power metering of a basement circuit (AMPds2-style).
+// Columns (12): timestamp, V, I, f, pf, P, Q, S, energy counter, plus three
+// appliance sub-loads with on/off regimes (bimodal marginals).
+Table MakeBasement(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("basement");
+  t.AddColumn(TimestampColumn("timestamp", rows, 60.0, 0.0, &rng));
+
+  Column volt("voltage", DataType::kFloat64, 1);
+  Column curr("current", DataType::kFloat64, 2);
+  Column freq("frequency", DataType::kFloat64, 2);
+  Column pf("power_factor", DataType::kFloat64, 3);
+  Column p("active_power", DataType::kFloat64, 1);
+  Column q("reactive_power", DataType::kFloat64, 1);
+  Column s("apparent_power", DataType::kFloat64, 1);
+  Column energy("energy_wh", DataType::kInt64, 0);
+  Column light_load("light_load", DataType::kFloat64, 1);
+  Column freezer_load("freezer_load", DataType::kFloat64, 1);
+  Column pump_load("pump_load", DataType::kFloat64, 1);
+
+  OnOffRegime light_r(&rng, 0.02, 0.05), freezer_r(&rng, 0.08, 0.12),
+      pump_r(&rng, 0.01, 0.20);
+  double energy_acc = 0;
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 60.0) {
+    double v = 119.5 + 1.5 * std::sin(2 * M_PI * t_s / kSecondsPerDay) +
+               rng.Normal(0, 0.4);
+    double lights = light_r.Step() ? 60.0 + rng.Normal(0, 2.0) : 0.0;
+    double freezer = freezer_r.Step() ? 130.0 + rng.Normal(0, 5.0) : 4.0;
+    double pump = pump_r.Step() ? 480.0 + rng.Normal(0, 12.0) : 0.0;
+    double active = 25.0 + lights + freezer + pump +
+                    15.0 * DiurnalProfile(t_s) + rng.Normal(0, 3.0);
+    active = std::max(5.0, active);
+    double pf_v = std::clamp(0.88 + 0.06 * (pump > 100 ? -1 : 1) +
+                                 rng.Normal(0, 0.02),
+                             0.5, 1.0);
+    double apparent = active / pf_v;
+    double reactive = std::sqrt(std::max(
+        0.0, apparent * apparent - active * active));
+    energy_acc += active / 60.0;
+
+    volt.Append(Round(v, 1));
+    curr.Append(Round(apparent / v, 2));
+    freq.Append(Round(60.0 + rng.Normal(0, 0.02), 2));
+    pf.Append(Round(pf_v, 3));
+    p.Append(Round(active, 1));
+    q.Append(Round(reactive, 1));
+    s.Append(Round(apparent, 1));
+    energy.Append(std::floor(energy_acc));
+    light_load.Append(Round(lights, 1));
+    freezer_load.Append(Round(freezer, 1));
+    pump_load.Append(Round(pump, 1));
+  }
+  for (auto* c : {&volt, &curr, &freq, &pf, &p, &q, &s, &energy, &light_load,
+                  &freezer_load, &pump_load}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Build: smart-building room sensors (KETI-style). Each row is one reading
+// from one of 50 rooms; readings carry CO2/humidity/temperature/light/PIR.
+// Columns (7): timestamp, room, co2, humidity, temperature, light, pir.
+Table MakeBuild(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("build");
+  t.AddColumn(TimestampColumn("timestamp", rows, 6.0, 4.0, &rng));
+
+  const int kRooms = 50;
+  Column room("room", DataType::kCategorical, 0);
+  room.SetDictionary(NamedCategories("room_", kRooms));
+  Column co2("co2", DataType::kFloat64, 1);
+  Column hum("humidity", DataType::kFloat64, 2);
+  Column temp("temperature", DataType::kFloat64, 2);
+  Column light("light", DataType::kFloat64, 1);
+  Column pir("pir", DataType::kInt64, 0);
+
+  // Per-room occupancy bias: some rooms are busy, most are quiet (Zipf).
+  std::vector<double> busy(kRooms);
+  for (int i = 0; i < kRooms; ++i) busy[i] = 1.0 / std::sqrt(i + 1.0);
+
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 6.0) {
+    int rm = static_cast<int>(rng.Zipf(kRooms, 1.1));
+    double occ = busy[rm] * DiurnalProfile(t_s);
+    bool occupied = rng.Bernoulli(std::min(0.9, occ));
+    double c = 420 + 600 * occ + (occupied ? rng.Uniform(0, 300) : 0) +
+               rng.Normal(0, 20);
+    double h = 45 + 8 * SeasonalProfile(t_s) + (occupied ? 3 : 0) +
+               rng.Normal(0, 1.5);
+    double tp = 21.5 + 2.0 * SeasonalProfile(t_s) + (occupied ? 0.8 : 0) +
+                rng.Normal(0, 0.4);
+    double lt = occupied ? rng.Uniform(180, 520)
+                         : 20 * DiurnalProfile(t_s) + rng.Uniform(0, 10);
+
+    room.Append(rm);
+    co2.Append(Round(std::max(380.0, c), 1));
+    hum.Append(Round(std::clamp(h, 10.0, 95.0), 2));
+    temp.Append(Round(tp, 2));
+    light.Append(Round(std::max(0.0, lt), 1));
+    pir.Append(occupied ? rng.UniformInt(int64_t{1}, int64_t{36}) : 0);
+  }
+  for (auto* c : {&room, &co2, &hum, &temp, &light, &pir}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Current: per-breaker current measurements for 23 circuits plus timestamp
+// (AMPds2 current dataset shape). Circuits have distinct base loads, duty
+// cycles and spike behaviour; several share the same diurnal driver so
+// pairwise correlation is strong.
+// Columns (24): timestamp + 23 circuit currents.
+Table MakeCurrent(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("current");
+  t.AddColumn(TimestampColumn("timestamp", rows, 60.0, 0.0, &rng));
+
+  const int kCircuits = 23;
+  std::vector<Column> cols;
+  std::vector<OnOffRegime> regimes;
+  std::vector<double> base(kCircuits), amp(kCircuits);
+  for (int i = 0; i < kCircuits; ++i) {
+    cols.emplace_back("circuit_" + std::to_string(i), DataType::kFloat64, 2);
+    cols.back().Reserve(rows);
+    regimes.emplace_back(&rng, 0.01 + 0.004 * (i % 7), 0.05 + 0.01 * (i % 5));
+    base[i] = 0.05 + 0.1 * (i % 4);
+    amp[i] = 0.8 + 1.7 * (i % 6);
+  }
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 60.0) {
+    double diurnal = DiurnalProfile(t_s);
+    for (int i = 0; i < kCircuits; ++i) {
+      bool on = regimes[i].Step();
+      double share = (i % 3 == 0) ? diurnal : 1.0;
+      double a = base[i] + (on ? amp[i] * share : 0.0) +
+                 std::fabs(rng.Normal(0, 0.03));
+      cols[i].Append(Round(a, 2));
+    }
+  }
+  for (auto& c : cols) t.AddColumn(std::move(c));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Flights: USDOT-style flight records with all 32 columns the paper uses.
+// Delay columns are heavy-tailed mixtures; arrival delay is strongly coupled
+// to departure delay; cancelled flights null out the in-air fields — the
+// missing-value pattern the paper highlights.
+Table MakeFlights(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("flights");
+
+  const int kAirlines = 14, kAirports = 60, kTails = 240;
+  std::vector<double> airline_w = ZipfWeights(kAirlines, 0.8);
+  std::vector<double> airport_w = ZipfWeights(kAirports, 1.05);
+
+  Column year("year", DataType::kInt64, 0);
+  Column month("month", DataType::kInt64, 0);
+  Column day("day", DataType::kInt64, 0);
+  Column dow("day_of_week", DataType::kInt64, 0);
+  Column airline("airline", DataType::kCategorical, 0);
+  airline.SetDictionary(NamedCategories("AL", kAirlines));
+  Column flight_number("flight_number", DataType::kInt64, 0);
+  Column tail("tail_number", DataType::kCategorical, 0);
+  tail.SetDictionary(NamedCategories("N", kTails));
+  Column origin("origin_airport", DataType::kCategorical, 0);
+  origin.SetDictionary(NamedCategories("AP", kAirports));
+  Column dest("destination_airport", DataType::kCategorical, 0);
+  dest.SetDictionary(NamedCategories("AP", kAirports));
+  Column sched_dep("scheduled_departure", DataType::kInt64, 0);
+  Column dep_time("departure_time", DataType::kInt64, 0);
+  Column dep_delay("departure_delay", DataType::kFloat64, 1);
+  Column taxi_out("taxi_out", DataType::kFloat64, 1);
+  Column wheels_off("wheels_off", DataType::kInt64, 0);
+  Column sched_time("scheduled_time", DataType::kFloat64, 1);
+  Column elapsed("elapsed_time", DataType::kFloat64, 1);
+  Column air_time("air_time", DataType::kFloat64, 1);
+  Column distance("distance", DataType::kInt64, 0);
+  Column wheels_on("wheels_on", DataType::kInt64, 0);
+  Column taxi_in("taxi_in", DataType::kFloat64, 1);
+  Column sched_arr("scheduled_arrival", DataType::kInt64, 0);
+  Column arr_time("arrival_time", DataType::kInt64, 0);
+  Column arr_delay("arrival_delay", DataType::kFloat64, 1);
+  Column diverted("diverted", DataType::kInt64, 0);
+  Column cancelled("cancelled", DataType::kInt64, 0);
+  Column cancel_reason("cancellation_reason", DataType::kCategorical, 0);
+  cancel_reason.SetDictionary({"A", "B", "C", "D"});
+  Column delay_system("air_system_delay", DataType::kFloat64, 1);
+  Column delay_security("security_delay", DataType::kFloat64, 1);
+  Column delay_airline("airline_delay", DataType::kFloat64, 1);
+  Column delay_late("late_aircraft_delay", DataType::kFloat64, 1);
+  Column delay_weather("weather_delay", DataType::kFloat64, 1);
+
+  for (size_t r = 0; r < rows; ++r) {
+    int m = 1 + static_cast<int>(rng.UniformInt(uint64_t{12}));
+    int d = 1 + static_cast<int>(rng.UniformInt(uint64_t{28}));
+    int wk = 1 + static_cast<int>(rng.UniformInt(uint64_t{7}));
+    year.Append(2015);
+    month.Append(m);
+    day.Append(d);
+    dow.Append(wk);
+
+    size_t al = rng.Categorical(airline_w);
+    airline.Append(static_cast<double>(al));
+    flight_number.Append(rng.UniformInt(int64_t{1}, int64_t{7999}));
+    tail.Append(static_cast<double>(rng.UniformInt(uint64_t{kTails})));
+
+    size_t o = rng.Categorical(airport_w);
+    size_t de = rng.Categorical(airport_w);
+    if (de == o) de = (de + 1) % kAirports;
+    origin.Append(static_cast<double>(o));
+    dest.Append(static_cast<double>(de));
+
+    // Scheduled departure in HHMM, biased to daytime.
+    int dep_hour = std::clamp(
+        static_cast<int>(std::floor(rng.Normal(13.0, 4.5))), 0, 23);
+    int dep_min = static_cast<int>(rng.UniformInt(uint64_t{60}));
+    int sd = dep_hour * 100 + dep_min;
+    sched_dep.Append(sd);
+
+    // Distance: short-haul dominated, heavy right tail.
+    double dist = std::min(4950.0, 150.0 + rng.Pareto(180.0, 1.6));
+    distance.Append(std::floor(dist));
+    double speed = 420.0 + rng.Normal(0, 25.0);
+    double airt = dist / speed * 60.0 + rng.Normal(0, 6.0);
+    airt = std::max(18.0, airt);
+    double sched = airt + 28.0 + rng.Normal(0, 8.0);
+    sched_time.Append(Round(sched, 1));
+
+    bool is_cancelled = rng.Bernoulli(0.016);
+    cancelled.Append(is_cancelled ? 1 : 0);
+    if (is_cancelled) {
+      cancel_reason.Append(
+          static_cast<double>(rng.Categorical({0.25, 0.55, 0.18, 0.02})));
+      // In-air fields are unknown for cancelled flights.
+      dep_time.AppendNull();
+      dep_delay.AppendNull();
+      taxi_out.AppendNull();
+      wheels_off.AppendNull();
+      elapsed.AppendNull();
+      air_time.AppendNull();
+      wheels_on.AppendNull();
+      taxi_in.AppendNull();
+      sched_arr.Append((sd + static_cast<int>(sched) / 60 * 100 +
+                        static_cast<int>(sched) % 60) %
+                       2400);
+      arr_time.AppendNull();
+      arr_delay.AppendNull();
+      diverted.Append(0);
+      delay_system.AppendNull();
+      delay_security.AppendNull();
+      delay_airline.AppendNull();
+      delay_late.AppendNull();
+      delay_weather.AppendNull();
+      continue;
+    }
+    cancel_reason.AppendNull();
+
+    // Departure delay: mostly small/negative, exponential late tail.
+    double dd;
+    if (rng.Bernoulli(0.62)) {
+      dd = rng.Normal(-3.0, 4.5);
+    } else {
+      dd = rng.Exponential(1.0 / 28.0);
+      if (rng.Bernoulli(0.04)) dd += rng.Exponential(1.0 / 120.0);
+    }
+    dd = std::max(-25.0, dd);
+    dep_delay.Append(Round(dd, 1));
+    int dt = (sd + static_cast<int>(dd) + 2400) % 2400;
+    dep_time.Append(dt);
+
+    double tout = std::max(2.0, rng.Normal(14.0, 5.0));
+    taxi_out.Append(Round(tout, 1));
+    wheels_off.Append((dt + static_cast<int>(tout)) % 2400);
+
+    double tin = std::max(2.0, rng.Normal(7.0, 3.0));
+    taxi_in.Append(Round(tin, 1));
+
+    // Arrival delay = departure delay + en-route adjustment (some recovery).
+    double ad = dd * 0.92 + rng.Normal(-4.0, 9.0);
+    if (rng.Bernoulli(0.02)) ad += rng.Exponential(1.0 / 45.0);
+    arr_delay.Append(Round(ad, 1));
+
+    double el = sched + (ad - dd);
+    elapsed.Append(Round(std::max(20.0, el), 1));
+    air_time.Append(Round(std::max(15.0, el - tout - tin), 1));
+
+    int sa = (sd + static_cast<int>(sched) / 60 * 100 +
+              static_cast<int>(sched) % 60) %
+             2400;
+    sched_arr.Append(sa);
+    arr_time.Append((sa + static_cast<int>(ad) + 4800) % 2400);
+    wheels_on.Append((sa + static_cast<int>(ad) + 4800 -
+                      static_cast<int>(tin)) %
+                     2400);
+    diverted.Append(rng.Bernoulli(0.002) ? 1 : 0);
+
+    // Delay attribution: only recorded when arrival delay >= 15 (as USDOT).
+    if (ad >= 15.0) {
+      double remaining = ad;
+      double late = rng.Bernoulli(0.4) ? rng.Uniform(0, remaining) : 0;
+      remaining -= late;
+      double airl = rng.Bernoulli(0.5) ? rng.Uniform(0, remaining) : 0;
+      remaining -= airl;
+      double wx = rng.Bernoulli(0.12) ? rng.Uniform(0, remaining) : 0;
+      remaining -= wx;
+      double sec = rng.Bernoulli(0.01) ? rng.Uniform(0, remaining) : 0;
+      remaining -= sec;
+      delay_late.Append(Round(late, 1));
+      delay_airline.Append(Round(airl, 1));
+      delay_weather.Append(Round(wx, 1));
+      delay_security.Append(Round(sec, 1));
+      delay_system.Append(Round(std::max(0.0, remaining), 1));
+    } else {
+      delay_system.AppendNull();
+      delay_security.AppendNull();
+      delay_airline.AppendNull();
+      delay_late.AppendNull();
+      delay_weather.AppendNull();
+    }
+  }
+
+  for (auto* c :
+       {&year, &month, &day, &dow, &airline, &flight_number, &tail, &origin,
+        &dest, &sched_dep, &dep_time, &dep_delay, &taxi_out, &wheels_off,
+        &sched_time, &elapsed, &air_time, &distance, &wheels_on, &taxi_in,
+        &sched_arr, &arr_time, &arr_delay, &diverted, &cancelled,
+        &cancel_reason, &delay_system, &delay_security, &delay_airline,
+        &delay_late, &delay_weather}) {
+    t.AddColumn(std::move(*c));
+  }
+  // 31 columns so far; add a synthetic primary key to reach the paper's 32.
+  Column fid("flight_id", DataType::kInt64, 0);
+  fid.Reserve(rows);
+  for (size_t r = 0; r < rows; ++r) fid.Append(static_cast<double>(r));
+  t.AddColumn(std::move(fid));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Furnace: heavily duty-cycled heating load (AMPds2 furnace shape): long
+// off periods, sharp on periods whose duty follows the season. Strongly
+// bimodal marginals that punish single-Gaussian models.
+// Columns (12): mirror of Basement with furnace-specific loads.
+Table MakeFurnace(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("furnace");
+  t.AddColumn(TimestampColumn("timestamp", rows, 60.0, 0.0, &rng));
+
+  Column volt("voltage", DataType::kFloat64, 1);
+  Column curr("current", DataType::kFloat64, 2);
+  Column freq("frequency", DataType::kFloat64, 2);
+  Column pf("power_factor", DataType::kFloat64, 3);
+  Column p("active_power", DataType::kFloat64, 1);
+  Column q("reactive_power", DataType::kFloat64, 1);
+  Column s("apparent_power", DataType::kFloat64, 1);
+  Column energy("energy_wh", DataType::kInt64, 0);
+  Column blower("blower_load", DataType::kFloat64, 1);
+  Column igniter("igniter_load", DataType::kFloat64, 1);
+  Column duty("duty_cycle", DataType::kFloat64, 3);
+
+  double t_s = 0;
+  double energy_acc = 0;
+  bool burning = false;
+  int state_left = 0;
+  double recent_on = 0.0;
+  for (size_t r = 0; r < rows; ++r, t_s += 60.0) {
+    // Season drives how often the furnace runs.
+    double season = 0.5 - 0.45 * SeasonalProfile(t_s + 90 * kSecondsPerDay);
+    if (state_left <= 0) {
+      if (burning) {
+        burning = false;
+        state_left = static_cast<int>(rng.Uniform(20, 90) / season);
+      } else {
+        burning = true;
+        state_left = static_cast<int>(rng.Uniform(8, 25) * (0.5 + season));
+      }
+    }
+    --state_left;
+    recent_on = 0.995 * recent_on + (burning ? 0.005 : 0.0);
+
+    double blower_w = burning ? 310.0 + rng.Normal(0, 8.0) : 0.0;
+    double ign_w =
+        (burning && state_left > 18) ? 180.0 + rng.Normal(0, 6.0) : 0.0;
+    double active = 6.0 + blower_w + ign_w + std::fabs(rng.Normal(0, 1.5));
+    double v = 120.2 + rng.Normal(0, 0.5);
+    double pf_v = std::clamp(burning ? 0.82 + rng.Normal(0, 0.015)
+                                     : 0.97 + rng.Normal(0, 0.01),
+                             0.5, 1.0);
+    double apparent = active / pf_v;
+    energy_acc += active / 60.0;
+
+    volt.Append(Round(v, 1));
+    curr.Append(Round(apparent / v, 2));
+    freq.Append(Round(60.0 + rng.Normal(0, 0.02), 2));
+    pf.Append(Round(pf_v, 3));
+    p.Append(Round(active, 1));
+    q.Append(Round(std::sqrt(std::max(0.0, apparent * apparent -
+                                               active * active)),
+                   1));
+    s.Append(Round(apparent, 1));
+    energy.Append(std::floor(energy_acc));
+    blower.Append(Round(blower_w, 1));
+    igniter.Append(Round(ign_w, 1));
+    duty.Append(Round(recent_on, 3));
+  }
+  for (auto* c : {&volt, &curr, &freq, &pf, &p, &q, &s, &energy, &blower,
+                  &igniter, &duty}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Gas: metal-oxide gas sensor array in a home (UCI HT-style): 8 sensor
+// resistances that share a slowly drifting baseline and respond together to
+// activity events (cooking), plus temperature and humidity that the sensors
+// cross-correlate with.
+// Columns (12): timestamp + 8 sensors + temperature + humidity + event flag.
+Table MakeGas(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("gas");
+  t.AddColumn(TimestampColumn("timestamp", rows, 4.0, 2.0, &rng));
+
+  std::vector<Column> sensors;
+  std::vector<double> gain(8);
+  for (int i = 0; i < 8; ++i) {
+    sensors.emplace_back("sensor_r" + std::to_string(i), DataType::kFloat64,
+                         3);
+    sensors.back().Reserve(rows);
+    gain[i] = 0.6 + 0.1 * i;
+  }
+  Column temp("temperature", DataType::kFloat64, 2);
+  Column hum("humidity", DataType::kFloat64, 2);
+  Column event("activity", DataType::kInt64, 0);
+
+  DriftWalk baseline(&rng, 11.0, 0.002, 0.02);
+  DriftWalk temp_walk(&rng, 23.0, 0.01, 0.05);
+  DriftWalk hum_walk(&rng, 48.0, 0.01, 0.2);
+  double event_level = 0.0;
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 4.0) {
+    if (rng.Bernoulli(0.0015 * (0.3 + DiurnalProfile(t_s)))) {
+      event_level += rng.Uniform(2.0, 7.0);  // cooking event
+    }
+    event_level *= 0.995;
+    double base = baseline.Step();
+    double tp = temp_walk.Step() + 1.2 * SeasonalProfile(t_s);
+    double hm = std::clamp(hum_walk.Step() - 0.8 * (tp - 23.0), 15.0, 90.0);
+    for (int i = 0; i < 8; ++i) {
+      double rs = base - gain[i] * event_level - 0.05 * (hm - 48.0) +
+                  rng.Normal(0, 0.08);
+      sensors[i].Append(Round(std::max(0.5, rs), 3));
+    }
+    temp.Append(Round(tp, 2));
+    hum.Append(Round(hm, 2));
+    event.Append(event_level > 1.0 ? 1 : 0);
+  }
+  for (auto& c : sensors) t.AddColumn(std::move(c));
+  t.AddColumn(std::move(temp));
+  t.AddColumn(std::move(hum));
+  t.AddColumn(std::move(event));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Light: IoT light-detection node: photodiode reading with hard day/night
+// regimes, plus battery, RSSI and a motion counter.
+// Columns (9): timestamp, lux, is_day, battery_v, rssi, motion, temp,
+// humidity, uptime.
+Table MakeLight(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("light");
+  t.AddColumn(TimestampColumn("timestamp", rows, 120.0, 30.0, &rng));
+
+  Column lux("lux", DataType::kFloat64, 1);
+  Column is_day("is_day", DataType::kInt64, 0);
+  Column battery("battery_v", DataType::kFloat64, 3);
+  Column rssi("rssi", DataType::kInt64, 0);
+  Column motion("motion_count", DataType::kInt64, 0);
+  Column temp("temperature", DataType::kFloat64, 2);
+  Column hum("humidity", DataType::kFloat64, 2);
+  Column uptime("uptime_s", DataType::kInt64, 0);
+
+  double t_s = 0;
+  double batt = 4.15;
+  int64_t up = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    double hour = std::fmod(t_s / 3600.0, 24.0);
+    bool day = hour > 6.5 && hour < 20.0;
+    double sun = day ? std::sin(M_PI * (hour - 6.5) / 13.5) : 0.0;
+    double l = day ? 120.0 + 850.0 * sun + rng.Normal(0, 40.0)
+                   : rng.Uniform(0.0, 3.0);
+    batt -= 1.2e-6 * 120.0 + (day ? -2.0e-6 * sun * 120.0 : 0);  // solar top-up
+    batt = std::clamp(batt, 3.3, 4.2);
+    up += 120;
+    if (rng.Bernoulli(0.0004)) up = 0;  // occasional reboot
+
+    lux.Append(Round(std::max(0.0, l), 1));
+    is_day.Append(day ? 1 : 0);
+    battery.Append(Round(batt + rng.Normal(0, 0.004), 3));
+    rssi.Append(-55 - static_cast<int64_t>(rng.UniformInt(uint64_t{35})));
+    motion.Append(day ? rng.UniformInt(int64_t{0}, int64_t{14}) : 0);
+    temp.Append(Round(18.0 + 8.0 * sun + 2.0 * SeasonalProfile(t_s) +
+                          rng.Normal(0, 0.5),
+                      2));
+    hum.Append(Round(std::clamp(55.0 - 12.0 * sun + rng.Normal(0, 2.0), 10.0,
+                                95.0),
+                     2));
+    uptime.Append(static_cast<double>(up));
+    t_s += 120.0 + rng.Uniform(0, 30.0);
+  }
+  for (auto* c :
+       {&lux, &is_day, &battery, &rssi, &motion, &temp, &hum, &uptime}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Power: UCI individual-household electric power shape.
+// Columns (10): timestamp, global_active_power, global_reactive_power,
+// voltage, global_intensity, sub_metering_1..3, day_of_week, hour.
+Table MakePower(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("power");
+  t.AddColumn(TimestampColumn("timestamp", rows, 60.0, 0.0, &rng));
+
+  Column gap("global_active_power", DataType::kFloat64, 3);
+  Column grp("global_reactive_power", DataType::kFloat64, 3);
+  Column volt("voltage", DataType::kFloat64, 2);
+  Column gi("global_intensity", DataType::kFloat64, 1);
+  Column sm1("sub_metering_1", DataType::kFloat64, 1);  // kitchen
+  Column sm2("sub_metering_2", DataType::kFloat64, 1);  // laundry
+  Column sm3("sub_metering_3", DataType::kFloat64, 1);  // heater/AC
+  Column dow("day_of_week", DataType::kInt64, 0);
+  Column hour("hour", DataType::kInt64, 0);
+
+  OnOffRegime kitchen(&rng, 0.015, 0.10), laundry(&rng, 0.006, 0.05),
+      heater(&rng, 0.02, 0.03);
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 60.0) {
+    double diurnal = DiurnalProfile(t_s);
+    double season = SeasonalProfile(t_s);
+    double k_w = kitchen.Step() ? rng.Uniform(20, 72) : 0.0;
+    double l_w = laundry.Step() ? rng.Uniform(25, 80) : rng.Uniform(0, 2);
+    double h_w = heater.Step() ? (17.0 - 6.0 * season) : 1.0;
+    double other = 180.0 * diurnal + rng.Normal(0, 25.0);
+    double active_w = 90.0 + (k_w + l_w + h_w) * 16.0 + other;
+    active_w = std::max(60.0, active_w);
+    double v = 240.5 - 1.2 * diurnal * 4.0 + rng.Normal(0, 1.3);
+    double active_kw = active_w / 1000.0;
+    double reactive_kw =
+        std::max(0.0, 0.08 + 0.06 * diurnal + rng.Normal(0, 0.03));
+
+    gap.Append(Round(active_kw, 3));
+    grp.Append(Round(reactive_kw, 3));
+    volt.Append(Round(v, 2));
+    gi.Append(Round(active_w / v * 1.05, 1));
+    sm1.Append(Round(k_w, 1));
+    sm2.Append(Round(l_w, 1));
+    sm3.Append(Round(h_w, 1));
+    dow.Append(static_cast<double>(
+        (static_cast<int64_t>(t_s / kSecondsPerDay) + 2) % 7));
+    hour.Append(std::floor(std::fmod(t_s / 3600.0, 24.0)));
+  }
+  for (auto* c : {&gap, &grp, &volt, &gi, &sm1, &sm2, &sm3, &dow, &hour}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Taxis: Chicago taxi-trip shape: heavy-tailed miles/duration, fares that
+// are near-deterministic in miles+time, tips that depend on payment type,
+// skewed categorical company/payment fields, ~5% missing GPS.
+// Columns (23).
+Table MakeTaxis(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("taxis");
+
+  const int kCompanies = 28, kAreas = 77;
+  std::vector<double> company_w = ZipfWeights(kCompanies, 1.2);
+  std::vector<double> area_w = ZipfWeights(kAreas, 0.9);
+
+  Column trip_id("trip_id", DataType::kInt64, 0);
+  Column taxi_id("taxi_id", DataType::kInt64, 0);
+  Column start_ts("trip_start_timestamp", DataType::kTimestamp, 0);
+  Column end_ts("trip_end_timestamp", DataType::kTimestamp, 0);
+  Column seconds("trip_seconds", DataType::kInt64, 0);
+  Column miles("trip_miles", DataType::kFloat64, 2);
+  Column pickup_tract("pickup_census_tract", DataType::kInt64, 0);
+  Column pickup_area("pickup_community_area", DataType::kInt64, 0);
+  Column dropoff_area("dropoff_community_area", DataType::kInt64, 0);
+  Column fare("fare", DataType::kFloat64, 2);
+  Column tips("tips", DataType::kFloat64, 2);
+  Column tolls("tolls", DataType::kFloat64, 2);
+  Column extras("extras", DataType::kFloat64, 2);
+  Column total("trip_total", DataType::kFloat64, 2);
+  Column payment("payment_type", DataType::kCategorical, 0);
+  payment.SetDictionary({"Credit Card", "Cash", "Prcard", "Mobile",
+                         "Unknown"});
+  Column company("company", DataType::kCategorical, 0);
+  company.SetDictionary(NamedCategories("Taxi Co ", kCompanies));
+  Column pu_lat("pickup_latitude", DataType::kFloat64, 6);
+  Column pu_lon("pickup_longitude", DataType::kFloat64, 6);
+  Column do_lat("dropoff_latitude", DataType::kFloat64, 6);
+  Column do_lon("dropoff_longitude", DataType::kFloat64, 6);
+  Column shared("shared_trip_authorized", DataType::kInt64, 0);
+  Column pooled("trips_pooled", DataType::kInt64, 0);
+  Column month("month", DataType::kInt64, 0);
+
+  double base_t = 1577836800.0;
+  for (size_t r = 0; r < rows; ++r) {
+    trip_id.Append(static_cast<double>(r));
+    taxi_id.Append(
+        static_cast<double>(rng.UniformInt(int64_t{1000}, int64_t{4999})));
+
+    double day_offset = rng.Uniform(0, 365.0) * kSecondsPerDay;
+    double hour_bias = 3600.0 * (6.0 + 16.0 * DiurnalProfile(
+                                            rng.Uniform(0, kSecondsPerDay)));
+    double st = base_t + day_offset + hour_bias + rng.Uniform(0, 3600.0);
+    st = std::floor(st / 900.0) * 900.0;  // 15-min rounding, as Chicago does
+    start_ts.Append(st);
+
+    double mi = std::min(60.0, rng.Pareto(0.9, 1.35));
+    double mph = std::clamp(rng.Normal(17.0, 5.0), 4.0, 45.0);
+    double sec = mi / mph * 3600.0 * rng.Uniform(0.9, 1.25);
+    sec = std::max(60.0, sec);
+    seconds.Append(std::floor(sec));
+    miles.Append(Round(mi, 2));
+    end_ts.Append(std::floor((st + sec) / 900.0) * 900.0);
+
+    int pa = 1 + static_cast<int>(rng.Categorical(area_w));
+    int da = 1 + static_cast<int>(rng.Categorical(area_w));
+    // Census tract is frequently withheld in the real data (~25% missing).
+    if (rng.Bernoulli(0.25)) {
+      pickup_tract.AppendNull();
+    } else {
+      pickup_tract.Append(17031000000.0 + pa * 10000 +
+                          rng.UniformInt(int64_t{100}, int64_t{9900}));
+    }
+    pickup_area.Append(pa);
+    dropoff_area.Append(da);
+
+    double f = 3.25 + 2.25 * mi + 0.004 * sec + rng.Normal(0, 0.8);
+    f = std::max(3.25, std::round(f * 4) / 4);  // quarter rounding
+    fare.Append(Round(f, 2));
+
+    size_t pay = rng.Categorical({0.55, 0.32, 0.05, 0.06, 0.02});
+    payment.Append(static_cast<double>(pay));
+    double tip = 0.0;
+    if (pay == 0 || pay == 3) {  // card/mobile tips are recorded
+      tip = rng.Bernoulli(0.85) ? f * rng.Uniform(0.12, 0.28) : 0.0;
+    }
+    tips.Append(Round(tip, 2));
+    double tl = rng.Bernoulli(0.03) ? rng.Uniform(1.0, 8.0) : 0.0;
+    tolls.Append(Round(tl, 2));
+    double ex = rng.Bernoulli(0.22) ? std::round(rng.Uniform(0.5, 6.0)) : 0.0;
+    extras.Append(Round(ex, 2));
+    total.Append(Round(f + tip + tl + ex, 2));
+    company.Append(static_cast<double>(rng.Categorical(company_w)));
+
+    if (rng.Bernoulli(0.05)) {
+      pu_lat.AppendNull();
+      pu_lon.AppendNull();
+      do_lat.AppendNull();
+      do_lon.AppendNull();
+    } else {
+      // Community-area anchored coordinates around Chicago.
+      pu_lat.Append(Round(41.78 + 0.002 * pa + rng.Normal(0, 0.01), 6));
+      pu_lon.Append(Round(-87.75 + 0.0015 * pa + rng.Normal(0, 0.01), 6));
+      do_lat.Append(Round(41.78 + 0.002 * da + rng.Normal(0, 0.01), 6));
+      do_lon.Append(Round(-87.75 + 0.0015 * da + rng.Normal(0, 0.01), 6));
+    }
+    bool sh = rng.Bernoulli(0.07);
+    shared.Append(sh ? 1 : 0);
+    pooled.Append(sh ? rng.UniformInt(int64_t{1}, int64_t{3}) : 1);
+    month.Append(1 + std::floor(day_offset / (30.44 * kSecondsPerDay)));
+  }
+  for (auto* c : {&trip_id, &taxi_id, &start_ts, &end_ts, &seconds, &miles,
+                  &pickup_tract, &pickup_area, &dropoff_area, &fare, &tips,
+                  &tolls, &extras, &total, &payment, &company, &pu_lat,
+                  &pu_lon, &do_lat, &do_lon, &shared, &pooled, &month}) {
+    t.AddColumn(std::move(*c));
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Temp: large simple temperature feed from a handful of devices.
+// Columns (5): timestamp, device, temperature, humidity, battery.
+Table MakeTemp(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t("temp");
+  t.AddColumn(TimestampColumn("timestamp", rows, 15.0, 5.0, &rng));
+
+  const int kDevices = 12;
+  Column device("device", DataType::kCategorical, 0);
+  device.SetDictionary(NamedCategories("dev_", kDevices));
+  Column temp("temperature", DataType::kFloat64, 2);
+  Column hum("humidity", DataType::kFloat64, 2);
+  Column battery("battery_pct", DataType::kInt64, 0);
+
+  std::vector<double> offsets(kDevices);
+  for (int i = 0; i < kDevices; ++i) offsets[i] = rng.Uniform(-4.0, 4.0);
+  std::vector<double> batt(kDevices, 100.0);
+
+  double t_s = 0;
+  for (size_t r = 0; r < rows; ++r, t_s += 15.0) {
+    int dev = static_cast<int>(rng.Zipf(kDevices, 0.7));
+    double hour = std::fmod(t_s / 3600.0, 24.0);
+    double day_swing = 4.0 * std::sin(M_PI * (hour - 6.0) / 12.0);
+    double tp = 15.0 + offsets[dev] + 9.0 * SeasonalProfile(t_s) + day_swing +
+                rng.Normal(0, 0.3);
+    batt[dev] = std::max(5.0, batt[dev] - 0.0008);
+    device.Append(dev);
+    temp.Append(Round(tp, 2));
+    hum.Append(Round(std::clamp(60.0 - 1.6 * (tp - 15.0) + rng.Normal(0, 3.0),
+                                8.0, 99.0),
+                     2));
+    battery.Append(std::floor(batt[dev]));
+  }
+  for (auto* c : {&device, &temp, &hum, &battery}) t.AddColumn(std::move(*c));
+  return t;
+}
+
+}  // namespace pairwisehist

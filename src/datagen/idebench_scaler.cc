@@ -1,0 +1,244 @@
+#include "datagen/idebench_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pairwisehist {
+
+namespace {
+
+// Cholesky factorization with diagonal jitter escalation. `a` is d x d
+// row-major symmetric; returns lower-triangular L (row-major) with a(=LL^T).
+std::vector<double> RobustCholesky(std::vector<double> a, size_t d) {
+  for (double jitter = 0.0;; jitter = jitter == 0.0 ? 1e-8 : jitter * 10) {
+    std::vector<double> m = a;
+    for (size_t i = 0; i < d; ++i) m[i * d + i] += jitter;
+    std::vector<double> l(d * d, 0.0);
+    bool ok = true;
+    for (size_t i = 0; i < d && ok; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double sum = m[i * d + j];
+        for (size_t k = 0; k < j; ++k) sum -= l[i * d + k] * l[j * d + k];
+        if (i == j) {
+          if (sum <= 0) {
+            ok = false;
+            break;
+          }
+          l[i * d + i] = std::sqrt(sum);
+        } else {
+          l[i * d + j] = sum / l[j * d + j];
+        }
+      }
+    }
+    if (ok) {
+      // Re-normalize rows so the implied marginals stay N(0,1).
+      for (size_t i = 0; i < d; ++i) {
+        double norm = 0;
+        for (size_t k = 0; k <= i; ++k) norm += l[i * d + k] * l[i * d + k];
+        norm = std::sqrt(norm);
+        if (norm > 0) {
+          for (size_t k = 0; k <= i; ++k) l[i * d + k] /= norm;
+        } else {
+          l[i * d + i] = 1.0;
+        }
+      }
+      return l;
+    }
+    if (jitter > 1.0) {
+      // Give up on correlation: identity copula.
+      std::vector<double> id(d * d, 0.0);
+      for (size_t i = 0; i < d; ++i) id[i * d + i] = 1.0;
+      return id;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<IdebenchScaler> IdebenchScaler::Fit(const Table& source,
+                                             int mixture_components) {
+  if (source.NumColumns() == 0 || source.NumRows() == 0) {
+    return Status::InvalidArgument("IdebenchScaler: empty source table");
+  }
+  if (mixture_components < 1) mixture_components = 1;
+  const size_t d = source.NumColumns();
+  const size_t n = source.NumRows();
+
+  IdebenchScaler scaler;
+  scaler.table_name_ = source.name() + "_idebench";
+  scaler.columns_.resize(d);
+
+  // Normal scores per column for the copula fit (null rows -> 0).
+  std::vector<std::vector<double>> scores(d, std::vector<double>(n, 0.0));
+
+  for (size_t c = 0; c < d; ++c) {
+    const Column& col = source.column(c);
+    ColumnModel& m = scaler.columns_[c];
+    m.name = col.name();
+    m.type = col.type();
+    m.decimals = col.decimals();
+    m.null_prob = static_cast<double>(col.null_count()) / n;
+    m.dictionary = col.dictionary();
+
+    // Sorted non-null values.
+    std::vector<double> vals;
+    vals.reserve(col.non_null_count());
+    for (size_t r = 0; r < n; ++r) {
+      if (!col.IsNull(r)) vals.push_back(col.Value(r));
+    }
+    if (vals.empty()) {
+      m.min_value = 0;
+      m.max_value = 0;
+      m.mixture.push_back({1.0, 0.0, 0.0});
+      continue;
+    }
+    std::sort(vals.begin(), vals.end());
+    m.min_value = vals.front();
+    m.max_value = vals.back();
+
+    if (col.type() == DataType::kCategorical) {
+      size_t ncats = std::max<size_t>(col.dictionary().size(),
+                                      static_cast<size_t>(vals.back()) + 1);
+      std::vector<double> freq(ncats, 0.0);
+      for (double v : vals) {
+        size_t code = static_cast<size_t>(v);
+        if (code < ncats) freq[code] += 1.0;
+      }
+      m.category_cdf.resize(ncats);
+      double acc = 0;
+      for (size_t i = 0; i < ncats; ++i) {
+        acc += freq[i] / vals.size();
+        m.category_cdf[i] = acc;
+      }
+    } else {
+      // Quantile-bucket Gaussian mixture: k equal-probability buckets, each
+      // modelled by its own Gaussian. This is the "normalisation + Gaussian
+      // models" smoothing the paper attributes to IDEBench.
+      int k = mixture_components;
+      size_t per = std::max<size_t>(1, vals.size() / k);
+      for (int b = 0; b < k; ++b) {
+        size_t lo = b * per;
+        size_t hi = (b == k - 1) ? vals.size() : (b + 1) * per;
+        if (lo >= vals.size()) break;
+        hi = std::min(hi, vals.size());
+        double sum = 0, sum2 = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          sum += vals[i];
+          sum2 += vals[i] * vals[i];
+        }
+        double cnt = static_cast<double>(hi - lo);
+        double mean = sum / cnt;
+        double var = std::max(0.0, sum2 / cnt - mean * mean);
+        scaler.columns_[c].mixture.push_back(
+            {cnt / vals.size(), mean, std::sqrt(var)});
+      }
+    }
+
+    // Normal scores: rank within the sorted values -> N(0,1) quantile.
+    for (size_t r = 0; r < n; ++r) {
+      if (col.IsNull(r)) continue;
+      double v = col.Value(r);
+      auto lo = std::lower_bound(vals.begin(), vals.end(), v);
+      auto hi = std::upper_bound(vals.begin(), vals.end(), v);
+      double rank = (static_cast<double>(lo - vals.begin()) +
+                     static_cast<double>(hi - vals.begin())) /
+                    2.0;
+      double u = (rank + 0.5) / (vals.size() + 1.0);
+      u = std::clamp(u, 1e-9, 1.0 - 1e-9);
+      scores[c][r] = NormalQuantile(u);
+    }
+  }
+
+  // Correlation matrix of the normal scores.
+  std::vector<double> corr(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) {
+    corr[i * d + i] = 1.0;
+    for (size_t j = 0; j < i; ++j) {
+      double sxy = 0, sxx = 0, syy = 0;
+      for (size_t r = 0; r < n; ++r) {
+        double x = scores[i][r], y = scores[j][r];
+        sxy += x * y;
+        sxx += x * x;
+        syy += y * y;
+      }
+      double rho = (sxx > 0 && syy > 0) ? sxy / std::sqrt(sxx * syy) : 0.0;
+      rho = std::clamp(rho, -0.999, 0.999);
+      corr[i * d + j] = corr[j * d + i] = rho;
+    }
+  }
+  scaler.chol_ = RobustCholesky(std::move(corr), d);
+  return scaler;
+}
+
+double IdebenchScaler::SampleNumeric(const ColumnModel& m, double u) const {
+  // Pick the mixture bucket by cumulative weight, then invert the bucket's
+  // Gaussian with the within-bucket residual uniform.
+  double acc = 0;
+  for (const auto& b : m.mixture) {
+    if (u < acc + b.weight || &b == &m.mixture.back()) {
+      double local = (u - acc) / std::max(1e-12, b.weight);
+      local = std::clamp(local, 1e-9, 1.0 - 1e-9);
+      double v = b.mean + b.stddev * NormalQuantile(local);
+      return std::clamp(v, m.min_value, m.max_value);
+    }
+    acc += b.weight;
+  }
+  return m.min_value;
+}
+
+Table IdebenchScaler::Generate(size_t rows, uint64_t seed) const {
+  Rng rng(seed);
+  const size_t d = columns_.size();
+  Table out(table_name_);
+  for (const auto& m : columns_) {
+    Column col(m.name, m.type, m.decimals);
+    col.SetDictionary(m.dictionary);
+    col.Reserve(rows);
+    out.AddColumn(std::move(col));
+  }
+
+  std::vector<double> z(d), zc(d);
+  double pow10[10];
+  for (int i = 0; i < 10; ++i) pow10[i] = std::pow(10.0, i);
+
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < d; ++c) z[c] = rng.Normal();
+    for (size_t c = 0; c < d; ++c) {
+      double acc = 0;
+      for (size_t k = 0; k <= c; ++k) acc += chol_[c * d + k] * z[k];
+      zc[c] = acc;
+    }
+    for (size_t c = 0; c < d; ++c) {
+      const ColumnModel& m = columns_[c];
+      Column& col = out.column(c);
+      if (m.null_prob > 0 && rng.Bernoulli(m.null_prob)) {
+        col.AppendNull();
+        continue;
+      }
+      double u = std::clamp(NormalCdf(zc[c]), 1e-9, 1.0 - 1e-9);
+      if (m.type == DataType::kCategorical) {
+        size_t code = 0;
+        while (code + 1 < m.category_cdf.size() &&
+               u > m.category_cdf[code]) {
+          ++code;
+        }
+        col.Append(static_cast<double>(code));
+      } else {
+        double v = SampleNumeric(m, u);
+        if (m.type == DataType::kInt64 || m.type == DataType::kTimestamp) {
+          v = std::round(v);
+        } else {
+          int dec = std::clamp(m.decimals, 0, 9);
+          v = std::round(v * pow10[dec]) / pow10[dec];
+        }
+        col.Append(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,363 @@
+#include "gd/greedy_gd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitio.h"
+
+namespace pairwisehist {
+
+namespace {
+
+// 64-bit mixer (SplitMix64 finalizer) for base-key hashing.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Hash contribution of column c holding base value v. XOR-combining these
+// per-column contributions lets the greedy search update a row hash in O(1)
+// when a single column's base width changes.
+uint64_t ColumnContribution(size_t c, uint64_t v) {
+  return Mix64(v * 0x9e3779b97f4a7c15ULL + c * 0xc2b2ae3d27d4eb4fULL + 1);
+}
+
+int BitsFor(uint64_t n) {  // bits to address n distinct values
+  int bits = 1;
+  while ((uint64_t{1} << bits) < n && bits < 63) ++bits;
+  return bits;
+}
+
+// Open-addressing set for distinct-count estimation, reusable across
+// candidate evaluations without reallocation.
+class ScratchSet {
+ public:
+  explicit ScratchSet(size_t capacity_hint) {
+    size_t cap = 64;
+    while (cap < capacity_hint * 2) cap <<= 1;
+    slots_.assign(cap, 0);
+  }
+  void Clear() { std::fill(slots_.begin(), slots_.end(), 0); count_ = 0; }
+  void Insert(uint64_t h) {
+    if (h == 0) h = 1;  // reserve 0 for "empty"
+    size_t mask = slots_.size() - 1;
+    size_t i = h & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == h) return;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = h;
+    ++count_;
+    if (count_ * 2 > slots_.size()) Grow();
+  }
+  size_t count() const { return count_; }
+
+ private:
+  void Grow() {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    count_ = 0;
+    for (uint64_t h : old) {
+      if (h) Insert(h);
+    }
+  }
+  std::vector<uint64_t> slots_;
+  size_t count_ = 0;
+};
+
+void PackBits(std::vector<uint8_t>* store, size_t bit_offset, uint64_t value,
+              int nbits) {
+  for (int i = nbits - 1; i >= 0; --i) {
+    size_t byte_index = bit_offset >> 3;
+    int bit_in_byte = 7 - static_cast<int>(bit_offset & 7);
+    if (byte_index >= store->size()) store->resize(byte_index + 1, 0);
+    if ((value >> i) & 1) {
+      (*store)[byte_index] |= static_cast<uint8_t>(1u << bit_in_byte);
+    } else {
+      (*store)[byte_index] &= static_cast<uint8_t>(~(1u << bit_in_byte));
+    }
+    ++bit_offset;
+  }
+}
+
+uint64_t UnpackBits(const std::vector<uint8_t>& store, size_t bit_offset,
+                    int nbits) {
+  uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    size_t byte_index = bit_offset >> 3;
+    int bit_in_byte = 7 - static_cast<int>(bit_offset & 7);
+    value = (value << 1) | ((store[byte_index] >> bit_in_byte) & 1);
+    ++bit_offset;
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<CompressedTable> CompressedTable::Compress(
+    const PreprocessedTable& pre, const GdConfig& config) {
+  const size_t d = pre.NumColumns();
+  const size_t n = pre.NumRows();
+  if (d == 0) return Status::InvalidArgument("Compress: no columns");
+
+  CompressedTable ct;
+  ct.d_ = d;
+  ct.transforms_ = pre.transforms;
+  ct.total_bits_.resize(d);
+  for (size_t c = 0; c < d; ++c) {
+    ct.total_bits_[c] = pre.transforms[c].bit_width;
+  }
+  ct.base_bits_ = ct.total_bits_;
+
+  // ---- Greedy bit selection on a strided sample ----------------------
+  // Grow the base from empty (all bits deviation, one universal base):
+  // each step promotes the next most-significant unpromoted bit of
+  // whichever column most reduces the estimated compressed size. Growing
+  // in this direction sees an immediate strict gain whenever a bit is
+  // shared across rows (one bit removed from every row record at the cost
+  // of a few extra base bits), which is the GreedyGD selection behaviour;
+  // the reverse direction (shrinking from all-base) stalls because single
+  // demotions rarely merge bases.
+  if (n > 0) {
+    size_t sample_n = std::min(config.greedy_sample_rows, n);
+    size_t stride = std::max<size_t>(1, n / sample_n);
+    std::vector<size_t> sample_rows;
+    sample_rows.reserve(sample_n);
+    for (size_t r = 0; r < n && sample_rows.size() < sample_n; r += stride) {
+      sample_rows.push_back(r);
+    }
+    sample_n = sample_rows.size();
+
+    std::vector<int> base_bits(d, 0);
+    // contrib[r*d + c]: hash contribution of column c at current widths.
+    std::vector<uint64_t> contrib(sample_n * d);
+    std::vector<uint64_t> row_hash(sample_n, 0);
+    for (size_t s = 0; s < sample_n; ++s) {
+      for (size_t c = 0; c < d; ++c) {
+        contrib[s * d + c] = ColumnContribution(c, 0);  // empty base
+        row_hash[s] ^= contrib[s * d + c];
+      }
+    }
+
+    auto estimated_bits = [&](size_t n_bases, const std::vector<int>& bb) {
+      size_t base_width = 0, dev_width = 0;
+      for (size_t c = 0; c < d; ++c) {
+        base_width += bb[c];
+        dev_width += ct.total_bits_[c] - bb[c];
+      }
+      return static_cast<double>(n_bases) * base_width +
+             static_cast<double>(sample_n) *
+                 (dev_width + BitsFor(std::max<size_t>(2, n_bases)));
+    };
+
+    ScratchSet set(sample_n);
+    double best_cost = estimated_bits(1, base_bits);
+
+    const int max_steps = [&] {
+      int total = 0;
+      for (size_t c = 0; c < d; ++c) total += ct.total_bits_[c];
+      return total;
+    }();
+    for (int step = 0; step < max_steps; ++step) {
+      int best_col = -1;
+      double best_candidate_cost = best_cost;
+      for (size_t c = 0; c < d; ++c) {
+        int max_base =
+            std::max(0, ct.total_bits_[c] -
+                            std::max(0, config.min_deviation_bits));
+        if (base_bits[c] >= max_base) continue;
+        int new_shift = ct.total_bits_[c] - (base_bits[c] + 1);
+        std::vector<int> bb = base_bits;
+        bb[c] += 1;
+        set.Clear();
+        for (size_t s = 0; s < sample_n; ++s) {
+          uint64_t v = pre.codes[c][sample_rows[s]] >> new_shift;
+          uint64_t h =
+              row_hash[s] ^ contrib[s * d + c] ^ ColumnContribution(c, v);
+          set.Insert(h);
+        }
+        double cost = estimated_bits(set.count(), bb);
+        if (cost < best_candidate_cost) {
+          best_candidate_cost = cost;
+          best_col = static_cast<int>(c);
+        }
+      }
+      if (best_col < 0) break;
+      // Apply the winning promotion.
+      base_bits[best_col] += 1;
+      int shift = ct.total_bits_[best_col] - base_bits[best_col];
+      for (size_t s = 0; s < sample_n; ++s) {
+        uint64_t v = pre.codes[best_col][sample_rows[s]] >> shift;
+        uint64_t nc = ColumnContribution(best_col, v);
+        row_hash[s] ^= contrib[s * d + best_col] ^ nc;
+        contrib[s * d + best_col] = nc;
+      }
+      best_cost = best_candidate_cost;
+    }
+    ct.base_bits_ = base_bits;
+  }
+
+  ct.dev_total_bits_ = 0;
+  for (size_t c = 0; c < d; ++c) {
+    ct.dev_total_bits_ += ct.total_bits_[c] - ct.base_bits_[c];
+  }
+  ct.base_id_bits_ = 8;  // grows on demand
+
+  // ---- Full compression pass ------------------------------------------
+  PH_RETURN_IF_ERROR(ct.Append(pre));
+  return ct;
+}
+
+uint64_t CompressedTable::BaseKeyHash(
+    const std::vector<uint64_t>& base_fields) const {
+  uint64_t h = 0;
+  for (size_t c = 0; c < d_; ++c) h ^= ColumnContribution(c, base_fields[c]);
+  return h;
+}
+
+uint32_t CompressedTable::InternBase(
+    const std::vector<uint64_t>& base_fields) {
+  uint64_t h = BaseKeyHash(base_fields);
+  auto it = base_index_.find(h);
+  if (it != base_index_.end()) {
+    for (uint32_t id : it->second) {
+      bool equal = true;
+      for (size_t c = 0; c < d_; ++c) {
+        if (bases_[static_cast<size_t>(id) * d_ + c] != base_fields[c]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return id;
+    }
+  }
+  uint32_t id = static_cast<uint32_t>(num_bases());
+  bases_.insert(bases_.end(), base_fields.begin(), base_fields.end());
+  base_index_[h].push_back(id);
+  return id;
+}
+
+void CompressedTable::AppendRowRecord(
+    uint32_t base_id, const std::vector<uint64_t>& deviations) {
+  // Grow the base-ID field if the new ID does not fit.
+  int needed = BitsFor(static_cast<uint64_t>(base_id) + 1);
+  if (needed > base_id_bits_) RepackBaseIds(needed + 2);
+
+  PackBits(&base_id_store_, num_rows_ * base_id_bits_, base_id,
+           base_id_bits_);
+  size_t off = num_rows_ * dev_total_bits_;
+  for (size_t c = 0; c < d_; ++c) {
+    int dev = deviation_bits(c);
+    if (dev == 0) continue;
+    PackBits(&deviation_store_, off, deviations[c], dev);
+    off += dev;
+  }
+  ++num_rows_;
+}
+
+void CompressedTable::RepackBaseIds(int new_bits) {
+  std::vector<uint8_t> fresh((num_rows_ * new_bits + 7) / 8, 0);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    uint64_t id = UnpackBits(base_id_store_, r * base_id_bits_,
+                             base_id_bits_);
+    PackBits(&fresh, r * new_bits, id, new_bits);
+  }
+  base_id_store_ = std::move(fresh);
+  base_id_bits_ = new_bits;
+}
+
+Status CompressedTable::Append(const PreprocessedTable& more) {
+  if (more.NumColumns() != d_) {
+    return Status::InvalidArgument("Append: column count mismatch");
+  }
+  std::vector<uint64_t> base_fields(d_), deviations(d_);
+  for (size_t r = 0; r < more.NumRows(); ++r) {
+    for (size_t c = 0; c < d_; ++c) {
+      uint64_t code = more.codes[c][r];
+      int dev = deviation_bits(c);
+      base_fields[c] = code >> dev;
+      deviations[c] =
+          dev == 0 ? 0 : (code & ((uint64_t{1} << dev) - 1));
+    }
+    uint32_t id = InternBase(base_fields);
+    AppendRowRecord(id, deviations);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint64_t>> CompressedTable::GetRowCodes(
+    size_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("GetRowCodes: bad row");
+  std::vector<uint64_t> codes(d_);
+  uint64_t id = UnpackBits(base_id_store_, row * base_id_bits_,
+                           base_id_bits_);
+  size_t off = row * dev_total_bits_;
+  for (size_t c = 0; c < d_; ++c) {
+    int dev = deviation_bits(c);
+    uint64_t base = bases_[static_cast<size_t>(id) * d_ + c];
+    uint64_t dv = 0;
+    if (dev > 0) {
+      dv = UnpackBits(deviation_store_, off, dev);
+      off += dev;
+    }
+    codes[c] = (base << dev) | dv;
+  }
+  return codes;
+}
+
+PreprocessedTable CompressedTable::DecompressCodes() const {
+  PreprocessedTable pre;
+  pre.name = "decompressed";
+  pre.transforms = transforms_;
+  pre.codes.assign(d_, std::vector<uint64_t>(num_rows_));
+  for (size_t r = 0; r < num_rows_; ++r) {
+    auto codes = GetRowCodes(r);
+    for (size_t c = 0; c < d_; ++c) pre.codes[c][r] = codes.value()[c];
+  }
+  return pre;
+}
+
+Table CompressedTable::Decompress(const Table* dictionary_source) const {
+  PreprocessedTable pre = DecompressCodes();
+  return InverseTransform(pre, dictionary_source);
+}
+
+std::vector<uint64_t> CompressedTable::ColumnBaseValues(size_t col) const {
+  std::vector<uint64_t> values;
+  size_t nb = num_bases();
+  values.reserve(nb);
+  int dev = deviation_bits(col);
+  for (size_t b = 0; b < nb; ++b) {
+    values.push_back(bases_[b * d_ + col] << dev);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+size_t CompressedTable::CompressedSizeBytes() const {
+  size_t base_width_bits = 0;
+  for (size_t c = 0; c < d_; ++c) base_width_bits += base_bits_[c];
+  size_t bits = num_bases() * base_width_bits +
+                num_rows_ * (static_cast<size_t>(base_id_bits_) +
+                             static_cast<size_t>(dev_total_bits_));
+  // Header: per-column transform metadata (name, widths, min, scale) plus
+  // categorical rank permutations.
+  size_t header = 32;
+  for (const auto& tr : transforms_) {
+    header += tr.name.size() + 24 + tr.rank_to_code.size() * 4;
+  }
+  return bits / 8 + header;
+}
+
+StatusOr<CompressedTable> CompressTable(const Table& table,
+                                        const GdConfig& config) {
+  PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));
+  return CompressedTable::Compress(pre, config);
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,194 @@
+#include "gd/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace pairwisehist {
+
+namespace {
+
+int BitWidthFor(uint64_t max_code) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) <= max_code && bits < 63) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+uint64_t ColumnTransform::Encode(double value) const {
+  if (type == DataType::kCategorical) {
+    int64_t code = static_cast<int64_t>(value);
+    if (code >= 0 && code < static_cast<int64_t>(code_to_rank.size())) {
+      return static_cast<uint64_t>(code_to_rank[code]) + 1;
+    }
+    return 1;  // unseen category clamps to the most common rank
+  }
+  int64_t scaled = static_cast<int64_t>(std::llround(value * scale));
+  int64_t code = scaled - min_scaled + 1;
+  if (code < 1) code = 1;
+  if (code > static_cast<int64_t>(max_code)) code = max_code;
+  return static_cast<uint64_t>(code);
+}
+
+double ColumnTransform::Decode(uint64_t code) const {
+  if (type == DataType::kCategorical) {
+    size_t rank = static_cast<size_t>(code - 1);
+    if (rank < rank_to_code.size()) {
+      return static_cast<double>(rank_to_code[rank]);
+    }
+    return 0;
+  }
+  int64_t scaled = static_cast<int64_t>(code) - 1 + min_scaled;
+  return static_cast<double>(scaled) / scale;
+}
+
+StatusOr<uint64_t> ColumnTransform::EncodeCategory(
+    const std::string& category) const {
+  for (size_t code = 0; code < dictionary.size(); ++code) {
+    if (dictionary[code] == category) {
+      return static_cast<uint64_t>(code_to_rank[code]) + 1;
+    }
+  }
+  return Status::NotFound("category '" + category + "' not in column '" +
+                          name + "'");
+}
+
+StatusOr<std::string> ColumnTransform::DecodeCategory(uint64_t code) const {
+  size_t rank = static_cast<size_t>(code) - 1;
+  if (code == 0 || rank >= rank_to_code.size()) {
+    return Status::OutOfRange("bad category code in column '" + name + "'");
+  }
+  size_t dict_code = static_cast<size_t>(rank_to_code[rank]);
+  if (dict_code >= dictionary.size()) {
+    return Status::OutOfRange("bad dictionary code in column '" + name + "'");
+  }
+  return dictionary[dict_code];
+}
+
+double ColumnTransform::EncodeContinuous(double literal) const {
+  if (type == DataType::kCategorical) {
+    return static_cast<double>(Encode(literal));
+  }
+  return literal * scale - static_cast<double>(min_scaled) + 1.0;
+}
+
+std::vector<ColumnTransform> FitColumnTransforms(const Table& table) {
+  std::vector<ColumnTransform> transforms;
+  transforms.reserve(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Column& col = table.column(c);
+    ColumnTransform tr;
+    tr.name = col.name();
+    tr.type = col.type();
+    tr.decimals = col.type() == DataType::kFloat64 ? col.decimals() : 0;
+    tr.scale = std::pow(10.0, tr.decimals);
+    tr.has_nulls = col.has_nulls();
+
+    if (col.type() == DataType::kCategorical) {
+      // Frequency-ranked encoding: most common category gets rank 0.
+      size_t ncats = col.dictionary().size();
+      std::vector<uint64_t> freq(ncats, 0);
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (col.IsNull(r)) continue;
+        size_t code = static_cast<size_t>(col.Value(r));
+        if (code >= freq.size()) freq.resize(code + 1, 0);
+      }
+      ncats = freq.size();
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (col.IsNull(r)) continue;
+        ++freq[static_cast<size_t>(col.Value(r))];
+      }
+      std::vector<int64_t> order(ncats);
+      for (size_t i = 0; i < ncats; ++i) order[i] = static_cast<int64_t>(i);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int64_t a, int64_t b) { return freq[a] > freq[b]; });
+      tr.rank_to_code = order;
+      tr.code_to_rank.assign(ncats, 0);
+      for (size_t rank = 0; rank < ncats; ++rank) {
+        tr.code_to_rank[static_cast<size_t>(order[rank])] =
+            static_cast<int64_t>(rank);
+      }
+      tr.dictionary = col.dictionary();
+      tr.min_scaled = 0;
+      tr.max_code = ncats == 0 ? 1 : ncats;  // ranks 0..n-1 → codes 1..n
+    } else {
+      bool any = false;
+      int64_t min_s = 0, max_s = 0;
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (col.IsNull(r)) continue;
+        int64_t s = static_cast<int64_t>(std::llround(col.Value(r) * tr.scale));
+        if (!any) {
+          min_s = max_s = s;
+          any = true;
+        } else {
+          min_s = std::min(min_s, s);
+          max_s = std::max(max_s, s);
+        }
+      }
+      tr.min_scaled = min_s;
+      tr.max_code = any ? static_cast<uint64_t>(max_s - min_s) + 1 : 1;
+    }
+    tr.bit_width = BitWidthFor(tr.max_code);
+    transforms.push_back(std::move(tr));
+  }
+  return transforms;
+}
+
+StatusOr<PreprocessedTable> ApplyTransforms(
+    const Table& table, const std::vector<ColumnTransform>& transforms) {
+  if (transforms.size() != table.NumColumns()) {
+    return Status::InvalidArgument(
+        "ApplyTransforms: transform count does not match column count");
+  }
+  PreprocessedTable pre;
+  pre.name = table.name();
+  pre.transforms = transforms;
+  pre.codes.resize(table.NumColumns());
+  size_t rows = table.NumRows();
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.name() != transforms[c].name) {
+      return Status::InvalidArgument("ApplyTransforms: column '" +
+                                     col.name() + "' does not match fitted '" +
+                                     transforms[c].name + "'");
+    }
+    auto& out = pre.codes[c];
+    out.resize(rows);
+    const ColumnTransform& tr = transforms[c];
+    for (size_t r = 0; r < rows; ++r) {
+      out[r] = col.IsNull(r) ? kMissingCode : tr.Encode(col.Value(r));
+    }
+  }
+  return pre;
+}
+
+StatusOr<PreprocessedTable> Preprocess(const Table& table) {
+  return ApplyTransforms(table, FitColumnTransforms(table));
+}
+
+Table InverseTransform(const PreprocessedTable& pre,
+                       const Table* dictionary_source) {
+  Table out(pre.name);
+  for (size_t c = 0; c < pre.NumColumns(); ++c) {
+    const ColumnTransform& tr = pre.transforms[c];
+    Column col(tr.name, tr.type, tr.decimals);
+    if (tr.type == DataType::kCategorical && dictionary_source &&
+        c < dictionary_source->NumColumns()) {
+      col.SetDictionary(dictionary_source->column(c).dictionary());
+    }
+    col.Reserve(pre.NumRows());
+    for (size_t r = 0; r < pre.NumRows(); ++r) {
+      uint64_t code = pre.codes[c][r];
+      if (code == kMissingCode) {
+        col.AppendNull();
+      } else {
+        col.Append(tr.Decode(code));
+      }
+    }
+    out.AddColumn(std::move(col));
+  }
+  return out;
+}
+
+}  // namespace pairwisehist

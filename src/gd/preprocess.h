@@ -1,0 +1,105 @@
+// GreedyGD pre-processing (Section 3 of the paper).
+//
+// Converts every column to a non-negative integer code domain so that
+// Generalized Deduplication can split rows into base and deviation bits:
+//   * minimum-value subtraction,
+//   * floating point → integer conversion (10.22 → 1022, per the column's
+//     decimal precision),
+//   * frequency-ranked categorical encoding (most common value → rank 0),
+//   * missing-value encoding (reserved code 0; non-null codes start at 1).
+//
+// The same transform maps query predicate literals into the code domain
+// (Fig. 7's "GreedyGD pre-process" step) and aggregation results back out.
+// Pre-processing is streaming-friendly: FitColumnTransforms only needs
+// per-column min/max and category frequencies, which can be accumulated in
+// arbitrary-size batches.
+#ifndef PAIRWISEHIST_GD_PREPROCESS_H_
+#define PAIRWISEHIST_GD_PREPROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// Reserved code for missing values in the pre-processed domain.
+inline constexpr uint64_t kMissingCode = 0;
+
+/// Per-column transform between the raw value domain and the GD code domain.
+struct ColumnTransform {
+  std::string name;
+  DataType type = DataType::kFloat64;
+  int decimals = 0;        ///< float columns: preserved decimal places
+  double scale = 1.0;      ///< 10^decimals for floats, 1 otherwise
+  int64_t min_scaled = 0;  ///< minimum of round(value*scale) over non-nulls
+  uint64_t max_code = 0;   ///< largest code produced (missing = 0 reserved)
+  int bit_width = 1;       ///< bits needed for codes in [0, max_code]
+  bool has_nulls = false;
+
+  /// Categorical only: frequency rank r (0 = most common) → original
+  /// dictionary code, and its inverse.
+  std::vector<int64_t> rank_to_code;
+  std::vector<int64_t> code_to_rank;
+  /// Categorical only: dictionary strings (indexed by original code), so a
+  /// serialized synopsis can resolve string literals and label GROUP BY
+  /// results without the source table.
+  std::vector<std::string> dictionary;
+
+  /// Resolves a category string to its pre-processed code (>= 1);
+  /// NotFound for unseen categories.
+  StatusOr<uint64_t> EncodeCategory(const std::string& category) const;
+  /// Category string for a pre-processed code.
+  StatusOr<std::string> DecodeCategory(uint64_t code) const;
+
+  /// Raw value → integer code (>= 1). Categorical input is the dictionary
+  /// code. Values outside the fitted domain are clamped into it.
+  uint64_t Encode(double value) const;
+
+  /// Integer code (>= 1) → raw value (categorical: dictionary code).
+  double Decode(uint64_t code) const;
+
+  /// Raw literal → continuous position in the code domain, for inequality
+  /// comparisons (no rounding: 10.225 maps strictly between the codes of
+  /// 10.22 and 10.23).
+  double EncodeContinuous(double literal) const;
+
+  /// Minimum spacing µ between distinct codes (always 1 in the integer
+  /// domain; used by the Theorem-1 bounds for non-passing bins).
+  double min_spacing() const { return 1.0; }
+};
+
+/// A table converted to the GD code domain: column-major codes plus the
+/// transforms needed to invert them.
+struct PreprocessedTable {
+  std::string name;
+  std::vector<ColumnTransform> transforms;
+  /// codes[c][r]: code of row r in column c; kMissingCode for nulls.
+  std::vector<std::vector<uint64_t>> codes;
+
+  size_t NumColumns() const { return codes.size(); }
+  size_t NumRows() const { return codes.empty() ? 0 : codes[0].size(); }
+};
+
+/// Fits transforms on `table` (one pass per column).
+std::vector<ColumnTransform> FitColumnTransforms(const Table& table);
+
+/// Applies `transforms` to `table`. Transforms must have been fitted on a
+/// table with the same schema (typically the same one, or a superset batch).
+StatusOr<PreprocessedTable> ApplyTransforms(
+    const Table& table, const std::vector<ColumnTransform>& transforms);
+
+/// Convenience: fit + apply.
+StatusOr<PreprocessedTable> Preprocess(const Table& table);
+
+/// Reconstructs a raw Table from codes (lossless inverse; categorical
+/// dictionaries must be supplied from the original table to restore
+/// strings, otherwise codes are kept).
+Table InverseTransform(const PreprocessedTable& pre,
+                       const Table* dictionary_source);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_GD_PREPROCESS_H_

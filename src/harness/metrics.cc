@@ -1,0 +1,130 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "query/exact.h"
+
+namespace pairwisehist {
+
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return kNaN;
+  std::sort(values.begin(), values.end());
+  double idx = p * (values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(idx));
+  size_t hi = static_cast<size_t>(std::ceil(idx));
+  double t = idx - lo;
+  return values[lo] * (1 - t) + values[hi] * t;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 0.5);
+}
+
+double RelativeErrorPct(double exact, double estimate) {
+  if (std::isnan(estimate)) return kNaN;
+  if (exact == 0.0) return estimate == 0.0 ? 0.0 : 100.0;
+  return std::fabs(estimate - exact) / std::fabs(exact) * 100.0;
+}
+
+double MethodRun::MedianErrorPct() const { return Median(errors_pct); }
+double MethodRun::MedianLatencyUs() const { return Median(latencies_us); }
+double MethodRun::BoundsCorrectRate() const {
+  return bounds_evaluated == 0
+             ? kNaN
+             : 100.0 * bounds_correct / bounds_evaluated;
+}
+double MethodRun::MedianBoundWidthPct() const {
+  return Median(bound_widths_pct);
+}
+
+StatusOr<std::vector<MethodRun>> RunWorkload(
+    const Table& table, const std::vector<Query>& workload,
+    const std::vector<const AqpMethod*>& methods,
+    std::vector<QueryRecord>* records) {
+  std::vector<MethodRun> runs(methods.size());
+  for (size_t i = 0; i < methods.size(); ++i) {
+    runs[i].method = methods[i]->name();
+    runs[i].queries_total = workload.size();
+  }
+
+  for (const Query& q : workload) {
+    PH_ASSIGN_OR_RETURN(QueryResult exact_result, ExecuteExact(table, q));
+    if (exact_result.groups.empty()) continue;
+    const AggResult& exact = exact_result.groups[0].agg;
+    if (exact.empty_selection || std::isnan(exact.estimate)) continue;
+
+    QueryRecord record;
+    record.sql = q.ToSql();
+    record.func = q.func;
+    record.exact = exact.estimate;
+    record.estimates.assign(methods.size(), kNaN);
+    record.errors_pct.assign(methods.size(), kNaN);
+
+    for (size_t i = 0; i < methods.size(); ++i) {
+      MethodRun& run = runs[i];
+      if (!methods[i]->SupportsQuery(q)) continue;
+      double t0 = NowUs();
+      auto result = methods[i]->Execute(q);
+      double t1 = NowUs();
+      if (!result.ok() ||
+          result.value().groups.empty()) {
+        continue;  // method rejected the query at runtime
+      }
+      run.queries_supported += 1;
+      run.latencies_us.push_back(t1 - t0);
+      const AggResult& est = result.value().groups[0].agg;
+      double err = RelativeErrorPct(exact.estimate, est.estimate);
+      if (!std::isnan(err)) {
+        run.queries_evaluated += 1;
+        run.errors_pct.push_back(err);
+        record.estimates[i] = est.estimate;
+        record.errors_pct[i] = err;
+      }
+      if (methods[i]->ProvidesBounds() && !est.empty_selection &&
+          !std::isnan(est.lower) && !std::isnan(est.upper)) {
+        run.bounds_evaluated += 1;
+        const double tol =
+            1e-9 * std::max(1.0, std::fabs(exact.estimate));
+        if (exact.estimate >= est.lower - tol &&
+            exact.estimate <= est.upper + tol) {
+          run.bounds_correct += 1;
+        }
+        if (exact.estimate != 0.0) {
+          run.bound_widths_pct.push_back((est.upper - est.lower) /
+                                         std::fabs(exact.estimate) * 100.0);
+        }
+      }
+    }
+    if (records != nullptr) records->push_back(std::move(record));
+  }
+  return runs;
+}
+
+double MedianExactLatencyUs(const Table& table,
+                            const std::vector<Query>& workload) {
+  std::vector<double> lat;
+  for (const Query& q : workload) {
+    double t0 = NowUs();
+    auto result = ExecuteExact(table, q);
+    double t1 = NowUs();
+    if (result.ok()) lat.push_back(t1 - t0);
+  }
+  return Median(std::move(lat));
+}
+
+}  // namespace pairwisehist

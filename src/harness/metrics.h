@@ -1,0 +1,66 @@
+// Evaluation metrics and the method runner used by every bench binary.
+#ifndef PAIRWISEHIST_HARNESS_METRICS_H_
+#define PAIRWISEHIST_HARNESS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/aqp_method.h"
+#include "common/status.h"
+#include "query/ast.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// p-th percentile (p in [0,1]) with linear interpolation; NaN when empty.
+double Percentile(std::vector<double> values, double p);
+/// Median shorthand.
+double Median(std::vector<double> values);
+
+/// Relative error in percent; 0 when both are zero, 100 when only the exact
+/// value is zero.
+double RelativeErrorPct(double exact, double estimate);
+
+/// Everything measured for one method over one workload.
+struct MethodRun {
+  std::string method;
+  size_t queries_total = 0;
+  size_t queries_supported = 0;   ///< method accepted the query shape
+  size_t queries_evaluated = 0;   ///< error was computable
+  std::vector<double> errors_pct;
+  std::vector<double> latencies_us;
+  size_t bounds_evaluated = 0;
+  size_t bounds_correct = 0;      ///< exact inside [lower, upper]
+  std::vector<double> bound_widths_pct;
+
+  double MedianErrorPct() const;
+  double MedianLatencyUs() const;
+  double BoundsCorrectRate() const;   ///< in percent
+  double MedianBoundWidthPct() const;
+};
+
+/// Per-query record for CDF-style plots.
+struct QueryRecord {
+  std::string sql;
+  AggFunc func;
+  double exact = 0;
+  /// Parallel to the method list passed to RunWorkload; NaN = unsupported.
+  std::vector<double> estimates;
+  std::vector<double> errors_pct;
+};
+
+/// Runs every method over the workload with exact ground truth, timing each
+/// query. `records` (optional) receives per-query details.
+StatusOr<std::vector<MethodRun>> RunWorkload(
+    const Table& table, const std::vector<Query>& workload,
+    const std::vector<const AqpMethod*>& methods,
+    std::vector<QueryRecord>* records = nullptr);
+
+/// Measures the median exact-execution latency (the paper's SQLite
+/// reference point in Section 6.5).
+double MedianExactLatencyUs(const Table& table,
+                            const std::vector<Query>& workload);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_HARNESS_METRICS_H_

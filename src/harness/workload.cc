@@ -1,0 +1,202 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "query/exact.h"
+
+namespace pairwisehist {
+
+WorkloadConfig InitialWorkloadConfig(uint64_t seed) {
+  WorkloadConfig c;
+  c.num_queries = 100;
+  c.min_predicates = 1;
+  c.max_predicates = 1;
+  c.functions = {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg};
+  c.min_selectivity = 1e-5;
+  c.or_probability = 0.0;
+  c.seed = seed;
+  return c;
+}
+
+WorkloadConfig ScaledWorkloadConfig(uint64_t seed) {
+  WorkloadConfig c;
+  c.num_queries = 430;
+  c.min_predicates = 1;
+  c.max_predicates = 5;
+  c.functions = {AggFunc::kCount, AggFunc::kSum,    AggFunc::kAvg,
+                 AggFunc::kMin,   AggFunc::kMax,    AggFunc::kMedian,
+                 AggFunc::kVar};
+  c.min_selectivity = 1e-6;
+  c.or_probability = 0.25;
+  c.seed = seed;
+  return c;
+}
+
+namespace {
+
+bool IsNumeric(const Column& col) {
+  return col.type() == DataType::kFloat64 || col.type() == DataType::kInt64 ||
+         col.type() == DataType::kTimestamp;
+}
+
+// Quantile of the non-null values (approximate, via sampling for large
+// columns) for drawing plausible literals.
+double ColumnQuantile(const Column& col, double q, Rng* rng) {
+  std::vector<double> sample;
+  const size_t target = 2000;
+  size_t stride = std::max<size_t>(1, col.size() / target);
+  size_t start = col.size() > stride
+                     ? static_cast<size_t>(rng->UniformInt(uint64_t(stride)))
+                     : 0;
+  for (size_t r = start; r < col.size(); r += stride) {
+    if (!col.IsNull(r)) sample.push_back(col.Value(r));
+  }
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  size_t idx = std::min(sample.size() - 1,
+                        static_cast<size_t>(q * sample.size()));
+  return sample[idx];
+}
+
+Condition MakeCondition(const Table& table, size_t col_idx, Rng* rng) {
+  const Column& col = table.column(col_idx);
+  Condition cond;
+  cond.column = col.name();
+  if (col.type() == DataType::kCategorical) {
+    cond.op = rng->Bernoulli(0.8) ? CmpOp::kEq : CmpOp::kNe;
+    // Draw an actually occurring category.
+    for (int tries = 0; tries < 20; ++tries) {
+      size_t r = static_cast<size_t>(rng->UniformInt(uint64_t(col.size())));
+      if (col.IsNull(r)) continue;
+      auto name = col.CategoryName(static_cast<int64_t>(col.Value(r)));
+      if (name.ok()) {
+        cond.is_string = true;
+        cond.text_value = name.value();
+        return cond;
+      }
+    }
+    cond.is_string = true;
+    cond.text_value = col.dictionary().empty() ? "?" : col.dictionary()[0];
+    return cond;
+  }
+  // Numeric: one-sided range with a quantile-drawn threshold, keeping the
+  // satisfied side reasonably large so the selectivity floor is reachable.
+  static const CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                               CmpOp::kGe};
+  cond.op = kOps[rng->UniformInt(uint64_t{4})];
+  double q = rng->Uniform(0.02, 0.98);
+  double value = ColumnQuantile(col, q, rng);
+  if (col.type() == DataType::kFloat64) {
+    // Perturb inside the quantile gap so literals are not always data values.
+    double span = std::fabs(ColumnQuantile(col, std::min(0.999, q + 0.05),
+                                           rng) -
+                            value);
+    value += rng->Uniform(-0.5, 0.5) * span * 0.1;
+    double scale = std::pow(10.0, col.decimals());
+    value = std::round(value * scale) / scale;
+  }
+  cond.value = value;
+  return cond;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Query>> GenerateWorkload(const Table& table,
+                                              const WorkloadConfig& config) {
+  if (table.NumRows() == 0 || table.NumColumns() == 0) {
+    return Status::InvalidArgument("GenerateWorkload: empty table");
+  }
+  Rng rng(config.seed);
+
+  // Candidate columns.
+  std::vector<size_t> numeric_cols, all_pred_cols;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.non_null_count() == 0) continue;
+    if (IsNumeric(col) && col.CountDistinct() > 1) numeric_cols.push_back(c);
+    if (col.CountDistinct() > 1) all_pred_cols.push_back(c);
+  }
+  if (numeric_cols.empty()) {
+    return Status::InvalidArgument("GenerateWorkload: no numeric columns");
+  }
+
+  std::vector<Query> workload;
+  int attempts = 0;
+  while (workload.size() < config.num_queries &&
+         attempts < config.max_attempts * static_cast<int>(
+                                               config.num_queries)) {
+    ++attempts;
+    Query q;
+    q.table = table.name();
+    q.func = config.functions[rng.UniformInt(
+        uint64_t(config.functions.size()))];
+    q.agg_column =
+        table.column(numeric_cols[rng.UniformInt(
+                         uint64_t(numeric_cols.size()))])
+            .name();
+
+    int npreds = static_cast<int>(
+        rng.UniformInt(int64_t(config.min_predicates),
+                       int64_t(config.max_predicates)));
+    // Distinct predicate columns.
+    std::vector<size_t> cols = all_pred_cols;
+    for (int i = 0; i < npreds && static_cast<size_t>(i) < cols.size();
+         ++i) {
+      size_t j = i + static_cast<size_t>(
+                         rng.UniformInt(uint64_t(cols.size() - i)));
+      std::swap(cols[i], cols[j]);
+    }
+    npreds = std::min<int>(npreds, static_cast<int>(cols.size()));
+
+    if (npreds > 0) {
+      std::vector<PredicateNode> leaves;
+      for (int i = 0; i < npreds; ++i) {
+        PredicateNode leaf;
+        leaf.type = PredicateNode::Type::kCondition;
+        leaf.condition = MakeCondition(table, cols[i], &rng);
+        leaves.push_back(std::move(leaf));
+      }
+      if (leaves.size() == 1) {
+        q.where = std::move(leaves[0]);
+      } else if (rng.Bernoulli(config.or_probability)) {
+        // OR of two AND groups (exercises the precedence handling).
+        size_t split = 1 + rng.UniformInt(uint64_t(leaves.size() - 1));
+        auto make_group = [](std::vector<PredicateNode> nodes) {
+          if (nodes.size() == 1) return std::move(nodes[0]);
+          PredicateNode g;
+          g.type = PredicateNode::Type::kAnd;
+          g.children = std::move(nodes);
+          return g;
+        };
+        std::vector<PredicateNode> left(leaves.begin(),
+                                        leaves.begin() + split);
+        std::vector<PredicateNode> right(leaves.begin() + split,
+                                         leaves.end());
+        PredicateNode root;
+        root.type = PredicateNode::Type::kOr;
+        root.children.push_back(make_group(std::move(left)));
+        root.children.push_back(make_group(std::move(right)));
+        q.where = std::move(root);
+      } else {
+        PredicateNode root;
+        root.type = PredicateNode::Type::kAnd;
+        root.children = std::move(leaves);
+        q.where = std::move(root);
+      }
+    }
+
+    // Selectivity floor and non-degenerate exact answer.
+    auto sel = ExactSelectivity(table, q);
+    if (!sel.ok() || sel.value() < config.min_selectivity) continue;
+    auto exact = ExecuteExact(table, q);
+    if (!exact.ok() || exact.value().groups.empty()) continue;
+    const AggResult& r = exact.value().groups[0].agg;
+    if (r.empty_selection || std::isnan(r.estimate)) continue;
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,44 @@
+// Random workload generation matching the paper's evaluation settings
+// (Section 6): random aggregation functions over numeric columns, 1–5
+// predicate conditions with AND/OR connectors, literals drawn from the data
+// ranges, and a minimum-selectivity floor enforced with the exact engine
+// (10^-5 for the initial experiments, 10^-6 for the scaled ones).
+#ifndef PAIRWISEHIST_HARNESS_WORKLOAD_H_
+#define PAIRWISEHIST_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+struct WorkloadConfig {
+  size_t num_queries = 100;
+  int min_predicates = 1;
+  int max_predicates = 1;
+  std::vector<AggFunc> functions = {AggFunc::kCount, AggFunc::kSum,
+                                    AggFunc::kAvg};
+  double min_selectivity = 1e-5;
+  /// Probability that a multi-predicate query uses an OR connector.
+  double or_probability = 0.25;
+  uint64_t seed = 123;
+  /// Give up on a candidate query after this many regeneration attempts.
+  int max_attempts = 200;
+};
+
+/// Paper presets.
+WorkloadConfig InitialWorkloadConfig(uint64_t seed);   ///< Fig. 8 setting
+WorkloadConfig ScaledWorkloadConfig(uint64_t seed);    ///< Table 5 setting
+
+/// Generates `config.num_queries` queries against `table`, each satisfying
+/// the selectivity floor (verified exactly). May return fewer queries than
+/// requested if the table cannot support them.
+StatusOr<std::vector<Query>> GenerateWorkload(const Table& table,
+                                              const WorkloadConfig& config);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_HARNESS_WORKLOAD_H_

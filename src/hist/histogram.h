@@ -1,0 +1,90 @@
+// Refined 1-d and 2-d (pairwise) histograms with per-bin metadata.
+//
+// Implements Algorithm 1's histogram machinery: recursive hypothesis-test
+// refinement (RefineBin1D / RefineBin2D), per-bin metadata (actual min/max,
+// unique counts), and the pairwise count matrices. Everything operates in
+// the GD pre-processed integer code domain, carried as double (exact for
+// codes below 2^53).
+#ifndef PAIRWISEHIST_HIST_HISTOGRAM_H_
+#define PAIRWISEHIST_HIST_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hist/uniformity.h"
+
+namespace pairwisehist {
+
+/// Refinement parameters (paper notation: M and α).
+struct RefineConfig {
+  uint64_t min_points = 1000;  ///< M: a bin needs more than M points to split
+  double alpha = 0.001;        ///< hypothesis-test significance
+  double min_width = 1.0;      ///< never split below the code spacing µ
+  int max_depth = 64;          ///< recursion guard
+};
+
+/// One dimension of a histogram: k bins delimited by k+1 edges, with the
+/// paper's per-bin metadata. For pairwise histograms, `parent` maps each
+/// refined bin to the 1-d bin of the same column that contains it.
+struct HistogramDim {
+  std::vector<double> edges;        ///< k+1 ascending edges, bins [e_t, e_{t+1})
+  std::vector<uint64_t> counts;     ///< k bin counts (marginal for 2-d)
+  std::vector<double> v_min;        ///< k actual minimum values (v−)
+  std::vector<double> v_max;        ///< k actual maximum values (v+)
+  std::vector<uint64_t> unique;     ///< k unique-value counts (u)
+  std::vector<uint32_t> parent;     ///< k parent 1-d bin indices (2-d only)
+
+  size_t NumBins() const { return counts.size(); }
+
+  /// Bin midpoint c_t = (v− + v+)/2.
+  double Midpoint(size_t t) const { return (v_min[t] + v_max[t]) / 2.0; }
+
+  /// Index of the bin containing `value` (edges[t] <= value < edges[t+1]),
+  /// clamped to [0, k-1]. Callers must check the value is within range
+  /// when exactness matters.
+  size_t BinIndex(double value) const;
+
+  /// Total count across bins.
+  uint64_t TotalCount() const;
+};
+
+/// Builds a refined one-dimensional histogram from `sorted_values`
+/// (ascending, nulls excluded) with the given initial edges (ascending;
+/// first <= min value, last > max value). Implements Algorithm 1 lines 3–12
+/// including RefineBin1D (Algorithm 2) with equal-width splits.
+HistogramDim BuildHistogram1D(const std::vector<double>& sorted_values,
+                              const std::vector<double>& initial_edges,
+                              const RefineConfig& config,
+                              const Chi2CriticalCache& critical);
+
+/// A pairwise (2-d) histogram for columns (i, j): refined edges and
+/// metadata in both dimensions plus the dense cell-count matrix.
+struct PairHistogram {
+  uint32_t col_i = 0;
+  uint32_t col_j = 0;
+  HistogramDim dim_i;  ///< refined e(i|j) with metadata and parent mapping
+  HistogramDim dim_j;  ///< refined e(j|i)
+  /// Row-major dim_i.NumBins() x dim_j.NumBins() cell counts H(ij).
+  std::vector<uint64_t> cells;
+
+  uint64_t CellCount(size_t ti, size_t tj) const {
+    return cells[ti * dim_j.NumBins() + tj];
+  }
+};
+
+/// Builds the pairwise histogram for one column pair. `xi` / `xj` are the
+/// paired values for rows where BOTH columns are non-null. `h1_i` / `h1_j`
+/// are the already-built 1-d histograms providing initial edges (Algorithm 1
+/// lines 14–26).
+PairHistogram BuildPairHistogram(const std::vector<double>& xi,
+                                 const std::vector<double>& xj,
+                                 uint32_t col_i, uint32_t col_j,
+                                 const HistogramDim& h1_i,
+                                 const HistogramDim& h1_j,
+                                 const RefineConfig& config,
+                                 const Chi2CriticalCache& critical);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_HIST_HISTOGRAM_H_

@@ -1,0 +1,64 @@
+#include "hist/uniformity.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace pairwisehist {
+
+double Chi2CriticalCache::Get(int df) const {
+  if (df < 1) df = 1;
+  if (static_cast<size_t>(df) > cache_.size()) {
+    size_t old = cache_.size();
+    cache_.resize(df, 0.0);
+    for (size_t i = old; i < cache_.size(); ++i) {
+      cache_[i] = Chi2CriticalValue(alpha_, static_cast<double>(i + 1));
+    }
+  }
+  return cache_[df - 1];
+}
+
+uint64_t CountUniqueSorted(const double* begin, const double* end) {
+  if (begin == end) return 0;
+  uint64_t u = 1;
+  for (const double* p = begin + 1; p != end; ++p) {
+    if (*p != *(p - 1)) ++u;
+  }
+  return u;
+}
+
+UniformityResult TestUniform(const double* begin, const double* end,
+                             double lower_edge, double upper_edge,
+                             uint64_t unique_values,
+                             const Chi2CriticalCache& critical) {
+  UniformityResult result;
+  const size_t n = static_cast<size_t>(end - begin);
+  int s = TerrellScottSubBins(unique_values);
+  result.sub_bins = s;
+  if (n == 0 || s < 2 || upper_edge <= lower_edge) {
+    result.uniform = true;
+    return result;
+  }
+  // Sub-bin counts via binary search on the sorted range: boundary r is at
+  // lower + r * width / s; count in sub-bin r is the index delta.
+  double width = upper_edge - lower_edge;
+  double expected = static_cast<double>(n) / s;
+  double stat = 0.0;
+  const double* prev = begin;
+  for (int r = 1; r <= s; ++r) {
+    const double* next =
+        (r == s) ? end
+                 : std::lower_bound(prev, end,
+                                    lower_edge + width * r / s);
+    double count = static_cast<double>(next - prev);
+    double diff = count - expected;
+    stat += diff * diff / expected;
+    prev = next;
+  }
+  result.statistic = stat;
+  result.critical = critical.Get(s - 1);
+  result.uniform = stat <= result.critical;
+  return result;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,55 @@
+// Chi-squared uniformity hypothesis testing (paper Section 4.1, IsUniform).
+//
+// A bin passes if a chi-squared test cannot reject the null hypothesis that
+// its points are uniformly distributed across s = ceil((2u)^(1/3)) equal
+// sub-bins (Terrell–Scott), at significance α.
+#ifndef PAIRWISEHIST_HIST_UNIFORMITY_H_
+#define PAIRWISEHIST_HIST_UNIFORMITY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pairwisehist {
+
+/// Caches chi-squared critical values χ²_α by degrees of freedom for a fixed
+/// significance level (they are needed millions of times during refinement).
+class Chi2CriticalCache {
+ public:
+  explicit Chi2CriticalCache(double alpha) : alpha_(alpha) {}
+
+  /// Critical value for `df` degrees of freedom (df >= 1).
+  double Get(int df) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  mutable std::vector<double> cache_;  // index df-1
+};
+
+/// Result of a uniformity test.
+struct UniformityResult {
+  bool uniform = true;     ///< true if the null hypothesis was NOT rejected
+  double statistic = 0.0;  ///< χ² statistic
+  double critical = 0.0;   ///< χ²_α for the test's df
+  int sub_bins = 1;        ///< s used
+  /// Normalized excess: statistic / critical (>1 means rejected). Used by
+  /// RefineBin2D to pick the "least uniform" dimension.
+  double Ratio() const { return critical > 0 ? statistic / critical : 0.0; }
+};
+
+/// Tests whether the sorted values in [begin, end) are uniformly distributed
+/// over the bin [lower_edge, upper_edge). `unique_values` is the number of
+/// distinct values among them (drives the Terrell–Scott sub-bin count).
+/// Bins that cannot support a test (fewer than 2 sub-bins) pass trivially.
+UniformityResult TestUniform(const double* begin, const double* end,
+                             double lower_edge, double upper_edge,
+                             uint64_t unique_values,
+                             const Chi2CriticalCache& critical);
+
+/// Counts distinct values in a sorted range.
+uint64_t CountUniqueSorted(const double* begin, const double* end);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_HIST_UNIFORMITY_H_

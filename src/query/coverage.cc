@@ -1,0 +1,222 @@
+#include "query/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace pairwisehist {
+
+IntervalSet IntervalSet::All() {
+  IntervalSet s;
+  s.pieces.emplace_back(-kInf, kInf);
+  return s;
+}
+
+IntervalSet IntervalSet::None() { return IntervalSet(); }
+
+IntervalSet IntervalSet::Of(double lo, double hi) {
+  IntervalSet s;
+  if (lo <= hi) s.pieces.emplace_back(lo, hi);
+  return s;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& a, const IntervalSet& b) {
+  std::vector<std::pair<double, double>> all = a.pieces;
+  all.insert(all.end(), b.pieces.begin(), b.pieces.end());
+  std::sort(all.begin(), all.end());
+  IntervalSet out;
+  for (const auto& piece : all) {
+    // Coalesce overlapping or integer-adjacent pieces ([1,5] + [6,9] = [1,9]).
+    if (!out.pieces.empty() && piece.first <= out.pieces.back().second + 1) {
+      out.pieces.back().second =
+          std::max(out.pieces.back().second, piece.second);
+    } else {
+      out.pieces.push_back(piece);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& a,
+                                   const IntervalSet& b) {
+  IntervalSet out;
+  size_t i = 0, j = 0;
+  while (i < a.pieces.size() && j < b.pieces.size()) {
+    double lo = std::max(a.pieces[i].first, b.pieces[j].first);
+    double hi = std::min(a.pieces[i].second, b.pieces[j].second);
+    if (lo <= hi) out.pieces.emplace_back(lo, hi);
+    if (a.pieces[i].second < b.pieces[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+bool IntervalSet::Contains(double code) const {
+  for (const auto& p : pieces) {
+    if (code >= p.first && code <= p.second) return true;
+    if (p.first > code) break;
+  }
+  return false;
+}
+
+IntervalSet ConditionToIntervals(const Condition& condition,
+                                 const ColumnTransform& transform) {
+  const double inf = IntervalSet::kInf;
+  if (condition.is_string ||
+      transform.type == DataType::kCategorical) {
+    // Categorical: only equality semantics are meaningful; ranges over the
+    // frequency ranks are still honoured for numeric literals (the rank
+    // order is an implementation detail, but the exact engine sees the same
+    // dictionary codes, so = / != round-trip identically).
+    double code;
+    if (condition.is_string) {
+      auto c = transform.EncodeCategory(condition.text_value);
+      if (!c.ok()) {
+        // Unknown category: = matches nothing, != matches everything.
+        return condition.op == CmpOp::kNe ? IntervalSet::All()
+                                          : IntervalSet::None();
+      }
+      code = static_cast<double>(c.value());
+    } else {
+      // Numeric literal on a categorical column refers to a dictionary
+      // code; map it through the frequency ranking.
+      int64_t dict_code = static_cast<int64_t>(condition.value);
+      if (dict_code < 0 ||
+          dict_code >= static_cast<int64_t>(transform.code_to_rank.size())) {
+        return condition.op == CmpOp::kNe ? IntervalSet::All()
+                                          : IntervalSet::None();
+      }
+      code = static_cast<double>(
+          transform.code_to_rank[static_cast<size_t>(dict_code)] + 1);
+    }
+    switch (condition.op) {
+      case CmpOp::kEq:
+        return IntervalSet::Of(code, code);
+      case CmpOp::kNe:
+        return IntervalSet::Union(IntervalSet::Of(-inf, code - 1),
+                                  IntervalSet::Of(code + 1, inf));
+      default:
+        // Order comparisons on categorical values are not meaningful after
+        // frequency ranking; treat them as unsatisfiable, like the paper's
+        // unsupported-template cases.
+        return IntervalSet::None();
+    }
+  }
+
+  // Numeric: map the literal into the continuous code domain, then derive
+  // the closed integer interval. Literals that land within float epsilon of
+  // an integer code (e.g. 10.22 * 100 = 1021.999...) snap onto it.
+  double c = transform.EncodeContinuous(condition.value);
+  if (std::fabs(c - std::round(c)) < 1e-6) c = std::round(c);
+  bool integral = (c == std::floor(c));
+  switch (condition.op) {
+    case CmpOp::kLt:
+      return IntervalSet::Of(-inf, integral ? c - 1 : std::floor(c));
+    case CmpOp::kLe:
+      return IntervalSet::Of(-inf, std::floor(c));
+    case CmpOp::kGt:
+      return IntervalSet::Of(integral ? c + 1 : std::ceil(c), inf);
+    case CmpOp::kGe:
+      return IntervalSet::Of(std::ceil(c), inf);
+    case CmpOp::kEq:
+      return integral ? IntervalSet::Of(c, c) : IntervalSet::None();
+    case CmpOp::kNe:
+      if (!integral) return IntervalSet::All();
+      return IntervalSet::Union(IntervalSet::Of(-inf, c - 1),
+                                IntervalSet::Of(c + 1, inf));
+  }
+  return IntervalSet::None();
+}
+
+namespace {
+
+// Coverage of one interval piece over one bin (Eqs. 15–16).
+double PieceCoverage(double lo, double hi, double v_min, double v_max,
+                     uint64_t unique) {
+  if (hi < v_min || lo > v_max) return 0.0;
+  if (lo <= v_min && hi >= v_max) return 1.0;
+  if (unique <= 1) {
+    // Single value: either in or out (the full/empty cases above catch
+    // v_min == v_max, so reaching here means out).
+    return 0.0;
+  }
+  if (lo == hi) {
+    // Equality piece: Eq. 15.
+    return 1.0 / static_cast<double>(unique);
+  }
+  if (unique == 2) {
+    // Exactly two values (the extrema): Eq. 16's 0.5 case.
+    int inside = (lo <= v_min && v_min <= hi) + (lo <= v_max && v_max <= hi);
+    return 0.5 * inside;
+  }
+  // Fraction of the bin width covered, on the integer-uniform model.
+  double a = std::max(lo, v_min);
+  double b = std::min(hi, v_max);
+  if (b < a) return 0.0;
+  return (b - a + 1.0) / (v_max - v_min + 1.0);
+}
+
+}  // namespace
+
+Coverage ComputeCoverage(const HistogramDim& dim, const IntervalSet& pred,
+                         uint64_t min_points,
+                         const Chi2CriticalCache& critical) {
+  const size_t k = dim.NumBins();
+  Coverage cov;
+  cov.beta.assign(k, 0.0);
+  cov.lo.assign(k, 0.0);
+  cov.hi.assign(k, 0.0);
+  for (size_t t = 0; t < k; ++t) {
+    uint64_t h = dim.counts[t];
+    if (h == 0) continue;
+    double beta = 0;
+    for (const auto& piece : pred.pieces) {
+      beta += PieceCoverage(piece.first, piece.second, dim.v_min[t],
+                            dim.v_max[t], dim.unique[t]);
+    }
+    beta = std::clamp(beta, 0.0, 1.0);
+    cov.beta[t] = beta;
+    if (beta == 0.0 || beta == 1.0) {
+      cov.lo[t] = cov.hi[t] = beta;
+      continue;
+    }
+    if (h < min_points) {
+      // Non-passing bin: at least one point satisfies / fails (Eqs. 22–23
+      // middle case).
+      cov.lo[t] = std::min(beta, 1.0 / static_cast<double>(h));
+      cov.hi[t] = std::max(beta, 1.0 - 1.0 / static_cast<double>(h));
+      continue;
+    }
+    // Passing bin: Theorem 2 partial-bin-count bounds.
+    int s = TerrellScottSubBins(dim.unique[t]);
+    if (s < 2) {
+      cov.lo[t] = cov.hi[t] = beta;
+      continue;
+    }
+    double chi2 = critical.Get(s - 1);
+    double hd = static_cast<double>(h);
+    double a = std::floor(beta * s);
+    double b = std::ceil(beta * s);
+    double lo;
+    if (a <= 0) {
+      lo = 0.0;
+    } else {
+      lo = a / s * (1.0 - std::sqrt(chi2 * (s - a) / (hd * a)));
+    }
+    double hi;
+    if (b >= s) {
+      hi = 1.0;
+    } else {
+      hi = b / s * (1.0 + std::sqrt(chi2 * (s - b) / (hd * b)));
+    }
+    cov.lo[t] = std::clamp(lo, 0.0, beta);
+    cov.hi[t] = std::clamp(hi, beta, 1.0);
+  }
+  return cov;
+}
+
+}  // namespace pairwisehist

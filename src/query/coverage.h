@@ -1,0 +1,73 @@
+// Predicate coverage over histogram bins (paper Section 5.2).
+//
+// Conditions are turned into sets of disjoint closed integer intervals in
+// the GD code domain. Condition groups on the same column under one AND/OR
+// operator are consolidated by interval intersection/union ("delayed
+// transformation"), which is exact under the per-bin uniformity model
+// instead of a conditional-independence approximation. Coverage β of an
+// interval set over each bin follows Eqs. 14–16; coverage bounds β± follow
+// Theorem 2 (Eqs. 22–23).
+#ifndef PAIRWISEHIST_QUERY_COVERAGE_H_
+#define PAIRWISEHIST_QUERY_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gd/preprocess.h"
+#include "hist/histogram.h"
+#include "query/ast.h"
+
+namespace pairwisehist {
+
+/// A union of disjoint, sorted, closed integer intervals [lo, hi] in the
+/// code domain. ±kIntervalInf stand for unbounded ends.
+struct IntervalSet {
+  static constexpr double kInf = 1e300;
+
+  /// Intervals as (lo, hi) pairs, lo <= hi, sorted, pairwise disjoint and
+  /// non-adjacent (gap of at least one code between consecutive intervals).
+  std::vector<std::pair<double, double>> pieces;
+
+  bool Empty() const { return pieces.empty(); }
+  bool IsAll() const {
+    return pieces.size() == 1 && pieces[0].first <= -kInf &&
+           pieces[0].second >= kInf;
+  }
+
+  /// Whole-line and empty sets.
+  static IntervalSet All();
+  static IntervalSet None();
+  /// Single interval [lo, hi] (empty set if lo > hi).
+  static IntervalSet Of(double lo, double hi);
+
+  /// Set union with coalescing of adjacent integer intervals.
+  static IntervalSet Union(const IntervalSet& a, const IntervalSet& b);
+  /// Set intersection.
+  static IntervalSet Intersect(const IntervalSet& a, const IntervalSet& b);
+
+  /// True if the integer `code` is inside the set.
+  bool Contains(double code) const;
+};
+
+/// Converts one condition into an interval set in the code domain.
+/// String literals resolve through the transform's dictionary; unknown
+/// categories yield the empty set (match nothing), which mirrors SQL.
+IntervalSet ConditionToIntervals(const Condition& condition,
+                                 const ColumnTransform& transform);
+
+/// Per-bin coverage vector with Theorem-2 bounds.
+struct Coverage {
+  std::vector<double> beta;  ///< estimate (Eqs. 14–16)
+  std::vector<double> lo;    ///< lower bound (Eq. 22)
+  std::vector<double> hi;    ///< upper bound (Eq. 23)
+};
+
+/// Computes coverage of `pred` over every bin of `dim`. `min_points` is M
+/// (passing bins have count >= M and get the tight chi-squared bounds).
+Coverage ComputeCoverage(const HistogramDim& dim, const IntervalSet& pred,
+                         uint64_t min_points,
+                         const Chi2CriticalCache& critical);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_COVERAGE_H_

@@ -1,0 +1,783 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/stats.h"
+#include "query/sql_parser.h"
+
+namespace pairwisehist {
+
+namespace {
+
+constexpr double kWeightEps = 1e-9;
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string FormatGroupLabel(const ColumnTransform& tr, uint64_t code) {
+  if (tr.type == DataType::kCategorical) {
+    auto name = tr.DecodeCategory(code);
+    if (name.ok()) return name.value();
+  }
+  double raw = tr.Decode(code);
+  char buf[64];
+  if (raw == static_cast<long long>(raw)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(raw));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", raw);
+  }
+  return buf;
+}
+
+// Effective per-bin value interval and midpoint after intersecting the bin
+// with the aggregation column's own conjunctive predicate (within-bin
+// uniformity model). Falls back to the raw metadata when there is no clip
+// or no overlap.
+struct BinVals {
+  double v_lo;
+  double v_hi;
+  double mid;
+};
+
+BinVals EffectiveBin(const HistogramDim& hist, size_t t,
+                     const IntervalSet* clip) {
+  BinVals out{hist.v_min[t], hist.v_max[t], hist.Midpoint(t)};
+  if (clip == nullptr || clip->IsAll() || clip->Empty()) return out;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double total_len = 0, weighted = 0;
+  for (const auto& piece : clip->pieces) {
+    double a = std::max(piece.first, out.v_lo);
+    double b = std::min(piece.second, out.v_hi);
+    if (b < a) continue;
+    double len = b - a + 1.0;  // integer-uniform model
+    total_len += len;
+    weighted += len * (a + b) / 2.0;
+    lo = std::min(lo, a);
+    hi = std::max(hi, b);
+  }
+  if (total_len <= 0) return out;  // no overlap: keep raw metadata
+  out.v_lo = lo;
+  out.v_hi = hi;
+  out.mid = weighted / total_len;
+  return out;
+}
+
+}  // namespace
+
+double Weightings::Total() const {
+  double s = 0;
+  for (double v : w) s += v;
+  return s;
+}
+double Weightings::TotalLo() const {
+  double s = 0;
+  for (double v : lo) s += v;
+  return s;
+}
+double Weightings::TotalHi() const {
+  double s = 0;
+  for (double v : hi) s += v;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Predicate normalization with delayed transformation.
+
+StatusOr<AqpEngine::Node> AqpEngine::Normalize(
+    const PredicateNode& node) const {
+  if (node.type == PredicateNode::Type::kCondition) {
+    Node leaf;
+    leaf.type = Node::Type::kLeaf;
+    PH_ASSIGN_OR_RETURN(leaf.column,
+                        ph_->ColumnIndex(node.condition.column));
+    leaf.intervals =
+        ConditionToIntervals(node.condition, ph_->transform(leaf.column));
+    return leaf;
+  }
+
+  const bool is_and = node.type == PredicateNode::Type::kAnd;
+  Node out;
+  out.type = is_and ? Node::Type::kAnd : Node::Type::kOr;
+
+  // Consolidate leaf children that touch the same column (the paper's
+  // delayed transformation): intersect for AND, union for OR.
+  std::vector<Node> leaves;
+  for (const auto& child : node.children) {
+    PH_ASSIGN_OR_RETURN(Node c, Normalize(child));
+    if (c.type == Node::Type::kLeaf) {
+      bool merged = false;
+      for (Node& existing : leaves) {
+        if (existing.column == c.column) {
+          existing.intervals =
+              is_and ? IntervalSet::Intersect(existing.intervals, c.intervals)
+                     : IntervalSet::Union(existing.intervals, c.intervals);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) leaves.push_back(std::move(c));
+    } else {
+      out.children.push_back(std::move(c));
+    }
+  }
+  for (Node& leaf : leaves) out.children.push_back(std::move(leaf));
+  if (out.children.size() == 1) return std::move(out.children[0]);
+  return out;
+}
+
+bool AqpEngine::HasOr(const Node& node) {
+  if (node.type == Node::Type::kOr) return true;
+  for (const Node& c : node.children) {
+    if (HasOr(c)) return true;
+  }
+  return false;
+}
+
+void AqpEngine::CollectLeaves(const Node& node,
+                              std::vector<const Node*>* leaves) {
+  if (node.type == Node::Type::kLeaf) {
+    leaves->push_back(&node);
+    return;
+  }
+  for (const Node& c : node.children) CollectLeaves(c, leaves);
+}
+
+const IntervalSet* AqpEngine::FindAggClip(const Node& node, size_t agg_col) {
+  // Sound only for conjunctive contexts: a root leaf, or a leaf directly
+  // under the root AND.
+  if (node.type == Node::Type::kLeaf) {
+    return node.column == agg_col ? &node.intervals : nullptr;
+  }
+  if (node.type != Node::Type::kAnd) return nullptr;
+  for (const Node& c : node.children) {
+    if (c.type == Node::Type::kLeaf && c.column == agg_col) {
+      return &c.intervals;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Grid selection.
+
+AqpEngine::Grid AqpEngine::ChooseGrid(size_t agg_col, const Node* root,
+                                      bool has_or) const {
+  Grid grid;
+  grid.dim = &ph_->hist1d(agg_col);
+  if (!options_.use_pair_grid || root == nullptr) return grid;
+
+  std::vector<const Node*> leaves;
+  CollectLeaves(*root, &leaves);
+  for (const Node* leaf : leaves) {
+    if (leaf->column == agg_col) continue;
+    PairView pv = ph_->GetPair(agg_col, leaf->column);
+    if (!pv.valid()) continue;
+    // The pair grid counts rows where BOTH columns are non-null. Under a
+    // pure conjunction that exclusion is exact (a null predicate column
+    // fails the predicate anyway); under OR it would wrongly drop rows
+    // that satisfy a different branch, so only null-free columns qualify.
+    if (has_or && ph_->transform(leaf->column).has_nulls) continue;
+    if (pv.agg_dim().NumBins() > grid.dim->NumBins()) {
+      grid.dim = &pv.agg_dim();
+      grid.pair = pv;
+      grid.pair_pred_col = leaf->column;
+    }
+  }
+  return grid;
+}
+
+// ---------------------------------------------------------------------------
+// Per-bin satisfaction probabilities.
+
+AqpEngine::Prob AqpEngine::LeafProb(size_t agg_col, const Node& leaf,
+                                    const Grid& grid) const {
+  const HistogramDim& gdim = *grid.dim;
+  const size_t k = gdim.NumBins();
+  Prob prob;
+  prob.p.assign(k, 0.0);
+  prob.lo.assign(k, 0.0);
+  prob.hi.assign(k, 0.0);
+
+  if (leaf.column == agg_col) {
+    // Same-column predicate: coverage over the aggregation grid itself.
+    Coverage cov = ComputeCoverage(gdim, leaf.intervals, ph_->min_points(),
+                                   ph_->critical_cache());
+    prob.p = cov.beta;
+    prob.lo = cov.lo;
+    prob.hi = cov.hi;
+    return prob;
+  }
+
+  if (grid.IsPair() && leaf.column == grid.pair_pred_col) {
+    // The grid is this leaf's own pair: exact per-grid-bin probabilities
+    // from the cell matrix (Eq. 27 on the refined grid).
+    const HistogramDim& pred_dim = grid.pair.pred_dim();
+    Coverage cov = ComputeCoverage(pred_dim, leaf.intervals,
+                                   ph_->min_points(), ph_->critical_cache());
+    const size_t kp = pred_dim.NumBins();
+    for (size_t g = 0; g < k; ++g) {
+      double h = static_cast<double>(gdim.counts[g]);
+      if (h <= 0) continue;
+      double acc = 0, acc_lo = 0, acc_hi = 0;
+      for (size_t tp = 0; tp < kp; ++tp) {
+        uint64_t cell = grid.pair.Cell(g, tp);
+        if (cell == 0) continue;
+        double c = static_cast<double>(cell);
+        acc += c * cov.beta[tp];
+        acc_lo += c * cov.lo[tp];
+        acc_hi += c * cov.hi[tp];
+      }
+      prob.p[g] = std::clamp(acc / h, 0.0, 1.0);
+      prob.lo[g] = std::clamp(acc_lo / h, 0.0, prob.p[g]);
+      prob.hi[g] = std::clamp(acc_hi / h, prob.p[g], 1.0);
+    }
+    return prob;
+  }
+
+  // Cross-column leaf on a different pair: compute the conditional
+  // probability per refined bin of THAT pair's agg dimension (Eq. 27), then
+  // transfer onto the grid by locating each grid bin inside the pair's agg
+  // dimension (both are refinements of the same 1-d edges; a grid bin that
+  // straddles pair bins takes the value at its midpoint). This keeps the
+  // full resolution of every pairwise histogram instead of collapsing
+  // non-grid leaves to 1-d-parent granularity.
+  PairView pair = ph_->GetPair(agg_col, leaf.column);
+  const HistogramDim& pred_dim = pair.pred_dim();
+  const HistogramDim& agg_dim = pair.agg_dim();
+  Coverage cov = ComputeCoverage(pred_dim, leaf.intervals, ph_->min_points(),
+                                 ph_->critical_cache());
+  const size_t ka = agg_dim.NumBins();
+  const size_t kp = pred_dim.NumBins();
+  std::vector<double> pa(ka, 0.0), pa_lo(ka, 0.0), pa_hi(ka, 0.0);
+  // Parent-level aggregation (exact null semantics) and the per-parent
+  // fraction of 1-d rows that have the predicate column non-null — the
+  // refined per-bin probabilities are conditioned on "both non-null" and
+  // must be rescaled by that fraction before applying to full 1-d counts
+  // (rows whose predicate column is null never satisfy the predicate).
+  const HistogramDim& agg1d = ph_->hist1d(agg_col);
+  const size_t k1 = agg1d.NumBins();
+  std::vector<double> num1(k1, 0.0), num1_lo(k1, 0.0), num1_hi(k1, 0.0);
+  std::vector<double> pair_rows1(k1, 0.0);
+  for (size_t ta = 0; ta < ka; ++ta) {
+    double acc = 0, acc_lo = 0, acc_hi = 0;
+    for (size_t tp = 0; tp < kp; ++tp) {
+      uint64_t cell = pair.Cell(ta, tp);
+      if (cell == 0) continue;
+      double c = static_cast<double>(cell);
+      acc += c * cov.beta[tp];
+      acc_lo += c * cov.lo[tp];
+      acc_hi += c * cov.hi[tp];
+    }
+    double h = static_cast<double>(agg_dim.counts[ta]);
+    if (h > 0) {
+      pa[ta] = std::clamp(acc / h, 0.0, 1.0);
+      pa_lo[ta] = std::clamp(acc_lo / h, 0.0, pa[ta]);
+      pa_hi[ta] = std::clamp(acc_hi / h, pa[ta], 1.0);
+    }
+    size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
+    num1[parent] += acc;
+    num1_lo[parent] += acc_lo;
+    num1_hi[parent] += acc_hi;
+    pair_rows1[parent] += h;
+  }
+  std::vector<double> p1(k1, 0.0), p1_lo(k1, 0.0), p1_hi(k1, 0.0);
+  std::vector<double> non_null_frac(k1, 1.0);
+  for (size_t t = 0; t < k1; ++t) {
+    double h = static_cast<double>(agg1d.counts[t]);
+    if (h <= 0) continue;
+    p1[t] = std::clamp(num1[t] / h, 0.0, 1.0);
+    p1_lo[t] = std::clamp(num1_lo[t] / h, 0.0, p1[t]);
+    p1_hi[t] = std::clamp(num1_hi[t] / h, p1[t], 1.0);
+    non_null_frac[t] = std::clamp(pair_rows1[t] / h, 0.0, 1.0);
+  }
+
+  for (size_t g = 0; g < k; ++g) {
+    double mid = (gdim.edges[g] + gdim.edges[g + 1]) / 2.0;
+    size_t ta = agg_dim.BinIndex(mid);
+    size_t parent = gdim.parent.empty() ? g : gdim.parent[g];
+    if (agg_dim.counts[ta] > 0) {
+      double scale = non_null_frac[parent];
+      prob.p[g] = pa[ta] * scale;
+      prob.lo[g] = pa_lo[ta] * scale;
+      prob.hi[g] = pa_hi[ta] * scale;
+    } else {
+      prob.p[g] = p1[parent];
+      prob.lo[g] = p1_lo[parent];
+      prob.hi[g] = p1_hi[parent];
+    }
+  }
+  return prob;
+}
+
+AqpEngine::Prob AqpEngine::EvalNode(size_t agg_col, const Node& node,
+                                    const Grid& grid) const {
+  if (node.type == Node::Type::kLeaf) return LeafProb(agg_col, node, grid);
+
+  const size_t k = grid.dim->NumBins();
+  Prob acc;
+  const bool is_and = node.type == Node::Type::kAnd;
+  // AND accumulates the product; OR accumulates the complement product
+  // (Eq. 28), both starting at 1.
+  acc.p.assign(k, 1.0);
+  acc.lo.assign(k, 1.0);
+  acc.hi.assign(k, 1.0);
+  for (const Node& child : node.children) {
+    Prob cp = EvalNode(agg_col, child, grid);
+    for (size_t t = 0; t < k; ++t) {
+      if (is_and) {
+        acc.p[t] *= cp.p[t];
+        acc.lo[t] *= cp.lo[t];
+        acc.hi[t] *= cp.hi[t];
+      } else {
+        acc.p[t] *= 1.0 - cp.p[t];
+        acc.lo[t] *= 1.0 - cp.hi[t];  // complement swaps the bounds
+        acc.hi[t] *= 1.0 - cp.lo[t];
+      }
+    }
+  }
+  if (!is_and) {
+    for (size_t t = 0; t < k; ++t) {
+      acc.p[t] = 1.0 - acc.p[t];
+      double lo = 1.0 - acc.hi[t];
+      double hi = 1.0 - acc.lo[t];
+      acc.lo[t] = lo;
+      acc.hi[t] = hi;
+    }
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Weightings.
+
+Weightings AqpEngine::WeightsFromProb(const HistogramDim& dim,
+                                      const Prob& prob) const {
+  const size_t k = dim.NumBins();
+  Weightings wt;
+  wt.w.resize(k);
+  wt.lo.resize(k);
+  wt.hi.resize(k);
+  const double rho = ph_->sampling_ratio();
+  const double n_total = static_cast<double>(ph_->total_rows());
+  const double n_sample = static_cast<double>(ph_->sample_rows());
+  const bool widen = rho < 1.0 && n_total > 1;
+  const double z = NormalQuantile(0.99);  // two-sided 98% interval
+  const double fpc = widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
+
+  for (size_t t = 0; t < k; ++t) {
+    double h = static_cast<double>(dim.counts[t]);
+    wt.w[t] = h * prob.p[t];
+    double lo = h * prob.lo[t];
+    double hi = h * prob.hi[t];
+    if (widen && h > 0) {
+      // Eq. 29 with the dimensionally consistent count-scale binomial
+      // standard deviation (see DESIGN.md §3.6).
+      double beta_lo = std::clamp(lo / h, 0.0, 1.0);
+      double beta_hi = std::clamp(hi / h, 0.0, 1.0);
+      lo -= z * std::sqrt(h * beta_lo * (1.0 - beta_lo) * fpc);
+      hi += z * std::sqrt(h * beta_hi * (1.0 - beta_hi) * fpc);
+    }
+    wt.lo[t] = std::clamp(lo, 0.0, h);
+    wt.hi[t] = std::clamp(hi, 0.0, h);
+  }
+  return wt;
+}
+
+StatusOr<Weightings> AqpEngine::ComputeWeightings(size_t agg_col,
+                                                  const Query& query) const {
+  Grid grid;
+  grid.dim = &ph_->hist1d(agg_col);  // test hook: fixed 1-d layout
+  const size_t k = grid.dim->NumBins();
+  Prob prob;
+  if (query.where.has_value()) {
+    PH_ASSIGN_OR_RETURN(Node root, Normalize(*query.where));
+    prob = EvalNode(agg_col, root, grid);
+  } else {
+    prob.p.assign(k, 1.0);
+    prob.lo.assign(k, 1.0);
+    prob.hi.assign(k, 1.0);
+  }
+  return WeightsFromProb(*grid.dim, prob);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation (Table 3).
+
+AggResult AqpEngine::Aggregate(AggFunc func, size_t agg_col,
+                               const Grid& grid, const Weightings& wt,
+                               bool single_column,
+                               const IntervalSet* agg_clip) const {
+  const HistogramDim& hist = *grid.dim;
+  const ColumnTransform& tr = ph_->transform(agg_col);
+  const size_t k = hist.NumBins();
+  const double rho = ph_->sampling_ratio();
+  const uint64_t m_points = ph_->min_points();
+
+  AggResult r;
+  const double total = wt.Total();
+
+  if (func == AggFunc::kCount) {
+    r.estimate = total / rho;
+    r.lower = wt.TotalLo() / rho;
+    r.upper = wt.TotalHi() / rho;
+    r.empty_selection = total <= kWeightEps;
+    return r;
+  }
+  if (total <= kWeightEps) {
+    r.empty_selection = true;
+    r.estimate = r.lower = r.upper = kNaN;
+    return r;
+  }
+
+  if (!options_.clip_agg_values) agg_clip = nullptr;
+
+  // Effective per-bin values, midpoints and weighted-centre bounds in the
+  // code domain.
+  std::vector<double> v_lo(k), v_hi(k), c(k), c_lo(k), c_hi(k);
+  for (size_t t = 0; t < k; ++t) {
+    BinVals bv = EffectiveBin(hist, t, agg_clip);
+    v_lo[t] = bv.v_lo;
+    v_hi[t] = bv.v_hi;
+    c[t] = bv.mid;
+    CentreBounds cb = ph_->WeightedCentreBounds(hist, t);
+    c_lo[t] = std::clamp(cb.lo, bv.v_lo, bv.v_hi);
+    c_hi[t] = std::clamp(cb.hi, c_lo[t], bv.v_hi);
+  }
+  auto decode = [&](double code) { return tr.Decode(code); };
+
+  switch (func) {
+    case AggFunc::kSum: {
+      double est = 0;
+      double lo = 0, hi = 0;
+      for (size_t t = 0; t < k; ++t) {
+        est += wt.w[t] * decode(c[t]);
+        // Bounds over the per-bin corner combinations of weight and centre
+        // (safe also when decoded values are negative).
+        double raw_lo = decode(c_lo[t]);
+        double raw_hi = decode(c_hi[t]);
+        lo += std::min({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
+                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
+        hi += std::max({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
+                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
+      }
+      r.estimate = est / rho;
+      r.lower = lo / rho;
+      r.upper = hi / rho;
+      return r;
+    }
+    case AggFunc::kAvg: {
+      double num = 0;
+      for (size_t t = 0; t < k; ++t) num += wt.w[t] * c[t];
+      r.estimate = decode(num / total);
+      // Evaluate both weighting extrema (w• placeholder in Table 3).
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
+        double tw = 0, nlo = 0, nhi = 0;
+        for (size_t t = 0; t < k; ++t) {
+          tw += (*wv)[t];
+          nlo += (*wv)[t] * c_lo[t];
+          nhi += (*wv)[t] * c_hi[t];
+        }
+        if (tw > kWeightEps) {
+          lo = std::min(lo, nlo / tw);
+          hi = std::max(hi, nhi / tw);
+        }
+      }
+      if (!std::isfinite(lo)) {
+        lo = hi = num / total;
+      }
+      r.lower = decode(std::min(lo, num / total));
+      r.upper = decode(std::max(hi, num / total));
+      return r;
+    }
+    case AggFunc::kVar: {
+      double num1 = 0, num2 = 0;
+      for (size_t t = 0; t < k; ++t) {
+        double within = 0.0;
+        if (options_.var_within_bin && hist.unique[t] > 1) {
+          double span = v_hi[t] - v_lo[t];
+          within = span * span / 12.0;
+        }
+        num1 += wt.w[t] * c[t];
+        num2 += wt.w[t] * (c[t] * c[t] + within);
+      }
+      double mean = num1 / total;
+      double var_code = std::max(0.0, num2 / total - mean * mean);
+      double scale2 = tr.scale * tr.scale;
+      r.estimate = var_code / scale2;
+      // ξ∓ per Eqs. 38–39 around the estimated (code-domain) mean.
+      std::vector<double> xi_lo(k), xi_hi(k);
+      for (size_t t = 0; t < k; ++t) {
+        if (v_hi[t] < mean) {
+          xi_lo[t] = v_hi[t];
+        } else if (v_lo[t] > mean) {
+          xi_lo[t] = v_lo[t];
+        } else {
+          xi_lo[t] = mean;
+        }
+        xi_hi[t] = (std::fabs(mean - v_lo[t]) > std::fabs(v_hi[t] - mean))
+                       ? v_lo[t]
+                       : v_hi[t];
+      }
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
+        double tw = 0;
+        for (size_t t = 0; t < k; ++t) tw += (*wv)[t];
+        if (tw <= kWeightEps) continue;
+        double l1 = 0, l2 = 0, h1 = 0, h2 = 0;
+        for (size_t t = 0; t < k; ++t) {
+          l1 += (*wv)[t] * xi_lo[t];
+          l2 += (*wv)[t] * xi_lo[t] * xi_lo[t];
+          h1 += (*wv)[t] * xi_hi[t];
+          h2 += (*wv)[t] * xi_hi[t] * xi_hi[t];
+        }
+        lo = std::min(lo, l2 / tw - (l1 / tw) * (l1 / tw));
+        hi = std::max(hi, h2 / tw - (h1 / tw) * (h1 / tw));
+      }
+      if (!std::isfinite(lo)) {
+        lo = hi = var_code;
+      }
+      r.lower = std::max(0.0, std::min(lo / scale2, r.estimate));
+      r.upper = std::max(r.estimate, hi / scale2);
+      return r;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool is_min = func == AggFunc::kMin;
+      auto first_idx = [&](const std::vector<double>& wv,
+                           double threshold) -> int {
+        if (is_min) {
+          for (size_t t = 0; t < k; ++t) {
+            if (wv[t] > threshold) return static_cast<int>(t);
+          }
+        } else {
+          for (size_t t = k; t-- > 0;) {
+            if (wv[t] > threshold) return static_cast<int>(t);
+          }
+        }
+        return -1;
+      };
+
+      int t_est = first_idx(wt.w, kWeightEps);
+      if (t_est < 0) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper = kNaN;
+        return r;
+      }
+      {
+        size_t t = static_cast<size_t>(t_est);
+        bool flip = single_column && hist.unique[t] == 2 &&
+                    wt.w[t] < static_cast<double>(hist.counts[t]) / 2.0;
+        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
+                          : (flip ? v_lo[t] : v_hi[t]);
+        r.estimate = decode(v);
+      }
+      // Outer bound (MIN lower / MAX upper): widest plausible bin from w+.
+      {
+        int ti = first_idx(wt.hi, kWeightEps);
+        size_t t =
+            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
+        bool flip = single_column && hist.unique[t] == 2 &&
+                    wt.hi[t] < static_cast<double>(hist.counts[t]) / 5.0;
+        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
+                          : (flip ? v_lo[t] : v_hi[t]);
+        if (is_min) {
+          r.lower = decode(v);
+        } else {
+          r.upper = decode(v);
+        }
+      }
+      // Inner bound (MIN upper / MAX lower): first bin with confident
+      // weight (w− > 1/2), tightened by fully covered sub-bins (Eq. 32).
+      {
+        int ti = first_idx(wt.lo, 0.5);
+        size_t t =
+            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
+        double v;
+        if (single_column && hist.unique[t] > 2 &&
+            hist.counts[t] >= m_points) {
+          int s = TerrellScottSubBins(hist.unique[t]);
+          double delta = (v_hi[t] - v_lo[t]) / s;
+          double a = std::floor(s * wt.lo[t] /
+                                static_cast<double>(hist.counts[t]));
+          v = is_min ? v_hi[t] - a * delta : v_lo[t] + a * delta;
+        } else {
+          v = is_min ? v_hi[t] : v_lo[t];
+        }
+        if (is_min) {
+          r.upper = decode(v);
+        } else {
+          r.lower = decode(v);
+        }
+      }
+      if (r.lower > r.upper) std::swap(r.lower, r.upper);
+      r.lower = std::min(r.lower, r.estimate);
+      r.upper = std::max(r.upper, r.estimate);
+      return r;
+    }
+    case AggFunc::kMedian: {
+      auto median_bin = [&](const std::vector<double>& wv) -> int {
+        double tw = 0;
+        for (size_t t = 0; t < k; ++t) tw += wv[t];
+        if (tw <= kWeightEps) return -1;
+        double acc = 0;
+        for (size_t t = 0; t < k; ++t) {
+          acc += wv[t];
+          if (acc >= tw / 2.0) return static_cast<int>(t);
+        }
+        return static_cast<int>(k) - 1;
+      };
+      int t_est = median_bin(wt.w);
+      if (t_est < 0) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper = kNaN;
+        return r;
+      }
+      size_t t = static_cast<size_t>(t_est);
+      double before = 0;
+      for (size_t u = 0; u < t; ++u) before += wt.w[u];
+      double f = (total / 2.0 - before) / std::max(wt.w[t], kWeightEps);
+      f = std::clamp(f, 0.0, 1.0);
+      if (hist.unique[t] == 2) {
+        r.estimate = decode(f < 0.5 ? v_lo[t] : v_hi[t]);
+      } else {
+        r.estimate = decode(v_lo[t] + (v_hi[t] - v_lo[t]) * f);
+      }
+      int t_lo = t_est, t_hi = t_est;
+      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
+        int tb = median_bin(*wv);
+        if (tb >= 0) {
+          t_lo = std::min(t_lo, tb);
+          t_hi = std::max(t_hi, tb);
+        }
+      }
+      r.lower = decode(v_lo[static_cast<size_t>(t_lo)]);
+      r.upper = decode(v_hi[static_cast<size_t>(t_hi)]);
+      r.lower = std::min(r.lower, r.estimate);
+      r.upper = std::max(r.upper, r.estimate);
+      return r;
+    }
+    case AggFunc::kCount:
+      break;  // handled above
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Top level.
+
+StatusOr<AggResult> AqpEngine::ExecuteScalar(
+    const Query& query, const Node* extra_group_leaf) const {
+  // Aggregation column; COUNT(*) rides on the first predicate column.
+  size_t agg_col = 0;
+  if (!query.count_star) {
+    PH_ASSIGN_OR_RETURN(agg_col, ph_->ColumnIndex(query.agg_column));
+  } else {
+    std::vector<std::string> pred_cols = query.PredicateColumns();
+    if (!pred_cols.empty()) {
+      PH_ASSIGN_OR_RETURN(agg_col, ph_->ColumnIndex(pred_cols[0]));
+    } else if (extra_group_leaf != nullptr) {
+      agg_col = extra_group_leaf->column;
+    } else {
+      // COUNT(*) with no predicate: exact row count.
+      AggResult r;
+      r.estimate = r.lower = r.upper =
+          static_cast<double>(ph_->total_rows());
+      return r;
+    }
+  }
+
+  // Normalized tree = WHERE ∧ group-leaf.
+  std::optional<Node> root;
+  if (query.where.has_value()) {
+    PH_ASSIGN_OR_RETURN(Node n, Normalize(*query.where));
+    root = std::move(n);
+  }
+  if (extra_group_leaf != nullptr) {
+    if (root.has_value()) {
+      if (root->type == Node::Type::kAnd) {
+        root->children.push_back(*extra_group_leaf);
+      } else {
+        Node combined;
+        combined.type = Node::Type::kAnd;
+        combined.children.push_back(std::move(*root));
+        combined.children.push_back(*extra_group_leaf);
+        root = std::move(combined);
+      }
+    } else {
+      root = *extra_group_leaf;
+    }
+  }
+
+  const bool has_or = root.has_value() && HasOr(*root);
+  Grid grid = ChooseGrid(agg_col, root.has_value() ? &*root : nullptr,
+                         has_or);
+
+  Prob prob;
+  if (root.has_value()) {
+    prob = EvalNode(agg_col, *root, grid);
+  } else {
+    const size_t k = grid.dim->NumBins();
+    prob.p.assign(k, 1.0);
+    prob.lo.assign(k, 1.0);
+    prob.hi.assign(k, 1.0);
+  }
+  Weightings wt = WeightsFromProb(*grid.dim, prob);
+
+  const IntervalSet* agg_clip =
+      root.has_value() ? FindAggClip(*root, agg_col) : nullptr;
+
+  // Single-column special cases also require the group leaf (if any) to be
+  // on the aggregation column.
+  bool single = !query.count_star && query.SingleColumn() &&
+                (extra_group_leaf == nullptr ||
+                 extra_group_leaf->column == agg_col);
+  return Aggregate(query.func, agg_col, grid, wt, single, agg_clip);
+}
+
+StatusOr<QueryResult> AqpEngine::Execute(const Query& query) const {
+  QueryResult result;
+  if (query.group_by.empty()) {
+    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(query, nullptr));
+    result.groups.push_back({"", agg});
+    return result;
+  }
+
+  PH_ASSIGN_OR_RETURN(size_t group_col, ph_->ColumnIndex(query.group_by));
+  const ColumnTransform& tr = ph_->transform(group_col);
+  uint64_t num_values;
+  if (tr.type == DataType::kCategorical) {
+    num_values = tr.rank_to_code.size();
+  } else if (tr.max_code <= 4096) {
+    num_values = tr.max_code;
+  } else {
+    return Status::Unsupported(
+        "GROUP BY on high-cardinality numeric column '" + query.group_by +
+        "' (" + std::to_string(tr.max_code) + " distinct codes)");
+  }
+
+  for (uint64_t code = 1; code <= num_values; ++code) {
+    Node leaf;
+    leaf.type = Node::Type::kLeaf;
+    leaf.column = group_col;
+    leaf.intervals =
+        IntervalSet::Of(static_cast<double>(code), static_cast<double>(code));
+    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(query, &leaf));
+    bool empty_count =
+        query.func == AggFunc::kCount && agg.estimate <= 0.5;
+    if (agg.empty_selection || empty_count) continue;
+    result.groups.push_back({FormatGroupLabel(tr, code), agg});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> AqpEngine::ExecuteSql(const std::string& sql) const {
+  PH_ASSIGN_OR_RETURN(Query q, ParseSql(sql));
+  return Execute(q);
+}
+
+}  // namespace pairwisehist

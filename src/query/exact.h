@@ -1,0 +1,31 @@
+// Exact (ground-truth) query engine over an in-memory Table.
+//
+// Stands in for the paper's SQLite ground truth: full scans with standard
+// SQL semantics (predicates on NULL are false; aggregations skip NULLs;
+// COUNT(*) counts rows, COUNT(col) counts non-null values). Used to compute
+// relative errors, to validate bounds, and to enforce workload selectivity
+// floors.
+#ifndef PAIRWISEHIST_QUERY_EXACT_H_
+#define PAIRWISEHIST_QUERY_EXACT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// Executes `query` exactly against `table`.
+StatusOr<QueryResult> ExecuteExact(const Table& table, const Query& query);
+
+/// Parses and executes a SQL string exactly.
+StatusOr<QueryResult> ExecuteExactSql(const Table& table,
+                                      const std::string& sql);
+
+/// Fraction of rows satisfying the predicate (1.0 when absent).
+StatusOr<double> ExactSelectivity(const Table& table, const Query& query);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_EXACT_H_

@@ -1,0 +1,308 @@
+#include "query/join_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "query/coverage.h"
+#include "query/sql_parser.h"
+
+namespace pairwisehist {
+
+namespace {
+
+constexpr double kWeightEps = 1e-9;
+
+// Aggregates per-refined-bin numerators onto the 1-d parent bins of the
+// aggregation column and normalizes by the 1-d counts.
+void NormalizeToParents(const HistogramDim& agg1d,
+                        const HistogramDim& agg_dim,
+                        const std::vector<double>& num,
+                        const std::vector<double>& num_lo,
+                        const std::vector<double>& num_hi,
+                        std::vector<double>* p, std::vector<double>* lo,
+                        std::vector<double>* hi) {
+  const size_t k1 = agg1d.NumBins();
+  std::vector<double> acc(k1, 0.0), acc_lo(k1, 0.0), acc_hi(k1, 0.0);
+  for (size_t ta = 0; ta < num.size(); ++ta) {
+    size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
+    acc[parent] += num[ta];
+    acc_lo[parent] += num_lo[ta];
+    acc_hi[parent] += num_hi[ta];
+  }
+  p->assign(k1, 0.0);
+  lo->assign(k1, 0.0);
+  hi->assign(k1, 0.0);
+  for (size_t t = 0; t < k1; ++t) {
+    double h = static_cast<double>(agg1d.counts[t]);
+    if (h <= 0) continue;
+    (*p)[t] = std::clamp(acc[t] / h, 0.0, 1.0);
+    (*lo)[t] = std::clamp(acc_lo[t] / h, 0.0, (*p)[t]);
+    (*hi)[t] = std::clamp(acc_hi[t] / h, (*p)[t], 1.0);
+  }
+}
+
+}  // namespace
+
+JoinAqpEngine::Prob JoinAqpEngine::FactLeaf(
+    size_t agg_col, size_t col, const IntervalSet& intervals) const {
+  const HistogramDim& agg1d = fact_->hist1d(agg_col);
+  Prob prob;
+  if (col == agg_col) {
+    Coverage cov = ComputeCoverage(agg1d, intervals, fact_->min_points(),
+                                   fact_->critical_cache());
+    prob.p = cov.beta;
+    prob.lo = cov.lo;
+    prob.hi = cov.hi;
+    return prob;
+  }
+  PairView pair = fact_->GetPair(agg_col, col);
+  const HistogramDim& pred_dim = pair.pred_dim();
+  const HistogramDim& agg_dim = pair.agg_dim();
+  Coverage cov = ComputeCoverage(pred_dim, intervals, fact_->min_points(),
+                                 fact_->critical_cache());
+  const size_t ka = agg_dim.NumBins();
+  std::vector<double> num(ka, 0.0), num_lo(ka, 0.0), num_hi(ka, 0.0);
+  for (size_t ta = 0; ta < ka; ++ta) {
+    for (size_t tp = 0; tp < pred_dim.NumBins(); ++tp) {
+      uint64_t cell = pair.Cell(ta, tp);
+      if (cell == 0) continue;
+      double c = static_cast<double>(cell);
+      num[ta] += c * cov.beta[tp];
+      num_lo[ta] += c * cov.lo[tp];
+      num_hi[ta] += c * cov.hi[tp];
+    }
+  }
+  NormalizeToParents(agg1d, agg_dim, num, num_lo, num_hi, &prob.p,
+                     &prob.lo, &prob.hi);
+  return prob;
+}
+
+StatusOr<JoinAqpEngine::Prob> JoinAqpEngine::DimLeaf(
+    size_t agg_col, size_t dim_col, const IntervalSet& intervals) const {
+  PH_ASSIGN_OR_RETURN(size_t dim_key_col, dim_->ColumnIndex(dim_key_));
+  PH_ASSIGN_OR_RETURN(size_t fact_key_col, fact_->ColumnIndex(fact_key_));
+  if (dim_col == dim_key_col) {
+    // A predicate on the key itself: evaluate it directly on the fact side
+    // (the key values coincide across tables by join semantics).
+    return FactLeaf(agg_col, fact_key_col, intervals);
+  }
+
+  // 1. Coverage of the dimension attribute, conditioned per key bin of the
+  //    dimension synopsis's (key, attr) pairwise histogram.
+  PairView dim_pair = dim_->GetPair(dim_key_col, dim_col);
+  if (!dim_pair.valid()) {
+    return Status::Internal("join: missing (key, attr) pair histogram");
+  }
+  const HistogramDim& key_dim = dim_pair.agg_dim();   // key bins
+  const HistogramDim& attr_dim = dim_pair.pred_dim(); // attr bins
+  Coverage cov = ComputeCoverage(attr_dim, intervals, dim_->min_points(),
+                                 dim_->critical_cache());
+  const size_t kk = key_dim.NumBins();
+  std::vector<double> q(kk, 0.0), q_lo(kk, 0.0), q_hi(kk, 0.0);
+  for (size_t tk = 0; tk < kk; ++tk) {
+    double acc = 0, acc_lo = 0, acc_hi = 0;
+    for (size_t tp = 0; tp < attr_dim.NumBins(); ++tp) {
+      uint64_t cell = dim_pair.Cell(tk, tp);
+      if (cell == 0) continue;
+      double c = static_cast<double>(cell);
+      acc += c * cov.beta[tp];
+      acc_lo += c * cov.lo[tp];
+      acc_hi += c * cov.hi[tp];
+    }
+    double h = static_cast<double>(key_dim.counts[tk]);
+    if (h > 0) {
+      q[tk] = std::clamp(acc / h, 0.0, 1.0);
+      q_lo[tk] = std::clamp(acc_lo / h, 0.0, q[tk]);
+      q_hi[tk] = std::clamp(acc_hi / h, q[tk], 1.0);
+    }
+  }
+
+  // The two synopses encode keys in their own code domains; transfer via
+  // the RAW key value (Decode on the dim side, Decode on the fact side).
+  const ColumnTransform& dim_key_tr = dim_->transform(dim_key_col);
+  const ColumnTransform& fact_key_tr = fact_->transform(fact_key_col);
+
+  // 2. Transfer onto the fact synopsis's (agg, key) histogram: each fact
+  //    key bin takes the dimension-side conditional probability of the
+  //    key bin containing its midpoint value.
+  PairView fact_pair = fact_->GetPair(agg_col, fact_key_col);
+  if (!fact_pair.valid()) {
+    return Status::Internal("join: missing (agg, key) pair histogram");
+  }
+  const HistogramDim& fkey_dim = fact_pair.pred_dim();
+  const HistogramDim& agg_dim = fact_pair.agg_dim();
+  const size_t kf = fkey_dim.NumBins();
+  std::vector<double> beta_f(kf, 0.0), beta_f_lo(kf, 0.0),
+      beta_f_hi(kf, 0.0);
+  for (size_t tf = 0; tf < kf; ++tf) {
+    if (fkey_dim.counts[tf] == 0) continue;
+    // Midpoint of the fact key bin, mapped through raw key space into the
+    // dimension synopsis's key code domain.
+    double mid_code = fkey_dim.Midpoint(tf);
+    double raw = fact_key_tr.Decode(mid_code);
+    double dim_code = dim_key_tr.EncodeContinuous(raw);
+    size_t tk = key_dim.BinIndex(dim_code);
+    beta_f[tf] = q[tk];
+    beta_f_lo[tf] = q_lo[tk];
+    beta_f_hi[tf] = q_hi[tk];
+  }
+
+  // 3. Fold through the fact (agg, key) cells exactly like a coverage
+  //    vector (Eq. 27 with β replaced by the transferred conditionals).
+  const size_t ka = agg_dim.NumBins();
+  std::vector<double> num(ka, 0.0), num_lo(ka, 0.0), num_hi(ka, 0.0);
+  for (size_t ta = 0; ta < ka; ++ta) {
+    for (size_t tf = 0; tf < kf; ++tf) {
+      uint64_t cell = fact_pair.Cell(ta, tf);
+      if (cell == 0) continue;
+      double c = static_cast<double>(cell);
+      num[ta] += c * beta_f[tf];
+      num_lo[ta] += c * beta_f_lo[tf];
+      num_hi[ta] += c * beta_f_hi[tf];
+    }
+  }
+  Prob prob;
+  NormalizeToParents(fact_->hist1d(agg_col), agg_dim, num, num_lo, num_hi,
+                     &prob.p, &prob.lo, &prob.hi);
+  return prob;
+}
+
+StatusOr<QueryResult> JoinAqpEngine::Execute(const Query& query) const {
+  if (!query.group_by.empty()) {
+    return Status::Unimplemented("join engine: GROUP BY not supported");
+  }
+  if (query.func != AggFunc::kCount && query.func != AggFunc::kSum &&
+      query.func != AggFunc::kAvg) {
+    return Status::Unimplemented(
+        "join engine: only COUNT/SUM/AVG are supported");
+  }
+  if (query.count_star) {
+    return Status::Unimplemented(
+        "join engine: aggregate a named fact column");
+  }
+  PH_ASSIGN_OR_RETURN(size_t agg_col, fact_->ColumnIndex(query.agg_column));
+
+  // Flatten the predicate to conjunctive conditions.
+  std::vector<const Condition*> conds;
+  if (query.where.has_value()) {
+    const PredicateNode& root = *query.where;
+    if (root.type == PredicateNode::Type::kCondition) {
+      conds.push_back(&root.condition);
+    } else if (root.type == PredicateNode::Type::kAnd) {
+      for (const auto& child : root.children) {
+        if (child.type != PredicateNode::Type::kCondition) {
+          return Status::Unimplemented(
+              "join engine: only flat conjunctions are supported");
+        }
+        conds.push_back(&child.condition);
+      }
+    } else {
+      return Status::Unimplemented("join engine: OR not supported");
+    }
+  }
+
+  const HistogramDim& agg1d = fact_->hist1d(agg_col);
+  const size_t k = agg1d.NumBins();
+  Prob acc;
+  acc.p.assign(k, 1.0);
+  acc.lo.assign(k, 1.0);
+  acc.hi.assign(k, 1.0);
+  for (const Condition* cond : conds) {
+    Prob leaf;
+    auto fact_col = fact_->ColumnIndex(cond->column);
+    if (fact_col.ok()) {
+      leaf = FactLeaf(agg_col, fact_col.value(),
+                      ConditionToIntervals(
+                          *cond, fact_->transform(fact_col.value())));
+    } else {
+      PH_ASSIGN_OR_RETURN(size_t dim_col, dim_->ColumnIndex(cond->column));
+      PH_ASSIGN_OR_RETURN(
+          leaf, DimLeaf(agg_col, dim_col,
+                        ConditionToIntervals(*cond,
+                                             dim_->transform(dim_col))));
+    }
+    for (size_t t = 0; t < k; ++t) {
+      acc.p[t] *= leaf.p[t];
+      acc.lo[t] *= leaf.lo[t];
+      acc.hi[t] *= leaf.hi[t];
+    }
+  }
+
+  // Weightings and Table-3 aggregation (COUNT/SUM/AVG subset).
+  const double rho = fact_->sampling_ratio();
+  const ColumnTransform& tr = fact_->transform(agg_col);
+  double total = 0, total_lo = 0, total_hi = 0;
+  double num = 0, num_c_lo = 0, num_c_hi = 0;
+  double sum_lo = 0, sum_hi = 0;
+  for (size_t t = 0; t < k; ++t) {
+    double h = static_cast<double>(agg1d.counts[t]);
+    if (h <= 0) continue;
+    double w = h * acc.p[t];
+    double w_lo = h * acc.lo[t];
+    double w_hi = h * acc.hi[t];
+    total += w;
+    total_lo += w_lo;
+    total_hi += w_hi;
+    double c = agg1d.Midpoint(t);
+    CentreBounds cb = fact_->WeightedCentreBounds(agg1d, t);
+    num += w * c;
+    num_c_lo += w * cb.lo;
+    num_c_hi += w * cb.hi;
+    double raw_lo = tr.Decode(cb.lo), raw_hi = tr.Decode(cb.hi);
+    sum_lo += std::min({w_lo * raw_lo, w_lo * raw_hi, w_hi * raw_lo,
+                        w_hi * raw_hi});
+    sum_hi += std::max({w_lo * raw_lo, w_lo * raw_hi, w_hi * raw_lo,
+                        w_hi * raw_hi});
+  }
+
+  AggResult r;
+  switch (query.func) {
+    case AggFunc::kCount:
+      r.estimate = total / rho;
+      r.lower = total_lo / rho;
+      r.upper = total_hi / rho;
+      r.empty_selection = total <= kWeightEps;
+      break;
+    case AggFunc::kSum:
+      if (total <= kWeightEps) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper =
+            std::numeric_limits<double>::quiet_NaN();
+      } else {
+        r.estimate = 0;
+        for (size_t t = 0; t < k; ++t) {
+          double h = static_cast<double>(agg1d.counts[t]);
+          r.estimate += h * acc.p[t] * tr.Decode(agg1d.Midpoint(t));
+        }
+        r.estimate /= rho;
+        r.lower = sum_lo / rho;
+        r.upper = sum_hi / rho;
+      }
+      break;
+    case AggFunc::kAvg:
+      if (total <= kWeightEps) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper =
+            std::numeric_limits<double>::quiet_NaN();
+      } else {
+        r.estimate = tr.Decode(num / total);
+        r.lower = tr.Decode(num_c_lo / total);
+        r.upper = tr.Decode(num_c_hi / total);
+      }
+      break;
+    default:
+      break;
+  }
+  QueryResult result;
+  result.groups.push_back({"", r});
+  return result;
+}
+
+StatusOr<QueryResult> JoinAqpEngine::ExecuteSql(
+    const std::string& sql) const {
+  PH_ASSIGN_OR_RETURN(Query q, ParseSql(sql));
+  return Execute(q);
+}
+
+}  // namespace pairwisehist

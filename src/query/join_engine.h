@@ -1,0 +1,68 @@
+// Multi-table AQP (paper Section 3): "queries across different tables can
+// be resolved via two-dimensional histograms involving the primary/foreign
+// keys". This prototype covers the star-schema case the paper sketches:
+//
+//   SELECT F(fact.x) FROM fact JOIN dim ON fact.fk = dim.pk
+//   WHERE <conjunctive predicates on fact and/or dim columns>;
+//
+// Dimension-table predicates are converted to coverage over the dimension
+// synopsis's (pk, attr) pairwise histogram, transferred onto the fact
+// synopsis's (agg, fk) histogram through the key dimension, and combined
+// with fact-side predicates under Eq. 28. Assumes pk is unique in the
+// dimension table and every fact fk joins (inner-join semantics otherwise
+// shade COUNTs proportionally). COUNT/SUM/AVG with AND-combined predicates;
+// bounds propagate from Theorem-2 coverage bounds.
+#ifndef PAIRWISEHIST_QUERY_JOIN_ENGINE_H_
+#define PAIRWISEHIST_QUERY_JOIN_ENGINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pairwise_hist.h"
+#include "query/ast.h"
+#include "query/coverage.h"
+
+namespace pairwisehist {
+
+class JoinAqpEngine {
+ public:
+  /// Both synopses must outlive the engine. `fact_key` / `dim_key` name
+  /// the join columns in the respective synopses.
+  JoinAqpEngine(const PairwiseHist* fact, std::string fact_key,
+                const PairwiseHist* dim, std::string dim_key)
+      : fact_(fact),
+        dim_(dim),
+        fact_key_(std::move(fact_key)),
+        dim_key_(std::move(dim_key)) {}
+
+  /// Executes a query over the implicit join. The aggregation column must
+  /// belong to the fact table; predicate columns are resolved against the
+  /// fact synopsis first, then the dimension synopsis.
+  StatusOr<QueryResult> Execute(const Query& query) const;
+
+  /// Parses and executes SQL (the FROM table name is informational).
+  StatusOr<QueryResult> ExecuteSql(const std::string& sql) const;
+
+ private:
+  struct Prob {
+    std::vector<double> p, lo, hi;
+  };
+
+  /// Probability vector over the fact aggregation column's 1-d bins for a
+  /// fact-side condition.
+  Prob FactLeaf(size_t agg_col, size_t col,
+                const IntervalSet& intervals) const;
+  /// Probability vector for a dimension-side condition, routed through the
+  /// key histograms.
+  StatusOr<Prob> DimLeaf(size_t agg_col, size_t dim_col,
+                         const IntervalSet& intervals) const;
+
+  const PairwiseHist* fact_;
+  const PairwiseHist* dim_;
+  std::string fact_key_;
+  std::string dim_key_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_JOIN_ENGINE_H_

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the supported SQL subset (Fig. 2's "SQL
+// Parser" stage). Returns positioned error messages on malformed input.
+//
+// Grammar (case-insensitive keywords):
+//   query     := SELECT func '(' (ident | '*') ')' FROM ident
+//                [WHERE or_expr] [GROUP BY ident] [';']
+//   func      := COUNT | SUM | AVG | MIN | MAX | MEDIAN | VAR | VARIANCE
+//   or_expr   := and_expr (OR and_expr)*
+//   and_expr  := primary (AND primary)*        // AND binds tighter than OR
+//   primary   := '(' or_expr ')' | ident op literal
+//   op        := '<' | '<=' | '>' | '>=' | '=' | '==' | '!=' | '<>'
+//   literal   := number | quoted string
+#ifndef PAIRWISEHIST_QUERY_SQL_PARSER_H_
+#define PAIRWISEHIST_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace pairwisehist {
+
+/// Parses one SQL statement into a Query.
+StatusOr<Query> ParseSql(const std::string& sql);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_SQL_PARSER_H_

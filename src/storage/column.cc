@@ -1,0 +1,84 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pairwisehist {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kCategorical:
+      return "categorical";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+void Column::AppendCategory(const std::string& category) {
+  for (size_t i = 0; i < dictionary_.size(); ++i) {
+    if (dictionary_[i] == category) {
+      Append(static_cast<double>(i));
+      return;
+    }
+  }
+  dictionary_.push_back(category);
+  Append(static_cast<double>(dictionary_.size() - 1));
+}
+
+double Column::Min() const {
+  double m = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (nulls_[i]) continue;
+    if (std::isnan(m) || values_[i] < m) m = values_[i];
+  }
+  return m;
+}
+
+double Column::Max() const {
+  double m = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (nulls_[i]) continue;
+    if (std::isnan(m) || values_[i] > m) m = values_[i];
+  }
+  return m;
+}
+
+size_t Column::CountDistinct() const {
+  std::vector<double> v;
+  v.reserve(non_null_count_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!nulls_[i]) v.push_back(values_[i]);
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v.size();
+}
+
+StatusOr<int64_t> Column::CategoryCode(const std::string& category) const {
+  for (size_t i = 0; i < dictionary_.size(); ++i) {
+    if (dictionary_[i] == category) return static_cast<int64_t>(i);
+  }
+  return Status::NotFound("category '" + category + "' not in column '" +
+                          name_ + "'");
+}
+
+StatusOr<std::string> Column::CategoryName(int64_t code) const {
+  if (code < 0 || static_cast<size_t>(code) >= dictionary_.size()) {
+    return Status::OutOfRange("category code out of range in column '" +
+                              name_ + "'");
+  }
+  return dictionary_[static_cast<size_t>(code)];
+}
+
+size_t Column::RawSizeBytes() const {
+  size_t bytes = values_.size() * 8 + (values_.size() + 7) / 8;
+  for (const auto& s : dictionary_) bytes += s.size() + 4;
+  return bytes;
+}
+
+}  // namespace pairwisehist

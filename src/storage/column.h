@@ -1,0 +1,114 @@
+// Typed, nullable column storage.
+//
+// The evaluation datasets mix sensor floats (fixed decimal precision),
+// integers, timestamps and skewed categorical fields with missing values —
+// exactly the mix GreedyGD pre-processing (Section 3 of the paper) is
+// designed around. A Column stores its canonical numeric representation as
+// double (exact for integers up to 2^53, far beyond our domains), an
+// optional string dictionary for categorical data, a null bitmap, and a
+// decimal-places hint used by the float→integer pre-processing step.
+#ifndef PAIRWISEHIST_STORAGE_COLUMN_H_
+#define PAIRWISEHIST_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+
+/// Logical column types.
+enum class DataType : uint8_t {
+  kFloat64 = 0,     ///< real-valued measurements
+  kInt64 = 1,       ///< counts, codes, identifiers
+  kCategorical = 2, ///< dictionary-encoded strings
+  kTimestamp = 3,   ///< seconds since epoch, stored as integer
+};
+
+const char* DataTypeName(DataType type);
+
+/// One nullable column of a Table.
+class Column {
+ public:
+  /// Creates an empty column. `decimals` matters only for kFloat64: the
+  /// number of decimal places preserved by the GD float→int conversion.
+  Column(std::string name, DataType type, int decimals = 2)
+      : name_(std::move(name)), type_(type), decimals_(decimals) {}
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  int decimals() const { return decimals_; }
+  size_t size() const { return values_.size(); }
+
+  /// Appends a non-null numeric value (the categorical code for
+  /// kCategorical columns).
+  void Append(double value) {
+    values_.push_back(value);
+    nulls_.push_back(0);
+    ++non_null_count_;
+  }
+
+  /// Appends a null entry (value slot holds 0 and must not be read).
+  void AppendNull() {
+    values_.push_back(0);
+    nulls_.push_back(1);
+  }
+
+  /// Appends a categorical string, interning it in the dictionary.
+  /// Only valid for kCategorical columns.
+  void AppendCategory(const std::string& category);
+
+  bool IsNull(size_t row) const { return nulls_[row] != 0; }
+  double Value(size_t row) const { return values_[row]; }
+
+  size_t null_count() const { return values_.size() - non_null_count_; }
+  size_t non_null_count() const { return non_null_count_; }
+  bool has_nulls() const { return non_null_count_ != values_.size(); }
+
+  /// Minimum / maximum over non-null values; NaN when all-null.
+  double Min() const;
+  double Max() const;
+
+  /// Number of distinct non-null values (exact; O(n log n)).
+  size_t CountDistinct() const;
+
+  /// Dictionary access (kCategorical only). Codes index into this vector.
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  /// Looks up the code for a category string; NotFound if absent.
+  StatusOr<int64_t> CategoryCode(const std::string& category) const;
+  /// Looks up the string for a code; OutOfRange if invalid.
+  StatusOr<std::string> CategoryName(int64_t code) const;
+  /// Replaces the dictionary (used by generators that pre-build it).
+  void SetDictionary(std::vector<std::string> dict) {
+    dictionary_ = std::move(dict);
+  }
+
+  /// Raw value vector (read-only). Null rows contain 0.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Bytes of an uncompressed in-memory representation: 8 per value plus
+  /// one bit of null bitmap, plus dictionary strings. Used as the "raw"
+  /// storage reference when reporting compression ratios.
+  size_t RawSizeBytes() const;
+
+  /// Reserves capacity for n rows.
+  void Reserve(size_t n) {
+    values_.reserve(n);
+    nulls_.reserve(n);
+  }
+
+ private:
+  std::string name_;
+  DataType type_;
+  int decimals_;
+  std::vector<double> values_;
+  std::vector<uint8_t> nulls_;
+  std::vector<std::string> dictionary_;
+  size_t non_null_count_ = 0;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_COLUMN_H_

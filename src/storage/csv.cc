@@ -1,0 +1,216 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pairwisehist {
+
+namespace {
+
+// Splits one CSV record honouring double quotes. Returns false on an
+// unterminated quote.
+bool SplitCsvLine(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out->push_back(field);
+      field.clear();
+    } else if (c == '\r') {
+      // Skip CR of CRLF endings.
+    } else {
+      field += c;
+    }
+  }
+  out->push_back(field);
+  return !in_quotes;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeFloat(const std::string& s, int* decimals) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  size_t dot = s.find('.');
+  *decimals = 0;
+  if (dot != std::string::npos) {
+    size_t frac = s.size() - dot - 1;
+    // Strip exponent part if present.
+    size_t e = s.find_first_of("eE", dot);
+    if (e != std::string::npos) frac = e - dot - 1;
+    *decimals = static_cast<int>(frac);
+  }
+  return true;
+}
+
+std::string EscapeCsv(const std::string& s) {
+  bool needs_quote = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Table> ParseCsv(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV: empty input");
+  }
+  std::vector<std::string> header;
+  if (!SplitCsvLine(line, &header)) {
+    return Status::InvalidArgument("CSV: unterminated quote in header");
+  }
+  size_t ncols = header.size();
+
+  std::vector<std::vector<std::string>> cells(ncols);
+  std::vector<std::string> fields;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!SplitCsvLine(line, &fields)) {
+      return Status::InvalidArgument("CSV: unterminated quote at line " +
+                                     std::to_string(line_no));
+    }
+    if (fields.size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV: wrong field count at line " + std::to_string(line_no) +
+          " (expected " + std::to_string(ncols) + ", got " +
+          std::to_string(fields.size()) + ")");
+    }
+    for (size_t c = 0; c < ncols; ++c) cells[c].push_back(fields[c]);
+  }
+
+  Table table(name);
+  for (size_t c = 0; c < ncols; ++c) {
+    // Infer type: every non-empty value int => int64; else every value
+    // numeric => float64 (max decimals); else categorical.
+    bool all_int = true, all_float = true;
+    int max_decimals = 0;
+    bool any_value = false;
+    for (const auto& v : cells[c]) {
+      if (v.empty()) continue;
+      any_value = true;
+      if (!LooksLikeInt(v)) all_int = false;
+      int dec = 0;
+      if (!LooksLikeFloat(v, &dec)) all_float = false;
+      else if (dec > max_decimals) max_decimals = dec;
+      if (!all_int && !all_float) break;
+    }
+    DataType type = DataType::kCategorical;
+    if (any_value && all_int) type = DataType::kInt64;
+    else if (any_value && all_float) type = DataType::kFloat64;
+
+    Column col(header[c], type,
+               type == DataType::kFloat64 ? std::min(max_decimals, 6) : 0);
+    col.Reserve(cells[c].size());
+    for (const auto& v : cells[c]) {
+      if (v.empty()) {
+        col.AppendNull();
+      } else if (type == DataType::kCategorical) {
+        col.AppendCategory(v);
+      } else {
+        col.Append(std::strtod(v.c_str(), nullptr));
+      }
+    }
+    table.AddColumn(std::move(col));
+  }
+  PH_RETURN_IF_ERROR(table.Validate());
+  return table;
+}
+
+StatusOr<Table> ReadCsv(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  // Table name = file stem.
+  size_t slash = path.find_last_of('/');
+  std::string stem = (slash == std::string::npos) ? path
+                                                  : path.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  return ParseCsv(ss.str(), stem);
+}
+
+std::string ToCsvString(const Table& table) {
+  std::ostringstream out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c) out << ',';
+    out << EscapeCsv(table.column(c).name());
+  }
+  out << '\n';
+  char buf[64];
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c) out << ',';
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;
+      switch (col.type()) {
+        case DataType::kCategorical: {
+          auto name = col.CategoryName(static_cast<int64_t>(col.Value(r)));
+          out << EscapeCsv(name.ok() ? name.value() : "?");
+          break;
+        }
+        case DataType::kFloat64:
+          std::snprintf(buf, sizeof(buf), "%.*f", col.decimals(),
+                        col.Value(r));
+          out << buf;
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(col.Value(r)));
+          out << buf;
+          break;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  f << ToCsvString(table);
+  if (!f) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pairwisehist

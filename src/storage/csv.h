@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer with type inference.
+//
+// Used by the examples to round-trip datasets to disk and to demonstrate
+// ingesting external data into the AQP framework. Supports quoted fields,
+// empty fields as nulls, and infers int64 → float64 → categorical.
+#ifndef PAIRWISEHIST_STORAGE_CSV_H_
+#define PAIRWISEHIST_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// Parses the CSV file at `path` (first row = header) into a Table.
+/// Empty fields become nulls. Column types are inferred from the data.
+StatusOr<Table> ReadCsv(const std::string& path);
+
+/// Parses CSV from an in-memory string (first row = header).
+StatusOr<Table> ParseCsv(const std::string& text, const std::string& name);
+
+/// Writes `table` as CSV to `path`. Categorical codes are written as their
+/// dictionary strings; nulls as empty fields.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes `table` as a CSV string.
+std::string ToCsvString(const Table& table);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_CSV_H_

@@ -1,0 +1,112 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pairwisehist {
+
+StatusOr<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("column '" + name + "' not in table '" + name_ +
+                          "'");
+}
+
+StatusOr<const Column*> Table::FindColumn(const std::string& name) const {
+  PH_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+  return &columns_[i];
+}
+
+Status Table::Validate() const {
+  if (columns_.empty()) return Status::OK();
+  size_t rows = columns_[0].size();
+  for (const auto& c : columns_) {
+    if (c.size() != rows) {
+      return Status::Internal("table '" + name_ + "': column '" + c.name() +
+                              "' length mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Copies row `row` of every column in `src` into `dst`. The dst table must
+// have the same schema (created by the callers below).
+void CopyRow(const Table& src, size_t row, Table* dst) {
+  for (size_t c = 0; c < src.NumColumns(); ++c) {
+    const Column& in = src.column(c);
+    Column& out = dst->column(c);
+    if (in.IsNull(row)) {
+      out.AppendNull();
+    } else {
+      out.Append(in.Value(row));
+    }
+  }
+}
+
+// Builds an empty table with the same schema (and dictionaries) as `src`.
+Table EmptyLike(const Table& src, const std::string& name) {
+  Table out(name);
+  for (size_t c = 0; c < src.NumColumns(); ++c) {
+    const Column& in = src.column(c);
+    Column col(in.name(), in.type(), in.decimals());
+    col.SetDictionary(in.dictionary());
+    out.AddColumn(std::move(col));
+  }
+  return out;
+}
+
+}  // namespace
+
+Table Table::Sample(size_t n, uint64_t seed) const {
+  size_t rows = NumRows();
+  Table out = EmptyLike(*this, name_ + "_sample");
+  if (rows == 0) return out;
+  if (n >= rows) {
+    for (size_t r = 0; r < rows; ++r) CopyRow(*this, r, &out);
+    return out;
+  }
+  // Floyd-style selection then sort: keeps original row order, which the
+  // builder relies on only for determinism, not correctness.
+  Rng rng(seed);
+  std::vector<size_t> picks(rows);
+  std::iota(picks.begin(), picks.end(), 0);
+  // Partial Fisher–Yates: choose n distinct indices.
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = i + static_cast<size_t>(rng.UniformInt(uint64_t(rows - i)));
+    std::swap(picks[i], picks[j]);
+  }
+  picks.resize(n);
+  std::sort(picks.begin(), picks.end());
+  for (size_t r : picks) CopyRow(*this, r, &out);
+  return out;
+}
+
+Table Table::Slice(size_t begin, size_t end) const {
+  Table out = EmptyLike(*this, name_ + "_slice");
+  end = std::min(end, NumRows());
+  for (size_t r = begin; r < end; ++r) CopyRow(*this, r, &out);
+  return out;
+}
+
+size_t Table::RawSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.RawSizeBytes();
+  return bytes;
+}
+
+std::string Table::SchemaString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name();
+    s += "(";
+    s += DataTypeName(columns_[i].type());
+    s += ")";
+  }
+  return s;
+}
+
+}  // namespace pairwisehist

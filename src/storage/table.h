@@ -1,0 +1,64 @@
+// In-memory relational table: an ordered set of equally-long Columns.
+#ifndef PAIRWISEHIST_STORAGE_TABLE_H_
+#define PAIRWISEHIST_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace pairwisehist {
+
+/// A named single relation. Columns are owned by the table; all columns
+/// must have the same length (checked by Validate()).
+class Table {
+ public:
+  explicit Table(std::string name = "t") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a column; returns its index.
+  size_t AddColumn(Column column) {
+    columns_.push_back(std::move(column));
+    return columns_.size() - 1;
+  }
+
+  size_t NumColumns() const { return columns_.size(); }
+  size_t NumRows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column with the given name; NotFound if absent.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+  /// Column by name; NotFound if absent.
+  StatusOr<const Column*> FindColumn(const std::string& name) const;
+
+  /// Checks all columns have equal length.
+  Status Validate() const;
+
+  /// Uniform random sample (without replacement) of up to n rows.
+  Table Sample(size_t n, uint64_t seed) const;
+
+  /// Copy of rows [begin, end).
+  Table Slice(size_t begin, size_t end) const;
+
+  /// Total bytes of the uncompressed in-memory representation.
+  size_t RawSizeBytes() const;
+
+  /// One-line schema summary for logs/docs: "name(type), ...".
+  std::string SchemaString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_TABLE_H_

@@ -1,0 +1,272 @@
+// Tests for the comparison baselines: sampling AQP, AVI histograms, the SPN
+// (DeepDB-lite) and DBEst-lite.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/avi_hist.h"
+#include "baselines/dbest.h"
+#include "baselines/sampling_aqp.h"
+#include "baselines/spn.h"
+#include "datagen/datasets.h"
+#include "harness/metrics.h"
+#include "query/exact.h"
+#include "query/sql_parser.h"
+
+namespace pairwisehist {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { table_ = new Table(MakePower(20000, 60)); }
+  static void TearDownTestSuite() { delete table_; }
+
+  static double Exact(const std::string& sql) {
+    return ExecuteExactSql(*table_, sql)->Scalar().estimate;
+  }
+  static Query Parse(const std::string& sql) {
+    auto q = ParseSql(sql);
+    EXPECT_TRUE(q.ok());
+    return q.value();
+  }
+
+  static Table* table_;
+};
+
+Table* BaselinesTest::table_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+TEST_F(BaselinesTest, SamplingCountAccurateAndBounded) {
+  SamplingAqp method(*table_, 5000, 1);
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE voltage > 240;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  double exact = Exact(sql);
+  EXPECT_LT(RelativeErrorPct(exact, r->Scalar().estimate), 10.0);
+  EXPECT_LE(r->Scalar().lower, r->Scalar().upper);
+  // CLT bounds should usually contain the truth for counts.
+  EXPECT_GE(exact, r->Scalar().lower * 0.95);
+  EXPECT_LE(exact, r->Scalar().upper * 1.05);
+}
+
+TEST_F(BaselinesTest, SamplingAvgReasonable) {
+  SamplingAqp method(*table_, 5000, 1);
+  const std::string sql =
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 10.0);
+}
+
+TEST_F(BaselinesTest, SamplingScalesCounts) {
+  SamplingAqp method(*table_, 2000, 2);
+  auto r = method.Execute(Parse("SELECT COUNT(*) FROM power;"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Scalar().estimate, 20000.0, 1.0);
+  EXPECT_NEAR(method.sampling_ratio(), 0.1, 1e-9);
+}
+
+TEST_F(BaselinesTest, SamplingSupportsEverything) {
+  SamplingAqp method(*table_, 2000, 2);
+  EXPECT_TRUE(method.SupportsQuery(
+      Parse("SELECT MEDIAN(voltage) FROM power WHERE hour > 3 OR hour < 1;")));
+  EXPECT_GT(method.StorageBytes(), 100000u);  // samples are big
+}
+
+TEST_F(BaselinesTest, SamplingMinMaxBiasedInward) {
+  SamplingAqp method(*table_, 1000, 3);
+  auto r = method.Execute(Parse("SELECT MAX(global_active_power) FROM power;"));
+  ASSERT_TRUE(r.ok());
+  double exact = Exact("SELECT MAX(global_active_power) FROM power;");
+  EXPECT_LE(r->Scalar().estimate, exact + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// AVI histograms
+
+TEST_F(BaselinesTest, AviCountSinglePredicate) {
+  AviHistogram method(*table_, 10000, 64, 4);
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE voltage <= 241;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 15.0);
+}
+
+TEST_F(BaselinesTest, AviIndependenceAssumptionHurtsCorrelated) {
+  AviHistogram method(*table_, 10000, 64, 4);
+  // global_intensity is nearly proportional to global_active_power, so AVI
+  // multiplies two marginal selectivities where the truth is one.
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE global_active_power > 0.3 "
+      "AND global_intensity > 1.3;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  double exact = Exact(sql);
+  // The AVI estimate should UNDERESTIMATE markedly on positively
+  // correlated conjunctions.
+  EXPECT_LT(r->Scalar().estimate, exact);
+}
+
+TEST_F(BaselinesTest, AviRejectsUnsupportedShapes) {
+  AviHistogram method(*table_, 5000, 64, 4);
+  EXPECT_FALSE(method.SupportsQuery(
+      Parse("SELECT MEDIAN(voltage) FROM power;")));
+  EXPECT_FALSE(method.SupportsQuery(
+      Parse("SELECT COUNT(voltage) FROM power WHERE hour > 3 OR hour < 1;")));
+  EXPECT_FALSE(method.SupportsQuery(
+      Parse("SELECT AVG(voltage) FROM power GROUP BY hour;")));
+  EXPECT_FALSE(
+      method.Execute(Parse("SELECT MEDIAN(voltage) FROM power;")).ok());
+}
+
+TEST_F(BaselinesTest, AviStorageTiny) {
+  AviHistogram method(*table_, 10000, 64, 4);
+  EXPECT_LT(method.StorageBytes(), 40000u);
+}
+
+// ---------------------------------------------------------------------------
+// SPN (DeepDB-lite)
+
+TEST_F(BaselinesTest, SpnCountAccuracy) {
+  SpnBaseline::Config cfg;
+  cfg.sample_size = 20000;
+  SpnBaseline method(*table_, cfg);
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE voltage > 240;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 15.0);
+}
+
+TEST_F(BaselinesTest, SpnAvgWithCrossColumnPredicate) {
+  SpnBaseline::Config cfg;
+  cfg.sample_size = 20000;
+  SpnBaseline method(*table_, cfg);
+  const std::string sql =
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 25.0);
+}
+
+TEST_F(BaselinesTest, SpnRefusesOrAndExoticAggregates) {
+  SpnBaseline::Config cfg;
+  cfg.sample_size = 5000;
+  SpnBaseline method(*table_, cfg);
+  // Mirrors the paper's observation: the public DeepDB rejects OR and
+  // supports only COUNT/SUM/AVG.
+  EXPECT_FALSE(method.SupportsQuery(
+      Parse("SELECT COUNT(voltage) FROM power WHERE hour > 3 OR hour < 1;")));
+  EXPECT_FALSE(
+      method.SupportsQuery(Parse("SELECT MEDIAN(voltage) FROM power;")));
+  EXPECT_FALSE(
+      method.SupportsQuery(Parse("SELECT VAR(voltage) FROM power;")));
+  EXPECT_FALSE(
+      method.SupportsQuery(Parse("SELECT MIN(voltage) FROM power;")));
+  EXPECT_TRUE(
+      method.SupportsQuery(Parse("SELECT SUM(voltage) FROM power;")));
+}
+
+TEST_F(BaselinesTest, SpnHasStructure) {
+  SpnBaseline::Config cfg;
+  cfg.sample_size = 20000;
+  SpnBaseline method(*table_, cfg);
+  auto stats = method.GetStats();
+  EXPECT_GT(stats.leaves, 0u);
+  EXPECT_GT(stats.sum_nodes + stats.product_nodes, 0u);
+  EXPECT_GT(method.StorageBytes(), 1000u);
+}
+
+TEST_F(BaselinesTest, SpnBoundsBracketEstimate) {
+  SpnBaseline::Config cfg;
+  cfg.sample_size = 10000;
+  SpnBaseline method(*table_, cfg);
+  auto r = method.Execute(
+      Parse("SELECT COUNT(voltage) FROM power WHERE hour < 12;"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->Scalar().lower, r->Scalar().estimate);
+  EXPECT_GE(r->Scalar().upper, r->Scalar().estimate);
+}
+
+// ---------------------------------------------------------------------------
+// DBEst-lite
+
+TEST_F(BaselinesTest, DbestTrainAndQuery) {
+  DbestBaseline::Config cfg;
+  cfg.sample_size = 4000;
+  DbestBaseline method(cfg);
+  ASSERT_TRUE(
+      method.TrainTemplate(*table_, "global_active_power", "hour").ok());
+  const std::string sql =
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 30.0);
+}
+
+TEST_F(BaselinesTest, DbestCountViaDensity) {
+  DbestBaseline::Config cfg;
+  cfg.sample_size = 4000;
+  DbestBaseline method(cfg);
+  ASSERT_TRUE(method.TrainTemplate(*table_, "voltage", "voltage").ok());
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE voltage > 240;";
+  auto r = method.Execute(Parse(sql));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(RelativeErrorPct(Exact(sql), r->Scalar().estimate), 30.0);
+}
+
+TEST_F(BaselinesTest, DbestRequiresTrainedTemplate) {
+  DbestBaseline method({});
+  auto r = method.Execute(
+      Parse("SELECT AVG(voltage) FROM power WHERE hour > 3;"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BaselinesTest, DbestRejectsUnsupportedShapes) {
+  DbestBaseline method({});
+  // Multi-predicate, OR, no-predicate and exotic aggregates are out of
+  // scope for the per-template model family (the paper's observations).
+  EXPECT_FALSE(method.SupportsQuery(Parse(
+      "SELECT COUNT(voltage) FROM power WHERE hour > 1 AND voltage > 2;")));
+  EXPECT_FALSE(method.SupportsQuery(
+      Parse("SELECT COUNT(voltage) FROM power WHERE hour > 3 OR hour < 1;")));
+  EXPECT_FALSE(method.SupportsQuery(Parse("SELECT SUM(voltage) FROM power;")));
+  EXPECT_FALSE(
+      method.SupportsQuery(Parse("SELECT MEDIAN(voltage) FROM power;")));
+}
+
+TEST_F(BaselinesTest, DbestStorageGrowsWithTemplates) {
+  DbestBaseline::Config cfg;
+  cfg.sample_size = 2000;
+  DbestBaseline method(cfg);
+  ASSERT_TRUE(method.TrainTemplate(*table_, "voltage", "hour").ok());
+  size_t one = method.StorageBytes();
+  ASSERT_TRUE(
+      method.TrainTemplate(*table_, "global_active_power", "hour").ok());
+  ASSERT_TRUE(
+      method.TrainTemplate(*table_, "sub_metering_1", "voltage").ok());
+  EXPECT_EQ(method.num_templates(), 3u);
+  EXPECT_GT(method.StorageBytes(), 2 * one);
+}
+
+TEST_F(BaselinesTest, DbestTrainForWorkload) {
+  DbestBaseline::Config cfg;
+  cfg.sample_size = 2000;
+  DbestBaseline method(cfg);
+  std::vector<Query> workload = {
+      Parse("SELECT AVG(voltage) FROM power WHERE hour > 6;"),
+      Parse("SELECT COUNT(voltage) FROM power WHERE hour > 3 OR hour < 1;"),
+  };
+  auto trained = method.TrainForWorkload(*table_, workload);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_EQ(trained.value(), 1u);  // the OR query is skipped
+}
+
+}  // namespace
+}  // namespace pairwisehist

@@ -1,0 +1,300 @@
+// Tests for the synthetic dataset generators and the IDEBench-style scaler.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/idebench_scaler.h"
+
+namespace pairwisehist {
+namespace {
+
+// Parameterized over all 11 datasets: schema and content invariants.
+class DatasetInvariants : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(DatasetInvariants, ColumnCountMatchesTable4) {
+  const DatasetSpec& spec = GetParam();
+  auto t = MakeDataset(spec.name, 500, 1);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(static_cast<int>(t->NumColumns()), spec.columns) << spec.name;
+}
+
+TEST_P(DatasetInvariants, RowCountHonoured) {
+  auto t = MakeDataset(GetParam().name, 321, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 321u);
+}
+
+TEST_P(DatasetInvariants, ValidatesAndIsDeterministic) {
+  auto t1 = MakeDataset(GetParam().name, 400, 99);
+  auto t2 = MakeDataset(GetParam().name, 400, 99);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t1->Validate().ok());
+  for (size_t c = 0; c < t1->NumColumns(); ++c) {
+    for (size_t r = 0; r < t1->NumRows(); r += 37) {
+      EXPECT_EQ(t1->column(c).IsNull(r), t2->column(c).IsNull(r));
+      if (!t1->column(c).IsNull(r)) {
+        EXPECT_DOUBLE_EQ(t1->column(c).Value(r), t2->column(c).Value(r))
+            << GetParam().name << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST_P(DatasetInvariants, DifferentSeedsDiffer) {
+  auto t1 = MakeDataset(GetParam().name, 300, 1);
+  auto t2 = MakeDataset(GetParam().name, 300, 2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  int diffs = 0;
+  for (size_t c = 0; c < t1->NumColumns(); ++c) {
+    for (size_t r = 0; r < t1->NumRows(); r += 11) {
+      bool n1 = t1->column(c).IsNull(r), n2 = t2->column(c).IsNull(r);
+      if (n1 != n2 ||
+          (!n1 && t1->column(c).Value(r) != t2->column(c).Value(r))) {
+        ++diffs;
+      }
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetInvariants, ::testing::ValuesIn(AllDatasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+TEST(DatagenTest, ElevenDatasets) { EXPECT_EQ(AllDatasets().size(), 11u); }
+
+TEST(DatagenTest, UnknownDatasetFails) {
+  EXPECT_FALSE(MakeDataset("nope", 10, 1).ok());
+}
+
+TEST(DatagenTest, AquaHasAsynchronousNulls) {
+  Table t = MakeAqua(2000, 3);
+  // Every sensor column must have substantial nulls (each row reports one
+  // pond of four).
+  size_t null_cols = 0;
+  for (size_t c = 1; c < t.NumColumns(); ++c) {
+    if (t.column(c).null_count() > t.NumRows() / 2) ++null_cols;
+  }
+  EXPECT_EQ(null_cols, 12u);
+}
+
+TEST(DatagenTest, FlightsCancellationNullPattern) {
+  Table t = MakeFlights(20000, 3);
+  auto cancelled = t.FindColumn("cancelled");
+  auto dep_delay = t.FindColumn("departure_delay");
+  ASSERT_TRUE(cancelled.ok());
+  ASSERT_TRUE(dep_delay.ok());
+  size_t n_cancelled = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if (cancelled.value()->Value(r) == 1.0) {
+      ++n_cancelled;
+      EXPECT_TRUE(dep_delay.value()->IsNull(r)) << r;
+    }
+  }
+  // About 1.6% cancellation rate.
+  EXPECT_GT(n_cancelled, 100u);
+  EXPECT_LT(n_cancelled, 1200u);
+}
+
+TEST(DatagenTest, FlightsArrivalCorrelatesWithDeparture) {
+  Table t = MakeFlights(20000, 3);
+  auto dep = t.FindColumn("departure_delay");
+  auto arr = t.FindColumn("arrival_delay");
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    if (dep.value()->IsNull(r) || arr.value()->IsNull(r)) continue;
+    double x = dep.value()->Value(r), y = arr.value()->Value(r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+    ++n;
+  }
+  double corr = (sxy - sx * sy / n) /
+                std::sqrt((sxx - sx * sx / n) * (syy - sy * sy / n));
+  EXPECT_GT(corr, 0.7);
+}
+
+TEST(DatagenTest, TaxiFareCorrelatesWithMiles) {
+  Table t = MakeTaxis(10000, 5);
+  auto miles = t.FindColumn("trip_miles");
+  auto fare = t.FindColumn("fare");
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = t.NumRows();
+  for (size_t r = 0; r < n; ++r) {
+    double x = miles.value()->Value(r), y = fare.value()->Value(r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  double corr = (sxy - sx * sy / n) /
+                std::sqrt((sxx - sx * sx / n) * (syy - sy * sy / n));
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(DatagenTest, FurnaceLoadIsBimodal) {
+  Table t = MakeFurnace(10000, 5);
+  auto p = t.FindColumn("active_power");
+  size_t low = 0, high = 0, mid = 0;
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    double v = p.value()->Value(r);
+    if (v < 60) ++low;
+    else if (v > 250) ++high;
+    else ++mid;
+  }
+  // Mass concentrates at the off and on levels, not in between.
+  EXPECT_GT(low, mid);
+  EXPECT_GT(high, mid);
+}
+
+TEST(DatagenTest, CategoricalFrequenciesAreSkewed) {
+  Table t = MakeFlights(20000, 3);
+  auto airline = t.FindColumn("airline");
+  std::vector<size_t> counts(airline.value()->dictionary().size(), 0);
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    ++counts[static_cast<size_t>(airline.value()->Value(r))];
+  }
+  auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mx, *mn * 3) << "airline frequencies should be skewed";
+}
+
+TEST(DatagenTest, TimestampsAreMonotonicWherePresent) {
+  for (const char* name : {"power", "gas", "temp"}) {
+    auto t = MakeDataset(name, 1000, 4);
+    ASSERT_TRUE(t.ok());
+    const Column& ts = t->column(0);
+    for (size_t r = 1; r < t->NumRows(); ++r) {
+      ASSERT_LE(ts.Value(r - 1), ts.Value(r)) << name << " row " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IDEBench-style scaler
+
+TEST(IdebenchScalerTest, GeneratesRequestedRows) {
+  Table src = MakePower(5000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok()) << scaler.status().ToString();
+  Table big = scaler->Generate(12000, 1);
+  EXPECT_EQ(big.NumRows(), 12000u);
+  EXPECT_EQ(big.NumColumns(), src.NumColumns());
+}
+
+TEST(IdebenchScalerTest, EmptySourceFails) {
+  Table empty("e");
+  EXPECT_FALSE(IdebenchScaler::Fit(empty).ok());
+}
+
+TEST(IdebenchScalerTest, PreservesMarginalMoments) {
+  Table src = MakePower(8000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table big = scaler->Generate(20000, 2);
+  auto gap = src.FindColumn("global_active_power");
+  auto gap2 = big.FindColumn("global_active_power");
+  double m1 = 0, m2 = 0;
+  for (size_t r = 0; r < src.NumRows(); ++r) m1 += gap.value()->Value(r);
+  m1 /= src.NumRows();
+  for (size_t r = 0; r < big.NumRows(); ++r) m2 += gap2.value()->Value(r);
+  m2 /= big.NumRows();
+  EXPECT_NEAR(m2, m1, std::fabs(m1) * 0.1);
+}
+
+TEST(IdebenchScalerTest, PreservesValueRange) {
+  Table src = MakePower(5000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table big = scaler->Generate(10000, 3);
+  for (size_t c = 0; c < src.NumColumns(); ++c) {
+    if (src.column(c).type() == DataType::kCategorical) continue;
+    EXPECT_GE(big.column(c).Min(), src.column(c).Min() - 1e-6) << c;
+    EXPECT_LE(big.column(c).Max(), src.column(c).Max() + 1e-6) << c;
+  }
+}
+
+TEST(IdebenchScalerTest, PreservesCorrelationSign) {
+  Table src = MakeTaxis(6000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table big = scaler->Generate(12000, 4);
+  auto corr = [](const Table& t, const std::string& a,
+                 const std::string& b) {
+    const Column& x = *t.FindColumn(a).value();
+    const Column& y = *t.FindColumn(b).value();
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    size_t n = 0;
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      if (x.IsNull(r) || y.IsNull(r)) continue;
+      sx += x.Value(r);
+      sy += y.Value(r);
+      sxx += x.Value(r) * x.Value(r);
+      syy += y.Value(r) * y.Value(r);
+      sxy += x.Value(r) * y.Value(r);
+      ++n;
+    }
+    return (sxy - sx * sy / n) /
+           std::sqrt((sxx - sx * sx / n) * (syy - sy * sy / n));
+  };
+  double src_corr = corr(src, "trip_miles", "fare");
+  double big_corr = corr(big, "trip_miles", "fare");
+  EXPECT_GT(src_corr, 0.8);
+  EXPECT_GT(big_corr, 0.5) << "scaled data should keep strong correlation";
+}
+
+TEST(IdebenchScalerTest, PreservesNullFraction) {
+  Table src = MakeAqua(5000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table big = scaler->Generate(10000, 5);
+  for (size_t c = 1; c < src.NumColumns(); ++c) {
+    double f1 = static_cast<double>(src.column(c).null_count()) /
+                src.NumRows();
+    double f2 = static_cast<double>(big.column(c).null_count()) /
+                big.NumRows();
+    EXPECT_NEAR(f1, f2, 0.05) << c;
+  }
+}
+
+TEST(IdebenchScalerTest, CategoricalMarginalPreserved) {
+  Table src = MakeTaxis(6000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table big = scaler->Generate(12000, 6);
+  const Column& p1 = *src.FindColumn("payment_type").value();
+  const Column& p2 = *big.FindColumn("payment_type").value();
+  std::vector<double> f1(5, 0), f2(5, 0);
+  for (size_t r = 0; r < src.NumRows(); ++r) {
+    ++f1[static_cast<size_t>(p1.Value(r))];
+  }
+  for (size_t r = 0; r < big.NumRows(); ++r) {
+    ++f2[static_cast<size_t>(p2.Value(r))];
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(f1[i] / src.NumRows(), f2[i] / big.NumRows(), 0.05) << i;
+  }
+}
+
+TEST(IdebenchScalerTest, DeterministicGivenSeed) {
+  Table src = MakePower(3000, 11);
+  auto scaler = IdebenchScaler::Fit(src);
+  ASSERT_TRUE(scaler.ok());
+  Table a = scaler->Generate(500, 9);
+  Table b = scaler->Generate(500, 9);
+  for (size_t r = 0; r < 500; r += 13) {
+    EXPECT_DOUBLE_EQ(a.column(1).Value(r), b.column(1).Value(r));
+  }
+}
+
+}  // namespace
+}  // namespace pairwisehist

@@ -1,0 +1,142 @@
+// Tests for the workload generator and evaluation metrics.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+#include "query/exact.h"
+
+namespace pairwisehist {
+namespace {
+
+TEST(MetricsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25);
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2);
+  EXPECT_TRUE(std::isnan(Median({})));
+}
+
+TEST(MetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPct(100, 101), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPct(100, 99), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPct(-50, -55), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPct(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPct(0, 5), 100.0);
+  EXPECT_TRUE(std::isnan(RelativeErrorPct(10, std::nan(""))));
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  Table t = MakePower(10000, 70);
+  WorkloadConfig cfg = InitialWorkloadConfig(1);
+  cfg.num_queries = 30;
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 30u);
+}
+
+TEST(WorkloadTest, RespectsSelectivityFloor) {
+  Table t = MakePower(10000, 70);
+  WorkloadConfig cfg = InitialWorkloadConfig(2);
+  cfg.num_queries = 25;
+  cfg.min_selectivity = 0.05;  // aggressive floor, easy to verify
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  for (const Query& q : *workload) {
+    double sel = ExactSelectivity(t, q).value();
+    EXPECT_GE(sel, 0.05) << q.ToSql();
+  }
+}
+
+TEST(WorkloadTest, PredicateCountWithinRange) {
+  Table t = MakeFlights(10000, 71);
+  WorkloadConfig cfg = ScaledWorkloadConfig(3);
+  cfg.num_queries = 40;
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_GE(workload->size(), 20u);
+  bool saw_multi = false;
+  for (const Query& q : *workload) {
+    size_t npreds = q.PredicateColumns().size();
+    EXPECT_GE(npreds, 1u) << q.ToSql();
+    EXPECT_LE(npreds, 5u) << q.ToSql();
+    if (npreds > 1) saw_multi = true;
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(WorkloadTest, ScaledConfigUsesAllSevenAggregates) {
+  Table t = MakePower(20000, 72);
+  WorkloadConfig cfg = ScaledWorkloadConfig(4);
+  cfg.num_queries = 120;
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  std::set<AggFunc> seen;
+  for (const Query& q : *workload) seen.insert(q.func);
+  EXPECT_GE(seen.size(), 6u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Table t = MakePower(8000, 73);
+  WorkloadConfig cfg = InitialWorkloadConfig(9);
+  cfg.num_queries = 10;
+  auto a = GenerateWorkload(t, cfg);
+  auto b = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].ToSql(), (*b)[i].ToSql());
+  }
+}
+
+TEST(WorkloadTest, OrQueriesAppearWhenEnabled) {
+  Table t = MakeFlights(8000, 74);
+  WorkloadConfig cfg = ScaledWorkloadConfig(5);
+  cfg.num_queries = 60;
+  cfg.or_probability = 0.8;
+  cfg.min_predicates = 2;
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  size_t with_or = 0;
+  for (const Query& q : *workload) {
+    if (q.where.has_value() &&
+        q.where->type == PredicateNode::Type::kOr) {
+      ++with_or;
+    }
+  }
+  EXPECT_GT(with_or, 0u);
+}
+
+TEST(WorkloadTest, EmptyTableFails) {
+  Table t("empty");
+  EXPECT_FALSE(GenerateWorkload(t, InitialWorkloadConfig(1)).ok());
+}
+
+TEST(MethodRunTest, SummariesFromVectors) {
+  MethodRun run;
+  run.errors_pct = {1.0, 2.0, 3.0};
+  run.latencies_us = {100, 200, 300, 400};
+  run.bounds_evaluated = 10;
+  run.bounds_correct = 7;
+  run.bound_widths_pct = {5.0, 15.0};
+  EXPECT_DOUBLE_EQ(run.MedianErrorPct(), 2.0);
+  EXPECT_DOUBLE_EQ(run.MedianLatencyUs(), 250.0);
+  EXPECT_DOUBLE_EQ(run.BoundsCorrectRate(), 70.0);
+  EXPECT_DOUBLE_EQ(run.MedianBoundWidthPct(), 10.0);
+}
+
+TEST(MedianExactLatencyTest, PositiveForRealWorkload) {
+  Table t = MakePower(5000, 75);
+  WorkloadConfig cfg = InitialWorkloadConfig(6);
+  cfg.num_queries = 5;
+  auto workload = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_GT(MedianExactLatencyUs(t, *workload), 0.0);
+}
+
+}  // namespace
+}  // namespace pairwisehist

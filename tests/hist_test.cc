@@ -1,0 +1,332 @@
+// Tests for the histogram core: uniformity testing and recursive
+// refinement in one and two dimensions.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "hist/histogram.h"
+#include "hist/uniformity.h"
+
+namespace pairwisehist {
+namespace {
+
+std::vector<double> UniformValues(size_t n, double lo, double hi,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::floor(rng.Uniform(lo, hi));
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<double> BimodalValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    double centre = rng.Bernoulli(0.5) ? 100.0 : 900.0;
+    v[i] = std::floor(std::clamp(rng.Normal(centre, 20.0), 0.0, 1000.0));
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Chi2CriticalCacheTest, MatchesDirectComputation) {
+  Chi2CriticalCache cache(0.01);
+  EXPECT_NEAR(cache.Get(1), Chi2CriticalValue(0.01, 1), 1e-9);
+  EXPECT_NEAR(cache.Get(9), Chi2CriticalValue(0.01, 9), 1e-9);
+  // Cached value identical on second call.
+  EXPECT_DOUBLE_EQ(cache.Get(9), cache.Get(9));
+}
+
+TEST(UniformityTest, UniformDataPasses) {
+  Chi2CriticalCache cache(0.001);
+  auto v = UniformValues(5000, 0, 1000, 3);
+  uint64_t u = CountUniqueSorted(v.data(), v.data() + v.size());
+  UniformityResult r =
+      TestUniform(v.data(), v.data() + v.size(), 0, 1000, u, cache);
+  EXPECT_TRUE(r.uniform);
+  EXPECT_GT(r.sub_bins, 2);
+}
+
+TEST(UniformityTest, BimodalDataFails) {
+  Chi2CriticalCache cache(0.001);
+  auto v = BimodalValues(5000, 3);
+  uint64_t u = CountUniqueSorted(v.data(), v.data() + v.size());
+  UniformityResult r =
+      TestUniform(v.data(), v.data() + v.size(), 0, 1001, u, cache);
+  EXPECT_FALSE(r.uniform);
+  EXPECT_GT(r.Ratio(), 1.0);
+}
+
+TEST(UniformityTest, EmptyAndSingletonPass) {
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> empty;
+  EXPECT_TRUE(TestUniform(empty.data(), empty.data(), 0, 10, 0, cache)
+                  .uniform);
+  std::vector<double> one{5.0};
+  EXPECT_TRUE(
+      TestUniform(one.data(), one.data() + 1, 0, 10, 1, cache).uniform);
+}
+
+TEST(UniformityTest, CountUniqueSorted) {
+  std::vector<double> v{1, 1, 2, 3, 3, 3, 9};
+  EXPECT_EQ(CountUniqueSorted(v.data(), v.data() + v.size()), 4u);
+  EXPECT_EQ(CountUniqueSorted(v.data(), v.data()), 0u);
+}
+
+TEST(UniformityTest, LooseAlphaSplitsMore) {
+  // A mildly non-uniform distribution: rejected at α=0.1 long before
+  // α=0.0001 (higher α ⇒ lower critical value ⇒ easier rejection).
+  Rng rng(5);
+  std::vector<double> v(3000);
+  for (auto& x : v) {
+    x = std::floor(1000.0 * std::pow(rng.Uniform(), 1.3));
+  }
+  std::sort(v.begin(), v.end());
+  uint64_t u = CountUniqueSorted(v.data(), v.data() + v.size());
+  Chi2CriticalCache strict(0.0000001), loose(0.1);
+  UniformityResult rs =
+      TestUniform(v.data(), v.data() + v.size(), 0, 1000, u, strict);
+  UniformityResult rl =
+      TestUniform(v.data(), v.data() + v.size(), 0, 1000, u, loose);
+  EXPECT_LT(rl.critical, rs.critical);
+  // The loose test must reject at least as often as the strict one.
+  EXPECT_TRUE(rs.uniform || !rl.uniform);
+}
+
+// ---------------------------------------------------------------------------
+// 1-d refinement
+
+RefineConfig TestConfig(uint64_t m = 100) {
+  RefineConfig c;
+  c.min_points = m;
+  c.alpha = 0.001;
+  return c;
+}
+
+TEST(Refine1DTest, StructuralInvariants) {
+  Chi2CriticalCache cache(0.001);
+  auto v = BimodalValues(20000, 7);
+  HistogramDim h = BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(200),
+                                    cache);
+  ASSERT_GE(h.NumBins(), 2u) << "bimodal data must split";
+  // Edges ascending, arrays parallel.
+  ASSERT_EQ(h.edges.size(), h.NumBins() + 1);
+  ASSERT_EQ(h.v_min.size(), h.NumBins());
+  ASSERT_EQ(h.v_max.size(), h.NumBins());
+  ASSERT_EQ(h.unique.size(), h.NumBins());
+  for (size_t t = 1; t < h.edges.size(); ++t) {
+    ASSERT_LT(h.edges[t - 1], h.edges[t]);
+  }
+  // Counts sum to n; metadata inside edges.
+  EXPECT_EQ(h.TotalCount(), v.size());
+  for (size_t t = 0; t < h.NumBins(); ++t) {
+    if (h.counts[t] == 0) continue;
+    ASSERT_GE(h.v_min[t], h.edges[t]) << t;
+    ASSERT_LT(h.v_max[t], h.edges[t + 1] + 1e-9) << t;
+    ASSERT_LE(h.v_min[t], h.v_max[t]);
+    ASSERT_GE(h.unique[t], 1u);
+    ASSERT_LE(h.unique[t], h.counts[t]);
+  }
+}
+
+TEST(Refine1DTest, UniformDataStaysOneBin) {
+  Chi2CriticalCache cache(0.001);
+  auto v = UniformValues(20000, 0, 1000, 8);
+  HistogramDim h =
+      BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(200), cache);
+  EXPECT_EQ(h.NumBins(), 1u);
+}
+
+TEST(Refine1DTest, SmallBinsNotSplit) {
+  Chi2CriticalCache cache(0.001);
+  auto v = BimodalValues(50, 9);  // fewer than M points
+  HistogramDim h =
+      BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(100), cache);
+  EXPECT_EQ(h.NumBins(), 1u);
+}
+
+TEST(Refine1DTest, SingleUniqueValueBin) {
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> v(500, 42.0);
+  HistogramDim h = BuildHistogram1D(v, {0.0, 100.0}, TestConfig(100), cache);
+  EXPECT_EQ(h.NumBins(), 1u);
+  EXPECT_EQ(h.unique[0], 1u);
+  EXPECT_DOUBLE_EQ(h.v_min[0], 42.0);
+  EXPECT_DOUBLE_EQ(h.v_max[0], 42.0);
+  EXPECT_DOUBLE_EQ(h.Midpoint(0), 42.0);
+}
+
+TEST(Refine1DTest, SeededEdgesPreserved) {
+  Chi2CriticalCache cache(0.001);
+  auto v = UniformValues(5000, 0, 1000, 10);
+  HistogramDim h = BuildHistogram1D(v, {0.0, 250.0, 500.0, 750.0, 1001.0},
+                                    TestConfig(100), cache);
+  // Uniform data: no splits beyond the seeds.
+  EXPECT_EQ(h.NumBins(), 4u);
+  EXPECT_DOUBLE_EQ(h.edges[1], 250.0);
+  EXPECT_DOUBLE_EQ(h.edges[2], 500.0);
+}
+
+TEST(Refine1DTest, EmptySeedBinKeptWithZeroCount) {
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> v{10, 11, 12, 13, 14};
+  HistogramDim h = BuildHistogram1D(v, {0.0, 5.0, 20.0}, TestConfig(100),
+                                    cache);
+  ASSERT_EQ(h.NumBins(), 2u);
+  EXPECT_EQ(h.counts[0], 0u);
+  EXPECT_EQ(h.unique[0], 0u);
+  EXPECT_EQ(h.counts[1], 5u);
+}
+
+TEST(Refine1DTest, BinIndexLookup) {
+  Chi2CriticalCache cache(0.001);
+  auto v = UniformValues(1000, 0, 100, 11);
+  HistogramDim h = BuildHistogram1D(v, {0.0, 50.0, 101.0}, TestConfig(100),
+                                    cache);
+  EXPECT_EQ(h.BinIndex(0.0), 0u);
+  EXPECT_EQ(h.BinIndex(49.9), 0u);
+  EXPECT_EQ(h.BinIndex(50.0), 1u);
+  EXPECT_EQ(h.BinIndex(100.0), 1u);
+  EXPECT_EQ(h.BinIndex(-5.0), 0u);    // clamped
+  EXPECT_EQ(h.BinIndex(5000.0), 1u);  // clamped
+}
+
+TEST(Refine1DTest, EdgesOnHalfIntegerGrid) {
+  Chi2CriticalCache cache(0.001);
+  auto v = BimodalValues(30000, 12);
+  HistogramDim h =
+      BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(300), cache);
+  for (double e : h.edges) {
+    double doubled = e * 2.0;
+    EXPECT_NEAR(doubled, std::round(doubled), 1e-9) << e;
+  }
+}
+
+TEST(Refine1DTest, DeeperSplitsWithSmallerM) {
+  Chi2CriticalCache cache(0.001);
+  auto v = BimodalValues(30000, 13);
+  HistogramDim coarse =
+      BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(5000), cache);
+  HistogramDim fine =
+      BuildHistogram1D(v, {0.0, 1001.0}, TestConfig(100), cache);
+  EXPECT_GE(fine.NumBins(), coarse.NumBins());
+}
+
+// ---------------------------------------------------------------------------
+// 2-d refinement
+
+TEST(Refine2DTest, CorrelatedDataRefinesCells) {
+  // xi is marginally uniform, but conditionally concentrated given xj's
+  // regime — RefineBin2D tests marginal uniformity inside each initial
+  // cell, and the cells here are conditionally skewed, so the pair
+  // histogram must gain edges. (A jointly-correlated distribution with
+  // uniform conditional marginals would legitimately stay unsplit; that is
+  // a property of the paper's per-dimension test.)
+  Rng rng(14);
+  size_t n = 30000;
+  std::vector<double> xi(n), xj(n);
+  for (size_t r = 0; r < n; ++r) {
+    double u = rng.Uniform(0, 1000);
+    xi[r] = std::floor(u);
+    xj[r] = std::floor(u < 500 ? rng.Uniform(0, 100.0)
+                               : rng.Uniform(900.0, 1000.0));
+  }
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> si = xi, sj = xj;
+  std::sort(si.begin(), si.end());
+  std::sort(sj.begin(), sj.end());
+  HistogramDim h1i =
+      BuildHistogram1D(si, {0.0, 1000.0}, TestConfig(500), cache);
+  HistogramDim h1j =
+      BuildHistogram1D(sj, {0.0, 1000.0}, TestConfig(500), cache);
+  PairHistogram ph = BuildPairHistogram(xi, xj, 0, 1, h1i, h1j,
+                                        TestConfig(500), cache);
+  // Strong dependence ⇒ 2-d refinement must add edges beyond the 1-d grid.
+  EXPECT_GT(ph.dim_i.NumBins() + ph.dim_j.NumBins(),
+            h1i.NumBins() + h1j.NumBins());
+  // Cell counts sum to n.
+  uint64_t total = 0;
+  for (uint64_t c : ph.cells) total += c;
+  EXPECT_EQ(total, n);
+  // Marginals match dim counts.
+  for (size_t ti = 0; ti < ph.dim_i.NumBins(); ++ti) {
+    uint64_t row_sum = 0;
+    for (size_t tj = 0; tj < ph.dim_j.NumBins(); ++tj) {
+      row_sum += ph.CellCount(ti, tj);
+    }
+    ASSERT_EQ(row_sum, ph.dim_i.counts[ti]) << ti;
+  }
+}
+
+TEST(Refine2DTest, ParentMappingConsistent) {
+  Rng rng(15);
+  size_t n = 10000;
+  std::vector<double> xi(n), xj(n);
+  for (size_t r = 0; r < n; ++r) {
+    xi[r] = std::floor(rng.Uniform(0, 500));
+    xj[r] = std::floor(xi[r] * 2 + rng.Uniform(0, 50));
+  }
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> si = xi, sj = xj;
+  std::sort(si.begin(), si.end());
+  std::sort(sj.begin(), sj.end());
+  HistogramDim h1i = BuildHistogram1D(si, {0.0, 501.0}, TestConfig(300),
+                                      cache);
+  HistogramDim h1j = BuildHistogram1D(sj, {0.0, 1051.0}, TestConfig(300),
+                                      cache);
+  PairHistogram ph = BuildPairHistogram(xi, xj, 0, 1, h1i, h1j,
+                                        TestConfig(300), cache);
+  ASSERT_EQ(ph.dim_i.parent.size(), ph.dim_i.NumBins());
+  for (size_t t = 0; t < ph.dim_i.NumBins(); ++t) {
+    size_t parent = ph.dim_i.parent[t];
+    ASSERT_LT(parent, h1i.NumBins());
+    // Refined bin lies inside its parent 1-d bin.
+    ASSERT_GE(ph.dim_i.edges[t], h1i.edges[parent] - 1e-9);
+    ASSERT_LE(ph.dim_i.edges[t + 1], h1i.edges[parent + 1] + 1e-9);
+  }
+}
+
+TEST(Refine2DTest, IndependentUniformDataAddsNoEdges) {
+  Rng rng(16);
+  size_t n = 20000;
+  std::vector<double> xi(n), xj(n);
+  for (size_t r = 0; r < n; ++r) {
+    xi[r] = std::floor(rng.Uniform(0, 800));
+    xj[r] = std::floor(rng.Uniform(0, 800));
+  }
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> si = xi, sj = xj;
+  std::sort(si.begin(), si.end());
+  std::sort(sj.begin(), sj.end());
+  HistogramDim h1i = BuildHistogram1D(si, {0.0, 801.0}, TestConfig(500),
+                                      cache);
+  HistogramDim h1j = BuildHistogram1D(sj, {0.0, 801.0}, TestConfig(500),
+                                      cache);
+  PairHistogram ph = BuildPairHistogram(xi, xj, 0, 1, h1i, h1j,
+                                        TestConfig(500), cache);
+  EXPECT_EQ(ph.dim_i.NumBins(), h1i.NumBins());
+  EXPECT_EQ(ph.dim_j.NumBins(), h1j.NumBins());
+}
+
+TEST(Refine2DTest, EmptyInputProducesEmptyCells) {
+  Chi2CriticalCache cache(0.001);
+  std::vector<double> empty;
+  HistogramDim h1;
+  h1.edges = {0.0, 10.0};
+  h1.counts = {0};
+  h1.v_min = {0.0};
+  h1.v_max = {10.0};
+  h1.unique = {0};
+  PairHistogram ph = BuildPairHistogram(empty, empty, 0, 1, h1, h1,
+                                        TestConfig(100), cache);
+  EXPECT_EQ(ph.cells.size(), 1u);
+  EXPECT_EQ(ph.cells[0], 0u);
+}
+
+}  // namespace
+}  // namespace pairwisehist

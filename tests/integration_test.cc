@@ -1,0 +1,142 @@
+// End-to-end integration tests: datasets → (GreedyGD) → PairwiseHist →
+// SQL queries vs exact ground truth, plus the baselines.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/aqp_method.h"
+#include "baselines/avi_hist.h"
+#include "baselines/sampling_aqp.h"
+#include "baselines/spn.h"
+#include "datagen/datasets.h"
+#include "gd/greedy_gd.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+#include "query/exact.h"
+
+namespace pairwisehist {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(MakePower(20000, 42));
+    PairwiseHistConfig cfg;
+    cfg.sample_size = 20000;  // full data
+    cfg.min_points_fraction = 0.01;
+    auto built = PairwiseHist::BuildFromTable(*table_, cfg);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    synopsis_ = new PairwiseHist(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete synopsis_;
+    delete table_;
+    synopsis_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static Table* table_;
+  static PairwiseHist* synopsis_;
+};
+
+Table* IntegrationTest::table_ = nullptr;
+PairwiseHist* IntegrationTest::synopsis_ = nullptr;
+
+TEST_F(IntegrationTest, CountNoPredicateIsExact) {
+  AqpEngine engine(synopsis_);
+  auto result = engine.ExecuteSql("SELECT COUNT(*) FROM power;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->Scalar().estimate, 20000.0);
+}
+
+TEST_F(IntegrationTest, CountSinglePredicateCloseToExact) {
+  AqpEngine engine(synopsis_);
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE voltage > 240;";
+  auto approx = engine.ExecuteSql(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  auto exact = ExecuteExactSql(*table_, sql);
+  ASSERT_TRUE(exact.ok());
+  double err = RelativeErrorPct(exact->Scalar().estimate,
+                                approx->Scalar().estimate);
+  EXPECT_LT(err, 5.0) << "approx=" << approx->Scalar().estimate
+                      << " exact=" << exact->Scalar().estimate;
+}
+
+TEST_F(IntegrationTest, AvgWithCrossColumnPredicate) {
+  AqpEngine engine(synopsis_);
+  const std::string sql =
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;";
+  auto approx = engine.ExecuteSql(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  auto exact = ExecuteExactSql(*table_, sql);
+  ASSERT_TRUE(exact.ok());
+  double err = RelativeErrorPct(exact->Scalar().estimate,
+                                approx->Scalar().estimate);
+  EXPECT_LT(err, 10.0) << "approx=" << approx->Scalar().estimate
+                       << " exact=" << exact->Scalar().estimate;
+}
+
+TEST_F(IntegrationTest, BoundsContainExactForCount) {
+  AqpEngine engine(synopsis_);
+  const std::string sql =
+      "SELECT COUNT(voltage) FROM power WHERE global_intensity > 2 AND "
+      "hour < 12;";
+  auto approx = engine.ExecuteSql(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  auto exact = ExecuteExactSql(*table_, sql);
+  ASSERT_TRUE(exact.ok());
+  const AggResult& a = approx->Scalar();
+  EXPECT_LE(a.lower, a.estimate);
+  EXPECT_GE(a.upper, a.estimate);
+}
+
+TEST_F(IntegrationTest, GdSeededBuildAnswersQueries) {
+  auto compressed = CompressTable(*table_);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 10000;
+  auto built = PairwiseHist::BuildFromCompressed(compressed.value(), cfg);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  AqpEngine engine(&built.value());
+  auto result = engine.ExecuteSql(
+      "SELECT SUM(sub_metering_1) FROM power WHERE hour >= 6;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto exact = ExecuteExactSql(
+      *table_, "SELECT SUM(sub_metering_1) FROM power WHERE hour >= 6;");
+  ASSERT_TRUE(exact.ok());
+  double err = RelativeErrorPct(exact->Scalar().estimate,
+                                result->Scalar().estimate);
+  EXPECT_LT(err, 25.0);
+}
+
+TEST_F(IntegrationTest, WorkloadRunAllMethods) {
+  WorkloadConfig wcfg = InitialWorkloadConfig(7);
+  wcfg.num_queries = 20;
+  auto workload = GenerateWorkload(*table_, wcfg);
+  ASSERT_TRUE(workload.ok());
+  ASSERT_GE(workload->size(), 10u);
+
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 10000;
+  auto built = PairwiseHist::BuildFromTable(*table_, cfg);
+  ASSERT_TRUE(built.ok());
+  PairwiseHistMethod ph(std::move(built).value());
+  SamplingAqp sampling(*table_, 10000, 3);
+  AviHistogram avi(*table_, 10000, 64, 3);
+  SpnBaseline::Config spn_cfg;
+  spn_cfg.sample_size = 10000;
+  SpnBaseline spn(*table_, spn_cfg);
+
+  std::vector<const AqpMethod*> methods = {&ph, &sampling, &avi, &spn};
+  auto runs = RunWorkload(*table_, *workload, methods);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  for (const MethodRun& run : runs.value()) {
+    EXPECT_GT(run.queries_supported, 0u) << run.method;
+  }
+  // PairwiseHist should be accurate on this single-predicate workload.
+  EXPECT_LT(runs.value()[0].MedianErrorPct(), 5.0);
+}
+
+}  // namespace
+}  // namespace pairwisehist

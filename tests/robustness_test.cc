@@ -1,0 +1,329 @@
+// Failure injection and adversarial-input robustness: corrupt synopses,
+// degenerate schemas, extreme data shapes. Nothing here may crash; every
+// failure must surface as a Status.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pairwise_hist.h"
+#include "datagen/datasets.h"
+#include "query/engine.h"
+#include "query/exact.h"
+
+namespace pairwisehist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Corrupt synopsis bytes.
+
+TEST(CorruptionTest, RandomTruncationsNeverCrash) {
+  Table t = MakePower(3000, 130);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  auto bytes = ph->Serialize();
+  Rng rng(131);
+  for (int i = 0; i < 50; ++i) {
+    size_t cut = static_cast<size_t>(rng.UniformInt(uint64_t(bytes.size())));
+    std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    auto result = PairwiseHist::Deserialize(trunc);  // must not crash
+    EXPECT_FALSE(result.ok()) << cut;
+  }
+}
+
+TEST(CorruptionTest, RandomBitFlipsEitherFailOrStayConsistent) {
+  Table t = MakeLight(2000, 132);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  auto bytes = ph->Serialize();
+  Rng rng(133);
+  for (int i = 0; i < 60; ++i) {
+    auto copy = bytes;
+    size_t pos = static_cast<size_t>(rng.UniformInt(uint64_t(copy.size())));
+    copy[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(uint64_t{8}));
+    auto result = PairwiseHist::Deserialize(copy);
+    if (!result.ok()) continue;  // rejected: fine
+    // Accepted: structure must still be internally coherent enough to
+    // answer a query without crashing.
+    AqpEngine engine(&result.value());
+    auto r = engine.ExecuteSql("SELECT COUNT(*) FROM t;");
+    (void)r;  // no crash is the assertion
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate schemas and data shapes.
+
+TEST(DegenerateTest, SingleRowTable) {
+  Table t("one");
+  Column x("x", DataType::kInt64, 0);
+  x.Append(42);
+  t.AddColumn(std::move(x));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  auto r = engine.ExecuteSql("SELECT AVG(x) FROM one;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Scalar().estimate, 42.0);
+  auto m = engine.ExecuteSql("SELECT MIN(x) FROM one WHERE x > 100;");
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->Scalar().empty_selection);
+}
+
+TEST(DegenerateTest, SingleColumnTable) {
+  Rng rng(134);
+  Table t("mono");
+  Column x("x", DataType::kFloat64, 1);
+  for (int i = 0; i < 5000; ++i) {
+    x.Append(std::round(rng.Normal(50, 10) * 10) / 10);
+  }
+  t.AddColumn(std::move(x));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  EXPECT_EQ(ph->num_pairs(), 0u);
+  AqpEngine engine(&ph.value());
+  auto exact = ExecuteExactSql(t, "SELECT MEDIAN(x) FROM mono WHERE x > 45;");
+  auto approx = engine.ExecuteSql("SELECT MEDIAN(x) FROM mono WHERE x > 45;");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->Scalar().estimate, exact->Scalar().estimate, 3.0);
+}
+
+TEST(DegenerateTest, ConstantColumn) {
+  Table t("c");
+  Column x("x", DataType::kInt64, 0);
+  Column y("y", DataType::kInt64, 0);
+  Rng rng(135);
+  for (int i = 0; i < 3000; ++i) {
+    x.Append(7);
+    y.Append(static_cast<double>(rng.UniformInt(uint64_t{100})));
+  }
+  t.AddColumn(std::move(x));
+  t.AddColumn(std::move(y));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  EXPECT_DOUBLE_EQ(
+      engine.ExecuteSql("SELECT MAX(x) FROM c;")->Scalar().estimate, 7.0);
+  EXPECT_DOUBLE_EQ(
+      engine.ExecuteSql("SELECT VAR(x) FROM c;")->Scalar().estimate, 0.0);
+  // Predicate on the constant column.
+  EXPECT_DOUBLE_EQ(
+      engine.ExecuteSql("SELECT COUNT(y) FROM c WHERE x = 7;")
+          ->Scalar()
+          .estimate,
+      3000.0);
+  EXPECT_DOUBLE_EQ(
+      engine.ExecuteSql("SELECT COUNT(y) FROM c WHERE x = 8;")
+          ->Scalar()
+          .estimate,
+      0.0);
+}
+
+TEST(DegenerateTest, MostlyNullColumn) {
+  Table t("n");
+  Column x("x", DataType::kFloat64, 1);
+  Column y("y", DataType::kInt64, 0);
+  Rng rng(136);
+  for (int i = 0; i < 4000; ++i) {
+    if (i % 100 == 0) {
+      x.Append(std::round(rng.Uniform(0, 100) * 10) / 10);
+    } else {
+      x.AppendNull();
+    }
+    y.Append(static_cast<double>(i % 50));
+  }
+  t.AddColumn(std::move(x));
+  t.AddColumn(std::move(y));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  // COUNT(x) must reflect only the non-null values.
+  auto r = engine.ExecuteSql("SELECT COUNT(x) FROM n;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Scalar().estimate, 40.0, 1.0);
+  // Predicating on the sparse column from another aggregation column.
+  auto exact =
+      ExecuteExactSql(t, "SELECT COUNT(y) FROM n WHERE x > 50;");
+  auto approx = engine.ExecuteSql("SELECT COUNT(y) FROM n WHERE x > 50;");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->Scalar().estimate, exact->Scalar().estimate, 15.0);
+}
+
+TEST(DegenerateTest, AllNullColumnBuildsAndAnswers) {
+  Table t("an");
+  Column x("x", DataType::kFloat64, 1);
+  Column y("y", DataType::kInt64, 0);
+  for (int i = 0; i < 1000; ++i) {
+    x.AppendNull();
+    y.Append(i % 10);
+  }
+  t.AddColumn(std::move(x));
+  t.AddColumn(std::move(y));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  auto r = engine.ExecuteSql("SELECT COUNT(x) FROM an;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Scalar().estimate, 0.0);
+  auto s = engine.ExecuteSql("SELECT AVG(y) FROM an WHERE x > 1;");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->Scalar().empty_selection);
+}
+
+TEST(DegenerateTest, ExtremeValueRanges) {
+  Table t("ex");
+  Column x("x", DataType::kInt64, 0);
+  Rng rng(137);
+  for (int i = 0; i < 3000; ++i) {
+    // Mix of tiny and huge magnitudes (but within the 2^53 code budget).
+    x.Append(rng.Bernoulli(0.5)
+                 ? static_cast<double>(rng.UniformInt(uint64_t{100}))
+                 : 1e12 + static_cast<double>(rng.UniformInt(uint64_t{1000})));
+  }
+  t.AddColumn(std::move(x));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  auto exact = ExecuteExactSql(t, "SELECT COUNT(x) FROM ex WHERE x < 1000;");
+  auto approx = engine.ExecuteSql("SELECT COUNT(x) FROM ex WHERE x < 1000;");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->Scalar().estimate, exact->Scalar().estimate,
+              exact->Scalar().estimate * 0.05 + 5);
+}
+
+TEST(DegenerateTest, NegativeValuesDecodeCorrectly) {
+  Table t("neg");
+  Column x("x", DataType::kFloat64, 2);
+  Rng rng(138);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = std::round(rng.Normal(-100, 20) * 100) / 100;
+    sum += v;
+    x.Append(v);
+  }
+  t.AddColumn(std::move(x));
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  auto avg = engine.ExecuteSql("SELECT AVG(x) FROM neg;");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->Scalar().estimate, sum / 5000, 2.0);
+  auto s = engine.ExecuteSql("SELECT SUM(x) FROM neg WHERE x < -100;");
+  auto e = ExecuteExactSql(t, "SELECT SUM(x) FROM neg WHERE x < -100;");
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(std::fabs(s->Scalar().estimate - e->Scalar().estimate),
+            std::fabs(e->Scalar().estimate) * 0.1);
+  // SUM bounds with negative values must still bracket the estimate.
+  EXPECT_LE(s->Scalar().lower, s->Scalar().estimate);
+  EXPECT_GE(s->Scalar().upper, s->Scalar().estimate);
+}
+
+// ---------------------------------------------------------------------------
+// Query-level adversarial cases.
+
+TEST(AdversarialQueryTest, ContradictionsAndTautologies) {
+  Table t = MakePower(5000, 139);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  // Contradiction on one column.
+  auto c = engine.ExecuteSql(
+      "SELECT COUNT(voltage) FROM power WHERE hour > 20 AND hour < 3;");
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Scalar().estimate, 0.0);
+  // Tautology via OR of complements.
+  auto u = engine.ExecuteSql(
+      "SELECT COUNT(voltage) FROM power WHERE hour >= 12 OR hour < 12;");
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(u->Scalar().estimate, 5000.0, 1.0);
+  // != on a never-present value matches everything.
+  auto n = engine.ExecuteSql(
+      "SELECT COUNT(voltage) FROM power WHERE hour != 99;");
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(n->Scalar().estimate, 5000.0, 1.0);
+}
+
+TEST(AdversarialQueryTest, LiteralOutsideDataRange) {
+  Table t = MakePower(4000, 140);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  EXPECT_DOUBLE_EQ(engine
+                       .ExecuteSql("SELECT COUNT(voltage) FROM power WHERE "
+                                   "voltage > 10000;")
+                       ->Scalar()
+                       .estimate,
+                   0.0);
+  EXPECT_NEAR(engine
+                  .ExecuteSql("SELECT COUNT(voltage) FROM power WHERE "
+                              "voltage > -10000;")
+                  ->Scalar()
+                  .estimate,
+              4000.0, 1.0);
+}
+
+TEST(AdversarialQueryTest, DeepNestingParsesAndRuns) {
+  Table t = MakePower(4000, 141);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  std::string sql = "SELECT COUNT(voltage) FROM power WHERE ";
+  // ((((hour > 0 AND hour < 23) OR voltage > 1) AND ...) ...)
+  sql +=
+      "((((hour > 0 AND hour < 23) OR voltage > 500) AND "
+      "(global_intensity > 0 OR sub_metering_1 >= 0)) AND "
+      "(day_of_week <= 6 OR (hour = 2 AND voltage != 0)));";
+  auto r = engine.ExecuteSql(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto e = ExecuteExactSql(t, sql);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(r->Scalar().estimate, e->Scalar().estimate,
+              e->Scalar().estimate * 0.1 + 10);
+}
+
+TEST(AdversarialQueryTest, RepeatedSameColumnConditions) {
+  Table t = MakePower(6000, 142);
+  PairwiseHistConfig cfg;
+  cfg.sample_size = 0;
+  auto ph = PairwiseHist::BuildFromTable(t, cfg);
+  ASSERT_TRUE(ph.ok());
+  AqpEngine engine(&ph.value());
+  // Five conditions on the same column — delayed transformation must
+  // consolidate them into one interval, not multiply coverages.
+  const char* sql =
+      "SELECT COUNT(voltage) FROM power WHERE hour > 2 AND hour > 4 AND "
+      "hour < 20 AND hour < 18 AND hour != 10;";
+  auto r = engine.ExecuteSql(sql);
+  auto e = ExecuteExactSql(t, sql);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_LT(std::fabs(r->Scalar().estimate - e->Scalar().estimate),
+            e->Scalar().estimate * 0.05 + 5);
+}
+
+}  // namespace
+}  // namespace pairwisehist

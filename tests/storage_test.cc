@@ -1,0 +1,209 @@
+// Unit tests for the storage layer: columns, tables, sampling, CSV.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+namespace {
+
+Table MakeSmallTable() {
+  Table t("demo");
+  Column a("a", DataType::kInt64, 0);
+  for (int i = 0; i < 10; ++i) a.Append(i);
+  Column b("b", DataType::kFloat64, 2);
+  for (int i = 0; i < 10; ++i) {
+    if (i % 4 == 3) {
+      b.AppendNull();
+    } else {
+      b.Append(i * 1.25);
+    }
+  }
+  Column c("c", DataType::kCategorical, 0);
+  for (int i = 0; i < 10; ++i) c.AppendCategory(i % 2 ? "odd" : "even");
+  t.AddColumn(std::move(a));
+  t.AddColumn(std::move(b));
+  t.AddColumn(std::move(c));
+  return t;
+}
+
+TEST(ColumnTest, AppendAndRead) {
+  Column c("x", DataType::kFloat64, 1);
+  c.Append(1.5);
+  c.AppendNull();
+  c.Append(-2.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_DOUBLE_EQ(c.Value(0), 1.5);
+  EXPECT_DOUBLE_EQ(c.Value(2), -2.0);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_EQ(c.non_null_count(), 2u);
+  EXPECT_TRUE(c.has_nulls());
+}
+
+TEST(ColumnTest, MinMaxIgnoreNulls) {
+  Column c("x", DataType::kFloat64, 1);
+  c.AppendNull();
+  c.Append(5.0);
+  c.Append(-1.0);
+  c.AppendNull();
+  EXPECT_DOUBLE_EQ(c.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(c.Max(), 5.0);
+}
+
+TEST(ColumnTest, MinMaxAllNullIsNaN) {
+  Column c("x", DataType::kFloat64, 1);
+  c.AppendNull();
+  EXPECT_TRUE(std::isnan(c.Min()));
+  EXPECT_TRUE(std::isnan(c.Max()));
+}
+
+TEST(ColumnTest, CountDistinct) {
+  Column c("x", DataType::kInt64, 0);
+  for (double v : {3.0, 1.0, 3.0, 2.0, 1.0}) c.Append(v);
+  c.AppendNull();
+  EXPECT_EQ(c.CountDistinct(), 3u);
+}
+
+TEST(ColumnTest, CategoryInterning) {
+  Column c("x", DataType::kCategorical, 0);
+  c.AppendCategory("red");
+  c.AppendCategory("blue");
+  c.AppendCategory("red");
+  EXPECT_EQ(c.dictionary().size(), 2u);
+  EXPECT_DOUBLE_EQ(c.Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.Value(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.Value(2), 0.0);
+  EXPECT_EQ(c.CategoryCode("blue").value(), 1);
+  EXPECT_FALSE(c.CategoryCode("green").ok());
+  EXPECT_EQ(c.CategoryName(0).value(), "red");
+  EXPECT_FALSE(c.CategoryName(9).ok());
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.NumColumns(), 3u);
+  EXPECT_EQ(t.NumRows(), 10u);
+  EXPECT_EQ(t.ColumnIndex("b").value(), 1u);
+  EXPECT_FALSE(t.ColumnIndex("zz").ok());
+  EXPECT_EQ(t.FindColumn("c").value()->name(), "c");
+}
+
+TEST(TableTest, ValidateCatchesLengthMismatch) {
+  Table t("bad");
+  Column a("a", DataType::kInt64, 0);
+  a.Append(1);
+  Column b("b", DataType::kInt64, 0);
+  t.AddColumn(std::move(a));
+  t.AddColumn(std::move(b));
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, SampleSizeAndDeterminism) {
+  Table t = MakeSmallTable();
+  Table s1 = t.Sample(4, 7);
+  Table s2 = t.Sample(4, 7);
+  EXPECT_EQ(s1.NumRows(), 4u);
+  ASSERT_EQ(s2.NumRows(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(s1.column(0).Value(r), s2.column(0).Value(r));
+  }
+}
+
+TEST(TableTest, SampleLargerThanTableReturnsAll) {
+  Table t = MakeSmallTable();
+  Table s = t.Sample(100, 7);
+  EXPECT_EQ(s.NumRows(), 10u);
+}
+
+TEST(TableTest, SamplePreservesNullsAndDictionary) {
+  Table t = MakeSmallTable();
+  Table s = t.Sample(10, 7);
+  EXPECT_EQ(s.column(2).dictionary().size(), 2u);
+  EXPECT_EQ(s.column(1).null_count(), t.column(1).null_count());
+}
+
+TEST(TableTest, SliceRange) {
+  Table t = MakeSmallTable();
+  Table s = t.Slice(2, 5);
+  EXPECT_EQ(s.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(s.column(0).Value(0), 2.0);
+}
+
+TEST(TableTest, RawSizeBytesPositive) {
+  Table t = MakeSmallTable();
+  EXPECT_GT(t.RawSizeBytes(), 10u * 8u);
+}
+
+TEST(TableTest, SchemaString) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.SchemaString(),
+            "a(int64), b(float64), c(categorical)");
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+TEST(CsvTest, ParseWithTypeInference) {
+  auto t = ParseCsv("id,value,label\n1,2.50,x\n2,3.75,y\n3,,x\n", "t");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->NumRows(), 3u);
+  EXPECT_EQ(t->column(0).type(), DataType::kInt64);
+  EXPECT_EQ(t->column(1).type(), DataType::kFloat64);
+  EXPECT_EQ(t->column(1).decimals(), 2);
+  EXPECT_EQ(t->column(2).type(), DataType::kCategorical);
+  EXPECT_TRUE(t->column(1).IsNull(2));
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  auto t = ParseCsv("name\n\"a,b\"\n\"say \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).CategoryName(0).value(), "a,b");
+  EXPECT_EQ(t->column(0).CategoryName(1).value(), "say \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n", "t").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("", "t").ok()); }
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n", "t").ok());
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  Table t = MakeSmallTable();
+  std::string csv = ToCsvString(t);
+  auto back = ParseCsv(csv, "demo");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumRows(), t.NumRows());
+  ASSERT_EQ(back->NumColumns(), t.NumColumns());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(back->column(0).Value(r), t.column(0).Value(r));
+    EXPECT_EQ(back->column(1).IsNull(r), t.column(1).IsNull(r));
+    if (!t.column(1).IsNull(r)) {
+      EXPECT_NEAR(back->column(1).Value(r), t.column(1).Value(r), 1e-9);
+    }
+  }
+}
+
+TEST(CsvTest, WriteAndReadFile) {
+  Table t = MakeSmallTable();
+  std::string path = ::testing::TempDir() + "/ph_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), t.NumRows());
+  EXPECT_EQ(back->name(), "ph_csv_test");
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv").ok());
+}
+
+}  // namespace
+}  // namespace pairwisehist
