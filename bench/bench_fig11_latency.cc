@@ -2,13 +2,20 @@
 // datasets, plus google-benchmark micro-latency for the PairwiseHist
 // engine broken down by query shape, plus the exact-execution reference
 // (the paper's SQLite comparison: 306.8 s median vs sub-ms AQP).
+//
+// Extended for the prepared-query API: every shape is measured both
+// prepared (Db::Prepare once, Execute per call — coverage + weighting +
+// aggregation only) and unprepared (Db::ExecuteSql per call — parse +
+// normalize + grid selection every time), and a workload-level summary
+// reports the per-query overhead the parse-once hot path removes.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "api/db.h"
 #include "bench/bench_util.h"
-#include "core/pairwise_hist.h"
-#include "query/engine.h"
 #include "query/sql_parser.h"
 
 using namespace pairwisehist;
@@ -17,8 +24,7 @@ using namespace pairwisehist::bench;
 namespace {
 
 struct LatencyFixture {
-  Table table;
-  std::optional<PairwiseHist> synopsis;
+  std::optional<Db> db;
   std::vector<Query> workload;
 
   static LatencyFixture* Get() {
@@ -27,90 +33,104 @@ struct LatencyFixture {
       size_t scale_rows = EnvSize("PH_SCALE_ROWS", 200000);
       BenchDataset ds = MakeScaledDataset(
           "power", scale_rows, EnvSize("PH_QUERIES", 100), 71);
-      f->table = std::move(ds.table);
       f->workload = std::move(ds.workload);
-      PairwiseHistConfig cfg;
-      cfg.sample_size = scale_rows / 10;
-      auto ph = PairwiseHist::BuildFromTable(f->table, cfg);
-      if (ph.ok()) f->synopsis.emplace(std::move(ph).value());
+      DbOptions options;
+      options.synopsis.sample_size = scale_rows / 10;
+      auto db = Db::FromTable(std::move(ds.table), options);
+      if (db.ok()) f->db.emplace(std::move(db).value());
       return f;
     }();
     return fixture;
   }
 };
 
-void BM_CountSinglePredicate(benchmark::State& state) {
+// Each shape benchmarked twice: the prepared plan re-executed per
+// iteration, and the full parse-per-call path.
+void RunPrepared(benchmark::State& state, const char* sql) {
   LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql("SELECT COUNT(voltage) FROM power WHERE voltage > 240;");
+  auto prepared = f->db->Prepare(sql);
   for (auto _ : state) {
-    auto r = engine.Execute(*q);
+    auto r = prepared->Execute();
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_CountSinglePredicate);
 
-void BM_AvgCrossColumn(benchmark::State& state) {
+void RunUnprepared(benchmark::State& state, const char* sql) {
   LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql(
-      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;");
   for (auto _ : state) {
-    auto r = engine.Execute(*q);
+    auto r = f->db->ExecuteSql(sql);
     benchmark::DoNotOptimize(r);
   }
 }
-BENCHMARK(BM_AvgCrossColumn);
 
-void BM_FivePredicates(benchmark::State& state) {
-  LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql(
-      "SELECT SUM(global_active_power) FROM power WHERE hour >= 6 AND "
-      "voltage > 236 AND global_intensity > 0.4 AND sub_metering_3 < 20 "
-      "AND day_of_week < 6;");
-  for (auto _ : state) {
-    auto r = engine.Execute(*q);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_FivePredicates);
+constexpr const char* kCountSingle =
+    "SELECT COUNT(voltage) FROM power WHERE voltage > 240;";
+constexpr const char* kAvgCross =
+    "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;";
+constexpr const char* kFivePred =
+    "SELECT SUM(global_active_power) FROM power WHERE hour >= 6 AND "
+    "voltage > 236 AND global_intensity > 0.4 AND sub_metering_3 < 20 "
+    "AND day_of_week < 6;";
+constexpr const char* kMedian =
+    "SELECT MEDIAN(global_active_power) FROM power WHERE hour < 12;";
+constexpr const char* kOrPred =
+    "SELECT COUNT(voltage) FROM power WHERE hour < 4 OR hour > 20;";
+constexpr const char* kGroupBy =
+    "SELECT AVG(global_active_power) FROM power GROUP BY day_of_week;";
 
-void BM_MedianAggregate(benchmark::State& state) {
-  LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql(
-      "SELECT MEDIAN(global_active_power) FROM power WHERE hour < 12;");
-  for (auto _ : state) {
-    auto r = engine.Execute(*q);
-    benchmark::DoNotOptimize(r);
-  }
+void BM_CountSinglePredicate_Prepared(benchmark::State& state) {
+  RunPrepared(state, kCountSingle);
 }
-BENCHMARK(BM_MedianAggregate);
+BENCHMARK(BM_CountSinglePredicate_Prepared);
+void BM_CountSinglePredicate_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kCountSingle);
+}
+BENCHMARK(BM_CountSinglePredicate_Unprepared);
 
-void BM_OrPredicate(benchmark::State& state) {
-  LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql(
-      "SELECT COUNT(voltage) FROM power WHERE hour < 4 OR hour > 20;");
-  for (auto _ : state) {
-    auto r = engine.Execute(*q);
-    benchmark::DoNotOptimize(r);
-  }
+void BM_AvgCrossColumn_Prepared(benchmark::State& state) {
+  RunPrepared(state, kAvgCross);
 }
-BENCHMARK(BM_OrPredicate);
+BENCHMARK(BM_AvgCrossColumn_Prepared);
+void BM_AvgCrossColumn_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kAvgCross);
+}
+BENCHMARK(BM_AvgCrossColumn_Unprepared);
 
-void BM_GroupBy(benchmark::State& state) {
-  LatencyFixture* f = LatencyFixture::Get();
-  AqpEngine engine(&*f->synopsis);
-  auto q = ParseSql(
-      "SELECT AVG(global_active_power) FROM power GROUP BY day_of_week;");
-  for (auto _ : state) {
-    auto r = engine.Execute(*q);
-    benchmark::DoNotOptimize(r);
-  }
+void BM_FivePredicates_Prepared(benchmark::State& state) {
+  RunPrepared(state, kFivePred);
 }
-BENCHMARK(BM_GroupBy);
+BENCHMARK(BM_FivePredicates_Prepared);
+void BM_FivePredicates_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kFivePred);
+}
+BENCHMARK(BM_FivePredicates_Unprepared);
+
+void BM_MedianAggregate_Prepared(benchmark::State& state) {
+  RunPrepared(state, kMedian);
+}
+BENCHMARK(BM_MedianAggregate_Prepared);
+void BM_MedianAggregate_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kMedian);
+}
+BENCHMARK(BM_MedianAggregate_Unprepared);
+
+void BM_OrPredicate_Prepared(benchmark::State& state) {
+  RunPrepared(state, kOrPred);
+}
+BENCHMARK(BM_OrPredicate_Prepared);
+void BM_OrPredicate_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kOrPred);
+}
+BENCHMARK(BM_OrPredicate_Unprepared);
+
+void BM_GroupBy_Prepared(benchmark::State& state) {
+  RunPrepared(state, kGroupBy);
+}
+BENCHMARK(BM_GroupBy_Prepared);
+void BM_GroupBy_Unprepared(benchmark::State& state) {
+  RunUnprepared(state, kGroupBy);
+}
+BENCHMARK(BM_GroupBy_Unprepared);
 
 void BM_SqlParseOnly(benchmark::State& state) {
   for (auto _ : state) {
@@ -121,21 +141,102 @@ void BM_SqlParseOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_SqlParseOnly);
 
+void BM_CompileOnly(benchmark::State& state) {
+  LatencyFixture* f = LatencyFixture::Get();
+  auto q = ParseSql(kFivePred);
+  for (auto _ : state) {
+    auto plan = f->db->engine().Compile(*q);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_CompileOnly);
+
+// Workload-level comparison: re-execute every workload query `reps` times
+// through both paths and report the median per-query latency.
+void PreparedVsUnpreparedSummary(const Db& db,
+                                 const std::vector<Query>& workload) {
+  const int reps = static_cast<int>(EnvSize("PH_PREPARED_REPS", 20));
+  std::vector<double> prepared_us, unprepared_us;
+  size_t mismatches = 0;
+  for (const Query& q : workload) {
+    std::string sql = q.ToSql();
+    auto prepared = db.Prepare(sql);
+    if (!prepared.ok()) continue;
+
+    double t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) {
+      auto r = prepared->Execute();
+      benchmark::DoNotOptimize(r);
+    }
+    prepared_us.push_back((NowSeconds() - t0) * 1e6 / reps);
+
+    t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) {
+      auto r = db.ExecuteSql(sql);
+      benchmark::DoNotOptimize(r);
+    }
+    unprepared_us.push_back((NowSeconds() - t0) * 1e6 / reps);
+
+    // Sanity: both paths agree, per group (GROUP BY shapes included).
+    auto same = [](const QueryResult& x, const QueryResult& y) {
+      if (x.groups.size() != y.groups.size()) return false;
+      for (size_t g = 0; g < x.groups.size(); ++g) {
+        if (x.groups[g].label != y.groups[g].label) return false;
+        const AggResult& xa = x.groups[g].agg;
+        const AggResult& ya = y.groups[g].agg;
+        if (xa.empty_selection != ya.empty_selection) return false;
+        if (!xa.empty_selection &&
+            (xa.estimate != ya.estimate || xa.lower != ya.lower ||
+             xa.upper != ya.upper)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    auto a = prepared->Execute();
+    auto b = db.ExecuteSql(sql);
+    if (a.ok() != b.ok() || (a.ok() && !same(a.value(), b.value()))) {
+      ++mismatches;
+    }
+  }
+  if (prepared_us.empty()) return;
+  auto median = [](std::vector<double> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  double med_prep = median(prepared_us);
+  double med_unprep = median(unprepared_us);
+  std::printf(
+      "\nPrepared vs parse-per-call over %zu workload queries "
+      "(%d reps each):\n",
+      prepared_us.size(), reps);
+  std::printf("  %-28s %10.1f us median/query\n",
+              "prepared Execute()", med_prep);
+  std::printf("  %-28s %10.1f us median/query\n",
+              "unprepared ExecuteSql()", med_unprep);
+  std::printf("  parse+normalize+grid overhead removed: %.1f us/query "
+              "(%.2fx speedup)%s\n",
+              med_unprep - med_prep,
+              med_prep > 0 ? med_unprep / med_prep : 0.0,
+              mismatches == 0 ? "" : "  [RESULT MISMATCHES!]");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Banner("Fig. 11(c): median query latency");
   LatencyFixture* f = LatencyFixture::Get();
-  if (!f->workload.empty()) {
+  if (f->db.has_value() && !f->workload.empty()) {
+    const Table& table = *f->db->table();
     size_t ns = EnvSize("PH_SCALE_ROWS", 200000) / 10;
-    BuiltMethod ph = BuildPairwiseHistMethod(f->table, ns);
-    BuiltMethod spn = BuildSpnMethod(f->table, ns);
-    BuiltMethod sampling = BuildSamplingMethod(f->table, ns);
-    BuiltMethod dbest = BuildDbestMethod(f->table, f->workload, ns / 10);
+    BuiltMethod ph = BuildPairwiseHistMethod(table, ns);
+    BuiltMethod spn = BuildSpnMethod(table, ns);
+    BuiltMethod sampling = BuildSamplingMethod(table, ns);
+    BuiltMethod dbest = BuildDbestMethod(table, f->workload, ns / 10);
     std::vector<const AqpMethod*> methods = {
         ph.method.get(), spn.method.get(), sampling.method.get(),
         dbest.method.get()};
-    auto runs = RunWorkload(f->table, f->workload, methods);
+    auto runs = RunWorkload(table, f->workload, methods);
     if (runs.ok()) {
       std::printf("%-14s %16s %10s\n", "Method", "median latency",
                   "queries");
@@ -144,14 +245,16 @@ int main(int argc, char** argv) {
                     HumanSeconds(run.MedianLatencyUs() / 1e6).c_str(),
                     run.queries_supported);
       }
-      double exact_us = MedianExactLatencyUs(f->table, f->workload);
+      double exact_us = MedianExactLatencyUs(table, f->workload);
       std::printf("%-14s %16s %10zu  (the paper's SQLite reference)\n",
                   "Exact scan", HumanSeconds(exact_us / 1e6).c_str(),
                   f->workload.size());
       std::printf(
           "\n(paper shape: PH fastest AQP, orders of magnitude under the "
-          "exact scan)\n\nMicro-benchmarks by query shape:\n");
+          "exact scan)\n");
     }
+    PreparedVsUnpreparedSummary(*f->db, f->workload);
+    std::printf("\nMicro-benchmarks by query shape:\n");
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
-// Interactive AQP shell: load or generate a dataset, build the synopsis,
-// and type SQL against it. Demonstrates the full public API surface a
-// downstream user touches, including the incremental-update extension.
+// Interactive AQP shell on top of the pairwisehist::Db facade: open a
+// dataset (generator name or CSV path), then type SQL against the
+// synopsis. One Db handle covers build, approximate + exact execution,
+// prepared statements and incremental append — the full public API.
 //
 // Usage:
 //   aqp_shell                      # flights demo dataset
@@ -8,17 +9,21 @@
 //   aqp_shell /path/to/data.csv    # your own CSV
 //
 // Shell commands besides SQL:
-//   .schema   .stats   .exact <sql>   .append <rows>   .quit
+//   .schema           column names and types
+//   .stats            synopsis statistics
+//   .exact <sql>      run the same SQL exactly (ground truth)
+//   .prepare <sql>    compile once, then time repeated executions
+//   .append <rows>    generate + fold new rows into the synopsis
+//   .save <path>      write the Fig.-6 serialized synopsis
+//   .quit
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
-#include "core/pairwise_hist.h"
+#include "api/db.h"
 #include "datagen/datasets.h"
-#include "query/engine.h"
-#include "query/exact.h"
-#include "storage/csv.h"
 
 using namespace pairwisehist;
 
@@ -36,46 +41,39 @@ void PrintResult(const QueryResult& result) {
   }
 }
 
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string source = argc > 1 ? argv[1] : "flights";
 
-  Table table;
-  if (source.find(".csv") != std::string::npos) {
-    auto loaded = ReadCsv(source);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load %s: %s\n", source.c_str(),
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    table = std::move(loaded).value();
-  } else {
-    auto made = MakeDataset(source, 0, 1);
-    if (!made.ok()) {
-      std::fprintf(stderr, "unknown dataset '%s' (try: ", source.c_str());
+  DbOptions options;
+  auto opened = source.find(".csv") != std::string::npos
+                    ? Db::FromCsv(source, options)
+                    : Db::FromGenerator(source, 0, 1, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open '%s': %s\n", source.c_str(),
+                 opened.status().ToString().c_str());
+    if (source.find(".csv") == std::string::npos) {
+      std::fprintf(stderr, "known datasets: ");
       for (const auto& spec : AllDatasets()) {
         std::fprintf(stderr, "%s ", spec.name.c_str());
       }
-      std::fprintf(stderr, "or a .csv path)\n");
-      return 1;
+      std::fprintf(stderr, "(or a .csv path)\n");
     }
-    table = std::move(made).value();
-  }
-
-  std::printf("loaded '%s': %zu rows x %zu columns\n", table.name().c_str(),
-              table.NumRows(), table.NumColumns());
-  PairwiseHistConfig config;
-  config.sample_size = std::min<size_t>(table.NumRows(), 50000);
-  auto synopsis = PairwiseHist::BuildFromTable(table, config);
-  if (!synopsis.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
-                 synopsis.status().ToString().c_str());
     return 1;
   }
-  AqpEngine engine(&synopsis.value());
+  Db db = std::move(opened).value();
+
+  std::printf("loaded '%s': %zu rows x %zu columns\n", db.name().c_str(),
+              db.table()->NumRows(), db.table()->NumColumns());
   std::printf("synopsis ready: %zu bytes. Type SQL or .help\n",
-              synopsis->StorageBytes());
+              db.StorageBytes());
 
   std::string line;
   while (std::printf("aqp> "), std::fflush(stdout),
@@ -89,32 +87,55 @@ int main(int argc, char** argv) {
           ".schema          column names and types\n"
           ".stats           synopsis statistics\n"
           ".exact <sql>     run the same SQL exactly (ground truth)\n"
+          ".prepare <sql>   compile once, time 1000 re-executions\n"
           ".append <rows>   generate+fold new rows into the synopsis\n"
+          ".save <path>     write the serialized synopsis\n"
           ".quit\n");
       continue;
     }
     if (line == ".schema") {
-      std::printf("%s\n", table.SchemaString().c_str());
+      std::printf("%s\n", db.table()->SchemaString().c_str());
       continue;
     }
     if (line == ".stats") {
+      const PairwiseHist& s = db.synopsis();
       std::printf("rows N=%llu  sample Ns=%llu  rho=%.4f  M=%llu  "
                   "columns=%zu  pairs=%zu  bytes=%zu\n",
-                  (unsigned long long)synopsis->total_rows(),
-                  (unsigned long long)synopsis->sample_rows(),
-                  synopsis->sampling_ratio(),
-                  (unsigned long long)synopsis->min_points(),
-                  synopsis->num_columns(), synopsis->num_pairs(),
-                  synopsis->StorageBytes());
+                  (unsigned long long)s.total_rows(),
+                  (unsigned long long)s.sample_rows(), s.sampling_ratio(),
+                  (unsigned long long)s.min_points(), s.num_columns(),
+                  s.num_pairs(), s.StorageBytes());
       continue;
     }
     if (line.rfind(".exact ", 0) == 0) {
-      auto result = ExecuteExactSql(table, line.substr(7));
+      auto result = db.ExecuteExactSql(line.substr(7));
       if (!result.ok()) {
         std::printf("error: %s\n", result.status().ToString().c_str());
       } else {
         PrintResult(result.value());
       }
+      continue;
+    }
+    if (line.rfind(".prepare ", 0) == 0) {
+      auto prepared = db.Prepare(line.substr(9));
+      if (!prepared.ok()) {
+        std::printf("error: %s\n", prepared.status().ToString().c_str());
+        continue;
+      }
+      auto first = prepared->Execute();
+      if (!first.ok()) {
+        std::printf("error: %s\n", first.status().ToString().c_str());
+        continue;
+      }
+      PrintResult(first.value());
+      const int reps = 1000;
+      double t0 = NowUs();
+      for (int i = 0; i < reps; ++i) {
+        auto r = prepared->Execute();
+        (void)r;
+      }
+      std::printf("  prepared: %.1f us/execution over %d runs\n",
+                  (NowUs() - t0) / reps, reps);
       continue;
     }
     if (line.rfind(".append ", 0) == 0) {
@@ -123,22 +144,28 @@ int main(int argc, char** argv) {
         std::printf("usage: .append <1..1000000>\n");
         continue;
       }
-      auto fresh = MakeDataset(source, rows, synopsis->total_rows() + 1);
+      auto fresh =
+          MakeDataset(source, rows, db.synopsis().total_rows() + 1);
       if (!fresh.ok()) {
         std::printf("append only works for generated datasets\n");
         continue;
       }
-      Status st = synopsis->UpdateFromTable(*fresh);
+      Status st = db.Append(*fresh);
       if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
       } else {
         std::printf("folded %zu rows; N=%llu, synopsis %zu bytes\n", rows,
-                    (unsigned long long)synopsis->total_rows(),
-                    synopsis->StorageBytes());
+                    (unsigned long long)db.synopsis().total_rows(),
+                    db.StorageBytes());
       }
       continue;
     }
-    auto result = engine.ExecuteSql(line);
+    if (line.rfind(".save ", 0) == 0) {
+      Status st = db.Save(line.substr(6));
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      continue;
+    }
+    auto result = db.ExecuteSql(line);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;

@@ -2,11 +2,11 @@
 // (the paper's Fig. 3), showing exactly what happens to a handful of rows:
 // float→int scaling, frequency-ranked categories, missing-value codes, the
 // greedy bit selection and the deduplicated bases that later seed
-// PairwiseHist bin edges.
+// PairwiseHist bin edges. Everything is reached through a Db opened with
+// compression — the facade owns the pipeline; this tour just introspects.
 #include <cstdio>
 
-#include "datagen/datasets.h"
-#include "gd/greedy_gd.h"
+#include "api/db.h"
 #include "storage/csv.h"
 
 using namespace pairwisehist;
@@ -23,60 +23,71 @@ int main() {
       "21.8,ok,103\n",
       "demo");
   if (!parsed.ok()) return 1;
-  Table& t = parsed.value();
 
-  std::printf("schema: %s\n\n", t.SchemaString().c_str());
+  std::printf("schema: %s\n\n", parsed->SchemaString().c_str());
 
-  auto pre = Preprocess(t);
-  if (!pre.ok()) return 1;
+  DbOptions options;
+  options.compress = true;  // keep the data only in GD form
+  options.synopsis.sample_size = 0;
+  auto db = Db::FromTable(std::move(parsed).value(), options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedTable& gd = *db->compressed();
+
   std::printf("pre-processing (min-subtract, x10^decimals, rank-encode, "
               "missing=0):\n");
-  for (size_t c = 0; c < pre->NumColumns(); ++c) {
-    const ColumnTransform& tr = pre->transforms[c];
+  for (size_t c = 0; c < gd.num_columns(); ++c) {
+    const ColumnTransform& tr = gd.transforms()[c];
     std::printf("  %-8s scale=%-5g min_scaled=%-6lld codes:", tr.name.c_str(),
                 tr.scale, static_cast<long long>(tr.min_scaled));
-    for (size_t r = 0; r < pre->NumRows(); ++r) {
-      std::printf(" %llu", static_cast<unsigned long long>(pre->codes[c][r]));
+    for (size_t r = 0; r < gd.num_rows(); ++r) {
+      auto codes = gd.GetRowCodes(r);
+      if (!codes.ok()) break;
+      std::printf(" %llu",
+                  static_cast<unsigned long long>(codes.value()[c]));
     }
     std::printf("\n");
   }
 
-  auto compressed = CompressedTable::Compress(*pre);
-  if (!compressed.ok()) return 1;
   std::printf("\nGreedyGD bit split (base bits | deviation bits):\n");
-  for (size_t c = 0; c < compressed->num_columns(); ++c) {
-    std::printf("  %-8s %d | %d of %d\n",
-                pre->transforms[c].name.c_str(), compressed->base_bits(c),
-                compressed->deviation_bits(c), compressed->total_bits(c));
+  for (size_t c = 0; c < gd.num_columns(); ++c) {
+    std::printf("  %-8s %d | %d of %d\n", gd.transforms()[c].name.c_str(),
+                gd.base_bits(c), gd.deviation_bits(c), gd.total_bits(c));
   }
-  std::printf("\n%zu rows deduplicated into %zu bases\n",
-              compressed->num_rows(), compressed->num_bases());
+  std::printf("\n%zu rows deduplicated into %zu bases\n", gd.num_rows(),
+              gd.num_bases());
 
   std::printf("\nbase-aligned lower edges per column (PairwiseHist seeds):\n");
-  for (size_t c = 0; c < compressed->num_columns(); ++c) {
-    auto bases = compressed->ColumnBaseValues(c);
-    std::printf("  %-8s:", pre->transforms[c].name.c_str());
+  for (size_t c = 0; c < gd.num_columns(); ++c) {
+    auto bases = gd.ColumnBaseValues(c);
+    std::printf("  %-8s:", gd.transforms()[c].name.c_str());
     for (uint64_t v : bases) {
       std::printf(" %llu", static_cast<unsigned long long>(v));
     }
     std::printf("\n");
   }
 
-  // Lossless round trip, including the null and the categorical strings.
-  Table back = compressed->Decompress(&t);
+  // Lossless round trip, including the null and the categorical strings
+  // (the kept raw table supplies the dictionaries).
+  Table back = gd.Decompress(db->table());
   std::printf("\nlossless round trip:\n%s\n", ToCsvString(back).c_str());
 
-  // A realistic dataset for scale feeling.
-  Table power = MakePower(50000, 3);
-  auto big = CompressTable(power);
+  // A realistic dataset for scale feeling: same facade, bigger data.
+  DbOptions big_options;
+  big_options.compress = true;
+  auto big = Db::FromGenerator("power", 50000, 3, big_options);
   if (big.ok()) {
+    const Table& power = *big->table();
+    const CompressedTable& store = *big->compressed();
     std::printf("power dataset: %zu rows, raw %zu bytes -> compressed %zu "
                 "bytes (%.2fx) with %zu bases\n",
                 power.NumRows(), power.RawSizeBytes(),
-                big->CompressedSizeBytes(),
+                store.CompressedSizeBytes(),
                 static_cast<double>(power.RawSizeBytes()) /
-                    big->CompressedSizeBytes(),
-                big->num_bases());
+                    store.CompressedSizeBytes(),
+                store.num_bases());
   }
   return 0;
 }

@@ -1,67 +1,66 @@
 // Edge-analytics scenario: GreedyGD-compressed IoT storage + PairwiseHist.
 //
 // Models the paper's edge deployment story (Section 1): a gateway ingests
-// sensor batches, keeps them ONLY in GD-compressed form, refreshes a
-// PairwiseHist synopsis from the compressed store (bases seed the bin
-// edges), and ships the sub-MB synopsis to a constrained device that
-// answers SQL locally — no raw data leaves the gateway.
+// sensor batches into a Db opened with compression, so the data lives ONLY
+// in GD-compressed form (the bases double as synopsis bin-edge seeds). The
+// gateway ships the sub-MB serialized synopsis to a constrained device,
+// which reopens it data-free and answers prepared SQL locally — no raw
+// data leaves the gateway.
 #include <cstdio>
 
-#include "core/pairwise_hist.h"
+#include "api/db.h"
 #include "datagen/datasets.h"
-#include "gd/greedy_gd.h"
-#include "query/engine.h"
-#include "query/exact.h"
 
 using namespace pairwisehist;
 
 int main() {
-  // --- Gateway: ingest in batches, store compressed -------------------
-  std::printf("[gateway] ingesting gas-sensor batches...\n");
+  // --- Gateway: open compressed over the initial stream ----------------
+  // Transforms (min/max, decimal scales, category ranks) are fitted on
+  // the full initial load, so the GD store stays lossless for it.
+  std::printf("[gateway] ingesting initial gas-sensor load...\n");
   Table full = MakeGas(120000, 99);
+  size_t raw_bytes = full.RawSizeBytes();
 
-  // Fit transforms on the first batch; GD then ingests incrementally.
-  Table first_batch = full.Slice(0, 40000);
-  auto transforms = FitColumnTransforms(full);  // schema-level fit
-  auto pre0 = ApplyTransforms(first_batch, transforms);
-  if (!pre0.ok()) return 1;
-  auto compressed = CompressedTable::Compress(*pre0);
-  if (!compressed.ok()) {
-    std::fprintf(stderr, "%s\n", compressed.status().ToString().c_str());
+  DbOptions options;
+  options.compress = true;          // GreedyGD store + base-seeded bins
+  options.synopsis.sample_size = 30000;
+  auto gateway = Db::FromTable(std::move(full), options);
+  if (!gateway.ok()) {
+    std::fprintf(stderr, "%s\n", gateway.status().ToString().c_str());
     return 1;
-  }
-  for (size_t start = 40000; start < full.NumRows(); start += 40000) {
-    Table batch = full.Slice(start, start + 40000);
-    auto pre = ApplyTransforms(batch, transforms);
-    if (!pre.ok() || !compressed->Append(*pre).ok()) return 1;
-    std::printf("[gateway] appended batch at %zu; store now %zu rows, "
-                "%zu bases, %zu bytes\n",
-                start, compressed->num_rows(), compressed->num_bases(),
-                compressed->CompressedSizeBytes());
   }
   std::printf("[gateway] raw would be %zu bytes; compressed store is %zu "
-              "(%.2fx)\n\n",
-              full.RawSizeBytes(), compressed->CompressedSizeBytes(),
-              static_cast<double>(full.RawSizeBytes()) /
-                  compressed->CompressedSizeBytes());
+              "(%.2fx)\n",
+              raw_bytes, gateway->compressed()->CompressedSizeBytes(),
+              static_cast<double>(raw_bytes) /
+                  gateway->compressed()->CompressedSizeBytes());
 
-  // --- Gateway: refresh the synopsis from the compressed store --------
-  PairwiseHistConfig config;
-  config.sample_size = 30000;
-  auto synopsis = PairwiseHist::BuildFromCompressed(*compressed, config);
-  if (!synopsis.ok()) {
-    std::fprintf(stderr, "%s\n", synopsis.status().ToString().c_str());
-    return 1;
+  // Fresh sensor batches fold into every structure incrementally (values
+  // outside the fitted domain clamp to it — rebuild after heavy drift).
+  for (uint64_t day = 1; day <= 2; ++day) {
+    Table batch = MakeGas(20000, 99 + day);
+    Status st = gateway->Append(batch);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const CompressedTable& store = *gateway->compressed();
+    std::printf("[gateway] appended 20000-row batch; store now %zu rows, "
+                "%zu bases, %zu bytes\n",
+                store.num_rows(), store.num_bases(),
+                store.CompressedSizeBytes());
   }
-  std::vector<uint8_t> blob = synopsis->Serialize();
-  std::printf("[gateway] synopsis refreshed from compressed bases: %zu "
+  std::printf("\n");
+
+  // --- Gateway: ship the synopsis --------------------------------------
+  std::vector<uint8_t> blob = gateway->ToBlob();
+  std::printf("[gateway] synopsis (built from compressed bases): %zu "
               "bytes to ship\n\n",
               blob.size());
 
   // --- Edge device: answer SQL from the synopsis alone ----------------
-  auto device_synopsis = PairwiseHist::Deserialize(blob);
-  if (!device_synopsis.ok()) return 1;
-  AqpEngine device(&device_synopsis.value());
+  auto device = Db::FromBlob(blob);
+  if (!device.ok()) return 1;
 
   const char* questions[] = {
       "SELECT AVG(temperature) FROM gas WHERE activity = 1;",
@@ -70,8 +69,11 @@ int main() {
       "SELECT MAX(temperature) FROM gas WHERE humidity < 46;",
   };
   for (const char* sql : questions) {
-    auto approx = device.ExecuteSql(sql);
-    auto exact = ExecuteExactSql(full, sql);
+    auto prepared = device->Prepare(sql);
+    if (!prepared.ok()) continue;
+    auto approx = prepared->Execute();
+    // Ground truth comes from the gateway, which still holds the data.
+    auto exact = gateway->ExecuteExactSql(sql);
     if (!approx.ok() || !exact.ok()) continue;
     std::printf("[device] %s\n", sql);
     std::printf("         approx %10.3f in [%0.3f, %0.3f] | exact %10.3f\n",
@@ -80,7 +82,7 @@ int main() {
   }
 
   // The compressed store still supports exact row recovery when needed.
-  auto row = compressed->GetRowCodes(12345);
+  auto row = gateway->compressed()->GetRowCodes(12345);
   if (row.ok()) {
     std::printf("\n[gateway] random access check: row 12345 decodes to "
                 "%zu codes (lossless)\n",

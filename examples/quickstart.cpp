@@ -1,43 +1,39 @@
-// Quickstart: build a PairwiseHist synopsis and run approximate SQL.
+// Quickstart: open a Db, prepare SQL once, execute many times.
 //
-//   1. get a table (here: the synthetic household-power dataset),
-//   2. build the synopsis (optionally on top of GreedyGD compression),
-//   3. ask SQL questions and compare against exact answers.
+//   1. open a Db from a generator / CSV / Table (the facade hides the
+//      preprocess → build → engine wiring),
+//   2. Prepare SQL once — parse, normalization and grid selection happen
+//      here — then Execute() the compiled plan and compare against the
+//      exact answer from the kept raw table,
+//   3. Save the synopsis and reopen it data-free on an "edge device".
 //
-// Build & run:  cmake --build build && ./build/examples/quickstart
+// Build & run:  cmake --build build && ./build/quickstart
 #include <cstdio>
 
-#include "core/pairwise_hist.h"
-#include "datagen/datasets.h"
-#include "query/engine.h"
-#include "query/exact.h"
+#include "api/db.h"
 
 using namespace pairwisehist;
 
 int main() {
-  // 1. A dataset. Any Table works — see storage/csv.h for loading CSVs.
-  Table table = MakePower(/*rows=*/100000, /*seed=*/42);
-  std::printf("dataset: %zu rows, %zu columns\n", table.NumRows(),
-              table.NumColumns());
-  std::printf("schema:  %s\n\n", table.SchemaString().c_str());
-
-  // 2. Build the synopsis from a 20k-row sample (M = 1% of Ns, α = 0.001,
-  //    the paper's defaults).
-  PairwiseHistConfig config;
-  config.sample_size = 20000;
-  auto synopsis = PairwiseHist::BuildFromTable(table, config);
-  if (!synopsis.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
-                 synopsis.status().ToString().c_str());
+  // 1. A database over the synthetic household-power dataset. Any source
+  //    works: Db::FromCsv("data.csv"), Db::FromTable(std::move(table)).
+  DbOptions options;
+  options.synopsis.sample_size = 20000;  // Ns (M = 1% of Ns, α = 0.001)
+  auto db = Db::FromGenerator("power", 100000, 42, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
     return 1;
   }
+  std::printf("dataset: %zu rows, %zu columns\n", db->table()->NumRows(),
+              db->table()->NumColumns());
+  std::printf("schema:  %s\n\n", db->table()->SchemaString().c_str());
   std::printf("synopsis: %zu bytes (%.2fx smaller than the raw data)\n\n",
-              synopsis->StorageBytes(),
-              static_cast<double>(table.RawSizeBytes()) /
-                  synopsis->StorageBytes());
+              db->StorageBytes(),
+              static_cast<double>(db->table()->RawSizeBytes()) /
+                  db->StorageBytes());
 
-  // 3. Ask questions.
-  AqpEngine engine(&synopsis.value());
+  // 2. Ask questions. Prepare parses and plans once; Execute and
+  //    ExecuteExact both reuse the same parsed statement.
   const char* queries[] = {
       "SELECT COUNT(*) FROM power;",
       "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
@@ -47,8 +43,13 @@ int main() {
       "SELECT MAX(global_intensity) FROM power WHERE hour < 6 OR hour > 22;",
   };
   for (const char* sql : queries) {
-    auto approx = engine.ExecuteSql(sql);
-    auto exact = ExecuteExactSql(table, sql);
+    auto prepared = db->Prepare(sql);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n", sql);
+      continue;
+    }
+    auto approx = prepared->Execute();
+    auto exact = prepared->ExecuteExact();
     if (!approx.ok() || !exact.ok()) {
       std::fprintf(stderr, "query failed: %s\n", sql);
       continue;
@@ -65,14 +66,14 @@ int main() {
                     : 0.0);
   }
 
-  // Bonus: the synopsis serializes to a compact blob you can ship to an
-  // edge device and query without the data.
-  std::vector<uint8_t> blob = synopsis->Serialize();
-  auto restored = PairwiseHist::Deserialize(blob);
+  // 3. The synopsis serializes to a compact blob you can ship to an edge
+  //    device and query without the data.
+  std::vector<uint8_t> blob = db->ToBlob();
+  auto edge = Db::FromBlob(blob);
+  if (!edge.ok()) return 1;
   std::printf("serialized to %zu bytes; restored synopsis answers:\n",
               blob.size());
-  AqpEngine edge(&restored.value());
-  auto r = edge.ExecuteSql("SELECT AVG(voltage) FROM power;");
+  auto r = edge->ExecuteSql("SELECT AVG(voltage) FROM power;");
   std::printf("  AVG(voltage) = %.2f\n", r->Scalar().estimate);
   return 0;
 }

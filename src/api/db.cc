@@ -1,0 +1,298 @@
+#include "api/db.h"
+
+#include <fstream>
+#include <utility>
+
+#include "baselines/avi_hist.h"
+#include "baselines/sampling_aqp.h"
+#include "baselines/spn.h"
+#include "datagen/datasets.h"
+#include "gd/preprocess.h"
+#include "query/exact.h"
+#include "query/sql_parser.h"
+#include "storage/csv.h"
+
+namespace pairwisehist {
+
+namespace {
+
+/// Appends every row of `batch` onto `dst` (schema already validated).
+Status AppendRows(Table* dst, const Table& batch) {
+  if (dst->NumColumns() != batch.NumColumns()) {
+    return Status::InvalidArgument(
+        "Append: batch has " + std::to_string(batch.NumColumns()) +
+        " columns, table has " + std::to_string(dst->NumColumns()));
+  }
+  for (size_t c = 0; c < dst->NumColumns(); ++c) {
+    const Column& src = batch.column(c);
+    Column& out = dst->column(c);
+    if (src.name() != out.name() || src.type() != out.type()) {
+      return Status::InvalidArgument("Append: column " + std::to_string(c) +
+                                     " mismatch ('" + src.name() + "' vs '" +
+                                     out.name() + "')");
+    }
+    out.Reserve(out.size() + src.size());
+    for (size_t r = 0; r < src.size(); ++r) {
+      if (src.IsNull(r)) {
+        out.AppendNull();
+      } else if (src.type() == DataType::kCategorical) {
+        // Re-intern through the destination dictionary: the batch may have
+        // been built with its own (differently ordered) dictionary.
+        PH_ASSIGN_OR_RETURN(
+            std::string cat,
+            src.CategoryName(static_cast<int64_t>(src.Value(r))));
+        out.AppendCategory(cat);
+      } else {
+        out.Append(src.Value(r));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+
+StatusOr<QueryResult> PreparedQuery::Execute() const {
+  if (backend_ != nullptr) return backend_->Execute(query_);
+  if (engine_ == nullptr || !plan_.has_value()) {
+    return Status::Internal("PreparedQuery used before Db::Prepare");
+  }
+  return engine_->Execute(*plan_);
+}
+
+StatusOr<QueryResult> PreparedQuery::ExecuteExact() const {
+  if (table_ == nullptr) {
+    return Status::Unsupported(
+        "exact execution requires the raw table (Db was opened "
+        "synopsis-only or with keep_table = false)");
+  }
+  return pairwisehist::ExecuteExact(*table_, query_);
+}
+
+// ---------------------------------------------------------------------------
+// Opening
+
+StatusOr<Db> Db::Build(Table table, const DbOptions& options) {
+  Db db;
+  db.name_ = table.name();
+
+  if (options.compress) {
+    PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));
+    PH_ASSIGN_OR_RETURN(CompressedTable gd,
+                        CompressedTable::Compress(pre, options.gd));
+    db.compressed_ = std::make_unique<CompressedTable>(std::move(gd));
+    PH_ASSIGN_OR_RETURN(
+        PairwiseHist ph,
+        PairwiseHist::BuildFromCompressed(*db.compressed_, options.synopsis));
+    db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
+  } else {
+    PH_ASSIGN_OR_RETURN(PairwiseHist ph,
+                        PairwiseHist::BuildFromTable(table, options.synopsis));
+    db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
+  }
+
+  if (options.keep_table) {
+    db.table_ = std::make_unique<Table>(std::move(table));
+  }
+  db.engine_ =
+      std::make_unique<AqpEngine>(db.synopsis_.get(), options.engine);
+  return db;
+}
+
+StatusOr<Db> Db::FromTable(Table table, DbOptions options) {
+  return Build(std::move(table), options);
+}
+
+StatusOr<Db> Db::FromCsv(const std::string& path, DbOptions options) {
+  PH_ASSIGN_OR_RETURN(Table table, ReadCsv(path));
+  return Build(std::move(table), options);
+}
+
+StatusOr<Db> Db::FromGenerator(const std::string& name, size_t rows,
+                               uint64_t seed, DbOptions options) {
+  PH_ASSIGN_OR_RETURN(Table table, MakeDataset(name, rows, seed));
+  return Build(std::move(table), options);
+}
+
+StatusOr<Db> Db::FromBlob(const std::vector<uint8_t>& blob,
+                          AqpEngineOptions engine) {
+  PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(blob));
+  Db db;
+  db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
+  db.engine_ = std::make_unique<AqpEngine>(db.synopsis_.get(), engine);
+  db.name_ = "synopsis";
+  return db;
+}
+
+StatusOr<Db> Db::Open(const std::string& path, AqpEngineOptions engine) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::DataLoss("error reading '" + path + "'");
+  }
+  return FromBlob(blob, engine);
+}
+
+Status Db::Save(const std::string& path) const {
+  std::vector<uint8_t> blob = synopsis_->Serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out.good()) return Status::DataLoss("error writing '" + path + "'");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+StatusOr<PreparedQuery> Db::Prepare(const std::string& sql) const {
+  PH_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  return Prepare(std::move(query));
+}
+
+StatusOr<PreparedQuery> Db::Prepare(Query query) const {
+  PreparedQuery pq;
+  pq.table_ = table_.get();
+  pq.query_ = std::move(query);
+  if (backend_ != nullptr) {
+    pq.backend_ = backend_.get();
+  } else {
+    pq.engine_ = engine_.get();
+    PH_ASSIGN_OR_RETURN(CompiledQuery plan, engine_->Compile(pq.query_));
+    pq.plan_ = std::move(plan);
+  }
+  return pq;
+}
+
+StatusOr<QueryResult> Db::ExecuteSql(const std::string& sql) const {
+  PH_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(sql));
+  return pq.Execute();
+}
+
+StatusOr<QueryResult> Db::Execute(const Query& query) const {
+  PH_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(query));
+  return pq.Execute();
+}
+
+StatusOr<QueryResult> Db::ExecuteExactSql(const std::string& sql) const {
+  PH_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  return ExecuteExact(query);
+}
+
+StatusOr<QueryResult> Db::ExecuteExact(const Query& query) const {
+  if (table_ == nullptr) {
+    return Status::Unsupported(
+        "exact execution requires the raw table (Db was opened "
+        "synopsis-only or with keep_table = false)");
+  }
+  return pairwisehist::ExecuteExact(*table_, query);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental ingestion
+
+StatusOr<Table> Db::CanonicalizeBatch(const Table& batch) const {
+  Table out(batch.name());
+  for (size_t c = 0; c < batch.NumColumns(); ++c) {
+    const Column& src = batch.column(c);
+    const ColumnTransform& tr = synopsis_->transform(c);
+    if (src.type() != DataType::kCategorical) {
+      out.AddColumn(src);
+      continue;
+    }
+    // Re-code through the fitted dictionary: the batch may have interned
+    // the same category strings in a different order (e.g. a CSV where
+    // 'fault' appears before 'ok'), and the synopsis/GD transforms map
+    // *codes*, not strings. Categories unseen at fit time extend the
+    // local dictionary and clamp at encode time (update.cc semantics).
+    Column col(src.name(), DataType::kCategorical, src.decimals());
+    col.SetDictionary(tr.dictionary);
+    for (size_t r = 0; r < src.size(); ++r) {
+      if (src.IsNull(r)) {
+        col.AppendNull();
+        continue;
+      }
+      PH_ASSIGN_OR_RETURN(
+          std::string cat,
+          src.CategoryName(static_cast<int64_t>(src.Value(r))));
+      col.AppendCategory(cat);
+    }
+    out.AddColumn(std::move(col));
+  }
+  return out;
+}
+
+Status Db::Append(const Table& batch) {
+  // Validate the whole schema up front, then canonicalize, so that by the
+  // time any component is mutated the batch is known-applicable: a late
+  // failure would leave synopsis, compressed store and raw table counting
+  // different rows with no way to roll back.
+  const size_t d = synopsis_->num_columns();
+  if (batch.NumColumns() != d) {
+    return Status::InvalidArgument(
+        "Append: batch has " + std::to_string(batch.NumColumns()) +
+        " columns, synopsis has " + std::to_string(d));
+  }
+  for (size_t c = 0; c < d; ++c) {
+    const Column& col = batch.column(c);
+    const ColumnTransform& tr = synopsis_->transform(c);
+    if (col.name() != tr.name || col.type() != tr.type) {
+      return Status::InvalidArgument(
+          "Append: column " + std::to_string(c) + " is '" + col.name() +
+          "' (" + DataTypeName(col.type()) + "), synopsis expects '" +
+          tr.name + "' (" + DataTypeName(tr.type) + ")");
+    }
+  }
+  PH_ASSIGN_OR_RETURN(Table canonical, CanonicalizeBatch(batch));
+
+  PH_RETURN_IF_ERROR(synopsis_->UpdateFromTable(canonical));
+  if (compressed_ != nullptr) {
+    PH_ASSIGN_OR_RETURN(PreprocessedTable pre,
+                        ApplyTransforms(canonical, compressed_->transforms()));
+    PH_RETURN_IF_ERROR(compressed_->Append(pre));
+  }
+  if (table_ != nullptr) {
+    PH_RETURN_IF_ERROR(AppendRows(table_.get(), canonical));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+
+Status Db::SetBackend(std::unique_ptr<AqpMethod> backend) {
+  backend_ = std::move(backend);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<AqpMethod>> Db::MakeBaselineBackend(
+    const std::string& kind, size_t sample_size, uint64_t seed) const {
+  if (table_ == nullptr) {
+    return Status::Unsupported(
+        "baseline backends train on the raw table; this Db has none");
+  }
+  if (kind == "sampling") {
+    return std::unique_ptr<AqpMethod>(
+        std::make_unique<SamplingAqp>(*table_, sample_size, seed));
+  }
+  if (kind == "avi") {
+    return std::unique_ptr<AqpMethod>(std::make_unique<AviHistogram>(
+        *table_, sample_size, /*buckets=*/64, seed));
+  }
+  if (kind == "spn") {
+    SpnBaseline::Config cfg;
+    cfg.sample_size = sample_size;
+    return std::unique_ptr<AqpMethod>(
+        std::make_unique<SpnBaseline>(*table_, cfg));
+  }
+  return Status::NotFound("unknown backend kind '" + kind +
+                          "' (try: sampling, avi, spn)");
+}
+
+}  // namespace pairwisehist

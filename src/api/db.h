@@ -1,0 +1,179 @@
+// pairwisehist::Db — the unified public facade over the whole pipeline.
+//
+// Everything downstream code previously wired by hand (CSV / generator /
+// Table ingestion → optional GreedyGD compression → PairwiseHist build →
+// engine construction → exact ground-truth fallback → Fig.-6 persistence →
+// incremental append) sits behind one handle:
+//
+//   auto db = Db::FromGenerator("power", 100000, 42);
+//   auto pq = db->Prepare("SELECT AVG(voltage) FROM power WHERE hour > 18;");
+//   auto approx = pq->Execute();        // parse-once, execute-many hot path
+//   auto exact  = pq->ExecuteExact();   // ground truth from the kept table
+//
+// Prepare() runs the parse → normalize → grid-selection stages of Fig. 7
+// exactly once; each Execute() then performs only coverage + weighting +
+// aggregation (see AqpEngine::Compile). Alternative AQP backends
+// (sampling / AVI / SPN / DBEst, anything implementing AqpMethod) can be
+// swapped in behind the same interface with SetBackend().
+#ifndef PAIRWISEHIST_API_DB_H_
+#define PAIRWISEHIST_API_DB_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/aqp_method.h"
+#include "common/status.h"
+#include "core/pairwise_hist.h"
+#include "gd/greedy_gd.h"
+#include "query/engine.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// Construction-time choices for a Db.
+struct DbOptions {
+  /// Synopsis build parameters (Ns, M, α, seed).
+  PairwiseHistConfig synopsis;
+  /// Keep a GreedyGD-compressed copy of the data and seed the synopsis bin
+  /// edges with its bases (the paper's compression ↔ AQP integration).
+  bool compress = false;
+  /// GreedyGD tuning (used only when `compress` is set).
+  GdConfig gd;
+  /// Retain the raw table for exact ground-truth execution and for
+  /// training alternative backends. Costs memory; synopsis-only queries
+  /// work without it.
+  bool keep_table = true;
+  /// Engine refinement toggles.
+  AqpEngineOptions engine;
+};
+
+class Db;
+
+/// A SQL statement prepared against a Db: parsed, normalized and planned
+/// once, executable many times. Must not outlive the Db it came from;
+/// Db::Append keeps prepared queries valid, Db::SetBackend invalidates
+/// queries prepared while a different backend was active.
+class PreparedQuery {
+ public:
+  /// Runs the approximate engine (or the active backend) on the captured
+  /// plan. Only coverage + weighting + aggregation run per call.
+  StatusOr<QueryResult> Execute() const;
+
+  /// Runs the query exactly against the kept raw table (Unsupported when
+  /// the Db was opened without one).
+  StatusOr<QueryResult> ExecuteExact() const;
+
+  const Query& query() const { return query_; }
+  std::string ToSql() const { return query_.ToSql(); }
+  /// True when Execute() uses the parse-once compiled plan (the built-in
+  /// PairwiseHist engine); false when a swapped-in backend answers.
+  bool compiled() const { return plan_.has_value(); }
+
+ private:
+  friend class Db;
+  PreparedQuery() = default;
+
+  const AqpEngine* engine_ = nullptr;    // built-in execution path
+  const AqpMethod* backend_ = nullptr;   // set when a backend is active
+  const Table* table_ = nullptr;         // exact fallback (may be null)
+  Query query_;
+  std::optional<CompiledQuery> plan_;    // set iff backend_ == nullptr
+};
+
+/// The facade. Movable, not copyable; prepared queries remain valid across
+/// moves (internal components have stable addresses).
+class Db {
+ public:
+  Db(Db&&) = default;
+  Db& operator=(Db&&) = default;
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // ---- Opening ----------------------------------------------------------
+  /// Takes ownership of an in-memory table.
+  static StatusOr<Db> FromTable(Table table, DbOptions options = {});
+  /// Loads a CSV file (header row, inferred types).
+  static StatusOr<Db> FromCsv(const std::string& path,
+                              DbOptions options = {});
+  /// Builds one of the named synthetic datasets (see datagen/datasets.h);
+  /// rows == 0 uses the laptop-scale default.
+  static StatusOr<Db> FromGenerator(const std::string& name, size_t rows,
+                                    uint64_t seed, DbOptions options = {});
+  /// Opens a synopsis previously written by Save(): full query capability,
+  /// no raw data (exact fallback unavailable).
+  static StatusOr<Db> Open(const std::string& path,
+                           AqpEngineOptions engine = {});
+  /// Same, from an in-memory serialized blob.
+  static StatusOr<Db> FromBlob(const std::vector<uint8_t>& blob,
+                               AqpEngineOptions engine = {});
+
+  // ---- Persistence (the Fig.-6 serialized form) -------------------------
+  Status Save(const std::string& path) const;
+  std::vector<uint8_t> ToBlob() const { return synopsis_->Serialize(); }
+
+  // ---- Queries ----------------------------------------------------------
+  /// Parses + compiles once; the returned statement re-executes without
+  /// re-planning.
+  StatusOr<PreparedQuery> Prepare(const std::string& sql) const;
+  /// Prepares an already-parsed query.
+  StatusOr<PreparedQuery> Prepare(Query query) const;
+
+  /// One-shot approximate execution (parse + plan + run).
+  StatusOr<QueryResult> ExecuteSql(const std::string& sql) const;
+  StatusOr<QueryResult> Execute(const Query& query) const;
+
+  /// One-shot exact execution against the kept raw table.
+  StatusOr<QueryResult> ExecuteExactSql(const std::string& sql) const;
+  StatusOr<QueryResult> ExecuteExact(const Query& query) const;
+
+  // ---- Incremental ingestion -------------------------------------------
+  /// Folds a new batch (same schema) into every maintained structure: the
+  /// synopsis counts, the compressed store (when present) and the kept raw
+  /// table. Prepared queries stay valid and see the new data.
+  Status Append(const Table& batch);
+
+  // ---- Pluggable AQP backends ------------------------------------------
+  /// Routes subsequent Execute/Prepare calls through `backend` instead of
+  /// the built-in PairwiseHist engine. Passing nullptr restores the
+  /// built-in engine (as does ResetBackend).
+  Status SetBackend(std::unique_ptr<AqpMethod> backend);
+  void ResetBackend() { backend_.reset(); }
+  /// Builds one of the bundled baselines from the kept raw table:
+  /// "sampling", "avi" or "spn". Requires keep_table.
+  StatusOr<std::unique_ptr<AqpMethod>> MakeBaselineBackend(
+      const std::string& kind, size_t sample_size, uint64_t seed = 1) const;
+  const AqpMethod* backend() const { return backend_.get(); }
+
+  // ---- Introspection ----------------------------------------------------
+  const std::string& name() const { return name_; }
+  const PairwiseHist& synopsis() const { return *synopsis_; }
+  const AqpEngine& engine() const { return *engine_; }
+  /// The kept raw table, or nullptr when opened synopsis-only.
+  const Table* table() const { return table_.get(); }
+  /// The GreedyGD store, or nullptr when built without compression.
+  const CompressedTable* compressed() const { return compressed_.get(); }
+  size_t StorageBytes() const { return synopsis_->StorageBytes(); }
+
+ private:
+  Db() = default;
+  static StatusOr<Db> Build(Table table, const DbOptions& options);
+  /// Returns a copy of `batch` with categorical columns re-coded into the
+  /// synopsis's fitted dictionaries (batch dictionaries may order the
+  /// same strings differently).
+  StatusOr<Table> CanonicalizeBatch(const Table& batch) const;
+
+  std::string name_;
+  // unique_ptr members keep component addresses stable across Db moves so
+  // prepared queries can hold plain pointers.
+  std::unique_ptr<PairwiseHist> synopsis_;
+  std::unique_ptr<AqpEngine> engine_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<CompressedTable> compressed_;
+  std::unique_ptr<AqpMethod> backend_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_API_DB_H_

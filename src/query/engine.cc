@@ -668,111 +668,183 @@ AggResult AqpEngine::Aggregate(AggFunc func, size_t agg_col,
 }
 
 // ---------------------------------------------------------------------------
-// Top level.
+// Compilation: everything that depends only on the query text and the
+// synopsis structure (not on per-execution state) happens once here.
 
-StatusOr<AggResult> AqpEngine::ExecuteScalar(
-    const Query& query, const Node* extra_group_leaf) const {
-  // Aggregation column; COUNT(*) rides on the first predicate column.
-  size_t agg_col = 0;
+StatusOr<CompiledQuery> AqpEngine::Compile(const Query& query) const {
+  CompiledQuery plan;
+  plan.query_ = query;
+
+  // Normalize the WHERE clause once (literal mapping into the code domain
+  // + same-column consolidation).
+  if (query.where.has_value()) {
+    PH_ASSIGN_OR_RETURN(Node n, Normalize(*query.where));
+    plan.where_ = std::move(n);
+  }
+  plan.has_or_ = plan.where_.has_value() && HasOr(*plan.where_);
+
+  // GROUP BY resolution.
+  if (!query.group_by.empty()) {
+    PH_ASSIGN_OR_RETURN(plan.group_col_,
+                        ph_->ColumnIndex(query.group_by));
+    const ColumnTransform& tr = ph_->transform(plan.group_col_);
+    if (tr.type == DataType::kCategorical) {
+      plan.group_values_ = tr.rank_to_code.size();
+    } else if (tr.max_code <= 4096) {
+      plan.group_values_ = tr.max_code;
+    } else {
+      return Status::Unsupported(
+          "GROUP BY on high-cardinality numeric column '" + query.group_by +
+          "' (" + std::to_string(tr.max_code) + " distinct codes)");
+    }
+    if (plan.group_values_ == 0) plan.group_values_ = 1;
+  }
+
+  // Aggregation column; COUNT(*) rides on the first predicate column, or
+  // the GROUP BY column when there is no predicate.
+  const bool grouped = plan.grouped();
   if (!query.count_star) {
-    PH_ASSIGN_OR_RETURN(agg_col, ph_->ColumnIndex(query.agg_column));
+    PH_ASSIGN_OR_RETURN(plan.agg_col_, ph_->ColumnIndex(query.agg_column));
   } else {
     std::vector<std::string> pred_cols = query.PredicateColumns();
     if (!pred_cols.empty()) {
-      PH_ASSIGN_OR_RETURN(agg_col, ph_->ColumnIndex(pred_cols[0]));
-    } else if (extra_group_leaf != nullptr) {
-      agg_col = extra_group_leaf->column;
+      PH_ASSIGN_OR_RETURN(plan.agg_col_, ph_->ColumnIndex(pred_cols[0]));
+    } else if (grouped) {
+      plan.agg_col_ = plan.group_col_;
     } else {
-      // COUNT(*) with no predicate: exact row count.
-      AggResult r;
-      r.estimate = r.lower = r.upper =
-          static_cast<double>(ph_->total_rows());
-      return r;
+      // COUNT(*) with no predicate: answered exactly from N at execution.
+      plan.agg_col_ = 0;
+      return plan;
     }
   }
 
-  // Normalized tree = WHERE ∧ group-leaf.
-  std::optional<Node> root;
-  if (query.where.has_value()) {
-    PH_ASSIGN_OR_RETURN(Node n, Normalize(*query.where));
-    root = std::move(n);
-  }
-  if (extra_group_leaf != nullptr) {
-    if (root.has_value()) {
-      if (root->type == Node::Type::kAnd) {
-        root->children.push_back(*extra_group_leaf);
+  // Grid selection looks only at which columns carry predicates, never at
+  // the literal values, so for grouped queries a full-range stand-in leaf
+  // on the group column selects the same grid every per-value execution
+  // would.
+  if (grouped) {
+    Node leaf;
+    leaf.type = Node::Type::kLeaf;
+    leaf.column = plan.group_col_;
+    leaf.intervals = IntervalSet::Of(
+        1.0, static_cast<double>(ph_->transform(plan.group_col_).max_code));
+    std::optional<Node> combined = plan.where_;  // copy; compile-only cost
+    if (combined.has_value()) {
+      if (combined->type == Node::Type::kAnd) {
+        combined->children.push_back(std::move(leaf));
       } else {
-        Node combined;
-        combined.type = Node::Type::kAnd;
-        combined.children.push_back(std::move(*root));
-        combined.children.push_back(*extra_group_leaf);
-        root = std::move(combined);
+        Node root;
+        root.type = Node::Type::kAnd;
+        root.children.push_back(std::move(*combined));
+        root.children.push_back(std::move(leaf));
+        combined = std::move(root);
       }
     } else {
-      root = *extra_group_leaf;
+      combined = std::move(leaf);
     }
+    plan.grid_ = ChooseGrid(plan.agg_col_, &*combined, plan.has_or_);
+  } else {
+    plan.grid_ = ChooseGrid(plan.agg_col_,
+                            plan.where_.has_value() ? &*plan.where_ : nullptr,
+                            plan.has_or_);
   }
 
-  const bool has_or = root.has_value() && HasOr(*root);
-  Grid grid = ChooseGrid(agg_col, root.has_value() ? &*root : nullptr,
-                         has_or);
+  // Same-column clip from the WHERE tree (the per-value GROUP BY leaf is
+  // folded in at execution time when it lands on the aggregation column).
+  if (plan.where_.has_value()) {
+    const IntervalSet* clip = FindAggClip(*plan.where_, plan.agg_col_);
+    if (clip != nullptr) plan.agg_clip_ = *clip;
+  }
 
+  plan.single_column_ = !query.count_star && query.SingleColumn();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Execution: coverage + weighting + aggregation over a compiled plan.
+
+StatusOr<AggResult> AqpEngine::ExecuteScalar(
+    const CompiledQuery& plan, const Node* extra_group_leaf) const {
+  const size_t agg_col = plan.agg_col_;
+  const Grid& grid = plan.grid_;
+  const size_t k = grid.dim->NumBins();
+
+  // Satisfaction probabilities: the normalized WHERE tree, ANDed with the
+  // per-value group leaf. The conjunction distributes over the per-bin
+  // products of Eq. 28, so evaluating the two factors separately is
+  // identical to evaluating one combined tree.
   Prob prob;
-  if (root.has_value()) {
-    prob = EvalNode(agg_col, *root, grid);
+  if (plan.where_.has_value()) {
+    prob = EvalNode(agg_col, *plan.where_, grid);
   } else {
-    const size_t k = grid.dim->NumBins();
     prob.p.assign(k, 1.0);
     prob.lo.assign(k, 1.0);
     prob.hi.assign(k, 1.0);
   }
+  if (extra_group_leaf != nullptr) {
+    Prob gp = EvalNode(agg_col, *extra_group_leaf, grid);
+    for (size_t t = 0; t < k; ++t) {
+      prob.p[t] *= gp.p[t];
+      prob.lo[t] *= gp.lo[t];
+      prob.hi[t] *= gp.hi[t];
+    }
+  }
   Weightings wt = WeightsFromProb(*grid.dim, prob);
 
-  const IntervalSet* agg_clip =
-      root.has_value() ? FindAggClip(*root, agg_col) : nullptr;
+  // Aggregation-column clip: a WHERE-level clip wins (it precedes the
+  // group leaf in the combined tree); otherwise a group leaf on the
+  // aggregation column supplies it.
+  const IntervalSet* agg_clip = nullptr;
+  if (plan.agg_clip_.has_value()) {
+    agg_clip = &*plan.agg_clip_;
+  } else if (extra_group_leaf != nullptr &&
+             extra_group_leaf->column == agg_col) {
+    agg_clip = &extra_group_leaf->intervals;
+  }
 
   // Single-column special cases also require the group leaf (if any) to be
   // on the aggregation column.
-  bool single = !query.count_star && query.SingleColumn() &&
+  bool single = plan.single_column_ &&
                 (extra_group_leaf == nullptr ||
                  extra_group_leaf->column == agg_col);
-  return Aggregate(query.func, agg_col, grid, wt, single, agg_clip);
+  return Aggregate(plan.query_.func, agg_col, grid, wt, single, agg_clip);
 }
 
-StatusOr<QueryResult> AqpEngine::Execute(const Query& query) const {
+StatusOr<QueryResult> AqpEngine::Execute(const CompiledQuery& plan) const {
   QueryResult result;
-  if (query.group_by.empty()) {
-    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(query, nullptr));
+  if (!plan.grouped()) {
+    // COUNT(*) with no predicate: exact row count.
+    if (plan.query_.count_star && !plan.where_.has_value()) {
+      AggResult r;
+      r.estimate = r.lower = r.upper =
+          static_cast<double>(ph_->total_rows());
+      result.groups.push_back({"", r});
+      return result;
+    }
+    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(plan, nullptr));
     result.groups.push_back({"", agg});
     return result;
   }
 
-  PH_ASSIGN_OR_RETURN(size_t group_col, ph_->ColumnIndex(query.group_by));
-  const ColumnTransform& tr = ph_->transform(group_col);
-  uint64_t num_values;
-  if (tr.type == DataType::kCategorical) {
-    num_values = tr.rank_to_code.size();
-  } else if (tr.max_code <= 4096) {
-    num_values = tr.max_code;
-  } else {
-    return Status::Unsupported(
-        "GROUP BY on high-cardinality numeric column '" + query.group_by +
-        "' (" + std::to_string(tr.max_code) + " distinct codes)");
-  }
-
-  for (uint64_t code = 1; code <= num_values; ++code) {
+  const ColumnTransform& tr = ph_->transform(plan.group_col_);
+  for (uint64_t code = 1; code <= plan.group_values_; ++code) {
     Node leaf;
     leaf.type = Node::Type::kLeaf;
-    leaf.column = group_col;
+    leaf.column = plan.group_col_;
     leaf.intervals =
         IntervalSet::Of(static_cast<double>(code), static_cast<double>(code));
-    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(query, &leaf));
+    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(plan, &leaf));
     bool empty_count =
-        query.func == AggFunc::kCount && agg.estimate <= 0.5;
+        plan.query_.func == AggFunc::kCount && agg.estimate <= 0.5;
     if (agg.empty_selection || empty_count) continue;
     result.groups.push_back({FormatGroupLabel(tr, code), agg});
   }
   return result;
+}
+
+StatusOr<QueryResult> AqpEngine::Execute(const Query& query) const {
+  PH_ASSIGN_OR_RETURN(CompiledQuery plan, Compile(query));
+  return Execute(plan);
 }
 
 StatusOr<QueryResult> AqpEngine::ExecuteSql(const std::string& sql) const {

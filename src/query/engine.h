@@ -25,6 +25,7 @@
 #ifndef PAIRWISEHIST_QUERY_ENGINE_H_
 #define PAIRWISEHIST_QUERY_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,65 @@ struct AqpEngineOptions {
   bool var_within_bin = true;
 };
 
+/// Normalized predicate tree: leaves are consolidated (column,
+/// interval-set) pairs after the paper's delayed transformation; AND/OR
+/// structure is preserved for cross-column combination (Eq. 28).
+struct NormalizedPredicate {
+  enum class Type { kLeaf, kAnd, kOr };
+  Type type = Type::kLeaf;
+  size_t column = 0;     // leaf
+  IntervalSet intervals; // leaf
+  std::vector<NormalizedPredicate> children;
+};
+
+/// The aggregation grid chosen for one query: either the 1-d histogram of
+/// the aggregation column or the refined agg dimension of one pair.
+struct AggGrid {
+  const HistogramDim* dim = nullptr;
+  PairView pair;               // valid when dim is a pair agg dimension
+  size_t pair_pred_col = ~size_t{0};  // leaf column backing `pair`
+  bool IsPair() const { return pair.valid(); }
+};
+
+/// A query compiled against one synopsis: the parsed AST plus everything
+/// the parse → literal-mapping → normalization → grid-selection stages of
+/// Fig. 7 produce, captured once so repeated execution runs only coverage
+/// + weighting + aggregation. Obtained from AqpEngine::Compile (or
+/// Db::Prepare); executed with AqpEngine::Execute(plan).
+///
+/// The plan holds pointers into the synopsis it was compiled against, so
+/// it must not outlive that synopsis. Incremental PairwiseHist::Update
+/// keeps existing plans valid (bin structure is stable); rebuilding or
+/// deserializing a new synopsis does not.
+class CompiledQuery {
+ public:
+  CompiledQuery() = default;
+
+  const Query& query() const { return query_; }
+  /// Aggregation column index resolved against the synopsis.
+  size_t agg_column() const { return agg_col_; }
+  /// True when execution aggregates on a refined pairwise grid rather
+  /// than the 1-d histogram.
+  bool uses_pair_grid() const { return grid_.IsPair(); }
+  bool grouped() const { return group_values_ > 0; }
+
+ private:
+  friend class AqpEngine;
+
+  Query query_;
+  size_t agg_col_ = 0;
+  std::optional<NormalizedPredicate> where_;  // normalized WHERE clause
+  bool has_or_ = false;
+  AggGrid grid_;
+  /// Consolidated same-column clip on the aggregation column (copied out
+  /// of the normalized tree at compile time; scalar queries only).
+  std::optional<IntervalSet> agg_clip_;
+  bool single_column_ = false;
+  // GROUP BY state: group_values_ == 0 means not grouped.
+  size_t group_col_ = 0;
+  uint64_t group_values_ = 0;
+};
+
 /// Executes queries against a PairwiseHist synopsis. Stateless apart from
 /// the synopsis pointer; safe for concurrent use.
 class AqpEngine {
@@ -63,10 +123,19 @@ class AqpEngine {
                      AqpEngineOptions options = {})
       : ph_(synopsis), options_(options) {}
 
-  /// Executes a parsed query.
+  /// Compiles a parsed query: predicate normalization with same-column
+  /// consolidation, aggregation-column resolution, grid selection. The
+  /// returned plan can be executed any number of times.
+  StatusOr<CompiledQuery> Compile(const Query& query) const;
+
+  /// Executes a compiled plan (coverage + weighting + aggregation only).
+  StatusOr<QueryResult> Execute(const CompiledQuery& plan) const;
+
+  /// Executes a parsed query (Compile + Execute).
   StatusOr<QueryResult> Execute(const Query& query) const;
 
-  /// Parses and executes a SQL string.
+  /// Parses and executes a SQL string. This is the engine's only ParseSql
+  /// call site; everything funnels through Compile/Execute.
   StatusOr<QueryResult> ExecuteSql(const std::string& sql) const;
 
   /// Exposed for tests and ablations: weightings for `query`'s predicate
@@ -78,28 +147,12 @@ class AqpEngine {
   const AqpEngineOptions& options() const { return options_; }
 
  private:
-  /// Normalized predicate: leaves are consolidated (column, interval-set)
-  /// pairs; AND/OR structure is preserved for cross-column combination.
-  struct Node {
-    enum class Type { kLeaf, kAnd, kOr };
-    Type type = Type::kLeaf;
-    size_t column = 0;     // leaf
-    IntervalSet intervals; // leaf
-    std::vector<Node> children;
-  };
+  using Node = NormalizedPredicate;
+  using Grid = AggGrid;
 
   /// Per-bin satisfaction probabilities with bounds, on some grid.
   struct Prob {
     std::vector<double> p, lo, hi;
-  };
-
-  /// The aggregation grid for one query: either the 1-d histogram of the
-  /// aggregation column or the refined agg dimension of one pair.
-  struct Grid {
-    const HistogramDim* dim = nullptr;
-    PairView pair;               // valid when dim is a pair agg dimension
-    size_t pair_pred_col = ~size_t{0};  // leaf column backing `pair`
-    bool IsPair() const { return pair.valid(); }
   };
 
   StatusOr<Node> Normalize(const PredicateNode& node) const;
@@ -120,7 +173,9 @@ class AqpEngine {
                       const Weightings& wt, bool single_column,
                       const IntervalSet* agg_clip) const;
 
-  StatusOr<AggResult> ExecuteScalar(const Query& query,
+  /// Runs the execution-only stages of a compiled plan, optionally ANDed
+  /// with one extra leaf (the per-value GROUP BY constraint).
+  StatusOr<AggResult> ExecuteScalar(const CompiledQuery& plan,
                                     const Node* extra_group_leaf) const;
 
   const PairwiseHist* ph_;
