@@ -1,0 +1,163 @@
+// Execution fast-path microbenchmark: prepared Execute latency per query
+// shape, reference path (use_fast_path = false) vs the zero-allocation
+// fast path, plus the allocation-free ExecuteInto variant with a reused
+// result. Verifies the two paths return identical results on every shape
+// and emits BENCH_exec_fastpath.json for CI's perf trajectory.
+//
+// No google-benchmark dependency: self-calibrating timing loops, so this
+// runs on bare machines (and in every CI configuration).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+#include "query/engine.h"
+#include "query/sql_parser.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+// Average per-call microseconds, with geometric rep growth until the
+// measurement window is long enough to trust.
+template <typename F>
+double TimePerCallUs(F&& body) {
+  int reps = 1;
+  for (;;) {
+    double t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) body();
+    double dt = NowSeconds() - t0;
+    if (dt > 0.05 || reps >= (1 << 24)) {
+      return dt * 1e6 / reps;
+    }
+    reps *= 4;
+  }
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  if (a.groups.size() != b.groups.size()) return false;
+  auto same = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].label != b.groups[g].label) return false;
+    const AggResult& x = a.groups[g].agg;
+    const AggResult& y = b.groups[g].agg;
+    if (x.empty_selection != y.empty_selection) return false;
+    if (!same(x.estimate, y.estimate) || !same(x.lower, y.lower) ||
+        !same(x.upper, y.upper)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Shape {
+  const char* name;
+  const char* sql;
+};
+
+}  // namespace
+
+int main() {
+  Banner("Execution fast path: prepared Execute latency by shape");
+  const size_t rows = EnvSize("PH_SCALE_ROWS", 200000);
+  DbOptions options;
+  options.synopsis.sample_size = rows / 10;
+  auto db = Db::FromGenerator("power", rows, 71, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  AqpEngineOptions ref_opt;
+  ref_opt.use_fast_path = false;
+  AqpEngine ref_engine(&db->synopsis(), ref_opt);
+  const AqpEngine& fast_engine = db->engine();  // fast path on by default
+
+  const Shape kShapes[] = {
+      {"count_single_pred",
+       "SELECT COUNT(voltage) FROM power WHERE voltage > 240;"},
+      {"count_or_pred",
+       "SELECT COUNT(voltage) FROM power WHERE hour < 4 OR hour > 20;"},
+      {"avg_cross_column",
+       "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;"},
+      {"sum_five_pred",
+       "SELECT SUM(global_active_power) FROM power WHERE hour >= 6 AND "
+       "voltage > 236 AND global_intensity > 0.4 AND sub_metering_3 < 20 "
+       "AND day_of_week < 6;"},
+      {"var_single_column",
+       "SELECT VAR(voltage) FROM power WHERE voltage > 238;"},
+      {"median_cross_column",
+       "SELECT MEDIAN(global_active_power) FROM power WHERE hour < 12;"},
+      {"group_by_avg",
+       "SELECT AVG(global_active_power) FROM power GROUP BY day_of_week;"},
+  };
+
+  std::printf("%-22s %12s %12s %12s %9s\n", "shape", "ref us/op",
+              "fast us/op", "into us/op", "speedup");
+  std::string shapes_json;
+  std::vector<double> speedups;
+  size_t mismatches = 0;
+  for (const Shape& shape : kShapes) {
+    auto q = ParseSql(shape.sql);
+    if (!q.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n", shape.sql);
+      return 1;
+    }
+    auto ref_plan = ref_engine.Compile(*q);
+    auto fast_plan = fast_engine.Compile(*q);
+    if (!ref_plan.ok() || !fast_plan.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", shape.sql);
+      return 1;
+    }
+
+    auto a = ref_engine.Execute(ref_plan.value());
+    auto b = fast_engine.Execute(fast_plan.value());
+    if (!a.ok() || !b.ok() || !SameResult(a.value(), b.value())) {
+      ++mismatches;
+    }
+
+    double ref_us = TimePerCallUs([&]() {
+      auto r = ref_engine.Execute(ref_plan.value());
+      (void)r;
+    });
+    double fast_us = TimePerCallUs([&]() {
+      auto r = fast_engine.Execute(fast_plan.value());
+      (void)r;
+    });
+    QueryResult reused;
+    double into_us = TimePerCallUs([&]() {
+      Status st = fast_engine.ExecuteInto(fast_plan.value(), &reused);
+      (void)st;
+    });
+    double speedup = into_us > 0 ? ref_us / into_us : 0.0;
+    speedups.push_back(speedup);
+    std::printf("%-22s %12.3f %12.3f %12.3f %8.2fx\n", shape.name, ref_us,
+                fast_us, into_us, speedup);
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"name\": \"%s\", \"ref_us\": %.4f, "
+                  "\"fast_us\": %.4f, \"into_us\": %.4f, \"speedup\": %.3f}",
+                  shapes_json.empty() ? "" : ",\n", shape.name, ref_us,
+                  fast_us, into_us, speedup);
+    shapes_json += row;
+  }
+
+  double med = Median(speedups);
+  std::printf("\nmedian fast-path speedup: %.2fx%s\n", med,
+              mismatches == 0 ? "" : "  [RESULT MISMATCHES!]");
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"bench\": \"exec_fastpath\",\n  \"scale_rows\": %zu,\n"
+                "  \"median_speedup\": %.3f,\n  \"mismatches\": %zu,\n"
+                "  \"shapes\": [\n",
+                rows, med, mismatches);
+  WriteBenchJson("BENCH_exec_fastpath.json",
+                 std::string(head) + shapes_json + "\n  ]\n}");
+  return mismatches == 0 ? 0 : 1;
+}

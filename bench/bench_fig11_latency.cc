@@ -151,10 +151,20 @@ void BM_CompileOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileOnly);
 
+// Workload-level comparison results, also emitted as BENCH_latency.json so
+// CI keeps a machine-readable perf trajectory across PRs.
+struct SummaryStats {
+  size_t queries = 0;
+  int reps = 0;
+  double prepared_us = 0;
+  double unprepared_us = 0;
+  size_t mismatches = 0;
+};
+
 // Workload-level comparison: re-execute every workload query `reps` times
 // through both paths and report the median per-query latency.
-void PreparedVsUnpreparedSummary(const Db& db,
-                                 const std::vector<Query>& workload) {
+SummaryStats PreparedVsUnpreparedSummary(const Db& db,
+                                         const std::vector<Query>& workload) {
   const int reps = static_cast<int>(EnvSize("PH_PREPARED_REPS", 20));
   std::vector<double> prepared_us, unprepared_us;
   size_t mismatches = 0;
@@ -199,13 +209,15 @@ void PreparedVsUnpreparedSummary(const Db& db,
       ++mismatches;
     }
   }
-  if (prepared_us.empty()) return;
-  auto median = [](std::vector<double> v) {
-    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
-    return v[v.size() / 2];
-  };
-  double med_prep = median(prepared_us);
-  double med_unprep = median(unprepared_us);
+  SummaryStats stats;
+  if (prepared_us.empty()) return stats;
+  double med_prep = Median(prepared_us);
+  double med_unprep = Median(unprepared_us);
+  stats.queries = prepared_us.size();
+  stats.reps = reps;
+  stats.prepared_us = med_prep;
+  stats.unprepared_us = med_unprep;
+  stats.mismatches = mismatches;
   std::printf(
       "\nPrepared vs parse-per-call over %zu workload queries "
       "(%d reps each):\n",
@@ -219,6 +231,7 @@ void PreparedVsUnpreparedSummary(const Db& db,
               med_unprep - med_prep,
               med_prep > 0 ? med_unprep / med_prep : 0.0,
               mismatches == 0 ? "" : "  [RESULT MISMATCHES!]");
+  return stats;
 }
 
 }  // namespace
@@ -228,7 +241,8 @@ int main(int argc, char** argv) {
   LatencyFixture* f = LatencyFixture::Get();
   if (f->db.has_value() && !f->workload.empty()) {
     const Table& table = *f->db->table();
-    size_t ns = EnvSize("PH_SCALE_ROWS", 200000) / 10;
+    size_t scale_rows = EnvSize("PH_SCALE_ROWS", 200000);
+    size_t ns = scale_rows / 10;
     BuiltMethod ph = BuildPairwiseHistMethod(table, ns);
     BuiltMethod spn = BuildSpnMethod(table, ns);
     BuiltMethod sampling = BuildSamplingMethod(table, ns);
@@ -236,6 +250,7 @@ int main(int argc, char** argv) {
     std::vector<const AqpMethod*> methods = {
         ph.method.get(), spn.method.get(), sampling.method.get(),
         dbest.method.get()};
+    std::string methods_json;
     auto runs = RunWorkload(table, f->workload, methods);
     if (runs.ok()) {
       std::printf("%-14s %16s %10s\n", "Method", "median latency",
@@ -244,6 +259,13 @@ int main(int argc, char** argv) {
         std::printf("%-14s %16s %10zu\n", run.method.c_str(),
                     HumanSeconds(run.MedianLatencyUs() / 1e6).c_str(),
                     run.queries_supported);
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s    {\"name\": \"%s\", \"median_latency_us\": %.3f, "
+                      "\"queries\": %zu}",
+                      methods_json.empty() ? "" : ",\n", run.method.c_str(),
+                      run.MedianLatencyUs(), run.queries_supported);
+        methods_json += row;
       }
       double exact_us = MedianExactLatencyUs(table, f->workload);
       std::printf("%-14s %16s %10zu  (the paper's SQLite reference)\n",
@@ -252,8 +274,28 @@ int main(int argc, char** argv) {
       std::printf(
           "\n(paper shape: PH fastest AQP, orders of magnitude under the "
           "exact scan)\n");
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    ",\n    {\"name\": \"ExactScan\", "
+                    "\"median_latency_us\": %.3f, \"queries\": %zu}",
+                    exact_us, f->workload.size());
+      methods_json += row;
     }
-    PreparedVsUnpreparedSummary(*f->db, f->workload);
+    SummaryStats stats = PreparedVsUnpreparedSummary(*f->db, f->workload);
+    char head[512];
+    std::snprintf(
+        head, sizeof(head),
+        "{\n  \"bench\": \"fig11_latency\",\n  \"scale_rows\": %zu,\n"
+        "  \"workload_queries\": %zu,\n  \"reps\": %d,\n"
+        "  \"prepared_median_us\": %.3f,\n  \"unprepared_median_us\": %.3f,\n"
+        "  \"prepared_speedup\": %.3f,\n  \"mismatches\": %zu,\n"
+        "  \"methods\": [\n",
+        scale_rows, stats.queries, stats.reps, stats.prepared_us,
+        stats.unprepared_us,
+        stats.prepared_us > 0 ? stats.unprepared_us / stats.prepared_us : 0.0,
+        stats.mismatches);
+    WriteBenchJson("BENCH_latency.json",
+                   std::string(head) + methods_json + "\n  ]\n}");
     std::printf("\nMicro-benchmarks by query shape:\n");
   }
   benchmark::Initialize(&argc, argv);

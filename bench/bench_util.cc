@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +44,23 @@ std::string HumanBytes(double bytes) {
                   bytes / (1024.0 * 1024 * 1024));
   }
   return buf;
+}
+
+bool WriteBenchJson(const std::string& filename, const std::string& json) {
+  const char* dir = std::getenv("PH_BENCH_JSON_DIR");
+  std::string path =
+      (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" + filename
+                                       : filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\n[bench json written to %s]\n", path.c_str());
+  return true;
 }
 
 std::string HumanSeconds(double seconds) {

@@ -41,6 +41,11 @@ std::string HumanBytes(double bytes);
 /// Formats seconds as "850 ms" / "12.3 s" / "2.1 min".
 std::string HumanSeconds(double seconds);
 
+/// Writes a machine-readable benchmark artifact (already-composed JSON) to
+/// `filename`, under the directory named by PH_BENCH_JSON_DIR (default:
+/// current directory). Returns false (and warns on stderr) on I/O failure.
+bool WriteBenchJson(const std::string& filename, const std::string& json);
+
 /// An AQP method plus its measured construction cost.
 struct BuiltMethod {
   std::string label;

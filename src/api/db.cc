@@ -63,6 +63,17 @@ StatusOr<QueryResult> PreparedQuery::Execute() const {
   return engine_->Execute(*plan_);
 }
 
+Status PreparedQuery::ExecuteInto(QueryResult* result) const {
+  if (backend_ != nullptr) {
+    PH_ASSIGN_OR_RETURN(*result, backend_->Execute(query_));
+    return Status::OK();
+  }
+  if (engine_ == nullptr || !plan_.has_value()) {
+    return Status::Internal("PreparedQuery used before Db::Prepare");
+  }
+  return engine_->ExecuteInto(*plan_, result);
+}
+
 StatusOr<QueryResult> PreparedQuery::ExecuteExact() const {
   if (table_ == nullptr) {
     return Status::Unsupported(
@@ -75,9 +86,14 @@ StatusOr<QueryResult> PreparedQuery::ExecuteExact() const {
 // ---------------------------------------------------------------------------
 // Opening
 
-StatusOr<Db> Db::Build(Table table, const DbOptions& options) {
+StatusOr<Db> Db::Build(Table table, const DbOptions& opts) {
   Db db;
   db.name_ = table.name();
+
+  DbOptions options = opts;
+  if (options.build_threads != 0) {
+    options.synopsis.build_threads = options.build_threads;
+  }
 
   if (options.compress) {
     PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));

@@ -47,6 +47,11 @@ struct DbOptions {
   bool keep_table = true;
   /// Engine refinement toggles.
   AqpEngineOptions engine;
+  /// Threads for parallel synopsis construction (the d(d-1)/2 pairwise
+  /// histogram builds): 0 = one per hardware core, 1 = serial. Overrides
+  /// `synopsis.build_threads` when non-zero; construction output is
+  /// identical for any value.
+  unsigned build_threads = 0;
 };
 
 class Db;
@@ -60,6 +65,12 @@ class PreparedQuery {
   /// Runs the approximate engine (or the active backend) on the captured
   /// plan. Only coverage + weighting + aggregation run per call.
   StatusOr<QueryResult> Execute() const;
+
+  /// Same, into a caller-owned result whose group storage is reused. With
+  /// a warm result object the built-in engine's fast path performs zero
+  /// heap allocations per call for scalar (non-GROUP-BY) queries; grouped
+  /// queries still build one label string per emitted group.
+  Status ExecuteInto(QueryResult* result) const;
 
   /// Runs the query exactly against the kept raw table (Unsupported when
   /// the Db was opened without one).

@@ -347,6 +347,9 @@ class SynopsisCodec {
                       /*is_rows=*/false);
       }
     }
+    // Execution indexes (prefix sums, sparse cell index, non-null
+    // fractions) are derived, not stored.
+    ph.FinishExecIndex();
     return ph;
   }
 };

@@ -1,7 +1,9 @@
 #include "core/pairwise_hist.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -117,7 +119,39 @@ std::vector<double> InitialEdges(const std::vector<uint64_t>* base_values,
   return edges;
 }
 
+// Per 1-d bin of the pair dimension's column: fraction of 1-d rows that the
+// pair's marginal counts cover (i.e. rows where the OTHER column is also
+// non-null). Mirrors the reference accumulation in the query engine
+// (parent-grouped sums in ascending refined-bin order) so the fast path
+// reads identical doubles.
+std::vector<double> NonNullFractions(const HistogramDim& pair_dim,
+                                     const HistogramDim& h1) {
+  const size_t k1 = h1.NumBins();
+  const size_t ka = pair_dim.NumBins();
+  std::vector<double> rows(k1, 0.0);
+  for (size_t ta = 0; ta < ka; ++ta) {
+    size_t parent = pair_dim.parent.empty() ? ta : pair_dim.parent[ta];
+    rows[parent] += static_cast<double>(pair_dim.counts[ta]);
+  }
+  std::vector<double> frac(k1, 1.0);
+  for (size_t t = 0; t < k1; ++t) {
+    double h = static_cast<double>(h1.counts[t]);
+    if (h <= 0) continue;
+    frac[t] = std::clamp(rows[t] / h, 0.0, 1.0);
+  }
+  return frac;
+}
+
 }  // namespace
+
+void PairwiseHist::FinishExecIndex() {
+  for (HistogramDim& h : hist1d_) h.BuildCountPrefix();
+  for (PairHistogram& p : pairs_) {
+    p.BuildCellIndex();
+    p.nonnull_frac_i = NonNullFractions(p.dim_i, hist1d_[p.col_i]);
+    p.nonnull_frac_j = NonNullFractions(p.dim_j, hist1d_[p.col_j]);
+  }
+}
 
 StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
                                            const CompressedTable* gd,
@@ -180,11 +214,29 @@ StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
   }
 
   // ---- 2-d histograms ----------------------------------------------------
+  // The d(d-1)/2 pair builds are independent and individually deterministic,
+  // so they run on a small pool pulling from a shared work counter, each
+  // writing its fixed PairSlot — the result is identical for any thread
+  // count or scheduling.
   if (d > 1) {
-    out.pairs_.resize(d * (d - 1) / 2);
-    std::vector<double> xi, xj;
+    const size_t npairs = d * (d - 1) / 2;
+    out.pairs_.resize(npairs);
+    std::vector<std::pair<uint32_t, uint32_t>> work;
+    work.reserve(npairs);
     for (size_t i = 1; i < d; ++i) {
       for (size_t j = 0; j < i; ++j) {
+        work.emplace_back(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      std::vector<double> xi, xj;
+      for (;;) {
+        size_t w = next.fetch_add(1, std::memory_order_relaxed);
+        if (w >= work.size()) break;
+        const uint32_t i = work[w].first;
+        const uint32_t j = work[w].second;
         xi.clear();
         xj.clear();
         for (uint32_t r : rows) {
@@ -195,11 +247,29 @@ StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
           xj.push_back(static_cast<double>(cj));
         }
         out.pairs_[PairSlot(i, j)] = BuildPairHistogram(
-            xi, xj, static_cast<uint32_t>(i), static_cast<uint32_t>(j),
-            out.hist1d_[i], out.hist1d_[j], refine, *out.critical_);
+            xi, xj, i, j, out.hist1d_[i], out.hist1d_[j], refine,
+            *out.critical_);
       }
+    };
+
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned nthreads = config.build_threads > 0 ? config.build_threads
+                                                 : (hw > 0 ? hw : 1);
+    nthreads = static_cast<unsigned>(
+        std::min<size_t>(nthreads, work.size()));
+    if (nthreads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(nthreads - 1);
+      for (unsigned t = 0; t + 1 < nthreads; ++t) {
+        threads.emplace_back(worker);
+      }
+      worker();
+      for (std::thread& t : threads) t.join();
     }
   }
+  out.FinishExecIndex();
   return out;
 }
 

@@ -37,6 +37,12 @@ struct PairwiseHistConfig {
   /// Seed initial 1-d edges with GreedyGD bases when a compressed table is
   /// supplied (the paper's compression↔AQP integration).
   bool use_bases_for_edges = true;
+  /// Threads for pairwise (2-d) histogram construction: the d(d-1)/2
+  /// BuildPairHistogram calls are independent and deterministic, so they
+  /// run on a small pool with results written to fixed slots. 0 = one per
+  /// hardware core, 1 = serial. Construction output is identical for any
+  /// value.
+  unsigned build_threads = 0;
 };
 
 /// Lower/upper bounds of a bin's weighted centre (Theorem 1 / Eq. 10).
@@ -67,7 +73,42 @@ class PairView {
     return swapped_ ? ph_->CellCount(tp, ta) : ph_->CellCount(ta, tp);
   }
 
+  /// One row of the sparse cell index: the non-zero cells of a single
+  /// agg or pred bin, with the other dimension's bin indices ascending.
+  struct CellRun {
+    const uint32_t* bin = nullptr;   ///< other-dimension bin index
+    const uint64_t* count = nullptr; ///< matching cell count
+    size_t n = 0;
+  };
+
+  /// Non-zero cells of aggregation bin `ta` (pred bins ascending).
+  /// Requires the owning synopsis's exec index (FinishExecIndex).
+  CellRun AggRow(size_t ta) const {
+    return swapped_ ? Row(ph_->nz_j_start, ph_->nz_j_col, ph_->nz_j_val, ta)
+                    : Row(ph_->nz_i_start, ph_->nz_i_col, ph_->nz_i_val, ta);
+  }
+  /// Non-zero cells of predicate bin `tp` (agg bins ascending).
+  CellRun PredRow(size_t tp) const {
+    return swapped_ ? Row(ph_->nz_i_start, ph_->nz_i_col, ph_->nz_i_val, tp)
+                    : Row(ph_->nz_j_start, ph_->nz_j_col, ph_->nz_j_val, tp);
+  }
+  /// Per 1-d aggregation-column bin: fraction of 1-d rows with the
+  /// predicate column non-null (see PairHistogram::nonnull_frac_*).
+  const std::vector<double>& NonNullFrac() const {
+    return swapped_ ? ph_->nonnull_frac_j : ph_->nonnull_frac_i;
+  }
+
  private:
+  static CellRun Row(const std::vector<uint32_t>& start,
+                     const std::vector<uint32_t>& col,
+                     const std::vector<uint64_t>& val, size_t r) {
+    CellRun run;
+    run.bin = col.data() + start[r];
+    run.count = val.data() + start[r];
+    run.n = start[r + 1] - start[r];
+    return run;
+  }
+
   const PairHistogram* ph_ = nullptr;
   bool swapped_ = false;
 };
@@ -153,6 +194,11 @@ class PairwiseHist {
   PairwiseHist() = default;
 
   static size_t PairSlot(size_t i, size_t j);  // requires i > j
+
+  /// (Re)builds every derived execution index: 1-d count prefix sums, the
+  /// per-pair sparse cell indices and the per-pair non-null fractions.
+  /// Called at the end of Build, Deserialize and Update.
+  void FinishExecIndex();
 
   uint64_t total_rows_ = 0;
   uint64_t sample_rows_ = 0;

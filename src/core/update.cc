@@ -90,6 +90,12 @@ Status PairwiseHist::Update(const PreprocessedTable& batch) {
 
   total_rows_ += n;
   sample_rows_ += n;
+  // Counts changed: rebuild the derived execution indexes (bin structure is
+  // stable, so compiled plans stay valid). This is O(total non-zero cells)
+  // per Update regardless of batch size — fine for the intended
+  // batch-append cadence, but a high-frequency tiny-batch workload should
+  // coalesce appends (incremental CSR maintenance is future work).
+  FinishExecIndex();
   return Status::OK();
 }
 

@@ -20,6 +20,56 @@ uint64_t HistogramDim::TotalCount() const {
   return total;
 }
 
+void HistogramDim::BuildCountPrefix() {
+  const size_t k = NumBins();
+  count_prefix.resize(k + 1);
+  count_prefix[0] = 0;
+  for (size_t t = 0; t < k; ++t) {
+    count_prefix[t + 1] = count_prefix[t] + counts[t];
+  }
+}
+
+void PairHistogram::BuildCellIndex() {
+  const size_t ki = dim_i.NumBins();
+  const size_t kj = dim_j.NumBins();
+  size_t nnz = 0;
+  for (uint64_t c : cells) nnz += (c != 0);
+
+  // CSR over dim_i rows: one row-major pass.
+  nz_i_start.assign(ki + 1, 0);
+  nz_i_col.resize(nnz);
+  nz_i_val.resize(nnz);
+  size_t at = 0;
+  for (size_t ti = 0; ti < ki; ++ti) {
+    nz_i_start[ti] = static_cast<uint32_t>(at);
+    const uint64_t* row = cells.data() + ti * kj;
+    for (size_t tj = 0; tj < kj; ++tj) {
+      if (row[tj] == 0) continue;
+      nz_i_col[at] = static_cast<uint32_t>(tj);
+      nz_i_val[at] = row[tj];
+      ++at;
+    }
+  }
+  nz_i_start[ki] = static_cast<uint32_t>(at);
+
+  // Transposed view over dim_j rows: counting sort of the CSR entries, so
+  // ti stays ascending within each tj row.
+  nz_j_start.assign(kj + 1, 0);
+  nz_j_col.resize(nnz);
+  nz_j_val.resize(nnz);
+  for (size_t e = 0; e < nnz; ++e) ++nz_j_start[nz_i_col[e] + 1];
+  for (size_t tj = 0; tj < kj; ++tj) nz_j_start[tj + 1] += nz_j_start[tj];
+  std::vector<uint32_t> fill(nz_j_start.begin(), nz_j_start.end() - 1);
+  for (size_t ti = 0; ti < ki; ++ti) {
+    for (uint32_t e = nz_i_start[ti]; e < nz_i_start[ti + 1]; ++e) {
+      uint32_t tj = nz_i_col[e];
+      uint32_t slot = fill[tj]++;
+      nz_j_col[slot] = static_cast<uint32_t>(ti);
+      nz_j_val[slot] = nz_i_val[e];
+    }
+  }
+}
+
 namespace {
 
 // Midpoint snapped to the half-integer grid (see the comment at the use

@@ -34,8 +34,15 @@ struct HistogramDim {
   std::vector<double> v_max;        ///< k actual maximum values (v+)
   std::vector<uint64_t> unique;     ///< k unique-value counts (u)
   std::vector<uint32_t> parent;     ///< k parent 1-d bin indices (2-d only)
+  /// k+1 exclusive prefix sums of `counts` (execution index, not
+  /// serialized): count over bins [a, b) is count_prefix[b] -
+  /// count_prefix[a]. Rebuilt by BuildCountPrefix after counts change.
+  std::vector<uint64_t> count_prefix;
 
   size_t NumBins() const { return counts.size(); }
+
+  /// (Re)derives count_prefix from counts.
+  void BuildCountPrefix();
 
   /// Bin midpoint c_t = (v− + v+)/2.
   double Midpoint(size_t t) const { return (v_min[t] + v_max[t]) / 2.0; }
@@ -68,8 +75,32 @@ struct PairHistogram {
   /// Row-major dim_i.NumBins() x dim_j.NumBins() cell counts H(ij).
   std::vector<uint64_t> cells;
 
+  // ---- Sparse cell index (execution index, not serialized) --------------
+  // CSR view of `cells` over dim_i rows plus the transposed view over
+  // dim_j rows, so either orientation of PairView can walk only the
+  // non-zero cells of one agg/pred bin in ascending other-bin order.
+  // Rebuilt by BuildCellIndex whenever cells change.
+  std::vector<uint32_t> nz_i_start;  ///< ki+1 row starts into nz_i_*
+  std::vector<uint32_t> nz_i_col;    ///< tj of each non-zero, ascending per row
+  std::vector<uint64_t> nz_i_val;    ///< matching cell counts
+  std::vector<uint32_t> nz_j_start;  ///< kj+1 row starts into nz_j_*
+  std::vector<uint32_t> nz_j_col;    ///< ti of each non-zero, ascending per row
+  std::vector<uint64_t> nz_j_val;    ///< matching cell counts
+  /// Per 1-d bin of col_i / col_j: fraction of the 1-d rows that have the
+  /// OTHER column non-null (clamped to [0, 1]; 1.0 for empty 1-d bins).
+  /// Filled by PairwiseHist::FinishExecIndex (needs the 1-d histograms).
+  std::vector<double> nonnull_frac_i;
+  std::vector<double> nonnull_frac_j;
+
   uint64_t CellCount(size_t ti, size_t tj) const {
     return cells[ti * dim_j.NumBins() + tj];
+  }
+
+  /// (Re)derives the CSR/transposed non-zero index from `cells`.
+  void BuildCellIndex();
+  bool HasCellIndex() const {
+    return nz_i_start.size() == dim_i.NumBins() + 1 &&
+           nz_j_start.size() == dim_j.NumBins() + 1;
   }
 };
 

@@ -6,16 +6,27 @@
 
 namespace pairwisehist {
 
+Chi2CriticalCache::Chi2CriticalCache(double alpha)
+    : alpha_(alpha), slots_(kSlots) {
+  for (int df = 1; df <= kEager; ++df) {
+    slots_[df - 1].store(Chi2CriticalValue(alpha_, static_cast<double>(df)),
+                         std::memory_order_relaxed);
+  }
+}
+
 double Chi2CriticalCache::Get(int df) const {
   if (df < 1) df = 1;
-  if (static_cast<size_t>(df) > cache_.size()) {
-    size_t old = cache_.size();
-    cache_.resize(df, 0.0);
-    for (size_t i = old; i < cache_.size(); ++i) {
-      cache_[i] = Chi2CriticalValue(alpha_, static_cast<double>(i + 1));
-    }
+  if (df > kSlots) {
+    return Chi2CriticalValue(alpha_, static_cast<double>(df));
   }
-  return cache_[df - 1];
+  std::atomic<double>& slot = slots_[df - 1];
+  double v = slot.load(std::memory_order_relaxed);
+  if (v == 0.0) {
+    // Deterministic value: concurrent first touches store identical bits.
+    v = Chi2CriticalValue(alpha_, static_cast<double>(df));
+    slot.store(v, std::memory_order_relaxed);
+  }
+  return v;
 }
 
 uint64_t CountUniqueSorted(const double* begin, const double* end) {

@@ -6,25 +6,45 @@
 #ifndef PAIRWISEHIST_HIST_UNIFORMITY_H_
 #define PAIRWISEHIST_HIST_UNIFORMITY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace pairwisehist {
 
 /// Caches chi-squared critical values χ²_α by degrees of freedom for a fixed
-/// significance level (they are needed millions of times during refinement).
+/// significance level (they are needed millions of times during refinement
+/// and on the query hot path).
+///
+/// Thread-safe and allocation-free after construction: the memo table has a
+/// fixed capacity and each slot is an atomic memoized value. Concurrent
+/// first touches of the same df may both compute the (deterministic) value
+/// and store identical bits, which is a benign and well-defined race. df
+/// beyond the table capacity is computed on demand without caching — it only
+/// occurs for bins with ~kSlots³/2 unique values, where the quantile cost is
+/// negligible against everything else done with such a bin.
 class Chi2CriticalCache {
  public:
-  explicit Chi2CriticalCache(double alpha) : alpha_(alpha) {}
+  explicit Chi2CriticalCache(double alpha);
 
-  /// Critical value for `df` degrees of freedom (df >= 1).
+  /// Critical value for `df` degrees of freedom (df >= 1). Lock-free,
+  /// never allocates; safe for concurrent calls.
   double Get(int df) const;
 
   double alpha() const { return alpha_; }
 
  private:
+  /// Memo capacity: covers every df up to Terrell–Scott sub-bin counts for
+  /// bins with ~3.4e10 unique values.
+  static constexpr int kSlots = 4096;
+  /// Slots eagerly populated at construction (the df range that query-time
+  /// coverage bounds touch in practice), so steady-state reads never hit
+  /// the compute path.
+  static constexpr int kEager = 64;
+
   double alpha_;
-  mutable std::vector<double> cache_;  // index df-1
+  // 0.0 marks "not yet computed" (critical values are strictly positive).
+  mutable std::vector<std::atomic<double>> slots_;
 };
 
 /// Result of a uniformity test.

@@ -56,11 +56,14 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& a,
 }
 
 bool IntervalSet::Contains(double code) const {
-  for (const auto& p : pieces) {
-    if (code >= p.first && code <= p.second) return true;
-    if (p.first > code) break;
-  }
-  return false;
+  // Pieces are sorted and disjoint: binary-search the first piece starting
+  // beyond `code`; only its predecessor can contain it.
+  auto it = std::upper_bound(
+      pieces.begin(), pieces.end(), code,
+      [](double v, const std::pair<double, double>& p) { return v < p.first; });
+  if (it == pieces.begin()) return false;
+  --it;
+  return code <= it->second;
 }
 
 IntervalSet ConditionToIntervals(const Condition& condition,
@@ -160,6 +163,84 @@ double PieceCoverage(double lo, double hi, double v_min, double v_max,
   return (b - a + 1.0) / (v_max - v_min + 1.0);
 }
 
+// Theorem-2 bounds for one bin, shared verbatim between the reference
+// full-scan coverage and the interval-localized path so both produce
+// identical doubles. `beta_raw` is the un-clamped sum of piece coverages.
+void FinishCoverageBin(uint64_t h, uint64_t unique, uint64_t min_points,
+                       const Chi2CriticalCache& critical, double beta_raw,
+                       double* beta_out, double* lo_out, double* hi_out) {
+  double beta = std::clamp(beta_raw, 0.0, 1.0);
+  *beta_out = beta;
+  if (beta == 0.0 || beta == 1.0) {
+    *lo_out = *hi_out = beta;
+    return;
+  }
+  if (h < min_points) {
+    // Non-passing bin: at least one point satisfies / fails (Eqs. 22–23
+    // middle case).
+    *lo_out = std::min(beta, 1.0 / static_cast<double>(h));
+    *hi_out = std::max(beta, 1.0 - 1.0 / static_cast<double>(h));
+    return;
+  }
+  // Passing bin: Theorem 2 partial-bin-count bounds.
+  int s = TerrellScottSubBins(unique);
+  if (s < 2) {
+    *lo_out = *hi_out = beta;
+    return;
+  }
+  double chi2 = critical.Get(s - 1);
+  double hd = static_cast<double>(h);
+  double a = std::floor(beta * s);
+  double b = std::ceil(beta * s);
+  double lo;
+  if (a <= 0) {
+    lo = 0.0;
+  } else {
+    lo = a / s * (1.0 - std::sqrt(chi2 * (s - a) / (hd * a)));
+  }
+  double hi;
+  if (b >= s) {
+    hi = 1.0;
+  } else {
+    hi = b / s * (1.0 + std::sqrt(chi2 * (s - b) / (hd * b)));
+  }
+  *lo_out = std::clamp(lo, 0.0, beta);
+  *hi_out = std::clamp(hi, beta, 1.0);
+}
+
+// First bin whose half-open edge span [e_t, e_{t+1}) can intersect values
+// >= v: the first t with edges[t+1] > v. Returns k when v is past the last
+// edge.
+size_t FirstOverlapBin(const std::vector<double>& edges, double v) {
+  return static_cast<size_t>(
+      std::upper_bound(edges.begin() + 1, edges.end(), v) -
+      (edges.begin() + 1));
+}
+
+// One past the last bin whose edge span can intersect values <= v: the
+// number of lower edges <= v.
+size_t EndOverlapBin(const std::vector<double>& edges, double v) {
+  return static_cast<size_t>(
+      std::upper_bound(edges.begin(), edges.end() - 1, v) - edges.begin());
+}
+
+// Sub-range [f0, f1) of [a, b) whose bins a finite piece [lo, hi] fully
+// covers by edges alone: edges[t] >= lo and edges[t+1] <= hi + 0.5. Values
+// are integer codes and v_max < edges[t+1], so edges[t+1] <= hi + 0.5
+// implies v_max <= hi; bins outside [f0, f1) may still be fully covered
+// (checked per bin against v_min/v_max by the caller).
+void FullSpan(const std::vector<double>& edges, double lo, double hi,
+              size_t a, size_t b, size_t* f0, size_t* f1) {
+  *f0 = static_cast<size_t>(
+      std::lower_bound(edges.begin() + a, edges.begin() + b, lo) -
+      edges.begin());
+  size_t f1_raw = static_cast<size_t>(
+      std::upper_bound(edges.begin() + 1 + a, edges.begin() + 1 + b,
+                       hi + 0.5) -
+      (edges.begin() + 1));
+  *f1 = std::max(*f0, f1_raw);
+}
+
 }  // namespace
 
 Coverage ComputeCoverage(const HistogramDim& dim, const IntervalSet& pred,
@@ -178,45 +259,100 @@ Coverage ComputeCoverage(const HistogramDim& dim, const IntervalSet& pred,
       beta += PieceCoverage(piece.first, piece.second, dim.v_min[t],
                             dim.v_max[t], dim.unique[t]);
     }
-    beta = std::clamp(beta, 0.0, 1.0);
-    cov.beta[t] = beta;
-    if (beta == 0.0 || beta == 1.0) {
-      cov.lo[t] = cov.hi[t] = beta;
-      continue;
-    }
-    if (h < min_points) {
-      // Non-passing bin: at least one point satisfies / fails (Eqs. 22–23
-      // middle case).
-      cov.lo[t] = std::min(beta, 1.0 / static_cast<double>(h));
-      cov.hi[t] = std::max(beta, 1.0 - 1.0 / static_cast<double>(h));
-      continue;
-    }
-    // Passing bin: Theorem 2 partial-bin-count bounds.
-    int s = TerrellScottSubBins(dim.unique[t]);
-    if (s < 2) {
-      cov.lo[t] = cov.hi[t] = beta;
-      continue;
-    }
-    double chi2 = critical.Get(s - 1);
-    double hd = static_cast<double>(h);
-    double a = std::floor(beta * s);
-    double b = std::ceil(beta * s);
-    double lo;
-    if (a <= 0) {
-      lo = 0.0;
-    } else {
-      lo = a / s * (1.0 - std::sqrt(chi2 * (s - a) / (hd * a)));
-    }
-    double hi;
-    if (b >= s) {
-      hi = 1.0;
-    } else {
-      hi = b / s * (1.0 + std::sqrt(chi2 * (s - b) / (hd * b)));
-    }
-    cov.lo[t] = std::clamp(lo, 0.0, beta);
-    cov.hi[t] = std::clamp(hi, beta, 1.0);
+    FinishCoverageBin(h, dim.unique[t], min_points, critical, beta,
+                      &cov.beta[t], &cov.lo[t], &cov.hi[t]);
   }
   return cov;
+}
+
+void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
+                         uint64_t min_points,
+                         const Chi2CriticalCache& critical,
+                         CoverageSpan* out) {
+  const size_t k = dim.NumBins();
+  out->begin = out->end = 0;
+  if (k == 0 || pred.Empty()) return;
+  const std::vector<double>& edges = dim.edges;
+
+  // Overall candidate range: pieces are sorted, so the first piece's lower
+  // bound and the last piece's upper bound delimit every touched bin.
+  size_t t_begin = FirstOverlapBin(edges, pred.pieces.front().first);
+  size_t t_end = EndOverlapBin(edges, pred.pieces.back().second);
+  if (t_begin >= t_end) return;
+
+  std::fill(out->beta + t_begin, out->beta + t_end, 0.0);
+
+  // Accumulate piece coverages exactly as the reference does (per bin,
+  // ascending piece order — pieces ascend, so visiting pieces in the outer
+  // loop preserves each bin's addition order). Bins fully inside a piece by
+  // edge inspection take the bulk += 1.0 path without reading metadata.
+  for (const auto& piece : pred.pieces) {
+    const double lo = piece.first;
+    const double hi = piece.second;
+    size_t a = FirstOverlapBin(edges, lo);
+    size_t b = EndOverlapBin(edges, hi);
+    if (a >= b) continue;
+    size_t f0, f1;
+    FullSpan(edges, lo, hi, a, b, &f0, &f1);
+    for (size_t t = a; t < f0; ++t) {
+      out->beta[t] +=
+          PieceCoverage(lo, hi, dim.v_min[t], dim.v_max[t], dim.unique[t]);
+    }
+    for (size_t t = f0; t < f1; ++t) out->beta[t] += 1.0;
+    for (size_t t = f1; t < b; ++t) {
+      out->beta[t] +=
+          PieceCoverage(lo, hi, dim.v_min[t], dim.v_max[t], dim.unique[t]);
+    }
+  }
+
+  for (size_t t = t_begin; t < t_end; ++t) {
+    uint64_t h = dim.counts[t];
+    if (h == 0) {
+      out->beta[t] = out->lo[t] = out->hi[t] = 0.0;
+      continue;
+    }
+    FinishCoverageBin(h, dim.unique[t], min_points, critical, out->beta[t],
+                      &out->beta[t], &out->lo[t], &out->hi[t]);
+  }
+  out->begin = t_begin;
+  out->end = t_end;
+}
+
+bool CountFullyCovered(const HistogramDim& dim, const IntervalSet& pred,
+                       double* total) {
+  const std::vector<double>& edges = dim.edges;
+  const std::vector<uint64_t>& prefix = dim.count_prefix;
+  if (prefix.size() != dim.NumBins() + 1) return false;  // no exec index
+  double sum = 0.0;
+  for (const auto& piece : pred.pieces) {
+    const double lo = piece.first;
+    const double hi = piece.second;
+    size_t a = FirstOverlapBin(edges, lo);
+    size_t b = EndOverlapBin(edges, hi);
+    if (a >= b) continue;
+    size_t f0, f1;
+    FullSpan(edges, lo, hi, a, b, &f0, &f1);
+    // Boundary bins: fully covered (counted), untouched (skipped) or
+    // partially covered (caller must take the general path).
+    auto boundary = [&](size_t t) -> bool {
+      if (dim.counts[t] == 0) return true;
+      if (hi < dim.v_min[t] || lo > dim.v_max[t]) return true;  // untouched
+      if (lo <= dim.v_min[t] && hi >= dim.v_max[t]) {
+        sum += static_cast<double>(dim.counts[t]);
+        return true;
+      }
+      return false;  // partial
+    };
+    for (size_t t = a; t < f0; ++t) {
+      if (!boundary(t)) return false;
+    }
+    sum += static_cast<double>(prefix[f1] - prefix[f0]);
+    for (size_t t = f1; t < b; ++t) {
+      if (!boundary(t)) return false;
+    }
+  }
+  *total = sum;
+  return true;
 }
 
 }  // namespace pairwisehist

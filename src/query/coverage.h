@@ -68,6 +68,33 @@ Coverage ComputeCoverage(const HistogramDim& dim, const IntervalSet& pred,
                          uint64_t min_points,
                          const Chi2CriticalCache& critical);
 
+/// Interval-localized coverage written into caller-owned buffers (the query
+/// engine's scratch arena): binary-searches the sorted bin edges so only
+/// bins overlapping predicate pieces are visited, and bins fully inside a
+/// piece are emitted in bulk without touching their metadata. Produces
+/// values identical to ComputeCoverage; bins outside [begin, end) are
+/// implicitly zero and their buffer slots are left unwritten.
+struct CoverageSpan {
+  double* beta = nullptr;  ///< caller buffer, dim.NumBins() doubles
+  double* lo = nullptr;
+  double* hi = nullptr;
+  size_t begin = 0;        ///< touched bin range [begin, end)
+  size_t end = 0;
+};
+void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
+                         uint64_t min_points,
+                         const Chi2CriticalCache& critical,
+                         CoverageSpan* out);
+
+/// O(log k): total bin count over `pred` when every overlapped bin is
+/// fully covered, computed from count_prefix span sums (requires
+/// HistogramDim::BuildCountPrefix). Returns false when any bin is only
+/// partially covered — callers then take the general coverage path. The
+/// accumulated total is identical to the reference COUNT weighting total
+/// (integer additions below 2^53 are exact in double under any grouping).
+bool CountFullyCovered(const HistogramDim& dim, const IntervalSet& pred,
+                       double* total);
+
 }  // namespace pairwisehist
 
 #endif  // PAIRWISEHIST_QUERY_COVERAGE_H_

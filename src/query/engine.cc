@@ -1,11 +1,14 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <mutex>
 
 #include "common/stats.h"
+#include "query/exec_scratch.h"
 #include "query/sql_parser.h"
 
 namespace pairwisehist {
@@ -14,6 +17,14 @@ namespace {
 
 constexpr double kWeightEps = 1e-9;
 const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Eq. 29's two-sided 98% normal quantile, hoisted out of the per-call path
+// (it was recomputed per execution via Acklam's approximation + a Halley
+// refinement step).
+double Z99() {
+  static const double z = NormalQuantile(0.99);
+  return z;
+}
 
 std::string FormatGroupLabel(const ColumnTransform& tr, uint64_t code) {
   if (tr.type == DataType::kCategorical) {
@@ -64,6 +75,623 @@ BinVals EffectiveBin(const HistogramDim& hist, size_t t,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Range-restricted execution views. Bins outside [begin, end) are implicitly
+// exactly zero; every accumulation below only adds zero terms for them, so
+// restricting the loops leaves all results identical to full scans.
+
+/// Per-bin satisfaction probabilities with bounds, on some grid, backed by
+/// the scratch arena.
+struct ProbSpan {
+  double* p = nullptr;
+  double* lo = nullptr;
+  double* hi = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Per-bin weightings (w, w−, w+) backed by the scratch arena or, on the
+/// reference path, the Weightings vectors.
+struct WtSpan {
+  double* w = nullptr;
+  double* lo = nullptr;
+  double* hi = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation (Table 3), shared by the reference path (full range over the
+// Weightings vectors) and the fast path (touched range over arena spans).
+
+AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
+                        AggFunc func, size_t agg_col, const AggGrid& grid,
+                        const WtSpan& wt, bool single_column,
+                        const IntervalSet* agg_clip, ExecArena& arena) {
+  const HistogramDim& hist = *grid.dim;
+  const ColumnTransform& tr = ph.transform(agg_col);
+  const size_t k = hist.NumBins();
+  const size_t rb = wt.begin;
+  const size_t re = wt.end;
+  const double rho = ph.sampling_ratio();
+  const uint64_t m_points = ph.min_points();
+
+  AggResult r;
+  double total = 0;
+  for (size_t t = rb; t < re; ++t) total += wt.w[t];
+
+  if (func == AggFunc::kCount) {
+    double total_lo = 0, total_hi = 0;
+    for (size_t t = rb; t < re; ++t) total_lo += wt.lo[t];
+    for (size_t t = rb; t < re; ++t) total_hi += wt.hi[t];
+    r.estimate = total / rho;
+    r.lower = total_lo / rho;
+    r.upper = total_hi / rho;
+    r.empty_selection = total <= kWeightEps;
+    return r;
+  }
+  if (total <= kWeightEps) {
+    r.empty_selection = true;
+    r.estimate = r.lower = r.upper = kNaN;
+    return r;
+  }
+
+  if (!options.clip_agg_values) agg_clip = nullptr;
+
+  // Effective per-bin values, midpoints and weighted-centre bounds in the
+  // code domain (touched range only; untouched bins carry zero weight).
+  double* v_lo = arena.Alloc(k);
+  double* v_hi = arena.Alloc(k);
+  double* c = arena.Alloc(k);
+  double* c_lo = arena.Alloc(k);
+  double* c_hi = arena.Alloc(k);
+  for (size_t t = rb; t < re; ++t) {
+    BinVals bv = EffectiveBin(hist, t, agg_clip);
+    v_lo[t] = bv.v_lo;
+    v_hi[t] = bv.v_hi;
+    c[t] = bv.mid;
+    CentreBounds cb = ph.WeightedCentreBounds(hist, t);
+    c_lo[t] = std::clamp(cb.lo, bv.v_lo, bv.v_hi);
+    c_hi[t] = std::clamp(cb.hi, c_lo[t], bv.v_hi);
+  }
+  auto decode = [&](double code) { return tr.Decode(code); };
+
+  switch (func) {
+    case AggFunc::kSum: {
+      double est = 0;
+      double lo = 0, hi = 0;
+      for (size_t t = rb; t < re; ++t) {
+        est += wt.w[t] * decode(c[t]);
+        // Bounds over the per-bin corner combinations of weight and centre
+        // (safe also when decoded values are negative).
+        double raw_lo = decode(c_lo[t]);
+        double raw_hi = decode(c_hi[t]);
+        lo += std::min({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
+                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
+        hi += std::max({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
+                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
+      }
+      r.estimate = est / rho;
+      r.lower = lo / rho;
+      r.upper = hi / rho;
+      return r;
+    }
+    case AggFunc::kAvg: {
+      double num = 0;
+      for (size_t t = rb; t < re; ++t) num += wt.w[t] * c[t];
+      r.estimate = decode(num / total);
+      // Evaluate both weighting extrema (w• placeholder in Table 3).
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const double* wv : {wt.lo, wt.hi}) {
+        double tw = 0, nlo = 0, nhi = 0;
+        for (size_t t = rb; t < re; ++t) {
+          tw += wv[t];
+          nlo += wv[t] * c_lo[t];
+          nhi += wv[t] * c_hi[t];
+        }
+        if (tw > kWeightEps) {
+          lo = std::min(lo, nlo / tw);
+          hi = std::max(hi, nhi / tw);
+        }
+      }
+      if (!std::isfinite(lo)) {
+        lo = hi = num / total;
+      }
+      r.lower = decode(std::min(lo, num / total));
+      r.upper = decode(std::max(hi, num / total));
+      return r;
+    }
+    case AggFunc::kVar: {
+      double num1 = 0, num2 = 0;
+      for (size_t t = rb; t < re; ++t) {
+        double within = 0.0;
+        if (options.var_within_bin && hist.unique[t] > 1) {
+          double span = v_hi[t] - v_lo[t];
+          within = span * span / 12.0;
+        }
+        num1 += wt.w[t] * c[t];
+        num2 += wt.w[t] * (c[t] * c[t] + within);
+      }
+      double mean = num1 / total;
+      double var_code = std::max(0.0, num2 / total - mean * mean);
+      double scale2 = tr.scale * tr.scale;
+      r.estimate = var_code / scale2;
+      // ξ∓ per Eqs. 38–39 around the estimated (code-domain) mean.
+      double* xi_lo = arena.Alloc(k);
+      double* xi_hi = arena.Alloc(k);
+      for (size_t t = rb; t < re; ++t) {
+        if (v_hi[t] < mean) {
+          xi_lo[t] = v_hi[t];
+        } else if (v_lo[t] > mean) {
+          xi_lo[t] = v_lo[t];
+        } else {
+          xi_lo[t] = mean;
+        }
+        xi_hi[t] = (std::fabs(mean - v_lo[t]) > std::fabs(v_hi[t] - mean))
+                       ? v_lo[t]
+                       : v_hi[t];
+      }
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const double* wv : {wt.lo, wt.hi}) {
+        double tw = 0;
+        for (size_t t = rb; t < re; ++t) tw += wv[t];
+        if (tw <= kWeightEps) continue;
+        double l1 = 0, l2 = 0, h1 = 0, h2 = 0;
+        for (size_t t = rb; t < re; ++t) {
+          l1 += wv[t] * xi_lo[t];
+          l2 += wv[t] * xi_lo[t] * xi_lo[t];
+          h1 += wv[t] * xi_hi[t];
+          h2 += wv[t] * xi_hi[t] * xi_hi[t];
+        }
+        lo = std::min(lo, l2 / tw - (l1 / tw) * (l1 / tw));
+        hi = std::max(hi, h2 / tw - (h1 / tw) * (h1 / tw));
+      }
+      if (!std::isfinite(lo)) {
+        lo = hi = var_code;
+      }
+      r.lower = std::max(0.0, std::min(lo / scale2, r.estimate));
+      r.upper = std::max(r.estimate, hi / scale2);
+      return r;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool is_min = func == AggFunc::kMin;
+      auto first_idx = [&](const double* wv, double threshold) -> int {
+        if (is_min) {
+          for (size_t t = rb; t < re; ++t) {
+            if (wv[t] > threshold) return static_cast<int>(t);
+          }
+        } else {
+          for (size_t t = re; t-- > rb;) {
+            if (wv[t] > threshold) return static_cast<int>(t);
+          }
+        }
+        return -1;
+      };
+
+      int t_est = first_idx(wt.w, kWeightEps);
+      if (t_est < 0) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper = kNaN;
+        return r;
+      }
+      {
+        size_t t = static_cast<size_t>(t_est);
+        bool flip = single_column && hist.unique[t] == 2 &&
+                    wt.w[t] < static_cast<double>(hist.counts[t]) / 2.0;
+        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
+                          : (flip ? v_lo[t] : v_hi[t]);
+        r.estimate = decode(v);
+      }
+      // Outer bound (MIN lower / MAX upper): widest plausible bin from w+.
+      {
+        int ti = first_idx(wt.hi, kWeightEps);
+        size_t t =
+            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
+        bool flip = single_column && hist.unique[t] == 2 &&
+                    wt.hi[t] < static_cast<double>(hist.counts[t]) / 5.0;
+        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
+                          : (flip ? v_lo[t] : v_hi[t]);
+        if (is_min) {
+          r.lower = decode(v);
+        } else {
+          r.upper = decode(v);
+        }
+      }
+      // Inner bound (MIN upper / MAX lower): first bin with confident
+      // weight (w− > 1/2), tightened by fully covered sub-bins (Eq. 32).
+      {
+        int ti = first_idx(wt.lo, 0.5);
+        size_t t =
+            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
+        double v;
+        if (single_column && hist.unique[t] > 2 &&
+            hist.counts[t] >= m_points) {
+          int s = TerrellScottSubBins(hist.unique[t]);
+          double delta = (v_hi[t] - v_lo[t]) / s;
+          double a = std::floor(s * wt.lo[t] /
+                                static_cast<double>(hist.counts[t]));
+          v = is_min ? v_hi[t] - a * delta : v_lo[t] + a * delta;
+        } else {
+          v = is_min ? v_hi[t] : v_lo[t];
+        }
+        if (is_min) {
+          r.upper = decode(v);
+        } else {
+          r.lower = decode(v);
+        }
+      }
+      if (r.lower > r.upper) std::swap(r.lower, r.upper);
+      r.lower = std::min(r.lower, r.estimate);
+      r.upper = std::max(r.upper, r.estimate);
+      return r;
+    }
+    case AggFunc::kMedian: {
+      auto median_bin = [&](const double* wv) -> int {
+        double tw = 0;
+        for (size_t t = rb; t < re; ++t) tw += wv[t];
+        if (tw <= kWeightEps) return -1;
+        double acc = 0;
+        for (size_t t = rb; t < re; ++t) {
+          acc += wv[t];
+          if (acc >= tw / 2.0) return static_cast<int>(t);
+        }
+        return static_cast<int>(re) - 1;
+      };
+      int t_est = median_bin(wt.w);
+      if (t_est < 0) {
+        r.empty_selection = true;
+        r.estimate = r.lower = r.upper = kNaN;
+        return r;
+      }
+      size_t t = static_cast<size_t>(t_est);
+      double before = 0;
+      for (size_t u = rb; u < t; ++u) before += wt.w[u];
+      double f = (total / 2.0 - before) / std::max(wt.w[t], kWeightEps);
+      f = std::clamp(f, 0.0, 1.0);
+      if (hist.unique[t] == 2) {
+        r.estimate = decode(f < 0.5 ? v_lo[t] : v_hi[t]);
+      } else {
+        r.estimate = decode(v_lo[t] + (v_hi[t] - v_lo[t]) * f);
+      }
+      int t_lo = t_est, t_hi = t_est;
+      for (const double* wv : {wt.lo, wt.hi}) {
+        int tb = median_bin(wv);
+        if (tb >= 0) {
+          t_lo = std::min(t_lo, tb);
+          t_hi = std::max(t_hi, tb);
+        }
+      }
+      r.lower = decode(v_lo[static_cast<size_t>(t_lo)]);
+      r.upper = decode(v_hi[static_cast<size_t>(t_hi)]);
+      r.lower = std::min(r.lower, r.estimate);
+      r.upper = std::max(r.upper, r.estimate);
+      return r;
+    }
+    case AggFunc::kCount:
+      break;  // handled above
+  }
+  return r;
+}
+
+// Eq. 29 weightings over the touched range (identical formulas to the
+// reference WeightsFromProb; untouched bins carry exactly zero weight).
+void WeightsInto(const PairwiseHist& ph, const HistogramDim& dim,
+                 const ProbSpan& prob, const WtSpan& wt) {
+  const double rho = ph.sampling_ratio();
+  const double n_total = static_cast<double>(ph.total_rows());
+  const double n_sample = static_cast<double>(ph.sample_rows());
+  const bool widen = rho < 1.0 && n_total > 1;
+  const double z = Z99();
+  const double fpc = widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
+
+  for (size_t t = prob.begin; t < prob.end; ++t) {
+    double h = static_cast<double>(dim.counts[t]);
+    wt.w[t] = h * prob.p[t];
+    double lo = h * prob.lo[t];
+    double hi = h * prob.hi[t];
+    if (widen && h > 0) {
+      double beta_lo = std::clamp(lo / h, 0.0, 1.0);
+      double beta_hi = std::clamp(hi / h, 0.0, 1.0);
+      lo -= z * std::sqrt(h * beta_lo * (1.0 - beta_lo) * fpc);
+      hi += z * std::sqrt(h * beta_hi * (1.0 - beta_hi) * fpc);
+    }
+    wt.lo[t] = std::clamp(lo, 0.0, h);
+    wt.hi[t] = std::clamp(hi, 0.0, h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path per-leaf probabilities: sparse cell index + localized coverage.
+
+ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
+                      size_t col, const IntervalSet& intervals,
+                      const std::vector<uint32_t>& g2ta, const AggGrid& grid) {
+  const HistogramDim& gdim = *grid.dim;
+  const size_t k = gdim.NumBins();
+  ProbSpan out;
+
+  if (col == agg_col) {
+    // Same-column predicate: localized coverage over the aggregation grid.
+    CoverageSpan cov;
+    cov.beta = arena.Alloc(k);
+    cov.lo = arena.Alloc(k);
+    cov.hi = arena.Alloc(k);
+    ComputeCoverageInto(gdim, intervals, ph.min_points(), ph.critical_cache(),
+                        &cov);
+    out.p = cov.beta;
+    out.lo = cov.lo;
+    out.hi = cov.hi;
+    out.begin = cov.begin;
+    out.end = cov.end;
+    return out;
+  }
+
+  if (grid.IsPair() && col == grid.pair_pred_col) {
+    // The grid is this leaf's own pair: scatter the covered pred bins'
+    // non-zero cells into the grid bins. Each grid bin receives its
+    // contributions in ascending pred-bin order, matching the reference
+    // row scan's addition order exactly.
+    const HistogramDim& pred_dim = grid.pair.pred_dim();
+    const size_t kp = pred_dim.NumBins();
+    CoverageSpan cov;
+    cov.beta = arena.Alloc(kp);
+    cov.lo = arena.Alloc(kp);
+    cov.hi = arena.Alloc(kp);
+    ComputeCoverageInto(pred_dim, intervals, ph.min_points(),
+                        ph.critical_cache(), &cov);
+    out.p = arena.AllocZeroed(k);
+    out.lo = arena.AllocZeroed(k);
+    out.hi = arena.AllocZeroed(k);
+    size_t gmin = k, gmax = 0;
+    for (size_t tp = cov.begin; tp < cov.end; ++tp) {
+      double cb = cov.beta[tp];
+      if (cb == 0.0) continue;  // lo/hi are zero too; zero terms are exact
+      double cl = cov.lo[tp];
+      double ch = cov.hi[tp];
+      PairView::CellRun run = grid.pair.PredRow(tp);
+      for (size_t e = 0; e < run.n; ++e) {
+        size_t g = run.bin[e];
+        double cell = static_cast<double>(run.count[e]);
+        out.p[g] += cell * cb;
+        out.lo[g] += cell * cl;
+        out.hi[g] += cell * ch;
+        gmin = std::min(gmin, g);
+        gmax = std::max(gmax, g);
+      }
+    }
+    if (gmin > gmax) {
+      out.begin = out.end = 0;
+      return out;
+    }
+    for (size_t g = gmin; g <= gmax; ++g) {
+      double h = static_cast<double>(gdim.counts[g]);
+      if (h <= 0) continue;
+      double acc = out.p[g], acc_lo = out.lo[g], acc_hi = out.hi[g];
+      out.p[g] = std::clamp(acc / h, 0.0, 1.0);
+      out.lo[g] = std::clamp(acc_lo / h, 0.0, out.p[g]);
+      out.hi[g] = std::clamp(acc_hi / h, out.p[g], 1.0);
+    }
+    out.begin = gmin;
+    out.end = gmax + 1;
+    return out;
+  }
+
+  // Cross-column leaf on a different pair (see the reference LeafProb for
+  // the semantics): conditional probability per refined bin of that pair's
+  // agg dimension, rescaled by the precomputed per-parent non-null
+  // fraction, transferred onto the grid through the compile-time g2ta map.
+  PairView pair = ph.GetPair(agg_col, col);
+  const HistogramDim& pred_dim = pair.pred_dim();
+  const HistogramDim& agg_dim = pair.agg_dim();
+  const size_t kp = pred_dim.NumBins();
+  const size_t ka = agg_dim.NumBins();
+  CoverageSpan cov;
+  cov.beta = arena.Alloc(kp);
+  cov.lo = arena.Alloc(kp);
+  cov.hi = arena.Alloc(kp);
+  ComputeCoverageInto(pred_dim, intervals, ph.min_points(),
+                      ph.critical_cache(), &cov);
+
+  double* pa = arena.AllocZeroed(ka);
+  double* pa_lo = arena.AllocZeroed(ka);
+  double* pa_hi = arena.AllocZeroed(ka);
+  size_t ta_min = ka, ta_max = 0;
+  for (size_t tp = cov.begin; tp < cov.end; ++tp) {
+    double cb = cov.beta[tp];
+    if (cb == 0.0) continue;
+    double cl = cov.lo[tp];
+    double ch = cov.hi[tp];
+    PairView::CellRun run = pair.PredRow(tp);
+    for (size_t e = 0; e < run.n; ++e) {
+      size_t ta = run.bin[e];
+      double cell = static_cast<double>(run.count[e]);
+      pa[ta] += cell * cb;
+      pa_lo[ta] += cell * cl;
+      pa_hi[ta] += cell * ch;
+      ta_min = std::min(ta_min, ta);
+      ta_max = std::max(ta_max, ta);
+    }
+  }
+
+  const HistogramDim& agg1d = ph.hist1d(agg_col);
+  const size_t k1 = agg1d.NumBins();
+  double* num1 = arena.AllocZeroed(k1);
+  double* num1_lo = arena.AllocZeroed(k1);
+  double* num1_hi = arena.AllocZeroed(k1);
+  if (ta_min <= ta_max) {
+    for (size_t ta = ta_min; ta <= ta_max; ++ta) {
+      double acc = pa[ta], acc_lo = pa_lo[ta], acc_hi = pa_hi[ta];
+      double h = static_cast<double>(agg_dim.counts[ta]);
+      if (h > 0) {
+        pa[ta] = std::clamp(acc / h, 0.0, 1.0);
+        pa_lo[ta] = std::clamp(acc_lo / h, 0.0, pa[ta]);
+        pa_hi[ta] = std::clamp(acc_hi / h, pa[ta], 1.0);
+      }
+      size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
+      num1[parent] += acc;
+      num1_lo[parent] += acc_lo;
+      num1_hi[parent] += acc_hi;
+    }
+  }
+  double* p1 = arena.AllocZeroed(k1);
+  double* p1_lo = arena.AllocZeroed(k1);
+  double* p1_hi = arena.AllocZeroed(k1);
+  for (size_t t = 0; t < k1; ++t) {
+    double h = static_cast<double>(agg1d.counts[t]);
+    if (h <= 0) continue;
+    p1[t] = std::clamp(num1[t] / h, 0.0, 1.0);
+    p1_lo[t] = std::clamp(num1_lo[t] / h, 0.0, p1[t]);
+    p1_hi[t] = std::clamp(num1_hi[t] / h, p1[t], 1.0);
+  }
+
+  // Output is confined to grid bins whose 1-d parent saw any scattered
+  // mass: pa is zero outside [ta_min, ta_max] and p1 is zero outside that
+  // range's parents, and a grid bin's parent equals its mapped ta's parent
+  // (both refine the same 1-d edges). Everything outside is exactly zero.
+  if (ta_min > ta_max) {
+    out.begin = out.end = 0;
+    return out;
+  }
+  const size_t pmin = agg_dim.parent.empty() ? ta_min : agg_dim.parent[ta_min];
+  const size_t pmax = agg_dim.parent.empty() ? ta_max : agg_dim.parent[ta_max];
+  size_t gb, ge;
+  if (gdim.parent.empty()) {
+    gb = std::min(pmin, k);
+    ge = std::min(pmax + 1, k);
+  } else {
+    gb = static_cast<size_t>(
+        std::lower_bound(gdim.parent.begin(), gdim.parent.end(),
+                         static_cast<uint32_t>(pmin)) -
+        gdim.parent.begin());
+    ge = static_cast<size_t>(
+        std::upper_bound(gdim.parent.begin(), gdim.parent.end(),
+                         static_cast<uint32_t>(pmax)) -
+        gdim.parent.begin());
+  }
+  const std::vector<double>& nnf = pair.NonNullFrac();
+  out.p = arena.Alloc(k);
+  out.lo = arena.Alloc(k);
+  out.hi = arena.Alloc(k);
+  const bool have_map = g2ta.size() == k;
+  for (size_t g = gb; g < ge; ++g) {
+    size_t ta = have_map
+                    ? g2ta[g]
+                    : agg_dim.BinIndex((gdim.edges[g] + gdim.edges[g + 1]) /
+                                       2.0);
+    size_t parent = gdim.parent.empty() ? g : gdim.parent[g];
+    if (agg_dim.counts[ta] > 0) {
+      double scale = nnf[parent];
+      out.p[g] = pa[ta] * scale;
+      out.lo[g] = pa_lo[ta] * scale;
+      out.hi[g] = pa_hi[ta] * scale;
+    } else {
+      out.p[g] = p1[parent];
+      out.lo[g] = p1_lo[parent];
+      out.hi[g] = p1_hi[parent];
+    }
+  }
+  out.begin = gb;
+  out.end = ge;
+  return out;
+}
+
+// AND/OR combination (Eq. 28) over touched ranges. Outside a child's range
+// its probability is exactly zero, so an AND shrinks to the intersection
+// and an OR's missing factors are exactly (1 - 0) = 1.
+ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
+                      const NormalizedPredicate& node, const AggGrid& grid) {
+  if (node.type == NormalizedPredicate::Type::kLeaf) {
+    return LeafProbFast(ph, arena, agg_col, node.column, node.intervals,
+                        node.g2ta, grid);
+  }
+  const size_t k = grid.dim->NumBins();
+  const bool is_and = node.type == NormalizedPredicate::Type::kAnd;
+  ProbSpan acc;
+  acc.p = arena.Alloc(k);
+  acc.lo = arena.Alloc(k);
+  acc.hi = arena.Alloc(k);
+  bool first = true;
+  size_t rb = 0, re = 0;
+  for (const NormalizedPredicate& child : node.children) {
+    ProbSpan cp = EvalNodeFast(ph, arena, agg_col, child, grid);
+    if (is_and) {
+      if (cp.begin >= cp.end) {
+        rb = re = 0;  // one empty factor zeroes the whole conjunction
+        first = false;
+        break;
+      }
+      if (first) {
+        rb = cp.begin;
+        re = cp.end;
+        for (size_t t = rb; t < re; ++t) {
+          acc.p[t] = cp.p[t];
+          acc.lo[t] = cp.lo[t];
+          acc.hi[t] = cp.hi[t];
+        }
+        first = false;
+      } else {
+        rb = std::max(rb, cp.begin);
+        re = std::min(re, cp.end);
+        if (rb >= re) {
+          rb = re = 0;
+          break;
+        }
+        for (size_t t = rb; t < re; ++t) {
+          acc.p[t] *= cp.p[t];
+          acc.lo[t] *= cp.lo[t];
+          acc.hi[t] *= cp.hi[t];
+        }
+      }
+    } else {
+      if (cp.begin >= cp.end) continue;  // factor (1 - 0) = 1 everywhere
+      if (first) {
+        rb = cp.begin;
+        re = cp.end;
+        for (size_t t = rb; t < re; ++t) {
+          acc.p[t] = 1.0 - cp.p[t];
+          acc.lo[t] = 1.0 - cp.hi[t];  // complement swaps the bounds
+          acc.hi[t] = 1.0 - cp.lo[t];
+        }
+        first = false;
+      } else {
+        size_t nb = std::min(rb, cp.begin);
+        size_t ne = std::max(re, cp.end);
+        // Newly exposed bins were untouched by earlier children: their
+        // running complement products are exactly 1.
+        for (size_t t = nb; t < rb; ++t) {
+          acc.p[t] = acc.lo[t] = acc.hi[t] = 1.0;
+        }
+        for (size_t t = re; t < ne; ++t) {
+          acc.p[t] = acc.lo[t] = acc.hi[t] = 1.0;
+        }
+        rb = nb;
+        re = ne;
+        for (size_t t = cp.begin; t < cp.end; ++t) {
+          acc.p[t] *= 1.0 - cp.p[t];
+          acc.lo[t] *= 1.0 - cp.hi[t];
+          acc.hi[t] *= 1.0 - cp.lo[t];
+        }
+      }
+    }
+  }
+  acc.begin = rb;
+  acc.end = re;
+  if (!is_and) {
+    for (size_t t = rb; t < re; ++t) {
+      double p = 1.0 - acc.p[t];
+      double lo = 1.0 - acc.hi[t];
+      double hi = 1.0 - acc.lo[t];
+      acc.p[t] = p;
+      acc.lo[t] = lo;
+      acc.hi[t] = hi;
+    }
+  }
+  return acc;
+}
+
 }  // namespace
 
 double Weightings::Total() const {
@@ -81,6 +709,65 @@ double Weightings::TotalHi() const {
   for (double v : hi) s += v;
   return s;
 }
+
+// ---------------------------------------------------------------------------
+// Execution scratch: a per-execution arena plus a reusable GROUP BY leaf,
+// pooled per engine so concurrent executions never share one and steady-
+// state execution allocates nothing.
+
+struct AqpEngine::ExecScratch {
+  ExecArena arena;
+  Node group_leaf;
+
+  ExecScratch() {
+    group_leaf.type = Node::Type::kLeaf;
+    group_leaf.intervals.pieces.reserve(1);
+  }
+};
+
+class AqpEngine::ScratchPool {
+ public:
+  ~ScratchPool() { delete slot_.load(std::memory_order_acquire); }
+
+  /// Returns a pooled scratch, or nullptr when none is free (the caller
+  /// allocates outside any lock). A single-slot atomic exchange serves the
+  /// common one-executor-at-a-time case without touching the mutex; the
+  /// locked overflow list only engages under real concurrency.
+  std::unique_ptr<ExecScratch> Acquire() {
+    ExecScratch* fast = slot_.exchange(nullptr, std::memory_order_acq_rel);
+    if (fast != nullptr) return std::unique_ptr<ExecScratch>(fast);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overflow_.empty()) return nullptr;
+    std::unique_ptr<ExecScratch> s = std::move(overflow_.back());
+    overflow_.pop_back();
+    return s;
+  }
+  void Release(std::unique_ptr<ExecScratch> s) {
+    ExecScratch* expected = nullptr;
+    ExecScratch* raw = s.get();
+    if (slot_.compare_exchange_strong(expected, raw,
+                                      std::memory_order_acq_rel)) {
+      s.release();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    overflow_.push_back(std::move(s));
+  }
+
+ private:
+  std::atomic<ExecScratch*> slot_{nullptr};
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ExecScratch>> overflow_;
+};
+
+AqpEngine::AqpEngine(const PairwiseHist* synopsis, AqpEngineOptions options)
+    : ph_(synopsis),
+      options_(options),
+      pool_(std::make_unique<ScratchPool>()) {}
+
+AqpEngine::~AqpEngine() = default;
+AqpEngine::AqpEngine(AqpEngine&&) noexcept = default;
+AqpEngine& AqpEngine::operator=(AqpEngine&&) noexcept = default;
 
 // ---------------------------------------------------------------------------
 // Predicate normalization with delayed transformation.
@@ -189,7 +876,37 @@ AqpEngine::Grid AqpEngine::ChooseGrid(size_t agg_col, const Node* root,
 }
 
 // ---------------------------------------------------------------------------
-// Per-bin satisfaction probabilities.
+// Fast-path transfer maps (grid bin → refined agg bin of a leaf's pair),
+// precomputed at compile time so execution avoids per-bin binary searches.
+
+std::vector<uint32_t> AqpEngine::TransferMap(size_t agg_col, size_t col,
+                                             const Grid& grid) const {
+  if (col == agg_col) return {};
+  if (grid.IsPair() && col == grid.pair_pred_col) return {};
+  PairView pair = ph_->GetPair(agg_col, col);
+  if (!pair.valid()) return {};
+  const HistogramDim& gdim = *grid.dim;
+  const HistogramDim& agg_dim = pair.agg_dim();
+  const size_t k = gdim.NumBins();
+  std::vector<uint32_t> map(k);
+  for (size_t g = 0; g < k; ++g) {
+    double mid = (gdim.edges[g] + gdim.edges[g + 1]) / 2.0;
+    map[g] = static_cast<uint32_t>(agg_dim.BinIndex(mid));
+  }
+  return map;
+}
+
+void AqpEngine::FillTransferMaps(Node* node, size_t agg_col,
+                                 const Grid& grid) const {
+  if (node->type == Node::Type::kLeaf) {
+    node->g2ta = TransferMap(agg_col, node->column, grid);
+    return;
+  }
+  for (Node& c : node->children) FillTransferMaps(&c, agg_col, grid);
+}
+
+// ---------------------------------------------------------------------------
+// Per-bin satisfaction probabilities (reference path).
 
 AqpEngine::Prob AqpEngine::LeafProb(size_t agg_col, const Node& leaf,
                                     const Grid& grid) const {
@@ -359,29 +1076,14 @@ Weightings AqpEngine::WeightsFromProb(const HistogramDim& dim,
   wt.w.resize(k);
   wt.lo.resize(k);
   wt.hi.resize(k);
-  const double rho = ph_->sampling_ratio();
-  const double n_total = static_cast<double>(ph_->total_rows());
-  const double n_sample = static_cast<double>(ph_->sample_rows());
-  const bool widen = rho < 1.0 && n_total > 1;
-  const double z = NormalQuantile(0.99);  // two-sided 98% interval
-  const double fpc = widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
-
-  for (size_t t = 0; t < k; ++t) {
-    double h = static_cast<double>(dim.counts[t]);
-    wt.w[t] = h * prob.p[t];
-    double lo = h * prob.lo[t];
-    double hi = h * prob.hi[t];
-    if (widen && h > 0) {
-      // Eq. 29 with the dimensionally consistent count-scale binomial
-      // standard deviation (see DESIGN.md §3.6).
-      double beta_lo = std::clamp(lo / h, 0.0, 1.0);
-      double beta_hi = std::clamp(hi / h, 0.0, 1.0);
-      lo -= z * std::sqrt(h * beta_lo * (1.0 - beta_lo) * fpc);
-      hi += z * std::sqrt(h * beta_hi * (1.0 - beta_hi) * fpc);
-    }
-    wt.lo[t] = std::clamp(lo, 0.0, h);
-    wt.hi[t] = std::clamp(hi, 0.0, h);
-  }
+  ProbSpan view;
+  view.p = const_cast<double*>(prob.p.data());
+  view.lo = const_cast<double*>(prob.lo.data());
+  view.hi = const_cast<double*>(prob.hi.data());
+  view.begin = 0;
+  view.end = k;
+  WtSpan out{wt.w.data(), wt.lo.data(), wt.hi.data(), 0, k};
+  WeightsInto(*ph_, dim, view, out);
   return wt;
 }
 
@@ -400,271 +1102,6 @@ StatusOr<Weightings> AqpEngine::ComputeWeightings(size_t agg_col,
     prob.hi.assign(k, 1.0);
   }
   return WeightsFromProb(*grid.dim, prob);
-}
-
-// ---------------------------------------------------------------------------
-// Aggregation (Table 3).
-
-AggResult AqpEngine::Aggregate(AggFunc func, size_t agg_col,
-                               const Grid& grid, const Weightings& wt,
-                               bool single_column,
-                               const IntervalSet* agg_clip) const {
-  const HistogramDim& hist = *grid.dim;
-  const ColumnTransform& tr = ph_->transform(agg_col);
-  const size_t k = hist.NumBins();
-  const double rho = ph_->sampling_ratio();
-  const uint64_t m_points = ph_->min_points();
-
-  AggResult r;
-  const double total = wt.Total();
-
-  if (func == AggFunc::kCount) {
-    r.estimate = total / rho;
-    r.lower = wt.TotalLo() / rho;
-    r.upper = wt.TotalHi() / rho;
-    r.empty_selection = total <= kWeightEps;
-    return r;
-  }
-  if (total <= kWeightEps) {
-    r.empty_selection = true;
-    r.estimate = r.lower = r.upper = kNaN;
-    return r;
-  }
-
-  if (!options_.clip_agg_values) agg_clip = nullptr;
-
-  // Effective per-bin values, midpoints and weighted-centre bounds in the
-  // code domain.
-  std::vector<double> v_lo(k), v_hi(k), c(k), c_lo(k), c_hi(k);
-  for (size_t t = 0; t < k; ++t) {
-    BinVals bv = EffectiveBin(hist, t, agg_clip);
-    v_lo[t] = bv.v_lo;
-    v_hi[t] = bv.v_hi;
-    c[t] = bv.mid;
-    CentreBounds cb = ph_->WeightedCentreBounds(hist, t);
-    c_lo[t] = std::clamp(cb.lo, bv.v_lo, bv.v_hi);
-    c_hi[t] = std::clamp(cb.hi, c_lo[t], bv.v_hi);
-  }
-  auto decode = [&](double code) { return tr.Decode(code); };
-
-  switch (func) {
-    case AggFunc::kSum: {
-      double est = 0;
-      double lo = 0, hi = 0;
-      for (size_t t = 0; t < k; ++t) {
-        est += wt.w[t] * decode(c[t]);
-        // Bounds over the per-bin corner combinations of weight and centre
-        // (safe also when decoded values are negative).
-        double raw_lo = decode(c_lo[t]);
-        double raw_hi = decode(c_hi[t]);
-        lo += std::min({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
-                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
-        hi += std::max({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
-                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
-      }
-      r.estimate = est / rho;
-      r.lower = lo / rho;
-      r.upper = hi / rho;
-      return r;
-    }
-    case AggFunc::kAvg: {
-      double num = 0;
-      for (size_t t = 0; t < k; ++t) num += wt.w[t] * c[t];
-      r.estimate = decode(num / total);
-      // Evaluate both weighting extrema (w• placeholder in Table 3).
-      double lo = std::numeric_limits<double>::infinity();
-      double hi = -std::numeric_limits<double>::infinity();
-      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
-        double tw = 0, nlo = 0, nhi = 0;
-        for (size_t t = 0; t < k; ++t) {
-          tw += (*wv)[t];
-          nlo += (*wv)[t] * c_lo[t];
-          nhi += (*wv)[t] * c_hi[t];
-        }
-        if (tw > kWeightEps) {
-          lo = std::min(lo, nlo / tw);
-          hi = std::max(hi, nhi / tw);
-        }
-      }
-      if (!std::isfinite(lo)) {
-        lo = hi = num / total;
-      }
-      r.lower = decode(std::min(lo, num / total));
-      r.upper = decode(std::max(hi, num / total));
-      return r;
-    }
-    case AggFunc::kVar: {
-      double num1 = 0, num2 = 0;
-      for (size_t t = 0; t < k; ++t) {
-        double within = 0.0;
-        if (options_.var_within_bin && hist.unique[t] > 1) {
-          double span = v_hi[t] - v_lo[t];
-          within = span * span / 12.0;
-        }
-        num1 += wt.w[t] * c[t];
-        num2 += wt.w[t] * (c[t] * c[t] + within);
-      }
-      double mean = num1 / total;
-      double var_code = std::max(0.0, num2 / total - mean * mean);
-      double scale2 = tr.scale * tr.scale;
-      r.estimate = var_code / scale2;
-      // ξ∓ per Eqs. 38–39 around the estimated (code-domain) mean.
-      std::vector<double> xi_lo(k), xi_hi(k);
-      for (size_t t = 0; t < k; ++t) {
-        if (v_hi[t] < mean) {
-          xi_lo[t] = v_hi[t];
-        } else if (v_lo[t] > mean) {
-          xi_lo[t] = v_lo[t];
-        } else {
-          xi_lo[t] = mean;
-        }
-        xi_hi[t] = (std::fabs(mean - v_lo[t]) > std::fabs(v_hi[t] - mean))
-                       ? v_lo[t]
-                       : v_hi[t];
-      }
-      double lo = std::numeric_limits<double>::infinity();
-      double hi = -std::numeric_limits<double>::infinity();
-      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
-        double tw = 0;
-        for (size_t t = 0; t < k; ++t) tw += (*wv)[t];
-        if (tw <= kWeightEps) continue;
-        double l1 = 0, l2 = 0, h1 = 0, h2 = 0;
-        for (size_t t = 0; t < k; ++t) {
-          l1 += (*wv)[t] * xi_lo[t];
-          l2 += (*wv)[t] * xi_lo[t] * xi_lo[t];
-          h1 += (*wv)[t] * xi_hi[t];
-          h2 += (*wv)[t] * xi_hi[t] * xi_hi[t];
-        }
-        lo = std::min(lo, l2 / tw - (l1 / tw) * (l1 / tw));
-        hi = std::max(hi, h2 / tw - (h1 / tw) * (h1 / tw));
-      }
-      if (!std::isfinite(lo)) {
-        lo = hi = var_code;
-      }
-      r.lower = std::max(0.0, std::min(lo / scale2, r.estimate));
-      r.upper = std::max(r.estimate, hi / scale2);
-      return r;
-    }
-    case AggFunc::kMin:
-    case AggFunc::kMax: {
-      const bool is_min = func == AggFunc::kMin;
-      auto first_idx = [&](const std::vector<double>& wv,
-                           double threshold) -> int {
-        if (is_min) {
-          for (size_t t = 0; t < k; ++t) {
-            if (wv[t] > threshold) return static_cast<int>(t);
-          }
-        } else {
-          for (size_t t = k; t-- > 0;) {
-            if (wv[t] > threshold) return static_cast<int>(t);
-          }
-        }
-        return -1;
-      };
-
-      int t_est = first_idx(wt.w, kWeightEps);
-      if (t_est < 0) {
-        r.empty_selection = true;
-        r.estimate = r.lower = r.upper = kNaN;
-        return r;
-      }
-      {
-        size_t t = static_cast<size_t>(t_est);
-        bool flip = single_column && hist.unique[t] == 2 &&
-                    wt.w[t] < static_cast<double>(hist.counts[t]) / 2.0;
-        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
-                          : (flip ? v_lo[t] : v_hi[t]);
-        r.estimate = decode(v);
-      }
-      // Outer bound (MIN lower / MAX upper): widest plausible bin from w+.
-      {
-        int ti = first_idx(wt.hi, kWeightEps);
-        size_t t =
-            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
-        bool flip = single_column && hist.unique[t] == 2 &&
-                    wt.hi[t] < static_cast<double>(hist.counts[t]) / 5.0;
-        double v = is_min ? (flip ? v_hi[t] : v_lo[t])
-                          : (flip ? v_lo[t] : v_hi[t]);
-        if (is_min) {
-          r.lower = decode(v);
-        } else {
-          r.upper = decode(v);
-        }
-      }
-      // Inner bound (MIN upper / MAX lower): first bin with confident
-      // weight (w− > 1/2), tightened by fully covered sub-bins (Eq. 32).
-      {
-        int ti = first_idx(wt.lo, 0.5);
-        size_t t =
-            ti < 0 ? static_cast<size_t>(t_est) : static_cast<size_t>(ti);
-        double v;
-        if (single_column && hist.unique[t] > 2 &&
-            hist.counts[t] >= m_points) {
-          int s = TerrellScottSubBins(hist.unique[t]);
-          double delta = (v_hi[t] - v_lo[t]) / s;
-          double a = std::floor(s * wt.lo[t] /
-                                static_cast<double>(hist.counts[t]));
-          v = is_min ? v_hi[t] - a * delta : v_lo[t] + a * delta;
-        } else {
-          v = is_min ? v_hi[t] : v_lo[t];
-        }
-        if (is_min) {
-          r.upper = decode(v);
-        } else {
-          r.lower = decode(v);
-        }
-      }
-      if (r.lower > r.upper) std::swap(r.lower, r.upper);
-      r.lower = std::min(r.lower, r.estimate);
-      r.upper = std::max(r.upper, r.estimate);
-      return r;
-    }
-    case AggFunc::kMedian: {
-      auto median_bin = [&](const std::vector<double>& wv) -> int {
-        double tw = 0;
-        for (size_t t = 0; t < k; ++t) tw += wv[t];
-        if (tw <= kWeightEps) return -1;
-        double acc = 0;
-        for (size_t t = 0; t < k; ++t) {
-          acc += wv[t];
-          if (acc >= tw / 2.0) return static_cast<int>(t);
-        }
-        return static_cast<int>(k) - 1;
-      };
-      int t_est = median_bin(wt.w);
-      if (t_est < 0) {
-        r.empty_selection = true;
-        r.estimate = r.lower = r.upper = kNaN;
-        return r;
-      }
-      size_t t = static_cast<size_t>(t_est);
-      double before = 0;
-      for (size_t u = 0; u < t; ++u) before += wt.w[u];
-      double f = (total / 2.0 - before) / std::max(wt.w[t], kWeightEps);
-      f = std::clamp(f, 0.0, 1.0);
-      if (hist.unique[t] == 2) {
-        r.estimate = decode(f < 0.5 ? v_lo[t] : v_hi[t]);
-      } else {
-        r.estimate = decode(v_lo[t] + (v_hi[t] - v_lo[t]) * f);
-      }
-      int t_lo = t_est, t_hi = t_est;
-      for (const std::vector<double>* wv : {&wt.lo, &wt.hi}) {
-        int tb = median_bin(*wv);
-        if (tb >= 0) {
-          t_lo = std::min(t_lo, tb);
-          t_hi = std::max(t_hi, tb);
-        }
-      }
-      r.lower = decode(v_lo[static_cast<size_t>(t_lo)]);
-      r.upper = decode(v_hi[static_cast<size_t>(t_hi)]);
-      r.lower = std::min(r.lower, r.estimate);
-      r.upper = std::max(r.upper, r.estimate);
-      return r;
-    }
-    case AggFunc::kCount:
-      break;  // handled above
-  }
-  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -757,14 +1194,24 @@ StatusOr<CompiledQuery> AqpEngine::Compile(const Query& query) const {
   }
 
   plan.single_column_ = !query.count_star && query.SingleColumn();
+
+  // Fast-path transfer maps: one per cross-column leaf plus one for the
+  // per-value GROUP BY leaf (same column every execution).
+  if (plan.where_.has_value()) {
+    FillTransferMaps(&*plan.where_, plan.agg_col_, plan.grid_);
+  }
+  if (grouped) {
+    plan.group_g2ta_ = TransferMap(plan.agg_col_, plan.group_col_, plan.grid_);
+  }
   return plan;
 }
 
 // ---------------------------------------------------------------------------
 // Execution: coverage + weighting + aggregation over a compiled plan.
 
-StatusOr<AggResult> AqpEngine::ExecuteScalar(
-    const CompiledQuery& plan, const Node* extra_group_leaf) const {
+StatusOr<AggResult> AqpEngine::ExecuteScalar(const CompiledQuery& plan,
+                                             const Node* extra_group_leaf,
+                                             ExecScratch& scratch) const {
   const size_t agg_col = plan.agg_col_;
   const Grid& grid = plan.grid_;
   const size_t k = grid.dim->NumBins();
@@ -807,38 +1254,175 @@ StatusOr<AggResult> AqpEngine::ExecuteScalar(
   bool single = plan.single_column_ &&
                 (extra_group_leaf == nullptr ||
                  extra_group_leaf->column == agg_col);
-  return Aggregate(plan.query_.func, agg_col, grid, wt, single, agg_clip);
+  scratch.arena.Reset();
+  WtSpan view{wt.w.data(), wt.lo.data(), wt.hi.data(), 0, k};
+  return AggregateImpl(*ph_, options_, plan.query_.func, agg_col, grid, view,
+                       single, agg_clip, scratch.arena);
 }
 
-StatusOr<QueryResult> AqpEngine::Execute(const CompiledQuery& plan) const {
-  QueryResult result;
+StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
+    const CompiledQuery& plan, const Node* extra_group_leaf,
+    const std::vector<uint32_t>* extra_g2ta, ExecScratch& scratch) const {
+  ExecArena& arena = scratch.arena;
+  arena.Reset();
+  const size_t agg_col = plan.agg_col_;
+  const Grid& grid = plan.grid_;
+  const HistogramDim& gdim = *grid.dim;
+  const size_t k = gdim.NumBins();
+  const AggFunc func = plan.query_.func;
+
+  // O(log k) COUNT shortcut: a single same-column predicate whose pieces
+  // fully cover every touched bin needs only prefix-sum differences (all
+  // contributions are exact integers, so the total is identical to the
+  // general path's per-bin sum).
+  if (func == AggFunc::kCount && extra_group_leaf == nullptr &&
+      !grid.IsPair() && plan.where_.has_value() &&
+      plan.where_->type == Node::Type::kLeaf &&
+      plan.where_->column == agg_col) {
+    double total = 0.0;
+    if (CountFullyCovered(gdim, plan.where_->intervals, &total)) {
+      AggResult r;
+      r.estimate = total / ph_->sampling_ratio();
+      r.lower = r.upper = r.estimate;
+      r.empty_selection = total <= kWeightEps;
+      return r;
+    }
+  }
+
+  ProbSpan prob;
+  if (plan.where_.has_value()) {
+    prob = EvalNodeFast(*ph_, arena, agg_col, *plan.where_, grid);
+  } else {
+    prob.p = arena.Alloc(k);
+    prob.lo = arena.Alloc(k);
+    prob.hi = arena.Alloc(k);
+    std::fill(prob.p, prob.p + k, 1.0);
+    std::fill(prob.lo, prob.lo + k, 1.0);
+    std::fill(prob.hi, prob.hi + k, 1.0);
+    prob.begin = 0;
+    prob.end = k;
+  }
+  if (extra_group_leaf != nullptr) {
+    const std::vector<uint32_t>& map =
+        (extra_g2ta != nullptr) ? *extra_g2ta : extra_group_leaf->g2ta;
+    ProbSpan gp = LeafProbFast(*ph_, arena, agg_col, extra_group_leaf->column,
+                               extra_group_leaf->intervals, map, grid);
+    size_t rb = std::max(prob.begin, gp.begin);
+    size_t re = std::min(prob.end, gp.end);
+    if (rb >= re) {
+      prob.begin = prob.end = 0;
+    } else {
+      for (size_t t = rb; t < re; ++t) {
+        prob.p[t] *= gp.p[t];
+        prob.lo[t] *= gp.lo[t];
+        prob.hi[t] *= gp.hi[t];
+      }
+      prob.begin = rb;
+      prob.end = re;
+    }
+  }
+
+  WtSpan wt;
+  wt.w = arena.Alloc(k);
+  wt.lo = arena.Alloc(k);
+  wt.hi = arena.Alloc(k);
+  wt.begin = prob.begin;
+  wt.end = prob.end;
+  WeightsInto(*ph_, gdim, prob, wt);
+
+  const IntervalSet* agg_clip = nullptr;
+  if (plan.agg_clip_.has_value()) {
+    agg_clip = &*plan.agg_clip_;
+  } else if (extra_group_leaf != nullptr &&
+             extra_group_leaf->column == agg_col) {
+    agg_clip = &extra_group_leaf->intervals;
+  }
+  bool single = plan.single_column_ &&
+                (extra_group_leaf == nullptr ||
+                 extra_group_leaf->column == agg_col);
+  return AggregateImpl(*ph_, options_, func, agg_col, grid, wt, single,
+                       agg_clip, arena);
+}
+
+Status AqpEngine::ExecuteInto(const CompiledQuery& plan,
+                              QueryResult* result) const {
+  // Lease a scratch from the pool; allocate only when the pool is dry
+  // (first call, or more concurrent executions than ever before).
+  struct Lease {
+    const AqpEngine* eng;
+    std::unique_ptr<ExecScratch> s;
+    ~Lease() {
+      if (s != nullptr) eng->pool_->Release(std::move(s));
+    }
+  } lease{this, pool_->Acquire()};
+  if (lease.s == nullptr) lease.s = std::make_unique<ExecScratch>();
+  ExecScratch& scratch = *lease.s;
+
+  // Reuse the caller's group storage: overwrite warm slots in place and
+  // only grow (or shrink) when the group count changes.
+  size_t used = 0;
+  auto slot = [&](const AggResult& agg) -> std::string& {
+    if (used < result->groups.size()) {
+      result->groups[used].agg = agg;
+    } else {
+      result->groups.push_back(QueryResult::Group{std::string(), agg});
+    }
+    return result->groups[used++].label;
+  };
+
   if (!plan.grouped()) {
     // COUNT(*) with no predicate: exact row count.
     if (plan.query_.count_star && !plan.where_.has_value()) {
       AggResult r;
       r.estimate = r.lower = r.upper =
           static_cast<double>(ph_->total_rows());
-      result.groups.push_back({"", r});
-      return result;
+      slot(r).clear();
+      result->groups.resize(used);
+      return Status::OK();
     }
-    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(plan, nullptr));
-    result.groups.push_back({"", agg});
-    return result;
+    AggResult agg;
+    if (options_.use_fast_path) {
+      PH_ASSIGN_OR_RETURN(agg,
+                          ExecuteScalarFast(plan, nullptr, nullptr, scratch));
+    } else {
+      PH_ASSIGN_OR_RETURN(agg, ExecuteScalar(plan, nullptr, scratch));
+    }
+    slot(agg).clear();
+    result->groups.resize(used);
+    return Status::OK();
   }
 
   const ColumnTransform& tr = ph_->transform(plan.group_col_);
   for (uint64_t code = 1; code <= plan.group_values_; ++code) {
-    Node leaf;
-    leaf.type = Node::Type::kLeaf;
-    leaf.column = plan.group_col_;
-    leaf.intervals =
-        IntervalSet::Of(static_cast<double>(code), static_cast<double>(code));
-    PH_ASSIGN_OR_RETURN(AggResult agg, ExecuteScalar(plan, &leaf));
+    AggResult agg;
+    if (options_.use_fast_path) {
+      Node& leaf = scratch.group_leaf;
+      leaf.column = plan.group_col_;
+      leaf.intervals.pieces.clear();
+      leaf.intervals.pieces.emplace_back(static_cast<double>(code),
+                                         static_cast<double>(code));
+      PH_ASSIGN_OR_RETURN(
+          agg, ExecuteScalarFast(plan, &leaf, &plan.group_g2ta_, scratch));
+    } else {
+      Node leaf;
+      leaf.type = Node::Type::kLeaf;
+      leaf.column = plan.group_col_;
+      leaf.intervals = IntervalSet::Of(static_cast<double>(code),
+                                       static_cast<double>(code));
+      PH_ASSIGN_OR_RETURN(agg, ExecuteScalar(plan, &leaf, scratch));
+    }
     bool empty_count =
         plan.query_.func == AggFunc::kCount && agg.estimate <= 0.5;
     if (agg.empty_selection || empty_count) continue;
-    result.groups.push_back({FormatGroupLabel(tr, code), agg});
+    slot(agg) = FormatGroupLabel(tr, code);
   }
+  result->groups.resize(used);
+  return Status::OK();
+}
+
+StatusOr<QueryResult> AqpEngine::Execute(const CompiledQuery& plan) const {
+  QueryResult result;
+  PH_RETURN_IF_ERROR(ExecuteInto(plan, &result));
   return result;
 }
 

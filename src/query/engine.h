@@ -25,6 +25,7 @@
 #ifndef PAIRWISEHIST_QUERY_ENGINE_H_
 #define PAIRWISEHIST_QUERY_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,12 @@ struct AqpEngineOptions {
   bool use_pair_grid = true;
   bool clip_agg_values = true;
   bool var_within_bin = true;
+  /// Zero-allocation execution fast path: pooled scratch arena, sparse
+  /// cell index and interval-localized coverage. Produces results
+  /// identical to the reference path (asserted by the equivalence suite);
+  /// off switches Execute back to the straightforward reference
+  /// implementation.
+  bool use_fast_path = true;
 };
 
 /// Normalized predicate tree: leaves are consolidated (column,
@@ -64,6 +71,10 @@ struct NormalizedPredicate {
   size_t column = 0;     // leaf
   IntervalSet intervals; // leaf
   std::vector<NormalizedPredicate> children;
+  /// Fast-path compile-time cache for cross-column leaves: grid bin →
+  /// refined aggregation bin of this leaf's pairwise histogram (empty for
+  /// leaves that don't transfer across pairs). Filled by AqpEngine::Compile.
+  std::vector<uint32_t> g2ta;
 };
 
 /// The aggregation grid chosen for one query: either the 1-d histogram of
@@ -112,16 +123,22 @@ class CompiledQuery {
   // GROUP BY state: group_values_ == 0 means not grouped.
   size_t group_col_ = 0;
   uint64_t group_values_ = 0;
+  /// Fast-path transfer map for the per-value GROUP BY leaf (same shape as
+  /// NormalizedPredicate::g2ta; empty when unused).
+  std::vector<uint32_t> group_g2ta_;
 };
 
-/// Executes queries against a PairwiseHist synopsis. Stateless apart from
-/// the synopsis pointer; safe for concurrent use.
+/// Executes queries against a PairwiseHist synopsis. Apart from the
+/// synopsis pointer the only state is a pool of reusable execution scratch
+/// arenas; safe for concurrent use.
 class AqpEngine {
  public:
   /// The synopsis must outlive the engine.
   explicit AqpEngine(const PairwiseHist* synopsis,
-                     AqpEngineOptions options = {})
-      : ph_(synopsis), options_(options) {}
+                     AqpEngineOptions options = {});
+  ~AqpEngine();
+  AqpEngine(AqpEngine&&) noexcept;
+  AqpEngine& operator=(AqpEngine&&) noexcept;
 
   /// Compiles a parsed query: predicate normalization with same-column
   /// consolidation, aggregation-column resolution, grid selection. The
@@ -130,6 +147,12 @@ class AqpEngine {
 
   /// Executes a compiled plan (coverage + weighting + aggregation only).
   StatusOr<QueryResult> Execute(const CompiledQuery& plan) const;
+
+  /// Executes a compiled plan into a caller-owned result, reusing its
+  /// group storage. With a warm result object and the fast path enabled,
+  /// steady-state scalar (non-GROUP-BY) execution performs zero heap
+  /// allocations; grouped execution still builds per-group label strings.
+  Status ExecuteInto(const CompiledQuery& plan, QueryResult* result) const;
 
   /// Executes a parsed query (Compile + Execute).
   StatusOr<QueryResult> Execute(const Query& query) const;
@@ -155,6 +178,11 @@ class AqpEngine {
     std::vector<double> p, lo, hi;
   };
 
+  /// Reusable per-execution scratch (arena + helpers); leased from a
+  /// per-engine pool so concurrent executions never share one.
+  struct ExecScratch;
+  class ScratchPool;
+
   StatusOr<Node> Normalize(const PredicateNode& node) const;
   static bool HasOr(const Node& node);
   static void CollectLeaves(const Node& node,
@@ -169,17 +197,26 @@ class AqpEngine {
   Weightings WeightsFromProb(const HistogramDim& dim,
                              const Prob& prob) const;
 
-  AggResult Aggregate(AggFunc func, size_t agg_col, const Grid& grid,
-                      const Weightings& wt, bool single_column,
-                      const IntervalSet* agg_clip) const;
+  /// Fast-path compile support: grid bin → refined agg bin of the
+  /// (agg_col, col) pair (empty when the leaf doesn't transfer).
+  std::vector<uint32_t> TransferMap(size_t agg_col, size_t col,
+                                    const Grid& grid) const;
+  void FillTransferMaps(Node* node, size_t agg_col, const Grid& grid) const;
 
-  /// Runs the execution-only stages of a compiled plan, optionally ANDed
-  /// with one extra leaf (the per-value GROUP BY constraint).
+  /// Reference execution path (vector-based, one allocation per stage).
   StatusOr<AggResult> ExecuteScalar(const CompiledQuery& plan,
-                                    const Node* extra_group_leaf) const;
+                                    const Node* extra_group_leaf,
+                                    ExecScratch& scratch) const;
+  /// Zero-allocation fast path over the scratch arena (sparse cell index,
+  /// localized coverage, range-restricted weighting/aggregation).
+  StatusOr<AggResult> ExecuteScalarFast(const CompiledQuery& plan,
+                                        const Node* extra_group_leaf,
+                                        const std::vector<uint32_t>* extra_g2ta,
+                                        ExecScratch& scratch) const;
 
   const PairwiseHist* ph_;
   AqpEngineOptions options_;
+  std::unique_ptr<ScratchPool> pool_;
 };
 
 }  // namespace pairwisehist

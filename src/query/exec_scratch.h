@@ -1,0 +1,75 @@
+// Bump-pointer scratch arena for query execution.
+//
+// Execute(CompiledQuery) runs entirely out of one of these: every per-bin
+// vector the pipeline needs (satisfaction probabilities, coverage,
+// weightings, cross-column transfer buffers, aggregation temporaries) is
+// carved out of pooled blocks with a bump pointer. Blocks are allocated on
+// first use and retained across Reset(), so steady-state execution performs
+// zero heap allocations. Blocks are never reallocated, so outstanding
+// pointers stay valid until Reset().
+#ifndef PAIRWISEHIST_QUERY_EXEC_SCRATCH_H_
+#define PAIRWISEHIST_QUERY_EXEC_SCRATCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pairwisehist {
+
+class ExecArena {
+ public:
+  /// Returns `n` uninitialized doubles. Never invalidates earlier
+  /// allocations; allocates a new block only when the retained ones are
+  /// exhausted (first execution, or a larger query shape than seen before).
+  double* Alloc(size_t n) {
+    while (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      if (b.cap - b.used >= n) {
+        double* p = b.data.get() + b.used;
+        b.used += n;
+        return p;
+      }
+      ++cur_;
+    }
+    const size_t cap = std::max(n, kMinBlockDoubles);
+    blocks_.push_back(Block{std::make_unique<double[]>(cap), cap, n});
+    cur_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+  /// Zero-filled variant.
+  double* AllocZeroed(size_t n) {
+    double* p = Alloc(n);
+    std::fill(p, p + n, 0.0);
+    return p;
+  }
+
+  /// Releases every allocation but keeps the blocks for reuse.
+  void Reset() {
+    for (Block& b : blocks_) b.used = 0;
+    cur_ = 0;
+  }
+
+  size_t BytesReserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.cap * sizeof(double);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinBlockDoubles = 16384;  // 128 KiB
+
+  struct Block {
+    std::unique_ptr<double[]> data;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t cur_ = 0;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_EXEC_SCRATCH_H_
