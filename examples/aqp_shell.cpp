@@ -11,10 +11,12 @@
 // Shell commands besides SQL:
 //   .schema           column names and types
 //   .stats            synopsis statistics
+//   .segments         per-segment row ranges and synopsis sizes
 //   .exact <sql>      run the same SQL exactly (ground truth)
 //   .prepare <sql>    compile once, then time repeated executions
-//   .append <rows>    generate + fold new rows into the synopsis
-//   .save <path>      write the Fig.-6 serialized synopsis
+//   .append <rows>    generate + seal new rows as a fresh segment
+//   .append <csv>     ingest a CSV batch as a fresh segment
+//   .save <path>      write the serialized (multi-segment) synopsis
 //   .quit
 #include <chrono>
 #include <cstdio>
@@ -24,6 +26,7 @@
 
 #include "api/db.h"
 #include "datagen/datasets.h"
+#include "storage/csv.h"
 
 using namespace pairwisehist;
 
@@ -86,10 +89,12 @@ int main(int argc, char** argv) {
           "      aggs: COUNT SUM AVG MIN MAX MEDIAN VAR\n"
           ".schema          column names and types\n"
           ".stats           synopsis statistics\n"
+          ".segments        per-segment row ranges and synopsis sizes\n"
           ".exact <sql>     run the same SQL exactly (ground truth)\n"
           ".prepare <sql>   compile once, time 1000 re-executions\n"
-          ".append <rows>   generate+fold new rows into the synopsis\n"
-          ".save <path>     write the serialized synopsis\n"
+          ".append <rows>   generate+seal new rows as a fresh segment\n"
+          ".append <csv>    ingest a CSV batch as a fresh segment\n"
+          ".save <path>     write the serialized (multi-segment) synopsis\n"
           ".quit\n");
       continue;
     }
@@ -99,12 +104,26 @@ int main(int argc, char** argv) {
     }
     if (line == ".stats") {
       const PairwiseHist& s = db.synopsis();
-      std::printf("rows N=%llu  sample Ns=%llu  rho=%.4f  M=%llu  "
-                  "columns=%zu  pairs=%zu  bytes=%zu\n",
-                  (unsigned long long)s.total_rows(),
+      std::printf("rows N=%llu (%zu segments)  columns=%zu  pairs=%zu  "
+                  "bytes=%zu\n",
+                  (unsigned long long)db.total_rows(), db.num_segments(),
+                  s.num_columns(), s.num_pairs(), db.StorageBytes());
+      std::printf("segment 0: Ns=%llu  rho=%.4f  M=%llu\n",
                   (unsigned long long)s.sample_rows(), s.sampling_ratio(),
-                  (unsigned long long)s.min_points(), s.num_columns(),
-                  s.num_pairs(), s.StorageBytes());
+                  (unsigned long long)s.min_points());
+      continue;
+    }
+    if (line == ".segments") {
+      std::printf("%4s %12s %12s %12s %10s %8s\n", "seg", "rows [begin",
+                  "end)", "synopsis B", "Ns", "rho");
+      for (size_t i = 0; i < db.num_segments(); ++i) {
+        const SegmentMeta& m = db.segment_meta(i);
+        const PairwiseHist& s = db.synopsis(i);
+        std::printf("%4zu %12llu %12llu %12zu %10llu %8.4f\n", i,
+                    (unsigned long long)m.row_begin,
+                    (unsigned long long)m.row_end, s.StorageBytes(),
+                    (unsigned long long)s.sample_rows(), s.sampling_ratio());
+      }
       continue;
     }
     if (line.rfind(".exact ", 0) == 0) {
@@ -139,24 +158,44 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind(".append ", 0) == 0) {
-      size_t rows = std::strtoull(line.c_str() + 8, nullptr, 10);
-      if (rows == 0 || rows > 1000000) {
-        std::printf("usage: .append <1..1000000>\n");
+      std::string arg = line.substr(8);
+      if (arg.size() > 4 && arg.rfind(".csv") == arg.size() - 4) {
+        // Ingest a CSV batch: sealed as a fresh segment (fresh bin edges).
+        auto batch = ReadCsv(arg);
+        if (!batch.ok()) {
+          std::printf("error: %s\n", batch.status().ToString().c_str());
+          continue;
+        }
+        Status st = db.Append(batch.value());
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("sealed %zu rows from %s; N=%llu, %zu segments, "
+                      "%zu bytes\n",
+                      batch->NumRows(), arg.c_str(),
+                      (unsigned long long)db.total_rows(),
+                      db.num_segments(), db.StorageBytes());
+        }
         continue;
       }
-      auto fresh =
-          MakeDataset(source, rows, db.synopsis().total_rows() + 1);
+      size_t rows = std::strtoull(arg.c_str(), nullptr, 10);
+      if (rows == 0 || rows > 1000000) {
+        std::printf("usage: .append <1..1000000 | path.csv>\n");
+        continue;
+      }
+      auto fresh = MakeDataset(source, rows, db.total_rows() + 1);
       if (!fresh.ok()) {
-        std::printf("append only works for generated datasets\n");
+        std::printf(".append <rows> only works for generated datasets; "
+                    "pass a .csv path instead\n");
         continue;
       }
       Status st = db.Append(*fresh);
       if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
       } else {
-        std::printf("folded %zu rows; N=%llu, synopsis %zu bytes\n", rows,
-                    (unsigned long long)db.synopsis().total_rows(),
-                    db.StorageBytes());
+        std::printf("sealed %zu rows; N=%llu, %zu segments, %zu bytes\n",
+                    rows, (unsigned long long)db.total_rows(),
+                    db.num_segments(), db.StorageBytes());
       }
       continue;
     }

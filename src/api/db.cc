@@ -11,6 +11,7 @@
 #include "query/exact.h"
 #include "query/sql_parser.h"
 #include "storage/csv.h"
+#include "storage/segment.h"
 
 namespace pairwisehist {
 
@@ -50,6 +51,14 @@ Status AppendRows(Table* dst, const Table& batch) {
   return Status::OK();
 }
 
+SegmentedExecOptions MakeExecOptions(const DbOptions& options) {
+  SegmentedExecOptions eo;
+  eo.engine = options.engine;
+  eo.exec_threads = options.exec_threads;
+  eo.prune = options.prune_segments;
+  return eo;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -57,10 +66,10 @@ Status AppendRows(Table* dst, const Table& batch) {
 
 StatusOr<QueryResult> PreparedQuery::Execute() const {
   if (backend_ != nullptr) return backend_->Execute(query_);
-  if (engine_ == nullptr || !plan_.has_value()) {
+  if (exec_ == nullptr || !plan_.valid()) {
     return Status::Internal("PreparedQuery used before Db::Prepare");
   }
-  return engine_->Execute(*plan_);
+  return exec_->Execute(plan_);
 }
 
 Status PreparedQuery::ExecuteInto(QueryResult* result) const {
@@ -68,10 +77,10 @@ Status PreparedQuery::ExecuteInto(QueryResult* result) const {
     PH_ASSIGN_OR_RETURN(*result, backend_->Execute(query_));
     return Status::OK();
   }
-  if (engine_ == nullptr || !plan_.has_value()) {
+  if (exec_ == nullptr || !plan_.valid()) {
     return Status::Internal("PreparedQuery used before Db::Prepare");
   }
-  return engine_->ExecuteInto(*plan_, result);
+  return exec_->ExecuteInto(plan_, result);
 }
 
 StatusOr<QueryResult> PreparedQuery::ExecuteExact() const {
@@ -94,27 +103,44 @@ StatusOr<Db> Db::Build(Table table, const DbOptions& opts) {
   if (options.build_threads != 0) {
     options.synopsis.build_threads = options.build_threads;
   }
+  db.append_cfg_ = options.synopsis;
+  db.target_segment_rows_ = options.target_segment_rows;
+  db.append_mode_ = options.append_mode;
 
   if (options.compress) {
     PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));
     PH_ASSIGN_OR_RETURN(CompressedTable gd,
                         CompressedTable::Compress(pre, options.gd));
     db.compressed_ = std::make_unique<CompressedTable>(std::move(gd));
+  }
+
+  PH_ASSIGN_OR_RETURN(
+      SegmentedTable st,
+      SegmentedTable::Partition(&table, options.target_segment_rows));
+  if (options.compress && st.NumSegments() == 1) {
+    // Monolithic compressed build: seed the bin edges with the GreedyGD
+    // bases (the paper's compression ↔ AQP integration).
     PH_ASSIGN_OR_RETURN(
         PairwiseHist ph,
         PairwiseHist::BuildFromCompressed(*db.compressed_, options.synopsis));
-    db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
+    SegmentMeta meta;
+    meta.row_begin = 0;
+    meta.row_end = table.NumRows();
+    meta.ranges = ComputeColumnRanges(table, 0, table.NumRows());
+    db.set_ = std::make_unique<SynopsisSet>(
+        SynopsisSet::FromSingle(std::move(ph), std::move(meta)));
   } else {
-    PH_ASSIGN_OR_RETURN(PairwiseHist ph,
-                        PairwiseHist::BuildFromTable(table, options.synopsis));
-    db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
+    PH_ASSIGN_OR_RETURN(SynopsisSet set,
+                        SynopsisSet::Build(st, options.synopsis,
+                                           options.synopsis.build_threads));
+    db.set_ = std::make_unique<SynopsisSet>(std::move(set));
   }
 
   if (options.keep_table) {
     db.table_ = std::make_unique<Table>(std::move(table));
   }
-  db.engine_ =
-      std::make_unique<AqpEngine>(db.synopsis_.get(), options.engine);
+  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
+                                                 MakeExecOptions(options));
   return db;
 }
 
@@ -135,11 +161,32 @@ StatusOr<Db> Db::FromGenerator(const std::string& name, size_t rows,
 
 StatusOr<Db> Db::FromBlob(const std::vector<uint8_t>& blob,
                           AqpEngineOptions engine) {
-  PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(blob));
+  PH_ASSIGN_OR_RETURN(SynopsisSet set, SynopsisSet::Deserialize(blob));
   Db db;
-  db.synopsis_ = std::make_unique<PairwiseHist>(std::move(ph));
-  db.engine_ = std::make_unique<AqpEngine>(db.synopsis_.get(), engine);
+  db.set_ = std::make_unique<SynopsisSet>(std::move(set));
+  DbOptions options;
+  options.engine = engine;
+  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
+                                                 MakeExecOptions(options));
   db.name_ = "synopsis";
+  // Recover append build parameters from the newest stored segment so
+  // post-Open appends seal segments consistent with the original build
+  // (the original DbOptions are not serialized). When the segment sampled
+  // every row we cannot tell "sample everything" from "cap above N";
+  // recover as 0 (sample everything), which only ever increases accuracy.
+  // M is recovered as a fraction of Ns so it keeps scaling with batch
+  // size; the sampling seed is not recoverable and stays at its default.
+  const PairwiseHist& newest =
+      db.set_->synopsis(db.set_->NumSegments() - 1);
+  db.append_cfg_.sample_size =
+      newest.sample_rows() == newest.total_rows() ? 0
+                                                  : newest.sample_rows();
+  db.append_cfg_.min_points_override = 0;
+  db.append_cfg_.min_points_fraction =
+      newest.sample_rows() > 0
+          ? static_cast<double>(newest.min_points()) / newest.sample_rows()
+          : 0.01;
+  db.append_cfg_.alpha = newest.alpha();
   return db;
 }
 
@@ -155,7 +202,7 @@ StatusOr<Db> Db::Open(const std::string& path, AqpEngineOptions engine) {
 }
 
 Status Db::Save(const std::string& path) const {
-  std::vector<uint8_t> blob = synopsis_->Serialize();
+  std::vector<uint8_t> blob = set_->Serialize();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
   out.write(reinterpret_cast<const char*>(blob.data()),
@@ -179,9 +226,8 @@ StatusOr<PreparedQuery> Db::Prepare(Query query) const {
   if (backend_ != nullptr) {
     pq.backend_ = backend_.get();
   } else {
-    pq.engine_ = engine_.get();
-    PH_ASSIGN_OR_RETURN(CompiledQuery plan, engine_->Compile(pq.query_));
-    pq.plan_ = std::move(plan);
+    pq.exec_ = exec_.get();
+    PH_ASSIGN_OR_RETURN(pq.plan_, exec_->Prepare(pq.query_));
   }
   return pq;
 }
@@ -214,10 +260,14 @@ StatusOr<QueryResult> Db::ExecuteExact(const Query& query) const {
 // Incremental ingestion
 
 StatusOr<Table> Db::CanonicalizeBatch(const Table& batch) const {
+  // Re-code against the NEWEST segment's transforms: its dictionaries are
+  // the longest prefix-consistent (canonical) ones, and unseen categories
+  // extend them append-only so every older segment's codes stay valid.
+  const PairwiseHist& newest = set_->synopsis(set_->NumSegments() - 1);
   Table out(batch.name());
   for (size_t c = 0; c < batch.NumColumns(); ++c) {
     const Column& src = batch.column(c);
-    const ColumnTransform& tr = synopsis_->transform(c);
+    const ColumnTransform& tr = newest.transform(c);
     if (src.type() != DataType::kCategorical) {
       out.AddColumn(src);
       continue;
@@ -226,7 +276,8 @@ StatusOr<Table> Db::CanonicalizeBatch(const Table& batch) const {
     // the same category strings in a different order (e.g. a CSV where
     // 'fault' appears before 'ok'), and the synopsis/GD transforms map
     // *codes*, not strings. Categories unseen at fit time extend the
-    // local dictionary and clamp at encode time (update.cc semantics).
+    // canonical dictionary; the kMutateBins path clamps them at encode
+    // time (update.cc semantics) while segment sealing fits them fresh.
     Column col(src.name(), DataType::kCategorical, src.decimals());
     col.SetDictionary(tr.dictionary);
     for (size_t r = 0; r < src.size(); ++r) {
@@ -249,7 +300,9 @@ Status Db::Append(const Table& batch) {
   // time any component is mutated the batch is known-applicable: a late
   // failure would leave synopsis, compressed store and raw table counting
   // different rows with no way to roll back.
-  const size_t d = synopsis_->num_columns();
+  const size_t last = set_->NumSegments() - 1;
+  const PairwiseHist& newest = set_->synopsis(last);
+  const size_t d = newest.num_columns();
   if (batch.NumColumns() != d) {
     return Status::InvalidArgument(
         "Append: batch has " + std::to_string(batch.NumColumns()) +
@@ -257,7 +310,7 @@ Status Db::Append(const Table& batch) {
   }
   for (size_t c = 0; c < d; ++c) {
     const Column& col = batch.column(c);
-    const ColumnTransform& tr = synopsis_->transform(c);
+    const ColumnTransform& tr = newest.transform(c);
     if (col.name() != tr.name || col.type() != tr.type) {
       return Status::InvalidArgument(
           "Append: column " + std::to_string(c) + " is '" + col.name() +
@@ -265,9 +318,26 @@ Status Db::Append(const Table& batch) {
           tr.name + "' (" + DataTypeName(tr.type) + ")");
     }
   }
+  if (batch.NumRows() == 0) return Status::OK();
   PH_ASSIGN_OR_RETURN(Table canonical, CanonicalizeBatch(batch));
 
-  PH_RETURN_IF_ERROR(synopsis_->UpdateFromTable(canonical));
+  if (append_mode_ == AppendMode::kMutateBins) {
+    // The paper's in-place bin mutation (kept for compatibility; accuracy
+    // drifts as appended data departs from the fitted bin edges).
+    PH_RETURN_IF_ERROR(
+        set_->mutable_synopsis(last)->UpdateFromTable(canonical));
+    set_->ExtendLastMeta(canonical);
+  } else {
+    // Seal the batch as fresh segments with newly fitted bin edges;
+    // SealSegments is all-or-nothing, so a build failure leaves every
+    // maintained structure untouched.
+    PH_ASSIGN_OR_RETURN(
+        SegmentedTable st,
+        SegmentedTable::Partition(&canonical, target_segment_rows_));
+    PH_RETURN_IF_ERROR(set_->SealSegments(st, append_cfg_));
+    PH_RETURN_IF_ERROR(exec_->Refresh());
+  }
+
   if (compressed_ != nullptr) {
     PH_ASSIGN_OR_RETURN(PreprocessedTable pre,
                         ApplyTransforms(canonical, compressed_->transforms()));

@@ -1,9 +1,9 @@
 // pairwisehist::Db — the unified public facade over the whole pipeline.
 //
 // Everything downstream code previously wired by hand (CSV / generator /
-// Table ingestion → optional GreedyGD compression → PairwiseHist build →
-// engine construction → exact ground-truth fallback → Fig.-6 persistence →
-// incremental append) sits behind one handle:
+// Table ingestion → optional GreedyGD compression → segmented PairwiseHist
+// build → engine construction → exact ground-truth fallback → Fig.-6
+// persistence → incremental append) sits behind one handle:
 //
 //   auto db = Db::FromGenerator("power", 100000, 42);
 //   auto pq = db->Prepare("SELECT AVG(voltage) FROM power WHERE hour > 18;");
@@ -11,10 +11,16 @@
 //   auto exact  = pq->ExecuteExact();   // ground truth from the kept table
 //
 // Prepare() runs the parse → normalize → grid-selection stages of Fig. 7
-// exactly once; each Execute() then performs only coverage + weighting +
-// aggregation (see AqpEngine::Compile). Alternative AQP backends
-// (sampling / AVI / SPN / DBEst, anything implementing AqpMethod) can be
-// swapped in behind the same interface with SetBackend().
+// exactly once per segment; each Execute() then performs only coverage +
+// weighting + aggregation (see AqpEngine::Compile). Alternative AQP
+// backends (sampling / AVI / SPN / DBEst, anything implementing AqpMethod)
+// can be swapped in behind the same interface with SetBackend().
+//
+// Segmentation: a Db holds one sealed PairwiseHist per row segment
+// (DbOptions::target_segment_rows; 0 = the paper's single monolithic
+// synopsis). Appends seal each batch as a new segment with fresh bin edges
+// by default — no accuracy drift — and queries fan out across segments in
+// parallel with deterministic merged results (see query/segment_exec.h).
 #ifndef PAIRWISEHIST_API_DB_H_
 #define PAIRWISEHIST_API_DB_H_
 
@@ -26,18 +32,34 @@
 #include "baselines/aqp_method.h"
 #include "common/status.h"
 #include "core/pairwise_hist.h"
+#include "core/synopsis_set.h"
 #include "gd/greedy_gd.h"
 #include "query/engine.h"
+#include "query/segment_exec.h"
 #include "storage/table.h"
 
 namespace pairwisehist {
 
+/// How Db::Append folds a new batch into the synopsis.
+enum class AppendMode {
+  /// Seal the batch as one (or more) new segments with freshly fitted bin
+  /// edges. Accuracy does not degrade as appended data drifts from the
+  /// original distribution. The default.
+  kSealSegment,
+  /// The paper's Sec.-3.6 behaviour: mutate the last segment's existing
+  /// bins in place (PairwiseHist::Update). Cheap, but bin edges are never
+  /// re-refined, so accuracy drifts under distribution shift.
+  kMutateBins,
+};
+
 /// Construction-time choices for a Db.
 struct DbOptions {
-  /// Synopsis build parameters (Ns, M, α, seed).
+  /// Synopsis build parameters (Ns, M, α, seed) — applied per segment.
   PairwiseHistConfig synopsis;
   /// Keep a GreedyGD-compressed copy of the data and seed the synopsis bin
   /// edges with its bases (the paper's compression ↔ AQP integration).
+  /// Base-edge seeding applies to single-segment builds; a segmented build
+  /// fits each segment's edges from its own rows.
   bool compress = false;
   /// GreedyGD tuning (used only when `compress` is set).
   GdConfig gd;
@@ -47,29 +69,46 @@ struct DbOptions {
   bool keep_table = true;
   /// Engine refinement toggles.
   AqpEngineOptions engine;
-  /// Threads for parallel synopsis construction (the d(d-1)/2 pairwise
-  /// histogram builds): 0 = one per hardware core, 1 = serial. Overrides
-  /// `synopsis.build_threads` when non-zero; construction output is
-  /// identical for any value.
+  /// Threads for parallel synopsis construction: with one segment these
+  /// fan out the d(d-1)/2 pairwise histogram builds, with several segments
+  /// the per-segment builds. 0 = one per hardware core, 1 = serial.
+  /// Overrides `synopsis.build_threads` when non-zero; construction output
+  /// is identical for any value.
   unsigned build_threads = 0;
+  /// Target rows per sealed segment: 0 = one monolithic synopsis (the
+  /// paper's layout). The initial build partitions the table into
+  /// ceil(rows / target) contiguous segments; appended batches are sealed
+  /// in chunks of at most this size.
+  size_t target_segment_rows = 0;
+  /// Threads for cross-segment query execution: 0 = one per hardware
+  /// core, 1 = serial. Results are bit-identical for any value.
+  unsigned exec_threads = 0;
+  /// Append behaviour (see AppendMode).
+  AppendMode append_mode = AppendMode::kSealSegment;
+  /// Planner pruning: skip segments whose per-column min/max provably
+  /// cannot satisfy the WHERE clause.
+  bool prune_segments = true;
 };
 
 class Db;
 
 /// A SQL statement prepared against a Db: parsed, normalized and planned
-/// once, executable many times. Must not outlive the Db it came from;
-/// Db::Append keeps prepared queries valid, Db::SetBackend invalidates
-/// queries prepared while a different backend was active.
+/// once per segment, executable many times. Must not outlive the Db it
+/// came from; Db::Append keeps prepared queries valid (plans for newly
+/// sealed segments compile lazily on first execution), Db::SetBackend
+/// invalidates queries prepared while a different backend was active.
 class PreparedQuery {
  public:
   /// Runs the approximate engine (or the active backend) on the captured
-  /// plan. Only coverage + weighting + aggregation run per call.
+  /// plans. Only coverage + weighting + aggregation (+ cross-segment
+  /// merge) run per call.
   StatusOr<QueryResult> Execute() const;
 
   /// Same, into a caller-owned result whose group storage is reused. With
-  /// a warm result object the built-in engine's fast path performs zero
-  /// heap allocations per call for scalar (non-GROUP-BY) queries; grouped
-  /// queries still build one label string per emitted group.
+  /// a warm result object and a single-segment Db the built-in engine's
+  /// fast path performs zero heap allocations per call for scalar
+  /// (non-GROUP-BY) queries; grouped and multi-segment executions still
+  /// allocate merge scratch.
   Status ExecuteInto(QueryResult* result) const;
 
   /// Runs the query exactly against the kept raw table (Unsupported when
@@ -78,19 +117,21 @@ class PreparedQuery {
 
   const Query& query() const { return query_; }
   std::string ToSql() const { return query_.ToSql(); }
-  /// True when Execute() uses the parse-once compiled plan (the built-in
+  /// True when Execute() uses the parse-once compiled plans (the built-in
   /// PairwiseHist engine); false when a swapped-in backend answers.
-  bool compiled() const { return plan_.has_value(); }
+  bool compiled() const { return plan_.valid(); }
+  /// The per-segment plan set (valid only when compiled()).
+  const SegmentedPlan& plan() const { return plan_; }
 
  private:
   friend class Db;
   PreparedQuery() = default;
 
-  const AqpEngine* engine_ = nullptr;    // built-in execution path
-  const AqpMethod* backend_ = nullptr;   // set when a backend is active
-  const Table* table_ = nullptr;         // exact fallback (may be null)
+  const SegmentedExecutor* exec_ = nullptr;  // built-in execution path
+  const AqpMethod* backend_ = nullptr;       // set when a backend is active
+  const Table* table_ = nullptr;             // exact fallback (may be null)
   Query query_;
-  std::optional<CompiledQuery> plan_;    // set iff backend_ == nullptr
+  SegmentedPlan plan_;  // valid iff backend_ == nullptr
 };
 
 /// The facade. Movable, not copyable; prepared queries remain valid across
@@ -113,16 +154,17 @@ class Db {
   static StatusOr<Db> FromGenerator(const std::string& name, size_t rows,
                                     uint64_t seed, DbOptions options = {});
   /// Opens a synopsis previously written by Save(): full query capability,
-  /// no raw data (exact fallback unavailable).
+  /// no raw data (exact fallback unavailable). Accepts both the
+  /// multi-segment container and PR-1-era single-synopsis files.
   static StatusOr<Db> Open(const std::string& path,
                            AqpEngineOptions engine = {});
   /// Same, from an in-memory serialized blob.
   static StatusOr<Db> FromBlob(const std::vector<uint8_t>& blob,
                                AqpEngineOptions engine = {});
 
-  // ---- Persistence (the Fig.-6 serialized form) -------------------------
+  // ---- Persistence (the Fig.-6 form, multi-segment container) -----------
   Status Save(const std::string& path) const;
-  std::vector<uint8_t> ToBlob() const { return synopsis_->Serialize(); }
+  std::vector<uint8_t> ToBlob() const { return set_->Serialize(); }
 
   // ---- Queries ----------------------------------------------------------
   /// Parses + compiles once; the returned statement re-executes without
@@ -140,9 +182,12 @@ class Db {
   StatusOr<QueryResult> ExecuteExact(const Query& query) const;
 
   // ---- Incremental ingestion -------------------------------------------
-  /// Folds a new batch (same schema) into every maintained structure: the
-  /// synopsis counts, the compressed store (when present) and the kept raw
-  /// table. Prepared queries stay valid and see the new data.
+  /// Folds a new batch (same schema) into every maintained structure.
+  /// kSealSegment (default): the batch becomes one or more new sealed
+  /// segments with fresh bin edges. kMutateBins: the last segment's bins
+  /// absorb the rows in place (the paper's Sec.-3.6 update). Either way
+  /// the compressed store (when present) and the kept raw table grow, and
+  /// prepared queries stay valid and see the new data.
   Status Append(const Table& batch);
 
   // ---- Pluggable AQP backends ------------------------------------------
@@ -159,30 +204,48 @@ class Db {
 
   // ---- Introspection ----------------------------------------------------
   const std::string& name() const { return name_; }
-  const PairwiseHist& synopsis() const { return *synopsis_; }
-  const AqpEngine& engine() const { return *engine_; }
+  /// Number of sealed segments (1 for a monolithic Db).
+  size_t num_segments() const { return set_->NumSegments(); }
+  /// Segment i's synopsis / metadata.
+  const PairwiseHist& synopsis(size_t i) const { return set_->synopsis(i); }
+  const SegmentMeta& segment_meta(size_t i) const { return set_->meta(i); }
+  /// The first segment's synopsis (the whole synopsis of a monolithic Db).
+  const PairwiseHist& synopsis() const { return set_->synopsis(0); }
+  /// The whole segmented synopsis.
+  const SynopsisSet& synopses() const { return *set_; }
+  /// Total rows across all segments.
+  uint64_t total_rows() const { return set_->total_rows(); }
+  /// The first segment's engine (every segment has one; see executor()).
+  const AqpEngine& engine() const { return exec_->engine(0); }
+  /// The cross-segment executor.
+  const SegmentedExecutor& executor() const { return *exec_; }
   /// The kept raw table, or nullptr when opened synopsis-only.
   const Table* table() const { return table_.get(); }
   /// The GreedyGD store, or nullptr when built without compression.
   const CompressedTable* compressed() const { return compressed_.get(); }
-  size_t StorageBytes() const { return synopsis_->StorageBytes(); }
+  size_t StorageBytes() const { return set_->StorageBytes(); }
 
  private:
   Db() = default;
   static StatusOr<Db> Build(Table table, const DbOptions& options);
   /// Returns a copy of `batch` with categorical columns re-coded into the
-  /// synopsis's fitted dictionaries (batch dictionaries may order the
-  /// same strings differently).
+  /// newest segment's fitted dictionaries (batch dictionaries may order
+  /// the same strings differently; unseen categories extend the canonical
+  /// dictionary append-only).
   StatusOr<Table> CanonicalizeBatch(const Table& batch) const;
 
   std::string name_;
   // unique_ptr members keep component addresses stable across Db moves so
   // prepared queries can hold plain pointers.
-  std::unique_ptr<PairwiseHist> synopsis_;
-  std::unique_ptr<AqpEngine> engine_;
+  std::unique_ptr<SynopsisSet> set_;
+  std::unique_ptr<SegmentedExecutor> exec_;
   std::unique_ptr<Table> table_;
   std::unique_ptr<CompressedTable> compressed_;
   std::unique_ptr<AqpMethod> backend_;
+  // Retained build options for appends.
+  PairwiseHistConfig append_cfg_;
+  size_t target_segment_rows_ = 0;
+  AppendMode append_mode_ = AppendMode::kSealSegment;
 };
 
 }  // namespace pairwisehist

@@ -1,10 +1,9 @@
 #include "core/pairwise_hist.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -215,9 +214,9 @@ StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
 
   // ---- 2-d histograms ----------------------------------------------------
   // The d(d-1)/2 pair builds are independent and individually deterministic,
-  // so they run on a small pool pulling from a shared work counter, each
-  // writing its fixed PairSlot — the result is identical for any thread
-  // count or scheduling.
+  // so they fan out over the shared work-counter pool, each writing its
+  // fixed PairSlot — the result is identical for any thread count or
+  // scheduling.
   if (d > 1) {
     const size_t npairs = d * (d - 1) / 2;
     out.pairs_.resize(npairs);
@@ -229,45 +228,26 @@ StatusOr<PairwiseHist> PairwiseHist::Build(const PreprocessedTable& pre,
       }
     }
 
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
+    ParallelFor(work.size(), config.build_threads, [&](size_t w) {
+      const uint32_t i = work[w].first;
+      const uint32_t j = work[w].second;
+      // One exact-size gather allocation per pair, released when the pair
+      // finishes — negligible next to the histogram build itself, and
+      // nothing is retained after Build returns.
       std::vector<double> xi, xj;
-      for (;;) {
-        size_t w = next.fetch_add(1, std::memory_order_relaxed);
-        if (w >= work.size()) break;
-        const uint32_t i = work[w].first;
-        const uint32_t j = work[w].second;
-        xi.clear();
-        xj.clear();
-        for (uint32_t r : rows) {
-          uint64_t ci = pre.codes[i][r];
-          uint64_t cj = pre.codes[j][r];
-          if (ci == kMissingCode || cj == kMissingCode) continue;
-          xi.push_back(static_cast<double>(ci));
-          xj.push_back(static_cast<double>(cj));
-        }
-        out.pairs_[PairSlot(i, j)] = BuildPairHistogram(
-            xi, xj, i, j, out.hist1d_[i], out.hist1d_[j], refine,
-            *out.critical_);
+      xi.reserve(rows.size());
+      xj.reserve(rows.size());
+      for (uint32_t r : rows) {
+        uint64_t ci = pre.codes[i][r];
+        uint64_t cj = pre.codes[j][r];
+        if (ci == kMissingCode || cj == kMissingCode) continue;
+        xi.push_back(static_cast<double>(ci));
+        xj.push_back(static_cast<double>(cj));
       }
-    };
-
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned nthreads = config.build_threads > 0 ? config.build_threads
-                                                 : (hw > 0 ? hw : 1);
-    nthreads = static_cast<unsigned>(
-        std::min<size_t>(nthreads, work.size()));
-    if (nthreads <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(nthreads - 1);
-      for (unsigned t = 0; t + 1 < nthreads; ++t) {
-        threads.emplace_back(worker);
-      }
-      worker();
-      for (std::thread& t : threads) t.join();
-    }
+      out.pairs_[PairSlot(i, j)] = BuildPairHistogram(
+          xi, xj, i, j, out.hist1d_[i], out.hist1d_[j], refine,
+          *out.critical_);
+    });
   }
   out.FinishExecIndex();
   return out;

@@ -1,0 +1,215 @@
+#include "core/synopsis_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/serialize.h"
+
+namespace pairwisehist {
+
+namespace {
+
+// Container magic "PWS2" — distinct from the per-synopsis "PWH1" so a
+// reader can tell a multi-segment file from a legacy single-synopsis one
+// by its first four bytes.
+constexpr uint32_t kSetMagic = 0x50575332;
+constexpr uint32_t kLegacyMagic = 0x50574831;  // "PWH1"
+constexpr uint32_t kSetVersion = 1;
+
+}  // namespace
+
+Status SynopsisSet::BuildInto(const SegmentedTable& st,
+                              const PairwiseHistConfig& cfg,
+                              unsigned build_threads, size_t seed_offset,
+                              uint64_t row_base,
+                              std::vector<Segment>* out) {
+  const size_t nseg = st.NumSegments();
+  out->clear();
+  out->resize(nseg);
+
+  // One segment: identical to the monolithic build (inner pair-level
+  // parallelism, same seed). Several segments: fan out across segments
+  // with serial inner builds so the machine is not oversubscribed; each
+  // segment writes its fixed slot, so output is thread-count independent.
+  std::vector<Status> statuses(nseg, Status::OK());
+  auto build_one = [&](size_t i, const PairwiseHistConfig& seg_cfg) {
+    // A span covering the whole base table (the default single-segment
+    // build) needs no row copy.
+    const bool whole = st.span(i).begin == 0 &&
+                       st.span(i).end == st.base().NumRows();
+    auto ph = whole ? PairwiseHist::BuildFromTable(st.base(), seg_cfg)
+                    : PairwiseHist::BuildFromTable(st.Materialize(i),
+                                                   seg_cfg);
+    if (!ph.ok()) {
+      statuses[i] = ph.status();
+      return;
+    }
+    Segment& slot = (*out)[i];
+    slot.synopsis = std::make_unique<PairwiseHist>(std::move(ph).value());
+    slot.meta.row_begin = row_base + st.span(i).begin;
+    slot.meta.row_end = row_base + st.span(i).end;
+    slot.meta.ranges = st.Ranges(i);
+  };
+
+  if (nseg <= 1) {
+    PairwiseHistConfig seg_cfg = cfg;
+    seg_cfg.seed = cfg.seed + seed_offset;
+    if (build_threads != 0) seg_cfg.build_threads = build_threads;
+    build_one(0, seg_cfg);
+  } else {
+    ParallelFor(nseg, build_threads, [&](size_t i) {
+      PairwiseHistConfig seg_cfg = cfg;
+      seg_cfg.seed = cfg.seed + seed_offset + i;
+      seg_cfg.build_threads = 1;
+      build_one(i, seg_cfg);
+    });
+  }
+  for (const Status& st_i : statuses) {
+    if (!st_i.ok()) return st_i;
+  }
+  return Status::OK();
+}
+
+StatusOr<SynopsisSet> SynopsisSet::Build(const SegmentedTable& st,
+                                         const PairwiseHistConfig& cfg,
+                                         unsigned build_threads) {
+  SynopsisSet out;
+  PH_RETURN_IF_ERROR(BuildInto(st, cfg, build_threads, /*seed_offset=*/0,
+                               /*row_base=*/0, &out.segments_));
+  return out;
+}
+
+SynopsisSet SynopsisSet::FromSingle(PairwiseHist ph, SegmentMeta meta) {
+  SynopsisSet out;
+  out.segments_.resize(1);
+  out.segments_[0].synopsis =
+      std::make_unique<PairwiseHist>(std::move(ph));
+  out.segments_[0].meta = std::move(meta);
+  return out;
+}
+
+Status SynopsisSet::SealSegments(const SegmentedTable& st,
+                                 const PairwiseHistConfig& cfg) {
+  // Phase 1: build every new synopsis without touching the set (same
+  // parallel fan-out as the initial build), so a failure part-way through
+  // a multi-chunk batch cannot leave it half-appended.
+  std::vector<Segment> fresh;
+  PH_RETURN_IF_ERROR(BuildInto(st, cfg, cfg.build_threads,
+                               /*seed_offset=*/segments_.size(),
+                               /*row_base=*/total_rows(), &fresh));
+  // Phase 2: commit.
+  for (Segment& seg : fresh) segments_.push_back(std::move(seg));
+  ++meta_generation_;
+  return Status::OK();
+}
+
+void SynopsisSet::ExtendLastMeta(const Table& batch) {
+  if (segments_.empty()) return;
+  ++meta_generation_;
+  SegmentMeta& meta = segments_.back().meta;
+  meta.row_end += batch.NumRows();
+  ColumnRanges batch_ranges =
+      ComputeColumnRanges(batch, 0, batch.NumRows());
+  ColumnRanges& r = meta.ranges;
+  for (size_t c = 0; c < r.valid.size() && c < batch_ranges.valid.size();
+       ++c) {
+    if (!batch_ranges.valid[c]) continue;
+    if (!r.valid[c]) {
+      r.min[c] = batch_ranges.min[c];
+      r.max[c] = batch_ranges.max[c];
+      r.valid[c] = 1;
+    } else {
+      r.min[c] = std::min(r.min[c], batch_ranges.min[c]);
+      r.max[c] = std::max(r.max[c], batch_ranges.max[c]);
+    }
+  }
+}
+
+uint64_t SynopsisSet::total_rows() const {
+  uint64_t n = 0;
+  for (const Segment& s : segments_) n += s.synopsis->total_rows();
+  return n;
+}
+
+std::vector<uint8_t> SynopsisSet::Serialize() const {
+  ByteWriter w;
+  w.WriteU32(kSetMagic);
+  w.WriteU32(kSetVersion);
+  w.WriteVarint(segments_.size());
+  for (const Segment& s : segments_) {
+    w.WriteU64(s.meta.row_begin);
+    w.WriteU64(s.meta.row_end);
+    const ColumnRanges& r = s.meta.ranges;
+    w.WriteVarint(r.valid.size());
+    for (size_t c = 0; c < r.valid.size(); ++c) {
+      w.WriteU8(r.valid[c]);
+      w.WriteF64(r.min[c]);
+      w.WriteF64(r.max[c]);
+    }
+    w.WriteBytes(s.synopsis->Serialize());
+  }
+  return w.Finish();
+}
+
+StatusOr<SynopsisSet> SynopsisSet::Deserialize(
+    const std::vector<uint8_t>& blob) {
+  ByteReader peek(blob);
+  PH_ASSIGN_OR_RETURN(uint32_t magic, peek.ReadU32());
+
+  if (magic == kLegacyMagic) {
+    // PR-1-era single-synopsis file: wrap as one segment. Pruning ranges
+    // are unknown (col_valid all zero), so the planner never prunes.
+    PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(blob));
+    SegmentMeta meta;
+    meta.row_begin = 0;
+    meta.row_end = ph.total_rows();
+    meta.ranges.min.assign(ph.num_columns(), 0.0);
+    meta.ranges.max.assign(ph.num_columns(), 0.0);
+    meta.ranges.valid.assign(ph.num_columns(), 0);
+    return FromSingle(std::move(ph), std::move(meta));
+  }
+  if (magic != kSetMagic) {
+    return Status::DataLoss("SynopsisSet: bad magic");
+  }
+
+  ByteReader r(blob);
+  (void)r.ReadU32();  // magic, already checked
+  PH_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version == 0 || version > kSetVersion) {
+    return Status::DataLoss("SynopsisSet: unsupported container version " +
+                            std::to_string(version));
+  }
+  PH_ASSIGN_OR_RETURN(uint64_t nseg, r.ReadVarint());
+  if (nseg == 0 || nseg > r.remaining()) {
+    return Status::DataLoss("SynopsisSet: segment count out of range");
+  }
+  SynopsisSet out;
+  out.segments_.resize(nseg);
+  for (uint64_t i = 0; i < nseg; ++i) {
+    Segment& seg = out.segments_[i];
+    PH_ASSIGN_OR_RETURN(seg.meta.row_begin, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(seg.meta.row_end, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(uint64_t d, r.ReadVarint());
+    if (d > r.remaining()) {
+      return Status::DataLoss("SynopsisSet: column count out of range");
+    }
+    ColumnRanges& ranges = seg.meta.ranges;
+    ranges.min.resize(d);
+    ranges.max.resize(d);
+    ranges.valid.resize(d);
+    for (uint64_t c = 0; c < d; ++c) {
+      PH_ASSIGN_OR_RETURN(ranges.valid[c], r.ReadU8());
+      PH_ASSIGN_OR_RETURN(ranges.min[c], r.ReadF64());
+      PH_ASSIGN_OR_RETURN(ranges.max[c], r.ReadF64());
+    }
+    PH_ASSIGN_OR_RETURN(std::vector<uint8_t> ph_blob, r.ReadBytes());
+    PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(ph_blob));
+    seg.synopsis = std::make_unique<PairwiseHist>(std::move(ph));
+  }
+  return out;
+}
+
+size_t SynopsisSet::StorageBytes() const { return Serialize().size(); }
+
+}  // namespace pairwisehist

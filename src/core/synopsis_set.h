@@ -1,0 +1,116 @@
+// SynopsisSet: the segmented synopsis — one sealed PairwiseHist per row
+// segment of a table, plus planner metadata, built in parallel and
+// persisted in a versioned multi-segment extension of the Fig.-6 encoding.
+//
+// The single monolithic synopsis of the paper is the one-segment special
+// case; everything downstream (SegmentedExecutor, Db) collapses to the
+// exact pre-segmentation behaviour when NumSegments() == 1. Appends seal
+// new segments with fresh bin edges instead of mutating existing bins, so
+// accuracy does not drift as appended data departs from the original
+// distribution (the PairwiseHist::Update footgun).
+//
+// Persistence: container magic "PWS2" wrapping one standard PWH1 blob per
+// segment plus its row range and pruning ranges. Deserialize also accepts a
+// bare PWH1 blob (a PR-1-era single-synopsis file) and wraps it as one
+// segment with unknown pruning ranges.
+#ifndef PAIRWISEHIST_CORE_SYNOPSIS_SET_H_
+#define PAIRWISEHIST_CORE_SYNOPSIS_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pairwise_hist.h"
+#include "storage/segment.h"
+
+namespace pairwisehist {
+
+/// Per-segment metadata riding next to the synopsis: the row range it was
+/// sealed from and the planner pruning ranges.
+struct SegmentMeta {
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  ColumnRanges ranges;  ///< raw-domain min/max per column (may be invalid)
+};
+
+class SynopsisSet {
+ public:
+  SynopsisSet() = default;
+  SynopsisSet(SynopsisSet&&) = default;
+  SynopsisSet& operator=(SynopsisSet&&) = default;
+
+  /// Builds one synopsis per segment of `st`. With several segments the
+  /// builds fan out over `build_threads` (0 = one per core) with serial
+  /// inner pair construction; a single segment keeps the inner pair-level
+  /// parallelism instead. Output is deterministic for any thread count.
+  /// Segment i samples with seed cfg.seed + i.
+  static StatusOr<SynopsisSet> Build(const SegmentedTable& st,
+                                     const PairwiseHistConfig& cfg,
+                                     unsigned build_threads);
+
+  /// Wraps an already-built synopsis as a single segment.
+  static SynopsisSet FromSingle(PairwiseHist ph, SegmentMeta meta);
+
+  /// Seals every segment of `st` as new segments, all-or-nothing: every
+  /// synopsis (fresh bin edges — no accuracy drift) is built before the
+  /// set is mutated, so a mid-batch build failure leaves the set exactly
+  /// as it was. Rows keep arriving densely: new segments span
+  /// [total_rows, total_rows + n). Segment k of the batch samples with
+  /// seed cfg.seed + NumSegments() + k.
+  Status SealSegments(const SegmentedTable& st,
+                      const PairwiseHistConfig& cfg);
+
+  // ---- Introspection ----------------------------------------------------
+  size_t NumSegments() const { return segments_.size(); }
+  const PairwiseHist& synopsis(size_t i) const {
+    return *segments_[i].synopsis;
+  }
+  /// Mutable access for the legacy kMutateBins append path.
+  PairwiseHist* mutable_synopsis(size_t i) {
+    return segments_[i].synopsis.get();
+  }
+  const SegmentMeta& meta(size_t i) const { return segments_[i].meta; }
+  /// Extends the last segment's row range and pruning ranges after a
+  /// kMutateBins update folded `batch` into its synopsis.
+  void ExtendLastMeta(const Table& batch);
+
+  /// Total N across segments.
+  uint64_t total_rows() const;
+  /// Bumped whenever segment metadata changes (segments sealed or a
+  /// kMutateBins update widened the last segment's ranges). Cached
+  /// planner state (per-segment prune flags) re-validates against this.
+  uint64_t meta_generation() const { return meta_generation_; }
+  /// Column count (identical across segments by construction).
+  size_t num_columns() const {
+    return segments_.empty() ? 0 : segments_[0].synopsis->num_columns();
+  }
+
+  // ---- Persistence ------------------------------------------------------
+  std::vector<uint8_t> Serialize() const;
+  /// Accepts both the PWS2 container and a bare legacy PWH1 blob.
+  static StatusOr<SynopsisSet> Deserialize(const std::vector<uint8_t>& blob);
+  size_t StorageBytes() const;
+
+ private:
+  struct Segment {
+    std::unique_ptr<PairwiseHist> synopsis;
+    SegmentMeta meta;
+  };
+
+  /// Shared per-segment build fan-out: fills out[i] for every segment of
+  /// `st` (deterministic fixed slots; parallel across segments when there
+  /// are several, inner pair-parallel otherwise). Segment i samples with
+  /// seed cfg.seed + seed_offset + i and spans row_base + st.span(i).
+  static Status BuildInto(const SegmentedTable& st,
+                          const PairwiseHistConfig& cfg,
+                          unsigned build_threads, size_t seed_offset,
+                          uint64_t row_base, std::vector<Segment>* out);
+
+  std::vector<Segment> segments_;
+  uint64_t meta_generation_ = 0;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_CORE_SYNOPSIS_SET_H_

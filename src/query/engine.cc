@@ -329,6 +329,9 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       return r;
     }
     case AggFunc::kMedian: {
+      // Rule changes here (half-mass ties, unique==2, bound walk) must be
+      // mirrored in MergeMedian (partial_agg.cc), which reimplements this
+      // walk over cross-segment raw-domain bins.
       auto median_bin = [&](const double* wv) -> int {
         double tw = 0;
         for (size_t t = rb; t < re; ++t) tw += wv[t];
@@ -374,6 +377,60 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       break;  // handled above
   }
   return r;
+}
+
+// Fills mergeable sufficient statistics (see partial_agg.h) from computed
+// weightings: the matching mass (COUNT semantics, de-sampled by 1/ρ), the
+// function-specific AggResult and — for VAR / MEDIAN — the extra
+// statistics the cross-segment merge needs.
+void FillPartialFromWeights(const PairwiseHist& ph,
+                            const AqpEngineOptions& options, AggFunc func,
+                            size_t agg_col, const AggGrid& grid,
+                            const WtSpan& wt, bool single,
+                            const IntervalSet* agg_clip, ExecArena& arena,
+                            PartialAggregate* out) {
+  const double rho = ph.sampling_ratio();
+  double total = 0, total_lo = 0, total_hi = 0;
+  for (size_t t = wt.begin; t < wt.end; ++t) total += wt.w[t];
+  for (size_t t = wt.begin; t < wt.end; ++t) total_lo += wt.lo[t];
+  for (size_t t = wt.begin; t < wt.end; ++t) total_hi += wt.hi[t];
+  out->count = total / rho;
+  out->count_lo = total_lo / rho;
+  out->count_hi = total_hi / rho;
+  out->empty = total <= kWeightEps;
+  out->value = AggResult{};
+  out->mean = AggResult{};
+  out->median_bins.clear();
+  if (func == AggFunc::kCount || out->empty) return;
+
+  if (func == AggFunc::kMedian) {
+    // Export the touched weighted bins in the raw value domain; the merge
+    // walks the combined weighted CDF exactly like Table 3's rule.
+    const HistogramDim& hist = *grid.dim;
+    const ColumnTransform& tr = ph.transform(agg_col);
+    if (!options.clip_agg_values) agg_clip = nullptr;
+    auto decode = [&](double code) { return tr.Decode(code); };
+    for (size_t t = wt.begin; t < wt.end; ++t) {
+      if (wt.w[t] <= 0 && wt.lo[t] <= 0 && wt.hi[t] <= 0) continue;
+      BinVals bv = EffectiveBin(hist, t, agg_clip);
+      PartialAggregate::MedianBin mb;
+      mb.v_lo = decode(bv.v_lo);
+      mb.v_hi = decode(bv.v_hi);
+      mb.w = wt.w[t] / rho;
+      mb.w_lo = wt.lo[t] / rho;
+      mb.w_hi = wt.hi[t] / rho;
+      mb.unique = hist.unique[t];
+      out->median_bins.push_back(mb);
+    }
+    return;
+  }
+
+  out->value = AggregateImpl(ph, options, func, agg_col, grid, wt, single,
+                             agg_clip, arena);
+  if (func == AggFunc::kVar) {
+    out->mean = AggregateImpl(ph, options, AggFunc::kAvg, agg_col, grid, wt,
+                              single, agg_clip, arena);
+  }
 }
 
 // Eq. 29 weightings over the touched range (identical formulas to the
@@ -692,6 +749,83 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
   return acc;
 }
 
+// Shared fast-path pipeline: satisfaction probabilities for the WHERE
+// tree (optionally conjoined with the per-value GROUP BY leaf), then
+// Eq. 29 weights, all in the arena. Used by ExecuteScalarFast and
+// ExecutePartialScalar so the two can never diverge.
+WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
+                             size_t agg_col,
+                             const NormalizedPredicate* where,
+                             const NormalizedPredicate* extra_group_leaf,
+                             const std::vector<uint32_t>* extra_g2ta,
+                             const AggGrid& grid) {
+  const HistogramDim& gdim = *grid.dim;
+  const size_t k = gdim.NumBins();
+  ProbSpan prob;
+  if (where != nullptr) {
+    prob = EvalNodeFast(ph, arena, agg_col, *where, grid);
+  } else {
+    prob.p = arena.Alloc(k);
+    prob.lo = arena.Alloc(k);
+    prob.hi = arena.Alloc(k);
+    std::fill(prob.p, prob.p + k, 1.0);
+    std::fill(prob.lo, prob.lo + k, 1.0);
+    std::fill(prob.hi, prob.hi + k, 1.0);
+    prob.begin = 0;
+    prob.end = k;
+  }
+  if (extra_group_leaf != nullptr) {
+    const std::vector<uint32_t>& map =
+        (extra_g2ta != nullptr) ? *extra_g2ta : extra_group_leaf->g2ta;
+    ProbSpan gp = LeafProbFast(ph, arena, agg_col, extra_group_leaf->column,
+                               extra_group_leaf->intervals, map, grid);
+    size_t rb = std::max(prob.begin, gp.begin);
+    size_t re = std::min(prob.end, gp.end);
+    if (rb >= re) {
+      prob.begin = prob.end = 0;
+    } else {
+      for (size_t t = rb; t < re; ++t) {
+        prob.p[t] *= gp.p[t];
+        prob.lo[t] *= gp.lo[t];
+        prob.hi[t] *= gp.hi[t];
+      }
+      prob.begin = rb;
+      prob.end = re;
+    }
+  }
+
+  WtSpan wt;
+  wt.w = arena.Alloc(k);
+  wt.lo = arena.Alloc(k);
+  wt.hi = arena.Alloc(k);
+  wt.begin = prob.begin;
+  wt.end = prob.end;
+  WeightsInto(ph, gdim, prob, wt);
+  return wt;
+}
+
+// Aggregation-column clip: a WHERE-level clip wins (it precedes the group
+// leaf in the combined tree); otherwise a group leaf on the aggregation
+// column supplies it.
+const IntervalSet* ResolveAggClip(const std::optional<IntervalSet>& clip,
+                                  const NormalizedPredicate* extra_group_leaf,
+                                  size_t agg_col) {
+  if (clip.has_value()) return &*clip;
+  if (extra_group_leaf != nullptr && extra_group_leaf->column == agg_col) {
+    return &extra_group_leaf->intervals;
+  }
+  return nullptr;
+}
+
+// Single-column special cases also require the group leaf (if any) to be
+// on the aggregation column.
+bool ResolveSingle(bool plan_single,
+                   const NormalizedPredicate* extra_group_leaf,
+                   size_t agg_col) {
+  return plan_single && (extra_group_leaf == nullptr ||
+                         extra_group_leaf->column == agg_col);
+}
+
 }  // namespace
 
 double Weightings::Total() const {
@@ -758,6 +892,20 @@ class AqpEngine::ScratchPool {
   std::atomic<ExecScratch*> slot_{nullptr};
   std::mutex mu_;
   std::vector<std::unique_ptr<ExecScratch>> overflow_;
+};
+
+// Leases a scratch from the engine's pool for one execution; allocates
+// only when the pool is dry (first call, or more concurrent executions
+// than ever before). Shared by every execution entry point.
+struct AqpEngine::ScratchLease {
+  explicit ScratchLease(const AqpEngine* e) : eng(e), s(e->pool_->Acquire()) {
+    if (s == nullptr) s = std::make_unique<ExecScratch>();
+  }
+  ~ScratchLease() { eng->pool_->Release(std::move(s)); }
+  ExecScratch& operator*() { return *s; }
+
+  const AqpEngine* eng;
+  std::unique_ptr<ExecScratch> s;
 };
 
 AqpEngine::AqpEngine(const PairwiseHist* synopsis, AqpEngineOptions options)
@@ -1209,9 +1357,8 @@ StatusOr<CompiledQuery> AqpEngine::Compile(const Query& query) const {
 // ---------------------------------------------------------------------------
 // Execution: coverage + weighting + aggregation over a compiled plan.
 
-StatusOr<AggResult> AqpEngine::ExecuteScalar(const CompiledQuery& plan,
-                                             const Node* extra_group_leaf,
-                                             ExecScratch& scratch) const {
+Weightings AqpEngine::ComputeWeightsRef(const CompiledQuery& plan,
+                                        const Node* extra_group_leaf) const {
   const size_t agg_col = plan.agg_col_;
   const Grid& grid = plan.grid_;
   const size_t k = grid.dim->NumBins();
@@ -1236,24 +1383,20 @@ StatusOr<AggResult> AqpEngine::ExecuteScalar(const CompiledQuery& plan,
       prob.hi[t] *= gp.hi[t];
     }
   }
-  Weightings wt = WeightsFromProb(*grid.dim, prob);
+  return WeightsFromProb(*grid.dim, prob);
+}
 
-  // Aggregation-column clip: a WHERE-level clip wins (it precedes the
-  // group leaf in the combined tree); otherwise a group leaf on the
-  // aggregation column supplies it.
-  const IntervalSet* agg_clip = nullptr;
-  if (plan.agg_clip_.has_value()) {
-    agg_clip = &*plan.agg_clip_;
-  } else if (extra_group_leaf != nullptr &&
-             extra_group_leaf->column == agg_col) {
-    agg_clip = &extra_group_leaf->intervals;
-  }
+StatusOr<AggResult> AqpEngine::ExecuteScalar(const CompiledQuery& plan,
+                                             const Node* extra_group_leaf,
+                                             ExecScratch& scratch) const {
+  const size_t agg_col = plan.agg_col_;
+  const Grid& grid = plan.grid_;
+  const size_t k = grid.dim->NumBins();
 
-  // Single-column special cases also require the group leaf (if any) to be
-  // on the aggregation column.
-  bool single = plan.single_column_ &&
-                (extra_group_leaf == nullptr ||
-                 extra_group_leaf->column == agg_col);
+  Weightings wt = ComputeWeightsRef(plan, extra_group_leaf);
+  const IntervalSet* agg_clip =
+      ResolveAggClip(plan.agg_clip_, extra_group_leaf, agg_col);
+  bool single = ResolveSingle(plan.single_column_, extra_group_leaf, agg_col);
   scratch.arena.Reset();
   WtSpan view{wt.w.data(), wt.lo.data(), wt.hi.data(), 0, k};
   return AggregateImpl(*ph_, options_, plan.query_.func, agg_col, grid, view,
@@ -1268,7 +1411,6 @@ StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
   const size_t agg_col = plan.agg_col_;
   const Grid& grid = plan.grid_;
   const HistogramDim& gdim = *grid.dim;
-  const size_t k = gdim.NumBins();
   const AggFunc func = plan.query_.func;
 
   // O(log k) COUNT shortcut: a single same-column predicate whose pieces
@@ -1289,74 +1431,95 @@ StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
     }
   }
 
-  ProbSpan prob;
-  if (plan.where_.has_value()) {
-    prob = EvalNodeFast(*ph_, arena, agg_col, *plan.where_, grid);
-  } else {
-    prob.p = arena.Alloc(k);
-    prob.lo = arena.Alloc(k);
-    prob.hi = arena.Alloc(k);
-    std::fill(prob.p, prob.p + k, 1.0);
-    std::fill(prob.lo, prob.lo + k, 1.0);
-    std::fill(prob.hi, prob.hi + k, 1.0);
-    prob.begin = 0;
-    prob.end = k;
-  }
-  if (extra_group_leaf != nullptr) {
-    const std::vector<uint32_t>& map =
-        (extra_g2ta != nullptr) ? *extra_g2ta : extra_group_leaf->g2ta;
-    ProbSpan gp = LeafProbFast(*ph_, arena, agg_col, extra_group_leaf->column,
-                               extra_group_leaf->intervals, map, grid);
-    size_t rb = std::max(prob.begin, gp.begin);
-    size_t re = std::min(prob.end, gp.end);
-    if (rb >= re) {
-      prob.begin = prob.end = 0;
-    } else {
-      for (size_t t = rb; t < re; ++t) {
-        prob.p[t] *= gp.p[t];
-        prob.lo[t] *= gp.lo[t];
-        prob.hi[t] *= gp.hi[t];
-      }
-      prob.begin = rb;
-      prob.end = re;
-    }
-  }
-
-  WtSpan wt;
-  wt.w = arena.Alloc(k);
-  wt.lo = arena.Alloc(k);
-  wt.hi = arena.Alloc(k);
-  wt.begin = prob.begin;
-  wt.end = prob.end;
-  WeightsInto(*ph_, gdim, prob, wt);
-
-  const IntervalSet* agg_clip = nullptr;
-  if (plan.agg_clip_.has_value()) {
-    agg_clip = &*plan.agg_clip_;
-  } else if (extra_group_leaf != nullptr &&
-             extra_group_leaf->column == agg_col) {
-    agg_clip = &extra_group_leaf->intervals;
-  }
-  bool single = plan.single_column_ &&
-                (extra_group_leaf == nullptr ||
-                 extra_group_leaf->column == agg_col);
+  WtSpan wt = ComputeWeightSpanFast(
+      *ph_, arena, agg_col, plan.where_.has_value() ? &*plan.where_ : nullptr,
+      extra_group_leaf, extra_g2ta, grid);
+  const IntervalSet* agg_clip =
+      ResolveAggClip(plan.agg_clip_, extra_group_leaf, agg_col);
+  bool single = ResolveSingle(plan.single_column_, extra_group_leaf, agg_col);
   return AggregateImpl(*ph_, options_, func, agg_col, grid, wt, single,
                        agg_clip, arena);
 }
 
+Status AqpEngine::ExecutePartialScalar(
+    const CompiledQuery& plan, const Node* extra_group_leaf,
+    const std::vector<uint32_t>* extra_g2ta, ExecScratch& scratch,
+    PartialAggregate* out) const {
+  ExecArena& arena = scratch.arena;
+  arena.Reset();
+  const size_t agg_col = plan.agg_col_;
+  const Grid& grid = plan.grid_;
+  const size_t k = grid.dim->NumBins();
+
+  const IntervalSet* agg_clip =
+      ResolveAggClip(plan.agg_clip_, extra_group_leaf, agg_col);
+  const bool single =
+      ResolveSingle(plan.single_column_, extra_group_leaf, agg_col);
+
+  // Same weighting pipelines as ExecuteScalarFast / ExecuteScalar, ending
+  // in mergeable statistics instead of a finalized AggResult.
+  WtSpan wt;
+  Weightings ref_store;  // reference-path backing storage
+  if (options_.use_fast_path) {
+    wt = ComputeWeightSpanFast(
+        *ph_, arena, agg_col,
+        plan.where_.has_value() ? &*plan.where_ : nullptr, extra_group_leaf,
+        extra_g2ta, grid);
+  } else {
+    ref_store = ComputeWeightsRef(plan, extra_group_leaf);
+    wt = WtSpan{ref_store.w.data(), ref_store.lo.data(),
+                ref_store.hi.data(), 0, k};
+  }
+  FillPartialFromWeights(*ph_, options_, plan.query_.func, agg_col, grid, wt,
+                         single, agg_clip, arena, out);
+  return Status::OK();
+}
+
+Status AqpEngine::ExecutePartialInto(const CompiledQuery& plan,
+                                     PartialResult* out) const {
+  ScratchLease lease(this);
+  ExecScratch& scratch = *lease;
+
+  out->groups.clear();
+  if (!plan.grouped()) {
+    PartialAggregate agg;
+    // COUNT(*) with no predicate: this segment's exact row count.
+    if (plan.query_.count_star && !plan.where_.has_value()) {
+      agg.count = agg.count_lo = agg.count_hi =
+          static_cast<double>(ph_->total_rows());
+      agg.empty = ph_->total_rows() == 0;
+    } else {
+      PH_RETURN_IF_ERROR(
+          ExecutePartialScalar(plan, nullptr, nullptr, scratch, &agg));
+    }
+    out->groups.push_back(
+        PartialResult::Group{std::string(), std::move(agg)});
+    return Status::OK();
+  }
+
+  const ColumnTransform& tr = ph_->transform(plan.group_col_);
+  for (uint64_t code = 1; code <= plan.group_values_; ++code) {
+    Node& leaf = scratch.group_leaf;
+    leaf.column = plan.group_col_;
+    leaf.intervals.pieces.clear();
+    leaf.intervals.pieces.emplace_back(static_cast<double>(code),
+                                       static_cast<double>(code));
+    PartialAggregate agg;
+    PH_RETURN_IF_ERROR(
+        ExecutePartialScalar(plan, &leaf, &plan.group_g2ta_, scratch, &agg));
+    // Keep any group with estimated mass — even one below the grouped
+    // COUNT display threshold: segments accumulate before filtering.
+    if (agg.empty) continue;
+    out->groups.push_back(
+        PartialResult::Group{FormatGroupLabel(tr, code), std::move(agg)});
+  }
+  return Status::OK();
+}
+
 Status AqpEngine::ExecuteInto(const CompiledQuery& plan,
                               QueryResult* result) const {
-  // Lease a scratch from the pool; allocate only when the pool is dry
-  // (first call, or more concurrent executions than ever before).
-  struct Lease {
-    const AqpEngine* eng;
-    std::unique_ptr<ExecScratch> s;
-    ~Lease() {
-      if (s != nullptr) eng->pool_->Release(std::move(s));
-    }
-  } lease{this, pool_->Acquire()};
-  if (lease.s == nullptr) lease.s = std::make_unique<ExecScratch>();
-  ExecScratch& scratch = *lease.s;
+  ScratchLease lease(this);
+  ExecScratch& scratch = *lease;
 
   // Reuse the caller's group storage: overwrite warm slots in place and
   // only grow (or shrink) when the group count changes.

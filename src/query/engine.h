@@ -34,6 +34,7 @@
 #include "core/pairwise_hist.h"
 #include "query/ast.h"
 #include "query/coverage.h"
+#include "query/partial_agg.h"
 
 namespace pairwisehist {
 
@@ -154,6 +155,14 @@ class AqpEngine {
   /// allocations; grouped execution still builds per-group label strings.
   Status ExecuteInto(const CompiledQuery& plan, QueryResult* result) const;
 
+  /// Per-segment execution for cross-segment merging: runs the same
+  /// coverage + weighting pipeline as ExecuteInto but emits mergeable
+  /// sufficient statistics (see partial_agg.h) instead of finalized
+  /// AggResults. One PartialResult group per emitted label ("" for scalar
+  /// queries); grouped execution omits groups with no estimated mass.
+  Status ExecutePartialInto(const CompiledQuery& plan,
+                            PartialResult* out) const;
+
   /// Executes a parsed query (Compile + Execute).
   StatusOr<QueryResult> Execute(const Query& query) const;
 
@@ -182,6 +191,8 @@ class AqpEngine {
   /// per-engine pool so concurrent executions never share one.
   struct ExecScratch;
   class ScratchPool;
+  /// RAII lease of one ExecScratch (allocates only when the pool is dry).
+  struct ScratchLease;
 
   StatusOr<Node> Normalize(const PredicateNode& node) const;
   static bool HasOr(const Node& node);
@@ -196,6 +207,11 @@ class AqpEngine {
   Prob LeafProb(size_t agg_col, const Node& leaf, const Grid& grid) const;
   Weightings WeightsFromProb(const HistogramDim& dim,
                              const Prob& prob) const;
+  /// Reference-path probabilities + Eq. 29 weights for a plan, optionally
+  /// conjoined with the per-value GROUP BY leaf (shared by ExecuteScalar
+  /// and the reference branch of ExecutePartialScalar).
+  Weightings ComputeWeightsRef(const CompiledQuery& plan,
+                               const Node* extra_group_leaf) const;
 
   /// Fast-path compile support: grid bin → refined agg bin of the
   /// (agg_col, col) pair (empty when the leaf doesn't transfer).
@@ -213,6 +229,14 @@ class AqpEngine {
                                         const Node* extra_group_leaf,
                                         const std::vector<uint32_t>* extra_g2ta,
                                         ExecScratch& scratch) const;
+  /// Scalar (or per-group) partial: same weighting pipeline as the two
+  /// paths above (fast or reference, per options), ending in mergeable
+  /// sufficient statistics instead of a finalized AggResult.
+  Status ExecutePartialScalar(const CompiledQuery& plan,
+                              const Node* extra_group_leaf,
+                              const std::vector<uint32_t>* extra_g2ta,
+                              ExecScratch& scratch,
+                              PartialAggregate* out) const;
 
   const PairwiseHist* ph_;
   AqpEngineOptions options_;

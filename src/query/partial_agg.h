@@ -1,0 +1,84 @@
+// Mergeable per-segment partial aggregates.
+//
+// Cross-segment execution splits a query into one ExecutePartialInto call
+// per sealed segment (coverage + weighting on that segment's own synopsis)
+// followed by a deterministic serial MergePartials step. The merge rules:
+//
+//   COUNT     exact: sums of per-segment estimates and bounds.
+//   SUM       exact: sums (an empty segment contributes zero).
+//   AVG       count-weighted mean of segment means; bounds from the
+//             box-constrained weighted-average extremes (segment weights
+//             range over their own [count−, count+] intervals).
+//   VAR       pooled variance (within + between): Σw(v+m²)/W − m̄²; lower
+//             bound is the smallest segment lower bound (pooled variance
+//             dominates the weighted mean of within-segment variances),
+//             upper bound from extremal second moments.
+//   MIN/MAX   exact: min/max of segment estimates and of their bounds.
+//   MEDIAN    weighted cross-segment quantile merge: each segment exports
+//             its touched bins as (value interval, de-sampled weight)
+//             triples in the raw domain; the merged weighted CDF is walked
+//             exactly like the single-segment Table-3 rule.
+//
+// Group results merge by label (first-seen order across segments in
+// segment order), so per-segment categorical dictionaries only need to
+// agree on strings, not on codes.
+#ifndef PAIRWISEHIST_QUERY_PARTIAL_AGG_H_
+#define PAIRWISEHIST_QUERY_PARTIAL_AGG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace pairwisehist {
+
+/// Sufficient statistics of one query over one segment. `count` carries
+/// the estimated matching-row mass (COUNT semantics, already de-sampled by
+/// 1/ρ of the owning segment) for every function; `value` carries the
+/// function-specific AggResult; `mean` is filled for VAR only; and
+/// `median_bins` only for MEDIAN.
+struct PartialAggregate {
+  bool empty = true;  ///< no estimated matching mass in this segment
+  double count = 0, count_lo = 0, count_hi = 0;
+  AggResult value;
+  AggResult mean;  ///< VAR only: the segment mean with bounds
+
+  /// One touched bin of a MEDIAN query, decoded to the raw value domain
+  /// with de-sampled weights.
+  struct MedianBin {
+    double v_lo = 0, v_hi = 0;
+    double w = 0, w_lo = 0, w_hi = 0;
+    uint64_t unique = 0;
+  };
+  std::vector<MedianBin> median_bins;
+};
+
+/// One segment's result: a group per emitted label ("" for scalar
+/// queries). Grouped execution omits groups with no estimated mass.
+struct PartialResult {
+  struct Group {
+    std::string label;
+    PartialAggregate agg;
+  };
+  std::vector<Group> groups;
+};
+
+/// Merges per-segment partials for one (group, function) into a final
+/// AggResult. Empty partials contribute nothing; all-empty yields
+/// empty_selection (COUNT: estimate 0).
+AggResult MergePartials(AggFunc func,
+                        const std::vector<const PartialAggregate*>& parts);
+
+/// Merges whole per-segment results by label into `out` (cleared first).
+/// Group order: first seen, walking segments in order. Grouped COUNT
+/// results drop groups whose merged estimate is <= 0.5, and grouped
+/// non-COUNT results drop empty-selection groups, mirroring the
+/// single-segment engine's filtering.
+void MergePartialResults(AggFunc func, bool grouped,
+                         const std::vector<PartialResult>& parts,
+                         QueryResult* out);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_PARTIAL_AGG_H_

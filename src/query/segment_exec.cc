@@ -1,0 +1,220 @@
+#include "query/segment_exec.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pairwisehist {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Planner pruning: can any row of a segment satisfy the WHERE clause, given
+// the segment's exact per-column [min, max] over non-null rows? Sound
+// because rows with a null never satisfy a leaf condition (engine
+// semantics), so "no non-null value can pass" means "no row can pass".
+
+bool LeafMayMatch(const Condition& c, const PairwiseHist& syn,
+                  const SegmentMeta& meta) {
+  auto idx = syn.ColumnIndex(c.column);
+  if (!idx.ok()) return true;  // compile surfaces the real error
+  const size_t col = idx.value();
+  const ColumnTransform& tr = syn.transform(col);
+
+  if (tr.type == DataType::kCategorical || c.is_string) {
+    // Equality against a category this segment has never seen matches
+    // nothing here (the canonical dictionary only grows, so old segments
+    // provably lack late-appended categories).
+    if (c.is_string && tr.type == DataType::kCategorical &&
+        c.op == CmpOp::kEq) {
+      return tr.EncodeCategory(c.text_value).ok();
+    }
+    return true;
+  }
+
+  if (col >= meta.ranges.valid.size() || !meta.ranges.valid[col]) {
+    return true;  // unknown range (legacy file / all-null segment)
+  }
+  // Widen by one code spacing: raw values round to the column's decimal
+  // precision on the way into the code domain, so a literal within one
+  // spacing of the range edge could still select rows.
+  const double slack = tr.scale > 0 ? 1.0 / tr.scale : 1.0;
+  const double lo = meta.ranges.min[col] - slack;
+  const double hi = meta.ranges.max[col] + slack;
+  switch (c.op) {
+    case CmpOp::kLt:
+      return lo < c.value;
+    case CmpOp::kLe:
+      return lo <= c.value;
+    case CmpOp::kGt:
+      return hi > c.value;
+    case CmpOp::kGe:
+      return hi >= c.value;
+    case CmpOp::kEq:
+      return lo <= c.value && c.value <= hi;
+    case CmpOp::kNe:
+      return true;  // conservatively assume a differing value exists
+  }
+  return true;
+}
+
+bool MayMatch(const PredicateNode& node, const PairwiseHist& syn,
+              const SegmentMeta& meta) {
+  if (node.type == PredicateNode::Type::kCondition) {
+    return LeafMayMatch(node.condition, syn, meta);
+  }
+  const bool is_and = node.type == PredicateNode::Type::kAnd;
+  for (const PredicateNode& child : node.children) {
+    bool m = MayMatch(child, syn, meta);
+    if (is_and && !m) return false;
+    if (!is_and && m) return true;
+  }
+  return is_and;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SegmentedPlan
+
+const Query& SegmentedPlan::query() const { return state_->query; }
+
+size_t SegmentedPlan::PlannedSegments() const {
+  return state_ == nullptr
+             ? 0
+             : state_->planned.load(std::memory_order_acquire);
+}
+
+size_t SegmentedPlan::PrunedSegments() const {
+  if (state_ == nullptr) return 0;
+  // Lock: a concurrent execution may be extending `skip` after an append.
+  std::lock_guard<std::mutex> lock(state_->mu);
+  size_t pruned = 0;
+  for (uint8_t s : state_->skip) pruned += s;
+  return pruned;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentedExecutor
+
+SegmentedExecutor::SegmentedExecutor(const SynopsisSet* set,
+                                     SegmentedExecOptions options)
+    : set_(set), options_(options) {
+  Status st = Refresh();
+  (void)st;  // engine construction cannot fail; Refresh only grows vectors
+}
+
+SegmentedExecutor::~SegmentedExecutor() = default;
+SegmentedExecutor::SegmentedExecutor(SegmentedExecutor&&) noexcept = default;
+SegmentedExecutor& SegmentedExecutor::operator=(SegmentedExecutor&&) noexcept =
+    default;
+
+Status SegmentedExecutor::Refresh() {
+  const size_t nseg = set_->NumSegments();
+  for (size_t i = engines_.size(); i < nseg; ++i) {
+    engines_.push_back(
+        std::make_unique<AqpEngine>(&set_->synopsis(i), options_.engine));
+  }
+  if (pool_ == nullptr && engines_.size() > 1 && options_.exec_threads != 1) {
+    pool_ = std::make_unique<TaskPool>(options_.exec_threads);
+  }
+  return Status::OK();
+}
+
+Status SegmentedExecutor::EnsurePlans(SegmentedPlan::State* st) const {
+  const size_t nseg = engines_.size();
+  const uint64_t gen = set_->meta_generation();
+  if (st->planned.load(std::memory_order_acquire) >= nseg &&
+      st->meta_gen.load(std::memory_order_acquire) == gen) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(st->mu);
+  const size_t planned = st->planned.load(std::memory_order_relaxed);
+  if (planned >= nseg &&
+      st->meta_gen.load(std::memory_order_relaxed) == gen) {
+    return Status::OK();
+  }
+
+  // Compile the missing tail into temporaries first so a failure leaves
+  // the plan exactly as it was.
+  std::vector<CompiledQuery> fresh;
+  for (size_t i = planned; i < nseg; ++i) {
+    PH_ASSIGN_OR_RETURN(CompiledQuery plan, engines_[i]->Compile(st->query));
+    fresh.push_back(std::move(plan));
+  }
+  for (CompiledQuery& plan : fresh) st->plans.push_back(std::move(plan));
+  // Metadata changed (segments sealed, or a kMutateBins append widened
+  // the last segment's ranges): recompute every prune flag, not just the
+  // tail, so a previously pruned segment that gained matching rows is
+  // re-admitted.
+  st->skip.assign(nseg, 0);
+  if (options_.prune && st->query.where.has_value()) {
+    for (size_t i = 0; i < nseg; ++i) {
+      st->skip[i] =
+          MayMatch(*st->query.where, set_->synopsis(i), set_->meta(i))
+              ? 0
+              : 1;
+    }
+  }
+  st->meta_gen.store(gen, std::memory_order_release);
+  st->planned.store(nseg, std::memory_order_release);
+  return Status::OK();
+}
+
+StatusOr<SegmentedPlan> SegmentedExecutor::Prepare(const Query& query) const {
+  if (engines_.empty()) {
+    return Status::Internal("SegmentedExecutor has no segments");
+  }
+  SegmentedPlan plan;
+  plan.state_ = std::make_shared<SegmentedPlan::State>();
+  plan.state_->query = query;
+  PH_RETURN_IF_ERROR(EnsurePlans(plan.state_.get()));
+  return plan;
+}
+
+Status SegmentedExecutor::ExecuteInto(const SegmentedPlan& plan,
+                                      QueryResult* result) const {
+  if (!plan.valid()) {
+    return Status::Internal("SegmentedPlan used before Prepare");
+  }
+  SegmentedPlan::State* st = plan.state_.get();
+  PH_RETURN_IF_ERROR(EnsurePlans(st));
+
+  const size_t nseg = engines_.size();
+  if (nseg == 1) {
+    // Monolithic special case: the plain engine path, byte-identical to
+    // the pre-segmentation behaviour (including zero allocations).
+    return engines_[0]->ExecuteInto(st->plans[0], result);
+  }
+
+  std::vector<PartialResult> parts(nseg);
+  std::vector<Status> statuses(nseg, Status::OK());
+  auto work = [&](size_t i) {
+    if (st->skip[i]) return;  // pruned: contributes nothing
+    statuses[i] = engines_[i]->ExecutePartialInto(st->plans[i], &parts[i]);
+  };
+  size_t live = 0;
+  for (size_t i = 0; i < nseg; ++i) live += st->skip[i] ? 0 : 1;
+  if (live > 1 && pool_ != nullptr) {
+    pool_->Run(nseg, work);
+  } else {
+    for (size_t i = 0; i < nseg; ++i) work(i);
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  // Deterministic serial merge in segment order: results are bit-equal for
+  // any exec_threads value.
+  MergePartialResults(st->query.func, !st->query.group_by.empty(), parts,
+                      result);
+  return Status::OK();
+}
+
+StatusOr<QueryResult> SegmentedExecutor::Execute(
+    const SegmentedPlan& plan) const {
+  QueryResult result;
+  PH_RETURN_IF_ERROR(ExecuteInto(plan, &result));
+  return result;
+}
+
+}  // namespace pairwisehist

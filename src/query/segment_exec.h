@@ -1,0 +1,110 @@
+// Cross-segment query execution over a SynopsisSet.
+//
+// One AqpEngine per sealed segment; a query is compiled per segment (each
+// segment has its own code domain), pruned against per-segment min/max
+// ranges, executed as mergeable partials — in parallel on a persistent
+// work-stealing pool — and merged serially in segment order, so results
+// are bit-identical for every exec_threads value. A one-segment set
+// short-circuits to the plain engine path and behaves exactly like the
+// monolithic synopsis (including the zero-allocation fast path).
+//
+// Plans extend lazily: Db::Append seals new segments, and the first
+// execution after an append compiles the missing per-segment plans under
+// the plan's own mutex. The steady-state check is one acquire load.
+#ifndef PAIRWISEHIST_QUERY_SEGMENT_EXEC_H_
+#define PAIRWISEHIST_QUERY_SEGMENT_EXEC_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/synopsis_set.h"
+#include "query/engine.h"
+
+namespace pairwisehist {
+
+/// Knobs for cross-segment execution.
+struct SegmentedExecOptions {
+  /// Per-segment engine refinement toggles.
+  AqpEngineOptions engine;
+  /// Fan-out threads for multi-segment execution: 0 = one per hardware
+  /// core, 1 = serial. Results are identical for any value.
+  unsigned exec_threads = 0;
+  /// Skip segments whose per-column min/max provably cannot satisfy the
+  /// WHERE clause.
+  bool prune = true;
+};
+
+/// A query prepared against every segment of a SynopsisSet. Movable;
+/// thread-safe for concurrent execution. Internally mutable: executions
+/// after an append compile the plans for new segments on first use.
+class SegmentedPlan {
+ public:
+  SegmentedPlan() = default;
+  const Query& query() const;
+  /// Segments planned so far (grows lazily after appends).
+  size_t PlannedSegments() const;
+  /// Segments the planner proved unable to match (of those planned).
+  size_t PrunedSegments() const;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class SegmentedExecutor;
+  struct State {
+    Query query;
+    std::mutex mu;                     // guards extension
+    std::atomic<size_t> planned{0};    // release-published plan count
+    /// SynopsisSet::meta_generation() the skip flags were computed at; a
+    /// kMutateBins append widens segment ranges without growing the set,
+    /// so prune flags re-validate against this, not just the count.
+    std::atomic<uint64_t> meta_gen{0};
+    std::vector<CompiledQuery> plans;  // one per segment
+    std::vector<uint8_t> skip;         // 1 = provably no match
+  };
+  std::shared_ptr<State> state_;
+};
+
+class SegmentedExecutor {
+ public:
+  /// The set must outlive the executor. Call Refresh() after the set gains
+  /// segments (not concurrently with execution).
+  SegmentedExecutor(const SynopsisSet* set, SegmentedExecOptions options);
+  ~SegmentedExecutor();
+  SegmentedExecutor(SegmentedExecutor&&) noexcept;
+  SegmentedExecutor& operator=(SegmentedExecutor&&) noexcept;
+
+  /// Creates engines for segments appended since construction/last call.
+  Status Refresh();
+
+  /// Compiles `query` against every current segment (later segments are
+  /// compiled lazily at execution time).
+  StatusOr<SegmentedPlan> Prepare(const Query& query) const;
+
+  /// Executes: single segment delegates to the plain engine; multiple
+  /// segments fan partials out over the pool and merge deterministically.
+  Status ExecuteInto(const SegmentedPlan& plan, QueryResult* result) const;
+  StatusOr<QueryResult> Execute(const SegmentedPlan& plan) const;
+
+  size_t NumSegments() const { return engines_.size(); }
+  const AqpEngine& engine(size_t i) const { return *engines_[i]; }
+  const SynopsisSet& set() const { return *set_; }
+  const SegmentedExecOptions& options() const { return options_; }
+
+ private:
+  /// Compiles plans (and prune flags) for segments in [planned, current).
+  Status EnsurePlans(SegmentedPlan::State* st) const;
+
+  const SynopsisSet* set_;
+  SegmentedExecOptions options_;
+  std::vector<std::unique_ptr<AqpEngine>> engines_;
+  /// Persistent fan-out pool; created by the constructor / Refresh once
+  /// the set holds more than one segment (and exec_threads != 1).
+  std::unique_ptr<TaskPool> pool_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_QUERY_SEGMENT_EXEC_H_

@@ -1,0 +1,74 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+
+namespace pairwisehist {
+
+ColumnRanges ComputeColumnRanges(const Table& table, size_t begin,
+                                 size_t end) {
+  const size_t d = table.NumColumns();
+  end = std::min(end, table.NumRows());
+  ColumnRanges out;
+  out.min.assign(d, 0.0);
+  out.max.assign(d, 0.0);
+  out.valid.assign(d, 0);
+  for (size_t c = 0; c < d; ++c) {
+    const Column& col = table.column(c);
+    bool any = false;
+    double lo = 0, hi = 0;
+    for (size_t r = begin; r < end; ++r) {
+      if (col.IsNull(r)) continue;
+      double v = col.Value(r);
+      if (!any || v < lo) lo = v;
+      if (!any || v > hi) hi = v;
+      any = true;
+    }
+    if (any) {
+      out.min[c] = lo;
+      out.max[c] = hi;
+      out.valid[c] = 1;
+    }
+  }
+  return out;
+}
+
+StatusOr<SegmentedTable> SegmentedTable::Partition(const Table* table,
+                                                  size_t target_rows) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("Partition: null table");
+  }
+  PH_RETURN_IF_ERROR(table->Validate());
+  const size_t rows = table->NumRows();
+  std::vector<SegmentSpan> spans;
+  if (target_rows == 0 || rows == 0 || target_rows >= rows) {
+    spans.push_back(SegmentSpan{0, rows});
+    return SegmentedTable(table, std::move(spans));
+  }
+  const size_t nseg = (rows + target_rows - 1) / target_rows;
+  spans.reserve(nseg);
+  // Spread rows evenly so the last segment is not a sliver: segment i gets
+  // floor or ceil of rows/nseg, deterministically.
+  size_t begin = 0;
+  for (size_t i = 0; i < nseg; ++i) {
+    size_t end = rows * (i + 1) / nseg;
+    spans.push_back(SegmentSpan{begin, end});
+    begin = end;
+  }
+  return SegmentedTable(table, std::move(spans));
+}
+
+Table SegmentedTable::Materialize(size_t i) const {
+  const SegmentSpan s = spans_[i];
+  Table out = base_->Slice(s.begin, s.end);
+  // Slice suffixes the name; segments must keep the logical table name so
+  // per-segment synopses resolve the same "FROM <table>".
+  out.set_name(base_->name());
+  return out;
+}
+
+ColumnRanges SegmentedTable::Ranges(size_t i) const {
+  const SegmentSpan s = spans_[i];
+  return ComputeColumnRanges(*base_, s.begin, s.end);
+}
+
+}  // namespace pairwisehist

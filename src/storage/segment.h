@@ -1,0 +1,75 @@
+// Row-range partitioning of a Table into immutable, contiguous segments.
+//
+// A SegmentedTable is the build-time view behind the segmented synopsis
+// architecture: one table is split into ceil(rows / target) contiguous row
+// ranges, each of which seals into its own PairwiseHist (see
+// core/synopsis_set.h). Segments share one canonical categorical
+// dictionary — Materialize() copies each column's dictionary from the base
+// table verbatim, so the same category string carries the same dictionary
+// code in every segment. Appends extend dictionaries append-only (see
+// Db::Append), which keeps old segments' codes valid forever.
+#ifndef PAIRWISEHIST_STORAGE_SEGMENT_H_
+#define PAIRWISEHIST_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// Half-open row range [begin, end) of one segment within its base table.
+struct SegmentSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t rows() const { return end - begin; }
+};
+
+/// Exact per-column value ranges of one row range, used by the query
+/// planner to prune segments a predicate cannot match. min/max are raw
+/// (pre-transform) values over non-null rows; valid[c] == 0 marks columns
+/// with no non-null rows in the range (or unknown ranges after loading a
+/// legacy synopsis file) — such columns never prune.
+struct ColumnRanges {
+  std::vector<double> min;
+  std::vector<double> max;
+  std::vector<uint8_t> valid;
+};
+
+/// Computes exact raw-domain min/max per column over rows [begin, end).
+ColumnRanges ComputeColumnRanges(const Table& table, size_t begin, size_t end);
+
+/// A non-owning partition of `table` into contiguous segments. The base
+/// table must outlive the view; segments are materialized on demand so the
+/// partition itself costs no row copies.
+class SegmentedTable {
+ public:
+  /// Partitions into ceil(rows / target_rows) contiguous segments
+  /// (target_rows == 0 means one segment spanning everything). An empty
+  /// table yields a single empty segment.
+  static StatusOr<SegmentedTable> Partition(const Table* table,
+                                            size_t target_rows);
+
+  size_t NumSegments() const { return spans_.size(); }
+  SegmentSpan span(size_t i) const { return spans_[i]; }
+  const Table& base() const { return *base_; }
+
+  /// Copies segment i out as its own Table. Columns carry the base table's
+  /// dictionaries unchanged (the shared canonical dictionary).
+  Table Materialize(size_t i) const;
+
+  /// Exact per-column min/max of segment i (planner pruning metadata).
+  ColumnRanges Ranges(size_t i) const;
+
+ private:
+  SegmentedTable(const Table* table, std::vector<SegmentSpan> spans)
+      : base_(table), spans_(std::move(spans)) {}
+
+  const Table* base_;
+  std::vector<SegmentSpan> spans_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_SEGMENT_H_
