@@ -83,6 +83,15 @@ struct DbOptions {
   /// Threads for cross-segment query execution: 0 = one per hardware
   /// core, 1 = serial. Results are bit-identical for any value.
   unsigned exec_threads = 0;
+  /// SIMD kernel tier for the execution hot loops (common/simd.h):
+  /// kAuto/kWidest picks the widest ISA the binary and CPU support once at
+  /// startup (AVX2 → SSE2/NEON → scalar; overridable via the PWH_KERNELS
+  /// environment variable), kScalar forces the scalar kernels. Results are
+  /// deterministic per tier — bit-identical across runs and exec_threads —
+  /// and tiers agree to 1e-9 relative. When set to anything other than
+  /// kAuto this overrides `engine.kernels`; at the kAuto default,
+  /// `engine.kernels` is honoured.
+  KernelMode kernels = KernelMode::kAuto;
   /// Append behaviour (see AppendMode).
   AppendMode append_mode = AppendMode::kSealSegment;
   /// Planner pruning: skip segments whose per-column min/max provably

@@ -1,0 +1,381 @@
+// Generic W-lane kernel bodies (see simd.h for the semantics contract).
+//
+// Each kernel keeps W scalar lane accumulators with element t assigned to
+// lane t % W: a scalar head up to the first absolute W-boundary, a blocked
+// body the compiler can vectorize under the translation unit's ISA flags,
+// and a scalar tail. The numerical result depends only on W — whether the
+// body actually vectorizes changes speed, never bits — which is what makes
+// the per-ISA tables deterministic by construction.
+//
+// Instantiated with W = 1 (scalar table) and W = 2 (SSE2/NEON tier) in
+// simd.cc, and with W = 4 by simd_avx2.cc for the blocks its intrinsics
+// don't cover (prefix-scan boundary blocks).
+#ifndef PAIRWISEHIST_COMMON_SIMD_GENERIC_H_
+#define PAIRWISEHIST_COMMON_SIMD_GENERIC_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace pairwisehist {
+namespace simd_detail {
+
+/// Fixed lane-combine order, shared by the generic bodies and the AVX2
+/// intrinsics: pairwise for W = 4 ((l0+l1) + (l2+l3)), left-to-right
+/// otherwise.
+template <int W>
+inline double CombineLanes(const double* acc) {
+  if (W == 4) return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  double s = acc[0];
+  for (int j = 1; j < W; ++j) s += acc[j];
+  return s;
+}
+
+template <int W>
+struct Kernels {
+  static double Sum(const double* x, size_t begin, size_t end) {
+    double acc[W] = {};
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) acc[t % W] += x[t];
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) acc[j] += x[t + j];
+    }
+    for (; t < end; ++t) acc[t % W] += x[t];
+    return CombineLanes<W>(acc);
+  }
+
+  static void Sum3(const double* a, const double* b, const double* c,
+                   size_t begin, size_t end, double out[3]) {
+    double aa[W] = {}, ab[W] = {}, ac[W] = {};
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) {
+      aa[t % W] += a[t];
+      ab[t % W] += b[t];
+      ac[t % W] += c[t];
+    }
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) {
+        aa[j] += a[t + j];
+        ab[j] += b[t + j];
+        ac[j] += c[t + j];
+      }
+    }
+    for (; t < end; ++t) {
+      aa[t % W] += a[t];
+      ab[t % W] += b[t];
+      ac[t % W] += c[t];
+    }
+    out[0] = CombineLanes<W>(aa);
+    out[1] = CombineLanes<W>(ab);
+    out[2] = CombineLanes<W>(ac);
+  }
+
+  static double Dot(const double* w, const double* x, size_t begin,
+                    size_t end) {
+    double acc[W] = {};
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) acc[t % W] += w[t] * x[t];
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) acc[j] += w[t + j] * x[t + j];
+    }
+    for (; t < end; ++t) acc[t % W] += w[t] * x[t];
+    return CombineLanes<W>(acc);
+  }
+
+  static void Dot3(const double* w, const double* x, const double* y,
+                   size_t begin, size_t end, double out[3]) {
+    double aw[W] = {}, ax[W] = {}, ay[W] = {};
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) {
+      aw[t % W] += w[t];
+      ax[t % W] += w[t] * x[t];
+      ay[t % W] += w[t] * y[t];
+    }
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) {
+        aw[j] += w[t + j];
+        ax[j] += w[t + j] * x[t + j];
+        ay[j] += w[t + j] * y[t + j];
+      }
+    }
+    for (; t < end; ++t) {
+      aw[t % W] += w[t];
+      ax[t % W] += w[t] * x[t];
+      ay[t % W] += w[t] * y[t];
+    }
+    out[0] = CombineLanes<W>(aw);
+    out[1] = CombineLanes<W>(ax);
+    out[2] = CombineLanes<W>(ay);
+  }
+
+  static void Moments(const double* w, const double* x, size_t begin,
+                      size_t end, double out[3]) {
+    double aw[W] = {}, a1[W] = {}, a2[W] = {};
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) {
+      double wx = w[t] * x[t];
+      aw[t % W] += w[t];
+      a1[t % W] += wx;
+      a2[t % W] += wx * x[t];
+    }
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) {
+        double wx = w[t + j] * x[t + j];
+        aw[j] += w[t + j];
+        a1[j] += wx;
+        a2[j] += wx * x[t + j];
+      }
+    }
+    for (; t < end; ++t) {
+      double wx = w[t] * x[t];
+      aw[t % W] += w[t];
+      a1[t % W] += wx;
+      a2[t % W] += wx * x[t];
+    }
+    out[0] = CombineLanes<W>(aw);
+    out[1] = CombineLanes<W>(a1);
+    out[2] = CombineLanes<W>(a2);
+  }
+
+  static void CornerBounds(const double* wlo, const double* whi,
+                           const double* vlo, const double* vhi, size_t begin,
+                           size_t end, double out[2]) {
+    double alo[W] = {}, ahi[W] = {};
+    auto corner = [](double wl, double wh, double vl, double vh, double* lo,
+                     double* hi) {
+      double p1 = wl * vl, p2 = wl * vh, p3 = wh * vl, p4 = wh * vh;
+      *lo += std::min(std::min(std::min(p1, p2), p3), p4);
+      *hi += std::max(std::max(std::max(p1, p2), p3), p4);
+    };
+    size_t t = begin;
+    for (; t < end && t % W != 0; ++t) {
+      corner(wlo[t], whi[t], vlo[t], vhi[t], &alo[t % W], &ahi[t % W]);
+    }
+    for (; t + W <= end; t += W) {
+      for (int j = 0; j < W; ++j) {
+        corner(wlo[t + j], whi[t + j], vlo[t + j], vhi[t + j], &alo[j],
+               &ahi[j]);
+      }
+    }
+    for (; t < end; ++t) {
+      corner(wlo[t], whi[t], vlo[t], vhi[t], &alo[t % W], &ahi[t % W]);
+    }
+    out[0] = CombineLanes<W>(alo);
+    out[1] = CombineLanes<W>(ahi);
+  }
+
+  /// One absolute block [block, block + W) of the inclusive scan: lanes
+  /// outside [begin, end) count as zero, the in-block combination follows
+  /// the Hillis–Steele doubling pattern (l[j] += l[j - s] for s = 1, 2,
+  /// ... simultaneously per step), the carry advances by the full block
+  /// sum. Exposed so simd_avx2.cc can reuse it for boundary blocks.
+  static void PrefixBlock(const double* x, size_t block, size_t begin,
+                          size_t end, double* carry, double* out) {
+    double l[W];
+    for (int j = 0; j < W; ++j) {
+      size_t t = block + j;
+      l[j] = (t >= begin && t < end) ? x[t] : 0.0;
+    }
+    for (int s = 1; s < W; s <<= 1) {
+      double prev[W];
+      for (int j = 0; j < W; ++j) prev[j] = l[j];
+      for (int j = s; j < W; ++j) l[j] = prev[j] + prev[j - s];
+    }
+    for (int j = 0; j < W; ++j) {
+      size_t t = block + j;
+      if (t >= begin && t < end) out[t] = *carry + l[j];
+    }
+    *carry = *carry + l[W - 1];
+  }
+
+  static void PrefixSum(const double* x, size_t begin, size_t end,
+                        double* out) {
+    if (W == 1) {
+      double carry = 0.0;
+      for (size_t t = begin; t < end; ++t) {
+        carry += x[t];
+        out[t] = carry;
+      }
+      return;
+    }
+    double carry = 0.0;
+    for (size_t block = begin - begin % W; block < end; block += W) {
+      PrefixBlock(x, block, begin, end, &carry, out);
+    }
+  }
+
+  static size_t FindFirstGt(const double* x, size_t begin, size_t end,
+                            double threshold) {
+    for (size_t t = begin; t < end; ++t) {
+      if (x[t] > threshold) return t;
+    }
+    return kKernelNotFound;
+  }
+
+  static size_t FindLastGt(const double* x, size_t begin, size_t end,
+                           double threshold) {
+    for (size_t t = end; t-- > begin;) {
+      if (x[t] > threshold) return t;
+    }
+    return kKernelNotFound;
+  }
+
+  static void Mul3(double* ap, double* al, double* ah, const double* bp,
+                   const double* bl, const double* bh, size_t begin,
+                   size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      ap[t] *= bp[t];
+      al[t] *= bl[t];
+      ah[t] *= bh[t];
+    }
+  }
+
+  static void OrMul3(double* ap, double* al, double* ah, const double* bp,
+                     const double* bl, const double* bh, size_t begin,
+                     size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      ap[t] *= 1.0 - bp[t];
+      al[t] *= 1.0 - bh[t];  // complement swaps the bounds
+      ah[t] *= 1.0 - bl[t];
+    }
+  }
+
+  static void Complement3(double* p, double* lo, double* hi, size_t begin,
+                          size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double np = 1.0 - p[t];
+      double nlo = 1.0 - hi[t];
+      double nhi = 1.0 - lo[t];
+      p[t] = np;
+      lo[t] = nlo;
+      hi[t] = nhi;
+    }
+  }
+
+  static void CountsToWeights3(const uint64_t* h, double* w, double* lo,
+                               double* hi, size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double hd = static_cast<double>(h[t]);
+      w[t] = hd;
+      lo[t] = hd;
+      hi[t] = hd;
+    }
+  }
+
+  static void WeightsNoWiden(const uint64_t* h, const double* p,
+                             const double* pl, const double* ph, double* w,
+                             double* lo, double* hi, size_t begin,
+                             size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double hd = static_cast<double>(h[t]);
+      w[t] = hd * p[t];
+      lo[t] = std::clamp(hd * pl[t], 0.0, hd);
+      hi[t] = std::clamp(hd * ph[t], 0.0, hd);
+    }
+  }
+
+  static void NormProb3(const uint64_t* h, const double* np,
+                        const double* nlo, const double* nhi, double* p,
+                        double* lo, double* hi, size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double hd = static_cast<double>(h[t]);
+      if (hd <= 0) {
+        p[t] = lo[t] = hi[t] = 0.0;
+        continue;
+      }
+      double vp = std::clamp(np[t] / hd, 0.0, 1.0);
+      double vlo = std::clamp(nlo[t] / hd, 0.0, vp);
+      double vhi = std::clamp(nhi[t] / hd, vp, 1.0);
+      p[t] = vp;
+      lo[t] = vlo;
+      hi[t] = vhi;
+    }
+  }
+
+  static void GatherDot3(const uint64_t* cnt, const uint32_t* col,
+                         const double* b0, const double* b1, const double* b2,
+                         size_t begin, size_t end, double out[3]) {
+    double a0[W] = {}, a1[W] = {}, a2[W] = {};
+    size_t e = begin;
+    for (; e < end && e % W != 0; ++e) {
+      double c = static_cast<double>(cnt[e]);
+      size_t t = col[e];
+      a0[e % W] += c * b0[t];
+      a1[e % W] += c * b1[t];
+      a2[e % W] += c * b2[t];
+    }
+    for (; e + W <= end; e += W) {
+      for (int j = 0; j < W; ++j) {
+        double c = static_cast<double>(cnt[e + j]);
+        size_t t = col[e + j];
+        a0[j] += c * b0[t];
+        a1[j] += c * b1[t];
+        a2[j] += c * b2[t];
+      }
+    }
+    for (; e < end; ++e) {
+      double c = static_cast<double>(cnt[e]);
+      size_t t = col[e];
+      a0[e % W] += c * b0[t];
+      a1[e % W] += c * b1[t];
+      a2[e % W] += c * b2[t];
+    }
+    out[0] = CombineLanes<W>(a0);
+    out[1] = CombineLanes<W>(a1);
+    out[2] = CombineLanes<W>(a2);
+  }
+
+  static void WeightsWiden(const uint64_t* h, const double* p,
+                           const double* pl, const double* ph, double z,
+                           double fpc, double* w, double* lo, double* hi,
+                           size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double hd = static_cast<double>(h[t]);
+      w[t] = hd * p[t];
+      double l = hd * pl[t];
+      double u = hd * ph[t];
+      if (hd > 0) {
+        double beta_lo = std::clamp(l / hd, 0.0, 1.0);
+        double beta_hi = std::clamp(u / hd, 0.0, 1.0);
+        l -= z * std::sqrt(hd * beta_lo * (1.0 - beta_lo) * fpc);
+        u += z * std::sqrt(hd * beta_hi * (1.0 - beta_hi) * fpc);
+      }
+      lo[t] = std::clamp(l, 0.0, hd);
+      hi[t] = std::clamp(u, 0.0, hd);
+    }
+  }
+};
+
+/// Fills a KernelOps table from one instantiation.
+template <int W>
+constexpr KernelOps MakeTable(const char* name) {
+  KernelOps ops{};
+  ops.name = name;
+  ops.lanes = W;
+  ops.sum = &Kernels<W>::Sum;
+  ops.sum3 = &Kernels<W>::Sum3;
+  ops.dot = &Kernels<W>::Dot;
+  ops.dot3 = &Kernels<W>::Dot3;
+  ops.moments = &Kernels<W>::Moments;
+  ops.corner_bounds = &Kernels<W>::CornerBounds;
+  ops.prefix_sum = &Kernels<W>::PrefixSum;
+  ops.find_first_gt = &Kernels<W>::FindFirstGt;
+  ops.find_last_gt = &Kernels<W>::FindLastGt;
+  ops.mul3 = &Kernels<W>::Mul3;
+  ops.or_mul3 = &Kernels<W>::OrMul3;
+  ops.complement3 = &Kernels<W>::Complement3;
+  ops.counts_to_weights3 = &Kernels<W>::CountsToWeights3;
+  ops.weights_nowiden = &Kernels<W>::WeightsNoWiden;
+  ops.weights_widen = &Kernels<W>::WeightsWiden;
+  ops.norm_prob3 = &Kernels<W>::NormProb3;
+  ops.gather_dot3 = &Kernels<W>::GatherDot3;
+  return ops;
+}
+
+}  // namespace simd_detail
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_SIMD_GENERIC_H_

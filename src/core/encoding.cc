@@ -347,7 +347,7 @@ class SynopsisCodec {
                       /*is_rows=*/false);
       }
     }
-    // Execution indexes (prefix sums, sparse cell index, non-null
+    // Execution indexes (prefix sums, cell prefixes, non-null
     // fractions) are derived, not stored.
     ph.FinishExecIndex();
     return ph;

@@ -144,11 +144,31 @@ std::vector<double> NonNullFractions(const HistogramDim& pair_dim,
 }  // namespace
 
 void PairwiseHist::FinishExecIndex() {
-  for (HistogramDim& h : hist1d_) h.BuildCountPrefix();
+  // Any dimension can serve as an aggregation grid, so every dimension
+  // gets the per-bin centre cache (midpoint + Theorem-1 bounds) that
+  // Table-3 aggregation reads as flat arrays.
+  auto fill_centres = [this](HistogramDim& dim) {
+    const size_t k = dim.NumBins();
+    dim.centre_mid.resize(k);
+    dim.centre_lo.resize(k);
+    dim.centre_hi.resize(k);
+    for (size_t t = 0; t < k; ++t) {
+      dim.centre_mid[t] = dim.Midpoint(t);
+      CentreBounds cb = WeightedCentreBounds(dim, t);
+      dim.centre_lo[t] = cb.lo;
+      dim.centre_hi[t] = cb.hi;
+    }
+  };
+  for (HistogramDim& h : hist1d_) {
+    h.BuildCountPrefix();
+    fill_centres(h);
+  }
   for (PairHistogram& p : pairs_) {
-    p.BuildCellIndex();
+    p.BuildCellPrefix();
     p.nonnull_frac_i = NonNullFractions(p.dim_i, hist1d_[p.col_i]);
     p.nonnull_frac_j = NonNullFractions(p.dim_j, hist1d_[p.col_j]);
+    fill_centres(p.dim_i);
+    fill_centres(p.dim_j);
   }
 }
 

@@ -73,24 +73,14 @@ class PairView {
     return swapped_ ? ph_->CellCount(tp, ta) : ph_->CellCount(ta, tp);
   }
 
-  /// One row of the sparse cell index: the non-zero cells of a single
-  /// agg or pred bin, with the other dimension's bin indices ascending.
-  struct CellRun {
-    const uint32_t* bin = nullptr;   ///< other-dimension bin index
-    const uint64_t* count = nullptr; ///< matching cell count
-    size_t n = 0;
-  };
-
-  /// Non-zero cells of aggregation bin `ta` (pred bins ascending).
-  /// Requires the owning synopsis's exec index (FinishExecIndex).
-  CellRun AggRow(size_t ta) const {
-    return swapped_ ? Row(ph_->nz_j_start, ph_->nz_j_col, ph_->nz_j_val, ta)
-                    : Row(ph_->nz_i_start, ph_->nz_i_col, ph_->nz_i_val, ta);
-  }
-  /// Non-zero cells of predicate bin `tp` (agg bins ascending).
-  CellRun PredRow(size_t tp) const {
-    return swapped_ ? Row(ph_->nz_i_start, ph_->nz_i_col, ph_->nz_i_val, tp)
-                    : Row(ph_->nz_j_start, ph_->nz_j_col, ph_->nz_j_val, tp);
+  /// Dense cell prefix of aggregation bin `ta`: pred_dim().NumBins() + 1
+  /// exact integers, entry tp = Σ cells over pred bins [0, tp). A cell is
+  /// a difference of adjacent entries; a fully-covered coverage run's
+  /// mass is one difference. Requires FinishExecIndex.
+  const uint64_t* AggPrefix(size_t ta) const {
+    return swapped_
+               ? ph_->cell_prefix_j.data() + ta * (ph_->dim_i.NumBins() + 1)
+               : ph_->cell_prefix_i.data() + ta * (ph_->dim_j.NumBins() + 1);
   }
   /// Per 1-d aggregation-column bin: fraction of 1-d rows with the
   /// predicate column non-null (see PairHistogram::nonnull_frac_*).
@@ -99,16 +89,6 @@ class PairView {
   }
 
  private:
-  static CellRun Row(const std::vector<uint32_t>& start,
-                     const std::vector<uint32_t>& col,
-                     const std::vector<uint64_t>& val, size_t r) {
-    CellRun run;
-    run.bin = col.data() + start[r];
-    run.count = val.data() + start[r];
-    run.n = start[r + 1] - start[r];
-    return run;
-  }
-
   const PairHistogram* ph_ = nullptr;
   bool swapped_ = false;
 };
@@ -196,7 +176,7 @@ class PairwiseHist {
   static size_t PairSlot(size_t i, size_t j);  // requires i > j
 
   /// (Re)builds every derived execution index: 1-d count prefix sums, the
-  /// per-pair sparse cell indices and the per-pair non-null fractions.
+  /// per-pair dense cell prefixes and the per-pair non-null fractions.
   /// Called at the end of Build, Deserialize and Update.
   void FinishExecIndex();
 

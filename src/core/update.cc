@@ -94,7 +94,7 @@ Status PairwiseHist::Update(const PreprocessedTable& batch) {
   // stable, so compiled plans stay valid). This is O(total non-zero cells)
   // per Update regardless of batch size — fine for the intended
   // batch-append cadence, but a high-frequency tiny-batch workload should
-  // coalesce appends (incremental CSR maintenance is future work).
+  // coalesce appends (incremental prefix maintenance is future work).
   FinishExecIndex();
   return Status::OK();
 }

@@ -29,43 +29,24 @@ void HistogramDim::BuildCountPrefix() {
   }
 }
 
-void PairHistogram::BuildCellIndex() {
+void PairHistogram::BuildCellPrefix() {
   const size_t ki = dim_i.NumBins();
   const size_t kj = dim_j.NumBins();
-  size_t nnz = 0;
-  for (uint64_t c : cells) nnz += (c != 0);
-
-  // CSR over dim_i rows: one row-major pass.
-  nz_i_start.assign(ki + 1, 0);
-  nz_i_col.resize(nnz);
-  nz_i_val.resize(nnz);
-  size_t at = 0;
+  // Dense per-row cell prefixes (exact: totals stay below 2^53). Costs
+  // 2x the dense cell matrix in memory, all execution-index-only.
+  cell_prefix_i.resize(ki * (kj + 1));
   for (size_t ti = 0; ti < ki; ++ti) {
-    nz_i_start[ti] = static_cast<uint32_t>(at);
     const uint64_t* row = cells.data() + ti * kj;
-    for (size_t tj = 0; tj < kj; ++tj) {
-      if (row[tj] == 0) continue;
-      nz_i_col[at] = static_cast<uint32_t>(tj);
-      nz_i_val[at] = row[tj];
-      ++at;
-    }
+    uint64_t* pre = cell_prefix_i.data() + ti * (kj + 1);
+    pre[0] = 0;
+    for (size_t tj = 0; tj < kj; ++tj) pre[tj + 1] = pre[tj] + row[tj];
   }
-  nz_i_start[ki] = static_cast<uint32_t>(at);
-
-  // Transposed view over dim_j rows: counting sort of the CSR entries, so
-  // ti stays ascending within each tj row.
-  nz_j_start.assign(kj + 1, 0);
-  nz_j_col.resize(nnz);
-  nz_j_val.resize(nnz);
-  for (size_t e = 0; e < nnz; ++e) ++nz_j_start[nz_i_col[e] + 1];
-  for (size_t tj = 0; tj < kj; ++tj) nz_j_start[tj + 1] += nz_j_start[tj];
-  std::vector<uint32_t> fill(nz_j_start.begin(), nz_j_start.end() - 1);
-  for (size_t ti = 0; ti < ki; ++ti) {
-    for (uint32_t e = nz_i_start[ti]; e < nz_i_start[ti + 1]; ++e) {
-      uint32_t tj = nz_i_col[e];
-      uint32_t slot = fill[tj]++;
-      nz_j_col[slot] = static_cast<uint32_t>(ti);
-      nz_j_val[slot] = nz_i_val[e];
+  cell_prefix_j.resize(kj * (ki + 1));
+  for (size_t tj = 0; tj < kj; ++tj) {
+    uint64_t* pre = cell_prefix_j.data() + tj * (ki + 1);
+    pre[0] = 0;
+    for (size_t ti = 0; ti < ki; ++ti) {
+      pre[ti + 1] = pre[ti] + cells[ti * kj + tj];
     }
   }
 }

@@ -38,8 +38,17 @@ struct HistogramDim {
   /// serialized): count over bins [a, b) is count_prefix[b] -
   /// count_prefix[a]. Rebuilt by BuildCountPrefix after counts change.
   std::vector<uint64_t> count_prefix;
+  /// Per-bin aggregation metadata cache (execution index, not serialized):
+  /// midpoint (v− + v+)/2 and the Theorem-1 weighted-centre bounds already
+  /// clamped to [v−, v+]. Filled by PairwiseHist::FinishExecIndex (the
+  /// bounds need M and the chi-squared cache) so Table-3 aggregation reads
+  /// flat arrays instead of recomputing a sqrt per bin per query.
+  std::vector<double> centre_mid;
+  std::vector<double> centre_lo;
+  std::vector<double> centre_hi;
 
   size_t NumBins() const { return counts.size(); }
+  bool HasCentreCache() const { return centre_mid.size() == counts.size(); }
 
   /// (Re)derives count_prefix from counts.
   void BuildCountPrefix();
@@ -75,17 +84,17 @@ struct PairHistogram {
   /// Row-major dim_i.NumBins() x dim_j.NumBins() cell counts H(ij).
   std::vector<uint64_t> cells;
 
-  // ---- Sparse cell index (execution index, not serialized) --------------
-  // CSR view of `cells` over dim_i rows plus the transposed view over
-  // dim_j rows, so either orientation of PairView can walk only the
-  // non-zero cells of one agg/pred bin in ascending other-bin order.
-  // Rebuilt by BuildCellIndex whenever cells change.
-  std::vector<uint32_t> nz_i_start;  ///< ki+1 row starts into nz_i_*
-  std::vector<uint32_t> nz_i_col;    ///< tj of each non-zero, ascending per row
-  std::vector<uint64_t> nz_i_val;    ///< matching cell counts
-  std::vector<uint32_t> nz_j_start;  ///< kj+1 row starts into nz_j_*
-  std::vector<uint32_t> nz_j_col;    ///< ti of each non-zero, ascending per row
-  std::vector<uint64_t> nz_j_val;    ///< matching cell counts
+  // ---- Cell prefix index (execution index, not serialized) --------------
+  // Dense per-row cell prefixes (exact integers): row ti of
+  // cell_prefix_i has kj+1 entries with entry tj = Σ cells[ti][0..tj), so
+  // the cell mass of any pred-bin range — and any single cell — is a
+  // difference of two lookups. cell_prefix_j is the transposed
+  // orientation (kj rows of ki+1). This is what lets query execution
+  // answer fully-covered coverage runs per aggregation bin in O(1)
+  // instead of walking cells. Rebuilt by BuildCellPrefix whenever cells
+  // change.
+  std::vector<uint64_t> cell_prefix_i;
+  std::vector<uint64_t> cell_prefix_j;
   /// Per 1-d bin of col_i / col_j: fraction of the 1-d rows that have the
   /// OTHER column non-null (clamped to [0, 1]; 1.0 for empty 1-d bins).
   /// Filled by PairwiseHist::FinishExecIndex (needs the 1-d histograms).
@@ -96,12 +105,8 @@ struct PairHistogram {
     return cells[ti * dim_j.NumBins() + tj];
   }
 
-  /// (Re)derives the CSR/transposed non-zero index from `cells`.
-  void BuildCellIndex();
-  bool HasCellIndex() const {
-    return nz_i_start.size() == dim_i.NumBins() + 1 &&
-           nz_j_start.size() == dim_j.NumBins() + 1;
-  }
+  /// (Re)derives both cell prefix orientations from `cells`.
+  void BuildCellPrefix();
 };
 
 /// Builds the pairwise histogram for one column pair. `xi` / `xj` are the

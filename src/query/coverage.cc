@@ -271,6 +271,8 @@ void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
                          CoverageSpan* out) {
   const size_t k = dim.NumBins();
   out->begin = out->end = 0;
+  out->n_runs = 0;
+  out->n_segs = 0;
   if (k == 0 || pred.Empty()) return;
   const std::vector<double>& edges = dim.edges;
 
@@ -284,28 +286,64 @@ void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
 
   // Accumulate piece coverages exactly as the reference does (per bin,
   // ascending piece order — pieces ascend, so visiting pieces in the outer
-  // loop preserves each bin's addition order). Bins fully inside a piece by
-  // edge inspection take the bulk += 1.0 path without reading metadata.
+  // loop preserves each bin's addition order). Bins fully inside a piece
+  // by edge inspection are recorded as a run descriptor when the caller
+  // provided a run buffer (they are filled with the constant 1 in bulk
+  // below and never touch metadata); without a buffer they take the
+  // per-bin += 1.0 path.
   for (const auto& piece : pred.pieces) {
     const double lo = piece.first;
     const double hi = piece.second;
     size_t a = FirstOverlapBin(edges, lo);
     size_t b = EndOverlapBin(edges, hi);
     if (a >= b) continue;
+    if (out->segs != nullptr) {
+      // Record (merging adjacent/overlapping) candidate segments.
+      if (out->n_segs > 0 &&
+          static_cast<size_t>(out->segs[2 * out->n_segs - 1]) >= a) {
+        out->segs[2 * out->n_segs - 1] =
+            std::max(out->segs[2 * out->n_segs - 1],
+                     static_cast<uint32_t>(b));
+      } else if (out->n_segs < out->max_segs) {
+        out->segs[2 * out->n_segs] = static_cast<uint32_t>(a);
+        out->segs[2 * out->n_segs + 1] = static_cast<uint32_t>(b);
+        ++out->n_segs;
+      } else {
+        // Capacity exhausted (cannot happen with the callers' one-slot-
+        // per-piece sizing): widen the last segment to stay sound.
+        out->segs[2 * out->n_segs - 1] = static_cast<uint32_t>(b);
+      }
+    }
     size_t f0, f1;
     FullSpan(edges, lo, hi, a, b, &f0, &f1);
     for (size_t t = a; t < f0; ++t) {
       out->beta[t] +=
           PieceCoverage(lo, hi, dim.v_min[t], dim.v_max[t], dim.unique[t]);
     }
-    for (size_t t = f0; t < f1; ++t) out->beta[t] += 1.0;
+    if (f1 > f0 && out->runs != nullptr && out->n_runs < out->max_runs) {
+      // Disjoint pieces cannot add coverage to bins fully inside this one,
+      // so their β is exactly 1 regardless of the other pieces; skip the
+      // accumulation entirely.
+      out->runs[2 * out->n_runs] = static_cast<uint32_t>(f0);
+      out->runs[2 * out->n_runs + 1] = static_cast<uint32_t>(f1);
+      ++out->n_runs;
+    } else {
+      for (size_t t = f0; t < f1; ++t) out->beta[t] += 1.0;
+    }
     for (size_t t = f1; t < b; ++t) {
       out->beta[t] +=
           PieceCoverage(lo, hi, dim.v_min[t], dim.v_max[t], dim.unique[t]);
     }
   }
 
+  size_t run_i = 0;
   for (size_t t = t_begin; t < t_end; ++t) {
+    if (run_i < out->n_runs && t >= out->runs[2 * run_i]) {
+      // Inside a recorded run: bulk-filled below; jump past it.
+      t = out->runs[2 * run_i + 1] - 1;
+      ++run_i;
+      continue;
+    }
     uint64_t h = dim.counts[t];
     if (h == 0) {
       out->beta[t] = out->lo[t] = out->hi[t] = 0.0;
@@ -313,6 +351,13 @@ void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
     }
     FinishCoverageBin(h, dim.unique[t], min_points, critical, out->beta[t],
                       &out->beta[t], &out->lo[t], &out->hi[t]);
+  }
+  for (size_t r = 0; r < out->n_runs; ++r) {
+    const size_t f0 = out->runs[2 * r];
+    const size_t f1 = out->runs[2 * r + 1];
+    std::fill(out->beta + f0, out->beta + f1, 1.0);
+    std::fill(out->lo + f0, out->lo + f1, 1.0);
+    std::fill(out->hi + f0, out->hi + f1, 1.0);
   }
   out->begin = t_begin;
   out->end = t_end;

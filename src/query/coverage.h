@@ -80,6 +80,28 @@ struct CoverageSpan {
   double* hi = nullptr;
   size_t begin = 0;        ///< touched bin range [begin, end)
   size_t end = 0;
+  /// Optional caller buffer (2*max_runs uint32s) for fully-covered run
+  /// descriptors: runs[2i], runs[2i+1] delimit a bin range [b, e) whose
+  /// every bin is fully covered by edge inspection. Such bins are written
+  /// as β = β− = β+ = 1 in bulk instead of accumulating and finishing
+  /// per bin, and downstream consumers (Eq. 29 weighting) turn whole runs
+  /// into weights straight from the bin counts. Runs are ascending and
+  /// disjoint (at most one per predicate piece). Note: zero-count bins
+  /// inside a run also read 1 (the reference path leaves them 0); every
+  /// consumer multiplies coverage by the bin count or its cells, so the
+  /// difference never reaches a result.
+  uint32_t* runs = nullptr;
+  size_t max_runs = 0;  ///< capacity of `runs`, in run pairs
+  size_t n_runs = 0;    ///< filled by ComputeCoverageInto
+  /// Optional caller buffer (2*max_segs uint32s) for candidate segments:
+  /// the merged per-piece bin overlap ranges. Bins of [begin, end) outside
+  /// every segment have coverage exactly zero, so consumers walking the
+  /// span (the per-row cell reductions) can skip the gaps of scattered
+  /// multi-piece predicates instead of scanning the whole span. Ascending
+  /// and disjoint; at most one per piece.
+  uint32_t* segs = nullptr;
+  size_t max_segs = 0;
+  size_t n_segs = 0;
 };
 void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
                          uint64_t min_points,

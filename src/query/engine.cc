@@ -76,38 +76,30 @@ BinVals EffectiveBin(const HistogramDim& hist, size_t t,
 }
 
 // ---------------------------------------------------------------------------
-// Range-restricted execution views. Bins outside [begin, end) are implicitly
-// exactly zero; every accumulation below only adds zero terms for them, so
-// restricting the loops leaves all results identical to full scans.
+// Range-restricted execution views (exec_scratch.h). Bins outside
+// [begin, end) are implicitly exactly zero; every accumulation below only
+// adds zero terms for them, and the kernels' phase-aligned lane semantics
+// (common/simd.h) make adding those zeros an exact identity, so
+// restricting the loops leaves all results identical to full scans — on
+// every kernel tier, which is what keeps the fast path and the reference
+// path bit-equal.
 
-/// Per-bin satisfaction probabilities with bounds, on some grid, backed by
-/// the scratch arena.
-struct ProbSpan {
-  double* p = nullptr;
-  double* lo = nullptr;
-  double* hi = nullptr;
-  size_t begin = 0;
-  size_t end = 0;
-};
-
+/// Per-bin satisfaction probabilities with bounds, backed by the scratch
+/// arena (fast path) or the Prob vectors (reference path).
+using ProbSpan = ProbTable;
 /// Per-bin weightings (w, w−, w+) backed by the scratch arena or, on the
 /// reference path, the Weightings vectors.
-struct WtSpan {
-  double* w = nullptr;
-  double* lo = nullptr;
-  double* hi = nullptr;
-  size_t begin = 0;
-  size_t end = 0;
-};
+using WtSpan = WeightTable;
 
 // ---------------------------------------------------------------------------
 // Aggregation (Table 3), shared by the reference path (full range over the
 // Weightings vectors) and the fast path (touched range over arena spans).
 
 AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
-                        AggFunc func, size_t agg_col, const AggGrid& grid,
-                        const WtSpan& wt, bool single_column,
-                        const IntervalSet* agg_clip, ExecArena& arena) {
+                        const KernelOps& ks, AggFunc func, size_t agg_col,
+                        const AggGrid& grid, const WtSpan& wt,
+                        bool single_column, const IntervalSet* agg_clip,
+                        ExecArena& arena) {
   const HistogramDim& hist = *grid.dim;
   const ColumnTransform& tr = ph.transform(agg_col);
   const size_t k = hist.NumBins();
@@ -117,19 +109,17 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
   const uint64_t m_points = ph.min_points();
 
   AggResult r;
-  double total = 0;
-  for (size_t t = rb; t < re; ++t) total += wt.w[t];
-
   if (func == AggFunc::kCount) {
-    double total_lo = 0, total_hi = 0;
-    for (size_t t = rb; t < re; ++t) total_lo += wt.lo[t];
-    for (size_t t = rb; t < re; ++t) total_hi += wt.hi[t];
-    r.estimate = total / rho;
-    r.lower = total_lo / rho;
-    r.upper = total_hi / rho;
-    r.empty_selection = total <= kWeightEps;
+    // Fused single-pass totals (w, w−, w+ reduced together).
+    double tot[3];
+    ks.sum3(wt.w, wt.lo, wt.hi, rb, re, tot);
+    r.estimate = tot[0] / rho;
+    r.lower = tot[1] / rho;
+    r.upper = tot[2] / rho;
+    r.empty_selection = tot[0] <= kWeightEps;
     return r;
   }
+  double total = ks.sum(wt.w, rb, re);
   if (total <= kWeightEps) {
     r.empty_selection = true;
     r.estimate = r.lower = r.upper = kNaN;
@@ -137,62 +127,132 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
   }
 
   if (!options.clip_agg_values) agg_clip = nullptr;
+  const bool clip_active =
+      agg_clip != nullptr && !agg_clip->IsAll() && !agg_clip->Empty();
 
   // Effective per-bin values, midpoints and weighted-centre bounds in the
-  // code domain (touched range only; untouched bins carry zero weight).
-  double* v_lo = arena.Alloc(k);
-  double* v_hi = arena.Alloc(k);
-  double* c = arena.Alloc(k);
-  double* c_lo = arena.Alloc(k);
-  double* c_hi = arena.Alloc(k);
-  for (size_t t = rb; t < re; ++t) {
-    BinVals bv = EffectiveBin(hist, t, agg_clip);
-    v_lo[t] = bv.v_lo;
-    v_hi[t] = bv.v_hi;
-    c[t] = bv.mid;
-    CentreBounds cb = ph.WeightedCentreBounds(hist, t);
-    c_lo[t] = std::clamp(cb.lo, bv.v_lo, bv.v_hi);
-    c_hi[t] = std::clamp(cb.hi, c_lo[t], bv.v_hi);
+  // code domain. Without a same-column clip these are query-independent
+  // and read straight from the dimension's centre cache (filled at
+  // FinishExecIndex); with a clip, or on a dimension lacking the cache,
+  // they are materialized per query over the touched range only
+  // (untouched bins carry zero weight).
+  const double* v_lo;
+  const double* v_hi;
+  const double* c;
+  const double* c_lo;
+  const double* c_hi;
+  if (!clip_active && hist.HasCentreCache()) {
+    v_lo = hist.v_min.data();
+    v_hi = hist.v_max.data();
+    c = hist.centre_mid.data();
+    c_lo = hist.centre_lo.data();
+    c_hi = hist.centre_hi.data();
+  } else {
+    double* e_v_lo = arena.Alloc(k);
+    double* e_v_hi = arena.Alloc(k);
+    double* e_c = arena.Alloc(k);
+    double* e_c_lo = arena.Alloc(k);
+    double* e_c_hi = arena.Alloc(k);
+    const bool cached = hist.HasCentreCache();
+    // Recomputes one bin the clip actually cuts (the raw Theorem-1 bounds
+    // are query-independent: the centre cache supplies them when present,
+    // same doubles as WeightedCentreBounds).
+    auto slow_bin = [&](size_t t) {
+      BinVals bv = EffectiveBin(hist, t, agg_clip);
+      e_v_lo[t] = bv.v_lo;
+      e_v_hi[t] = bv.v_hi;
+      e_c[t] = bv.mid;
+      CentreBounds cb;
+      if (cached) {
+        cb.lo = hist.centre_lo[t];
+        cb.hi = hist.centre_hi[t];
+      } else {
+        cb = ph.WeightedCentreBounds(hist, t);
+      }
+      e_c_lo[t] = std::clamp(cb.lo, bv.v_lo, bv.v_hi);
+      e_c_hi[t] = std::clamp(cb.hi, e_c_lo[t], bv.v_hi);
+    };
+    if (cached) {
+      // Bulk path: a bin fully inside one clip piece (or outside every
+      // piece) keeps its raw metadata, so copy the cache wholesale and
+      // recompute only the O(pieces) boundary bins the clip cuts. v_min
+      // and v_max are strictly ascending across bins, so the overlap and
+      // fully-inside bin ranges of each piece are binary searches.
+      std::copy(hist.v_min.begin() + rb, hist.v_min.begin() + re,
+                e_v_lo + rb);
+      std::copy(hist.v_max.begin() + rb, hist.v_max.begin() + re,
+                e_v_hi + rb);
+      std::copy(hist.centre_mid.begin() + rb, hist.centre_mid.begin() + re,
+                e_c + rb);
+      std::copy(hist.centre_lo.begin() + rb, hist.centre_lo.begin() + re,
+                e_c_lo + rb);
+      std::copy(hist.centre_hi.begin() + rb, hist.centre_hi.begin() + re,
+                e_c_hi + rb);
+      for (const auto& piece : agg_clip->pieces) {
+        // Bins whose values overlap the piece at all / lie fully inside.
+        size_t o0 = static_cast<size_t>(
+            std::lower_bound(hist.v_max.begin() + rb, hist.v_max.begin() + re,
+                             piece.first) -
+            hist.v_max.begin());
+        size_t o1 = static_cast<size_t>(
+            std::upper_bound(hist.v_min.begin() + rb, hist.v_min.begin() + re,
+                             piece.second) -
+            hist.v_min.begin());
+        size_t f0 = static_cast<size_t>(
+            std::lower_bound(hist.v_min.begin() + o0, hist.v_min.begin() + o1,
+                             piece.first) -
+            hist.v_min.begin());
+        size_t f1 = static_cast<size_t>(
+            std::upper_bound(hist.v_max.begin() + f0, hist.v_max.begin() + o1,
+                             piece.second) -
+            hist.v_max.begin());
+        for (size_t t = o0; t < f0; ++t) slow_bin(t);
+        for (size_t t = std::max(f0, f1); t < o1; ++t) slow_bin(t);
+      }
+    } else {
+      for (size_t t = rb; t < re; ++t) slow_bin(t);
+    }
+    v_lo = e_v_lo;
+    v_hi = e_v_hi;
+    c = e_c;
+    c_lo = e_c_lo;
+    c_hi = e_c_hi;
   }
   auto decode = [&](double code) { return tr.Decode(code); };
 
   switch (func) {
     case AggFunc::kSum: {
-      double est = 0;
-      double lo = 0, hi = 0;
+      // Decode the touched centres to the raw domain once, then one dot
+      // product for the estimate and one fused corner-bound pass (safe
+      // also when decoded values are negative).
+      double* dm = arena.Alloc(k);
+      double* dlo = arena.Alloc(k);
+      double* dhi = arena.Alloc(k);
       for (size_t t = rb; t < re; ++t) {
-        est += wt.w[t] * decode(c[t]);
-        // Bounds over the per-bin corner combinations of weight and centre
-        // (safe also when decoded values are negative).
-        double raw_lo = decode(c_lo[t]);
-        double raw_hi = decode(c_hi[t]);
-        lo += std::min({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
-                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
-        hi += std::max({wt.lo[t] * raw_lo, wt.lo[t] * raw_hi,
-                        wt.hi[t] * raw_lo, wt.hi[t] * raw_hi});
+        dm[t] = decode(c[t]);
+        dlo[t] = decode(c_lo[t]);
+        dhi[t] = decode(c_hi[t]);
       }
-      r.estimate = est / rho;
-      r.lower = lo / rho;
-      r.upper = hi / rho;
+      double bounds[2];
+      ks.corner_bounds(wt.lo, wt.hi, dlo, dhi, rb, re, bounds);
+      r.estimate = ks.dot(wt.w, dm, rb, re) / rho;
+      r.lower = bounds[0] / rho;
+      r.upper = bounds[1] / rho;
       return r;
     }
     case AggFunc::kAvg: {
-      double num = 0;
-      for (size_t t = rb; t < re; ++t) num += wt.w[t] * c[t];
+      double num = ks.dot(wt.w, c, rb, re);
       r.estimate = decode(num / total);
-      // Evaluate both weighting extrema (w• placeholder in Table 3).
+      // Evaluate both weighting extrema (w• placeholder in Table 3) with
+      // one fused {Σw, Σw·c−, Σw·c+} pass each.
       double lo = std::numeric_limits<double>::infinity();
       double hi = -std::numeric_limits<double>::infinity();
       for (const double* wv : {wt.lo, wt.hi}) {
-        double tw = 0, nlo = 0, nhi = 0;
-        for (size_t t = rb; t < re; ++t) {
-          tw += wv[t];
-          nlo += wv[t] * c_lo[t];
-          nhi += wv[t] * c_hi[t];
-        }
-        if (tw > kWeightEps) {
-          lo = std::min(lo, nlo / tw);
-          hi = std::max(hi, nhi / tw);
+        double o[3];
+        ks.dot3(wv, c_lo, c_hi, rb, re, o);
+        if (o[0] > kWeightEps) {
+          lo = std::min(lo, o[1] / o[0]);
+          hi = std::max(hi, o[2] / o[0]);
         }
       }
       if (!std::isfinite(lo)) {
@@ -203,16 +263,19 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       return r;
     }
     case AggFunc::kVar: {
-      double num1 = 0, num2 = 0;
+      // Second-moment values (within-bin uniform term included) once,
+      // then two dots against the weights.
+      double* m2 = arena.Alloc(k);
       for (size_t t = rb; t < re; ++t) {
         double within = 0.0;
         if (options.var_within_bin && hist.unique[t] > 1) {
           double span = v_hi[t] - v_lo[t];
           within = span * span / 12.0;
         }
-        num1 += wt.w[t] * c[t];
-        num2 += wt.w[t] * (c[t] * c[t] + within);
+        m2[t] = c[t] * c[t] + within;
       }
+      double num1 = ks.dot(wt.w, c, rb, re);
+      double num2 = ks.dot(wt.w, m2, rb, re);
       double mean = num1 / total;
       double var_code = std::max(0.0, num2 / total - mean * mean);
       double scale2 = tr.scale * tr.scale;
@@ -235,18 +298,17 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       double lo = std::numeric_limits<double>::infinity();
       double hi = -std::numeric_limits<double>::infinity();
       for (const double* wv : {wt.lo, wt.hi}) {
-        double tw = 0;
-        for (size_t t = rb; t < re; ++t) tw += wv[t];
+        // Fused {Σw, Σw·ξ, Σw·ξ²} per extreme.
+        double mo_lo[3];
+        ks.moments(wv, xi_lo, rb, re, mo_lo);
+        double tw = mo_lo[0];
         if (tw <= kWeightEps) continue;
-        double l1 = 0, l2 = 0, h1 = 0, h2 = 0;
-        for (size_t t = rb; t < re; ++t) {
-          l1 += wv[t] * xi_lo[t];
-          l2 += wv[t] * xi_lo[t] * xi_lo[t];
-          h1 += wv[t] * xi_hi[t];
-          h2 += wv[t] * xi_hi[t] * xi_hi[t];
-        }
-        lo = std::min(lo, l2 / tw - (l1 / tw) * (l1 / tw));
-        hi = std::max(hi, h2 / tw - (h1 / tw) * (h1 / tw));
+        double mo_hi[3];
+        ks.moments(wv, xi_hi, rb, re, mo_hi);
+        lo = std::min(lo,
+                      mo_lo[2] / tw - (mo_lo[1] / tw) * (mo_lo[1] / tw));
+        hi = std::max(hi,
+                      mo_hi[2] / tw - (mo_hi[1] / tw) * (mo_hi[1] / tw));
       }
       if (!std::isfinite(lo)) {
         lo = hi = var_code;
@@ -258,17 +320,12 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
     case AggFunc::kMin:
     case AggFunc::kMax: {
       const bool is_min = func == AggFunc::kMin;
+      // Masked search kernels: first (MIN) / last (MAX) bin whose weight
+      // clears the threshold. Exact comparisons, identical on every tier.
       auto first_idx = [&](const double* wv, double threshold) -> int {
-        if (is_min) {
-          for (size_t t = rb; t < re; ++t) {
-            if (wv[t] > threshold) return static_cast<int>(t);
-          }
-        } else {
-          for (size_t t = re; t-- > rb;) {
-            if (wv[t] > threshold) return static_cast<int>(t);
-          }
-        }
-        return -1;
+        size_t t = is_min ? ks.find_first_gt(wv, rb, re, threshold)
+                          : ks.find_last_gt(wv, rb, re, threshold);
+        return t == kKernelNotFound ? -1 : static_cast<int>(t);
       };
 
       int t_est = first_idx(wt.w, kWeightEps);
@@ -332,27 +389,41 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       // Rule changes here (half-mass ties, unique==2, bound walk) must be
       // mirrored in MergeMedian (partial_agg.cc), which reimplements this
       // walk over cross-segment raw-domain bins.
-      auto median_bin = [&](const double* wv) -> int {
-        double tw = 0;
-        for (size_t t = rb; t < re; ++t) tw += wv[t];
+      //
+      // The CDF walk is an inclusive prefix scan (kernel; on the scalar
+      // tier it is the exact sequential accumulation this code used to
+      // do inline) followed by a binary search for the half-mass point:
+      // weights are non-negative so the scan is non-decreasing, and
+      // lower_bound finds the first bin with prefix >= total/2 — the same
+      // bin the sequential `acc >= tw/2` walk stops at.
+      // The half-mass comparison carries a 1e-9 relative tie tolerance:
+      // kernel tiers reassociate the scan (≤ ~n·ulp noise), and without
+      // slack a half-mass point that lands exactly on a bin boundary
+      // would select adjacent bins on different tiers, jumping the
+      // reported bounds by a whole bin.
+      auto median_bin = [&](const double* wv, double* prefix) -> int {
+        ks.prefix_sum(wv, rb, re, prefix);
+        double tw = prefix[re - 1];
         if (tw <= kWeightEps) return -1;
-        double acc = 0;
-        for (size_t t = rb; t < re; ++t) {
-          acc += wv[t];
-          if (acc >= tw / 2.0) return static_cast<int>(t);
-        }
-        return static_cast<int>(re) - 1;
+        double target = tw / 2.0 - 1e-9 * tw;
+        size_t idx = static_cast<size_t>(
+            std::lower_bound(prefix + rb, prefix + re, target) - prefix);
+        if (idx >= re) idx = re - 1;
+        return static_cast<int>(idx);
       };
-      int t_est = median_bin(wt.w);
+      double* pw = arena.Alloc(k);
+      int t_est = median_bin(wt.w, pw);
       if (t_est < 0) {
         r.empty_selection = true;
         r.estimate = r.lower = r.upper = kNaN;
         return r;
       }
       size_t t = static_cast<size_t>(t_est);
-      double before = 0;
-      for (size_t u = rb; u < t; ++u) before += wt.w[u];
-      double f = (total / 2.0 - before) / std::max(wt.w[t], kWeightEps);
+      // Scan-consistent total and mass before the median bin (on the
+      // scalar tier these equal `total` / the old partial re-sum exactly).
+      double twm = pw[re - 1];
+      double before = t > rb ? pw[t - 1] : 0.0;
+      double f = (twm / 2.0 - before) / std::max(wt.w[t], kWeightEps);
       f = std::clamp(f, 0.0, 1.0);
       if (hist.unique[t] == 2) {
         r.estimate = decode(f < 0.5 ? v_lo[t] : v_hi[t]);
@@ -361,7 +432,7 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
       }
       int t_lo = t_est, t_hi = t_est;
       for (const double* wv : {wt.lo, wt.hi}) {
-        int tb = median_bin(wv);
+        int tb = median_bin(wv, pw);
         if (tb >= 0) {
           t_lo = std::min(t_lo, tb);
           t_hi = std::max(t_hi, tb);
@@ -384,20 +455,19 @@ AggResult AggregateImpl(const PairwiseHist& ph, const AqpEngineOptions& options,
 // function-specific AggResult and — for VAR / MEDIAN — the extra
 // statistics the cross-segment merge needs.
 void FillPartialFromWeights(const PairwiseHist& ph,
-                            const AqpEngineOptions& options, AggFunc func,
-                            size_t agg_col, const AggGrid& grid,
-                            const WtSpan& wt, bool single,
+                            const AqpEngineOptions& options,
+                            const KernelOps& ks, AggFunc func, size_t agg_col,
+                            const AggGrid& grid, const WtSpan& wt, bool single,
                             const IntervalSet* agg_clip, ExecArena& arena,
                             PartialAggregate* out) {
   const double rho = ph.sampling_ratio();
-  double total = 0, total_lo = 0, total_hi = 0;
-  for (size_t t = wt.begin; t < wt.end; ++t) total += wt.w[t];
-  for (size_t t = wt.begin; t < wt.end; ++t) total_lo += wt.lo[t];
-  for (size_t t = wt.begin; t < wt.end; ++t) total_hi += wt.hi[t];
-  out->count = total / rho;
-  out->count_lo = total_lo / rho;
-  out->count_hi = total_hi / rho;
-  out->empty = total <= kWeightEps;
+  // Fused single-pass totals (previously three separate sweeps).
+  double tot[3];
+  ks.sum3(wt.w, wt.lo, wt.hi, wt.begin, wt.end, tot);
+  out->count = tot[0] / rho;
+  out->count_lo = tot[1] / rho;
+  out->count_hi = tot[2] / rho;
+  out->empty = tot[0] <= kWeightEps;
   out->value = AggResult{};
   out->mean = AggResult{};
   out->median_bins.clear();
@@ -425,46 +495,117 @@ void FillPartialFromWeights(const PairwiseHist& ph,
     return;
   }
 
-  out->value = AggregateImpl(ph, options, func, agg_col, grid, wt, single,
-                             agg_clip, arena);
+  out->value = AggregateImpl(ph, options, ks, func, agg_col, grid, wt,
+                             single, agg_clip, arena);
   if (func == AggFunc::kVar) {
-    out->mean = AggregateImpl(ph, options, AggFunc::kAvg, agg_col, grid, wt,
-                              single, agg_clip, arena);
+    out->mean = AggregateImpl(ph, options, ks, AggFunc::kAvg, agg_col, grid,
+                              wt, single, agg_clip, arena);
   }
 }
 
 // Eq. 29 weightings over the touched range (identical formulas to the
 // reference WeightsFromProb; untouched bins carry exactly zero weight).
+// Fully-covered runs collapse to the bin counts themselves — at β = 1 the
+// widening variance term is exactly zero and every clamp is the identity,
+// so the bulk counts_to_weights3 kernel reproduces the general formula
+// bit-for-bit while skipping its arithmetic.
 void WeightsInto(const PairwiseHist& ph, const HistogramDim& dim,
-                 const ProbSpan& prob, const WtSpan& wt) {
+                 const ProbSpan& prob, const WtSpan& wt, const KernelOps& ks) {
   const double rho = ph.sampling_ratio();
   const double n_total = static_cast<double>(ph.total_rows());
   const double n_sample = static_cast<double>(ph.sample_rows());
   const bool widen = rho < 1.0 && n_total > 1;
   const double z = Z99();
   const double fpc = widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
+  const uint64_t* counts = dim.counts.data();
 
-  for (size_t t = prob.begin; t < prob.end; ++t) {
-    double h = static_cast<double>(dim.counts[t]);
-    wt.w[t] = h * prob.p[t];
-    double lo = h * prob.lo[t];
-    double hi = h * prob.hi[t];
-    if (widen && h > 0) {
-      double beta_lo = std::clamp(lo / h, 0.0, 1.0);
-      double beta_hi = std::clamp(hi / h, 0.0, 1.0);
-      lo -= z * std::sqrt(h * beta_lo * (1.0 - beta_lo) * fpc);
-      hi += z * std::sqrt(h * beta_hi * (1.0 - beta_hi) * fpc);
+  auto weigh = [&](size_t b, size_t e) {
+    if (b >= e) return;
+    if (widen) {
+      ks.weights_widen(counts, prob.p, prob.lo, prob.hi, z, fpc, wt.w, wt.lo,
+                       wt.hi, b, e);
+    } else {
+      ks.weights_nowiden(counts, prob.p, prob.lo, prob.hi, wt.w, wt.lo,
+                         wt.hi, b, e);
     }
-    wt.lo[t] = std::clamp(lo, 0.0, h);
-    wt.hi[t] = std::clamp(hi, 0.0, h);
+  };
+  size_t t = prob.begin;
+  for (size_t r = 0; r < prob.n_runs; ++r) {
+    const size_t f0 = prob.runs[2 * r];
+    const size_t f1 = prob.runs[2 * r + 1];
+    weigh(t, f0);
+    ks.counts_to_weights3(counts, wt.w, wt.lo, wt.hi, f0, f1);
+    t = f1;
   }
+  weigh(t, prob.end);
 }
 
 // ---------------------------------------------------------------------------
-// Fast-path per-leaf probabilities: sparse cell index + localized coverage.
+// Shared sparse-row reduction. Reduces one aggregation bin's cells against
+// per-pred-bin coverage values using the dense per-row cell prefix
+// (PairView::AggPrefix): fully-covered runs (β = β− = β+ = 1) collapse to
+// one exact integer prefix difference each, and only the few partial
+// coverage bins around the runs read individual cells (also as prefix
+// differences). The accumulation is plain sequential scalar — identical
+// on every kernel tier — and the fast path and the reference path call it
+// with identical coverage spans (ComputeCoverageInto produces the same
+// values and run descriptors for both), so the two paths stay bit-equal
+// while range predicates skip the entire per-cell scan.
 
-ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
-                      size_t col, const IntervalSet& intervals,
+/// Reduces one row against the coverage span: candidate segments bound
+/// the walk (bins between segments have exactly zero coverage, so
+/// scattered multi-piece predicates skip their gaps), and runs inside
+/// them collapse to prefix differences. Returns true when the row has
+/// any cell in [cov_begin, cov_end).
+bool ReduceRow(const PairView& pair, size_t ta, const CoverageSpan& cov,
+               double acc[3]) {
+  const uint64_t* pre = pair.AggPrefix(ta);
+  acc[0] = acc[1] = acc[2] = 0.0;
+  if (pre[cov.end] == pre[cov.begin]) return false;
+  auto partial_bins = [&](size_t b, size_t e) {
+    for (size_t tp = b; tp < e; ++tp) {
+      uint64_t cell = pre[tp + 1] - pre[tp];
+      if (cell == 0) continue;
+      double c = static_cast<double>(cell);
+      acc[0] += c * cov.beta[tp];
+      acc[1] += c * cov.lo[tp];
+      acc[2] += c * cov.hi[tp];
+    }
+  };
+  size_t r = 0;
+  auto segment = [&](size_t sb, size_t se) {
+    size_t t = sb;
+    for (; r < cov.n_runs && cov.runs[2 * r] < se; ++r) {
+      const size_t f0 = cov.runs[2 * r];
+      const size_t f1 = cov.runs[2 * r + 1];
+      partial_bins(t, f0);
+      uint64_t mass = pre[f1] - pre[f0];
+      if (mass != 0) {
+        double total = static_cast<double>(mass);
+        acc[0] += total;
+        acc[1] += total;
+        acc[2] += total;
+      }
+      t = f1;
+    }
+    partial_bins(t, se);
+  };
+  if (cov.n_segs == 0) {
+    segment(cov.begin, cov.end);
+  } else {
+    for (size_t s = 0; s < cov.n_segs; ++s) {
+      segment(cov.segs[2 * s], cov.segs[2 * s + 1]);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path per-leaf probabilities: cell prefix index + localized coverage.
+
+ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena,
+                      const KernelOps& ks, size_t agg_col, size_t col,
+                      const IntervalSet& intervals,
                       const std::vector<uint32_t>& g2ta, const AggGrid& grid) {
   const HistogramDim& gdim = *grid.dim;
   const size_t k = gdim.NumBins();
@@ -472,10 +613,17 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
 
   if (col == agg_col) {
     // Same-column predicate: localized coverage over the aggregation grid.
+    // Fully-covered run descriptors ride along so Eq. 29 weighting can
+    // consume those spans in bulk.
     CoverageSpan cov;
     cov.beta = arena.Alloc(k);
     cov.lo = arena.Alloc(k);
     cov.hi = arena.Alloc(k);
+    cov.max_runs = cov.max_segs = intervals.pieces.size();
+    cov.runs =
+        cov.max_runs > 0 ? arena.AllocU32(2 * cov.max_runs) : nullptr;
+    cov.segs =
+        cov.max_segs > 0 ? arena.AllocU32(2 * cov.max_segs) : nullptr;
     ComputeCoverageInto(gdim, intervals, ph.min_points(), ph.critical_cache(),
                         &cov);
     out.p = cov.beta;
@@ -483,54 +631,55 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
     out.hi = cov.hi;
     out.begin = cov.begin;
     out.end = cov.end;
+    out.runs = cov.runs;
+    out.n_runs = cov.n_runs;
     return out;
   }
 
   if (grid.IsPair() && col == grid.pair_pred_col) {
-    // The grid is this leaf's own pair: scatter the covered pred bins'
-    // non-zero cells into the grid bins. Each grid bin receives its
-    // contributions in ascending pred-bin order, matching the reference
-    // row scan's addition order exactly.
+    // The grid is this leaf's own pair: per grid bin, reduce the covered
+    // pred bins' cells into exact per-grid-bin probabilities via the
+    // dense row prefixes (shared ReduceRow — identical accumulation to
+    // the reference path's scan of the same row).
     const HistogramDim& pred_dim = grid.pair.pred_dim();
     const size_t kp = pred_dim.NumBins();
     CoverageSpan cov;
     cov.beta = arena.Alloc(kp);
     cov.lo = arena.Alloc(kp);
     cov.hi = arena.Alloc(kp);
+    cov.max_runs = cov.max_segs = intervals.pieces.size();
+    cov.runs =
+        cov.max_runs > 0 ? arena.AllocU32(2 * cov.max_runs) : nullptr;
+    cov.segs =
+        cov.max_segs > 0 ? arena.AllocU32(2 * cov.max_segs) : nullptr;
     ComputeCoverageInto(pred_dim, intervals, ph.min_points(),
                         ph.critical_cache(), &cov);
-    out.p = arena.AllocZeroed(k);
-    out.lo = arena.AllocZeroed(k);
-    out.hi = arena.AllocZeroed(k);
+    if (cov.begin >= cov.end) {
+      out.begin = out.end = 0;
+      return out;
+    }
+    out.p = arena.Alloc(k);
+    out.lo = arena.Alloc(k);
+    out.hi = arena.Alloc(k);
     size_t gmin = k, gmax = 0;
-    for (size_t tp = cov.begin; tp < cov.end; ++tp) {
-      double cb = cov.beta[tp];
-      if (cb == 0.0) continue;  // lo/hi are zero too; zero terms are exact
-      double cl = cov.lo[tp];
-      double ch = cov.hi[tp];
-      PairView::CellRun run = grid.pair.PredRow(tp);
-      for (size_t e = 0; e < run.n; ++e) {
-        size_t g = run.bin[e];
-        double cell = static_cast<double>(run.count[e]);
-        out.p[g] += cell * cb;
-        out.lo[g] += cell * cl;
-        out.hi[g] += cell * ch;
-        gmin = std::min(gmin, g);
-        gmax = std::max(gmax, g);
+    for (size_t g = 0; g < k; ++g) {
+      double acc[3];
+      if (!ReduceRow(grid.pair, g, cov, acc)) {
+        out.p[g] = out.lo[g] = out.hi[g] = 0.0;
+        continue;
       }
+      out.p[g] = acc[0];
+      out.lo[g] = acc[1];
+      out.hi[g] = acc[2];
+      gmin = std::min(gmin, g);
+      gmax = std::max(gmax, g);
     }
     if (gmin > gmax) {
       out.begin = out.end = 0;
       return out;
     }
-    for (size_t g = gmin; g <= gmax; ++g) {
-      double h = static_cast<double>(gdim.counts[g]);
-      if (h <= 0) continue;
-      double acc = out.p[g], acc_lo = out.lo[g], acc_hi = out.hi[g];
-      out.p[g] = std::clamp(acc / h, 0.0, 1.0);
-      out.lo[g] = std::clamp(acc_lo / h, 0.0, out.p[g]);
-      out.hi[g] = std::clamp(acc_hi / h, out.p[g], 1.0);
-    }
+    ks.norm_prob3(gdim.counts.data(), out.p, out.lo, out.hi, out.p, out.lo,
+                  out.hi, gmin, gmax + 1);
     out.begin = gmin;
     out.end = gmax + 1;
     return out;
@@ -549,60 +698,47 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
   cov.beta = arena.Alloc(kp);
   cov.lo = arena.Alloc(kp);
   cov.hi = arena.Alloc(kp);
+  cov.max_runs = cov.max_segs = intervals.pieces.size();
+  cov.runs = cov.max_runs > 0 ? arena.AllocU32(2 * cov.max_runs) : nullptr;
+  cov.segs = cov.max_segs > 0 ? arena.AllocU32(2 * cov.max_segs) : nullptr;
   ComputeCoverageInto(pred_dim, intervals, ph.min_points(),
                       ph.critical_cache(), &cov);
 
   double* pa = arena.AllocZeroed(ka);
   double* pa_lo = arena.AllocZeroed(ka);
   double* pa_hi = arena.AllocZeroed(ka);
-  size_t ta_min = ka, ta_max = 0;
-  for (size_t tp = cov.begin; tp < cov.end; ++tp) {
-    double cb = cov.beta[tp];
-    if (cb == 0.0) continue;
-    double cl = cov.lo[tp];
-    double ch = cov.hi[tp];
-    PairView::CellRun run = pair.PredRow(tp);
-    for (size_t e = 0; e < run.n; ++e) {
-      size_t ta = run.bin[e];
-      double cell = static_cast<double>(run.count[e]);
-      pa[ta] += cell * cb;
-      pa_lo[ta] += cell * cl;
-      pa_hi[ta] += cell * ch;
-      ta_min = std::min(ta_min, ta);
-      ta_max = std::max(ta_max, ta);
-    }
-  }
-
   const HistogramDim& agg1d = ph.hist1d(agg_col);
   const size_t k1 = agg1d.NumBins();
   double* num1 = arena.AllocZeroed(k1);
   double* num1_lo = arena.AllocZeroed(k1);
   double* num1_hi = arena.AllocZeroed(k1);
-  if (ta_min <= ta_max) {
-    for (size_t ta = ta_min; ta <= ta_max; ++ta) {
-      double acc = pa[ta], acc_lo = pa_lo[ta], acc_hi = pa_hi[ta];
-      double h = static_cast<double>(agg_dim.counts[ta]);
-      if (h > 0) {
-        pa[ta] = std::clamp(acc / h, 0.0, 1.0);
-        pa_lo[ta] = std::clamp(acc_lo / h, 0.0, pa[ta]);
-        pa_hi[ta] = std::clamp(acc_hi / h, pa[ta], 1.0);
+  size_t ta_min = ka, ta_max = 0;
+  if (cov.begin < cov.end) {
+    for (size_t ta = 0; ta < ka; ++ta) {
+      double acc3[3];
+      if (!ReduceRow(pair, ta, cov, acc3)) {
+        continue;
       }
+      ta_min = std::min(ta_min, ta);
+      ta_max = std::max(ta_max, ta);
+      pa[ta] = acc3[0];
+      pa_lo[ta] = acc3[1];
+      pa_hi[ta] = acc3[2];
       size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
-      num1[parent] += acc;
-      num1_lo[parent] += acc_lo;
-      num1_hi[parent] += acc_hi;
+      num1[parent] += acc3[0];
+      num1_lo[parent] += acc3[1];
+      num1_hi[parent] += acc3[2];
+    }
+    if (ta_min <= ta_max) {
+      ks.norm_prob3(agg_dim.counts.data(), pa, pa_lo, pa_hi, pa, pa_lo,
+                    pa_hi, ta_min, ta_max + 1);
     }
   }
-  double* p1 = arena.AllocZeroed(k1);
-  double* p1_lo = arena.AllocZeroed(k1);
-  double* p1_hi = arena.AllocZeroed(k1);
-  for (size_t t = 0; t < k1; ++t) {
-    double h = static_cast<double>(agg1d.counts[t]);
-    if (h <= 0) continue;
-    p1[t] = std::clamp(num1[t] / h, 0.0, 1.0);
-    p1_lo[t] = std::clamp(num1_lo[t] / h, 0.0, p1[t]);
-    p1_hi[t] = std::clamp(num1_hi[t] / h, p1[t], 1.0);
-  }
+  double* p1 = arena.Alloc(k1);
+  double* p1_lo = arena.Alloc(k1);
+  double* p1_hi = arena.Alloc(k1);
+  ks.norm_prob3(agg1d.counts.data(), num1, num1_lo, num1_hi, p1, p1_lo,
+                p1_hi, 0, k1);
 
   // Output is confined to grid bins whose 1-d parent saw any scattered
   // mass: pa is zero outside [ta_min, ta_max] and p1 is zero outside that
@@ -658,10 +794,11 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
 // AND/OR combination (Eq. 28) over touched ranges. Outside a child's range
 // its probability is exactly zero, so an AND shrinks to the intersection
 // and an OR's missing factors are exactly (1 - 0) = 1.
-ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
+ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena,
+                      const KernelOps& ks, size_t agg_col,
                       const NormalizedPredicate& node, const AggGrid& grid) {
   if (node.type == NormalizedPredicate::Type::kLeaf) {
-    return LeafProbFast(ph, arena, agg_col, node.column, node.intervals,
+    return LeafProbFast(ph, arena, ks, agg_col, node.column, node.intervals,
                         node.g2ta, grid);
   }
   const size_t k = grid.dim->NumBins();
@@ -673,7 +810,7 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
   bool first = true;
   size_t rb = 0, re = 0;
   for (const NormalizedPredicate& child : node.children) {
-    ProbSpan cp = EvalNodeFast(ph, arena, agg_col, child, grid);
+    ProbSpan cp = EvalNodeFast(ph, arena, ks, agg_col, child, grid);
     if (is_and) {
       if (cp.begin >= cp.end) {
         rb = re = 0;  // one empty factor zeroes the whole conjunction
@@ -683,11 +820,9 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
       if (first) {
         rb = cp.begin;
         re = cp.end;
-        for (size_t t = rb; t < re; ++t) {
-          acc.p[t] = cp.p[t];
-          acc.lo[t] = cp.lo[t];
-          acc.hi[t] = cp.hi[t];
-        }
+        std::copy(cp.p + rb, cp.p + re, acc.p + rb);
+        std::copy(cp.lo + rb, cp.lo + re, acc.lo + rb);
+        std::copy(cp.hi + rb, cp.hi + re, acc.hi + rb);
         first = false;
       } else {
         rb = std::max(rb, cp.begin);
@@ -696,11 +831,7 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
           rb = re = 0;
           break;
         }
-        for (size_t t = rb; t < re; ++t) {
-          acc.p[t] *= cp.p[t];
-          acc.lo[t] *= cp.lo[t];
-          acc.hi[t] *= cp.hi[t];
-        }
+        ks.mul3(acc.p, acc.lo, acc.hi, cp.p, cp.lo, cp.hi, rb, re);
       }
     } else {
       if (cp.begin >= cp.end) continue;  // factor (1 - 0) = 1 everywhere
@@ -726,26 +857,14 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
         }
         rb = nb;
         re = ne;
-        for (size_t t = cp.begin; t < cp.end; ++t) {
-          acc.p[t] *= 1.0 - cp.p[t];
-          acc.lo[t] *= 1.0 - cp.hi[t];
-          acc.hi[t] *= 1.0 - cp.lo[t];
-        }
+        ks.or_mul3(acc.p, acc.lo, acc.hi, cp.p, cp.lo, cp.hi, cp.begin,
+                   cp.end);
       }
     }
   }
   acc.begin = rb;
   acc.end = re;
-  if (!is_and) {
-    for (size_t t = rb; t < re; ++t) {
-      double p = 1.0 - acc.p[t];
-      double lo = 1.0 - acc.hi[t];
-      double hi = 1.0 - acc.lo[t];
-      acc.p[t] = p;
-      acc.lo[t] = lo;
-      acc.hi[t] = hi;
-    }
-  }
+  if (!is_and) ks.complement3(acc.p, acc.lo, acc.hi, rb, re);
   return acc;
 }
 
@@ -754,7 +873,7 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena, size_t agg_col,
 // Eq. 29 weights, all in the arena. Used by ExecuteScalarFast and
 // ExecutePartialScalar so the two can never diverge.
 WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
-                             size_t agg_col,
+                             const KernelOps& ks, size_t agg_col,
                              const NormalizedPredicate* where,
                              const NormalizedPredicate* extra_group_leaf,
                              const std::vector<uint32_t>* extra_g2ta,
@@ -763,7 +882,7 @@ WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
   const size_t k = gdim.NumBins();
   ProbSpan prob;
   if (where != nullptr) {
-    prob = EvalNodeFast(ph, arena, agg_col, *where, grid);
+    prob = EvalNodeFast(ph, arena, ks, agg_col, *where, grid);
   } else {
     prob.p = arena.Alloc(k);
     prob.lo = arena.Alloc(k);
@@ -773,34 +892,40 @@ WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
     std::fill(prob.hi, prob.hi + k, 1.0);
     prob.begin = 0;
     prob.end = k;
+    if (k > 0) {
+      // No predicate: the whole grid is one fully-covered run, so the
+      // weighting below is a straight bulk copy of the bin counts.
+      uint32_t* run = arena.AllocU32(2);
+      run[0] = 0;
+      run[1] = static_cast<uint32_t>(k);
+      prob.runs = run;
+      prob.n_runs = 1;
+    }
   }
   if (extra_group_leaf != nullptr) {
     const std::vector<uint32_t>& map =
         (extra_g2ta != nullptr) ? *extra_g2ta : extra_group_leaf->g2ta;
-    ProbSpan gp = LeafProbFast(ph, arena, agg_col, extra_group_leaf->column,
+    ProbSpan gp = LeafProbFast(ph, arena, ks, agg_col,
+                               extra_group_leaf->column,
                                extra_group_leaf->intervals, map, grid);
+    // The product is no longer pure coverage: drop any run descriptors.
+    prob.runs = nullptr;
+    prob.n_runs = 0;
     size_t rb = std::max(prob.begin, gp.begin);
     size_t re = std::min(prob.end, gp.end);
     if (rb >= re) {
       prob.begin = prob.end = 0;
     } else {
-      for (size_t t = rb; t < re; ++t) {
-        prob.p[t] *= gp.p[t];
-        prob.lo[t] *= gp.lo[t];
-        prob.hi[t] *= gp.hi[t];
-      }
+      ks.mul3(prob.p, prob.lo, prob.hi, gp.p, gp.lo, gp.hi, rb, re);
       prob.begin = rb;
       prob.end = re;
     }
   }
 
-  WtSpan wt;
-  wt.w = arena.Alloc(k);
-  wt.lo = arena.Alloc(k);
-  wt.hi = arena.Alloc(k);
+  WtSpan wt = WeightTable::Make(arena, k);
   wt.begin = prob.begin;
   wt.end = prob.end;
-  WeightsInto(ph, gdim, prob, wt);
+  WeightsInto(ph, gdim, prob, wt, ks);
   return wt;
 }
 
@@ -911,6 +1036,7 @@ struct AqpEngine::ScratchLease {
 AqpEngine::AqpEngine(const PairwiseHist* synopsis, AqpEngineOptions options)
     : ph_(synopsis),
       options_(options),
+      ks_(&GetKernels(options.kernels)),
       pool_(std::make_unique<ScratchPool>()) {}
 
 AqpEngine::~AqpEngine() = default;
@@ -1077,27 +1203,36 @@ AqpEngine::Prob AqpEngine::LeafProb(size_t agg_col, const Node& leaf,
 
   if (grid.IsPair() && leaf.column == grid.pair_pred_col) {
     // The grid is this leaf's own pair: exact per-grid-bin probabilities
-    // from the cell matrix (Eq. 27 on the refined grid).
+    // from the cell matrix (Eq. 27 on the refined grid), each grid bin's
+    // sparse row reduced by the same ReduceRow the fast path uses — with
+    // identical coverage values and run descriptors, so the two paths are
+    // bit-equal by construction.
     const HistogramDim& pred_dim = grid.pair.pred_dim();
-    Coverage cov = ComputeCoverage(pred_dim, leaf.intervals,
-                                   ph_->min_points(), ph_->critical_cache());
     const size_t kp = pred_dim.NumBins();
+    std::vector<double> cbeta(kp, 0.0), clo(kp, 0.0), chi(kp, 0.0);
+    std::vector<uint32_t> cruns(2 * leaf.intervals.pieces.size());
+    std::vector<uint32_t> csegs(2 * leaf.intervals.pieces.size());
+    CoverageSpan cov;
+    cov.beta = cbeta.data();
+    cov.lo = clo.data();
+    cov.hi = chi.data();
+    cov.runs = cruns.empty() ? nullptr : cruns.data();
+    cov.segs = csegs.empty() ? nullptr : csegs.data();
+    cov.max_runs = cov.max_segs = leaf.intervals.pieces.size();
+    ComputeCoverageInto(pred_dim, leaf.intervals, ph_->min_points(),
+                        ph_->critical_cache(), &cov);
     for (size_t g = 0; g < k; ++g) {
-      double h = static_cast<double>(gdim.counts[g]);
-      if (h <= 0) continue;
-      double acc = 0, acc_lo = 0, acc_hi = 0;
-      for (size_t tp = 0; tp < kp; ++tp) {
-        uint64_t cell = grid.pair.Cell(g, tp);
-        if (cell == 0) continue;
-        double c = static_cast<double>(cell);
-        acc += c * cov.beta[tp];
-        acc_lo += c * cov.lo[tp];
-        acc_hi += c * cov.hi[tp];
+      double acc[3];
+      if (!ReduceRow(grid.pair, g, cov, acc)) {
+        continue;  // prob vectors are zero-initialized
       }
-      prob.p[g] = std::clamp(acc / h, 0.0, 1.0);
-      prob.lo[g] = std::clamp(acc_lo / h, 0.0, prob.p[g]);
-      prob.hi[g] = std::clamp(acc_hi / h, prob.p[g], 1.0);
+      prob.p[g] = acc[0];
+      prob.lo[g] = acc[1];
+      prob.hi[g] = acc[2];
     }
+    ks_->norm_prob3(gdim.counts.data(), prob.p.data(), prob.lo.data(),
+                    prob.hi.data(), prob.p.data(), prob.lo.data(),
+                    prob.hi.data(), 0, k);
     return prob;
   }
 
@@ -1111,10 +1246,20 @@ AqpEngine::Prob AqpEngine::LeafProb(size_t agg_col, const Node& leaf,
   PairView pair = ph_->GetPair(agg_col, leaf.column);
   const HistogramDim& pred_dim = pair.pred_dim();
   const HistogramDim& agg_dim = pair.agg_dim();
-  Coverage cov = ComputeCoverage(pred_dim, leaf.intervals, ph_->min_points(),
-                                 ph_->critical_cache());
-  const size_t ka = agg_dim.NumBins();
   const size_t kp = pred_dim.NumBins();
+  std::vector<double> cbeta(kp, 0.0), clo(kp, 0.0), chi(kp, 0.0);
+  std::vector<uint32_t> cruns(2 * leaf.intervals.pieces.size());
+  std::vector<uint32_t> csegs(2 * leaf.intervals.pieces.size());
+  CoverageSpan cov;
+  cov.beta = cbeta.data();
+  cov.lo = clo.data();
+  cov.hi = chi.data();
+  cov.runs = cruns.empty() ? nullptr : cruns.data();
+  cov.segs = csegs.empty() ? nullptr : csegs.data();
+  cov.max_runs = cov.max_segs = leaf.intervals.pieces.size();
+  ComputeCoverageInto(pred_dim, leaf.intervals, ph_->min_points(),
+                      ph_->critical_cache(), &cov);
+  const size_t ka = agg_dim.NumBins();
   std::vector<double> pa(ka, 0.0), pa_lo(ka, 0.0), pa_hi(ka, 0.0);
   // Parent-level aggregation (exact null semantics) and the per-parent
   // fraction of 1-d rows that have the predicate column non-null — the
@@ -1126,35 +1271,29 @@ AqpEngine::Prob AqpEngine::LeafProb(size_t agg_col, const Node& leaf,
   std::vector<double> num1(k1, 0.0), num1_lo(k1, 0.0), num1_hi(k1, 0.0);
   std::vector<double> pair_rows1(k1, 0.0);
   for (size_t ta = 0; ta < ka; ++ta) {
-    double acc = 0, acc_lo = 0, acc_hi = 0;
-    for (size_t tp = 0; tp < kp; ++tp) {
-      uint64_t cell = pair.Cell(ta, tp);
-      if (cell == 0) continue;
-      double c = static_cast<double>(cell);
-      acc += c * cov.beta[tp];
-      acc_lo += c * cov.lo[tp];
-      acc_hi += c * cov.hi[tp];
-    }
+    double acc[3];
+    ReduceRow(pair, ta, cov, acc);
     double h = static_cast<double>(agg_dim.counts[ta]);
-    if (h > 0) {
-      pa[ta] = std::clamp(acc / h, 0.0, 1.0);
-      pa_lo[ta] = std::clamp(acc_lo / h, 0.0, pa[ta]);
-      pa_hi[ta] = std::clamp(acc_hi / h, pa[ta], 1.0);
-    }
+    pa[ta] = acc[0];
+    pa_lo[ta] = acc[1];
+    pa_hi[ta] = acc[2];
     size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
-    num1[parent] += acc;
-    num1_lo[parent] += acc_lo;
-    num1_hi[parent] += acc_hi;
+    num1[parent] += acc[0];
+    num1_lo[parent] += acc[1];
+    num1_hi[parent] += acc[2];
     pair_rows1[parent] += h;
   }
-  std::vector<double> p1(k1, 0.0), p1_lo(k1, 0.0), p1_hi(k1, 0.0);
+  ks_->norm_prob3(agg_dim.counts.data(), pa.data(), pa_lo.data(),
+                  pa_hi.data(), pa.data(), pa_lo.data(), pa_hi.data(), 0,
+                  ka);
+  std::vector<double> p1(k1), p1_lo(k1), p1_hi(k1);
+  ks_->norm_prob3(agg1d.counts.data(), num1.data(), num1_lo.data(),
+                  num1_hi.data(), p1.data(), p1_lo.data(), p1_hi.data(), 0,
+                  k1);
   std::vector<double> non_null_frac(k1, 1.0);
   for (size_t t = 0; t < k1; ++t) {
     double h = static_cast<double>(agg1d.counts[t]);
     if (h <= 0) continue;
-    p1[t] = std::clamp(num1[t] / h, 0.0, 1.0);
-    p1_lo[t] = std::clamp(num1_lo[t] / h, 0.0, p1[t]);
-    p1_hi[t] = std::clamp(num1_hi[t] / h, p1[t], 1.0);
     non_null_frac[t] = std::clamp(pair_rows1[t] / h, 0.0, 1.0);
   }
 
@@ -1231,7 +1370,7 @@ Weightings AqpEngine::WeightsFromProb(const HistogramDim& dim,
   view.begin = 0;
   view.end = k;
   WtSpan out{wt.w.data(), wt.lo.data(), wt.hi.data(), 0, k};
-  WeightsInto(*ph_, dim, view, out);
+  WeightsInto(*ph_, dim, view, out, *ks_);
   return wt;
 }
 
@@ -1399,8 +1538,8 @@ StatusOr<AggResult> AqpEngine::ExecuteScalar(const CompiledQuery& plan,
   bool single = ResolveSingle(plan.single_column_, extra_group_leaf, agg_col);
   scratch.arena.Reset();
   WtSpan view{wt.w.data(), wt.lo.data(), wt.hi.data(), 0, k};
-  return AggregateImpl(*ph_, options_, plan.query_.func, agg_col, grid, view,
-                       single, agg_clip, scratch.arena);
+  return AggregateImpl(*ph_, options_, *ks_, plan.query_.func, agg_col, grid,
+                       view, single, agg_clip, scratch.arena);
 }
 
 StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
@@ -1432,12 +1571,13 @@ StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
   }
 
   WtSpan wt = ComputeWeightSpanFast(
-      *ph_, arena, agg_col, plan.where_.has_value() ? &*plan.where_ : nullptr,
-      extra_group_leaf, extra_g2ta, grid);
+      *ph_, arena, *ks_, agg_col,
+      plan.where_.has_value() ? &*plan.where_ : nullptr, extra_group_leaf,
+      extra_g2ta, grid);
   const IntervalSet* agg_clip =
       ResolveAggClip(plan.agg_clip_, extra_group_leaf, agg_col);
   bool single = ResolveSingle(plan.single_column_, extra_group_leaf, agg_col);
-  return AggregateImpl(*ph_, options_, func, agg_col, grid, wt, single,
+  return AggregateImpl(*ph_, options_, *ks_, func, agg_col, grid, wt, single,
                        agg_clip, arena);
 }
 
@@ -1462,7 +1602,7 @@ Status AqpEngine::ExecutePartialScalar(
   Weightings ref_store;  // reference-path backing storage
   if (options_.use_fast_path) {
     wt = ComputeWeightSpanFast(
-        *ph_, arena, agg_col,
+        *ph_, arena, *ks_, agg_col,
         plan.where_.has_value() ? &*plan.where_ : nullptr, extra_group_leaf,
         extra_g2ta, grid);
   } else {
@@ -1470,8 +1610,8 @@ Status AqpEngine::ExecutePartialScalar(
     wt = WtSpan{ref_store.w.data(), ref_store.lo.data(),
                 ref_store.hi.data(), 0, k};
   }
-  FillPartialFromWeights(*ph_, options_, plan.query_.func, agg_col, grid, wt,
-                         single, agg_clip, arena, out);
+  FillPartialFromWeights(*ph_, options_, *ks_, plan.query_.func, agg_col,
+                         grid, wt, single, agg_clip, arena, out);
   return Status::OK();
 }
 

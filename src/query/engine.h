@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "core/pairwise_hist.h"
 #include "query/ast.h"
@@ -55,12 +56,19 @@ struct AqpEngineOptions {
   bool use_pair_grid = true;
   bool clip_agg_values = true;
   bool var_within_bin = true;
-  /// Zero-allocation execution fast path: pooled scratch arena, sparse
-  /// cell index and interval-localized coverage. Produces results
+  /// Zero-allocation execution fast path: pooled scratch arena, cell
+  /// prefix index and interval-localized coverage. Produces results
   /// identical to the reference path (asserted by the equivalence suite);
   /// off switches Execute back to the straightforward reference
   /// implementation.
   bool use_fast_path = true;
+  /// SIMD kernel tier for the execution loops (see common/simd.h):
+  /// runtime-detected widest by default, kScalar forces the scalar
+  /// kernels. Per-tier results are deterministic (bit-identical across
+  /// runs and exec_threads); scalar and SIMD tiers agree to 1e-9 relative
+  /// (lane reassociation only). Both the fast path and the reference path
+  /// use the same tier, preserving their exact equivalence.
+  KernelMode kernels = KernelMode::kAuto;
 };
 
 /// Normalized predicate tree: leaves are consolidated (column,
@@ -223,8 +231,8 @@ class AqpEngine {
   StatusOr<AggResult> ExecuteScalar(const CompiledQuery& plan,
                                     const Node* extra_group_leaf,
                                     ExecScratch& scratch) const;
-  /// Zero-allocation fast path over the scratch arena (sparse cell index,
-  /// localized coverage, range-restricted weighting/aggregation).
+  /// Zero-allocation fast path over the scratch arena (cell prefix
+  /// index, localized coverage, range-restricted weighting/aggregation).
   StatusOr<AggResult> ExecuteScalarFast(const CompiledQuery& plan,
                                         const Node* extra_group_leaf,
                                         const std::vector<uint32_t>* extra_g2ta,
@@ -240,6 +248,8 @@ class AqpEngine {
 
   const PairwiseHist* ph_;
   AqpEngineOptions options_;
+  /// Kernel table resolved once from options_.kernels at construction.
+  const KernelOps* ks_;
   std::unique_ptr<ScratchPool> pool_;
 };
 

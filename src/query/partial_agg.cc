@@ -69,7 +69,8 @@ double WeightedAvgExtreme(std::vector<double> vals, std::vector<double> wlo,
 // RULE (half-mass tie handling, the unique==2 two-value case, the
 // w_lo/w_hi bound walk) must be applied to both, and the 1-vs-N-segment
 // equivalence suite in tests/segment_test.cc guards their agreement.
-AggResult MergeMedian(const std::vector<const PartialAggregate*>& parts) {
+AggResult MergeMedian(const std::vector<const PartialAggregate*>& parts,
+                      const KernelOps& ks) {
   // Gather every touched bin; sort by value interval for the CDF walk.
   std::vector<const PartialAggregate::MedianBin*> bins;
   for (const PartialAggregate* p : parts) {
@@ -81,28 +82,39 @@ AggResult MergeMedian(const std::vector<const PartialAggregate*>& parts) {
               if (a->v_lo != b->v_lo) return a->v_lo < b->v_lo;
               return a->v_hi < b->v_hi;
             });
+  const size_t n = bins.size();
+  if (n == 0) return EmptyResult(AggFunc::kMedian);
 
-  auto median_bin = [&](auto weight_of) -> int {
-    double tw = 0;
-    for (const auto* b : bins) tw += weight_of(b);
+  // Transpose the sorted bins into weight lanes so the three CDF walks run
+  // as prefix-scan kernels + binary search instead of pointer-chasing.
+  std::vector<double> w(n), w_lo(n), w_hi(n), prefix(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = bins[i]->w;
+    w_lo[i] = bins[i]->w_lo;
+    w_hi[i] = bins[i]->w_hi;
+  }
+  // Same 1e-9 relative tie tolerance as the engine's half-mass walk
+  // (engine.cc kMedian): the two implementations must keep rule parity.
+  auto median_bin = [&](const double* wv) -> int {
+    ks.prefix_sum(wv, 0, n, prefix.data());
+    double tw = prefix[n - 1];
     if (tw <= kMassEps) return -1;
-    double acc = 0;
-    for (size_t t = 0; t < bins.size(); ++t) {
-      acc += weight_of(bins[t]);
-      if (acc >= tw / 2.0) return static_cast<int>(t);
-    }
-    return static_cast<int>(bins.size()) - 1;
+    double target = tw / 2.0 - 1e-9 * tw;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(prefix.data(), prefix.data() + n, target) -
+        prefix.data());
+    if (idx >= n) idx = n - 1;
+    return static_cast<int>(idx);
   };
 
   AggResult r;
-  auto w_est = [](const PartialAggregate::MedianBin* b) { return b->w; };
-  int t_est = median_bin(w_est);
+  int t_est = median_bin(w.data());
   if (t_est < 0) return EmptyResult(AggFunc::kMedian);
 
-  double total = 0, before = 0;
-  for (const auto* b : bins) total += b->w;
-  for (int u = 0; u < t_est; ++u) before += bins[static_cast<size_t>(u)]->w;
-  const auto* bt = bins[static_cast<size_t>(t_est)];
+  const size_t te = static_cast<size_t>(t_est);
+  double total = prefix[n - 1];
+  double before = te > 0 ? prefix[te - 1] : 0.0;
+  const auto* bt = bins[te];
   double f = (total / 2.0 - before) / std::max(bt->w, kMassEps);
   f = std::clamp(f, 0.0, 1.0);
   if (bt->unique == 2) {
@@ -112,17 +124,12 @@ AggResult MergeMedian(const std::vector<const PartialAggregate*>& parts) {
   }
 
   int t_lo = t_est, t_hi = t_est;
-  int tb = median_bin(
-      [](const PartialAggregate::MedianBin* b) { return b->w_lo; });
-  if (tb >= 0) {
-    t_lo = std::min(t_lo, tb);
-    t_hi = std::max(t_hi, tb);
-  }
-  tb = median_bin(
-      [](const PartialAggregate::MedianBin* b) { return b->w_hi; });
-  if (tb >= 0) {
-    t_lo = std::min(t_lo, tb);
-    t_hi = std::max(t_hi, tb);
+  for (const double* wv : {w_lo.data(), w_hi.data()}) {
+    int tb = median_bin(wv);
+    if (tb >= 0) {
+      t_lo = std::min(t_lo, tb);
+      t_hi = std::max(t_hi, tb);
+    }
   }
   r.lower = bins[static_cast<size_t>(t_lo)]->v_lo;
   r.upper = bins[static_cast<size_t>(t_hi)]->v_hi;
@@ -134,7 +141,9 @@ AggResult MergeMedian(const std::vector<const PartialAggregate*>& parts) {
 }  // namespace
 
 AggResult MergePartials(AggFunc func,
-                        const std::vector<const PartialAggregate*>& parts) {
+                        const std::vector<const PartialAggregate*>& parts,
+                        const KernelOps* ks) {
+  if (ks == nullptr) ks = &ScalarKernels();
   if (func == AggFunc::kCount) {
     AggResult r;
     for (const PartialAggregate* p : parts) {
@@ -152,7 +161,7 @@ AggResult MergePartials(AggFunc func,
     if (!p->empty) live.push_back(p);
   }
   if (live.empty()) return EmptyResult(func);
-  if (func == AggFunc::kMedian) return MergeMedian(live);
+  if (func == AggFunc::kMedian) return MergeMedian(live, *ks);
   if (live.size() == 1) {
     return live[0]->value;  // single contributing segment: pass through
   }
@@ -263,7 +272,7 @@ AggResult MergePartials(AggFunc func,
 
 void MergePartialResults(AggFunc func, bool grouped,
                          const std::vector<PartialResult>& parts,
-                         QueryResult* out) {
+                         QueryResult* out, const KernelOps* ks) {
   out->groups.clear();
 
   // Label -> index into the merged order (first seen, walking segments in
@@ -292,7 +301,7 @@ void MergePartialResults(AggFunc func, bool grouped,
   }
 
   for (size_t i = 0; i < labels.size(); ++i) {
-    AggResult agg = MergePartials(func, by_label[i]);
+    AggResult agg = MergePartials(func, by_label[i], ks);
     if (grouped) {
       bool empty_count = func == AggFunc::kCount && agg.estimate <= 0.5;
       if (agg.empty_selection || empty_count) continue;

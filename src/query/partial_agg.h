@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "query/ast.h"
 
 namespace pairwisehist {
@@ -66,9 +67,12 @@ struct PartialResult {
 
 /// Merges per-segment partials for one (group, function) into a final
 /// AggResult. Empty partials contribute nothing; all-empty yields
-/// empty_selection (COUNT: estimate 0).
+/// empty_selection (COUNT: estimate 0). `ks` selects the kernel tier for
+/// the MEDIAN CDF merge (it can walk thousands of exported bins); null
+/// means scalar. The merge itself is always serial and deterministic.
 AggResult MergePartials(AggFunc func,
-                        const std::vector<const PartialAggregate*>& parts);
+                        const std::vector<const PartialAggregate*>& parts,
+                        const KernelOps* ks = nullptr);
 
 /// Merges whole per-segment results by label into `out` (cleared first).
 /// Group order: first seen, walking segments in order. Grouped COUNT
@@ -77,7 +81,7 @@ AggResult MergePartials(AggFunc func,
 /// single-segment engine's filtering.
 void MergePartialResults(AggFunc func, bool grouped,
                          const std::vector<PartialResult>& parts,
-                         QueryResult* out);
+                         QueryResult* out, const KernelOps* ks = nullptr);
 
 }  // namespace pairwisehist
 

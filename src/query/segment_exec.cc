@@ -204,9 +204,10 @@ Status SegmentedExecutor::ExecuteInto(const SegmentedPlan& plan,
   }
 
   // Deterministic serial merge in segment order: results are bit-equal for
-  // any exec_threads value.
+  // any exec_threads value. The merge runs on the same kernel tier as the
+  // per-segment executions.
   MergePartialResults(st->query.func, !st->query.group_by.empty(), parts,
-                      result);
+                      result, &GetKernels(options_.engine.kernels));
   return Status::OK();
 }
 

@@ -1,5 +1,5 @@
 // Fast-path validation: the zero-allocation execution path (scratch arena,
-// sparse cell index, interval-localized coverage, COUNT prefix-sum
+// cell prefix index, interval-localized coverage, COUNT prefix-sum
 // shortcut) must produce results IDENTICAL to the reference path — same
 // doubles, not approximately equal — across every query shape, plus stay
 // allocation-free in steady state and safe under concurrent execution.
