@@ -1,0 +1,220 @@
+// Batched multi-query execution benchmark: a dashboard-style batch of
+// grid-sharing prepared queries executed via PreparedBatch vs looping the
+// same prepared queries one at a time. Also times a batch of
+// distinct-predicate queries (grid shared, coverage not) to show what the
+// dedup alone is worth. Verifies batch results are identical to the loop
+// on every workload and emits BENCH_batch.json for CI's perf trajectory.
+//
+// No google-benchmark dependency: self-calibrating timing loops.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+#include "query/batch_exec.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+template <typename F>
+double TimePerCallUs(F&& body) {
+  int reps = 1;
+  for (;;) {
+    double t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) body();
+    double dt = NowSeconds() - t0;
+    if (dt > 0.1 || reps >= (1 << 24)) {
+      return dt * 1e6 / reps;
+    }
+    reps *= 4;
+  }
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  if (a.groups.size() != b.groups.size()) return false;
+  auto same = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].label != b.groups[g].label) return false;
+    const AggResult& x = a.groups[g].agg;
+    const AggResult& y = b.groups[g].agg;
+    if (x.empty_selection != y.empty_selection) return false;
+    if (!same(x.estimate, y.estimate) || !same(x.lower, y.lower) ||
+        !same(x.upper, y.upper)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Workload {
+  const char* name;
+  std::vector<std::string> sqls;
+};
+
+struct Measured {
+  double loop_us = 0;   // whole batch, per-query loop
+  double batch_us = 0;  // whole batch, PreparedBatch
+  double speedup = 0;
+  size_t batch_size = 0;
+  size_t distinct = 0;
+  size_t mismatches = 0;
+};
+
+Measured MeasureWorkload(const Db& db, const Workload& wl) {
+  Measured m;
+  m.batch_size = wl.sqls.size();
+
+  std::vector<PreparedQuery> prepared;
+  for (const std::string& sql : wl.sqls) {
+    auto pq = db.Prepare(sql);
+    if (!pq.ok()) {
+      std::fprintf(stderr, "prepare failed: %s: %s\n", sql.c_str(),
+                   pq.status().ToString().c_str());
+      ++m.mismatches;
+      return m;
+    }
+    prepared.push_back(std::move(pq).value());
+  }
+  auto batch = db.PrepareBatch(wl.sqls);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "PrepareBatch failed: %s\n",
+                 batch.status().ToString().c_str());
+    ++m.mismatches;
+    return m;
+  }
+  m.distinct = batch->NumDistinctPlans();
+
+  // Correctness first: batch output must match the loop exactly.
+  std::vector<QueryResult> loop_results(prepared.size());
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    Status st = prepared[i].ExecuteInto(&loop_results[i]);
+    if (!st.ok()) ++m.mismatches;
+  }
+  std::vector<QueryResult> batch_results;
+  Status st = batch->ExecuteInto(&batch_results);
+  if (!st.ok() || batch_results.size() != loop_results.size()) {
+    ++m.mismatches;
+    return m;
+  }
+  for (size_t i = 0; i < loop_results.size(); ++i) {
+    if (!SameResult(loop_results[i], batch_results[i])) ++m.mismatches;
+  }
+
+  m.loop_us = TimePerCallUs([&]() {
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      Status s = prepared[i].ExecuteInto(&loop_results[i]);
+      (void)s;
+    }
+  });
+  m.batch_us = TimePerCallUs([&]() {
+    Status s = batch->ExecuteInto(&batch_results);
+    (void)s;
+  });
+  m.speedup = m.batch_us > 0 ? m.loop_us / m.batch_us : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Batched execution: PreparedBatch vs per-query loop");
+  const size_t rows = EnvSize("PH_SCALE_ROWS", 200000);
+  DbOptions options;
+  options.synopsis.sample_size = rows / 10;
+  auto db = Db::FromGenerator("power", rows, 71, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // The acceptance workload: >= 8 prepared queries sharing one
+  // aggregation grid (every aggregate of a dashboard tile over the same
+  // filter, plus repeated tiles). Coverage + weighting runs once.
+  Workload shared{"grid_sharing_dashboard",
+                  {
+                      "SELECT COUNT(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT SUM(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT VAR(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT MIN(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT MAX(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT MEDIAN(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT COUNT(global_active_power) FROM power WHERE hour >= 18;",
+                      "SELECT SUM(global_active_power) FROM power WHERE hour >= 18;",
+                  }};
+
+  // Same grid, distinct predicates: only the per-segment fan-out and the
+  // SoA weighting batch are shared; coverage runs per predicate.
+  Workload distinct{"grid_sharing_distinct_predicates",
+                    {
+                        "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
+                        "SELECT AVG(global_active_power) FROM power WHERE hour >= 6;",
+                        "SELECT AVG(global_active_power) FROM power WHERE hour < 12;",
+                        "SELECT SUM(global_active_power) FROM power WHERE hour >= 20;",
+                        "SELECT COUNT(global_active_power) FROM power WHERE hour < 4;",
+                        "SELECT MEDIAN(global_active_power) FROM power WHERE hour >= 8;",
+                        "SELECT VAR(global_active_power) FROM power WHERE hour < 22;",
+                        "SELECT MAX(global_active_power) FROM power WHERE hour >= 12;",
+                    }};
+
+  // Mixed columns and predicate shapes: what a whole dashboard page
+  // (several tiles over different columns) looks like.
+  Workload mixed{"mixed_dashboard_page",
+                 {
+                     "SELECT COUNT(voltage) FROM power WHERE voltage > 240;",
+                     "SELECT AVG(voltage) FROM power WHERE voltage > 240;",
+                     "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
+                     "SELECT SUM(global_active_power) FROM power WHERE hour >= 18;",
+                     "SELECT MEDIAN(global_active_power) FROM power WHERE hour >= 18;",
+                     "SELECT SUM(global_active_power) FROM power WHERE hour >= 6 AND "
+                     "voltage > 236 AND global_intensity > 0.4;",
+                     "SELECT COUNT(voltage) FROM power WHERE hour < 4 OR hour > 20;",
+                     "SELECT VAR(sub_metering_3) FROM power WHERE day_of_week < 6;",
+                     "SELECT AVG(sub_metering_3) FROM power WHERE day_of_week < 6;",
+                     "SELECT MAX(global_intensity) FROM power WHERE hour >= 18;",
+                 }};
+
+  std::printf("%-34s %6s %9s %12s %12s %9s\n", "workload", "n", "distinct",
+              "loop us/q", "batch us/q", "speedup");
+  std::string rows_json;
+  size_t mismatches = 0;
+  double shared_speedup = 0;
+  for (const Workload* wl : {&shared, &distinct, &mixed}) {
+    Measured m = MeasureWorkload(db.value(), *wl);
+    mismatches += m.mismatches;
+    if (std::string(wl->name) == "grid_sharing_dashboard") {
+      shared_speedup = m.speedup;
+    }
+    std::printf("%-34s %6zu %9zu %12.3f %12.3f %8.2fx\n", wl->name,
+                m.batch_size, m.distinct, m.loop_us / m.batch_size,
+                m.batch_us / m.batch_size, m.speedup);
+    char row[384];
+    std::snprintf(row, sizeof(row),
+                  "%s    {\"name\": \"%s\", \"batch_size\": %zu, "
+                  "\"distinct_plans\": %zu, \"loop_us\": %.4f, "
+                  "\"batch_us\": %.4f, \"speedup\": %.3f}",
+                  rows_json.empty() ? "" : ",\n", wl->name, m.batch_size,
+                  m.distinct, m.loop_us, m.batch_us, m.speedup);
+    rows_json += row;
+  }
+
+  std::printf("\ngrid-sharing batch speedup: %.2fx (target >= 2x)%s\n",
+              shared_speedup, mismatches == 0 ? "" : "  [RESULT MISMATCHES!]");
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"bench\": \"batch\",\n  \"scale_rows\": %zu,\n"
+                "  \"grid_sharing_speedup\": %.3f,\n  \"mismatches\": %zu,\n"
+                "  \"workloads\": [\n",
+                rows, shared_speedup, mismatches);
+  WriteBenchJson("BENCH_batch.json",
+                 std::string(head) + rows_json + "\n  ]\n}");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -14,6 +14,8 @@
 //   .segments         per-segment row ranges and synopsis sizes
 //   .exact <sql>      run the same SQL exactly (ground truth)
 //   .prepare <sql>    compile once, then time repeated executions
+//   .batch <file>     execute one query per line as a single batch and
+//                     report per-query latency + batch-vs-loop speedup
 //   .append <rows>    generate + seal new rows as a fresh segment
 //   .append <csv>     ingest a CSV batch as a fresh segment
 //   .save <path>      write the serialized (multi-segment) synopsis
@@ -21,11 +23,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/db.h"
 #include "datagen/datasets.h"
+#include "query/batch_exec.h"
 #include "storage/csv.h"
 
 using namespace pairwisehist;
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
           ".segments        per-segment row ranges and synopsis sizes\n"
           ".exact <sql>     run the same SQL exactly (ground truth)\n"
           ".prepare <sql>   compile once, time 1000 re-executions\n"
+          ".batch <file>    run one query per line as a single batch\n"
           ".append <rows>   generate+seal new rows as a fresh segment\n"
           ".append <csv>    ingest a CSV batch as a fresh segment\n"
           ".save <path>     write the serialized (multi-segment) synopsis\n"
@@ -155,6 +161,87 @@ int main(int argc, char** argv) {
       }
       std::printf("  prepared: %.1f us/execution over %d runs\n",
                   (NowUs() - t0) / reps, reps);
+      continue;
+    }
+    if (line.rfind(".batch ", 0) == 0) {
+      std::string path = line.substr(7);
+      std::ifstream in(path);
+      if (!in) {
+        std::printf("error: cannot open '%s'\n", path.c_str());
+        continue;
+      }
+      std::vector<std::string> sqls;
+      std::string sql;
+      while (std::getline(in, sql)) {
+        // One query per line; blank lines and # comments are skipped.
+        size_t first = sql.find_first_not_of(" \t\r");
+        if (first == std::string::npos || sql[first] == '#') continue;
+        sqls.push_back(sql.substr(first));
+      }
+      if (sqls.empty()) {
+        std::printf("no queries in '%s'\n", path.c_str());
+        continue;
+      }
+      auto batch = db.PrepareBatch(sqls);
+      if (!batch.ok()) {
+        std::printf("error: %s\n", batch.status().ToString().c_str());
+        continue;
+      }
+      std::vector<QueryResult> results;
+      Status st = batch->ExecuteInto(&results);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < results.size(); ++i) {
+        std::printf("[%2zu] %s\n", i, sqls[i].c_str());
+        PrintResult(results[i]);
+      }
+      // Batch vs loop timing over the same prepared statements.
+      std::vector<PreparedQuery> prepared;
+      bool all_prepared = true;
+      for (const std::string& s : sqls) {
+        auto pq = db.Prepare(s);
+        if (!pq.ok()) {
+          all_prepared = false;
+          break;
+        }
+        prepared.push_back(std::move(pq).value());
+      }
+      const int reps = 200;
+      bool timing_ok = true;
+      double t0 = NowUs();
+      for (int r = 0; r < reps; ++r) {
+        timing_ok = batch->ExecuteInto(&results).ok() && timing_ok;
+      }
+      double batch_us = (NowUs() - t0) / reps;
+      double loop_us = 0;
+      if (all_prepared) {
+        std::vector<QueryResult> loop_results(prepared.size());
+        t0 = NowUs();
+        for (int r = 0; r < reps; ++r) {
+          for (size_t i = 0; i < prepared.size(); ++i) {
+            timing_ok =
+                prepared[i].ExecuteInto(&loop_results[i]).ok() && timing_ok;
+          }
+        }
+        loop_us = (NowUs() - t0) / reps;
+      }
+      if (!timing_ok) {
+        std::printf("  timing invalid: executions failed mid-loop\n");
+        continue;
+      }
+      std::printf(
+          "  %zu queries (%zu distinct plans): %.2f us/query batched",
+          batch->size(), batch->NumDistinctPlans(),
+          batch_us / static_cast<double>(batch->size()));
+      if (loop_us > 0) {
+        std::printf(", %.2f us/query looped  (%.2fx speedup)\n",
+                    loop_us / static_cast<double>(batch->size()),
+                    loop_us / batch_us);
+      } else {
+        std::printf("\n");
+      }
       continue;
     }
     if (line.rfind(".append ", 0) == 0) {

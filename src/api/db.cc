@@ -242,6 +242,78 @@ StatusOr<QueryResult> Db::ExecuteSql(const std::string& sql) const {
   return pq.Execute();
 }
 
+// ---------------------------------------------------------------------------
+// Batched queries
+
+StatusOr<PreparedBatch> Db::PrepareBatch(
+    const std::vector<std::string>& sqls) const {
+  std::vector<Query> queries;
+  queries.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    PH_ASSIGN_OR_RETURN(Query q, ParseSql(sql));
+    queries.push_back(std::move(q));
+  }
+  return PrepareBatch(std::move(queries));
+}
+
+StatusOr<PreparedBatch> Db::PrepareBatch(std::vector<Query> queries) const {
+  if (backend_ != nullptr) {
+    return Status::Unsupported(
+        "batch execution uses the built-in engine; reset the backend "
+        "before PrepareBatch");
+  }
+  PreparedBatch batch;
+  batch.exec_ = exec_.get();
+  batch.queries_ = std::move(queries);
+  batch.plan_of_query_.reserve(batch.queries_.size());
+  // Duplicate-plan dedup: statements with identical normalized SQL share
+  // one SegmentedPlan (results are copied at execution time).
+  std::vector<std::string> keys;
+  for (const Query& q : batch.queries_) {
+    const std::string key = q.ToSql();
+    size_t idx = keys.size();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == keys.size()) {
+      PH_ASSIGN_OR_RETURN(SegmentedPlan plan, exec_->Prepare(q));
+      batch.plans_.push_back(std::move(plan));
+      keys.push_back(key);
+    }
+    batch.plan_of_query_.push_back(idx);
+  }
+  return batch;
+}
+
+Status Db::ExecuteBatch(const PreparedQuery* queries, size_t n,
+                        std::vector<QueryResult>* results) const {
+  results->resize(n);
+  // Statements routed through the built-in engine execute as one batch;
+  // anything else (backend-prepared) runs its own path individually.
+  std::vector<const SegmentedPlan*> plans;
+  std::vector<QueryResult*> outs;
+  plans.reserve(n);
+  outs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (queries[i].compiled()) {
+      plans.push_back(&queries[i].plan());
+      outs.push_back(&(*results)[i]);
+    } else {
+      PH_RETURN_IF_ERROR(queries[i].ExecuteInto(&(*results)[i]));
+    }
+  }
+  if (plans.empty()) return Status::OK();
+  return exec_->ExecuteBatchInto(plans, outs);
+}
+
+Status Db::ExecuteBatch(const std::vector<PreparedQuery>& queries,
+                        std::vector<QueryResult>* results) const {
+  return ExecuteBatch(queries.data(), queries.size(), results);
+}
+
 StatusOr<QueryResult> Db::Execute(const Query& query) const {
   PH_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(query));
   return pq.Execute();

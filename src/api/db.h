@@ -34,6 +34,7 @@
 #include "core/pairwise_hist.h"
 #include "core/synopsis_set.h"
 #include "gd/greedy_gd.h"
+#include "query/batch_exec.h"
 #include "query/engine.h"
 #include "query/segment_exec.h"
 #include "storage/table.h"
@@ -185,6 +186,28 @@ class Db {
   /// One-shot approximate execution (parse + plan + run).
   StatusOr<QueryResult> ExecuteSql(const std::string& sql) const;
   StatusOr<QueryResult> Execute(const Query& query) const;
+
+  // ---- Batched queries --------------------------------------------------
+  /// Prepares many statements as one batch: parsed and planned once per
+  /// segment like Prepare, with duplicate statements sharing one plan.
+  /// Execution amortizes coverage + probability + Eq.-29 weighting across
+  /// statements sharing an aggregation grid and predicate set (see
+  /// query/batch_exec.h); results are bit-identical to executing each
+  /// statement alone. Unsupported while a swapped-in backend is active
+  /// (batching is a built-in-engine feature).
+  StatusOr<PreparedBatch> PrepareBatch(
+      const std::vector<std::string>& sqls) const;
+  StatusOr<PreparedBatch> PrepareBatch(std::vector<Query> queries) const;
+
+  /// Executes `n` already-prepared statements (a contiguous span) as one
+  /// batch; `results` is resized to n with results[i] bit-identical to
+  /// queries[i].Execute(). Statements that do not route through the
+  /// built-in engine (prepared while a backend was active) execute
+  /// individually inside the call.
+  Status ExecuteBatch(const PreparedQuery* queries, size_t n,
+                      std::vector<QueryResult>* results) const;
+  Status ExecuteBatch(const std::vector<PreparedQuery>& queries,
+                      std::vector<QueryResult>* results) const;
 
   /// One-shot exact execution against the kept raw table.
   StatusOr<QueryResult> ExecuteExactSql(const std::string& sql) const;

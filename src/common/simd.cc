@@ -1,5 +1,6 @@
 #include "common/simd.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,19 +49,34 @@ const KernelOps* TableByName(const char* name) {
 
 /// Widest table for this binary + CPU, honouring the PWH_KERNELS override.
 /// Runs once (function-local static); the result never changes afterwards.
+/// Parsing is case-insensitive ("AVX2" == "avx2"); unrecognized or
+/// CPU-unsupported values warn once on stderr and fall back to detection.
 const KernelOps* DetectBest() {
   const KernelOps* best = Avx2Table();
   if (best == nullptr) best = &kVec2Table;
   if (const char* env = std::getenv("PWH_KERNELS")) {
-    if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "widest") == 0 ||
-        env[0] == '\0') {
+    char lower[32];
+    size_t n = 0;
+    for (; env[n] != '\0' && n + 1 < sizeof(lower); ++n) {
+      lower[n] = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(env[n])));
+    }
+    lower[n] = '\0';
+    if (std::strcmp(lower, "auto") == 0 ||
+        std::strcmp(lower, "widest") == 0 || lower[0] == '\0') {
       return best;
     }
-    if (const KernelOps* forced = TableByName(env)) return forced;
+    if (const KernelOps* forced = TableByName(lower)) return forced;
+    // Valid-value list reflects what TableByName would actually accept on
+    // this build + CPU (the vec2 alias only when it differs from the
+    // tier's own name, avx2 only when the table is usable here).
     std::fprintf(stderr,
                  "pairwisehist: PWH_KERNELS='%s' unknown or unsupported on "
-                 "this CPU; using '%s'\n",
-                 env, best->name);
+                 "this CPU (valid: scalar, %s%s%s, auto, widest); "
+                 "using '%s'\n",
+                 env, kVec2Name,
+                 std::strcmp(kVec2Name, "vec2") == 0 ? "" : ", vec2",
+                 Avx2Table() != nullptr ? ", avx2" : "", best->name);
   }
   return best;
 }

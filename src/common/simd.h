@@ -69,6 +69,26 @@ enum class KernelMode {
 /// Returned by the find kernels when no element matches.
 constexpr size_t kKernelNotFound = ~size_t{0};
 
+/// One plan's slice of a batched Eq.-29 weighting call (KernelOps::
+/// weights_batch): satisfaction probabilities in, weight lanes out, over
+/// the touched bin range [begin, end) with the fully-covered run
+/// descriptors coverage emitted (see query/exec_scratch.h ProbTable). The
+/// pointers typically index rows of one plan-major SoA block so a whole
+/// batch weights in a single kernel call.
+struct WeightRow {
+  const uint64_t* h = nullptr;  ///< grid bin counts (rows may differ)
+  const double* p = nullptr;   ///< β per bin
+  const double* pl = nullptr;  ///< β−
+  const double* ph = nullptr;  ///< β+
+  double* w = nullptr;         ///< out: w
+  double* lo = nullptr;        ///< out: w−
+  double* hi = nullptr;        ///< out: w+
+  size_t begin = 0;            ///< touched bin range
+  size_t end = 0;
+  const uint32_t* runs = nullptr;  ///< 2*n_runs absolute bin indices
+  size_t n_runs = 0;
+};
+
 /// One kernel implementation tier. All reduction kernels follow the
 /// phase-aligned lane semantics described in the header comment.
 struct KernelOps {
@@ -153,6 +173,32 @@ struct KernelOps {
   void (*gather_dot3)(const uint64_t* cnt, const uint32_t* col,
                       const double* b0, const double* b1, const double* b2,
                       size_t begin, size_t end, double out[3]);
+
+  // ---- Multi-row reductions (column-major cell prefixes) ----------------
+  // The batched counterpart of the engine's per-row ReduceRow walk: one
+  // call updates the accumulators of EVERY aggregation bin for one
+  // coverage event, vectorizing across rows. `pre_b` / `pre_e` are two
+  // boundary rows of a column-major cell prefix (PairView::AggPrefixCol),
+  // so pre_e[t] - pre_b[t] is row t's exact integer cell mass over the
+  // event's pred-bin range. Per-element accumulation order is preserved
+  // (lanes never cross rows), so driving the events in ReduceRow's order
+  // leaves every row's accumulator bit-identical to the per-row walk.
+
+  /// Fully-covered run: ap/al/ah[t] += double(pre_e[t] - pre_b[t]).
+  void (*run_mass3)(const uint64_t* pre_b, const uint64_t* pre_e, double* ap,
+                    double* al, double* ah, size_t begin, size_t end);
+  /// Partial coverage bin: m = double(pre_e[t] - pre_b[t]); ap[t] += m·bp;
+  /// al[t] += m·bl; ah[t] += m·bh (bp/bl/bh = that bin's β, β−, β+).
+  void (*cell_axpy3)(const uint64_t* pre_b, const uint64_t* pre_e, double bp,
+                     double bl, double bh, double* ap, double* al, double* ah,
+                     size_t begin, size_t end);
+
+  /// Batched Eq. 29 weighting: every row of a batch in one call, fully-
+  /// covered runs collapsing to counts_to_weights3 and the rest going
+  /// through weights_widen (widen != 0) / weights_nowiden. Row r's output
+  /// is bit-identical to weighting that row alone with those kernels.
+  void (*weights_batch)(const WeightRow* rows, size_t n_rows, double z,
+                        double fpc, int widen);
 };
 
 /// Resolves a mode to a kernel table. Detection (CPUID + PWH_KERNELS

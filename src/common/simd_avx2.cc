@@ -31,12 +31,14 @@ inline double Combine(const double acc[4]) {
 
 // Exact u64 -> f64 for values < 2^52 (bin counts are row counts, far
 // below): OR in the 2^52 exponent pattern and subtract 2^52.
-inline __m256d CountsToDouble(const uint64_t* h) {
+inline __m256d U64ToDouble(__m256i vi) {
   const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);
-  __m256i vi =
-      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h));
   return _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(vi, magic)),
                        _mm256_set1_pd(4503599627370496.0));
+}
+
+inline __m256d CountsToDouble(const uint64_t* h) {
+  return U64ToDouble(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(h)));
 }
 
 double SumAvx2(const double* x, size_t begin, size_t end) {
@@ -514,6 +516,68 @@ void GatherDot3Avx2(const uint64_t* cnt, const uint32_t* col,
 #pragma GCC diagnostic pop
 #endif
 
+// Multi-row reductions over column-major cell prefixes (elementwise across
+// rows — each row's accumulator sees the same addend as the scalar body,
+// so results are bit-identical on every tier).
+
+void RunMass3Avx2(const uint64_t* pre_b, const uint64_t* pre_e, double* ap,
+                  double* al, double* ah, size_t begin, size_t end) {
+  size_t t = begin;
+  for (; t + 4 <= end; t += 4) {
+    __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pre_b + t));
+    __m256i e =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pre_e + t));
+    __m256d m = U64ToDouble(_mm256_sub_epi64(e, b));
+    _mm256_storeu_pd(ap + t, _mm256_add_pd(_mm256_loadu_pd(ap + t), m));
+    _mm256_storeu_pd(al + t, _mm256_add_pd(_mm256_loadu_pd(al + t), m));
+    _mm256_storeu_pd(ah + t, _mm256_add_pd(_mm256_loadu_pd(ah + t), m));
+  }
+  for (; t < end; ++t) {
+    double m = static_cast<double>(pre_e[t] - pre_b[t]);
+    ap[t] += m;
+    al[t] += m;
+    ah[t] += m;
+  }
+}
+
+void CellAxpy3Avx2(const uint64_t* pre_b, const uint64_t* pre_e, double bp,
+                   double bl, double bh, double* ap, double* al, double* ah,
+                   size_t begin, size_t end) {
+  const __m256d vp = _mm256_set1_pd(bp);
+  const __m256d vl = _mm256_set1_pd(bl);
+  const __m256d vh = _mm256_set1_pd(bh);
+  size_t t = begin;
+  for (; t + 4 <= end; t += 4) {
+    __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pre_b + t));
+    __m256i e =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pre_e + t));
+    __m256d m = U64ToDouble(_mm256_sub_epi64(e, b));
+    _mm256_storeu_pd(
+        ap + t, _mm256_add_pd(_mm256_loadu_pd(ap + t), _mm256_mul_pd(m, vp)));
+    _mm256_storeu_pd(
+        al + t, _mm256_add_pd(_mm256_loadu_pd(al + t), _mm256_mul_pd(m, vl)));
+    _mm256_storeu_pd(
+        ah + t, _mm256_add_pd(_mm256_loadu_pd(ah + t), _mm256_mul_pd(m, vh)));
+  }
+  for (; t < end; ++t) {
+    double m = static_cast<double>(pre_e[t] - pre_b[t]);
+    ap[t] += m * bp;
+    al[t] += m * bl;
+    ah[t] += m * bh;
+  }
+}
+
+// Batched Eq. 29 weighting: the shared run-walk driver dispatching to the
+// AVX2 elementwise weighting kernels per range.
+void WeightsBatchAvx2(const WeightRow* rows, size_t n_rows, double z,
+                      double fpc, int widen) {
+  simd_detail::WeightsBatchWalk(rows, n_rows, z, fpc, widen,
+                                &WeightsNoWidenAvx2, &WeightsWidenAvx2,
+                                &CountsToWeights3Avx2);
+}
+
 }  // namespace
 
 extern const KernelOps kAvx2Kernels;
@@ -537,6 +601,9 @@ const KernelOps kAvx2Kernels = {
     &WeightsWidenAvx2,
     &NormProb3Avx2,
     &GatherDot3Avx2,
+    &RunMass3Avx2,
+    &CellAxpy3Avx2,
+    &WeightsBatchAvx2,
 };
 
 }  // namespace pairwisehist

@@ -23,6 +23,46 @@
 namespace pairwisehist {
 namespace simd_detail {
 
+/// Shared run-walk driver for the batched Eq.-29 weighting
+/// (KernelOps::weights_batch): one place owns the gap / fully-covered-run
+/// / tail walk over every row; each tier supplies its own per-range
+/// weighting kernels. This keeps the generic and AVX2 tables from
+/// carrying divergent copies of the walk — the walk itself is scalar
+/// dispatch, all SIMD lives in the supplied kernels.
+inline void WeightsBatchWalk(
+    const WeightRow* rows, size_t n_rows, double z, double fpc, int widen,
+    void (*nowiden_fn)(const uint64_t*, const double*, const double*,
+                       const double*, double*, double*, double*, size_t,
+                       size_t),
+    void (*widen_fn)(const uint64_t*, const double*, const double*,
+                     const double*, double, double, double*, double*,
+                     double*, size_t, size_t),
+    void (*run_fn)(const uint64_t*, double*, double*, double*, size_t,
+                   size_t)) {
+  for (size_t r = 0; r < n_rows; ++r) {
+    const WeightRow& row = rows[r];
+    auto weigh = [&](size_t b, size_t e) {
+      if (b >= e) return;
+      if (widen != 0) {
+        widen_fn(row.h, row.p, row.pl, row.ph, z, fpc, row.w, row.lo,
+                 row.hi, b, e);
+      } else {
+        nowiden_fn(row.h, row.p, row.pl, row.ph, row.w, row.lo, row.hi, b,
+                   e);
+      }
+    };
+    size_t t = row.begin;
+    for (size_t i = 0; i < row.n_runs; ++i) {
+      const size_t f0 = row.runs[2 * i];
+      const size_t f1 = row.runs[2 * i + 1];
+      weigh(t, f0);
+      run_fn(row.h, row.w, row.lo, row.hi, f0, f1);
+      t = f1;
+    }
+    weigh(t, row.end);
+  }
+}
+
 /// Fixed lane-combine order, shared by the generic bodies and the AVX2
 /// intrinsics: pairwise for W = 4 ((l0+l1) + (l2+l3)), left-to-right
 /// otherwise.
@@ -328,6 +368,34 @@ struct Kernels {
     out[2] = CombineLanes<W>(a2);
   }
 
+  static void RunMass3(const uint64_t* pre_b, const uint64_t* pre_e,
+                       double* ap, double* al, double* ah, size_t begin,
+                       size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double m = static_cast<double>(pre_e[t] - pre_b[t]);
+      ap[t] += m;
+      al[t] += m;
+      ah[t] += m;
+    }
+  }
+
+  static void CellAxpy3(const uint64_t* pre_b, const uint64_t* pre_e,
+                        double bp, double bl, double bh, double* ap,
+                        double* al, double* ah, size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      double m = static_cast<double>(pre_e[t] - pre_b[t]);
+      ap[t] += m * bp;
+      al[t] += m * bl;
+      ah[t] += m * bh;
+    }
+  }
+
+  static void WeightsBatch(const WeightRow* rows, size_t n_rows, double z,
+                           double fpc, int widen) {
+    WeightsBatchWalk(rows, n_rows, z, fpc, widen, &WeightsNoWiden,
+                     &WeightsWiden, &CountsToWeights3);
+  }
+
   static void WeightsWiden(const uint64_t* h, const double* p,
                            const double* pl, const double* ph, double z,
                            double fpc, double* w, double* lo, double* hi,
@@ -372,6 +440,9 @@ constexpr KernelOps MakeTable(const char* name) {
   ops.weights_widen = &Kernels<W>::WeightsWiden;
   ops.norm_prob3 = &Kernels<W>::NormProb3;
   ops.gather_dot3 = &Kernels<W>::GatherDot3;
+  ops.run_mass3 = &Kernels<W>::RunMass3;
+  ops.cell_axpy3 = &Kernels<W>::CellAxpy3;
+  ops.weights_batch = &Kernels<W>::WeightsBatch;
   return ops;
 }
 

@@ -11,6 +11,20 @@ constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-15;
 constexpr double kFpMin = 1e-300;
 
+// std::lgamma is not thread-safe on glibc/BSD libms: it writes the global
+// `signgam` on every call, a data race when parallel builds or the batch
+// fan-out evaluate chi-squared quantiles concurrently (caught by the TSan
+// CI job). Use the reentrant variant where available; every argument here
+// is positive, so the sign output is irrelevant.
+double LGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(_REENTRANT)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Series representation of P(a,x), converges quickly for x < a + 1.
 double GammaPSeries(double a, double x) {
   double ap = a;
@@ -22,7 +36,7 @@ double GammaPSeries(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LGamma(a));
 }
 
 // Continued fraction for Q(a,x) (modified Lentz), converges for x >= a + 1.
@@ -43,7 +57,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < kEpsilon) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LGamma(a)) * h;
 }
 
 }  // namespace
@@ -91,7 +105,7 @@ double Chi2Quantile(double p, double df) {
       lo = x;
     }
     double log_pdf = (df / 2.0 - 1.0) * std::log(x) - x / 2.0 -
-                     std::lgamma(df / 2.0) - (df / 2.0) * std::log(2.0);
+                     LGamma(df / 2.0) - (df / 2.0) * std::log(2.0);
     double pdf = std::exp(log_pdf);
     double step = (pdf > 0) ? f / pdf : 0.0;
     double next = x - step;

@@ -82,6 +82,18 @@ class PairView {
                ? ph_->cell_prefix_j.data() + ta * (ph_->dim_i.NumBins() + 1)
                : ph_->cell_prefix_i.data() + ta * (ph_->dim_j.NumBins() + 1);
   }
+  /// Column-major cell prefix at predicate-bin boundary `tp` (0 ..
+  /// pred_dim().NumBins() inclusive): agg_dim().NumBins() contiguous exact
+  /// integers, entry ta = Σ cells of agg bin ta over pred bins [0, tp).
+  /// The mass of pred-bin range [a, b) for EVERY aggregation bin is the
+  /// elementwise difference AggPrefixCol(b) - AggPrefixCol(a) — one
+  /// contiguous sweep instead of NumBins strided AggPrefix lookups, which
+  /// is what the multi-row reduction kernels consume. Requires
+  /// FinishExecIndex.
+  const uint64_t* AggPrefixCol(size_t tp) const {
+    return swapped_ ? ph_->cell_colpre_j.data() + tp * ph_->dim_j.NumBins()
+                    : ph_->cell_colpre_i.data() + tp * ph_->dim_i.NumBins();
+  }
   /// Per 1-d aggregation-column bin: fraction of 1-d rows with the
   /// predicate column non-null (see PairHistogram::nonnull_frac_*).
   const std::vector<double>& NonNullFrac() const {

@@ -49,6 +49,27 @@ void PairHistogram::BuildCellPrefix() {
       pre[ti + 1] = pre[ti] + cells[ti * kj + tj];
     }
   }
+  // Column-major transposes: row tp holds the prefix up to pred bin tp for
+  // every aggregation bin at once (contiguous), enabling whole-grid run
+  // reductions. Built by accumulating each boundary row from the previous
+  // one plus the matching cell column/row.
+  cell_colpre_i.assign((kj + 1) * ki, 0);
+  for (size_t tp = 0; tp < kj; ++tp) {
+    const uint64_t* prev = cell_colpre_i.data() + tp * ki;
+    uint64_t* next = cell_colpre_i.data() + (tp + 1) * ki;
+    for (size_t ti = 0; ti < ki; ++ti) {
+      next[ti] = prev[ti] + cells[ti * kj + tp];
+    }
+  }
+  cell_colpre_j.assign((ki + 1) * kj, 0);
+  for (size_t tp = 0; tp < ki; ++tp) {
+    const uint64_t* prev = cell_colpre_j.data() + tp * kj;
+    uint64_t* next = cell_colpre_j.data() + (tp + 1) * kj;
+    const uint64_t* row = cells.data() + tp * kj;
+    for (size_t tj = 0; tj < kj; ++tj) {
+      next[tj] = prev[tj] + row[tj];
+    }
+  }
 }
 
 namespace {

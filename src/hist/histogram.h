@@ -95,6 +95,16 @@ struct PairHistogram {
   // change.
   std::vector<uint64_t> cell_prefix_i;
   std::vector<uint64_t> cell_prefix_j;
+  // Column-major transpose of the prefixes: cell_colpre_i has kj+1 rows of
+  // ki entries, entry [tp][ti] = Σ cells[ti][0..tp). For one pred-bin
+  // boundary tp the values of EVERY aggregation bin are contiguous, so a
+  // coverage run's mass for all aggregation bins is one vectorized
+  // subtraction of two adjacent-ish rows (see PairView::AggPrefixCol and
+  // the multi-row reduction kernels in common/simd.h). cell_colpre_j is
+  // the swapped orientation (ki+1 rows of kj). Same exact integers as
+  // cell_prefix_*, laid out for cross-row sweeps.
+  std::vector<uint64_t> cell_colpre_i;
+  std::vector<uint64_t> cell_colpre_j;
   /// Per 1-d bin of col_i / col_j: fraction of the 1-d rows that have the
   /// OTHER column non-null (clamped to [0, 1]; 1.0 for empty 1-d bins).
   /// Filled by PairwiseHist::FinishExecIndex (needs the 1-d histograms).

@@ -1,0 +1,137 @@
+#include "query/batch_exec.h"
+
+#include <algorithm>
+
+#include "query/partial_agg.h"
+
+namespace pairwisehist {
+
+// ---------------------------------------------------------------------------
+// SegmentedExecutor batch execution (declared in segment_exec.h; lives here
+// with the rest of the batch machinery).
+
+Status SegmentedExecutor::ExecuteBatchInto(
+    const std::vector<const SegmentedPlan*>& plans,
+    const std::vector<QueryResult*>& results) const {
+  if (plans.size() != results.size()) {
+    return Status::InvalidArgument("batch plans/results size mismatch");
+  }
+  const size_t nq = plans.size();
+  if (nq == 0) return Status::OK();
+  for (const SegmentedPlan* p : plans) {
+    if (p == nullptr || !p->valid()) {
+      return Status::Internal("SegmentedPlan used before Prepare");
+    }
+  }
+  // Extend lazily compiled plans (post-append segments) up front, under
+  // each plan's own mutex, so the fan-out below reads stable state.
+  for (const SegmentedPlan* p : plans) {
+    PH_RETURN_IF_ERROR(EnsurePlans(p->state_.get()));
+  }
+
+  const size_t nseg = engines_.size();
+  if (nseg == 1) {
+    // Monolithic special case: the whole batch in one engine call.
+    std::vector<const CompiledQuery*> cps(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      cps[q] = &plans[q]->state_->plans[0];
+    }
+    return engines_[0]->ExecuteBatchInto(cps, results);
+  }
+
+  // Fan the batch × segment tasks over the pool: one task per segment,
+  // each running the whole batch's mergeable partials on that segment
+  // through the engine's batched partial path (so grid sharing is
+  // amortized inside every segment too). Pruned (plan, segment) pairs
+  // contribute nothing, exactly like single-plan execution.
+  std::vector<std::vector<PartialResult>> parts(
+      nq, std::vector<PartialResult>(nseg));
+  std::vector<Status> statuses(nseg, Status::OK());
+  auto work = [&](size_t s) {
+    std::vector<const CompiledQuery*> cps;
+    std::vector<PartialResult*> outs;
+    cps.reserve(nq);
+    outs.reserve(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      SegmentedPlan::State* st = plans[q]->state_.get();
+      if (st->skip[s]) continue;
+      cps.push_back(&st->plans[s]);
+      outs.push_back(&parts[q][s]);
+    }
+    if (!cps.empty()) {
+      statuses[s] = engines_[s]->ExecutePartialBatchInto(cps, outs);
+    }
+  };
+  size_t live = 0;
+  for (size_t s = 0; s < nseg; ++s) {
+    bool any = false;
+    for (size_t q = 0; q < nq && !any; ++q) {
+      any = plans[q]->state_->skip[s] == 0;
+    }
+    live += any ? 1 : 0;
+  }
+  if (live > 1 && pool_ != nullptr) {
+    pool_->Run(nseg, work);
+  } else {
+    for (size_t s = 0; s < nseg; ++s) work(s);
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  // Deterministic serial merge per query in segment order — the same
+  // merge the single-plan path runs, so any exec_threads (and the batch
+  // itself) leaves results bit-identical to the per-query loop.
+  const KernelOps* ks = &GetKernels(options_.engine.kernels);
+  for (size_t q = 0; q < nq; ++q) {
+    const Query& query = plans[q]->state_->query;
+    MergePartialResults(query.func, !query.group_by.empty(), parts[q],
+                        results[q], ks);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PreparedBatch
+
+Status PreparedBatch::ExecuteInto(std::vector<QueryResult>* results) const {
+  if (exec_ == nullptr) {
+    return Status::Internal("PreparedBatch used before Db::PrepareBatch");
+  }
+  const size_t nq = plan_of_query_.size();
+  results->resize(nq);
+  if (plans_.size() == nq) {
+    // No duplicates: plan_of_query_ is the identity by construction, so
+    // execute straight into the caller's (warm) results — no scatter
+    // copies on the hot path.
+    std::vector<const SegmentedPlan*> plan_ptrs(nq);
+    std::vector<QueryResult*> result_ptrs(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      plan_ptrs[i] = &plans_[i];
+      result_ptrs[i] = &(*results)[i];
+    }
+    return exec_->ExecuteBatchInto(plan_ptrs, result_ptrs);
+  }
+  // Execute the distinct plans as one batch, then scatter to statement
+  // order (duplicates copy the shared result — identical by determinism).
+  std::vector<QueryResult> distinct(plans_.size());
+  std::vector<const SegmentedPlan*> plan_ptrs(plans_.size());
+  std::vector<QueryResult*> result_ptrs(plans_.size());
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    plan_ptrs[i] = &plans_[i];
+    result_ptrs[i] = &distinct[i];
+  }
+  PH_RETURN_IF_ERROR(exec_->ExecuteBatchInto(plan_ptrs, result_ptrs));
+  for (size_t q = 0; q < nq; ++q) {
+    (*results)[q] = distinct[plan_of_query_[q]];
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<QueryResult>> PreparedBatch::Execute() const {
+  std::vector<QueryResult> results;
+  PH_RETURN_IF_ERROR(ExecuteInto(&results));
+  return results;
+}
+
+}  // namespace pairwisehist

@@ -509,35 +509,50 @@ void FillPartialFromWeights(const PairwiseHist& ph,
 // widening variance term is exactly zero and every clamp is the identity,
 // so the bulk counts_to_weights3 kernel reproduces the general formula
 // bit-for-bit while skipping its arithmetic.
-void WeightsInto(const PairwiseHist& ph, const HistogramDim& dim,
-                 const ProbSpan& prob, const WtSpan& wt, const KernelOps& ks) {
+/// Eq. 29 widening parameters, shared by every weighting of one synopsis.
+struct WidenParams {
+  bool widen = false;
+  double z = 0.0;
+  double fpc = 0.0;
+};
+
+WidenParams WidenParamsOf(const PairwiseHist& ph) {
+  WidenParams wp;
   const double rho = ph.sampling_ratio();
   const double n_total = static_cast<double>(ph.total_rows());
   const double n_sample = static_cast<double>(ph.sample_rows());
-  const bool widen = rho < 1.0 && n_total > 1;
-  const double z = Z99();
-  const double fpc = widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
-  const uint64_t* counts = dim.counts.data();
+  wp.widen = rho < 1.0 && n_total > 1;
+  wp.z = Z99();
+  wp.fpc = wp.widen ? (n_total - n_sample) / (n_total - 1.0) : 0.0;
+  return wp;
+}
 
-  auto weigh = [&](size_t b, size_t e) {
-    if (b >= e) return;
-    if (widen) {
-      ks.weights_widen(counts, prob.p, prob.lo, prob.hi, z, fpc, wt.w, wt.lo,
-                       wt.hi, b, e);
-    } else {
-      ks.weights_nowiden(counts, prob.p, prob.lo, prob.hi, wt.w, wt.lo,
-                         wt.hi, b, e);
-    }
-  };
-  size_t t = prob.begin;
-  for (size_t r = 0; r < prob.n_runs; ++r) {
-    const size_t f0 = prob.runs[2 * r];
-    const size_t f1 = prob.runs[2 * r + 1];
-    weigh(t, f0);
-    ks.counts_to_weights3(counts, wt.w, wt.lo, wt.hi, f0, f1);
-    t = f1;
-  }
-  weigh(t, prob.end);
+/// One plan pipeline's slice of a batched weighting call.
+WeightRow MakeWeightRow(const HistogramDim& dim, const ProbSpan& prob,
+                        const WtSpan& wt) {
+  WeightRow row;
+  row.h = dim.counts.data();
+  row.p = prob.p;
+  row.pl = prob.lo;
+  row.ph = prob.hi;
+  row.w = wt.w;
+  row.lo = wt.lo;
+  row.hi = wt.hi;
+  row.begin = prob.begin;
+  row.end = prob.end;
+  row.runs = prob.runs;
+  row.n_runs = prob.n_runs;
+  return row;
+}
+
+void WeightsInto(const PairwiseHist& ph, const HistogramDim& dim,
+                 const ProbSpan& prob, const WtSpan& wt, const KernelOps& ks) {
+  const WidenParams wp = WidenParamsOf(ph);
+  WeightRow row = MakeWeightRow(dim, prob, wt);
+  // Single-row batch: the kernel's per-row walk is exactly the run walk
+  // this function used to do inline, so single-query and batched
+  // executions share one weighting code path on every tier.
+  ks.weights_batch(&row, 1, wp.z, wp.fpc, wp.widen ? 1 : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +615,48 @@ bool ReduceRow(const PairView& pair, size_t ta, const CoverageSpan& cov,
   return true;
 }
 
+/// Multi-row counterpart of ReduceRow over the column-major cell prefixes
+/// (PairView::AggPrefixCol): one sweep per coverage event updates EVERY
+/// aggregation row's accumulators at once, vectorized across rows by the
+/// run_mass3 / cell_axpy3 kernels. Events are driven in exactly
+/// ReduceRow's order and lanes never cross rows, so each row's accumulator
+/// receives the same addend sequence as the per-row walk — extra zero
+/// addends for cells ReduceRow skips are exact identities on non-negative
+/// accumulators — keeping the two reductions bit-identical on every tier
+/// (the reference path still runs ReduceRow, which cross-checks this).
+/// Accumulators must be zero-initialized over [0, n_rows).
+void ReduceRowsAll(const PairView& pair, size_t n_rows,
+                   const CoverageSpan& cov, const KernelOps& ks, double* ap,
+                   double* al, double* ah) {
+  auto partial_bins = [&](size_t b, size_t e) {
+    for (size_t tp = b; tp < e; ++tp) {
+      ks.cell_axpy3(pair.AggPrefixCol(tp), pair.AggPrefixCol(tp + 1),
+                    cov.beta[tp], cov.lo[tp], cov.hi[tp], ap, al, ah, 0,
+                    n_rows);
+    }
+  };
+  size_t r = 0;
+  auto segment = [&](size_t sb, size_t se) {
+    size_t t = sb;
+    for (; r < cov.n_runs && cov.runs[2 * r] < se; ++r) {
+      const size_t f0 = cov.runs[2 * r];
+      const size_t f1 = cov.runs[2 * r + 1];
+      partial_bins(t, f0);
+      ks.run_mass3(pair.AggPrefixCol(f0), pair.AggPrefixCol(f1), ap, al, ah,
+                   0, n_rows);
+      t = f1;
+    }
+    partial_bins(t, se);
+  };
+  if (cov.n_segs == 0) {
+    segment(cov.begin, cov.end);
+  } else {
+    for (size_t s = 0; s < cov.n_segs; ++s) {
+      segment(cov.segs[2 * s], cov.segs[2 * s + 1]);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Fast-path per-leaf probabilities: cell prefix index + localized coverage.
 
@@ -637,10 +694,10 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena,
   }
 
   if (grid.IsPair() && col == grid.pair_pred_col) {
-    // The grid is this leaf's own pair: per grid bin, reduce the covered
-    // pred bins' cells into exact per-grid-bin probabilities via the
-    // dense row prefixes (shared ReduceRow — identical accumulation to
-    // the reference path's scan of the same row).
+    // The grid is this leaf's own pair: reduce the covered pred bins'
+    // cells into exact per-grid-bin probabilities for ALL grid bins at
+    // once via the column-major prefixes (ReduceRowsAll — bit-identical
+    // to the reference path's per-row ReduceRow scan of the same rows).
     const HistogramDim& pred_dim = grid.pair.pred_dim();
     const size_t kp = pred_dim.NumBins();
     CoverageSpan cov;
@@ -658,26 +715,24 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena,
       out.begin = out.end = 0;
       return out;
     }
-    out.p = arena.Alloc(k);
-    out.lo = arena.Alloc(k);
-    out.hi = arena.Alloc(k);
-    size_t gmin = k, gmax = 0;
-    for (size_t g = 0; g < k; ++g) {
-      double acc[3];
-      if (!ReduceRow(grid.pair, g, cov, acc)) {
-        out.p[g] = out.lo[g] = out.hi[g] = 0.0;
-        continue;
-      }
-      out.p[g] = acc[0];
-      out.lo[g] = acc[1];
-      out.hi[g] = acc[2];
-      gmin = std::min(gmin, g);
-      gmax = std::max(gmax, g);
-    }
-    if (gmin > gmax) {
+    out.p = arena.AllocZeroed(k);
+    out.lo = arena.AllocZeroed(k);
+    out.hi = arena.AllocZeroed(k);
+    ReduceRowsAll(grid.pair, k, cov, ks, out.p, out.lo, out.hi);
+    // Rows with no cell in the covered pred range stay exactly zero; the
+    // touched range is bounded by the first/last row with any such cell
+    // (an exact integer test on the boundary prefix rows — the same test
+    // ReduceRow's early return makes per row).
+    const uint64_t* pre_b = grid.pair.AggPrefixCol(cov.begin);
+    const uint64_t* pre_e = grid.pair.AggPrefixCol(cov.end);
+    size_t gmin = 0;
+    while (gmin < k && pre_e[gmin] == pre_b[gmin]) ++gmin;
+    if (gmin == k) {
       out.begin = out.end = 0;
       return out;
     }
+    size_t gmax = k - 1;
+    while (pre_e[gmax] == pre_b[gmax]) --gmax;
     ks.norm_prob3(gdim.counts.data(), out.p, out.lo, out.hi, out.p, out.lo,
                   out.hi, gmin, gmax + 1);
     out.begin = gmin;
@@ -714,20 +769,21 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena,
   double* num1_hi = arena.AllocZeroed(k1);
   size_t ta_min = ka, ta_max = 0;
   if (cov.begin < cov.end) {
+    // All rows reduced in one column-major sweep; the per-parent 1-d
+    // accumulation then only touches rows with any covered cell (the same
+    // rows ReduceRow would have reported), in ascending ta order so the
+    // parent sums see the same addend sequence as the per-row walk.
+    ReduceRowsAll(pair, ka, cov, ks, pa, pa_lo, pa_hi);
+    const uint64_t* pre_b = pair.AggPrefixCol(cov.begin);
+    const uint64_t* pre_e = pair.AggPrefixCol(cov.end);
     for (size_t ta = 0; ta < ka; ++ta) {
-      double acc3[3];
-      if (!ReduceRow(pair, ta, cov, acc3)) {
-        continue;
-      }
+      if (pre_e[ta] == pre_b[ta]) continue;
       ta_min = std::min(ta_min, ta);
       ta_max = std::max(ta_max, ta);
-      pa[ta] = acc3[0];
-      pa_lo[ta] = acc3[1];
-      pa_hi[ta] = acc3[2];
       size_t parent = agg_dim.parent.empty() ? ta : agg_dim.parent[ta];
-      num1[parent] += acc3[0];
-      num1_lo[parent] += acc3[1];
-      num1_hi[parent] += acc3[2];
+      num1[parent] += pa[ta];
+      num1_lo[parent] += pa_lo[ta];
+      num1_hi[parent] += pa_hi[ta];
     }
     if (ta_min <= ta_max) {
       ks.norm_prob3(agg_dim.counts.data(), pa, pa_lo, pa_hi, pa, pa_lo,
@@ -868,18 +924,18 @@ ProbSpan EvalNodeFast(const PairwiseHist& ph, ExecArena& arena,
   return acc;
 }
 
-// Shared fast-path pipeline: satisfaction probabilities for the WHERE
-// tree (optionally conjoined with the per-value GROUP BY leaf), then
-// Eq. 29 weights, all in the arena. Used by ExecuteScalarFast and
-// ExecutePartialScalar so the two can never diverge.
-WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
+// Shared fast-path probability stage: satisfaction probabilities for the
+// WHERE tree (optionally conjoined with the per-value GROUP BY leaf), all
+// in the arena. Used by ComputeWeightSpanFast (single query) and the batch
+// path (which collects one ProbSpan per distinct predicate set, then
+// weights every row with a single batched kernel call).
+ProbSpan ComputeProbSpanFast(const PairwiseHist& ph, ExecArena& arena,
                              const KernelOps& ks, size_t agg_col,
                              const NormalizedPredicate* where,
                              const NormalizedPredicate* extra_group_leaf,
                              const std::vector<uint32_t>* extra_g2ta,
                              const AggGrid& grid) {
-  const HistogramDim& gdim = *grid.dim;
-  const size_t k = gdim.NumBins();
+  const size_t k = grid.dim->NumBins();
   ProbSpan prob;
   if (where != nullptr) {
     prob = EvalNodeFast(ph, arena, ks, agg_col, *where, grid);
@@ -921,11 +977,24 @@ WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
       prob.end = re;
     }
   }
+  return prob;
+}
 
-  WtSpan wt = WeightTable::Make(arena, k);
+// Shared fast-path pipeline: probabilities then Eq. 29 weights, all in the
+// arena. Used by ExecuteScalarFast and ExecutePartialScalar so the two can
+// never diverge.
+WtSpan ComputeWeightSpanFast(const PairwiseHist& ph, ExecArena& arena,
+                             const KernelOps& ks, size_t agg_col,
+                             const NormalizedPredicate* where,
+                             const NormalizedPredicate* extra_group_leaf,
+                             const std::vector<uint32_t>* extra_g2ta,
+                             const AggGrid& grid) {
+  ProbSpan prob = ComputeProbSpanFast(ph, arena, ks, agg_col, where,
+                                      extra_group_leaf, extra_g2ta, grid);
+  WtSpan wt = WeightTable::Make(arena, grid.dim->NumBins());
   wt.begin = prob.begin;
   wt.end = prob.end;
-  WeightsInto(ph, gdim, prob, wt, ks);
+  WeightsInto(ph, *grid.dim, prob, wt, ks);
   return wt;
 }
 
@@ -949,6 +1018,24 @@ bool ResolveSingle(bool plan_single,
                    size_t agg_col) {
   return plan_single && (extra_group_leaf == nullptr ||
                          extra_group_leaf->column == agg_col);
+}
+
+// Value equality of normalized predicate trees (columns, exact interval
+// endpoints, AND/OR structure). Two plans on the same synopsis with equal
+// aggregation column, grid and value-equal WHERE trees run the identical
+// coverage + probability + weighting pipeline, so a batch computes it
+// once and shares the weight table (the transfer maps are derived from
+// (grid, column) and need no separate comparison).
+bool NodeEqual(const NormalizedPredicate& a, const NormalizedPredicate& b) {
+  if (a.type != b.type) return false;
+  if (a.type == NormalizedPredicate::Type::kLeaf) {
+    return a.column == b.column && a.intervals.pieces == b.intervals.pieces;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!NodeEqual(a.children[i], b.children[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -1549,25 +1636,12 @@ StatusOr<AggResult> AqpEngine::ExecuteScalarFast(
   arena.Reset();
   const size_t agg_col = plan.agg_col_;
   const Grid& grid = plan.grid_;
-  const HistogramDim& gdim = *grid.dim;
   const AggFunc func = plan.query_.func;
 
-  // O(log k) COUNT shortcut: a single same-column predicate whose pieces
-  // fully cover every touched bin needs only prefix-sum differences (all
-  // contributions are exact integers, so the total is identical to the
-  // general path's per-bin sum).
-  if (func == AggFunc::kCount && extra_group_leaf == nullptr &&
-      !grid.IsPair() && plan.where_.has_value() &&
-      plan.where_->type == Node::Type::kLeaf &&
-      plan.where_->column == agg_col) {
-    double total = 0.0;
-    if (CountFullyCovered(gdim, plan.where_->intervals, &total)) {
-      AggResult r;
-      r.estimate = total / ph_->sampling_ratio();
-      r.lower = r.upper = r.estimate;
-      r.empty_selection = total <= kWeightEps;
-      return r;
-    }
+  // O(log k) COUNT shortcut (see TryCountShortcutFast).
+  if (extra_group_leaf == nullptr) {
+    AggResult r;
+    if (TryCountShortcutFast(plan, &r)) return r;
   }
 
   WtSpan wt = ComputeWeightSpanFast(
@@ -1737,6 +1811,284 @@ StatusOr<QueryResult> AqpEngine::Execute(const Query& query) const {
 StatusOr<QueryResult> AqpEngine::ExecuteSql(const std::string& sql) const {
   PH_ASSIGN_OR_RETURN(Query q, ParseSql(sql));
   return Execute(q);
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution. Plans are grouped by shared weight pipeline — same
+// aggregation column, same grid, value-equal normalized WHERE tree — so
+// coverage, probabilities and Eq. 29 weighting run once per distinct
+// predicate set while only the cheap Table-3 aggregation runs per plan.
+// Every shared stage is a deterministic pure function of the shared
+// inputs, and the per-plan stages run the exact single-query code, so
+// results are bit-identical to looping ExecuteInto.
+
+bool AqpEngine::TryCountShortcutFast(const CompiledQuery& plan,
+                                     AggResult* out) const {
+  // A single same-column predicate whose pieces fully cover every touched
+  // bin needs only prefix-sum differences (all contributions are exact
+  // integers, so the total is identical to the general path's per-bin
+  // sum).
+  if (plan.query_.func != AggFunc::kCount || plan.grid_.IsPair() ||
+      !plan.where_.has_value() || plan.where_->type != Node::Type::kLeaf ||
+      plan.where_->column != plan.agg_col_) {
+    return false;
+  }
+  double total = 0.0;
+  if (!CountFullyCovered(*plan.grid_.dim, plan.where_->intervals, &total)) {
+    return false;
+  }
+  out->estimate = total / ph_->sampling_ratio();
+  out->lower = out->upper = out->estimate;
+  out->empty_selection = total <= kWeightEps;
+  return true;
+}
+
+StatusOr<std::vector<CompiledQuery>> AqpEngine::CompileBatch(
+    const std::vector<Query>& queries) const {
+  std::vector<CompiledQuery> plans;
+  plans.reserve(queries.size());
+  for (const Query& q : queries) {
+    PH_ASSIGN_OR_RETURN(CompiledQuery plan, Compile(q));
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+/// One batch group: scalar plans sharing a weight pipeline.
+struct AqpEngine::BatchGroup {
+  std::vector<size_t> members;
+  ProbTable prob;      // fast path: shared probabilities (arena-backed)
+  WeightTable wt;      // shared weight row (SoA block row / ref vectors)
+  Weightings ref_wt;   // reference-path backing storage
+  bool need_wt = false;
+};
+
+namespace {
+
+/// Scalar result written the way ExecuteInto's slot() writes it: one
+/// unlabeled group, reusing warm storage.
+void FillScalarResult(QueryResult* out, const AggResult& agg) {
+  if (out->groups.empty()) {
+    out->groups.push_back(QueryResult::Group{std::string(), agg});
+  } else {
+    out->groups[0].agg = agg;
+    out->groups[0].label.clear();
+  }
+  out->groups.resize(1);
+}
+
+}  // namespace
+
+void AqpEngine::GroupBatchPlans(const std::vector<const CompiledQuery*>& plans,
+                                std::vector<BatchGroup>* groups,
+                                std::vector<size_t>* singles) const {
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const CompiledQuery& p = *plans[i];
+    if (p.grouped() || (p.query_.count_star && !p.where_.has_value())) {
+      singles->push_back(i);
+      continue;
+    }
+    bool joined = false;
+    for (BatchGroup& g : *groups) {
+      const CompiledQuery& h = *plans[g.members.front()];
+      if (h.agg_col_ == p.agg_col_ && h.grid_.dim == p.grid_.dim &&
+          h.where_.has_value() == p.where_.has_value() &&
+          (!p.where_.has_value() || NodeEqual(*h.where_, *p.where_))) {
+        g.members.push_back(i);
+        joined = true;
+        break;
+      }
+    }
+    if (!joined) {
+      groups->emplace_back();
+      groups->back().members.push_back(i);
+    }
+  }
+}
+
+void AqpEngine::WeightBatchGroups(
+    const std::vector<const CompiledQuery*>& plans,
+    std::vector<BatchGroup>* groups, ExecArena& arena) const {
+  size_t max_bins = 0, n_wt = 0;
+  for (const BatchGroup& g : *groups) {
+    if (!g.need_wt) continue;
+    ++n_wt;
+    max_bins =
+        std::max(max_bins, plans[g.members.front()]->grid_.dim->NumBins());
+  }
+  if (n_wt == 0) return;
+  if (options_.use_fast_path) {
+    // Per-batch arena sizing, then one probability pipeline per group and
+    // a single batched Eq.-29 weighting call over the plan-major SoA
+    // block.
+    arena.Reserve(BatchArenaBytes(max_bins, n_wt));
+    WeightTableBlock block(arena, max_bins, n_wt);
+    std::vector<WeightRow> rows;
+    rows.reserve(n_wt);
+    size_t slot = 0;
+    for (BatchGroup& g : *groups) {
+      if (!g.need_wt) continue;
+      const CompiledQuery& head = *plans[g.members.front()];
+      g.prob = ComputeProbSpanFast(
+          *ph_, arena, *ks_, head.agg_col_,
+          head.where_.has_value() ? &*head.where_ : nullptr, nullptr,
+          nullptr, head.grid_);
+      g.wt = block.Row(slot++);
+      g.wt.begin = g.prob.begin;
+      g.wt.end = g.prob.end;
+      rows.push_back(MakeWeightRow(*head.grid_.dim, g.prob, g.wt));
+    }
+    const WidenParams wp = WidenParamsOf(*ph_);
+    ks_->weights_batch(rows.data(), rows.size(), wp.z, wp.fpc,
+                       wp.widen ? 1 : 0);
+  } else {
+    for (BatchGroup& g : *groups) {
+      if (!g.need_wt) continue;
+      const CompiledQuery& head = *plans[g.members.front()];
+      g.ref_wt = ComputeWeightsRef(head, nullptr);
+      g.wt = WeightTable{g.ref_wt.w.data(), g.ref_wt.lo.data(),
+                         g.ref_wt.hi.data(), 0,
+                         head.grid_.dim->NumBins()};
+    }
+  }
+}
+
+Status AqpEngine::ExecuteBatchInto(
+    const std::vector<const CompiledQuery*>& plans,
+    const std::vector<QueryResult*>& results) const {
+  if (plans.size() != results.size()) {
+    return Status::InvalidArgument("batch plans/results size mismatch");
+  }
+  const size_t n = plans.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (plans[i] == nullptr || results[i] == nullptr) {
+      return Status::InvalidArgument("batch plan/result is null");
+    }
+  }
+
+  // Group scalar plans by shared weight pipeline; everything the batch
+  // path does not cover runs the single-query path — trivially identical
+  // to the loop.
+  std::vector<BatchGroup> groups;
+  std::vector<size_t> singles;
+  GroupBatchPlans(plans, &groups, &singles);
+  for (size_t i : singles) {
+    PH_RETURN_IF_ERROR(ExecuteInto(*plans[i], results[i]));
+  }
+  if (groups.empty()) return Status::OK();
+
+  ScratchLease lease(this);
+  ExecScratch& scratch = *lease;
+  ExecArena& arena = scratch.arena;
+  arena.Reset();
+
+  // COUNT shortcut members resolve immediately (the shortcut precedes
+  // weighting in the single-query fast path too); a group whose members
+  // all shortcut never computes weights.
+  std::vector<uint8_t> pending(n, 0);
+  for (BatchGroup& g : groups) {
+    for (size_t i : g.members) {
+      AggResult agg;
+      if (options_.use_fast_path && TryCountShortcutFast(*plans[i], &agg)) {
+        FillScalarResult(results[i], agg);
+      } else {
+        pending[i] = 1;
+        g.need_wt = true;
+      }
+    }
+  }
+
+  WeightBatchGroups(plans, &groups, arena);
+
+  // Table-3 aggregation per plan, deduping identical (func, single) plans
+  // within a group (everything else in the aggregation's input is a group
+  // invariant, so equal keys mean bit-identical results). At most
+  // #functions × 2 single-flags distinct results per group, so the dedup
+  // cache is a fixed stack array — no allocation on the hot path.
+  constexpr size_t kMaxDone =
+      2 * (static_cast<size_t>(AggFunc::kVar) + 1);
+  static_assert(static_cast<size_t>(AggFunc::kVar) == 6,
+                "AggFunc grew: update kMaxDone's last-enumerator anchor");
+  for (const BatchGroup& g : groups) {
+    if (!g.need_wt) continue;
+    struct Done {
+      AggFunc func;
+      bool single;
+      AggResult agg;
+    };
+    Done done[kMaxDone];
+    size_t n_done = 0;
+    for (size_t i : g.members) {
+      if (!pending[i]) continue;
+      const CompiledQuery& p = *plans[i];
+      const bool single = p.single_column_;
+      AggResult agg;
+      bool copied = false;
+      for (size_t d = 0; d < n_done; ++d) {
+        if (done[d].func == p.query_.func && done[d].single == single) {
+          agg = done[d].agg;
+          copied = true;
+          break;
+        }
+      }
+      if (!copied) {
+        const IntervalSet* clip =
+            p.agg_clip_.has_value() ? &*p.agg_clip_ : nullptr;
+        agg = AggregateImpl(*ph_, options_, *ks_, p.query_.func, p.agg_col_,
+                            p.grid_, g.wt, single, clip, arena);
+        done[n_done++] = Done{p.query_.func, single, agg};
+      }
+      FillScalarResult(results[i], agg);
+    }
+  }
+  return Status::OK();
+}
+
+Status AqpEngine::ExecutePartialBatchInto(
+    const std::vector<const CompiledQuery*>& plans,
+    const std::vector<PartialResult*>& out) const {
+  if (plans.size() != out.size()) {
+    return Status::InvalidArgument("batch plans/results size mismatch");
+  }
+  const size_t n = plans.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (plans[i] == nullptr || out[i] == nullptr) {
+      return Status::InvalidArgument("batch plan/result is null");
+    }
+  }
+
+  std::vector<BatchGroup> groups;
+  std::vector<size_t> singles;
+  GroupBatchPlans(plans, &groups, &singles);
+  for (size_t i : singles) {
+    PH_RETURN_IF_ERROR(ExecutePartialInto(*plans[i], out[i]));
+  }
+  if (groups.empty()) return Status::OK();
+
+  ScratchLease lease(this);
+  ExecScratch& scratch = *lease;
+  ExecArena& arena = scratch.arena;
+  arena.Reset();
+
+  // The partial path has no COUNT shortcut, so every group needs weights.
+  for (BatchGroup& g : groups) g.need_wt = true;
+  WeightBatchGroups(plans, &groups, arena);
+
+  for (const BatchGroup& g : groups) {
+    for (size_t i : g.members) {
+      const CompiledQuery& p = *plans[i];
+      const IntervalSet* clip =
+          p.agg_clip_.has_value() ? &*p.agg_clip_ : nullptr;
+      out[i]->groups.clear();
+      PartialAggregate agg;
+      FillPartialFromWeights(*ph_, options_, *ks_, p.query_.func, p.agg_col_,
+                             p.grid_, g.wt, p.single_column_, clip, arena,
+                             &agg);
+      out[i]->groups.push_back(
+          PartialResult::Group{std::string(), std::move(agg)});
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace pairwisehist

@@ -39,6 +39,8 @@
 
 namespace pairwisehist {
 
+class ExecArena;  // query/exec_scratch.h
+
 /// Per-bin weightings over the chosen aggregation grid, with bounds
 /// (w, w−, w+ in the paper's notation).
 struct Weightings {
@@ -171,6 +173,34 @@ class AqpEngine {
   Status ExecutePartialInto(const CompiledQuery& plan,
                             PartialResult* out) const;
 
+  // ---- Batch execution --------------------------------------------------
+  // Many plans in one call: scalar plans are grouped by aggregation grid
+  // and coverage/weighting is computed once per distinct normalized
+  // predicate set, the distinct weight tables living in one plan-major SoA
+  // block filled by a single batched Eq.-29 kernel call; only the cheap
+  // Table-3 aggregation then runs per plan (with duplicate (func, flags)
+  // plans answered by copy). Grouped queries and predicate-free COUNT(*)
+  // fall back to the single-query path inside the batch. Results[i] is
+  // BIT-IDENTICAL to calling ExecuteInto(*plans[i], results[i]) in a loop
+  // — on every kernel tier (asserted by tests/batch_test.cc).
+
+  /// Compiles every query (same as Compile in a loop; convenience for
+  /// batch callers).
+  StatusOr<std::vector<CompiledQuery>> CompileBatch(
+      const std::vector<Query>& queries) const;
+
+  /// Executes a batch of compiled plans into caller-owned results.
+  /// `plans.size()` must equal `results.size()`; every plan must have been
+  /// compiled by this engine.
+  Status ExecuteBatchInto(const std::vector<const CompiledQuery*>& plans,
+                          const std::vector<QueryResult*>& results) const;
+
+  /// Batched counterpart of ExecutePartialInto (the per-segment entry the
+  /// cross-segment batch fan-out uses). Same sharing as ExecuteBatchInto;
+  /// out[i] is bit-identical to ExecutePartialInto(*plans[i], out[i]).
+  Status ExecutePartialBatchInto(const std::vector<const CompiledQuery*>& plans,
+                                 const std::vector<PartialResult*>& out) const;
+
   /// Executes a parsed query (Compile + Execute).
   StatusOr<QueryResult> Execute(const Query& query) const;
 
@@ -226,6 +256,31 @@ class AqpEngine {
   std::vector<uint32_t> TransferMap(size_t agg_col, size_t col,
                                     const Grid& grid) const;
   void FillTransferMaps(Node* node, size_t agg_col, const Grid& grid) const;
+
+  /// Fast-path O(log k) COUNT shortcut (single same-column predicate whose
+  /// pieces fully cover every touched bin); returns true and fills `out`
+  /// when it applies. Shared by ExecuteScalarFast and the batch path so
+  /// the two can never diverge.
+  bool TryCountShortcutFast(const CompiledQuery& plan, AggResult* out) const;
+
+  /// One batch group: scalar plans sharing a weight pipeline (defined in
+  /// engine.cc). The grouping and weighting stages are shared by
+  /// ExecuteBatchInto and ExecutePartialBatchInto so single-segment and
+  /// per-segment batches can never group or weight differently.
+  struct BatchGroup;
+  /// Groups batchable scalar plans by (aggregation column, grid,
+  /// value-equal normalized WHERE); plans the batch path does not cover
+  /// (GROUP BY, predicate-free COUNT(*)) land in `singles` instead.
+  void GroupBatchPlans(const std::vector<const CompiledQuery*>& plans,
+                       std::vector<BatchGroup>* groups,
+                       std::vector<size_t>* singles) const;
+  /// Weight stage for every group with need_wt set: the fast path carves
+  /// one plan-major SoA block and fills all rows with a single batched
+  /// Eq.-29 kernel call; the reference path computes per-group
+  /// Weightings. Probability/weight spans live in `arena`.
+  void WeightBatchGroups(const std::vector<const CompiledQuery*>& plans,
+                         std::vector<BatchGroup>* groups,
+                         ExecArena& arena) const;
 
   /// Reference execution path (vector-based, one allocation per stage).
   StatusOr<AggResult> ExecuteScalar(const CompiledQuery& plan,

@@ -54,6 +54,26 @@ class ExecArena {
     cur_ = 0;
   }
 
+  /// Ensures one retained block can hold at least `bytes` contiguously.
+  /// Batch execution sizes the arena once from its plan count and grid
+  /// width (see BatchArenaBytes) instead of growing block by block as the
+  /// groups execute — after the first batch of a given shape, later
+  /// batches run allocation-free. Never invalidates prior allocations.
+  void Reserve(size_t bytes) {
+    const size_t need = (bytes + kAlign - 1) & ~(kAlign - 1);
+    for (const Block& b : blocks_) {
+      if (b.cap - b.used >= need) return;  // free bytes, not total capacity
+    }
+    Block b;
+    b.raw = std::make_unique<unsigned char[]>(need + kAlign);
+    const size_t misalign =
+        reinterpret_cast<uintptr_t>(b.raw.get()) & (kAlign - 1);
+    b.base = b.raw.get() + (misalign ? kAlign - misalign : 0);
+    b.cap = need;
+    b.used = 0;
+    blocks_.push_back(std::move(b));
+  }
+
   size_t BytesReserved() const {
     size_t total = 0;
     for (const Block& b : blocks_) total += b.cap;
@@ -151,6 +171,47 @@ struct WeightTable {
     return wt;
   }
 };
+
+/// Plan-major SoA weight tables for batch execution: one contiguous arena
+/// block holding R row triples [w | lo | hi] over a k-bin grid, each lane
+/// padded to whole cache lines. Row r is one plan pipeline's WeightTable;
+/// the batched Eq.-29 weighting kernel (KernelOps::weights_batch) fills
+/// every row in a single call.
+class WeightTableBlock {
+ public:
+  WeightTableBlock() = default;
+  WeightTableBlock(ExecArena& arena, size_t k, size_t rows) : rows_(rows) {
+    constexpr size_t kLine = ExecArena::kAlign / sizeof(double);
+    stride_ = (k + kLine - 1) & ~(kLine - 1);
+    base_ = rows > 0 ? arena.Alloc(3 * stride_ * rows) : nullptr;
+  }
+
+  size_t rows() const { return rows_; }
+
+  WeightTable Row(size_t r) const {
+    WeightTable wt;
+    double* base = base_ + 3 * stride_ * r;
+    wt.w = base;
+    wt.lo = base + stride_;
+    wt.hi = base + 2 * stride_;
+    return wt;
+  }
+
+ private:
+  double* base_ = nullptr;
+  size_t stride_ = 0;  ///< doubles per lane (cache-line padded k)
+  size_t rows_ = 0;
+};
+
+/// Conservative arena-byte estimate for one batch execution: `rows`
+/// distinct weight pipelines over a `grid_bins`-wide grid. Each pipeline
+/// needs the SoA weight triple plus probability/coverage scratch of a few
+/// grid widths; aggregation temporaries ride in the same budget. Used with
+/// ExecArena::Reserve so a batch sizes its arena up front.
+inline size_t BatchArenaBytes(size_t grid_bins, size_t rows) {
+  const size_t per_row = 12 * grid_bins * sizeof(double);
+  return per_row * (rows + 1) + ExecArena::kAlign;
+}
 
 }  // namespace pairwisehist
 

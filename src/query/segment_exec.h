@@ -88,6 +88,17 @@ class SegmentedExecutor {
   Status ExecuteInto(const SegmentedPlan& plan, QueryResult* result) const;
   StatusOr<QueryResult> Execute(const SegmentedPlan& plan) const;
 
+  /// Batch execution (implemented in batch_exec.cc): plans execute as one
+  /// batch per segment through AqpEngine::ExecuteBatchInto /
+  /// ExecutePartialBatchInto, so grid-sharing plans amortize their
+  /// coverage + weighting within every segment. Multiple segments fan the
+  /// batch × segment partial tasks over the pool and merge each query
+  /// serially in segment order; results[i] is bit-identical to
+  /// ExecuteInto(*plans[i], results[i]) for any exec_threads. Plans extend
+  /// lazily after appends exactly like single-plan execution.
+  Status ExecuteBatchInto(const std::vector<const SegmentedPlan*>& plans,
+                          const std::vector<QueryResult*>& results) const;
+
   size_t NumSegments() const { return engines_.size(); }
   const AqpEngine& engine(size_t i) const { return *engines_[i]; }
   const SynopsisSet& set() const { return *set_; }

@@ -1,0 +1,427 @@
+// Batch execution validation (query/batch_exec.h): executing many
+// statements as one batch must produce results BIT-IDENTICAL to looping
+// per-query PreparedQuery::ExecuteInto — same doubles, not approximately
+// equal — across every compiled kernel tier, across exec_threads on a
+// segmented Db, and across Db::Append (lazy plan extension). Plus the
+// duplicate-statement dedup, the reference-path batch, and API edges.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/db.h"
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "query/batch_exec.h"
+#include "query/sql_parser.h"
+
+namespace pairwisehist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random query generation (the fastpath_test harness shapes).
+
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kFloat64;
+  double min = 0, max = 0;
+  std::vector<std::string> dictionary;
+};
+
+std::vector<ColumnStats> CollectStats(const Table& t) {
+  std::vector<ColumnStats> stats;
+  for (size_t c = 0; c < t.NumColumns(); ++c) {
+    const Column& col = t.column(c);
+    ColumnStats s;
+    s.name = col.name();
+    s.type = col.type();
+    bool any = false;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) continue;
+      double v = col.Value(r);
+      if (!any || v < s.min) s.min = v;
+      if (!any || v > s.max) s.max = v;
+      any = true;
+    }
+    if (col.type() == DataType::kCategorical) s.dictionary = col.dictionary();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+Condition RandCondition(Rng* rng, const std::vector<ColumnStats>& stats) {
+  const ColumnStats& s = stats[static_cast<size_t>(
+      rng->UniformInt(static_cast<uint64_t>(stats.size())))];
+  static const CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                               CmpOp::kGe, CmpOp::kEq, CmpOp::kNe};
+  Condition c;
+  c.column = s.name;
+  c.op = kOps[rng->UniformInt(6)];
+  if (s.type == DataType::kCategorical && !s.dictionary.empty() &&
+      rng->Uniform(0, 1) < 0.7) {
+    c.is_string = true;
+    c.text_value = s.dictionary[static_cast<size_t>(
+        rng->UniformInt(static_cast<uint64_t>(s.dictionary.size())))];
+    c.op = rng->Uniform(0, 1) < 0.5 ? CmpOp::kEq : CmpOp::kNe;
+    return c;
+  }
+  double span = s.max - s.min;
+  double v = s.min + rng->Uniform(-0.1, 1.1) * (span > 0 ? span : 1.0);
+  if (rng->Uniform(0, 1) < 0.5) v = std::floor(v);
+  c.value = v;
+  return c;
+}
+
+PredicateNode RandTree(Rng* rng, const std::vector<ColumnStats>& stats,
+                       int depth) {
+  if (depth <= 0 || rng->Uniform(0, 1) < 0.45) {
+    PredicateNode n;
+    n.type = PredicateNode::Type::kCondition;
+    n.condition = RandCondition(rng, stats);
+    return n;
+  }
+  PredicateNode n;
+  n.type = rng->Uniform(0, 1) < 0.5 ? PredicateNode::Type::kAnd
+                                    : PredicateNode::Type::kOr;
+  size_t kids = 2 + rng->UniformInt(2);
+  for (size_t i = 0; i < kids; ++i) {
+    n.children.push_back(RandTree(rng, stats, depth - 1));
+  }
+  return n;
+}
+
+Query RandQuery(Rng* rng, const std::vector<ColumnStats>& stats,
+                const std::string& table_name) {
+  static const AggFunc kFuncs[] = {AggFunc::kCount,  AggFunc::kSum,
+                                   AggFunc::kAvg,    AggFunc::kVar,
+                                   AggFunc::kMin,    AggFunc::kMax,
+                                   AggFunc::kMedian};
+  Query q;
+  q.table = table_name;
+  q.func = kFuncs[rng->UniformInt(7)];
+  const ColumnStats& agg = stats[static_cast<size_t>(
+      rng->UniformInt(static_cast<uint64_t>(stats.size())))];
+  q.agg_column = agg.name;
+  if (q.func == AggFunc::kCount && rng->Uniform(0, 1) < 0.2) {
+    q.count_star = true;
+    q.agg_column.clear();
+  }
+  if (rng->Uniform(0, 1) < 0.9) q.where = RandTree(rng, stats, 2);
+  if (rng->Uniform(0, 1) < 0.12) {
+    for (const ColumnStats& s : stats) {
+      if (s.type == DataType::kCategorical) {
+        q.group_by = s.name;
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+// A dashboard-style block sharing one grid and predicate: every aggregate
+// over the same column under the same WHERE. These are the shapes the
+// batch path amortizes hardest, so make sure the randomized mix always
+// contains grid-sharing groups, not just by chance.
+std::vector<Query> DashboardBlock(Rng* rng,
+                                  const std::vector<ColumnStats>& stats,
+                                  const std::string& table_name) {
+  static const AggFunc kFuncs[] = {AggFunc::kCount,  AggFunc::kSum,
+                                   AggFunc::kAvg,    AggFunc::kVar,
+                                   AggFunc::kMin,    AggFunc::kMax,
+                                   AggFunc::kMedian};
+  PredicateNode where = RandTree(rng, stats, 1);
+  const ColumnStats& agg = stats[static_cast<size_t>(
+      rng->UniformInt(static_cast<uint64_t>(stats.size())))];
+  std::vector<Query> block;
+  for (AggFunc f : kFuncs) {
+    Query q;
+    q.table = table_name;
+    q.func = f;
+    q.agg_column = agg.name;
+    q.where = where;
+    block.push_back(std::move(q));
+  }
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// Identical-result assertion (exact doubles, NaN-aware).
+
+bool SameDouble(double x, double y) {
+  return (std::isnan(x) && std::isnan(y)) || x == y;
+}
+
+void ExpectIdentical(const QueryResult& want, const QueryResult& got,
+                     const std::string& ctx) {
+  ASSERT_EQ(want.groups.size(), got.groups.size()) << ctx;
+  for (size_t g = 0; g < want.groups.size(); ++g) {
+    const auto& a = want.groups[g];
+    const auto& b = got.groups[g];
+    EXPECT_EQ(a.label, b.label) << ctx;
+    EXPECT_EQ(a.agg.empty_selection, b.agg.empty_selection) << ctx;
+    EXPECT_TRUE(SameDouble(a.agg.estimate, b.agg.estimate))
+        << ctx << "  est loop=" << a.agg.estimate
+        << " batch=" << b.agg.estimate;
+    EXPECT_TRUE(SameDouble(a.agg.lower, b.agg.lower))
+        << ctx << "  lower loop=" << a.agg.lower << " batch=" << b.agg.lower;
+    EXPECT_TRUE(SameDouble(a.agg.upper, b.agg.upper))
+        << ctx << "  upper loop=" << a.agg.upper << " batch=" << b.agg.upper;
+  }
+}
+
+// Generates `n_random` random queries (plus dashboard blocks), keeps the
+// preparable ones, and asserts batch execution — in mixed-size chunks,
+// through both PrepareBatch and the prepared-span ExecuteBatch — matches
+// the per-query loop bitwise. `*checked` reports how many were compared.
+void RunBatchEquivalence(const Db& db, const Table& table, uint64_t seed,
+                         size_t n_random, size_t* checked) {
+  *checked = 0;
+  std::vector<ColumnStats> stats = CollectStats(table);
+  Rng rng(seed);
+
+  std::vector<Query> kept;
+  std::vector<PreparedQuery> prepared;
+  std::vector<QueryResult> expected;
+  auto consider = [&](const Query& q) {
+    auto pq = db.Prepare(q);
+    if (!pq.ok()) return;
+    QueryResult r;
+    ASSERT_TRUE(pq->ExecuteInto(&r).ok()) << q.ToSql();
+    kept.push_back(q);
+    prepared.push_back(std::move(pq).value());
+    expected.push_back(std::move(r));
+  };
+  for (size_t i = 0; i < n_random; ++i) {
+    if (i % 10 == 0) {
+      for (const Query& q : DashboardBlock(&rng, stats, table.name())) {
+        consider(q);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    consider(RandQuery(&rng, stats, table.name()));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(kept.size(), n_random / 2);
+
+  // Mixed-size chunks over the whole workload, via PrepareBatch ...
+  const size_t kChunks[] = {1, 3, 8, 17, 32};
+  size_t off = 0, c = 0;
+  while (off < kept.size()) {
+    size_t len = std::min(kChunks[c++ % 5], kept.size() - off);
+    std::vector<Query> chunk(kept.begin() + off, kept.begin() + off + len);
+    auto batch = db.PrepareBatch(std::move(chunk));
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    std::vector<QueryResult> got;
+    ASSERT_TRUE(batch->ExecuteInto(&got).ok());
+    ASSERT_EQ(got.size(), len);
+    for (size_t i = 0; i < len; ++i) {
+      ExpectIdentical(expected[off + i], got[i], kept[off + i].ToSql());
+    }
+    // ... and via the prepared-span ExecuteBatch.
+    std::vector<QueryResult> got2;
+    ASSERT_TRUE(db.ExecuteBatch(prepared.data() + off, len, &got2).ok());
+    for (size_t i = 0; i < len; ++i) {
+      ExpectIdentical(expected[off + i], got2[i], kept[off + i].ToSql());
+    }
+    off += len;
+  }
+  *checked = kept.size();
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence across kernel tiers (single segment).
+
+TEST(BatchEquivalence, SingleSegmentScalarTier) {
+  auto t = MakeDataset("power", 40000, 5);
+  ASSERT_TRUE(t.ok());
+  DbOptions opt;
+  opt.synopsis.sample_size = 10000;  // Eq. 29 widening active
+  opt.kernels = KernelMode::kScalar;
+  auto db = Db::FromTable(*t, opt);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t checked = 0;
+  RunBatchEquivalence(db.value(), t.value(), 101, 160, &checked);
+  EXPECT_GE(checked, 120u);
+}
+
+TEST(BatchEquivalence, SingleSegmentWidestTier) {
+  auto t = MakeDataset("power", 40000, 5);
+  ASSERT_TRUE(t.ok());
+  DbOptions opt;
+  opt.synopsis.sample_size = 10000;
+  opt.kernels = KernelMode::kWidest;
+  auto db = Db::FromTable(*t, opt);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t checked = 0;
+  RunBatchEquivalence(db.value(), t.value(), 160, 160, &checked);
+  EXPECT_GE(checked, 120u);
+}
+
+TEST(BatchEquivalence, TaxisWithNullsFullSample) {
+  auto t = MakeDataset("taxis", 30000, 11);
+  ASSERT_TRUE(t.ok());
+  DbOptions opt;
+  opt.synopsis.sample_size = 0;  // rho = 1: no widening
+  auto db = Db::FromTable(*t, opt);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t checked = 0;
+  RunBatchEquivalence(db.value(), t.value(), 7, 120, &checked);
+  EXPECT_GE(checked, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence across exec_threads (multi-segment fan-out + serial merge).
+
+TEST(BatchEquivalence, MultiSegmentExecThreads) {
+  auto t = MakeDataset("power", 40000, 9);
+  ASSERT_TRUE(t.ok());
+  for (unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    DbOptions opt;
+    opt.synopsis.sample_size = 6000;
+    opt.target_segment_rows = 6000;  // 7 segments
+    opt.exec_threads = threads;
+    auto db = Db::FromTable(*t, opt);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_GT(db->num_segments(), 1u);
+    size_t checked = 0;
+  RunBatchEquivalence(db.value(), t.value(), 201, 100, &checked);
+    EXPECT_GE(checked, 70u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Append: prepared batches stay valid, extend lazily onto fresh segments,
+// and remain bit-identical to the per-query loop afterwards.
+
+TEST(BatchAppend, LazyExtensionStaysIdentical) {
+  auto t = MakeDataset("power", 30000, 21);
+  ASSERT_TRUE(t.ok());
+  DbOptions opt;
+  opt.synopsis.sample_size = 8000;
+  opt.target_segment_rows = 10000;
+  auto db = Db::FromTable(*t, opt);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  std::vector<ColumnStats> stats = CollectStats(t.value());
+  Rng rng(31);
+  std::vector<Query> kept;
+  std::vector<PreparedQuery> prepared;
+  for (size_t i = 0; i < 80 && kept.size() < 60; ++i) {
+    Query q = RandQuery(&rng, stats, t->name());
+    auto pq = db->Prepare(q);
+    if (!pq.ok()) continue;
+    kept.push_back(q);
+    prepared.push_back(std::move(pq).value());
+  }
+  ASSERT_GE(kept.size(), 30u);
+  auto batch = db->PrepareBatch(kept);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  // Before the append.
+  std::vector<QueryResult> got;
+  ASSERT_TRUE(batch->ExecuteInto(&got).ok());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    QueryResult want;
+    ASSERT_TRUE(prepared[i].ExecuteInto(&want).ok());
+    ExpectIdentical(want, got[i], kept[i].ToSql());
+  }
+
+  // Seal fresh segments; both the batch and the per-query plans must
+  // extend lazily and still agree bitwise (and see the new rows).
+  auto fresh = MakeDataset("power", 12000, 77);
+  ASSERT_TRUE(fresh.ok());
+  const size_t before_segments = db->num_segments();
+  ASSERT_TRUE(db->Append(fresh.value()).ok());
+  ASSERT_GT(db->num_segments(), before_segments);
+
+  std::vector<QueryResult> after;
+  ASSERT_TRUE(batch->ExecuteInto(&after).ok());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    QueryResult want;
+    ASSERT_TRUE(prepared[i].ExecuteInto(&want).ok());
+    ExpectIdentical(want, after[i], "post-append " + kept[i].ToSql());
+  }
+
+  // Sanity: the appended rows are actually visible through the batch.
+  auto count = db->PrepareBatch(
+      std::vector<std::string>{"SELECT COUNT(*) FROM power;"});
+  ASSERT_TRUE(count.ok());
+  auto counted = count->Execute();
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->at(0).Scalar().estimate,
+            static_cast<double>(t->NumRows() + fresh->NumRows()));
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-statement dedup.
+
+TEST(BatchDedup, DuplicateStatementsShareOnePlan) {
+  auto db = Db::FromGenerator("power", 20000, 3);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const std::string a = "SELECT AVG(voltage) FROM power WHERE hour > 18;";
+  const std::string b = "SELECT COUNT(voltage) FROM power WHERE hour > 18;";
+  auto batch =
+      db->PrepareBatch(std::vector<std::string>{a, b, a, a, b});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->size(), 5u);
+  EXPECT_EQ(batch->NumDistinctPlans(), 2u);
+
+  auto results = batch->Execute();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 5u);
+  ExpectIdentical(results->at(0), results->at(2), a);
+  ExpectIdentical(results->at(0), results->at(3), a);
+  ExpectIdentical(results->at(1), results->at(4), b);
+  auto single = db->ExecuteSql(a);
+  ASSERT_TRUE(single.ok());
+  ExpectIdentical(single.value(), results->at(0), a);
+}
+
+// ---------------------------------------------------------------------------
+// Reference path (use_fast_path = false) batches identically too.
+
+TEST(BatchRefPath, ReferenceEngineBatchesIdentically) {
+  auto t = MakeDataset("power", 25000, 13);
+  ASSERT_TRUE(t.ok());
+  DbOptions opt;
+  opt.synopsis.sample_size = 6000;
+  opt.engine.use_fast_path = false;
+  auto db = Db::FromTable(*t, opt);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  size_t checked = 0;
+  RunBatchEquivalence(db.value(), t.value(), 17, 60, &checked);
+  EXPECT_GE(checked, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// API edges.
+
+TEST(BatchApi, EmptyBatchAndBackendGating) {
+  auto db = Db::FromGenerator("power", 15000, 7);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  auto empty = db->PrepareBatch(std::vector<std::string>{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  std::vector<QueryResult> results;
+  EXPECT_TRUE(empty->ExecuteInto(&results).ok());
+  EXPECT_TRUE(results.empty());
+
+  // Batching is a built-in-engine feature: gated while a backend is
+  // active, restored by ResetBackend.
+  auto backend = db->MakeBaselineBackend("sampling", 2000);
+  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE(db->SetBackend(std::move(backend).value()).ok());
+  auto gated = db->PrepareBatch(
+      std::vector<std::string>{"SELECT COUNT(*) FROM power;"});
+  EXPECT_FALSE(gated.ok());
+  db->ResetBackend();
+  auto restored = db->PrepareBatch(
+      std::vector<std::string>{"SELECT COUNT(*) FROM power;"});
+  EXPECT_TRUE(restored.ok());
+}
+
+}  // namespace
+}  // namespace pairwisehist

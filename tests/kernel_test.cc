@@ -227,6 +227,109 @@ TEST(KernelEdgeCases, GatherDot3MatchesScalar) {
   }
 }
 
+// The multi-row reduction kernels (column-major cell prefixes) are
+// elementwise across rows, so every tier must match scalar BITWISE —
+// that's what keeps the fast path's whole-grid sweeps equal to the
+// reference path's per-row ReduceRow walk.
+TEST(KernelEdgeCases, MultiRowReduceMatchesScalarBitwise) {
+  const KernelOps& sc = ScalarKernels();
+  Rng rng(91);
+  const size_t kN = 70;
+  std::vector<uint64_t> pre_b(kN), pre_e(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    uint64_t base = rng.UniformInt(100000);
+    pre_b[i] = base;
+    pre_e[i] = base + rng.UniformInt(5000);
+  }
+  for (const KernelOps* ks : SupportedKernels()) {
+    SCOPED_TRACE(ks->name);
+    for (size_t b : {0u, 1u, 3u, 5u}) {
+      for (size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 17u, 33u, 64u}) {
+        const size_t e = b + n;
+        ASSERT_LE(e, kN);
+        std::vector<double> a1(kN, 0.5), l1(kN, 0.25), h1(kN, 1.5);
+        std::vector<double> a2 = a1, l2 = l1, h2 = h1;
+        ks->run_mass3(pre_b.data(), pre_e.data(), a1.data(), l1.data(),
+                      h1.data(), b, e);
+        sc.run_mass3(pre_b.data(), pre_e.data(), a2.data(), l2.data(),
+                     h2.data(), b, e);
+        EXPECT_EQ(0, std::memcmp(a1.data(), a2.data(), kN * sizeof(double)));
+        EXPECT_EQ(0, std::memcmp(l1.data(), l2.data(), kN * sizeof(double)));
+        EXPECT_EQ(0, std::memcmp(h1.data(), h2.data(), kN * sizeof(double)));
+        ks->cell_axpy3(pre_b.data(), pre_e.data(), 0.3, 0.1, 0.9, a1.data(),
+                       l1.data(), h1.data(), b, e);
+        sc.cell_axpy3(pre_b.data(), pre_e.data(), 0.3, 0.1, 0.9, a2.data(),
+                      l2.data(), h2.data(), b, e);
+        EXPECT_EQ(0, std::memcmp(a1.data(), a2.data(), kN * sizeof(double)));
+        EXPECT_EQ(0, std::memcmp(l1.data(), l2.data(), kN * sizeof(double)));
+        EXPECT_EQ(0, std::memcmp(h1.data(), h2.data(), kN * sizeof(double)));
+      }
+    }
+  }
+}
+
+// Batched Eq.-29 weighting: each SoA row must be bit-identical to
+// weighting that row alone with weights_nowiden / weights_widen /
+// counts_to_weights3 — per tier, with and without sampling widening.
+TEST(KernelEdgeCases, WeightsBatchMatchesPerRowKernels) {
+  const size_t kN = 48;
+  RandomArrays arr(kN, 2024);
+  // Two rows over the same counts: one with a fully-covered run in the
+  // middle, one plain.
+  const uint32_t runs[] = {10, 20};
+  for (const KernelOps* ks : SupportedKernels()) {
+    SCOPED_TRACE(ks->name);
+    for (int widen : {0, 1}) {
+      SCOPED_TRACE("widen=" + std::to_string(widen));
+      std::vector<double> w1(kN, -1), l1(kN, -1), h1(kN, -1);
+      std::vector<double> w2(kN, -1), l2(kN, -1), h2(kN, -1);
+      WeightRow rows[2];
+      rows[0] = WeightRow{arr.h.data(), arr.b.data(), arr.a.data(),
+                          arr.d.data(), w1.data(), l1.data(), h1.data(),
+                          3,  37, runs, 1};
+      rows[1] = WeightRow{arr.h.data(), arr.b.data(), arr.a.data(),
+                          arr.d.data(), w2.data(), l2.data(), h2.data(),
+                          0,  kN, nullptr, 0};
+      const double z = 2.33, fpc = 0.9;
+      ks->weights_batch(rows, 2, z, fpc, widen);
+
+      std::vector<double> ew(kN, -1), el(kN, -1), eh(kN, -1);
+      auto weigh = [&](size_t b, size_t e) {
+        if (b >= e) return;
+        if (widen != 0) {
+          ks->weights_widen(arr.h.data(), arr.b.data(), arr.a.data(),
+                            arr.d.data(), z, fpc, ew.data(), el.data(),
+                            eh.data(), b, e);
+        } else {
+          ks->weights_nowiden(arr.h.data(), arr.b.data(), arr.a.data(),
+                              arr.d.data(), ew.data(), el.data(), eh.data(),
+                              b, e);
+        }
+      };
+      // Row 0 by hand: weigh [3, 10), run [10, 20), weigh [20, 37).
+      weigh(3, 10);
+      ks->counts_to_weights3(arr.h.data(), ew.data(), el.data(), eh.data(),
+                             10, 20);
+      weigh(20, 37);
+      for (size_t t = 3; t < 37; ++t) {
+        EXPECT_EQ(w1[t], ew[t]) << t;
+        EXPECT_EQ(l1[t], el[t]) << t;
+        EXPECT_EQ(h1[t], eh[t]) << t;
+      }
+      // Row 1 by hand: one straight weighting pass.
+      std::fill(ew.begin(), ew.end(), -1);
+      std::fill(el.begin(), el.end(), -1);
+      std::fill(eh.begin(), eh.end(), -1);
+      weigh(0, kN);
+      for (size_t t = 0; t < kN; ++t) {
+        EXPECT_EQ(w2[t], ew[t]) << t;
+        EXPECT_EQ(l2[t], el[t]) << t;
+        EXPECT_EQ(h2[t], eh[t]) << t;
+      }
+    }
+  }
+}
+
 // The invariant the engine's fast-vs-reference bit-equality rests on: a
 // reduction over [b, e) equals the SAME reduction over a wider range whose
 // extra elements are exact zeros — identical doubles, per tier.
