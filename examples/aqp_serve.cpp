@@ -1,0 +1,130 @@
+// aqp_serve: stand-alone AQP HTTP server on top of serve/ServingDb.
+//
+// Builds a Db from a generator dataset or a CSV file and serves it:
+//
+//   aqp_serve                             # power dataset, 200k rows, :8080
+//   aqp_serve --gen flights --rows 500000 --port 9000
+//   aqp_serve --csv data.csv --port 0    # 0 = kernel-assigned (printed)
+//   aqp_serve --segment-rows 50000 --no-coalesce --window-us 50
+//
+// Endpoints (JSON; see src/serve/service.h):
+//   POST /query   {"sql":"SELECT AVG(x) FROM t WHERE y > 1;"}
+//   POST /batch   {"sqls":["...", "..."]}
+//   POST /append  CSV body with header row (sealed as fresh segments)
+//   GET  /stats   serving counters (epoch, QPS bookkeeping, cache, ...)
+//
+// Prints "serving on port <P>" once ready (the CI smoke test greps it),
+// then blocks until SIGINT/SIGTERM or EOF on stdin.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "api/db.h"
+#include "serve/http_server.h"
+#include "serve/service.h"
+#include "serve/serving_db.h"
+
+using namespace pairwisehist;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string gen = "power";
+  std::string csv;
+  size_t rows = 200000;
+  size_t segment_rows = 0;
+  long port = 8080;
+  uint64_t seed = 42;
+  ServingOptions serving_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--gen") {
+      gen = next();
+    } else if (arg == "--csv") {
+      csv = next();
+    } else if (arg == "--rows") {
+      rows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--segment-rows") {
+      segment_rows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--port") {
+      port = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-coalesce") {
+      serving_options.coalesce = false;
+    } else if (arg == "--window-us") {
+      serving_options.coalesce_window_us =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: aqp_serve [--gen name | --csv path] [--rows N]\n"
+                   "                 [--segment-rows N] [--port P] [--seed S]\n"
+                   "                 [--no-coalesce] [--window-us U]\n");
+      return 2;
+    }
+  }
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "bad port %ld\n", port);
+    return 2;
+  }
+
+  DbOptions options;
+  options.target_segment_rows = segment_rows;
+  auto opened = csv.empty() ? Db::FromGenerator(gen, rows, seed, options)
+                            : Db::FromCsv(csv, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open dataset: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded '%s': %llu rows, %zu segments, %zu synopsis bytes\n",
+              opened->name().c_str(),
+              (unsigned long long)opened->total_rows(),
+              opened->num_segments(), opened->StorageBytes());
+
+  ServingDb serving(std::move(opened).value(), serving_options);
+  HttpServer server(MakeServingHandler(&serving),
+                    MakeServingBatchHandler(&serving));
+  Status st = server.Start(static_cast<uint16_t>(port));
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on port %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  // Park until a signal or stdin EOF (whichever the supervisor uses).
+  while (!g_stop) {
+    const int c = std::getchar();
+    if (c == EOF) {
+      if (g_stop) break;
+      // Detached stdin (e.g. backgrounded under CI): fall back to a nap so
+      // the loop doesn't spin; signals still break us out.
+      struct timespec ts = {0, 200 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+      std::clearerr(stdin);
+    }
+    if (c == 'q') break;
+  }
+  server.Stop();
+  const ServingStats stats = serving.Stats();
+  std::printf("stopped after %llu queries, %llu appends (epoch %llu)\n",
+              (unsigned long long)stats.queries,
+              (unsigned long long)stats.appends,
+              (unsigned long long)stats.epoch);
+  return 0;
+}

@@ -18,6 +18,8 @@
 //                     report per-query latency + batch-vs-loop speedup
 //   .append <rows>    generate + seal new rows as a fresh segment
 //   .append <csv>     ingest a CSV batch as a fresh segment
+//   .serve <port>     expose the open Db over HTTP (serve/ServingDb) until
+//                     Enter is pressed, then reattach the shell
 //   .save <path>      write the serialized (multi-segment) synopsis
 //   .quit
 #include <chrono>
@@ -31,6 +33,9 @@
 #include "api/db.h"
 #include "datagen/datasets.h"
 #include "query/batch_exec.h"
+#include "serve/http_server.h"
+#include "serve/service.h"
+#include "serve/serving_db.h"
 #include "storage/csv.h"
 
 using namespace pairwisehist;
@@ -100,6 +105,7 @@ int main(int argc, char** argv) {
           ".batch <file>    run one query per line as a single batch\n"
           ".append <rows>   generate+seal new rows as a fresh segment\n"
           ".append <csv>    ingest a CSV batch as a fresh segment\n"
+          ".serve <port>    expose this Db over HTTP until Enter (0 = any)\n"
           ".save <path>     write the serialized (multi-segment) synopsis\n"
           ".quit\n");
       continue;
@@ -284,6 +290,37 @@ int main(int argc, char** argv) {
                     rows, (unsigned long long)db.total_rows(),
                     db.num_segments(), db.StorageBytes());
       }
+      continue;
+    }
+    if (line.rfind(".serve", 0) == 0) {
+      const uint16_t port = static_cast<uint16_t>(
+          line.size() > 7 ? std::strtoul(line.c_str() + 7, nullptr, 10) : 0);
+      // Hand the Db to a ServingDb (snapshot epoch 0), serve until Enter,
+      // then take it back — appends made over HTTP are kept.
+      ServingDb serving(std::move(db));
+      HttpServer server(MakeServingHandler(&serving),
+                    MakeServingBatchHandler(&serving));
+      Status st = server.Start(port);
+      if (st.ok()) {
+        std::printf("serving on http://127.0.0.1:%u  "
+                    "(POST /query /batch /append, GET /stats)\n"
+                    "press Enter to stop\n",
+                    static_cast<unsigned>(server.port()));
+        std::string ignored;
+        std::getline(std::cin, ignored);
+        server.Stop();
+      } else {
+        std::printf("error: %s\n", st.ToString().c_str());
+      }
+      auto back = serving.TakeDb();
+      if (!back.ok()) {
+        std::fprintf(stderr, "cannot reattach Db: %s\n",
+                     back.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(back).value();
+      std::printf("server stopped; shell reattached (%zu segments)\n",
+                  db.num_segments());
       continue;
     }
     if (line.rfind(".save ", 0) == 0) {

@@ -372,13 +372,19 @@ StatusOr<Table> Db::CanonicalizeBatch(const Table& batch) const {
   return out;
 }
 
-Status Db::Append(const Table& batch) {
-  // Validate the whole schema up front, then canonicalize, so that by the
-  // time any component is mutated the batch is known-applicable: a late
-  // failure would leave synopsis, compressed store and raw table counting
-  // different rows with no way to roll back.
-  const size_t last = set_->NumSegments() - 1;
-  const PairwiseHist& newest = set_->synopsis(last);
+std::vector<std::pair<std::string, DataType>> Db::AppendSchema() const {
+  const PairwiseHist& newest = set_->synopsis(set_->NumSegments() - 1);
+  std::vector<std::pair<std::string, DataType>> schema;
+  schema.reserve(newest.num_columns());
+  for (size_t c = 0; c < newest.num_columns(); ++c) {
+    const ColumnTransform& tr = newest.transform(c);
+    schema.emplace_back(tr.name, tr.type);
+  }
+  return schema;
+}
+
+Status Db::ValidateAppendSchema(const Table& batch) const {
+  const PairwiseHist& newest = set_->synopsis(set_->NumSegments() - 1);
   const size_t d = newest.num_columns();
   if (batch.NumColumns() != d) {
     return Status::InvalidArgument(
@@ -395,6 +401,16 @@ Status Db::Append(const Table& batch) {
           tr.name + "' (" + DataTypeName(tr.type) + ")");
     }
   }
+  return Status::OK();
+}
+
+Status Db::Append(const Table& batch) {
+  // Validate the whole schema up front, then canonicalize, so that by the
+  // time any component is mutated the batch is known-applicable: a late
+  // failure would leave synopsis, compressed store and raw table counting
+  // different rows with no way to roll back.
+  const size_t last = set_->NumSegments() - 1;
+  PH_RETURN_IF_ERROR(ValidateAppendSchema(batch));
   if (batch.NumRows() == 0) return Status::OK();
   PH_ASSIGN_OR_RETURN(Table canonical, CanonicalizeBatch(batch));
 
@@ -424,6 +440,48 @@ Status Db::Append(const Table& batch) {
     PH_RETURN_IF_ERROR(AppendRows(table_.get(), canonical));
   }
   return Status::OK();
+}
+
+StatusOr<Db> Db::WithAppended(const Table& batch) const {
+  if (backend_ != nullptr) {
+    return Status::Unsupported(
+        "WithAppended snapshots use the built-in engine; reset the backend "
+        "first");
+  }
+  if (compressed_ != nullptr) {
+    return Status::Unsupported(
+        "WithAppended: the compressed store is single-owner; use Append");
+  }
+  if (append_mode_ == AppendMode::kMutateBins) {
+    return Status::Unsupported(
+        "WithAppended requires AppendMode::kSealSegment (snapshot sharing "
+        "relies on sealed segments staying immutable)");
+  }
+  PH_RETURN_IF_ERROR(ValidateAppendSchema(batch));
+
+  Db out;
+  out.name_ = name_;
+  out.append_cfg_ = append_cfg_;
+  out.target_segment_rows_ = target_segment_rows_;
+  out.append_mode_ = append_mode_;
+  if (batch.NumRows() == 0) {
+    out.set_ = std::make_unique<SynopsisSet>(set_->Share());
+    if (table_ != nullptr) out.table_ = std::make_unique<Table>(*table_);
+  } else {
+    PH_ASSIGN_OR_RETURN(Table canonical, CanonicalizeBatch(batch));
+    PH_ASSIGN_OR_RETURN(
+        SegmentedTable st,
+        SegmentedTable::Partition(&canonical, target_segment_rows_));
+    PH_ASSIGN_OR_RETURN(SynopsisSet set, set_->WithSealed(st, append_cfg_));
+    out.set_ = std::make_unique<SynopsisSet>(std::move(set));
+    if (table_ != nullptr) {
+      out.table_ = std::make_unique<Table>(*table_);
+      PH_RETURN_IF_ERROR(AppendRows(out.table_.get(), canonical));
+    }
+  }
+  out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
+                                                  exec_->options());
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/aqp_method.h"
@@ -109,6 +110,10 @@ class Db;
 /// invalidates queries prepared while a different backend was active.
 class PreparedQuery {
  public:
+  /// An empty statement (Execute fails with Internal until assigned from
+  /// Db::Prepare); lets containers and caches hold PreparedQuery slots.
+  PreparedQuery() = default;
+
   /// Runs the approximate engine (or the active backend) on the captured
   /// plans. Only coverage + weighting + aggregation (+ cross-segment
   /// merge) run per call.
@@ -135,7 +140,6 @@ class PreparedQuery {
 
  private:
   friend class Db;
-  PreparedQuery() = default;
 
   const SegmentedExecutor* exec_ = nullptr;  // built-in execution path
   const AqpMethod* backend_ = nullptr;       // set when a backend is active
@@ -146,6 +150,22 @@ class PreparedQuery {
 
 /// The facade. Movable, not copyable; prepared queries remain valid across
 /// moves (internal components have stable addresses).
+///
+/// Thread safety:
+///  - All const methods — Prepare, Execute*, ExecuteBatch, PrepareBatch,
+///    Save, introspection — are safe to call concurrently from any number
+///    of threads on the same Db. Per-call execution state lives in scratch
+///    leased from per-engine/per-executor pools (never in shared mutable
+///    members), cross-segment fan-out serializes on the TaskPool
+///    internally, and lazy plan extension after Append synchronizes on
+///    each SegmentedPlan's own mutex with release/acquire publication.
+///  - Append and SetBackend are exclusive writers: no other call (const or
+///    not) may run concurrently with them — Append mutates the synopsis
+///    set, raw table and compressed store in place.
+///  - For readers that must never block during appends, take copy-on-append
+///    snapshots with WithAppended (sealed segments are immutable and
+///    shared) and swap whole Db instances — serve/ServingDb packages that
+///    pattern behind an RCU-style atomic snapshot pointer.
 class Db {
  public:
   Db(Db&&) = default;
@@ -222,6 +242,24 @@ class Db {
   /// prepared queries stay valid and see the new data.
   Status Append(const Table& batch);
 
+  /// Copy-on-append snapshot: returns a NEW Db whose synopsis shares every
+  /// existing sealed segment with this one (sealed segments are immutable)
+  /// and additionally seals `batch` as fresh segments — `this` is left
+  /// untouched, so in-flight readers of the old Db and plans prepared
+  /// against it stay valid indefinitely. Segment seeds and row ranges
+  /// match what Append(batch) would have produced, so old and new Db
+  /// answer identically over the shared prefix. The kept raw table (when
+  /// present) is deep-copied — O(total rows); open with keep_table = false
+  /// for cheap snapshots. Unsupported with a compressed store, an active
+  /// backend, or AppendMode::kMutateBins (snapshot sharing requires
+  /// immutable segments). This is the building block of serve/ServingDb.
+  StatusOr<Db> WithAppended(const Table& batch) const;
+
+  /// Name and type of every column an Append batch must supply, in synopsis
+  /// order. Lets callers that parse untyped inputs (e.g. the CSV /append
+  /// endpoint) re-type numeric columns before Append's schema check.
+  std::vector<std::pair<std::string, DataType>> AppendSchema() const;
+
   // ---- Pluggable AQP backends ------------------------------------------
   /// Routes subsequent Execute/Prepare calls through `backend` instead of
   /// the built-in PairwiseHist engine. Passing nullptr restores the
@@ -260,6 +298,8 @@ class Db {
  private:
   Db() = default;
   static StatusOr<Db> Build(Table table, const DbOptions& options);
+  /// Checks that `batch`'s columns match the synopsis schema by name/type.
+  Status ValidateAppendSchema(const Table& batch) const;
   /// Returns a copy of `batch` with categorical columns re-coded into the
   /// newest segment's fitted dictionaries (batch dictionaries may order
   /// the same strings differently; unseen categories extend the canonical

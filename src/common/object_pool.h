@@ -1,0 +1,81 @@
+// A tiny lock-light pool of reusable heap objects.
+//
+// Execution hot paths lease scratch state (bump arenas, bookkeeping
+// vectors) from a per-owner pool instead of allocating per call: Acquire
+// returns a previously released object when one is free, so steady-state
+// repeated calls reuse warmed capacity, and concurrent callers never share
+// one object. A single-slot atomic exchange serves the common
+// one-caller-at-a-time case without touching the mutex; the locked
+// overflow list only engages under real concurrency.
+#ifndef PAIRWISEHIST_COMMON_OBJECT_POOL_H_
+#define PAIRWISEHIST_COMMON_OBJECT_POOL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pairwisehist {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ~ObjectPool() { delete slot_.load(std::memory_order_acquire); }
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Returns a pooled object, or nullptr when none is free (the caller
+  /// allocates a fresh one outside any lock).
+  std::unique_ptr<T> Acquire() {
+    T* fast = slot_.exchange(nullptr, std::memory_order_acq_rel);
+    if (fast != nullptr) return std::unique_ptr<T>(fast);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overflow_.empty()) return nullptr;
+    std::unique_ptr<T> obj = std::move(overflow_.back());
+    overflow_.pop_back();
+    return obj;
+  }
+
+  /// Returns an object to the pool for reuse.
+  void Release(std::unique_ptr<T> obj) {
+    T* expected = nullptr;
+    T* raw = obj.get();
+    if (slot_.compare_exchange_strong(expected, raw,
+                                      std::memory_order_acq_rel)) {
+      obj.release();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    overflow_.push_back(std::move(obj));
+  }
+
+ private:
+  std::atomic<T*> slot_{nullptr};
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> overflow_;
+};
+
+/// RAII lease of one pooled object: acquires on construction (allocating
+/// only when the pool is dry) and releases on destruction.
+template <typename T>
+class PoolLease {
+ public:
+  explicit PoolLease(ObjectPool<T>* pool) : pool_(pool), obj_(pool->Acquire()) {
+    if (obj_ == nullptr) obj_ = std::make_unique<T>();
+  }
+  ~PoolLease() { pool_->Release(std::move(obj_)); }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  T& operator*() { return *obj_; }
+  T* operator->() { return obj_.get(); }
+
+ private:
+  ObjectPool<T>* pool_;
+  std::unique_ptr<T> obj_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_OBJECT_POOL_H_

@@ -46,7 +46,7 @@ Status SynopsisSet::BuildInto(const SegmentedTable& st,
       return;
     }
     Segment& slot = (*out)[i];
-    slot.synopsis = std::make_unique<PairwiseHist>(std::move(ph).value());
+    slot.synopsis = std::make_shared<PairwiseHist>(std::move(ph).value());
     slot.meta.row_begin = row_base + st.span(i).begin;
     slot.meta.row_end = row_base + st.span(i).end;
     slot.meta.ranges = st.Ranges(i);
@@ -84,7 +84,7 @@ SynopsisSet SynopsisSet::FromSingle(PairwiseHist ph, SegmentMeta meta) {
   SynopsisSet out;
   out.segments_.resize(1);
   out.segments_[0].synopsis =
-      std::make_unique<PairwiseHist>(std::move(ph));
+      std::make_shared<PairwiseHist>(std::move(ph));
   out.segments_[0].meta = std::move(meta);
   return out;
 }
@@ -102,6 +102,20 @@ Status SynopsisSet::SealSegments(const SegmentedTable& st,
   for (Segment& seg : fresh) segments_.push_back(std::move(seg));
   ++meta_generation_;
   return Status::OK();
+}
+
+SynopsisSet SynopsisSet::Share() const {
+  SynopsisSet out;
+  out.segments_ = segments_;  // shares every (immutable) synopsis
+  out.meta_generation_ = meta_generation_;
+  return out;
+}
+
+StatusOr<SynopsisSet> SynopsisSet::WithSealed(
+    const SegmentedTable& st, const PairwiseHistConfig& cfg) const {
+  SynopsisSet out = Share();
+  PH_RETURN_IF_ERROR(out.SealSegments(st, cfg));
+  return out;
 }
 
 void SynopsisSet::ExtendLastMeta(const Table& batch) {
@@ -205,7 +219,7 @@ StatusOr<SynopsisSet> SynopsisSet::Deserialize(
     }
     PH_ASSIGN_OR_RETURN(std::vector<uint8_t> ph_blob, r.ReadBytes());
     PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(ph_blob));
-    seg.synopsis = std::make_unique<PairwiseHist>(std::move(ph));
+    seg.synopsis = std::make_shared<PairwiseHist>(std::move(ph));
   }
   return out;
 }

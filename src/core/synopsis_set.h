@@ -61,6 +61,19 @@ class SynopsisSet {
   Status SealSegments(const SegmentedTable& st,
                       const PairwiseHistConfig& cfg);
 
+  // ---- Copy-on-append snapshots -----------------------------------------
+  /// Returns a set sharing every sealed segment with this one (segments
+  /// are immutable once sealed, so sharing is safe as long as no caller
+  /// uses the kMutateBins mutation path on either set).
+  SynopsisSet Share() const;
+  /// Copy-on-append: returns a NEW set that shares this set's sealed
+  /// segments and additionally seals every segment of `st`, leaving
+  /// `this` untouched. Seeds and row ranges are identical to calling
+  /// SealSegments(st, cfg) in place, so readers of the old and new set
+  /// see bit-identical segments where they overlap.
+  StatusOr<SynopsisSet> WithSealed(const SegmentedTable& st,
+                                   const PairwiseHistConfig& cfg) const;
+
   // ---- Introspection ----------------------------------------------------
   size_t NumSegments() const { return segments_.size(); }
   const PairwiseHist& synopsis(size_t i) const {
@@ -93,8 +106,12 @@ class SynopsisSet {
   size_t StorageBytes() const;
 
  private:
+  /// shared_ptr because sealed segments are immutable and shared across
+  /// copy-on-append snapshots (WithSealed); only the legacy kMutateBins
+  /// path mutates a synopsis in place, and that path never coexists with
+  /// snapshot sharing (Db::WithAppended rejects kMutateBins).
   struct Segment {
-    std::unique_ptr<PairwiseHist> synopsis;
+    std::shared_ptr<PairwiseHist> synopsis;
     SegmentMeta meta;
   };
 

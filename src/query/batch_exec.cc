@@ -16,50 +16,82 @@ Status SegmentedExecutor::ExecuteBatchInto(
   if (plans.size() != results.size()) {
     return Status::InvalidArgument("batch plans/results size mismatch");
   }
-  const size_t nq = plans.size();
-  if (nq == 0) return Status::OK();
-  for (const SegmentedPlan* p : plans) {
-    if (p == nullptr || !p->valid()) {
+  if (plans.empty()) return Status::OK();
+  PoolLease<BatchExecScratch> lease(batch_pool_.get());
+  return ExecuteBatchImpl(plans.data(), results.data(), plans.size(), *lease);
+}
+
+Status SegmentedExecutor::ExecuteBatchInto(const SegmentedPlan* plans,
+                                           QueryResult* results,
+                                           size_t n) const {
+  if (n == 0) return Status::OK();
+  PoolLease<BatchExecScratch> lease(batch_pool_.get());
+  BatchExecScratch& scratch = *lease;
+  scratch.plan_ptrs.resize(n);
+  scratch.result_ptrs.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    scratch.plan_ptrs[i] = &plans[i];
+    scratch.result_ptrs[i] = &results[i];
+  }
+  return ExecuteBatchImpl(scratch.plan_ptrs.data(), scratch.result_ptrs.data(),
+                          n, scratch);
+}
+
+Status SegmentedExecutor::ExecuteBatchImpl(const SegmentedPlan* const* plans,
+                                           QueryResult* const* results,
+                                           size_t nq,
+                                           BatchExecScratch& scratch) const {
+  for (size_t q = 0; q < nq; ++q) {
+    if (plans[q] == nullptr || !plans[q]->valid()) {
       return Status::Internal("SegmentedPlan used before Prepare");
     }
   }
   // Extend lazily compiled plans (post-append segments) up front, under
   // each plan's own mutex, so the fan-out below reads stable state.
-  for (const SegmentedPlan* p : plans) {
-    PH_RETURN_IF_ERROR(EnsurePlans(p->state_.get()));
+  for (size_t q = 0; q < nq; ++q) {
+    PH_RETURN_IF_ERROR(EnsurePlans(plans[q]->state_.get()));
   }
 
   const size_t nseg = engines_.size();
   if (nseg == 1) {
     // Monolithic special case: the whole batch in one engine call.
-    std::vector<const CompiledQuery*> cps(nq);
+    scratch.cps.resize(nq);
+    scratch.outs.resize(nq);
     for (size_t q = 0; q < nq; ++q) {
-      cps[q] = &plans[q]->state_->plans[0];
+      scratch.cps[q] = &plans[q]->state_->plans[0];
+      scratch.outs[q] = results[q];
     }
-    return engines_[0]->ExecuteBatchInto(cps, results);
+    return engines_[0]->ExecuteBatchInto(scratch.cps, scratch.outs);
   }
 
   // Fan the batch × segment tasks over the pool: one task per segment,
   // each running the whole batch's mergeable partials on that segment
   // through the engine's batched partial path (so grid sharing is
   // amortized inside every segment too). Pruned (plan, segment) pairs
-  // contribute nothing, exactly like single-plan execution.
-  std::vector<std::vector<PartialResult>> parts(
-      nq, std::vector<PartialResult>(nseg));
-  std::vector<Status> statuses(nseg, Status::OK());
+  // contribute nothing, exactly like single-plan execution. The merge
+  // below reads every (query, segment) slot, so stale groups from a
+  // previous lease are cleared up front.
+  scratch.parts.resize(nq);
+  scratch.statuses.assign(nseg, Status::OK());
+  scratch.task_cps.resize(nseg);
+  scratch.task_outs.resize(nseg);
+  for (size_t q = 0; q < nq; ++q) {
+    scratch.parts[q].resize(nseg);
+    for (PartialResult& pr : scratch.parts[q]) pr.groups.clear();
+  }
   auto work = [&](size_t s) {
-    std::vector<const CompiledQuery*> cps;
-    std::vector<PartialResult*> outs;
-    cps.reserve(nq);
-    outs.reserve(nq);
+    std::vector<const CompiledQuery*>& cps = scratch.task_cps[s];
+    std::vector<PartialResult*>& outs = scratch.task_outs[s];
+    cps.clear();
+    outs.clear();
     for (size_t q = 0; q < nq; ++q) {
       SegmentedPlan::State* st = plans[q]->state_.get();
       if (st->skip[s]) continue;
       cps.push_back(&st->plans[s]);
-      outs.push_back(&parts[q][s]);
+      outs.push_back(&scratch.parts[q][s]);
     }
     if (!cps.empty()) {
-      statuses[s] = engines_[s]->ExecutePartialBatchInto(cps, outs);
+      scratch.statuses[s] = engines_[s]->ExecutePartialBatchInto(cps, outs);
     }
   };
   size_t live = 0;
@@ -75,7 +107,7 @@ Status SegmentedExecutor::ExecuteBatchInto(
   } else {
     for (size_t s = 0; s < nseg; ++s) work(s);
   }
-  for (const Status& s : statuses) {
+  for (const Status& s : scratch.statuses) {
     if (!s.ok()) return s;
   }
 
@@ -85,7 +117,7 @@ Status SegmentedExecutor::ExecuteBatchInto(
   const KernelOps* ks = &GetKernels(options_.engine.kernels);
   for (size_t q = 0; q < nq; ++q) {
     const Query& query = plans[q]->state_->query;
-    MergePartialResults(query.func, !query.group_by.empty(), parts[q],
+    MergePartialResults(query.func, !query.group_by.empty(), scratch.parts[q],
                         results[q], ks);
   }
   return Status::OK();
@@ -102,26 +134,15 @@ Status PreparedBatch::ExecuteInto(std::vector<QueryResult>* results) const {
   results->resize(nq);
   if (plans_.size() == nq) {
     // No duplicates: plan_of_query_ is the identity by construction, so
-    // execute straight into the caller's (warm) results — no scatter
-    // copies on the hot path.
-    std::vector<const SegmentedPlan*> plan_ptrs(nq);
-    std::vector<QueryResult*> result_ptrs(nq);
-    for (size_t i = 0; i < nq; ++i) {
-      plan_ptrs[i] = &plans_[i];
-      result_ptrs[i] = &(*results)[i];
-    }
-    return exec_->ExecuteBatchInto(plan_ptrs, result_ptrs);
+    // execute straight into the caller's (warm) results through the
+    // contiguous overload — no per-call pointer marshalling at all.
+    return exec_->ExecuteBatchInto(plans_.data(), results->data(), nq);
   }
   // Execute the distinct plans as one batch, then scatter to statement
   // order (duplicates copy the shared result — identical by determinism).
   std::vector<QueryResult> distinct(plans_.size());
-  std::vector<const SegmentedPlan*> plan_ptrs(plans_.size());
-  std::vector<QueryResult*> result_ptrs(plans_.size());
-  for (size_t i = 0; i < plans_.size(); ++i) {
-    plan_ptrs[i] = &plans_[i];
-    result_ptrs[i] = &distinct[i];
-  }
-  PH_RETURN_IF_ERROR(exec_->ExecuteBatchInto(plan_ptrs, result_ptrs));
+  PH_RETURN_IF_ERROR(
+      exec_->ExecuteBatchInto(plans_.data(), distinct.data(), plans_.size()));
   for (size_t q = 0; q < nq; ++q) {
     (*results)[q] = distinct[plan_of_query_[q]];
   }

@@ -1057,53 +1057,50 @@ double Weightings::TotalHi() const {
 }
 
 // ---------------------------------------------------------------------------
-// Execution scratch: a per-execution arena plus a reusable GROUP BY leaf,
-// pooled per engine so concurrent executions never share one and steady-
-// state execution allocates nothing.
+// Execution scratch: a per-execution arena plus a reusable GROUP BY leaf
+// and the batch-execution bookkeeping, pooled per engine (ObjectPool) so
+// concurrent executions never share one and steady-state execution
+// allocates nothing.
+
+/// One batch group: scalar plans sharing a weight pipeline.
+struct AqpEngine::BatchGroup {
+  std::vector<size_t> members;
+  ProbTable prob;      // fast path: shared probabilities (arena-backed)
+  WeightTable wt;      // shared weight row (SoA block row / ref vectors)
+  Weightings ref_wt;   // reference-path backing storage
+  bool need_wt = false;
+};
 
 struct AqpEngine::ExecScratch {
   ExecArena arena;
   Node group_leaf;
 
+  // Batch-execution bookkeeping (ExecuteBatchInto and the partial
+  // variant): kept in the pooled scratch so repeated batches reuse the
+  // group/pointer vector capacity instead of allocating per call.
+  // groups[0..n_groups) are live for the current call; the tail keeps its
+  // warmed member-vector capacity for the next batch.
+  std::vector<BatchGroup> groups;
+  size_t n_groups = 0;
+  std::vector<size_t> singles;
+  std::vector<uint8_t> pending;
+  std::vector<WeightRow> rows;
+
   ExecScratch() {
     group_leaf.type = Node::Type::kLeaf;
     group_leaf.intervals.pieces.reserve(1);
   }
-};
 
-class AqpEngine::ScratchPool {
- public:
-  ~ScratchPool() { delete slot_.load(std::memory_order_acquire); }
-
-  /// Returns a pooled scratch, or nullptr when none is free (the caller
-  /// allocates outside any lock). A single-slot atomic exchange serves the
-  /// common one-executor-at-a-time case without touching the mutex; the
-  /// locked overflow list only engages under real concurrency.
-  std::unique_ptr<ExecScratch> Acquire() {
-    ExecScratch* fast = slot_.exchange(nullptr, std::memory_order_acq_rel);
-    if (fast != nullptr) return std::unique_ptr<ExecScratch>(fast);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (overflow_.empty()) return nullptr;
-    std::unique_ptr<ExecScratch> s = std::move(overflow_.back());
-    overflow_.pop_back();
-    return s;
+  /// Reuses (or appends) a group slot, clearing only per-call state.
+  BatchGroup& AppendGroup() {
+    if (n_groups == groups.size()) groups.emplace_back();
+    BatchGroup& g = groups[n_groups++];
+    g.members.clear();
+    g.prob = ProbTable();
+    g.wt = WeightTable();
+    g.need_wt = false;
+    return g;
   }
-  void Release(std::unique_ptr<ExecScratch> s) {
-    ExecScratch* expected = nullptr;
-    ExecScratch* raw = s.get();
-    if (slot_.compare_exchange_strong(expected, raw,
-                                      std::memory_order_acq_rel)) {
-      s.release();
-      return;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    overflow_.push_back(std::move(s));
-  }
-
- private:
-  std::atomic<ExecScratch*> slot_{nullptr};
-  std::mutex mu_;
-  std::vector<std::unique_ptr<ExecScratch>> overflow_;
 };
 
 // Leases a scratch from the engine's pool for one execution; allocates
@@ -1854,15 +1851,6 @@ StatusOr<std::vector<CompiledQuery>> AqpEngine::CompileBatch(
   return plans;
 }
 
-/// One batch group: scalar plans sharing a weight pipeline.
-struct AqpEngine::BatchGroup {
-  std::vector<size_t> members;
-  ProbTable prob;      // fast path: shared probabilities (arena-backed)
-  WeightTable wt;      // shared weight row (SoA block row / ref vectors)
-  Weightings ref_wt;   // reference-path backing storage
-  bool need_wt = false;
-};
-
 namespace {
 
 /// Scalar result written the way ExecuteInto's slot() writes it: one
@@ -1880,16 +1868,18 @@ void FillScalarResult(QueryResult* out, const AggResult& agg) {
 }  // namespace
 
 void AqpEngine::GroupBatchPlans(const std::vector<const CompiledQuery*>& plans,
-                                std::vector<BatchGroup>* groups,
-                                std::vector<size_t>* singles) const {
+                                ExecScratch& scratch) const {
+  scratch.n_groups = 0;
+  scratch.singles.clear();
   for (size_t i = 0; i < plans.size(); ++i) {
     const CompiledQuery& p = *plans[i];
     if (p.grouped() || (p.query_.count_star && !p.where_.has_value())) {
-      singles->push_back(i);
+      scratch.singles.push_back(i);
       continue;
     }
     bool joined = false;
-    for (BatchGroup& g : *groups) {
+    for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+      BatchGroup& g = scratch.groups[gi];
       const CompiledQuery& h = *plans[g.members.front()];
       if (h.agg_col_ == p.agg_col_ && h.grid_.dim == p.grid_.dim &&
           h.where_.has_value() == p.where_.has_value() &&
@@ -1899,18 +1889,17 @@ void AqpEngine::GroupBatchPlans(const std::vector<const CompiledQuery*>& plans,
         break;
       }
     }
-    if (!joined) {
-      groups->emplace_back();
-      groups->back().members.push_back(i);
-    }
+    if (!joined) scratch.AppendGroup().members.push_back(i);
   }
 }
 
 void AqpEngine::WeightBatchGroups(
     const std::vector<const CompiledQuery*>& plans,
-    std::vector<BatchGroup>* groups, ExecArena& arena) const {
+    ExecScratch& scratch) const {
+  ExecArena& arena = scratch.arena;
   size_t max_bins = 0, n_wt = 0;
-  for (const BatchGroup& g : *groups) {
+  for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+    const BatchGroup& g = scratch.groups[gi];
     if (!g.need_wt) continue;
     ++n_wt;
     max_bins =
@@ -1923,10 +1912,11 @@ void AqpEngine::WeightBatchGroups(
     // block.
     arena.Reserve(BatchArenaBytes(max_bins, n_wt));
     WeightTableBlock block(arena, max_bins, n_wt);
-    std::vector<WeightRow> rows;
-    rows.reserve(n_wt);
+    scratch.rows.clear();
+    scratch.rows.reserve(n_wt);
     size_t slot = 0;
-    for (BatchGroup& g : *groups) {
+    for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+      BatchGroup& g = scratch.groups[gi];
       if (!g.need_wt) continue;
       const CompiledQuery& head = *plans[g.members.front()];
       g.prob = ComputeProbSpanFast(
@@ -1936,13 +1926,14 @@ void AqpEngine::WeightBatchGroups(
       g.wt = block.Row(slot++);
       g.wt.begin = g.prob.begin;
       g.wt.end = g.prob.end;
-      rows.push_back(MakeWeightRow(*head.grid_.dim, g.prob, g.wt));
+      scratch.rows.push_back(MakeWeightRow(*head.grid_.dim, g.prob, g.wt));
     }
     const WidenParams wp = WidenParamsOf(*ph_);
-    ks_->weights_batch(rows.data(), rows.size(), wp.z, wp.fpc,
-                       wp.widen ? 1 : 0);
+    ks_->weights_batch(scratch.rows.data(), scratch.rows.size(), wp.z,
+                       wp.fpc, wp.widen ? 1 : 0);
   } else {
-    for (BatchGroup& g : *groups) {
+    for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+      BatchGroup& g = scratch.groups[gi];
       if (!g.need_wt) continue;
       const CompiledQuery& head = *plans[g.members.front()];
       g.ref_wt = ComputeWeightsRef(head, nullptr);
@@ -1968,37 +1959,37 @@ Status AqpEngine::ExecuteBatchInto(
 
   // Group scalar plans by shared weight pipeline; everything the batch
   // path does not cover runs the single-query path — trivially identical
-  // to the loop.
-  std::vector<BatchGroup> groups;
-  std::vector<size_t> singles;
-  GroupBatchPlans(plans, &groups, &singles);
-  for (size_t i : singles) {
-    PH_RETURN_IF_ERROR(ExecuteInto(*plans[i], results[i]));
-  }
-  if (groups.empty()) return Status::OK();
-
+  // to the loop. All bookkeeping lives in the pooled scratch so repeated
+  // batches are allocation-free in steady state.
   ScratchLease lease(this);
   ExecScratch& scratch = *lease;
   ExecArena& arena = scratch.arena;
   arena.Reset();
 
+  GroupBatchPlans(plans, scratch);
+  for (size_t i : scratch.singles) {
+    PH_RETURN_IF_ERROR(ExecuteInto(*plans[i], results[i]));
+  }
+  if (scratch.n_groups == 0) return Status::OK();
+
   // COUNT shortcut members resolve immediately (the shortcut precedes
   // weighting in the single-query fast path too); a group whose members
   // all shortcut never computes weights.
-  std::vector<uint8_t> pending(n, 0);
-  for (BatchGroup& g : groups) {
+  scratch.pending.assign(n, 0);
+  for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+    BatchGroup& g = scratch.groups[gi];
     for (size_t i : g.members) {
       AggResult agg;
       if (options_.use_fast_path && TryCountShortcutFast(*plans[i], &agg)) {
         FillScalarResult(results[i], agg);
       } else {
-        pending[i] = 1;
+        scratch.pending[i] = 1;
         g.need_wt = true;
       }
     }
   }
 
-  WeightBatchGroups(plans, &groups, arena);
+  WeightBatchGroups(plans, scratch);
 
   // Table-3 aggregation per plan, deduping identical (func, single) plans
   // within a group (everything else in the aggregation's input is a group
@@ -2009,7 +2000,8 @@ Status AqpEngine::ExecuteBatchInto(
       2 * (static_cast<size_t>(AggFunc::kVar) + 1);
   static_assert(static_cast<size_t>(AggFunc::kVar) == 6,
                 "AggFunc grew: update kMaxDone's last-enumerator anchor");
-  for (const BatchGroup& g : groups) {
+  for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+    const BatchGroup& g = scratch.groups[gi];
     if (!g.need_wt) continue;
     struct Done {
       AggFunc func;
@@ -2019,7 +2011,7 @@ Status AqpEngine::ExecuteBatchInto(
     Done done[kMaxDone];
     size_t n_done = 0;
     for (size_t i : g.members) {
-      if (!pending[i]) continue;
+      if (!scratch.pending[i]) continue;
       const CompiledQuery& p = *plans[i];
       const bool single = p.single_column_;
       AggResult agg;
@@ -2057,24 +2049,25 @@ Status AqpEngine::ExecutePartialBatchInto(
     }
   }
 
-  std::vector<BatchGroup> groups;
-  std::vector<size_t> singles;
-  GroupBatchPlans(plans, &groups, &singles);
-  for (size_t i : singles) {
-    PH_RETURN_IF_ERROR(ExecutePartialInto(*plans[i], out[i]));
-  }
-  if (groups.empty()) return Status::OK();
-
   ScratchLease lease(this);
   ExecScratch& scratch = *lease;
   ExecArena& arena = scratch.arena;
   arena.Reset();
 
-  // The partial path has no COUNT shortcut, so every group needs weights.
-  for (BatchGroup& g : groups) g.need_wt = true;
-  WeightBatchGroups(plans, &groups, arena);
+  GroupBatchPlans(plans, scratch);
+  for (size_t i : scratch.singles) {
+    PH_RETURN_IF_ERROR(ExecutePartialInto(*plans[i], out[i]));
+  }
+  if (scratch.n_groups == 0) return Status::OK();
 
-  for (const BatchGroup& g : groups) {
+  // The partial path has no COUNT shortcut, so every group needs weights.
+  for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+    scratch.groups[gi].need_wt = true;
+  }
+  WeightBatchGroups(plans, scratch);
+
+  for (size_t gi = 0; gi < scratch.n_groups; ++gi) {
+    const BatchGroup& g = scratch.groups[gi];
     for (size_t i : g.members) {
       const CompiledQuery& p = *plans[i];
       const IntervalSet* clip =

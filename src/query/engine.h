@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "common/simd.h"
 #include "common/status.h"
 #include "core/pairwise_hist.h"
@@ -225,10 +226,10 @@ class AqpEngine {
     std::vector<double> p, lo, hi;
   };
 
-  /// Reusable per-execution scratch (arena + helpers); leased from a
-  /// per-engine pool so concurrent executions never share one.
+  /// Reusable per-execution scratch (arena + batch bookkeeping); leased
+  /// from a per-engine pool so concurrent executions never share one.
   struct ExecScratch;
-  class ScratchPool;
+  using ScratchPool = ObjectPool<ExecScratch>;
   /// RAII lease of one ExecScratch (allocates only when the pool is dry).
   struct ScratchLease;
 
@@ -270,17 +271,19 @@ class AqpEngine {
   struct BatchGroup;
   /// Groups batchable scalar plans by (aggregation column, grid,
   /// value-equal normalized WHERE); plans the batch path does not cover
-  /// (GROUP BY, predicate-free COUNT(*)) land in `singles` instead.
+  /// (GROUP BY, predicate-free COUNT(*)) land in scratch.singles instead.
+  /// Groups live in scratch.groups[0..scratch.n_groups) — pooled with the
+  /// scratch so repeated batches reuse the bookkeeping vector capacity
+  /// (a batch of fully-distinct sub-microsecond queries must not pay
+  /// per-call allocations the per-query loop avoids).
   void GroupBatchPlans(const std::vector<const CompiledQuery*>& plans,
-                       std::vector<BatchGroup>* groups,
-                       std::vector<size_t>* singles) const;
+                       ExecScratch& scratch) const;
   /// Weight stage for every group with need_wt set: the fast path carves
   /// one plan-major SoA block and fills all rows with a single batched
   /// Eq.-29 kernel call; the reference path computes per-group
-  /// Weightings. Probability/weight spans live in `arena`.
+  /// Weightings. Probability/weight spans live in the scratch arena.
   void WeightBatchGroups(const std::vector<const CompiledQuery*>& plans,
-                         std::vector<BatchGroup>* groups,
-                         ExecArena& arena) const;
+                         ExecScratch& scratch) const;
 
   /// Reference execution path (vector-based, one allocation per stage).
   StatusOr<AggResult> ExecuteScalar(const CompiledQuery& plan,

@@ -19,10 +19,12 @@
 #include <mutex>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "core/synopsis_set.h"
 #include "query/engine.h"
+#include "query/partial_agg.h"
 
 namespace pairwisehist {
 
@@ -99,6 +101,13 @@ class SegmentedExecutor {
   Status ExecuteBatchInto(const std::vector<const SegmentedPlan*>& plans,
                           const std::vector<QueryResult*>& results) const;
 
+  /// Contiguous-array overload: executes plans[i] into results[i] for
+  /// i < n with no caller-side pointer marshalling — all per-call
+  /// bookkeeping lives in pooled scratch, so steady-state batches
+  /// allocate nothing.
+  Status ExecuteBatchInto(const SegmentedPlan* plans, QueryResult* results,
+                          size_t n) const;
+
   size_t NumSegments() const { return engines_.size(); }
   const AqpEngine& engine(size_t i) const { return *engines_[i]; }
   const SynopsisSet& set() const { return *set_; }
@@ -108,12 +117,33 @@ class SegmentedExecutor {
   /// Compiles plans (and prune flags) for segments in [planned, current).
   Status EnsurePlans(SegmentedPlan::State* st) const;
 
+  /// Per-call bookkeeping for batch execution, leased from a pool so
+  /// repeated batches reuse warmed capacity and concurrent const callers
+  /// never share mutable state. Vectors only ever grow; stale partial
+  /// groups are cleared on reuse (the merge reads every slot).
+  struct BatchExecScratch {
+    std::vector<const SegmentedPlan*> plan_ptrs;  // contiguous overload
+    std::vector<QueryResult*> result_ptrs;        // contiguous overload
+    std::vector<const CompiledQuery*> cps;        // single-segment batch
+    std::vector<QueryResult*> outs;               // single-segment batch
+    std::vector<std::vector<PartialResult>> parts;  // [query][segment]
+    std::vector<std::vector<const CompiledQuery*>> task_cps;  // per segment
+    std::vector<std::vector<PartialResult*>> task_outs;       // per segment
+    std::vector<Status> statuses;                             // per segment
+  };
+  Status ExecuteBatchImpl(const SegmentedPlan* const* plans,
+                          QueryResult* const* results, size_t n,
+                          BatchExecScratch& scratch) const;
+
   const SynopsisSet* set_;
   SegmentedExecOptions options_;
   std::vector<std::unique_ptr<AqpEngine>> engines_;
   /// Persistent fan-out pool; created by the constructor / Refresh once
   /// the set holds more than one segment (and exec_threads != 1).
   std::unique_ptr<TaskPool> pool_;
+  /// Batch scratch pool (unique_ptr keeps the executor movable).
+  std::unique_ptr<ObjectPool<BatchExecScratch>> batch_pool_ =
+      std::make_unique<ObjectPool<BatchExecScratch>>();
 };
 
 }  // namespace pairwisehist

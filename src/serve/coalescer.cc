@@ -1,0 +1,56 @@
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace pairwisehist {
+
+ReadCoalescer::ReadCoalescer(BatchFn fn, uint32_t window_us)
+    : fn_(std::move(fn)), window_us_(window_us) {}
+
+void ReadCoalescer::Submit(Request* req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(req);
+  if (leader_active_) {
+    // A leader is draining; it will pick this request up in its next
+    // group and mark it done.
+    cv_.wait(lock, [req] { return req->done; });
+    return;
+  }
+
+  leader_active_ = true;
+  std::vector<Request*> group;
+  while (!queue_.empty()) {
+    if (window_us_ > 0) {
+      // Hold the leadership (but not the lock) while stragglers gather.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+      lock.lock();
+    }
+    group.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    lock.unlock();
+
+    fn_(group);
+
+    lock.lock();
+    stats_.groups += 1;
+    stats_.statements += group.size();
+    stats_.max_group = std::max<uint64_t>(stats_.max_group, group.size());
+    for (Request* r : group) r->done = true;
+    cv_.notify_all();
+    // Loop: anything that queued while the batch ran becomes the next
+    // group. The queue-empty check runs under the lock, so a request
+    // enqueued after it observes leader_active_ == false and leads.
+  }
+  leader_active_ = false;
+}
+
+ReadCoalescer::Stats ReadCoalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pairwisehist

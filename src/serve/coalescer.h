@@ -1,0 +1,76 @@
+// Read coalescer: leader-based group commit for concurrent point queries.
+//
+// The first thread to submit while no batch is in flight becomes the
+// leader: it (optionally) waits a short window for stragglers, drains the
+// queue, and executes the whole group as one batch — so concurrent
+// dashboard statements sharing an aggregation grid pay coverage +
+// weighting once (the PR-5 batch win) instead of once per request.
+// Threads that submit while a batch is in flight park on a condition
+// variable and are picked up by the leader's next drain; the leader keeps
+// draining until the queue is empty, then retires. Results are
+// bit-identical to uncoalesced execution because batch execution itself
+// is (see query/batch_exec.h).
+#ifndef PAIRWISEHIST_SERVE_COALESCER_H_
+#define PAIRWISEHIST_SERVE_COALESCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace pairwisehist {
+
+class ReadCoalescer {
+ public:
+  /// One submitted statement. The submitter owns the storage; `status`,
+  /// `result` and `epoch` are filled by the executing leader before the
+  /// submitter is released.
+  struct Request {
+    const std::string* sql = nullptr;
+    QueryResult* result = nullptr;
+    Status status = Status::OK();
+    uint64_t epoch = 0;
+    bool done = false;  ///< guarded by the coalescer mutex
+  };
+
+  /// Executes one drained group (size >= 1) as a batch, filling each
+  /// request's status/result/epoch. Runs on the leader thread with no
+  /// coalescer lock held.
+  using BatchFn = std::function<void(const std::vector<Request*>&)>;
+
+  struct Stats {
+    uint64_t groups = 0;      ///< batches executed
+    uint64_t statements = 0;  ///< total statements across groups
+    uint64_t max_group = 0;   ///< largest single group
+  };
+
+  /// `window_us` > 0 makes the leader sleep that long before each drain,
+  /// trading latency for larger groups; 0 (default) coalesces only
+  /// requests that overlap an in-flight batch — no added latency.
+  explicit ReadCoalescer(BatchFn fn, uint32_t window_us = 0);
+
+  /// Blocks until `req` has been executed — by this thread as leader, or
+  /// by a concurrent leader that drained it into a group.
+  void Submit(Request* req);
+
+  Stats stats() const;
+
+ private:
+  BatchFn fn_;
+  uint32_t window_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request*> queue_;
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_COALESCER_H_

@@ -1,0 +1,128 @@
+#include "serve/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pairwisehist {
+
+Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("HttpClient: bad IPv4 address '" + host +
+                                   "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("connect to " + host + ":" +
+                            std::to_string(port) + " failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  host_ = host;
+  port_ = port;
+  conn_ = std::make_unique<HttpConn>(fd);
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (conn_ != nullptr) {
+    ::close(conn_->fd());
+    conn_.reset();
+  }
+}
+
+StatusOr<HttpResponse> HttpClient::ReadResponse() {
+  HttpMessage msg;
+  bool closed = false;
+  PH_RETURN_IF_ERROR(conn_->Read(&msg, &closed, nullptr));
+  if (closed) {
+    return Status::DataLoss("HttpClient: connection closed by server");
+  }
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = msg.start_line.find(' ');
+  if (sp1 == std::string::npos) {
+    return Status::DataLoss("HttpClient: malformed status line");
+  }
+  HttpResponse resp;
+  resp.status = std::atoi(msg.start_line.c_str() + sp1 + 1);
+  if (const std::string* ct = msg.FindHeader("Content-Type")) {
+    resp.content_type = *ct;
+  }
+  resp.body = std::move(msg.body);
+  return resp;
+}
+
+StatusOr<HttpResponse> HttpClient::RequestOnce(const std::string& wire) {
+  if (conn_ == nullptr) return Status::Internal("HttpClient: not connected");
+  PH_RETURN_IF_ERROR(conn_->Write(wire));
+  return ReadResponse();
+}
+
+StatusOr<HttpResponse> HttpClient::Request(const std::string& method,
+                                           const std::string& path,
+                                           const std::string& body,
+                                           const std::string& content_type) {
+  std::string wire;
+  wire.reserve(body.size() + 128);
+  wire += method;
+  wire += ' ';
+  wire += path;
+  wire += " HTTP/1.1\r\nHost: ";
+  wire += host_;
+  wire += "\r\nContent-Type: ";
+  wire += content_type;
+  wire += "\r\nContent-Length: ";
+  wire += std::to_string(body.size());
+  wire += "\r\n\r\n";
+  wire += body;
+
+  StatusOr<HttpResponse> resp = RequestOnce(wire);
+  if (resp.ok()) return resp;
+  // One reconnect: the server may have dropped an idle keep-alive socket.
+  PH_RETURN_IF_ERROR(Connect(host_, port_));
+  return RequestOnce(wire);
+}
+
+StatusOr<std::vector<HttpResponse>> HttpClient::RequestPipelined(
+    const std::string& method, const std::string& path,
+    const std::vector<std::string>& bodies,
+    const std::string& content_type) {
+  if (conn_ == nullptr) return Status::Internal("HttpClient: not connected");
+  std::string wire;
+  for (const std::string& body : bodies) {
+    wire += method;
+    wire += ' ';
+    wire += path;
+    wire += " HTTP/1.1\r\nHost: ";
+    wire += host_;
+    wire += "\r\nContent-Type: ";
+    wire += content_type;
+    wire += "\r\nContent-Length: ";
+    wire += std::to_string(body.size());
+    wire += "\r\n\r\n";
+    wire += body;
+  }
+  PH_RETURN_IF_ERROR(conn_->Write(wire));
+  std::vector<HttpResponse> responses;
+  responses.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    PH_ASSIGN_OR_RETURN(HttpResponse resp, ReadResponse());
+    responses.push_back(std::move(resp));
+  }
+  return responses;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,59 @@
+// Minimal blocking HTTP/1.1 client with keep-alive, for the serve tests
+// and the closed-loop bench. Numeric IPv4 hosts only (the embedded server
+// is always reached as 127.0.0.1).
+#ifndef PAIRWISEHIST_SERVE_HTTP_CLIENT_H_
+#define PAIRWISEHIST_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/http_io.h"
+#include "serve/http_server.h"
+
+namespace pairwisehist {
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient() { Close(); }
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to `host`:`port` (host must be a numeric IPv4 address).
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Sends one request on the kept-alive connection and reads the
+  /// response. Reconnects once if the server closed the connection.
+  StatusOr<HttpResponse> Request(
+      const std::string& method, const std::string& path,
+      const std::string& body = "",
+      const std::string& content_type = "application/json");
+
+  /// HTTP/1.1 pipelining: sends one request per body back-to-back in a
+  /// single write, then reads the responses in order. A dashboard page
+  /// firing all its tile statements down one connection pays the socket
+  /// round trip once for the whole burst (and gives the server-side read
+  /// coalescer concurrent statements to group). No reconnect on failure.
+  StatusOr<std::vector<HttpResponse>> RequestPipelined(
+      const std::string& method, const std::string& path,
+      const std::vector<std::string>& bodies,
+      const std::string& content_type = "application/json");
+
+  void Close();
+  bool connected() const { return conn_ != nullptr; }
+
+ private:
+  StatusOr<HttpResponse> RequestOnce(const std::string& wire);
+  StatusOr<HttpResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  std::unique_ptr<HttpConn> conn_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_HTTP_CLIENT_H_

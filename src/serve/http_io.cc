@@ -1,0 +1,182 @@
+#include "serve/http_io.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace pairwisehist {
+
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 256u * 1024 * 1024;
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const std::string* HttpMessage::FindHeader(const std::string& name) const {
+  for (const auto& h : headers) {
+    if (EqualsIgnoreCase(h.first, name)) return &h.second;
+  }
+  return nullptr;
+}
+
+int HttpConn::ParseBuffered(HttpMessage* msg, Status* st) {
+  msg->start_line.clear();
+  msg->headers.clear();
+  msg->body.clear();
+  const size_t header_end = buf_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buf_.size() > kMaxHeaderBytes) {
+      *st = Status::InvalidArgument("HTTP: headers too large");
+      return -1;
+    }
+    return 0;
+  }
+
+  // Parse start line + headers.
+  const std::string head = buf_.substr(0, header_end);
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(line_start, line_end - line_start);
+    if (first) {
+      msg->start_line = line;
+      first = false;
+    } else if (!line.empty()) {
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        *st = Status::InvalidArgument("HTTP: malformed header line");
+        return -1;
+      }
+      msg->headers.emplace_back(Trim(line.substr(0, colon)),
+                                Trim(line.substr(colon + 1)));
+    }
+    if (line_end == head.size()) break;
+    line_start = line_end + 2;
+  }
+  if (msg->start_line.empty()) {
+    *st = Status::InvalidArgument("HTTP: empty start line");
+    return -1;
+  }
+
+  // Body: exactly Content-Length bytes (0 when absent).
+  size_t body_len = 0;
+  if (const std::string* cl = msg->FindHeader("Content-Length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0' || v > kMaxBodyBytes) {
+      *st = Status::InvalidArgument("HTTP: bad Content-Length");
+      return -1;
+    }
+    body_len = static_cast<size_t>(v);
+  }
+  const size_t msg_end = header_end + 4;
+  if (buf_.size() < msg_end + body_len) return 0;
+  msg->body = buf_.substr(msg_end, body_len);
+  buf_.erase(0, msg_end + body_len);  // keep pipelined bytes for next Read
+  return 1;
+}
+
+Status HttpConn::Read(HttpMessage* msg, bool* closed,
+                      const std::atomic<bool>* stop,
+                      const std::function<Status()>* on_block) {
+  *closed = false;
+  bool blocked = false;
+  auto notify_block = [&]() -> Status {
+    if (blocked || on_block == nullptr || !*on_block) return Status::OK();
+    blocked = true;
+    return (*on_block)();
+  };
+
+  while (true) {
+    Status st = Status::OK();
+    const int parsed = ParseBuffered(msg, &st);
+    if (parsed < 0) return st;
+    if (parsed > 0) return Status::OK();
+    PH_RETURN_IF_ERROR(notify_block());
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("HTTP: poll failed");
+    }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Internal("HTTP: server stopping");
+    }
+    if (pr == 0) continue;  // timeout slice; re-check stop
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Internal("HTTP: recv failed");
+    }
+    if (n == 0) {
+      if (buf_.empty()) {
+        *closed = true;
+        return Status::OK();
+      }
+      return Status::DataLoss("HTTP: connection closed mid-message");
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool HttpConn::TryReadBuffered(HttpMessage* msg, Status* st) {
+  *st = Status::OK();
+  int parsed = ParseBuffered(msg, st);
+  if (parsed != 0) return parsed > 0;
+  // Opportunistic top-up: drain whatever already arrived, never wait.
+  char chunk[8192];
+  ssize_t n;
+  while ((n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT)) > 0) {
+    buf_.append(chunk, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;
+  }
+  parsed = ParseBuffered(msg, st);
+  return parsed > 0;
+}
+
+Status HttpConn::Write(const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("HTTP: send failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace pairwisehist

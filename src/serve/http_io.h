@@ -1,0 +1,71 @@
+// Blocking-socket HTTP/1.1 message I/O shared by the embedded server and
+// the test/bench client. POSIX sockets only, no external dependencies —
+// the serving layer targets the same minimal-footprint shape as the rest
+// of the library.
+#ifndef PAIRWISEHIST_SERVE_HTTP_IO_H_
+#define PAIRWISEHIST_SERVE_HTTP_IO_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+
+/// One parsed HTTP message (request or response).
+struct HttpMessage {
+  std::string start_line;  ///< "POST /query HTTP/1.1" or "HTTP/1.1 200 OK"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// A connected socket with read buffering (keep-alive pipelining safe:
+/// bytes past one message stay buffered for the next Read).
+class HttpConn {
+ public:
+  explicit HttpConn(int fd) : fd_(fd) {}
+
+  /// Reads one full message (headers + Content-Length body). On orderly
+  /// peer close before any bytes of a new message, sets *closed and
+  /// returns OK with an empty message. `stop` (optional) aborts the read
+  /// when it becomes true (polled every ~100 ms). `on_block` (optional)
+  /// runs once, just before the first wait on the socket — i.e. only when
+  /// the buffered bytes don't already hold a complete message. A server
+  /// corking its responses flushes there: pipelined requests are answered
+  /// from/into userspace buffers, and the flush syscall happens exactly
+  /// when the connection would go idle. A non-OK result aborts the read.
+  Status Read(HttpMessage* msg, bool* closed,
+              const std::atomic<bool>* stop = nullptr,
+              const std::function<Status()>* on_block = nullptr);
+
+  /// Pipelining drain: parses the next message if one is already
+  /// buffered (topping the buffer up with a single non-blocking recv),
+  /// never waiting on the socket. Returns true when *msg was filled.
+  /// False with non-OK *st means the buffered bytes are malformed;
+  /// false with OK *st just means no complete message is available yet
+  /// (partial bytes stay buffered for the next Read).
+  bool TryReadBuffered(HttpMessage* msg, Status* st);
+
+  /// Writes the whole buffer (retrying short writes).
+  Status Write(const std::string& data);
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Parses one complete message out of buf_ (consuming it). Returns
+  /// 1 = parsed, 0 = need more bytes, -1 = malformed (*st set).
+  int ParseBuffered(HttpMessage* msg, Status* st);
+
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_HTTP_IO_H_

@@ -1,0 +1,246 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "serve/http_io.h"
+
+namespace pairwisehist {
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+namespace {
+
+/// Max requests answered as one pipeline group (bounds per-connection
+/// buffering; longer bursts are simply answered in several groups).
+constexpr size_t kMaxPipelineGroup = 64;
+
+/// Splits "METHOD SP target SP version"; false when malformed.
+bool ParseRequestLine(const HttpMessage& msg, HttpRequest* req) {
+  const size_t sp1 = msg.start_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? sp1 : msg.start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  req->method = msg.start_line.substr(0, sp1);
+  std::string target = msg.start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) target.resize(qmark);
+  req->path = std::move(target);
+  return true;
+}
+
+bool WantsClose(const HttpMessage& msg) {
+  const std::string* h = msg.FindHeader("Connection");
+  return h != nullptr && *h == "close";
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, BatchHandler batch_handler)
+    : handler_(std::move(handler)),
+      batch_handler_(std::move(batch_handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  if (listen_fd_ >= 0) return Status::Internal("HttpServer already started");
+  stop_.store(false, std::memory_order_relaxed);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::InvalidArgument("bind failed on port " +
+                                   std::to_string(port));
+  }
+  if (::listen(fd, 128) < 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (Stop) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    const size_t slot = fds_.size();
+    fds_.push_back(fd);
+    conns_.emplace_back([this, slot] { ServeConn(slot); });
+  }
+}
+
+void HttpServer::ServeConn(size_t slot) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd = fds_[slot];
+  }
+  HttpConn conn(fd);
+  // Responses are corked: appended to `pending` and flushed only when the
+  // next Read would actually wait on the socket (see HttpConn::Read's
+  // on_block). Pipelined requests are thus answered with one send for the
+  // whole burst instead of one per response.
+  std::string pending;
+  const std::function<Status()> flush = [&conn, &pending]() -> Status {
+    if (pending.empty()) return Status::OK();
+    Status st = conn.Write(pending);
+    pending.clear();
+    return st;
+  };
+  while (!stop_.load(std::memory_order_relaxed)) {
+    HttpMessage msg;
+    bool closed = false;
+    Status st = conn.Read(&msg, &closed, &stop_, &flush);
+    if (!st.ok() || closed) break;
+
+    // Collect this request plus (with a batch handler installed) every
+    // pipelined follower already buffered on the connection. The group
+    // stops at a Connection: close request or a malformed one; requests
+    // before the malformed one are still answered, then the connection
+    // closes after a 400.
+    std::vector<HttpRequest> reqs;
+    bool bad = false;
+    bool close_after = false;
+    auto take = [&](HttpMessage* m) {
+      HttpRequest req;
+      if (!ParseRequestLine(*m, &req)) {
+        bad = true;
+        return false;
+      }
+      if (WantsClose(*m)) close_after = true;
+      req.body = std::move(m->body);
+      reqs.push_back(std::move(req));
+      return !close_after;
+    };
+    if (take(&msg) && batch_handler_ != nullptr) {
+      HttpMessage more;
+      Status parse_st;
+      while (reqs.size() < kMaxPipelineGroup &&
+             conn.TryReadBuffered(&more, &parse_st)) {
+        if (!take(&more)) break;
+      }
+      if (!parse_st.ok()) bad = true;  // malformed buffered bytes
+    }
+
+    std::vector<HttpResponse> resps;
+    if (batch_handler_ != nullptr && reqs.size() > 1) {
+      resps = batch_handler_(reqs);
+      while (resps.size() < reqs.size()) {  // defensive: contract breach
+        HttpResponse err;
+        err.status = 500;
+        err.body = "{\"error\":\"batch handler dropped a response\"}";
+        resps.push_back(std::move(err));
+      }
+    } else {
+      resps.reserve(reqs.size());
+      for (const HttpRequest& r : reqs) resps.push_back(handler_(r));
+    }
+    if (bad) {
+      HttpResponse err;
+      err.status = 400;
+      err.body = "{\"error\":\"malformed request line\"}";
+      resps.push_back(std::move(err));
+      close_after = true;
+    }
+
+    bool write_failed = false;
+    for (size_t i = 0; i < resps.size(); ++i) {
+      const HttpResponse& resp = resps[i];
+      const bool last = i + 1 == resps.size();
+      pending.reserve(pending.size() + resp.body.size() + 128);
+      pending += "HTTP/1.1 ";
+      pending += std::to_string(resp.status);
+      pending += ' ';
+      pending += HttpStatusText(resp.status);
+      pending += "\r\nContent-Type: ";
+      pending += resp.content_type;
+      pending += "\r\nContent-Length: ";
+      pending += std::to_string(resp.body.size());
+      pending += close_after && last ? "\r\nConnection: close\r\n\r\n"
+                                     : "\r\nConnection: keep-alive\r\n\r\n";
+      pending += resp.body;
+      // Bound the cork: a burst of large responses flushes eagerly.
+      if (pending.size() > (1u << 20) && !flush().ok()) {
+        write_failed = true;
+        break;
+      }
+    }
+    if (write_failed) break;
+    if (close_after) {
+      (void)flush();
+      break;
+    }
+  }
+  (void)flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(fd);
+  fds_[slot] = -1;  // tell Stop() this fd is gone (avoid fd-reuse races)
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conns_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.clear();
+  fds_.clear();
+}
+
+}  // namespace pairwisehist

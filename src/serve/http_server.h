@@ -1,0 +1,89 @@
+// Minimal embedded HTTP/1.1 server: blocking POSIX sockets, one thread
+// per connection, keep-alive, no external dependencies. The same shape as
+// the ExpressionMatrix2-style embedded servers the ROADMAP grounds on —
+// enough to put a ServingDb behind curl and a closed-loop bench client,
+// not a general-purpose web server.
+#ifndef PAIRWISEHIST_SERVE_HTTP_SERVER_H_
+#define PAIRWISEHIST_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< request target without the query string
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Standard reason phrase for a status code ("OK", "Bad Request", ...).
+const char* HttpStatusText(int status);
+
+class HttpServer {
+ public:
+  /// `handler` runs on a per-connection thread; it must be safe to call
+  /// concurrently (ServingDb's handler is).
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Optional pipelining-aware handler: receives every request already
+  /// buffered on the connection (an HTTP/1.1 pipeline burst) as one
+  /// group and returns one response per request, in order. Lets the
+  /// service batch-execute a burst on the connection's own thread — no
+  /// cross-thread handoff. When absent, pipelined requests are served
+  /// one at a time through `handler`.
+  using BatchHandler =
+      std::function<std::vector<HttpResponse>(const std::vector<HttpRequest>&)>;
+
+  explicit HttpServer(Handler handler, BatchHandler batch_handler = nullptr);
+  ~HttpServer();  // Stop()s if still running
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = kernel-assigned; see port()) and starts
+  /// accepting. Returns InvalidArgument when the port is taken.
+  Status Start(uint16_t port);
+
+  /// The bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// Stops accepting, unblocks every connection thread and joins them.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConn(size_t slot);
+
+  Handler handler_;
+  BatchHandler batch_handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  /// Connection registry: fds_[i] pairs with conns_[i]; a thread clears
+  /// its fd slot (under mu_) when it closes, so Stop can shut down every
+  /// live socket without racing fd reuse.
+  std::mutex mu_;
+  std::vector<int> fds_;
+  std::vector<std::thread> conns_;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_HTTP_SERVER_H_

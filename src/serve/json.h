@@ -1,0 +1,52 @@
+// Minimal JSON support for the serving layer: a small parser for request
+// bodies and append-style writers for responses.
+//
+// Deliberately tiny (no external deps, same spirit as the embedded HTTP
+// server): the serving API only needs objects, arrays, strings, numbers,
+// booleans and null. Numbers are written with %.17g so doubles round-trip
+// bit-exactly — the serve tests compare HTTP responses for bit-equality
+// with single-threaded execution, so formatting must be deterministic.
+// NaN / Inf (legal AggResult values for empty selections) serialize as
+// null, which JSON requires.
+#ifndef PAIRWISEHIST_SERVE_JSON_H_
+#define PAIRWISEHIST_SERVE_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace pairwisehist {
+
+/// A parsed JSON value (tagged union, object keys in document order).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;  ///< when type == kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  ///< kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Appends `s` as a quoted, escaped JSON string.
+void AppendJsonString(std::string* out, const std::string& s);
+
+/// Appends a double: %.17g, or null for NaN / Inf.
+void AppendJsonNumber(std::string* out, double v);
+
+/// Appends a QueryResult as {"groups":[{"label":...,"estimate":...,
+/// "lower":...,"upper":...,"empty":...}]}.
+void AppendQueryResult(std::string* out, const QueryResult& result);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_JSON_H_

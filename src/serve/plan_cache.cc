@@ -1,0 +1,136 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "query/sql_parser.h"
+
+namespace pairwisehist {
+
+PlanCache::PlanCache(size_t capacity, size_t shards) {
+  const size_t n = std::max<size_t>(1, shards);
+  per_shard_capacity_ = std::max<size_t>(1, capacity / n);
+  shards_.reserve(n);
+  alias_shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    alias_shards_.push_back(std::make_unique<AliasShard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+PlanCache::AliasShard& PlanCache::AliasShardFor(const std::string& raw) {
+  return *alias_shards_[std::hash<std::string>{}(raw) % alias_shards_.size()];
+}
+
+std::optional<PreparedQuery> PlanCache::FindCached(
+    const std::shared_ptr<const DbSnapshot>& snap, const std::string& key,
+    bool* hit) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (Entry& e : shard.entries) {
+    // Same snapshot object == same epoch: plans prepared against an
+    // older (or newer) snapshot are not reusable for this request.
+    if (e.snap.get() == snap.get() && e.key == key) {
+      e.last_used = ++shard.tick;
+      if (hit != nullptr) *hit = true;
+      return e.pq;  // copy; entry keeps pinning the snapshot
+    }
+  }
+  return std::nullopt;
+}
+
+StatusOr<PreparedQuery> PlanCache::Get(
+    const std::shared_ptr<const DbSnapshot>& snap, const std::string& sql,
+    bool* hit) {
+  if (hit != nullptr) *hit = false;
+  if (snap == nullptr) return Status::Internal("PlanCache: null snapshot");
+
+  // Fast path: the exact request text was seen before, so the normalized
+  // key is known without parsing.
+  std::string key;
+  {
+    AliasShard& alias = AliasShardFor(sql);
+    std::lock_guard<std::mutex> lock(alias.mu);
+    auto it = alias.map.find(sql);
+    if (it != alias.map.end()) key = it->second;
+  }
+  if (!key.empty()) {
+    if (std::optional<PreparedQuery> cached = FindCached(snap, key, hit)) {
+      return *std::move(cached);
+    }
+  }
+
+  // Parse: the normalized round-trip SQL is the cache key, so syntactic
+  // variants ("where x>1" vs "WHERE x > 1.0") share one entry.
+  PH_ASSIGN_OR_RETURN(Query query, ParseSql(sql));
+  if (key.empty()) {
+    key = query.ToSql();
+    AliasShard& alias = AliasShardFor(sql);
+    std::lock_guard<std::mutex> lock(alias.mu);
+    // Bound the alias index; wholesale reset is fine — aliases repopulate
+    // on the next request and carry no pinned state.
+    if (alias.map.size() >= 4 * per_shard_capacity_) alias.map.clear();
+    alias.map.emplace(sql, key);
+    // The normalized entry may exist already (inserted under a different
+    // raw spelling).
+    if (std::optional<PreparedQuery> cached = FindCached(snap, key, hit)) {
+      return *std::move(cached);
+    }
+  }
+
+  // Miss: prepare outside the shard lock (grid selection can take a
+  // while), then publish. Concurrent misses on the same key may prepare
+  // twice; the last insert wins, which is harmless — plans are
+  // deterministic for a given (query, snapshot).
+  PH_ASSIGN_OR_RETURN(PreparedQuery pq, snap->db.Prepare(std::move(query)));
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry* slot = nullptr;
+    for (Entry& e : shard.entries) {
+      if (e.key == key) {  // stale epoch: replace in place
+        slot = &e;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      if (shard.entries.size() >= per_shard_capacity_) {
+        slot = &*std::min_element(shard.entries.begin(), shard.entries.end(),
+                                  [](const Entry& a, const Entry& b) {
+                                    return a.last_used < b.last_used;
+                                  });
+      } else {
+        shard.entries.emplace_back();
+        slot = &shard.entries.back();
+      }
+    }
+    slot->key = key;
+    slot->snap = snap;
+    slot->pq = pq;
+    slot->last_used = ++shard.tick;
+  }
+  return pq;
+}
+
+void PlanCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,268 @@
+#include "serve/service.h"
+
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "storage/csv.h"
+
+namespace pairwisehist {
+
+namespace {
+
+int HttpCodeFor(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnsupported:
+    case StatusCode::kUnimplemented:
+      return 400;
+    default:
+      return 500;
+  }
+}
+
+HttpResponse ErrorResponse(const Status& st) {
+  HttpResponse resp;
+  resp.status = HttpCodeFor(st);
+  resp.body = "{\"error\":";
+  AppendJsonString(&resp.body, st.message());
+  resp.body += ",\"code\":";
+  AppendJsonString(&resp.body, StatusCodeName(st.code()));
+  resp.body += "}";
+  return resp;
+}
+
+HttpResponse SimpleError(int status, const std::string& msg) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = "{\"error\":";
+  AppendJsonString(&resp.body, msg);
+  resp.body += "}";
+  return resp;
+}
+
+HttpResponse HandleQuery(ServingDb* db, const HttpRequest& req) {
+  StatusOr<JsonValue> doc = ParseJson(req.body);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+  const JsonValue* sql = doc.value().Find("sql");
+  if (sql == nullptr || sql->type != JsonValue::Type::kString) {
+    return SimpleError(400, "body must be {\"sql\": \"...\"}");
+  }
+  QueryResult result;
+  uint64_t epoch = 0;
+  Status st = db->Query(sql->str, &result, &epoch);
+  if (!st.ok()) return ErrorResponse(st);
+  HttpResponse resp;
+  resp.body += "{\"epoch\":";
+  resp.body += std::to_string(epoch);
+  resp.body += ",\"result\":";
+  AppendQueryResult(&resp.body, result);
+  resp.body += "}";
+  return resp;
+}
+
+HttpResponse HandleBatch(ServingDb* db, const HttpRequest& req) {
+  StatusOr<JsonValue> doc = ParseJson(req.body);
+  if (!doc.ok()) return ErrorResponse(doc.status());
+  const JsonValue* arr = doc.value().Find("sqls");
+  if (arr == nullptr || arr->type != JsonValue::Type::kArray) {
+    return SimpleError(400, "body must be {\"sqls\": [\"...\", ...]}");
+  }
+  std::vector<std::string> sqls;
+  sqls.reserve(arr->items.size());
+  for (const JsonValue& item : arr->items) {
+    if (item.type != JsonValue::Type::kString) {
+      return SimpleError(400, "every element of \"sqls\" must be a string");
+    }
+    sqls.push_back(item.str);
+  }
+  std::vector<QueryResult> results;
+  std::vector<Status> statement_status;
+  uint64_t epoch = 0;
+  Status st = db->QueryBatch(sqls, &results, &statement_status, &epoch);
+  if (!st.ok()) return ErrorResponse(st);
+  HttpResponse resp;
+  resp.body += "{\"epoch\":";
+  resp.body += std::to_string(epoch);
+  resp.body += ",\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) resp.body.push_back(',');
+    if (statement_status[i].ok()) {
+      AppendQueryResult(&resp.body, results[i]);
+    } else {
+      resp.body += "{\"error\":";
+      AppendJsonString(&resp.body, statement_status[i].message());
+      resp.body += ",\"code\":";
+      AppendJsonString(&resp.body,
+                       StatusCodeName(statement_status[i].code()));
+      resp.body += "}";
+    }
+  }
+  resp.body += "]}";
+  return resp;
+}
+
+/// CSV carries no type annotations, so ParseCsv can only infer int64 /
+/// float64 / categorical. Re-type columns to what the serving schema
+/// expects wherever that is lossless — numeric <-> numeric/timestamp
+/// (timestamps round-trip as epoch integers), and all-null columns to
+/// anything — so a ToCsvString round-trip appends cleanly. Genuine
+/// mismatches are left alone for Db's schema validation to report.
+Table CoerceToSchema(
+    Table batch, const std::vector<std::pair<std::string, DataType>>& schema) {
+  if (batch.NumColumns() != schema.size()) return batch;
+  auto is_numeric = [](DataType t) {
+    return t == DataType::kFloat64 || t == DataType::kInt64 ||
+           t == DataType::kTimestamp;
+  };
+  Table out(batch.name());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    Column& col = batch.column(c);
+    const DataType want = schema[c].second;
+    bool coercible = col.name() == schema[c].first && col.type() != want &&
+                     is_numeric(want) &&
+                     (is_numeric(col.type()) || col.non_null_count() == 0);
+    if (!coercible) {
+      out.AddColumn(std::move(col));
+      continue;
+    }
+    Column typed(col.name(), want,
+                 want == DataType::kFloat64 ? col.decimals() : 0);
+    typed.Reserve(col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) {
+        typed.AppendNull();
+      } else {
+        typed.Append(col.Value(r));
+      }
+    }
+    out.AddColumn(std::move(typed));
+  }
+  return out;
+}
+
+HttpResponse HandleAppend(ServingDb* db, const HttpRequest& req) {
+  StatusOr<Table> parsed = ParseCsv(req.body, "append");
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const Table batch = CoerceToSchema(std::move(parsed).value(),
+                                     db->snapshot()->db.AppendSchema());
+  Status st = db->Append(batch);
+  if (!st.ok()) return ErrorResponse(st);
+  ServingStats stats = db->Stats();
+  HttpResponse resp;
+  resp.body += "{\"epoch\":";
+  resp.body += std::to_string(stats.epoch);
+  resp.body += ",\"rows\":";
+  resp.body += std::to_string(stats.rows);
+  resp.body += ",\"segments\":";
+  resp.body += std::to_string(stats.segments);
+  resp.body += "}";
+  return resp;
+}
+
+HttpResponse HandleStats(ServingDb* db) {
+  const ServingStats s = db->Stats();
+  HttpResponse resp;
+  std::string& b = resp.body;
+  b += "{\"epoch\":" + std::to_string(s.epoch);
+  b += ",\"segments\":" + std::to_string(s.segments);
+  b += ",\"rows\":" + std::to_string(s.rows);
+  b += ",\"queries\":" + std::to_string(s.queries);
+  b += ",\"batches\":" + std::to_string(s.batches);
+  b += ",\"batch_statements\":" + std::to_string(s.batch_statements);
+  b += ",\"coalesced_groups\":" + std::to_string(s.coalesced_groups);
+  b += ",\"coalesced_statements\":" + std::to_string(s.coalesced_statements);
+  b += ",\"max_group\":" + std::to_string(s.max_group);
+  b += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  b += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  b += ",\"cache_entries\":" + std::to_string(s.cache_entries);
+  b += ",\"appends\":" + std::to_string(s.appends);
+  b += ",\"errors\":" + std::to_string(s.errors);
+  b += "}";
+  return resp;
+}
+
+HttpResponse HandleRequest(ServingDb* db, const HttpRequest& req) {
+  if (req.path == "/query") {
+    if (req.method != "POST") return SimpleError(405, "use POST /query");
+    return HandleQuery(db, req);
+  }
+  if (req.path == "/batch") {
+    if (req.method != "POST") return SimpleError(405, "use POST /batch");
+    return HandleBatch(db, req);
+  }
+  if (req.path == "/append") {
+    if (req.method != "POST") return SimpleError(405, "use POST /append");
+    return HandleAppend(db, req);
+  }
+  if (req.path == "/stats") {
+    if (req.method != "GET") return SimpleError(405, "use GET /stats");
+    return HandleStats(db);
+  }
+  return SimpleError(404, "unknown endpoint '" + req.path +
+                              "' (try /query /batch /append /stats)");
+}
+
+}  // namespace
+
+HttpServer::Handler MakeServingHandler(ServingDb* db) {
+  return [db](const HttpRequest& req) -> HttpResponse {
+    return HandleRequest(db, req);
+  };
+}
+
+HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db) {
+  return [db](const std::vector<HttpRequest>& reqs)
+             -> std::vector<HttpResponse> {
+    std::vector<HttpResponse> out(reqs.size());
+    // Well-formed /query statements in the group coalesce into one
+    // QueryBatch on this thread (the pipelined-burst analogue of the
+    // cross-connection ReadCoalescer); everything else — other
+    // endpoints, bad bodies — takes the single-request path, producing
+    // byte-identical responses to unpipelined traffic.
+    std::vector<size_t> qidx;
+    std::vector<std::string> sqls;
+    const bool coalesce = db->options().coalesce;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      const HttpRequest& req = reqs[i];
+      if (coalesce && req.method == "POST" && req.path == "/query") {
+        StatusOr<JsonValue> doc = ParseJson(req.body);
+        const JsonValue* sql =
+            doc.ok() ? doc.value().Find("sql") : nullptr;
+        if (sql != nullptr && sql->type == JsonValue::Type::kString) {
+          qidx.push_back(i);
+          sqls.push_back(sql->str);
+          continue;
+        }
+      }
+      out[i] = HandleRequest(db, req);
+    }
+    if (sqls.size() == 1) {
+      out[qidx[0]] = HandleRequest(db, reqs[qidx[0]]);
+    } else if (!sqls.empty()) {
+      std::vector<QueryResult> results;
+      std::vector<Status> statement_status;
+      uint64_t epoch = 0;
+      Status st = db->QueryBatch(sqls, &results, &statement_status, &epoch);
+      for (size_t j = 0; j < sqls.size(); ++j) {
+        const Status& ss = st.ok() ? statement_status[j] : st;
+        if (!ss.ok()) {
+          out[qidx[j]] = ErrorResponse(ss);
+          continue;
+        }
+        HttpResponse resp;
+        resp.body += "{\"epoch\":";
+        resp.body += std::to_string(epoch);
+        resp.body += ",\"result\":";
+        AppendQueryResult(&resp.body, results[j]);
+        resp.body += "}";
+        out[qidx[j]] = std::move(resp);
+      }
+    }
+    return out;
+  };
+}
+
+}  // namespace pairwisehist

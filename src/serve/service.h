@@ -1,0 +1,35 @@
+// JSON endpoint routing: turns a ServingDb into an HttpServer::Handler.
+//
+// Endpoints (all responses application/json):
+//   POST /query   {"sql": "SELECT ..."}      -> {"epoch":E,"groups":[...]}
+//   POST /batch   {"sqls": ["...", ...]}     -> {"epoch":E,"results":[...]}
+//   POST /append  CSV body (header row)      -> {"epoch":E,"rows":N,
+//                                                "segments":S}
+//   GET  /stats                              -> serving counters
+// Errors: {"error":"...","code":"..."} with 400 (bad input), 404, 405 or
+// 500 (internal). Per-statement /batch failures are inline
+// {"error":...} objects; the call itself still returns 200.
+#ifndef PAIRWISEHIST_SERVE_SERVICE_H_
+#define PAIRWISEHIST_SERVE_SERVICE_H_
+
+#include "serve/http_server.h"
+#include "serve/serving_db.h"
+
+namespace pairwisehist {
+
+/// Builds the request handler. `db` must outlive the returned handler
+/// (and any HttpServer it is installed into).
+HttpServer::Handler MakeServingHandler(ServingDb* db);
+
+/// Builds the pipelining-aware group handler: consecutive POST /query
+/// requests in a pipelined burst coalesce into one batch execution on
+/// the connection's own thread when `db` has coalescing enabled (other
+/// requests, and all traffic with coalescing off, fall back to the
+/// single-request path with byte-identical responses). Install alongside
+/// MakeServingHandler: HttpServer(MakeServingHandler(db),
+/// MakeServingBatchHandler(db)).
+HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_SERVICE_H_

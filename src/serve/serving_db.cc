@@ -1,0 +1,223 @@
+#include "serve/serving_db.h"
+
+#include <utility>
+
+namespace pairwisehist {
+
+ServingDb::ServingDb(Db db, ServingOptions options)
+    : options_(options),
+      snapshot_(std::make_shared<DbSnapshot>(std::move(db), /*epoch=*/0)),
+      cache_(options.plan_cache_capacity, options.plan_cache_shards) {
+  if (options_.coalesce) {
+    coalescer_ = std::make_unique<ReadCoalescer>(
+        [this](const std::vector<ReadCoalescer::Request*>& group) {
+          ExecuteGroup(group);
+        },
+        options_.coalesce_window_us);
+  }
+}
+
+std::shared_ptr<DbSnapshot> ServingDb::Load() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+}
+
+std::shared_ptr<const DbSnapshot> ServingDb::snapshot() const {
+  return Load();
+}
+
+Status ServingDb::Query(const std::string& sql, QueryResult* result,
+                        uint64_t* epoch) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (coalescer_ == nullptr) {
+    Status st = QueryUncoalesced(sql, result, epoch);
+    if (!st.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  ReadCoalescer::Request req;
+  req.sql = &sql;
+  req.result = result;
+  coalescer_->Submit(&req);
+  if (!req.status.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return req.status;
+  }
+  if (epoch != nullptr) *epoch = req.epoch;
+  return Status::OK();
+}
+
+Status ServingDb::QueryUncoalesced(const std::string& sql,
+                                   QueryResult* result, uint64_t* epoch) {
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap == nullptr) return Status::Internal("ServingDb: no snapshot");
+  bool hit = false;
+  StatusOr<PreparedQuery> pq = cache_.Get(snap, sql, &hit);
+  (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+  if (!pq.ok()) return pq.status();
+  PH_RETURN_IF_ERROR(pq.value().ExecuteInto(result));
+  if (epoch != nullptr) *epoch = snap->epoch;
+  return Status::OK();
+}
+
+void ServingDb::ExecuteGroup(
+    const std::vector<ReadCoalescer::Request*>& group) {
+  // One snapshot answers the whole group: every plan below is prepared
+  // against (or cache-matched to) `snap`, so the batch hands the executor
+  // plans from a single epoch, as batch execution requires.
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap == nullptr) {
+    for (ReadCoalescer::Request* r : group) {
+      r->status = Status::Internal("ServingDb: no snapshot");
+    }
+    return;
+  }
+  std::vector<PreparedQuery> pqs;
+  std::vector<size_t> owner;  // group index of each prepared statement
+  pqs.reserve(group.size());
+  owner.reserve(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    bool hit = false;
+    StatusOr<PreparedQuery> pq = cache_.Get(snap, *group[i]->sql, &hit);
+    (hit ? cache_hits_ : cache_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (!pq.ok()) {
+      group[i]->status = pq.status();
+      continue;
+    }
+    pqs.push_back(std::move(pq).value());
+    owner.push_back(i);
+  }
+  for (size_t i : owner) group[i]->epoch = snap->epoch;
+  if (pqs.empty()) return;
+
+  // Compiled statements execute as one batch straight into each
+  // requester's result; anything routed through a backend (no compiled
+  // plan) runs individually.
+  std::vector<const SegmentedPlan*> plans;
+  std::vector<QueryResult*> outs;
+  std::vector<size_t> batched;
+  plans.reserve(pqs.size());
+  outs.reserve(pqs.size());
+  for (size_t j = 0; j < pqs.size(); ++j) {
+    if (pqs[j].compiled()) {
+      plans.push_back(&pqs[j].plan());
+      outs.push_back(group[owner[j]]->result);
+      batched.push_back(owner[j]);
+    } else {
+      group[owner[j]]->status = pqs[j].ExecuteInto(group[owner[j]]->result);
+    }
+  }
+  if (plans.empty()) return;
+  Status st = snap->db.executor().ExecuteBatchInto(plans, outs);
+  if (!st.ok()) {
+    for (size_t i : batched) group[i]->status = st;
+  }
+}
+
+Status ServingDb::QueryBatch(const std::vector<std::string>& sqls,
+                             std::vector<QueryResult>* results,
+                             std::vector<Status>* statement_status,
+                             uint64_t* epoch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_statements_.fetch_add(sqls.size(), std::memory_order_relaxed);
+  results->clear();
+  results->resize(sqls.size());
+  statement_status->assign(sqls.size(), Status::OK());
+
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap == nullptr) return Status::Internal("ServingDb: no snapshot");
+  if (epoch != nullptr) *epoch = snap->epoch;
+
+  std::vector<PreparedQuery> pqs;
+  std::vector<size_t> owner;
+  pqs.reserve(sqls.size());
+  owner.reserve(sqls.size());
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    bool hit = false;
+    StatusOr<PreparedQuery> pq = cache_.Get(snap, sqls[i], &hit);
+    (hit ? cache_hits_ : cache_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (!pq.ok()) {
+      (*statement_status)[i] = pq.status();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    pqs.push_back(std::move(pq).value());
+    owner.push_back(i);
+  }
+  std::vector<const SegmentedPlan*> plans;
+  std::vector<QueryResult*> outs;
+  std::vector<size_t> batched;
+  for (size_t j = 0; j < pqs.size(); ++j) {
+    if (pqs[j].compiled()) {
+      plans.push_back(&pqs[j].plan());
+      outs.push_back(&(*results)[owner[j]]);
+      batched.push_back(owner[j]);
+    } else {
+      (*statement_status)[owner[j]] =
+          pqs[j].ExecuteInto(&(*results)[owner[j]]);
+    }
+  }
+  if (!plans.empty()) {
+    Status st = snap->db.executor().ExecuteBatchInto(plans, outs);
+    if (!st.ok()) {
+      for (size_t i : batched) (*statement_status)[i] = st;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+Status ServingDb::Append(const Table& batch) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  std::shared_ptr<DbSnapshot> cur = Load();
+  if (cur == nullptr) return Status::Internal("ServingDb: no snapshot");
+  // The expensive part — canonicalization + synopsis build for the new
+  // segments — runs here with no lock but append_mu_ held; readers keep
+  // serving the current snapshot throughout.
+  PH_ASSIGN_OR_RETURN(Db next, cur->db.WithAppended(batch));
+  auto fresh = std::make_shared<DbSnapshot>(std::move(next), cur->epoch + 1);
+  std::atomic_store_explicit(&snapshot_, fresh, std::memory_order_release);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ServingStats ServingDb::Stats() const {
+  ServingStats s;
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap != nullptr) {
+    s.epoch = snap->epoch;
+    s.segments = snap->db.num_segments();
+    s.rows = snap->db.total_rows();
+  }
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_statements = batch_statements_.load(std::memory_order_relaxed);
+  if (coalescer_ != nullptr) {
+    ReadCoalescer::Stats cs = coalescer_->stats();
+    s.coalesced_groups = cs.groups;
+    s.coalesced_statements = cs.statements;
+    s.max_group = cs.max_group;
+  }
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_entries = cache_.size();
+  s.appends = appends_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+StatusOr<Db> ServingDb::TakeDb() {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  cache_.Clear();
+  std::shared_ptr<DbSnapshot> cur =
+      std::atomic_exchange(&snapshot_, std::shared_ptr<DbSnapshot>());
+  if (cur == nullptr) return Status::Internal("ServingDb: already taken");
+  if (cur.use_count() != 1) {
+    std::atomic_store(&snapshot_, cur);  // put it back; still serving
+    return Status::Unsupported(
+        "ServingDb::TakeDb: snapshot still referenced; stop traffic first");
+  }
+  return std::move(cur->db);
+}
+
+}  // namespace pairwisehist

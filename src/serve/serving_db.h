@@ -1,0 +1,134 @@
+// ServingDb: a thread-safe, multi-reader serving wrapper around Db.
+//
+// The concurrency model is RCU-style snapshot swapping:
+//  * Readers (`Query`, `QueryBatch`) atomically load the current
+//    shared_ptr<DbSnapshot> — wait-free, no reader ever blocks on a
+//    writer — and execute entirely against that pinned snapshot, so every
+//    response reflects exactly one consistent epoch even while appends
+//    land concurrently.
+//  * `Append` (serialized by a writer mutex) builds the successor
+//    snapshot off the serving threads with Db::WithAppended — sealed
+//    segments are immutable and shared, only the new batch's segments are
+//    built — then publishes it with one atomic store. Old snapshots are
+//    refcounted away when the last in-flight reader and cached plan drop
+//    them.
+//
+// Repeated statements hit a sharded LRU plan cache (serve/plan_cache.h);
+// concurrent point reads are group-committed into Db batch execution by a
+// read coalescer (serve/coalescer.h), which turns grid-sharing dashboard
+// fan-in into the measured batch-execution win. Both are transparent:
+// responses are bit-identical to uncached, uncoalesced execution.
+#ifndef PAIRWISEHIST_SERVE_SERVING_DB_H_
+#define PAIRWISEHIST_SERVE_SERVING_DB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/coalescer.h"
+#include "serve/plan_cache.h"
+#include "serve/snapshot.h"
+
+namespace pairwisehist {
+
+struct ServingOptions {
+  /// Group concurrent point queries into batch execution. Off = every
+  /// request executes alone (still snapshot-isolated and cached).
+  bool coalesce = true;
+  /// Extra microseconds the coalescing leader waits for stragglers before
+  /// each drain. 0 = coalesce only requests overlapping an in-flight
+  /// batch (no added latency).
+  uint32_t coalesce_window_us = 0;
+  /// Prepared-plan cache size (entries) and shard count.
+  size_t plan_cache_capacity = 1024;
+  size_t plan_cache_shards = 8;
+};
+
+/// A point-in-time counter dump (see ServingDb::Stats).
+struct ServingStats {
+  uint64_t epoch = 0;
+  uint64_t segments = 0;
+  uint64_t rows = 0;
+  uint64_t queries = 0;           ///< /query statements served
+  uint64_t batches = 0;           ///< /batch calls served
+  uint64_t batch_statements = 0;  ///< statements across /batch calls
+  uint64_t coalesced_groups = 0;
+  uint64_t coalesced_statements = 0;
+  uint64_t max_group = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t appends = 0;
+  uint64_t errors = 0;
+};
+
+class ServingDb {
+ public:
+  /// Takes ownership of `db` as epoch 0. The Db should use the built-in
+  /// engine (backends execute uncoalesced) and AppendMode::kSealSegment
+  /// (Append returns Unsupported otherwise, see Db::WithAppended).
+  explicit ServingDb(Db db, ServingOptions options = {});
+
+  ServingDb(const ServingDb&) = delete;
+  ServingDb& operator=(const ServingDb&) = delete;
+
+  /// The current snapshot (wait-free atomic load). Holding the returned
+  /// pointer pins that epoch — including across subsequent appends.
+  std::shared_ptr<const DbSnapshot> snapshot() const;
+
+  /// Executes one statement against the current snapshot, through the
+  /// plan cache and (when enabled) the read coalescer. `*epoch` (optional)
+  /// reports the snapshot epoch that answered.
+  Status Query(const std::string& sql, QueryResult* result,
+               uint64_t* epoch = nullptr);
+
+  /// Executes `sqls` as one explicit batch against one snapshot.
+  /// `results` and `statement_status` are resized to sqls.size();
+  /// statements that fail to parse/prepare get their error status while
+  /// the rest still execute. Returns non-OK only for whole-batch failures.
+  Status QueryBatch(const std::vector<std::string>& sqls,
+                    std::vector<QueryResult>* results,
+                    std::vector<Status>* statement_status,
+                    uint64_t* epoch = nullptr);
+
+  /// Builds and publishes the successor snapshot containing `batch`.
+  /// Serialized with other appends; never blocks readers.
+  Status Append(const Table& batch);
+
+  ServingStats Stats() const;
+  const ServingOptions& options() const { return options_; }
+
+  /// Moves the Db back out (for aqp_shell's `.serve` round-trip). Fails
+  /// unless all traffic has stopped: the plan cache is cleared, and no
+  /// outstanding snapshot() reference may remain.
+  StatusOr<Db> TakeDb();
+
+ private:
+  /// Leader-side execution of one coalesced group against one snapshot.
+  void ExecuteGroup(const std::vector<ReadCoalescer::Request*>& group);
+  Status QueryUncoalesced(const std::string& sql, QueryResult* result,
+                          uint64_t* epoch);
+  std::shared_ptr<DbSnapshot> Load() const;
+
+  ServingOptions options_;
+  /// Accessed only via std::atomic_load / std::atomic_store.
+  std::shared_ptr<DbSnapshot> snapshot_;
+  std::mutex append_mu_;  ///< serializes Append / TakeDb
+  PlanCache cache_;
+  std::unique_ptr<ReadCoalescer> coalescer_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_statements_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_SERVING_DB_H_

@@ -1,0 +1,31 @@
+// DbSnapshot: one immutable epoch of a served database.
+//
+// A snapshot owns a whole Db (synopsis set + per-segment engines + optional
+// raw table). ServingDb publishes snapshots through an RCU-style atomic
+// shared_ptr: readers pin one per request and execute against it without
+// any locking; Db::WithAppended builds the successor epoch off the serving
+// threads, sharing every already-sealed (immutable) segment. A snapshot
+// stays alive — and every plan prepared against it stays valid — for as
+// long as any reader or cached plan still references it.
+#ifndef PAIRWISEHIST_SERVE_SNAPSHOT_H_
+#define PAIRWISEHIST_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "api/db.h"
+
+namespace pairwisehist {
+
+struct DbSnapshot {
+  DbSnapshot(Db db_in, uint64_t epoch_in)
+      : db(std::move(db_in)), epoch(epoch_in) {}
+
+  Db db;
+  /// Monotonically increasing append generation (0 = the initial open).
+  uint64_t epoch = 0;
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_SERVE_SNAPSHOT_H_

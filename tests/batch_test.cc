@@ -4,7 +4,13 @@
 // equal — across every compiled kernel tier, across exec_threads on a
 // segmented Db, and across Db::Append (lazy plan extension). Plus the
 // duplicate-statement dedup, the reference-path batch, and API edges.
+// Batch scratch is pooled (common/object_pool.h), so repeated ExecuteInto
+// calls must also be allocation-free in steady state — asserted below
+// with the same counting allocator as fastpath_test.
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -15,6 +21,37 @@
 #include "datagen/datasets.h"
 #include "query/batch_exec.h"
 #include "query/sql_parser.h"
+
+// Global allocation counter (this binary only); disabled under ASan, which
+// pairs its own operator new/delete interceptors (see fastpath_test.cc).
+#if defined(__SANITIZE_ADDRESS__)
+#define PH_COUNTING_ALLOCATOR 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PH_COUNTING_ALLOCATOR 0
+#endif
+#endif
+#ifndef PH_COUNTING_ALLOCATOR
+#define PH_COUNTING_ALLOCATOR 1
+#endif
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+#if PH_COUNTING_ALLOCATOR
+void* operator new(size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+#endif  // PH_COUNTING_ALLOCATOR
 
 namespace pairwisehist {
 namespace {
@@ -421,6 +458,50 @@ TEST(BatchApi, EmptyBatchAndBackendGating) {
   auto restored = db->PrepareBatch(
       std::vector<std::string>{"SELECT COUNT(*) FROM power;"});
   EXPECT_TRUE(restored.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Steady state: with pooled batch scratch, repeated ExecuteInto over a
+// warm PreparedBatch of distinct scalar statements allocates nothing.
+
+TEST(BatchSteadyState, RepeatedExecuteIntoIsAllocationFree) {
+#if !PH_COUNTING_ALLOCATOR
+  GTEST_SKIP() << "counting allocator disabled under AddressSanitizer";
+#else
+  auto db = Db::FromGenerator("power", 20000, 7);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM power;",
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 18;",
+      "SELECT SUM(global_active_power) FROM power WHERE hour >= 18;",
+      "SELECT COUNT(voltage) FROM power WHERE voltage > 240;",
+      "SELECT AVG(voltage) FROM power WHERE hour < 6;",
+      "SELECT AVG(global_intensity) FROM power WHERE day_of_week < 6;",
+  };
+  auto batch = db->PrepareBatch(sqls);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->NumDistinctPlans(), sqls.size());
+
+  std::vector<QueryResult> results;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(batch->ExecuteInto(&results).ok());
+  }
+  const std::vector<QueryResult> warm = results;
+
+  const size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  int failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!batch->ExecuteInto(&results).ok()) ++failures;
+  }
+  const size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(after - before, 0u)
+      << "batch ExecuteInto allocated in steady state";
+  ASSERT_EQ(results.size(), warm.size());
+  for (size_t q = 0; q < results.size(); ++q) {
+    ExpectIdentical(warm[q], results[q], sqls[q]);
+  }
+#endif
 }
 
 }  // namespace
