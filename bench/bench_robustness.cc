@@ -1,0 +1,441 @@
+// Robustness benchmark for the hardened serving layer. Two experiments,
+// one artifact (BENCH_robustness.json):
+//
+//  1. Durability cost: closed-loop readers plus a continuous /append
+//     writer, with the WAL fsync policy swept over in-memory (no WAL),
+//     always, interval, and never. Reports read QPS/p99 and append
+//     throughput/p99 per policy — the price of "every acked append
+//     survives a crash" in one table.
+//
+//  2. Overload shedding: the same read workload at ~2x the measured
+//     uncontended concurrency, with admission control off vs on. With
+//     shedding on, excess requests get fast 503s instead of queueing, so
+//     the p99 of ACCEPTED requests must stay within 3x of the
+//     uncontended p99 (the acceptance bar; recorded as p99_within_3x).
+//
+// Environment knobs (see bench_util.h for the shared ones):
+//   PH_SCALE_ROWS  dataset rows (default 100000)
+//   PH_SERVE_SECS  measured seconds per scenario (default 2)
+//   PH_CAPACITY    uncontended client count (default 4; overload runs 2x)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/json.h"
+#include "serve/service.h"
+#include "serve/serving_db.h"
+#include "storage/csv.h"
+#include "storage/wal.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+// The coverage-heavy five-predicate scalar query (same shape bench_serve
+// leans on) — enough work per request that concurrency actually contends.
+const std::string& HeavySql() {
+  static const std::string kSql =
+      "SELECT AVG(global_active_power) FROM power WHERE hour >= 6 AND "
+      "voltage > 236 AND global_intensity > 0.4 AND sub_metering_3 < 20 "
+      "AND day_of_week < 6;";
+  return kSql;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * (sorted.size() - 1) + 0.5));
+  return sorted[idx];
+}
+
+Db BuildDb(size_t rows) {
+  DbOptions options;
+  options.synopsis.sample_size = rows / 2;
+  options.synopsis.min_points_override = 64;
+  // Synopsis-only serving: copy-on-append snapshots stay cheap, and the
+  // WAL (not the raw table) carries the durable batch bytes.
+  options.keep_table = false;
+  auto db = Db::FromGenerator("power", rows, 71, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(db).value();
+}
+
+void RemoveDurableDir(const std::string& dir) {
+  ::unlink((dir + "/wal.log").c_str());
+  for (uint64_t e = 0; e < 4096; ++e) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%020llu",
+                  static_cast<unsigned long long>(e));
+    ::unlink((dir + "/checkpoint-" + buf + ".pws2").c_str());
+    ::unlink((dir + "/checkpoint-" + buf + ".pws2.tmp").c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct DurabilityResult {
+  std::string name;
+  uint64_t reads = 0;
+  uint64_t appends = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  double read_qps = 0;
+  double read_p50_us = 0;
+  double read_p99_us = 0;
+  double append_p50_us = 0;
+  double append_p99_us = 0;
+  double appends_per_sec = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints = 0;
+};
+
+/// One durability scenario: `readers` query clients + one append client,
+/// all closed-loop for `secs` seconds.
+DurabilityResult RunDurability(const std::string& name, size_t rows,
+                               size_t readers, double secs, bool durable,
+                               WalOptions::Fsync fsync) {
+  std::unique_ptr<ServingDb> serving;
+  const std::string dir = "/tmp/ph_bench_robustness_" + name;
+  if (durable) {
+    RemoveDurableDir(dir);
+    ServingOptions options;
+    options.durability.dir = dir;
+    options.durability.fsync = fsync;
+    options.durability.fsync_interval_ms = 20;
+    options.durability.checkpoint_interval_ms = 500;
+    options.durability.checkpoint_min_appends = 8;
+    auto created = ServingDb::CreateDurable(BuildDb(rows), options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "CreateDurable failed: %s\n",
+                   created.status().ToString().c_str());
+      std::exit(1);
+    }
+    serving = std::move(created).value();
+  } else {
+    serving = std::make_unique<ServingDb>(BuildDb(rows));
+  }
+  HttpServer server(MakeServingHandler(serving.get()),
+                    MakeServingBatchHandler(serving.get()));
+  if (!server.Start(0).ok()) std::exit(1);
+
+  std::string query_body = "{\"sql\":";
+  AppendJsonString(&query_body, HeavySql());
+  query_body += "}";
+  auto batch = MakeDataset("power", 2000, 1234);
+  if (!batch.ok()) std::exit(1);
+  const std::string csv = ToCsvString(batch.value());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> read_lat(readers);
+  std::vector<double> append_lat;
+  std::vector<std::thread> threads;
+
+  for (size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        errors.fetch_add(1);
+        ready.fetch_add(1);
+        return;
+      }
+      read_lat[t].reserve(1 << 14);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        const double t0 = NowSeconds();
+        auto resp = client.Request("POST", "/query", query_body);
+        const double dt = NowSeconds() - t0;
+        if (!resp.ok() || resp->status != 200) {
+          errors.fetch_add(1);
+        } else {
+          read_lat[t].push_back(dt * 1e6);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      errors.fetch_add(1);
+      return;
+    }
+    append_lat.reserve(1 << 12);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    while (!stop.load(std::memory_order_acquire)) {
+      const double t0 = NowSeconds();
+      auto resp = client.Request("POST", "/append", csv, "text/csv");
+      const double dt = NowSeconds() - t0;
+      if (!resp.ok() || resp->status != 200) {
+        errors.fetch_add(1);
+        return;
+      }
+      append_lat.push_back(dt * 1e6);
+    }
+  });
+
+  while (ready.load() < readers) std::this_thread::yield();
+  const double t0 = NowSeconds();
+  go.store(true, std::memory_order_release);
+  while (NowSeconds() - t0 < secs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  writer.join();
+  const double elapsed = NowSeconds() - t0;
+
+  const ServingStats stats = serving->Stats();
+  server.Stop();
+  serving.reset();  // final WAL sync / checkpointer shutdown
+  if (durable) RemoveDurableDir(dir);
+
+  std::vector<double> reads_all;
+  for (const auto& v : read_lat) {
+    reads_all.insert(reads_all.end(), v.begin(), v.end());
+  }
+  std::sort(reads_all.begin(), reads_all.end());
+  std::sort(append_lat.begin(), append_lat.end());
+
+  DurabilityResult r;
+  r.name = name;
+  r.reads = reads_all.size();
+  r.appends = append_lat.size();
+  r.errors = errors.load();
+  r.seconds = elapsed;
+  r.read_qps = elapsed > 0 ? static_cast<double>(r.reads) / elapsed : 0;
+  r.read_p50_us = Percentile(reads_all, 0.50);
+  r.read_p99_us = Percentile(reads_all, 0.99);
+  r.append_p50_us = Percentile(append_lat, 0.50);
+  r.append_p99_us = Percentile(append_lat, 0.99);
+  r.appends_per_sec =
+      elapsed > 0 ? static_cast<double>(r.appends) / elapsed : 0;
+  r.wal_fsyncs = stats.wal_fsyncs;
+  r.wal_bytes = stats.wal_bytes;
+  r.checkpoints = stats.checkpoints;
+  return r;
+}
+
+struct OverloadResult {
+  std::string name;
+  size_t clients = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  double accepted_qps = 0;
+  double p50_us = 0;   ///< accepted (200) requests only
+  double p99_us = 0;
+};
+
+/// One overload scenario: `clients` closed-loop query clients; when
+/// `max_inflight` > 0 a ServiceGate sheds the excess with 503s (clients
+/// back off ~Retry-After on a shed).
+OverloadResult RunOverload(const std::string& name, size_t rows,
+                           size_t clients, double secs,
+                           uint32_t max_inflight) {
+  ServingDb serving(BuildDb(rows));
+  std::unique_ptr<ServiceGate> gate;
+  if (max_inflight > 0) {
+    ServiceLimits limits;
+    limits.max_inflight = max_inflight;
+    limits.retry_after_ms = 5;
+    gate = std::make_unique<ServiceGate>(limits);
+  }
+  HttpServer server(MakeServingHandler(&serving, gate.get()));
+  if (!server.Start(0).ok()) std::exit(1);
+
+  std::string query_body = "{\"sql\":";
+  AppendJsonString(&query_body, HeavySql());
+  query_body += "}";
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        errors.fetch_add(1);
+        ready.fetch_add(1);
+        return;
+      }
+      lat[t].reserve(1 << 14);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        const double t0 = NowSeconds();
+        auto resp = client.Request("POST", "/query", query_body);
+        const double dt = NowSeconds() - t0;
+        if (!resp.ok()) {
+          errors.fetch_add(1);
+        } else if (resp->status == 503) {
+          shed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        } else if (resp->status == 200) {
+          lat[t].push_back(dt * 1e6);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  while (ready.load() < clients) std::this_thread::yield();
+  const double t0 = NowSeconds();
+  go.store(true, std::memory_order_release);
+  while (NowSeconds() - t0 < secs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = NowSeconds() - t0;
+  server.Stop();
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  OverloadResult r;
+  r.name = name;
+  r.clients = clients;
+  r.accepted = all.size();
+  r.shed = shed.load();
+  r.errors = errors.load();
+  r.seconds = elapsed;
+  r.accepted_qps = elapsed > 0 ? static_cast<double>(r.accepted) / elapsed : 0;
+  r.p50_us = Percentile(all, 0.50);
+  r.p99_us = Percentile(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Serving robustness: durability cost + overload shedding");
+  const size_t rows = EnvSize("PH_SCALE_ROWS", 100000);
+  const double secs = static_cast<double>(EnvSize("PH_SERVE_SECS", 2));
+  const size_t capacity = EnvSize("PH_CAPACITY", 4);
+
+  // Experiment 1: durability cost.
+  std::vector<DurabilityResult> durability;
+  durability.push_back(RunDurability("no_wal", rows, capacity, secs,
+                                     /*durable=*/false,
+                                     WalOptions::Fsync::kNever));
+  durability.push_back(RunDurability("wal_always", rows, capacity, secs, true,
+                                     WalOptions::Fsync::kAlways));
+  durability.push_back(RunDurability("wal_interval", rows, capacity, secs,
+                                     true, WalOptions::Fsync::kInterval));
+  durability.push_back(RunDurability("wal_never", rows, capacity, secs, true,
+                                     WalOptions::Fsync::kNever));
+
+  std::printf("%-14s %10s %10s %10s %11s %11s %8s %6s\n", "durability",
+              "read qps", "rd p99us", "appends/s", "ap p50us", "ap p99us",
+              "fsyncs", "ckpts");
+  uint64_t total_errors = 0;
+  std::string durability_json;
+  for (const DurabilityResult& r : durability) {
+    total_errors += r.errors;
+    std::printf("%-14s %10.0f %10.0f %10.1f %11.0f %11.0f %8llu %6llu\n",
+                r.name.c_str(), r.read_qps, r.read_p99_us, r.appends_per_sec,
+                r.append_p50_us, r.append_p99_us,
+                (unsigned long long)r.wal_fsyncs,
+                (unsigned long long)r.checkpoints);
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "%s    {\"name\": \"%s\", \"reads\": %llu, \"read_qps\": %.1f, "
+        "\"read_p50_us\": %.1f, \"read_p99_us\": %.1f, \"appends\": %llu, "
+        "\"appends_per_sec\": %.2f, \"append_p50_us\": %.1f, "
+        "\"append_p99_us\": %.1f, \"wal_fsyncs\": %llu, \"wal_bytes\": %llu, "
+        "\"checkpoints\": %llu, \"errors\": %llu}",
+        durability_json.empty() ? "" : ",\n", r.name.c_str(),
+        (unsigned long long)r.reads, r.read_qps, r.read_p50_us, r.read_p99_us,
+        (unsigned long long)r.appends, r.appends_per_sec, r.append_p50_us,
+        r.append_p99_us, (unsigned long long)r.wal_fsyncs,
+        (unsigned long long)r.wal_bytes, (unsigned long long)r.checkpoints,
+        (unsigned long long)r.errors);
+    durability_json += row;
+  }
+
+  // Experiment 2: overload shedding at 2x capacity.
+  std::vector<OverloadResult> overload;
+  overload.push_back(
+      RunOverload("uncontended", rows, capacity, secs, /*max_inflight=*/0));
+  overload.push_back(RunOverload("overload_no_shed", rows, capacity * 2, secs,
+                                 /*max_inflight=*/0));
+  overload.push_back(
+      RunOverload("overload_shed", rows, capacity * 2, secs,
+                  /*max_inflight=*/static_cast<uint32_t>(capacity)));
+
+  std::printf("\n%-18s %8s %10s %10s %10s %10s\n", "overload", "clients",
+              "acc qps", "p50 us", "p99 us", "shed");
+  std::string overload_json;
+  for (const OverloadResult& r : overload) {
+    total_errors += r.errors;
+    std::printf("%-18s %8zu %10.0f %10.0f %10.0f %10llu\n", r.name.c_str(),
+                r.clients, r.accepted_qps, r.p50_us, r.p99_us,
+                (unsigned long long)r.shed);
+    char row[448];
+    std::snprintf(
+        row, sizeof(row),
+        "%s    {\"name\": \"%s\", \"clients\": %zu, \"accepted\": %llu, "
+        "\"accepted_qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"shed\": %llu, \"errors\": %llu}",
+        overload_json.empty() ? "" : ",\n", r.name.c_str(), r.clients,
+        (unsigned long long)r.accepted, r.accepted_qps, r.p50_us, r.p99_us,
+        (unsigned long long)r.shed, (unsigned long long)r.errors);
+    overload_json += row;
+  }
+
+  const double p99_ratio =
+      overload[0].p99_us > 0 ? overload[2].p99_us / overload[0].p99_us : 0;
+  const bool p99_within_3x = p99_ratio > 0 && p99_ratio <= 3.0;
+  const double wal_cost =
+      durability[1].read_qps > 0 && durability[0].read_qps > 0
+          ? durability[0].read_qps / durability[1].read_qps
+          : 0;
+  std::printf(
+      "\nshed p99 vs uncontended: %.2fx (bar: <= 3x, %s); "
+      "read QPS no_wal/wal_always: %.2fx%s\n",
+      p99_ratio, p99_within_3x ? "PASS" : "FAIL", wal_cost,
+      total_errors == 0 ? "" : "  [HTTP ERRORS!]");
+
+  char head[320];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"bench\": \"robustness\",\n  \"scale_rows\": %zu,\n"
+                "  \"capacity_clients\": %zu,\n"
+                "  \"shed_p99_over_uncontended\": %.3f,\n"
+                "  \"p99_within_3x\": %s,\n  \"errors\": %llu,\n"
+                "  \"durability\": [\n",
+                rows, capacity, p99_ratio, p99_within_3x ? "true" : "false",
+                (unsigned long long)total_errors);
+  WriteBenchJson("BENCH_robustness.json",
+                 std::string(head) + durability_json +
+                     "\n  ],\n  \"overload\": [\n" + overload_json +
+                     "\n  ]\n}");
+  return total_errors == 0 && p99_within_3x ? 0 : 1;
+}

@@ -7,25 +7,40 @@
 //   aqp_serve --csv data.csv --port 0    # 0 = kernel-assigned (printed)
 //   aqp_serve --segment-rows 50000 --no-coalesce --window-us 50
 //
+// Durable serving (crash-safe appends):
+//
+//   aqp_serve --dir /var/lib/aqp         # recover if state exists,
+//                                        # else create fresh durable state
+//   aqp_serve --dir d --fsync interval --checkpoint-ms 5000
+//
+// Overload / deadline knobs:
+//
+//   aqp_serve --max-inflight 64 --max-inflight-appends 4 --deadline-ms 500
+//   aqp_serve --idle-ms 10000            # reap idle keep-alive peers
+//
 // Endpoints (JSON; see src/serve/service.h):
 //   POST /query   {"sql":"SELECT AVG(x) FROM t WHERE y > 1;"}
 //   POST /batch   {"sqls":["...", "..."]}
 //   POST /append  CSV body with header row (sealed as fresh segments)
-//   GET  /stats   serving counters (epoch, QPS bookkeeping, cache, ...)
+//   GET  /stats   serving counters (epoch, WAL, shedding, cache, ...)
 //
 // Prints "serving on port <P>" once ready (the CI smoke test greps it),
-// then blocks until SIGINT/SIGTERM or EOF on stdin.
+// then blocks until SIGINT/SIGTERM or EOF on stdin. SIGTERM/SIGINT drain
+// gracefully: stop accepting, finish in-flight requests, take a final
+// checkpoint (durable mode), then exit.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 
 #include "api/db.h"
 #include "serve/http_server.h"
 #include "serve/service.h"
 #include "serve/serving_db.h"
+#include "storage/wal.h"
 
 using namespace pairwisehist;
 
@@ -44,6 +59,9 @@ int main(int argc, char** argv) {
   long port = 8080;
   uint64_t seed = 42;
   ServingOptions serving_options;
+  ServiceLimits limits;
+  HttpServerOptions server_options;
+  bool has_limits = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,11 +85,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--window-us") {
       serving_options.coalesce_window_us =
           static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--dir") {
+      serving_options.durability.dir = next();
+    } else if (arg == "--fsync") {
+      auto policy = ParseFsyncPolicy(next());
+      if (!policy.ok()) {
+        std::fprintf(stderr, "--fsync wants always|interval|never\n");
+        return 2;
+      }
+      serving_options.durability.fsync = policy.value();
+    } else if (arg == "--checkpoint-ms") {
+      serving_options.durability.checkpoint_interval_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-inflight") {
+      limits.max_inflight =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+      has_limits = true;
+    } else if (arg == "--max-inflight-appends") {
+      limits.max_inflight_appends =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+      has_limits = true;
+    } else if (arg == "--deadline-ms") {
+      limits.default_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+      has_limits = true;
+    } else if (arg == "--idle-ms") {
+      server_options.idle_timeout_ms =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
     } else {
-      std::fprintf(stderr,
-                   "usage: aqp_serve [--gen name | --csv path] [--rows N]\n"
-                   "                 [--segment-rows N] [--port P] [--seed S]\n"
-                   "                 [--no-coalesce] [--window-us U]\n");
+      std::fprintf(
+          stderr,
+          "usage: aqp_serve [--gen name | --csv path] [--rows N]\n"
+          "                 [--segment-rows N] [--port P] [--seed S]\n"
+          "                 [--no-coalesce] [--window-us U]\n"
+          "                 [--dir path] [--fsync always|interval|never]\n"
+          "                 [--checkpoint-ms MS]\n"
+          "                 [--max-inflight N] [--max-inflight-appends N]\n"
+          "                 [--deadline-ms MS] [--idle-ms MS]\n");
       return 2;
     }
   }
@@ -80,23 +130,75 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  DbOptions options;
-  options.target_segment_rows = segment_rows;
-  auto opened = csv.empty() ? Db::FromGenerator(gen, rows, seed, options)
-                            : Db::FromCsv(csv, options);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "cannot open dataset: %s\n",
-                 opened.status().ToString().c_str());
-    return 1;
+  // Durable mode: recover existing state when the directory has a
+  // checkpoint, otherwise create fresh durable state from the dataset.
+  std::unique_ptr<ServingDb> serving;
+  if (!serving_options.durability.dir.empty()) {
+    if (serving_options.durability.checkpoint_interval_ms == 0) {
+      serving_options.durability.checkpoint_interval_ms = 30000;
+    }
+    auto recovered = ServingDb::Recover(serving_options);
+    if (recovered.ok()) {
+      serving = std::move(recovered).value();
+      const RecoveryInfo& info = serving->recovery_info();
+      std::printf(
+          "recovered '%s': checkpoint epoch %llu, %llu WAL records "
+          "(%llu rows)%s -> epoch %llu\n",
+          serving_options.durability.dir.c_str(),
+          (unsigned long long)info.checkpoint_epoch,
+          (unsigned long long)info.wal_records_applied,
+          (unsigned long long)info.rows_recovered,
+          info.tail_truncated ? ", torn tail truncated" : "",
+          (unsigned long long)serving->Stats().epoch);
+    } else if (recovered.status().code() == StatusCode::kNotFound) {
+      DbOptions options;
+      options.target_segment_rows = segment_rows;
+      auto opened = csv.empty() ? Db::FromGenerator(gen, rows, seed, options)
+                                : Db::FromCsv(csv, options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open dataset: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      auto created =
+          ServingDb::CreateDurable(std::move(opened).value(), serving_options);
+      if (!created.ok()) {
+        std::fprintf(stderr, "cannot create durable state: %s\n",
+                     created.status().ToString().c_str());
+        return 1;
+      }
+      serving = std::move(created).value();
+      std::printf("created durable state in '%s' (fsync=%s)\n",
+                  serving_options.durability.dir.c_str(),
+                  FsyncPolicyName(serving_options.durability.fsync));
+    } else {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    DbOptions options;
+    options.target_segment_rows = segment_rows;
+    auto opened = csv.empty() ? Db::FromGenerator(gen, rows, seed, options)
+                              : Db::FromCsv(csv, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open dataset: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded '%s': %llu rows, %zu segments, %zu synopsis bytes\n",
+                opened->name().c_str(),
+                (unsigned long long)opened->total_rows(),
+                opened->num_segments(), opened->StorageBytes());
+    serving =
+        std::make_unique<ServingDb>(std::move(opened).value(), serving_options);
   }
-  std::printf("loaded '%s': %llu rows, %zu segments, %zu synopsis bytes\n",
-              opened->name().c_str(),
-              (unsigned long long)opened->total_rows(),
-              opened->num_segments(), opened->StorageBytes());
 
-  ServingDb serving(std::move(opened).value(), serving_options);
-  HttpServer server(MakeServingHandler(&serving),
-                    MakeServingBatchHandler(&serving));
+  std::unique_ptr<ServiceGate> gate;
+  if (has_limits) gate = std::make_unique<ServiceGate>(limits);
+  HttpServer server(MakeServingHandler(serving.get(), gate.get()),
+                    MakeServingBatchHandler(serving.get(), gate.get()),
+                    server_options);
   Status st = server.Start(static_cast<uint16_t>(port));
   if (!st.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
@@ -120,11 +222,31 @@ int main(int argc, char** argv) {
     }
     if (c == 'q') break;
   }
-  server.Stop();
-  const ServingStats stats = serving.Stats();
-  std::printf("stopped after %llu queries, %llu appends (epoch %llu)\n",
-              (unsigned long long)stats.queries,
-              (unsigned long long)stats.appends,
-              (unsigned long long)stats.epoch);
+
+  // Graceful shutdown: finish in-flight requests, then (durable mode)
+  // take a final checkpoint so restart needs no WAL replay.
+  server.Drain(/*grace_ms=*/5000);
+  if (serving->durable()) {
+    Status cp = serving->Checkpoint();
+    if (!cp.ok()) {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   cp.ToString().c_str());
+    }
+  }
+  const ServingStats stats = serving->Stats();
+  std::printf(
+      "stopped after %llu queries, %llu appends (epoch %llu)%s\n",
+      (unsigned long long)stats.queries, (unsigned long long)stats.appends,
+      (unsigned long long)stats.epoch,
+      serving->durable() ? ", state checkpointed" : "");
+  if (gate != nullptr) {
+    const ServiceGate::Stats gs = gate->stats();
+    std::printf("gate: %llu admitted, %llu shed reads, %llu shed appends, "
+                "%llu timeouts\n",
+                (unsigned long long)gs.admitted,
+                (unsigned long long)gs.shed_reads,
+                (unsigned long long)gs.shed_appends,
+                (unsigned long long)gs.timeouts);
+  }
   return 0;
 }

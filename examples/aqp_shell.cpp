@@ -308,7 +308,19 @@ int main(int argc, char** argv) {
                     static_cast<unsigned>(server.port()));
         std::string ignored;
         std::getline(std::cin, ignored);
-        server.Stop();
+        server.Drain();
+        const ServingStats stats = serving.Stats();
+        std::printf(
+            "served %llu queries, %llu appends (epoch %llu); "
+            "%llu cache hits, %llu coalesced groups; "
+            "%llu idle reaps, %llu malformed closes\n",
+            (unsigned long long)stats.queries,
+            (unsigned long long)stats.appends,
+            (unsigned long long)stats.epoch,
+            (unsigned long long)stats.cache_hits,
+            (unsigned long long)stats.coalesced_groups,
+            (unsigned long long)server.idle_reaped(),
+            (unsigned long long)server.malformed_closed());
       } else {
         std::printf("error: %s\n", st.ToString().c_str());
       }

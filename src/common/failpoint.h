@@ -1,0 +1,70 @@
+// Failpoint registry: named fault-injection points for chaos testing.
+//
+// Production code marks crash-critical moments with failpoint::Fire("name");
+// a test harness (or the PWH_FAILPOINTS environment variable) arms a point
+// with an action — inject an error, sleep, crash the process, or perform a
+// torn partial write — and the call site reacts. Disarmed points cost one
+// relaxed atomic load, so the hooks stay in release builds and the chaos
+// suite exercises the exact binary that ships.
+//
+// Actions (the string grammar used by Set() and PWH_FAILPOINTS):
+//   off          disarm
+//   error        Fire returns an Internal status ("injected fault at <p>")
+//   crash        Fire calls _Exit(kCrashExitCode) — simulates kill -9: no
+//                atexit handlers, no buffer flushes, nothing durable beyond
+//                what already reached the kernel
+//   partial      partial-write-capable sites (WAL framing) write a prefix of
+//                the record and then crash — the realistic torn-tail producer
+//   delay:<ms>   Fire sleeps <ms> milliseconds, then passes
+// Any action takes an optional "@<n>" suffix: trigger only on the n-th hit
+// of that point (1-based); other hits pass. PWH_FAILPOINTS holds a
+// comma/semicolon-separated list: "wal.append.sync=error,http.send=crash@3".
+#ifndef PAIRWISEHIST_COMMON_FAILPOINT_H_
+#define PAIRWISEHIST_COMMON_FAILPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+namespace failpoint {
+
+/// Exit code used by the crash action (and CrashNow), so a supervising
+/// process can tell an injected crash from any other death.
+constexpr int kCrashExitCode = 86;
+
+/// What an armed point injected at this hit. `status` non-OK for the error
+/// action; `partial` true when the site should write a torn prefix and then
+/// call CrashNow(). Both fields inert for disarmed/pass-through hits.
+struct Injection {
+  Status status;
+  bool partial = false;
+};
+
+/// Evaluates the point. Disarmed: one relaxed load, returns a clean
+/// Injection. Armed: applies the action (crash never returns; delay sleeps
+/// here). The first call also arms everything named in PWH_FAILPOINTS.
+Injection Fire(const char* point);
+
+/// _Exit(kCrashExitCode) — the crash action, callable directly by
+/// partial-write sites after laying down the torn prefix.
+[[noreturn]] void CrashNow();
+
+/// Arms `point` with `action` (grammar above; "off" disarms). Unknown point
+/// names are InvalidArgument so typos in harnesses fail loudly.
+Status Set(const std::string& point, const std::string& action);
+
+/// Disarms every point.
+void ClearAll();
+
+/// Times `point` has been evaluated while armed (pass-through hits count).
+uint64_t HitCount(const std::string& point);
+
+/// Every registered point name, for kill-at-every-failpoint harnesses.
+const std::vector<std::string>& KnownPoints();
+
+}  // namespace failpoint
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_COMMON_FAILPOINT_H_

@@ -4,12 +4,58 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "common/rng.h"
 
 namespace pairwisehist {
+
+namespace {
+
+std::string BuildWire(
+    const std::string& host, const std::string& method,
+    const std::string& path, const std::string& body,
+    const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire;
+  wire.reserve(body.size() + 160);
+  wire += method;
+  wire += ' ';
+  wire += path;
+  wire += " HTTP/1.1\r\nHost: ";
+  wire += host;
+  wire += "\r\nContent-Type: ";
+  wire += content_type;
+  wire += "\r\nContent-Length: ";
+  wire += std::to_string(body.size());
+  for (const auto& h : headers) {
+    wire += "\r\n";
+    wire += h.first;
+    wire += ": ";
+    wire += h.second;
+  }
+  wire += "\r\n\r\n";
+  wire += body;
+  return wire;
+}
+
+void ApplyIoTimeout(int fd, uint32_t io_timeout_ms) {
+  if (io_timeout_ms == 0) return;
+  struct timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
 
 Status HttpClient::Connect(const std::string& host, uint16_t port) {
   Close();
@@ -31,10 +77,16 @@ Status HttpClient::Connect(const std::string& host, uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ApplyIoTimeout(fd, io_timeout_ms_);
   host_ = host;
   port_ = port;
   conn_ = std::make_unique<HttpConn>(fd);
   return Status::OK();
+}
+
+void HttpClient::SetIoTimeout(uint32_t io_timeout_ms) {
+  io_timeout_ms_ = io_timeout_ms;
+  if (conn_ != nullptr) ApplyIoTimeout(conn_->fd(), io_timeout_ms_);
 }
 
 void HttpClient::Close() {
@@ -47,7 +99,7 @@ void HttpClient::Close() {
 StatusOr<HttpResponse> HttpClient::ReadResponse() {
   HttpMessage msg;
   bool closed = false;
-  PH_RETURN_IF_ERROR(conn_->Read(&msg, &closed, nullptr));
+  PH_RETURN_IF_ERROR(conn_->Read(&msg, &closed));
   if (closed) {
     return Status::DataLoss("HttpClient: connection closed by server");
   }
@@ -61,6 +113,7 @@ StatusOr<HttpResponse> HttpClient::ReadResponse() {
   if (const std::string* ct = msg.FindHeader("Content-Type")) {
     resp.content_type = *ct;
   }
+  resp.headers = std::move(msg.headers);
   resp.body = std::move(msg.body);
   return resp;
 }
@@ -71,29 +124,64 @@ StatusOr<HttpResponse> HttpClient::RequestOnce(const std::string& wire) {
   return ReadResponse();
 }
 
-StatusOr<HttpResponse> HttpClient::Request(const std::string& method,
-                                           const std::string& path,
-                                           const std::string& body,
-                                           const std::string& content_type) {
-  std::string wire;
-  wire.reserve(body.size() + 128);
-  wire += method;
-  wire += ' ';
-  wire += path;
-  wire += " HTTP/1.1\r\nHost: ";
-  wire += host_;
-  wire += "\r\nContent-Type: ";
-  wire += content_type;
-  wire += "\r\nContent-Length: ";
-  wire += std::to_string(body.size());
-  wire += "\r\n\r\n";
-  wire += body;
-
+StatusOr<HttpResponse> HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string wire =
+      BuildWire(host_, method, path, body, content_type, headers);
   StatusOr<HttpResponse> resp = RequestOnce(wire);
   if (resp.ok()) return resp;
   // One reconnect: the server may have dropped an idle keep-alive socket.
   PH_RETURN_IF_ERROR(Connect(host_, port_));
   return RequestOnce(wire);
+}
+
+StatusOr<HttpResponse> HttpClient::RequestWithRetry(
+    const std::string& method, const std::string& path,
+    const std::string& body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const HttpRetryPolicy& policy) {
+  Rng rng(policy.seed);
+  uint32_t backoff_ms = policy.initial_backoff_ms;
+  StatusOr<HttpResponse> last = Status::Internal("HttpClient: no attempts");
+  const uint32_t attempts = std::max<uint32_t>(1, policy.max_attempts);
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Full jitter: sleep a uniform fraction of the current backoff. A
+      // shorter server-provided Retry-After overrides the cap downward.
+      uint64_t sleep_ms = 1 + rng.Next() % std::max<uint32_t>(1, backoff_ms);
+      if (last.ok()) {
+        if (const std::string* ra = [&]() -> const std::string* {
+              for (const auto& h : last.value().headers) {
+                if (h.first == "Retry-After") return &h.second;
+              }
+              return nullptr;
+            }()) {
+          const unsigned long ra_ms = std::strtoul(ra->c_str(), nullptr, 10) *
+                                      1000ul;
+          if (ra_ms > 0 && ra_ms < sleep_ms) sleep_ms = ra_ms;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff_ms = std::min(policy.max_backoff_ms, backoff_ms * 2);
+      ++retries_;
+    }
+    if (conn_ == nullptr) {
+      Status st = Connect(host_, port_);
+      if (!st.ok()) {
+        last = st;
+        continue;
+      }
+    }
+    last = Request(method, path, body, content_type, headers);
+    if (!last.ok()) {
+      Close();  // transport failure: force a fresh connection next attempt
+      continue;
+    }
+    if (last.value().status != 503) return last;
+  }
+  return last;
 }
 
 StatusOr<std::vector<HttpResponse>> HttpClient::RequestPipelined(
@@ -103,17 +191,7 @@ StatusOr<std::vector<HttpResponse>> HttpClient::RequestPipelined(
   if (conn_ == nullptr) return Status::Internal("HttpClient: not connected");
   std::string wire;
   for (const std::string& body : bodies) {
-    wire += method;
-    wire += ' ';
-    wire += path;
-    wire += " HTTP/1.1\r\nHost: ";
-    wire += host_;
-    wire += "\r\nContent-Type: ";
-    wire += content_type;
-    wire += "\r\nContent-Length: ";
-    wire += std::to_string(body.size());
-    wire += "\r\n\r\n";
-    wire += body;
+    wire += BuildWire(host_, method, path, body, content_type, {});
   }
   PH_RETURN_IF_ERROR(conn_->Write(wire));
   std::vector<HttpResponse> responses;

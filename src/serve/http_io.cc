@@ -5,14 +5,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+
+#include "common/failpoint.h"
 
 namespace pairwisehist {
 
 namespace {
-
-constexpr size_t kMaxHeaderBytes = 64 * 1024;
-constexpr size_t kMaxBodyBytes = 256u * 1024 * 1024;
 
 bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
   if (a.size() != b.size()) return false;
@@ -49,11 +49,18 @@ int HttpConn::ParseBuffered(HttpMessage* msg, Status* st) {
   msg->body.clear();
   const size_t header_end = buf_.find("\r\n\r\n");
   if (header_end == std::string::npos) {
-    if (buf_.size() > kMaxHeaderBytes) {
-      *st = Status::InvalidArgument("HTTP: headers too large");
+    if (buf_.size() > kMaxHttpHeaderBytes) {
+      *st = Status::OutOfRange("HTTP: headers exceed " +
+                               std::to_string(kMaxHttpHeaderBytes) +
+                               " bytes");
       return -1;
     }
     return 0;
+  }
+  if (header_end > kMaxHttpHeaderBytes) {
+    *st = Status::OutOfRange("HTTP: headers exceed " +
+                             std::to_string(kMaxHttpHeaderBytes) + " bytes");
+    return -1;
   }
 
   // Parse start line + headers.
@@ -83,14 +90,38 @@ int HttpConn::ParseBuffered(HttpMessage* msg, Status* st) {
     *st = Status::InvalidArgument("HTTP: empty start line");
     return -1;
   }
+  // Either "METHOD /path HTTP/x.y" (request) or "HTTP/x.y CODE text"
+  // (response): three tokens with an HTTP-version at one end. Anything
+  // else is not HTTP — reject instead of mis-routing garbage.
+  {
+    const size_t sp1 = msg->start_line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : msg->start_line.find(' ', sp1 + 1);
+    const bool request_shape =
+        sp2 != std::string::npos &&
+        msg->start_line.compare(sp2 + 1, 5, "HTTP/") == 0;
+    const bool response_shape = msg->start_line.compare(0, 5, "HTTP/") == 0;
+    if (!request_shape && !response_shape) {
+      *st = Status::InvalidArgument("HTTP: malformed start line");
+      return -1;
+    }
+  }
 
-  // Body: exactly Content-Length bytes (0 when absent).
+  // Body: exactly Content-Length bytes (0 when absent). The cap is
+  // enforced here, before Read buffers a single body byte beyond it.
   size_t body_len = 0;
   if (const std::string* cl = msg->FindHeader("Content-Length")) {
     char* end = nullptr;
+    errno = 0;
     const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
-    if (end == cl->c_str() || *end != '\0' || v > kMaxBodyBytes) {
+    if (end == cl->c_str() || *end != '\0' || errno == ERANGE) {
       *st = Status::InvalidArgument("HTTP: bad Content-Length");
+      return -1;
+    }
+    if (v > kMaxHttpBodyBytes) {
+      *st = Status::OutOfRange("HTTP: body of " + std::to_string(v) +
+                               " bytes exceeds " +
+                               std::to_string(kMaxHttpBodyBytes));
       return -1;
     }
     body_len = static_cast<size_t>(v);
@@ -103,21 +134,29 @@ int HttpConn::ParseBuffered(HttpMessage* msg, Status* st) {
 }
 
 Status HttpConn::Read(HttpMessage* msg, bool* closed,
-                      const std::atomic<bool>* stop,
-                      const std::function<Status()>* on_block) {
+                      const ReadDeadlines& deadlines) {
   *closed = false;
   bool blocked = false;
   auto notify_block = [&]() -> Status {
-    if (blocked || on_block == nullptr || !*on_block) return Status::OK();
+    if (blocked || deadlines.on_block == nullptr || !*deadlines.on_block) {
+      return Status::OK();
+    }
     blocked = true;
-    return (*on_block)();
+    return (*deadlines.on_block)();
   };
+  const auto start = std::chrono::steady_clock::now();
+  auto last_progress = start;
 
   while (true) {
     Status st = Status::OK();
     const int parsed = ParseBuffered(msg, &st);
     if (parsed < 0) return st;
     if (parsed > 0) return Status::OK();
+    if (deadlines.drain != nullptr &&
+        deadlines.drain->load(std::memory_order_relaxed) && buf_.empty()) {
+      *closed = true;  // between messages; drain closes the connection
+      return Status::OK();
+    }
     PH_RETURN_IF_ERROR(notify_block());
     struct pollfd pfd;
     pfd.fd = fd_;
@@ -127,10 +166,26 @@ Status HttpConn::Read(HttpMessage* msg, bool* closed,
       if (errno == EINTR) continue;
       return Status::Internal("HTTP: poll failed");
     }
-    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+    if (deadlines.stop != nullptr &&
+        deadlines.stop->load(std::memory_order_relaxed)) {
       return Status::Internal("HTTP: server stopping");
     }
-    if (pr == 0) continue;  // timeout slice; re-check stop
+    if (pr == 0) {
+      // Timeout slice: re-check stop/drain and the idle budget.
+      if (deadlines.idle_timeout_ms > 0) {
+        const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - last_progress);
+        if (idle.count() >=
+            static_cast<int64_t>(deadlines.idle_timeout_ms)) {
+          if (buf_.empty()) {
+            *closed = true;  // reap the idle keep-alive connection
+            return Status::OK();
+          }
+          return Status::DataLoss("HTTP: peer idle mid-message");
+        }
+      }
+      continue;
+    }
     char chunk[8192];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
@@ -147,6 +202,7 @@ Status HttpConn::Read(HttpMessage* msg, bool* closed,
       return Status::DataLoss("HTTP: connection closed mid-message");
     }
     buf_.append(chunk, static_cast<size_t>(n));
+    last_progress = std::chrono::steady_clock::now();
   }
 }
 
@@ -161,17 +217,25 @@ bool HttpConn::TryReadBuffered(HttpMessage* msg, Status* st) {
     buf_.append(chunk, static_cast<size_t>(n));
     if (static_cast<size_t>(n) < sizeof(chunk)) break;
   }
+  if (n < 0 && errno == EINTR) {
+    // A signal beat the non-blocking recv; the buffered bytes still count.
+  }
   parsed = ParseBuffered(msg, st);
   return parsed > 0;
 }
 
 Status HttpConn::Write(const std::string& data) {
+  PH_RETURN_IF_ERROR(failpoint::Fire("http.send").status);
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
         ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped draining its socket.
+        return Status::Internal("HTTP: send timed out");
+      }
       return Status::Internal("HTTP: send failed");
     }
     off += static_cast<size_t>(n);

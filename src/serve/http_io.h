@@ -2,10 +2,17 @@
 // the test/bench client. POSIX sockets only, no external dependencies —
 // the serving layer targets the same minimal-footprint shape as the rest
 // of the library.
+//
+// Robustness contract: malformed framing surfaces as InvalidArgument (the
+// server answers 400 and closes), oversized headers/bodies as OutOfRange
+// (413) before any unbounded buffering, idle peers are reaped after
+// ReadDeadlines::idle_timeout_ms, and every read/write path handles EINTR
+// and short transfers.
 #ifndef PAIRWISEHIST_SERVE_HTTP_IO_H_
 #define PAIRWISEHIST_SERVE_HTTP_IO_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
@@ -14,6 +21,10 @@
 #include "common/status.h"
 
 namespace pairwisehist {
+
+/// Hard caps on buffered message size (enforced before buffering).
+constexpr size_t kMaxHttpHeaderBytes = 64 * 1024;
+constexpr size_t kMaxHttpBodyBytes = 64u * 1024 * 1024;
 
 /// One parsed HTTP message (request or response).
 struct HttpMessage {
@@ -25,6 +36,25 @@ struct HttpMessage {
   const std::string* FindHeader(const std::string& name) const;
 };
 
+/// Knobs for HttpConn::Read. All optional; zero/null = wait forever.
+struct ReadDeadlines {
+  /// Hard abort: a pending read returns Internal when this becomes true
+  /// (polled every ~100 ms).
+  const std::atomic<bool>* stop = nullptr;
+  /// Graceful drain: when this becomes true and the connection sits
+  /// *between* messages (no buffered partial bytes), Read reports an
+  /// orderly close so the connection can finish in-flight work and exit.
+  const std::atomic<bool>* drain = nullptr;
+  /// Reap idle peers: with no complete message after this many ms, Read
+  /// reports an orderly close (nothing buffered) or DataLoss (peer stalled
+  /// mid-message). 0 = never.
+  uint32_t idle_timeout_ms = 0;
+  /// Runs once, just before the first wait on the socket — i.e. only when
+  /// the buffered bytes don't already hold a complete message. A server
+  /// corking its responses flushes there. A non-OK result aborts the read.
+  const std::function<Status()>* on_block = nullptr;
+};
+
 /// A connected socket with read buffering (keep-alive pipelining safe:
 /// bytes past one message stay buffered for the next Read).
 class HttpConn {
@@ -32,17 +62,13 @@ class HttpConn {
   explicit HttpConn(int fd) : fd_(fd) {}
 
   /// Reads one full message (headers + Content-Length body). On orderly
-  /// peer close before any bytes of a new message, sets *closed and
-  /// returns OK with an empty message. `stop` (optional) aborts the read
-  /// when it becomes true (polled every ~100 ms). `on_block` (optional)
-  /// runs once, just before the first wait on the socket — i.e. only when
-  /// the buffered bytes don't already hold a complete message. A server
-  /// corking its responses flushes there: pipelined requests are answered
-  /// from/into userspace buffers, and the flush syscall happens exactly
-  /// when the connection would go idle. A non-OK result aborts the read.
+  /// peer close before any bytes of a new message — or drain/idle-reap per
+  /// `deadlines` — sets *closed and returns OK with an empty message.
+  /// Malformed framing returns InvalidArgument; oversized headers or
+  /// Content-Length beyond the caps returns OutOfRange without buffering
+  /// the excess.
   Status Read(HttpMessage* msg, bool* closed,
-              const std::atomic<bool>* stop = nullptr,
-              const std::function<Status()>* on_block = nullptr);
+              const ReadDeadlines& deadlines = {});
 
   /// Pipelining drain: parses the next message if one is already
   /// buffered (topping the buffer up with a single non-blocking recv),
@@ -52,14 +78,16 @@ class HttpConn {
   /// (partial bytes stay buffered for the next Read).
   bool TryReadBuffered(HttpMessage* msg, Status* st);
 
-  /// Writes the whole buffer (retrying short writes).
+  /// Writes the whole buffer: retries EINTR and short writes; a send
+  /// timeout (SO_SNDTIMEO on the fd) or injected "http.send" fault
+  /// surfaces as Internal. Never raises SIGPIPE.
   Status Write(const std::string& data);
 
   int fd() const { return fd_; }
 
  private:
   /// Parses one complete message out of buf_ (consuming it). Returns
-  /// 1 = parsed, 0 = need more bytes, -1 = malformed (*st set).
+  /// 1 = parsed, 0 = need more bytes, -1 = malformed/oversized (*st set).
   int ParseBuffered(HttpMessage* msg, Status* st);
 
   int fd_;

@@ -5,8 +5,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstring>
 #include <utility>
 
@@ -20,16 +22,27 @@ const char* HttpStatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Status";
   }
 }
 
 namespace {
 
-/// Max requests answered as one pipeline group (bounds per-connection
-/// buffering; longer bursts are simply answered in several groups).
-constexpr size_t kMaxPipelineGroup = 64;
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Splits "METHOD SP target SP version"; false when malformed.
 bool ParseRequestLine(const HttpMessage& msg, HttpRequest* req) {
@@ -50,17 +63,38 @@ bool WantsClose(const HttpMessage& msg) {
   return h != nullptr && *h == "close";
 }
 
+void SetIoTimeout(int fd, uint32_t io_timeout_ms) {
+  if (io_timeout_ms == 0) return;
+  struct timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  // Reads use poll() with their own idle budget, but a receive timeout
+  // still bounds the blocking recv after poll reports readiness.
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
-HttpServer::HttpServer(Handler handler, BatchHandler batch_handler)
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& h : headers) {
+    if (EqualsIgnoreCase(h.first, name)) return &h.second;
+  }
+  return nullptr;
+}
+
+HttpServer::HttpServer(Handler handler, BatchHandler batch_handler,
+                       HttpServerOptions options)
     : handler_(std::move(handler)),
-      batch_handler_(std::move(batch_handler)) {}
+      batch_handler_(std::move(batch_handler)),
+      options_(options) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start(uint16_t port) {
   if (listen_fd_ >= 0) return Status::Internal("HttpServer already started");
   stop_.store(false, std::memory_order_relaxed);
+  drain_.store(false, std::memory_order_relaxed);
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::Internal("socket() failed");
@@ -99,10 +133,15 @@ void HttpServer::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener shut down (Stop) or fatal error
+      break;  // listener shut down (Stop/Drain) or fatal error
+    }
+    if (drain_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetIoTimeout(fd, options_.io_timeout_ms);
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_.load(std::memory_order_relaxed)) {
       ::close(fd);
@@ -132,11 +171,64 @@ void HttpServer::ServeConn(size_t slot) {
     pending.clear();
     return st;
   };
+  ReadDeadlines deadlines;
+  deadlines.stop = &stop_;
+  deadlines.drain = &drain_;
+  deadlines.idle_timeout_ms = options_.idle_timeout_ms;
+  deadlines.on_block = &flush;
+
+  auto append_response = [&](const HttpResponse& resp, bool close_conn) {
+    pending.reserve(pending.size() + resp.body.size() + 160);
+    pending += "HTTP/1.1 ";
+    pending += std::to_string(resp.status);
+    pending += ' ';
+    pending += HttpStatusText(resp.status);
+    pending += "\r\nContent-Type: ";
+    pending += resp.content_type;
+    pending += "\r\nContent-Length: ";
+    pending += std::to_string(resp.body.size());
+    for (const auto& h : resp.headers) {
+      pending += "\r\n";
+      pending += h.first;
+      pending += ": ";
+      pending += h.second;
+    }
+    pending += close_conn ? "\r\nConnection: close\r\n\r\n"
+                          : "\r\nConnection: keep-alive\r\n\r\n";
+    pending += resp.body;
+  };
+
   while (!stop_.load(std::memory_order_relaxed)) {
     HttpMessage msg;
     bool closed = false;
-    Status st = conn.Read(&msg, &closed, &stop_, &flush);
-    if (!st.ok() || closed) break;
+    Status st = conn.Read(&msg, &closed, deadlines);
+    if (!st.ok()) {
+      // Malformed (400) or oversized (413) framing: answer, then close —
+      // never spin on a garbage connection. Anything else (socket error,
+      // peer dropped mid-message, server stopping) just closes.
+      if (st.code() == StatusCode::kInvalidArgument ||
+          st.code() == StatusCode::kOutOfRange) {
+        HttpResponse err;
+        err.status = st.code() == StatusCode::kOutOfRange ? 413 : 400;
+        err.body = "{\"error\":\"" + st.message() + "\"}";
+        append_response(err, /*close_conn=*/true);
+        (void)flush();
+        malformed_closed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (closed) {
+      // Orderly close, drain, or idle reap. Count reaps distinctly: the
+      // idle path fires only when idle_timeout_ms elapsed, which Read
+      // reports identically to a peer close — attribute it to a reap when
+      // the server is still live (not stopping/draining).
+      if (!drain_.load(std::memory_order_relaxed) &&
+          options_.idle_timeout_ms > 0) {
+        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    const auto arrival = std::chrono::steady_clock::now();
 
     // Collect this request plus (with a batch handler installed) every
     // pipelined follower already buffered on the connection. The group
@@ -144,27 +236,29 @@ void HttpServer::ServeConn(size_t slot) {
     // before the malformed one are still answered, then the connection
     // closes after a 400.
     std::vector<HttpRequest> reqs;
-    bool bad = false;
+    Status bad = Status::OK();
     bool close_after = false;
     auto take = [&](HttpMessage* m) {
       HttpRequest req;
       if (!ParseRequestLine(*m, &req)) {
-        bad = true;
+        bad = Status::InvalidArgument("malformed request line");
         return false;
       }
       if (WantsClose(*m)) close_after = true;
+      req.headers = std::move(m->headers);
       req.body = std::move(m->body);
+      req.arrival = arrival;
       reqs.push_back(std::move(req));
       return !close_after;
     };
     if (take(&msg) && batch_handler_ != nullptr) {
       HttpMessage more;
       Status parse_st;
-      while (reqs.size() < kMaxPipelineGroup &&
+      while (reqs.size() < options_.max_pipeline_group &&
              conn.TryReadBuffered(&more, &parse_st)) {
         if (!take(&more)) break;
       }
-      if (!parse_st.ok()) bad = true;  // malformed buffered bytes
+      if (!parse_st.ok()) bad = parse_st;  // malformed buffered bytes
     }
 
     std::vector<HttpResponse> resps;
@@ -180,30 +274,19 @@ void HttpServer::ServeConn(size_t slot) {
       resps.reserve(reqs.size());
       for (const HttpRequest& r : reqs) resps.push_back(handler_(r));
     }
-    if (bad) {
+    if (!bad.ok()) {
       HttpResponse err;
-      err.status = 400;
-      err.body = "{\"error\":\"malformed request line\"}";
+      err.status = bad.code() == StatusCode::kOutOfRange ? 413 : 400;
+      err.body = "{\"error\":\"" + bad.message() + "\"}";
       resps.push_back(std::move(err));
       close_after = true;
+      malformed_closed_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (drain_.load(std::memory_order_relaxed)) close_after = true;
 
     bool write_failed = false;
     for (size_t i = 0; i < resps.size(); ++i) {
-      const HttpResponse& resp = resps[i];
-      const bool last = i + 1 == resps.size();
-      pending.reserve(pending.size() + resp.body.size() + 128);
-      pending += "HTTP/1.1 ";
-      pending += std::to_string(resp.status);
-      pending += ' ';
-      pending += HttpStatusText(resp.status);
-      pending += "\r\nContent-Type: ";
-      pending += resp.content_type;
-      pending += "\r\nContent-Length: ";
-      pending += std::to_string(resp.body.size());
-      pending += close_after && last ? "\r\nConnection: close\r\n\r\n"
-                                     : "\r\nConnection: keep-alive\r\n\r\n";
-      pending += resp.body;
+      append_response(resps[i], close_after && i + 1 == resps.size());
       // Bound the cork: a burst of large responses flushes eagerly.
       if (pending.size() > (1u << 20) && !flush().ok()) {
         write_failed = true;
@@ -220,6 +303,30 @@ void HttpServer::ServeConn(size_t slot) {
   std::lock_guard<std::mutex> lock(mu_);
   ::close(fd);
   fds_[slot] = -1;  // tell Stop() this fd is gone (avoid fd-reuse races)
+}
+
+void HttpServer::Drain(uint32_t grace_ms) {
+  if (listen_fd_ < 0) return;
+  drain_.store(true, std::memory_order_relaxed);
+  // Wake the acceptor; new connections are refused from here on.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(grace_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool live = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int fd : fds_) {
+        if (fd >= 0) {
+          live = true;
+          break;
+        }
+      }
+    }
+    if (!live) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Stop();  // joins threads; stragglers past the grace get a hard shutdown
 }
 
 void HttpServer::Stop() {

@@ -3,15 +3,22 @@
 // the ExpressionMatrix2-style embedded servers the ROADMAP grounds on —
 // enough to put a ServingDb behind curl and a closed-loop bench client,
 // not a general-purpose web server.
+//
+// Robustness: header/body sizes are capped (413 instead of unbounded
+// buffering), malformed framing is answered with a 400 and the connection
+// closed instead of spinning, idle keep-alive peers are reaped, and
+// Drain() stops accepting while letting in-flight requests finish.
 #ifndef PAIRWISEHIST_SERVE_HTTP_SERVER_H_
 #define PAIRWISEHIST_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -22,16 +29,35 @@ struct HttpRequest {
   std::string method;  ///< "GET", "POST", ...
   std::string path;    ///< request target without the query string
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// When the request was fully read off the socket (deadline bookkeeping).
+  std::chrono::steady_clock::time_point arrival;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (e.g. Retry-After on a 503).
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Standard reason phrase for a status code ("OK", "Bad Request", ...).
 const char* HttpStatusText(int status);
+
+struct HttpServerOptions {
+  /// Reap keep-alive connections idle longer than this. 0 = never.
+  uint32_t idle_timeout_ms = 30000;
+  /// SO_RCVTIMEO / SO_SNDTIMEO on accepted sockets — bounds how long a
+  /// single send to a stalled peer can block a connection thread. 0 = off.
+  uint32_t io_timeout_ms = 10000;
+  /// Max requests answered as one pipeline group (bounds per-connection
+  /// buffering; longer bursts are simply answered in several groups).
+  size_t max_pipeline_group = 64;
+};
 
 class HttpServer {
  public:
@@ -48,7 +74,8 @@ class HttpServer {
   using BatchHandler =
       std::function<std::vector<HttpResponse>(const std::vector<HttpRequest>&)>;
 
-  explicit HttpServer(Handler handler, BatchHandler batch_handler = nullptr);
+  explicit HttpServer(Handler handler, BatchHandler batch_handler = nullptr,
+                      HttpServerOptions options = {});
   ~HttpServer();  // Stop()s if still running
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
@@ -61,9 +88,23 @@ class HttpServer {
   uint16_t port() const { return port_; }
   bool running() const { return listen_fd_ >= 0; }
 
+  /// Graceful shutdown: stops accepting new connections, lets every
+  /// in-flight request finish and its response flush, then closes
+  /// connections as they go idle. Blocks up to `grace_ms` before falling
+  /// back to Stop()'s hard shutdown for stragglers. Idempotent with Stop.
+  void Drain(uint32_t grace_ms = 5000);
+
   /// Stops accepting, unblocks every connection thread and joins them.
   /// Idempotent.
   void Stop();
+
+  // Operational counters.
+  uint64_t idle_reaped() const {
+    return idle_reaped_.load(std::memory_order_relaxed);
+  }
+  uint64_t malformed_closed() const {
+    return malformed_closed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
@@ -71,9 +112,13 @@ class HttpServer {
 
   Handler handler_;
   BatchHandler batch_handler_;
+  HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> malformed_closed_{0};
   std::thread accept_thread_;
 
   /// Connection registry: fds_[i] pairs with conns_[i]; a thread clears

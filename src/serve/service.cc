@@ -1,12 +1,69 @@
 #include "serve/service.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "serve/json.h"
 #include "storage/csv.h"
 
 namespace pairwisehist {
+
+bool ServiceGate::Admit(bool is_append) {
+  if (is_append && limits_.max_inflight_appends > 0) {
+    uint32_t cur = inflight_appends_.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur >= limits_.max_inflight_appends) {
+        shed_appends_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (inflight_appends_.compare_exchange_weak(
+              cur, cur + 1, std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+  }
+  if (limits_.max_inflight > 0) {
+    uint32_t cur = inflight_.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur >= limits_.max_inflight) {
+        if (is_append && limits_.max_inflight_appends > 0) {
+          inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        (is_append ? shed_appends_ : shed_reads_)
+            .fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+  } else {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ServiceGate::Release(bool is_append) {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (is_append && limits_.max_inflight_appends > 0) {
+    inflight_appends_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+ServiceGate::Stats ServiceGate::stats() const {
+  Stats s;
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed_reads = shed_reads_.load(std::memory_order_relaxed);
+  s.shed_appends = shed_appends_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
 
 namespace {
 
@@ -14,9 +71,15 @@ int HttpCodeFor(const Status& st) {
   switch (st.code()) {
     case StatusCode::kInvalidArgument:
     case StatusCode::kNotFound:
-    case StatusCode::kOutOfRange:
     case StatusCode::kUnsupported:
     case StatusCode::kUnimplemented:
+      return 400;
+    case StatusCode::kOutOfRange:
+      return 413;
+    case StatusCode::kDataLoss:
+      // On the service surface DataLoss means the client's bytes were
+      // truncated/corrupt (e.g. a torn CSV or WAL codec reject) — client
+      // input, not a server fault.
       return 400;
     default:
       return 500;
@@ -41,6 +104,49 @@ HttpResponse SimpleError(int status, const std::string& msg) {
   AppendJsonString(&resp.body, msg);
   resp.body += "}";
   return resp;
+}
+
+HttpResponse ShedResponse(const ServiceGate* gate) {
+  HttpResponse resp = SimpleError(503, "over capacity, retry later");
+  const uint32_t ms = gate->limits().retry_after_ms;
+  const uint32_t secs = ms == 0 ? 1 : (ms + 999) / 1000;
+  resp.headers.emplace_back("Retry-After", std::to_string(secs));
+  return resp;
+}
+
+/// Per-request deadline bookkeeping: header > configured default > none.
+struct Deadline {
+  bool active = false;
+  std::chrono::steady_clock::time_point at;
+
+  static Deadline For(const HttpRequest& req, const ServiceGate* gate) {
+    Deadline d;
+    uint32_t ms = gate != nullptr ? gate->limits().default_deadline_ms : 0;
+    if (const std::string* h = req.FindHeader("X-Deadline-Ms")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(h->c_str(), &end, 10);
+      if (end != h->c_str() && *end == '\0') ms = static_cast<uint32_t>(v);
+    }
+    if (ms == 0) return d;
+    // Direct handler invocations (tests, shell) carry no arrival stamp;
+    // the deadline then starts now rather than at the clock's epoch.
+    const auto base =
+        req.arrival == std::chrono::steady_clock::time_point{}
+            ? std::chrono::steady_clock::now()
+            : req.arrival;
+    d.active = true;
+    d.at = base + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool Expired() const {
+    return active && std::chrono::steady_clock::now() >= at;
+  }
+};
+
+HttpResponse DeadlineResponse(ServiceGate* gate) {
+  if (gate != nullptr) gate->CountTimeout();
+  return SimpleError(408, "deadline expired before execution");
 }
 
 HttpResponse HandleQuery(ServingDb* db, const HttpRequest& req) {
@@ -143,11 +249,15 @@ Table CoerceToSchema(
   return out;
 }
 
-HttpResponse HandleAppend(ServingDb* db, const HttpRequest& req) {
+HttpResponse HandleAppend(ServingDb* db, const HttpRequest& req,
+                          ServiceGate* gate, const Deadline& deadline) {
   StatusOr<Table> parsed = ParseCsv(req.body, "append");
   if (!parsed.ok()) return ErrorResponse(parsed.status());
   const Table batch = CoerceToSchema(std::move(parsed).value(),
                                      db->snapshot()->db.AppendSchema());
+  // Parsing a large CSV can consume the whole budget; don't start the
+  // expensive (and durable) build for a client that already gave up.
+  if (deadline.Expired()) return DeadlineResponse(gate);
   Status st = db->Append(batch);
   if (!st.ok()) return ErrorResponse(st);
   ServingStats stats = db->Stats();
@@ -162,7 +272,7 @@ HttpResponse HandleAppend(ServingDb* db, const HttpRequest& req) {
   return resp;
 }
 
-HttpResponse HandleStats(ServingDb* db) {
+HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
   const ServingStats s = db->Stats();
   HttpResponse resp;
   std::string& b = resp.body;
@@ -180,11 +290,34 @@ HttpResponse HandleStats(ServingDb* db) {
   b += ",\"cache_entries\":" + std::to_string(s.cache_entries);
   b += ",\"appends\":" + std::to_string(s.appends);
   b += ",\"errors\":" + std::to_string(s.errors);
+  b += ",\"durable\":";
+  b += s.durable ? "true" : "false";
+  if (s.durable) {
+    b += ",\"wal_records\":" + std::to_string(s.wal_records);
+    b += ",\"wal_bytes\":" + std::to_string(s.wal_bytes);
+    b += ",\"wal_fsyncs\":" + std::to_string(s.wal_fsyncs);
+    b += ",\"last_checkpoint_epoch\":" +
+         std::to_string(s.last_checkpoint_epoch);
+    b += ",\"checkpoints\":" + std::to_string(s.checkpoints);
+    b += ",\"recovered_records\":" + std::to_string(s.recovered_records);
+    b += ",\"recovered_rows\":" + std::to_string(s.recovered_rows);
+    b += ",\"recovery_tail_truncated\":";
+    b += s.recovery_tail_truncated ? "true" : "false";
+  }
+  if (gate != nullptr) {
+    const ServiceGate::Stats g = gate->stats();
+    b += ",\"inflight\":" + std::to_string(g.inflight);
+    b += ",\"admitted\":" + std::to_string(g.admitted);
+    b += ",\"shed_reads\":" + std::to_string(g.shed_reads);
+    b += ",\"shed_appends\":" + std::to_string(g.shed_appends);
+    b += ",\"timeouts\":" + std::to_string(g.timeouts);
+  }
   b += "}";
   return resp;
 }
 
-HttpResponse HandleRequest(ServingDb* db, const HttpRequest& req) {
+HttpResponse Dispatch(ServingDb* db, const HttpRequest& req,
+                      ServiceGate* gate, const Deadline& deadline) {
   if (req.path == "/query") {
     if (req.method != "POST") return SimpleError(405, "use POST /query");
     return HandleQuery(db, req);
@@ -195,33 +328,55 @@ HttpResponse HandleRequest(ServingDb* db, const HttpRequest& req) {
   }
   if (req.path == "/append") {
     if (req.method != "POST") return SimpleError(405, "use POST /append");
-    return HandleAppend(db, req);
+    return HandleAppend(db, req, gate, deadline);
   }
   if (req.path == "/stats") {
     if (req.method != "GET") return SimpleError(405, "use GET /stats");
-    return HandleStats(db);
+    return HandleStats(db, gate);
   }
   return SimpleError(404, "unknown endpoint '" + req.path +
                               "' (try /query /batch /append /stats)");
 }
 
+/// Admission + deadline wrapper around Dispatch. /stats is never gated:
+/// the operator's view must stay reachable during the overload it exists
+/// to diagnose.
+HttpResponse HandleRequest(ServingDb* db, const HttpRequest& req,
+                           ServiceGate* gate) {
+  if (gate == nullptr || req.path == "/stats") {
+    return Dispatch(db, req, gate, Deadline{});
+  }
+  const Deadline deadline = Deadline::For(req, gate);
+  if (deadline.Expired()) return DeadlineResponse(gate);
+  const bool is_append = req.path == "/append";
+  if (!gate->Admit(is_append)) return ShedResponse(gate);
+  Status injected = failpoint::Fire("service.handle").status;
+  HttpResponse resp = injected.ok() ? Dispatch(db, req, gate, deadline)
+                                    : ErrorResponse(injected);
+  gate->Release(is_append);
+  return resp;
+}
+
 }  // namespace
 
-HttpServer::Handler MakeServingHandler(ServingDb* db) {
-  return [db](const HttpRequest& req) -> HttpResponse {
-    return HandleRequest(db, req);
+HttpServer::Handler MakeServingHandler(ServingDb* db, ServiceGate* gate) {
+  return [db, gate](const HttpRequest& req) -> HttpResponse {
+    return HandleRequest(db, req, gate);
   };
 }
 
-HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db) {
-  return [db](const std::vector<HttpRequest>& reqs)
+HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
+                                                 ServiceGate* gate) {
+  return [db, gate](const std::vector<HttpRequest>& reqs)
              -> std::vector<HttpResponse> {
     std::vector<HttpResponse> out(reqs.size());
     // Well-formed /query statements in the group coalesce into one
     // QueryBatch on this thread (the pipelined-burst analogue of the
     // cross-connection ReadCoalescer); everything else — other
     // endpoints, bad bodies — takes the single-request path, producing
-    // byte-identical responses to unpipelined traffic.
+    // byte-identical responses to unpipelined traffic. Admission is
+    // per-request: shed requests answer 503 while their well-behaved
+    // pipeline neighbors still execute.
     std::vector<size_t> qidx;
     std::vector<std::string> sqls;
     const bool coalesce = db->options().coalesce;
@@ -232,15 +387,26 @@ HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db) {
         const JsonValue* sql =
             doc.ok() ? doc.value().Find("sql") : nullptr;
         if (sql != nullptr && sql->type == JsonValue::Type::kString) {
+          if (gate != nullptr) {
+            const Deadline deadline = Deadline::For(req, gate);
+            if (deadline.Expired()) {
+              out[i] = DeadlineResponse(gate);
+              continue;
+            }
+            if (!gate->Admit(/*is_append=*/false)) {
+              out[i] = ShedResponse(gate);
+              continue;
+            }
+          }
           qidx.push_back(i);
           sqls.push_back(sql->str);
           continue;
         }
       }
-      out[i] = HandleRequest(db, req);
+      out[i] = HandleRequest(db, req, gate);
     }
     if (sqls.size() == 1) {
-      out[qidx[0]] = HandleRequest(db, reqs[qidx[0]]);
+      out[qidx[0]] = Dispatch(db, reqs[qidx[0]], gate, Deadline{});
     } else if (!sqls.empty()) {
       std::vector<QueryResult> results;
       std::vector<Status> statement_status;
@@ -259,6 +425,11 @@ HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db) {
         AppendQueryResult(&resp.body, results[j]);
         resp.body += "}";
         out[qidx[j]] = std::move(resp);
+      }
+    }
+    if (gate != nullptr) {
+      for (size_t j = 0; j < qidx.size(); ++j) {
+        gate->Release(/*is_append=*/false);
       }
     }
     return out;

@@ -9,26 +9,87 @@
 // Errors: {"error":"...","code":"..."} with 400 (bad input), 404, 405 or
 // 500 (internal). Per-statement /batch failures are inline
 // {"error":...} objects; the call itself still returns 200.
+//
+// Overload behavior (when a ServiceGate is installed): requests beyond
+// the in-flight budget are shed with 503 + Retry-After, appends first
+// (reads stay useful under a write flood); a request whose deadline —
+// X-Deadline-Ms header or the configured default — expired answers 408
+// without executing.
 #ifndef PAIRWISEHIST_SERVE_SERVICE_H_
 #define PAIRWISEHIST_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
 
 #include "serve/http_server.h"
 #include "serve/serving_db.h"
 
 namespace pairwisehist {
 
-/// Builds the request handler. `db` must outlive the returned handler
-/// (and any HttpServer it is installed into).
-HttpServer::Handler MakeServingHandler(ServingDb* db);
+struct ServiceLimits {
+  /// Total concurrently executing requests. 0 = unlimited.
+  uint32_t max_inflight = 0;
+  /// Concurrently executing /append requests — a smaller budget than
+  /// max_inflight so writes shed before reads. 0 = no separate cap.
+  uint32_t max_inflight_appends = 0;
+  /// Applied when a request carries no X-Deadline-Ms. 0 = no deadline.
+  uint32_t default_deadline_ms = 0;
+  /// Advertised in the Retry-After header of a 503 (rounded up to whole
+  /// seconds, minimum 1, per the HTTP header's granularity).
+  uint32_t retry_after_ms = 250;
+};
+
+/// Admission control shared by every connection thread. All methods are
+/// thread-safe; Admit/Release pair per request.
+class ServiceGate {
+ public:
+  explicit ServiceGate(ServiceLimits limits = {}) : limits_(limits) {}
+
+  /// True = admitted (caller must Release). False = shed: the matching
+  /// counter is bumped and the caller answers 503.
+  bool Admit(bool is_append);
+  void Release(bool is_append);
+
+  const ServiceLimits& limits() const { return limits_; }
+  void CountTimeout() {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    uint32_t inflight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed_reads = 0;
+    uint64_t shed_appends = 0;
+    uint64_t timeouts = 0;
+  };
+  Stats stats() const;
+
+ private:
+  ServiceLimits limits_;
+  std::atomic<uint32_t> inflight_{0};
+  std::atomic<uint32_t> inflight_appends_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_reads_{0};
+  std::atomic<uint64_t> shed_appends_{0};
+  std::atomic<uint64_t> timeouts_{0};
+};
+
+/// Builds the request handler. `db` (and `gate`, when given) must outlive
+/// the returned handler (and any HttpServer it is installed into). With a
+/// null gate there is no admission control or deadline enforcement — the
+/// pre-robustness behavior.
+HttpServer::Handler MakeServingHandler(ServingDb* db,
+                                       ServiceGate* gate = nullptr);
 
 /// Builds the pipelining-aware group handler: consecutive POST /query
 /// requests in a pipelined burst coalesce into one batch execution on
 /// the connection's own thread when `db` has coalescing enabled (other
 /// requests, and all traffic with coalescing off, fall back to the
 /// single-request path with byte-identical responses). Install alongside
-/// MakeServingHandler: HttpServer(MakeServingHandler(db),
-/// MakeServingBatchHandler(db)).
-HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db);
+/// MakeServingHandler: HttpServer(MakeServingHandler(db, gate),
+/// MakeServingBatchHandler(db, gate)).
+HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
+                                                 ServiceGate* gate = nullptr);
 
 }  // namespace pairwisehist
 

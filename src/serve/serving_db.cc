@@ -1,12 +1,87 @@
 #include "serve/serving_db.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace pairwisehist {
 
-ServingDb::ServingDb(Db db, ServingOptions options)
+namespace {
+
+constexpr char kWalFile[] = "wal.log";
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".pws2";
+
+std::string CheckpointPath(const std::string& dir, uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(epoch));
+  return dir + "/" + kCheckpointPrefix + buf + kCheckpointSuffix;
+}
+
+/// Checkpoint epochs present in `dir`, ascending. Missing dir = empty.
+std::vector<uint64_t> ListCheckpoints(const std::string& dir) {
+  std::vector<uint64_t> epochs;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return epochs;
+  const size_t prefix_len = std::strlen(kCheckpointPrefix);
+  const size_t suffix_len = std::strlen(kCheckpointSuffix);
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len,
+                     kCheckpointSuffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size()) continue;
+    epochs.push_back(v);
+  }
+  ::closedir(d);
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Internal("ServingDb: mkdir '" + dir +
+                          "' failed: " + std::strerror(errno));
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("ServingDb: open-for-fsync '" + path +
+                            "' failed: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("ServingDb: fsync '" + path +
+                            "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ServingDb::ServingDb(Db db, ServingOptions options, uint64_t start_epoch)
     : options_(options),
-      snapshot_(std::make_shared<DbSnapshot>(std::move(db), /*epoch=*/0)),
+      snapshot_(std::make_shared<DbSnapshot>(std::move(db), start_epoch)),
       cache_(options.plan_cache_capacity, options.plan_cache_shards) {
   if (options_.coalesce) {
     coalescer_ = std::make_unique<ReadCoalescer>(
@@ -14,6 +89,140 @@ ServingDb::ServingDb(Db db, ServingOptions options)
           ExecuteGroup(group);
         },
         options_.coalesce_window_us);
+  }
+}
+
+ServingDb::~ServingDb() {
+  if (checkpointer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(cp_mu_);
+      cp_stop_ = true;
+    }
+    cp_cv_.notify_all();
+    checkpointer_.join();
+  }
+  // Interval-fsync mode may hold acknowledged-but-unsynced bytes; a clean
+  // shutdown should not lose them.
+  if (wal_ != nullptr) (void)wal_->Sync();
+}
+
+StatusOr<std::unique_ptr<ServingDb>> ServingDb::CreateDurable(
+    Db db, ServingOptions options) {
+  const std::string& dir = options.durability.dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "ServingDb::CreateDurable: durability.dir is empty");
+  }
+  PH_RETURN_IF_ERROR(EnsureDir(dir));
+  if (!ListCheckpoints(dir).empty()) {
+    return Status::InvalidArgument(
+        "ServingDb::CreateDurable: '" + dir +
+        "' already holds serving state; use Recover()");
+  }
+  // The epoch-0 checkpoint is the recovery base: WAL replay needs a
+  // checkpoint to re-append onto.
+  const std::string path = CheckpointPath(dir, 0);
+  const std::string tmp = path + ".tmp";
+  PH_RETURN_IF_ERROR(db.Save(tmp));
+  PH_RETURN_IF_ERROR(FsyncPath(tmp));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("ServingDb: rename checkpoint failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  PH_RETURN_IF_ERROR(FsyncPath(dir));
+
+  auto sdb = std::unique_ptr<ServingDb>(
+      new ServingDb(std::move(db), options, /*start_epoch=*/0));
+  PH_RETURN_IF_ERROR(sdb->InitDurable(RecoveryInfo{}));
+  return sdb;
+}
+
+StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
+    ServingOptions options, AqpEngineOptions engine) {
+  const std::string& dir = options.durability.dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "ServingDb::Recover: durability.dir is empty");
+  }
+  const std::vector<uint64_t> checkpoints = ListCheckpoints(dir);
+  if (checkpoints.empty()) {
+    return Status::NotFound("ServingDb::Recover: no checkpoint in '" + dir +
+                            "'");
+  }
+  const uint64_t ckpt_epoch = checkpoints.back();
+  PH_ASSIGN_OR_RETURN(Db db,
+                      Db::Open(CheckpointPath(dir, ckpt_epoch), engine));
+
+  RecoveryInfo info;
+  info.checkpoint_epoch = ckpt_epoch;
+  uint64_t epoch = ckpt_epoch;
+  // Replay the WAL tail. Records at or below the checkpoint epoch are
+  // already inside the checkpoint (a crash between checkpoint-rename and
+  // WAL-truncate leaves them behind) and are skipped by epoch.
+  PH_ASSIGN_OR_RETURN(
+      Wal::ReplayResult replay,
+      Wal::Replay(dir + "/" + kWalFile,
+                  [&](const uint8_t* data, size_t size) -> Status {
+                    PH_ASSIGN_OR_RETURN(WalBatch wb,
+                                        DecodeWalBatch(data, size));
+                    ++info.wal_records;
+                    if (wb.epoch <= ckpt_epoch) return Status::OK();
+                    PH_RETURN_IF_ERROR(
+                        failpoint::Fire("recovery.replay").status);
+                    if (wb.epoch != epoch + 1) {
+                      return Status::DataLoss(
+                          "ServingDb::Recover: WAL epoch gap (have " +
+                          std::to_string(epoch) + ", next record " +
+                          std::to_string(wb.epoch) + ")");
+                    }
+                    PH_ASSIGN_OR_RETURN(Db next, db.WithAppended(wb.batch));
+                    db = std::move(next);
+                    epoch = wb.epoch;
+                    ++info.wal_records_applied;
+                    info.rows_recovered += wb.batch.NumRows();
+                    return Status::OK();
+                  }));
+  info.tail_truncated = replay.tail_truncated;
+
+  auto sdb = std::unique_ptr<ServingDb>(
+      new ServingDb(std::move(db), options, epoch));
+  PH_RETURN_IF_ERROR(sdb->InitDurable(info));
+  return sdb;
+}
+
+Status ServingDb::InitDurable(const RecoveryInfo& recovered) {
+  recovery_ = recovered;
+  last_checkpoint_epoch_.store(recovered.checkpoint_epoch,
+                               std::memory_order_relaxed);
+  WalOptions wopts;
+  wopts.fsync = options_.durability.fsync;
+  wopts.fsync_interval_ms = options_.durability.fsync_interval_ms;
+  PH_ASSIGN_OR_RETURN(Wal wal,
+                      Wal::Open(options_.durability.dir + "/" + kWalFile,
+                                wopts));
+  wal_ = std::make_unique<Wal>(std::move(wal));
+  if (options_.durability.checkpoint_interval_ms > 0) {
+    checkpointer_ = std::thread([this] { CheckpointerLoop(); });
+  }
+  return Status::OK();
+}
+
+void ServingDb::CheckpointerLoop() {
+  std::unique_lock<std::mutex> lock(cp_mu_);
+  const auto interval =
+      std::chrono::milliseconds(options_.durability.checkpoint_interval_ms);
+  while (!cp_stop_) {
+    cp_cv_.wait_for(lock, interval, [this] { return cp_stop_; });
+    if (cp_stop_) return;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> append_lock(append_mu_);
+      if (appends_since_checkpoint_ >=
+          options_.durability.checkpoint_min_appends) {
+        (void)CheckpointLocked();  // failure leaves the WAL authoritative
+      }
+    }
+    lock.lock();
   }
 }
 
@@ -171,13 +380,61 @@ Status ServingDb::Append(const Table& batch) {
   std::lock_guard<std::mutex> lock(append_mu_);
   std::shared_ptr<DbSnapshot> cur = Load();
   if (cur == nullptr) return Status::Internal("ServingDb: no snapshot");
+  PH_RETURN_IF_ERROR(failpoint::Fire("serve.append.build").status);
   // The expensive part — canonicalization + synopsis build for the new
   // segments — runs here with no lock but append_mu_ held; readers keep
   // serving the current snapshot throughout.
   PH_ASSIGN_OR_RETURN(Db next, cur->db.WithAppended(batch));
-  auto fresh = std::make_shared<DbSnapshot>(std::move(next), cur->epoch + 1);
+  const uint64_t next_epoch = cur->epoch + 1;
+  if (wal_ != nullptr) {
+    // Durability point: once Append() returns, the record is on disk (per
+    // the fsync policy). A crash before this leaves no trace; a crash
+    // after it re-creates the batch on recovery even if the client never
+    // saw the ack (acknowledged ⊆ recovered).
+    PH_RETURN_IF_ERROR(wal_->Append(EncodeWalBatch(next_epoch, batch)));
+    PH_RETURN_IF_ERROR(failpoint::Fire("wal.append.acked").status);
+  }
+  auto fresh = std::make_shared<DbSnapshot>(std::move(next), next_epoch);
   std::atomic_store_explicit(&snapshot_, fresh, std::memory_order_release);
   appends_.fetch_add(1, std::memory_order_relaxed);
+  ++appends_since_checkpoint_;
+  return Status::OK();
+}
+
+Status ServingDb::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::Unsupported("ServingDb::Checkpoint: not durable");
+  }
+  std::lock_guard<std::mutex> lock(append_mu_);
+  return CheckpointLocked();
+}
+
+Status ServingDb::CheckpointLocked() {
+  std::shared_ptr<DbSnapshot> cur = Load();
+  if (cur == nullptr) return Status::Internal("ServingDb: no snapshot");
+  const std::string& dir = options_.durability.dir;
+  const std::string path = CheckpointPath(dir, cur->epoch);
+  const std::string tmp = path + ".tmp";
+
+  PH_RETURN_IF_ERROR(failpoint::Fire("checkpoint.save").status);
+  PH_RETURN_IF_ERROR(cur->db.Save(tmp));
+  PH_RETURN_IF_ERROR(FsyncPath(tmp));
+  PH_RETURN_IF_ERROR(failpoint::Fire("checkpoint.rename").status);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("ServingDb: rename checkpoint failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  PH_RETURN_IF_ERROR(FsyncPath(dir));
+  // The checkpoint is now the recovery base. A crash before the truncate
+  // below is harmless: replay skips WAL records with epoch <= cur->epoch.
+  PH_RETURN_IF_ERROR(failpoint::Fire("checkpoint.truncate_wal").status);
+  PH_RETURN_IF_ERROR(wal_->Truncate());
+  for (uint64_t old : ListCheckpoints(dir)) {
+    if (old < cur->epoch) ::unlink(CheckpointPath(dir, old).c_str());
+  }
+  appends_since_checkpoint_ = 0;
+  last_checkpoint_epoch_.store(cur->epoch, std::memory_order_relaxed);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -203,10 +460,27 @@ ServingStats ServingDb::Stats() const {
   s.cache_entries = cache_.size();
   s.appends = appends_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  if (wal_ != nullptr) {
+    s.durable = true;
+    s.wal_records = wal_->records_written();
+    s.wal_bytes = wal_->bytes_written();
+    s.wal_fsyncs = wal_->fsyncs();
+    s.last_checkpoint_epoch =
+        last_checkpoint_epoch_.load(std::memory_order_relaxed);
+    s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    s.recovered_records = recovery_.wal_records_applied;
+    s.recovered_rows = recovery_.rows_recovered;
+    s.recovery_tail_truncated = recovery_.tail_truncated;
+  }
   return s;
 }
 
 StatusOr<Db> ServingDb::TakeDb() {
+  if (wal_ != nullptr) {
+    return Status::Unsupported(
+        "ServingDb::TakeDb: durable serving owns its on-disk state; "
+        "checkpoint and Recover() instead");
+  }
   std::lock_guard<std::mutex> lock(append_mu_);
   cache_.Clear();
   std::shared_ptr<DbSnapshot> cur =

@@ -13,6 +13,13 @@
 //    refcounted away when the last in-flight reader and cached plan drop
 //    them.
 //
+// Durability (opt-in via ServingOptions::durability.dir): every append is
+// framed into a write-ahead log and fsynced per policy BEFORE the new
+// snapshot is published, so an acknowledged append survives a crash. A
+// background checkpointer periodically persists the full synopsis as
+// checkpoint-<epoch>.pws2 (tmp + fsync + rename) and truncates the WAL;
+// Recover() reopens the newest checkpoint and replays the WAL tail.
+//
 // Repeated statements hit a sharded LRU plan cache (serve/plan_cache.h);
 // concurrent point reads are group-committed into Db batch execution by a
 // read coalescer (serve/coalescer.h), which turns grid-sharing dashboard
@@ -22,17 +29,37 @@
 #define PAIRWISEHIST_SERVE_SERVING_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/coalescer.h"
 #include "serve/plan_cache.h"
 #include "serve/snapshot.h"
+#include "storage/wal.h"
 
 namespace pairwisehist {
+
+/// Crash-safety knobs. An empty `dir` means in-memory serving (the
+/// pre-durability behavior, and still the default).
+struct DurabilityOptions {
+  /// Directory holding wal.log + checkpoint-<epoch>.pws2 files.
+  std::string dir;
+  /// WAL fsync policy: when an append is acknowledged relative to the
+  /// bytes being on stable storage (see WalOptions::Fsync).
+  WalOptions::Fsync fsync = WalOptions::Fsync::kAlways;
+  uint32_t fsync_interval_ms = 20;
+  /// Background checkpoint cadence. 0 = only explicit Checkpoint() calls
+  /// (and the one a graceful shutdown takes).
+  uint32_t checkpoint_interval_ms = 0;
+  /// Skip a periodic checkpoint when fewer than this many appends landed
+  /// since the last one (avoids rewriting an unchanged synopsis).
+  uint64_t checkpoint_min_appends = 1;
+};
 
 struct ServingOptions {
   /// Group concurrent point queries into batch execution. Off = every
@@ -45,6 +72,16 @@ struct ServingOptions {
   /// Prepared-plan cache size (entries) and shard count.
   size_t plan_cache_capacity = 1024;
   size_t plan_cache_shards = 8;
+  DurabilityOptions durability;
+};
+
+/// What Recover() found on disk.
+struct RecoveryInfo {
+  uint64_t checkpoint_epoch = 0;   ///< epoch of the checkpoint opened
+  uint64_t wal_records = 0;        ///< valid WAL records read
+  uint64_t wal_records_applied = 0;///< records with epoch > checkpoint
+  uint64_t rows_recovered = 0;     ///< rows re-appended from the WAL
+  bool tail_truncated = false;     ///< a torn final record was dropped
 };
 
 /// A point-in-time counter dump (see ServingDb::Stats).
@@ -63,17 +100,46 @@ struct ServingStats {
   uint64_t cache_entries = 0;
   uint64_t appends = 0;
   uint64_t errors = 0;
+  // Durability (all zero when serving in-memory).
+  bool durable = false;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t last_checkpoint_epoch = 0;
+  uint64_t checkpoints = 0;
+  uint64_t recovered_records = 0;
+  uint64_t recovered_rows = 0;
+  bool recovery_tail_truncated = false;
 };
 
 class ServingDb {
  public:
-  /// Takes ownership of `db` as epoch 0. The Db should use the built-in
-  /// engine (backends execute uncoalesced) and AppendMode::kSealSegment
-  /// (Append returns Unsupported otherwise, see Db::WithAppended).
-  explicit ServingDb(Db db, ServingOptions options = {});
+  /// Takes ownership of `db` as epoch `start_epoch` (in-memory serving;
+  /// durability options in `options` are ignored — use CreateDurable).
+  /// The Db should use the built-in engine (backends execute uncoalesced)
+  /// and AppendMode::kSealSegment (Append returns Unsupported otherwise,
+  /// see Db::WithAppended).
+  explicit ServingDb(Db db, ServingOptions options = {},
+                     uint64_t start_epoch = 0);
+  ~ServingDb();
 
   ServingDb(const ServingDb&) = delete;
   ServingDb& operator=(const ServingDb&) = delete;
+
+  /// Durable serving over a FRESH database: writes the epoch-0 checkpoint
+  /// and an empty WAL into durability.dir (which must not already hold
+  /// serving state — use Recover for that), then serves. Every subsequent
+  /// Append is WAL-logged before it is acknowledged.
+  static StatusOr<std::unique_ptr<ServingDb>> CreateDurable(
+      Db db, ServingOptions options);
+
+  /// Durable serving resumed from durability.dir: opens the newest
+  /// checkpoint, replays the WAL tail (records beyond the checkpoint
+  /// epoch), and serves from the recovered state. A torn final WAL record
+  /// — the signature of a crash mid-append — is truncated and reported in
+  /// recovery_info(); corruption anywhere else is an error.
+  static StatusOr<std::unique_ptr<ServingDb>> Recover(
+      ServingOptions options, AqpEngineOptions engine = {});
 
   /// The current snapshot (wait-free atomic load). Holding the returned
   /// pointer pins that epoch — including across subsequent appends.
@@ -95,15 +161,26 @@ class ServingDb {
                     uint64_t* epoch = nullptr);
 
   /// Builds and publishes the successor snapshot containing `batch`.
-  /// Serialized with other appends; never blocks readers.
+  /// Serialized with other appends; never blocks readers. Under
+  /// durability the order is: build successor → WAL append + fsync →
+  /// publish → return OK; a crash anywhere before the WAL write leaves no
+  /// trace, after it the batch is recovered (acknowledged ⊆ recovered).
   Status Append(const Table& batch);
+
+  /// Persists the current snapshot as checkpoint-<epoch>.pws2 and
+  /// truncates the WAL (durable mode only; Unsupported otherwise). Blocks
+  /// concurrent appends for the duration; readers are unaffected.
+  Status Checkpoint();
 
   ServingStats Stats() const;
   const ServingOptions& options() const { return options_; }
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  bool durable() const { return wal_ != nullptr; }
 
   /// Moves the Db back out (for aqp_shell's `.serve` round-trip). Fails
   /// unless all traffic has stopped: the plan cache is cleared, and no
-  /// outstanding snapshot() reference may remain.
+  /// outstanding snapshot() reference may remain. Unsupported in durable
+  /// mode (the on-disk state, not the in-memory Db, is the artifact).
   StatusOr<Db> TakeDb();
 
  private:
@@ -112,13 +189,29 @@ class ServingDb {
   Status QueryUncoalesced(const std::string& sql, QueryResult* result,
                           uint64_t* epoch);
   std::shared_ptr<DbSnapshot> Load() const;
+  /// Opens the WAL + starts the checkpointer. `recovered` seeds recovery_.
+  Status InitDurable(const RecoveryInfo& recovered);
+  /// Checkpoint body; append_mu_ must be held.
+  Status CheckpointLocked();
+  void CheckpointerLoop();
 
   ServingOptions options_;
   /// Accessed only via std::atomic_load / std::atomic_store.
   std::shared_ptr<DbSnapshot> snapshot_;
-  std::mutex append_mu_;  ///< serializes Append / TakeDb
+  std::mutex append_mu_;  ///< serializes Append / Checkpoint / TakeDb
   PlanCache cache_;
   std::unique_ptr<ReadCoalescer> coalescer_;
+
+  // Durability state (null/empty when serving in-memory).
+  std::unique_ptr<Wal> wal_;
+  RecoveryInfo recovery_;
+  uint64_t appends_since_checkpoint_ = 0;  ///< guarded by append_mu_
+  std::atomic<uint64_t> last_checkpoint_epoch_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::thread checkpointer_;
+  std::mutex cp_mu_;
+  std::condition_variable cp_cv_;
+  bool cp_stop_ = false;
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};

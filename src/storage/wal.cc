@@ -1,0 +1,395 @@
+#include "storage/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/serialize.h"
+
+namespace pairwisehist {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+constexpr uint8_t kWalBatchVersion = 1;
+/// Frames larger than this are rejected as corrupt rather than allocated.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// write() the whole buffer, retrying EINTR and short writes.
+Status WriteAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("WAL: write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(std::string("WAL: fsync failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+StatusOr<WalOptions::Fsync> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return WalOptions::Fsync::kAlways;
+  if (name == "interval") return WalOptions::Fsync::kInterval;
+  if (name == "never") return WalOptions::Fsync::kNever;
+  return Status::InvalidArgument("bad fsync policy '" + name +
+                                 "' (always|interval|never)");
+}
+
+const char* FsyncPolicyName(WalOptions::Fsync policy) {
+  switch (policy) {
+    case WalOptions::Fsync::kAlways: return "always";
+    case WalOptions::Fsync::kInterval: return "interval";
+    case WalOptions::Fsync::kNever: return "never";
+  }
+  return "?";
+}
+
+StatusOr<Wal> Wal::Open(const std::string& path, WalOptions options) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("WAL: cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  Wal wal;
+  wal.path_ = path;
+  wal.fd_ = fd;
+  wal.options_ = options;
+  wal.last_sync_ = std::chrono::steady_clock::now();
+  return wal;
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      options_(other.options_),
+      last_sync_(other.last_sync_),
+      bytes_written_(other.bytes_written_.load(std::memory_order_relaxed)),
+      records_written_(
+          other.records_written_.load(std::memory_order_relaxed)),
+      fsyncs_(other.fsyncs_.load(std::memory_order_relaxed)) {
+  other.fd_ = -1;
+}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    options_ = other.options_;
+    last_sync_ = other.last_sync_;
+    bytes_written_.store(other.bytes_written_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    records_written_.store(
+        other.records_written_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    fsyncs_.store(other.fsyncs_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(const std::vector<uint8_t>& payload) {
+  if (fd_ < 0) return Status::Internal("WAL: not open");
+  if (payload.empty() || payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("WAL: bad payload size " +
+                                   std::to_string(payload.size()));
+  }
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
+  if (start < 0) {
+    return Status::Internal(std::string("WAL: lseek failed: ") +
+                            std::strerror(errno));
+  }
+
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+              payload.size());
+
+  Status st;
+  const failpoint::Injection inj = failpoint::Fire("wal.append.write");
+  if (inj.partial) {
+    // Torn-tail producer: half the frame reaches the file, then the
+    // process dies exactly as a mid-write crash would leave it.
+    (void)WriteAll(fd_, frame.data(), frame.size() / 2);
+    failpoint::CrashNow();
+  }
+  st = inj.status;
+  if (st.ok()) st = WriteAll(fd_, frame.data(), frame.size());
+  if (st.ok()) {
+    const failpoint::Injection sync_inj = failpoint::Fire("wal.append.sync");
+    st = sync_inj.status;
+    if (st.ok()) {
+      switch (options_.fsync) {
+        case WalOptions::Fsync::kAlways:
+          st = Sync();
+          break;
+        case WalOptions::Fsync::kInterval: {
+          const auto now = std::chrono::steady_clock::now();
+          if (now - last_sync_ >=
+              std::chrono::milliseconds(options_.fsync_interval_ms)) {
+            st = Sync();
+          }
+          break;
+        }
+        case WalOptions::Fsync::kNever:
+          break;
+      }
+    }
+  }
+  if (!st.ok()) {
+    // Repair: a NACKed append must not leave torn bytes that would corrupt
+    // the frame stream for subsequent (acknowledged) records.
+    (void)::ftruncate(fd_, start);
+    return st;
+  }
+  bytes_written_.fetch_add(frame.size(), std::memory_order_relaxed);
+  records_written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::Internal("WAL: not open");
+  PH_RETURN_IF_ERROR(FsyncFd(fd_));
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (fd_ < 0) return Status::Internal("WAL: not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(std::string("WAL: ftruncate failed: ") +
+                            std::strerror(errno));
+  }
+  return Sync();
+}
+
+StatusOr<Wal::ReplayResult> Wal::Replay(
+    const std::string& path,
+    const std::function<Status(const uint8_t*, size_t)>& cb) {
+  ReplayResult result;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return result;  // no WAL yet = empty log
+    return Status::Internal("WAL: cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+
+  // Read the whole file (synopsis-scale WALs are KBs–MBs by design).
+  std::vector<uint8_t> data;
+  {
+    struct stat sb;
+    if (::fstat(fd, &sb) != 0) {
+      ::close(fd);
+      return Status::Internal("WAL: fstat failed");
+    }
+    data.resize(static_cast<size_t>(sb.st_size));
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::read(fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::Internal("WAL: read failed");
+      }
+      if (n == 0) break;  // raced a concurrent truncate; treat as EOF
+      off += static_cast<size_t>(n);
+    }
+    data.resize(off);
+  }
+
+  size_t pos = 0;
+  size_t valid_end = 0;
+  Status bad = Status::OK();
+  while (pos < data.size()) {
+    uint32_t len = 0, crc = 0;
+    if (pos + kFrameHeaderBytes > data.size()) {
+      bad = Status::DataLoss("WAL: torn frame header");
+      break;
+    }
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    if (len == 0 || len > kMaxPayloadBytes ||
+        pos + kFrameHeaderBytes + len > data.size()) {
+      bad = Status::DataLoss("WAL: torn or oversized record");
+      break;
+    }
+    const uint8_t* payload = data.data() + pos + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      bad = Status::DataLoss("WAL: CRC mismatch");
+      break;
+    }
+    Status cb_st = cb(payload, len);
+    if (!cb_st.ok()) {
+      ::close(fd);
+      return cb_st;
+    }
+    ++result.records;
+    result.bytes += len;
+    pos += kFrameHeaderBytes + len;
+    valid_end = pos;
+  }
+
+  if (!bad.ok()) {
+    // Distinguish crash-shaped tail damage from mid-file corruption: a torn
+    // header/payload only happens at literal EOF, and a CRC break is tail
+    // damage only if nothing follows the bad record's claimed extent.
+    bool is_tail = true;
+    if (bad.message().find("CRC") != std::string::npos) {
+      uint32_t len = 0;
+      std::memcpy(&len, data.data() + valid_end, 4);
+      is_tail = valid_end + kFrameHeaderBytes + len >= data.size();
+    }
+    if (!is_tail) {
+      ::close(fd);
+      return Status::DataLoss(bad.message() +
+                              " mid-file (valid data follows; refusing to "
+                              "drop acknowledged records)");
+    }
+    if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      ::close(fd);
+      return Status::Internal("WAL: cannot truncate torn tail");
+    }
+    (void)::fsync(fd);
+    result.tail_truncated = true;
+  }
+  ::close(fd);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Batch payload codec.
+
+std::vector<uint8_t> EncodeWalBatch(uint64_t epoch, const Table& batch) {
+  ByteWriter w;
+  w.WriteU8(kWalBatchVersion);
+  w.WriteU64(epoch);
+  w.WriteString(batch.name());
+  w.WriteVarint(batch.NumColumns());
+  for (size_t c = 0; c < batch.NumColumns(); ++c) {
+    const Column& col = batch.column(c);
+    w.WriteString(col.name());
+    w.WriteU8(static_cast<uint8_t>(col.type()));
+    w.WriteSignedVarint(col.decimals());
+    w.WriteVarint(col.size());
+    // Null bitmap, packed.
+    uint8_t bits = 0;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) bits |= static_cast<uint8_t>(1u << (r & 7));
+      if ((r & 7) == 7) {
+        w.WriteU8(bits);
+        bits = 0;
+      }
+    }
+    if ((col.size() & 7) != 0) w.WriteU8(bits);
+    // Values bit-exact as doubles (null slots hold 0 by Column contract).
+    for (size_t r = 0; r < col.size(); ++r) w.WriteF64(col.Value(r));
+    w.WriteVarint(col.dictionary().size());
+    for (const std::string& s : col.dictionary()) w.WriteString(s);
+  }
+  return w.Finish();
+}
+
+StatusOr<WalBatch> DecodeWalBatch(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  PH_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kWalBatchVersion) {
+    return Status::DataLoss("WAL batch: unknown version " +
+                            std::to_string(version));
+  }
+  WalBatch out;
+  PH_ASSIGN_OR_RETURN(out.epoch, r.ReadU64());
+  PH_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+  out.batch.set_name(std::move(name));
+  PH_ASSIGN_OR_RETURN(uint64_t ncols, r.ReadVarint());
+  if (ncols > 100000) return Status::DataLoss("WAL batch: absurd ncols");
+  for (uint64_t c = 0; c < ncols; ++c) {
+    PH_ASSIGN_OR_RETURN(std::string cname, r.ReadString());
+    PH_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kTimestamp)) {
+      return Status::DataLoss("WAL batch: bad column type");
+    }
+    PH_ASSIGN_OR_RETURN(int64_t decimals, r.ReadSignedVarint());
+    PH_ASSIGN_OR_RETURN(uint64_t nrows, r.ReadVarint());
+    if (nrows > r.remaining() / 8) {
+      return Status::DataLoss("WAL batch: truncated column");
+    }
+    Column col(std::move(cname), static_cast<DataType>(type),
+               static_cast<int>(decimals));
+    col.Reserve(nrows);
+    std::vector<uint8_t> nulls((nrows + 7) / 8);
+    for (size_t i = 0; i < nulls.size(); ++i) {
+      PH_ASSIGN_OR_RETURN(nulls[i], r.ReadU8());
+    }
+    for (uint64_t row = 0; row < nrows; ++row) {
+      PH_ASSIGN_OR_RETURN(double v, r.ReadF64());
+      if (nulls[row >> 3] & (1u << (row & 7))) {
+        col.AppendNull();
+      } else {
+        col.Append(v);
+      }
+    }
+    PH_ASSIGN_OR_RETURN(uint64_t dict_size, r.ReadVarint());
+    if (dict_size > 0) {
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint64_t i = 0; i < dict_size; ++i) {
+        PH_ASSIGN_OR_RETURN(std::string s, r.ReadString());
+        dict.push_back(std::move(s));
+      }
+      col.SetDictionary(std::move(dict));
+    }
+    out.batch.AddColumn(std::move(col));
+  }
+  if (r.remaining() != 0) {
+    return Status::DataLoss("WAL batch: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,129 @@
+// Write-ahead log for the serving layer's append durability.
+//
+// One append-only file of framed records:
+//
+//   [u32 payload length][u32 CRC32(payload)][payload bytes]
+//
+// An append batch's payload is a versioned epoch + serialized Table (see
+// EncodeWalBatch). Appends are framed, written, and — per WalOptions::fsync
+// — fsynced before the caller acknowledges anything, so every acknowledged
+// record survives a crash. Replay walks the frames back, tolerating exactly
+// the corruption a crash can produce: a torn or CRC-broken FINAL record is
+// dropped and truncated off the file; a broken record with valid data after
+// it cannot come from a crash of this writer and is reported as DataLoss.
+//
+// Checkpoint rotation (serve/serving_db.cc): after a successful snapshot
+// checkpoint at epoch E the WAL is truncated to empty; records carry their
+// epoch so a crash between "checkpoint durable" and "WAL truncated" is
+// harmless — recovery skips records with epoch <= E.
+#ifndef PAIRWISEHIST_STORAGE_WAL_H_
+#define PAIRWISEHIST_STORAGE_WAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pairwisehist {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of `data`.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+struct WalOptions {
+  enum class Fsync {
+    kAlways,    ///< fsync before every Append returns (full durability)
+    kInterval,  ///< fsync at most every fsync_interval_ms (bounded loss)
+    kNever,     ///< never fsync (durability = OS page-cache flush policy)
+  };
+  Fsync fsync = Fsync::kAlways;
+  /// Max acknowledged-but-unsynced staleness under kInterval.
+  uint32_t fsync_interval_ms = 20;
+};
+
+/// Parses "always" / "interval" / "never" (case-sensitive).
+StatusOr<WalOptions::Fsync> ParseFsyncPolicy(const std::string& name);
+const char* FsyncPolicyName(WalOptions::Fsync policy);
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the WAL at `path`, positioned to append
+  /// after the existing valid records. Callers that need the existing
+  /// records should Replay() first — Open does not validate old frames.
+  static StatusOr<Wal> Open(const std::string& path, WalOptions options = {});
+
+  Wal(Wal&&) noexcept;
+  Wal& operator=(Wal&&) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Frames and writes `payload`, then applies the fsync policy. On any
+  /// write failure the file is truncated back to the record's start offset
+  /// (a NACKed record never leaves torn bytes for the next record to land
+  /// after), and the error is returned. Fault injection: fires failpoints
+  /// "wal.append.write" (partial-capable) and "wal.append.sync".
+  Status Append(const std::vector<uint8_t>& payload);
+
+  /// Explicit fsync (used by interval shutdown paths).
+  Status Sync();
+
+  /// Truncates the log to empty (checkpoint rotation) and fsyncs.
+  Status Truncate();
+
+  // Counters (safe to read concurrently with Append from another thread).
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
+
+  const std::string& path() const { return path_; }
+
+  struct ReplayResult {
+    uint64_t records = 0;        ///< valid records delivered to the callback
+    uint64_t bytes = 0;          ///< payload bytes delivered
+    bool tail_truncated = false; ///< a torn/corrupt final record was dropped
+  };
+
+  /// Reads the log at `path`, invoking `cb(payload, size)` per valid record
+  /// in order. A missing file is an empty log (OK, zero records). A torn or
+  /// CRC-mismatched final record is truncated off the file and reported via
+  /// tail_truncated; the same corruption mid-file (valid bytes follow)
+  /// returns DataLoss. A non-OK callback status aborts and propagates.
+  static StatusOr<ReplayResult> Replay(
+      const std::string& path,
+      const std::function<Status(const uint8_t*, size_t)>& cb);
+
+ private:
+  Wal() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  WalOptions options_;
+  std::chrono::steady_clock::time_point last_sync_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+};
+
+/// WAL payload codec for one append batch: version byte, epoch, and the
+/// full Table (schema, null bitmaps, values, dictionaries) — bit-exact
+/// round-trip, unlike a CSV re-parse.
+std::vector<uint8_t> EncodeWalBatch(uint64_t epoch, const Table& batch);
+struct WalBatch {
+  uint64_t epoch = 0;
+  Table batch;
+};
+StatusOr<WalBatch> DecodeWalBatch(const uint8_t* data, size_t size);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_WAL_H_
