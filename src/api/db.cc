@@ -1,6 +1,8 @@
 #include "api/db.h"
 
+#include <cstdlib>
 #include <fstream>
+#include <span>
 #include <utility>
 
 #include "baselines/avi_hist.h"
@@ -164,13 +166,9 @@ StatusOr<Db> Db::FromGenerator(const std::string& name, size_t rows,
   return Build(std::move(table), options);
 }
 
-StatusOr<Db> Db::FromBlob(const std::vector<uint8_t>& blob,
-                          AqpEngineOptions engine) {
-  PH_ASSIGN_OR_RETURN(SynopsisSet set, SynopsisSet::Deserialize(blob));
+StatusOr<Db> Db::FromSet(SynopsisSet set, const DbOptions& options) {
   Db db;
   db.set_ = std::make_unique<SynopsisSet>(std::move(set));
-  DbOptions options;
-  options.engine = engine;
   db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
                                                  MakeExecOptions(options));
   db.name_ = "synopsis";
@@ -195,7 +193,36 @@ StatusOr<Db> Db::FromBlob(const std::vector<uint8_t>& blob,
   return db;
 }
 
+StatusOr<Db> Db::FromBlob(const std::vector<uint8_t>& blob,
+                          AqpEngineOptions engine) {
+  PH_ASSIGN_OR_RETURN(SynopsisSet set, SynopsisSet::Deserialize(blob));
+  DbOptions options;
+  options.engine = engine;
+  return FromSet(std::move(set), options);
+}
+
 StatusOr<Db> Db::Open(const std::string& path, AqpEngineOptions engine) {
+  DbOptions options;
+  options.engine = engine;
+  return Open(path, options);
+}
+
+StatusOr<Db> Db::Open(const std::string& path, const DbOptions& options) {
+  OpenMode mode = options.open_mode;
+  if (mode == OpenMode::kAuto) {
+    const char* env = std::getenv("PWH_OPEN");
+    if (env != nullptr && std::string(env) == "heap") {
+      mode = OpenMode::kHeap;
+    } else {
+      // "mmap" and unset both take the zero-copy path: PWS3 files map,
+      // legacy files heap-convert inside OpenMapped.
+      mode = OpenMode::kMmap;
+    }
+  }
+  if (mode == OpenMode::kMmap) {
+    PH_ASSIGN_OR_RETURN(SynopsisSet set, SynopsisSet::OpenMapped(path));
+    return FromSet(std::move(set), options);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
@@ -203,10 +230,13 @@ StatusOr<Db> Db::Open(const std::string& path, AqpEngineOptions engine) {
   if (!in.good() && !in.eof()) {
     return Status::DataLoss("error reading '" + path + "'");
   }
-  return FromBlob(blob, engine);
+  PH_ASSIGN_OR_RETURN(SynopsisSet set,
+                      SynopsisSet::Deserialize(std::span<const uint8_t>(blob)));
+  return FromSet(std::move(set), options);
 }
 
-Status Db::Save(const std::string& path) const {
+Status Db::Save(const std::string& path, SaveFormat format) const {
+  if (format == SaveFormat::kPws3) return set_->SaveMapped(path);
   std::vector<uint8_t> blob = set_->Serialize();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::InvalidArgument("cannot write '" + path + "'");

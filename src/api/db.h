@@ -54,6 +54,30 @@ enum class AppendMode {
   kMutateBins,
 };
 
+/// How Db::Open materializes a synopsis file.
+enum class OpenMode {
+  /// Zero-copy when the file allows it (PWS3 → kMmap, legacy → heap
+  /// conversion). Overridable via the PWH_OPEN environment variable
+  /// ("mmap" or "heap"), which is how CI forces a whole test run through
+  /// one path.
+  kAuto,
+  /// Read the file into memory and decode into owned vectors. Works for
+  /// every format; never keeps a mapping.
+  kHeap,
+  /// Memory-map the file: a PWS3 synopsis opens in O(metadata) with every
+  /// array bound as a span view into the shared page cache; legacy
+  /// PWS2/PWH1 files transparently heap-convert (the mapping is dropped).
+  kMmap,
+};
+
+/// On-disk format written by Db::Save.
+enum class SaveFormat {
+  /// Memory-mappable PWS3 (the default): O(1) reopen, larger on disk.
+  kPws3,
+  /// Compact Fig.-6 PWS2 container (the paper's storage encoding).
+  kPws2,
+};
+
 /// Construction-time choices for a Db.
 struct DbOptions {
   /// Synopsis build parameters (Ns, M, α, seed) — applied per segment.
@@ -99,6 +123,9 @@ struct DbOptions {
   /// Planner pruning: skip segments whose per-column min/max provably
   /// cannot satisfy the WHERE clause.
   bool prune_segments = true;
+  /// How Db::Open(path, options) materializes the synopsis file (ignored
+  /// by the build-from-data constructors). See OpenMode.
+  OpenMode open_mode = OpenMode::kAuto;
 };
 
 class Db;
@@ -184,16 +211,26 @@ class Db {
   static StatusOr<Db> FromGenerator(const std::string& name, size_t rows,
                                     uint64_t seed, DbOptions options = {});
   /// Opens a synopsis previously written by Save(): full query capability,
-  /// no raw data (exact fallback unavailable). Accepts both the
-  /// multi-segment container and PR-1-era single-synopsis files.
+  /// no raw data (exact fallback unavailable). Accepts PWS3 (zero-copy
+  /// memory-mapped by default — see OpenMode), the PWS2 multi-segment
+  /// container and PR-1-era single-synopsis PWH1 files.
   static StatusOr<Db> Open(const std::string& path,
                            AqpEngineOptions engine = {});
-  /// Same, from an in-memory serialized blob.
+  /// Same with full options: open_mode selects mmap vs heap, and the
+  /// engine/exec_threads/kernels/prune_segments knobs apply as usual.
+  static StatusOr<Db> Open(const std::string& path, const DbOptions& options);
+  /// Same, from an in-memory serialized blob (always heap-decoded).
   static StatusOr<Db> FromBlob(const std::vector<uint8_t>& blob,
                                AqpEngineOptions engine = {});
 
-  // ---- Persistence (the Fig.-6 form, multi-segment container) -----------
-  Status Save(const std::string& path) const;
+  // ---- Persistence ------------------------------------------------------
+  /// Writes the synopsis: kPws3 (default) is the memory-mappable format,
+  /// written atomically (tmp + fsync + rename); kPws2 is the compact
+  /// Fig.-6 container. Open handles both transparently.
+  Status Save(const std::string& path,
+              SaveFormat format = SaveFormat::kPws3) const;
+  /// The compact PWS2 image (the paper's storage encoding; heap-decoded by
+  /// FromBlob).
   std::vector<uint8_t> ToBlob() const { return set_->Serialize(); }
 
   // ---- Queries ----------------------------------------------------------
@@ -294,10 +331,18 @@ class Db {
   /// The GreedyGD store, or nullptr when built without compression.
   const CompressedTable* compressed() const { return compressed_.get(); }
   size_t StorageBytes() const { return set_->StorageBytes(); }
+  /// True when this Db was opened zero-copy from a memory-mapped PWS3
+  /// file; mapped_bytes() is the mapping's size (0 for heap-opened Dbs).
+  bool mapped() const { return set_->mapped(); }
+  size_t mapped_bytes() const { return set_->mapped_bytes(); }
 
  private:
   Db() = default;
   static StatusOr<Db> Build(Table table, const DbOptions& options);
+  /// Shared tail of every synopsis-only open path: wraps an already
+  /// deserialized/mapped set and recovers append build parameters from its
+  /// newest segment.
+  static StatusOr<Db> FromSet(SynopsisSet set, const DbOptions& options);
   /// Checks that `batch`'s columns match the synopsis schema by name/type.
   Status ValidateAppendSchema(const Table& batch) const;
   /// Returns a copy of `batch` with categorical columns re-coded into the

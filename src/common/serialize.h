@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,8 @@ class ByteReader {
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit ByteReader(const std::vector<uint8_t>& data)
       : ByteReader(data.data(), data.size()) {}
+  explicit ByteReader(std::span<const uint8_t> data)
+      : ByteReader(data.data(), data.size()) {}
 
   StatusOr<uint8_t> ReadU8() {
     if (pos_ + 1 > size_) return Truncated();
@@ -108,6 +111,24 @@ class ByteReader {
     return v;
   }
 
+  /// Allocation-free ReadVarint for hot decode loops (PWS3 walks two of
+  /// these per persisted array): returns false on truncation or overflow
+  /// instead of materializing a Status.
+  bool ReadVarintFast(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return false;
+      uint8_t byte = data_[pos_++];
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) break;
+      shift += 7;
+      if (shift >= 64) return false;
+    }
+    *out = v;
+    return true;
+  }
+
   StatusOr<int64_t> ReadSignedVarint() {
     PH_ASSIGN_OR_RETURN(uint64_t z, ReadVarint());
     return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
@@ -125,6 +146,16 @@ class ByteReader {
     PH_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
     if (pos_ + n > size_) return Truncated();
     std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  /// Zero-copy variant of ReadBytes: the span aliases the reader's buffer,
+  /// so it is valid only while the underlying bytes outlive it.
+  StatusOr<std::span<const uint8_t>> ReadBytesView() {
+    PH_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (pos_ + n > size_) return Truncated();
+    std::span<const uint8_t> b(data_ + pos_, n);
     pos_ += n;
     return b;
   }

@@ -10,11 +10,13 @@
 // whichever is smaller — the I(ij) flag of Fig. 6.
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/bitio.h"
 #include "common/golomb.h"
 #include "common/serialize.h"
 #include "core/pairwise_hist.h"
+#include "core/transform_codec.h"
 
 namespace pairwisehist {
 
@@ -23,7 +25,7 @@ namespace {
 constexpr uint32_t kMagic = 0x50574831;  // "PWH1"
 
 // Bits per count: ℓh = ceil(log2(1 + max_count)) (Eq. 13).
-int CountBits(const std::vector<uint64_t>& counts) {
+int CountBits(std::span<const uint64_t> counts) {
   uint64_t mx = 0;
   for (uint64_t c : counts) mx = std::max(mx, c);
   int bits = 1;
@@ -31,7 +33,7 @@ int CountBits(const std::vector<uint64_t>& counts) {
   return bits;
 }
 
-void WriteEdges(ByteWriter* w, const std::vector<double>& edges) {
+void WriteEdges(ByteWriter* w, std::span<const double> edges) {
   w->WriteVarint(edges.size());
   int64_t prev = 0;
   for (double e : edges) {
@@ -93,7 +95,7 @@ Status ReadDimMeta(ByteReader* r, HistogramDim* dim) {
 }
 
 // Cell-count matrix: dense (mode 0) or sparse Golomb (mode 1).
-void WriteCells(ByteWriter* w, const std::vector<uint64_t>& cells) {
+void WriteCells(ByteWriter* w, std::span<const uint64_t> cells) {
   int lh = CountBits(cells);
   size_t nonzero = 0;
   for (uint64_t c : cells) nonzero += (c != 0);
@@ -142,7 +144,7 @@ void WriteCells(ByteWriter* w, const std::vector<uint64_t>& cells) {
   }
 }
 
-Status ReadCells(ByteReader* r, size_t n, std::vector<uint64_t>* cells) {
+Status ReadCells(ByteReader* r, size_t n, VecView<uint64_t>* cells) {
   // A cell matrix larger than the whole input at one bit per count is
   // corruption (caller derives n from edge counts, which a flipped bit
   // can inflate).
@@ -181,6 +183,8 @@ Status ReadCells(ByteReader* r, size_t n, std::vector<uint64_t>* cells) {
   }
   return Status::OK();
 }
+
+}  // namespace
 
 void WriteTransform(ByteWriter* w, const ColumnTransform& tr) {
   w->WriteString(tr.name);
@@ -242,10 +246,12 @@ StatusOr<ColumnTransform> ReadTransform(ByteReader* r) {
   return tr;
 }
 
+namespace {
+
 // Recomputes the parent mapping and marginal counts of a pair dimension
 // from its edges, the matching 1-d histogram and the cell matrix.
 void DerivePairDim(HistogramDim* dim, const HistogramDim& h1,
-                   const std::vector<uint64_t>& cells, size_t k_other,
+                   std::span<const uint64_t> cells, size_t k_other,
                    bool is_rows) {
   size_t k = dim->edges.size() - 1;  // counts not populated yet
   dim->parent.resize(k);
@@ -296,7 +302,7 @@ class SynopsisCodec {
     return w.Finish();
   }
 
-  static StatusOr<PairwiseHist> Decode(const std::vector<uint8_t>& data) {
+  static StatusOr<PairwiseHist> Decode(std::span<const uint8_t> data) {
     ByteReader r(data);
     PH_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
     if (magic != kMagic) {
@@ -308,7 +314,7 @@ class SynopsisCodec {
     PH_ASSIGN_OR_RETURN(ph.min_points_, r.ReadU64());
     PH_ASSIGN_OR_RETURN(ph.alpha_, r.ReadF64());
     PH_ASSIGN_OR_RETURN(uint16_t d, r.ReadU16());
-    ph.critical_ = std::make_shared<Chi2CriticalCache>(ph.alpha_);
+    ph.critical_ = SharedChi2CriticalCache(ph.alpha_);
 
     ph.transforms_.reserve(d);
     for (uint16_t c = 0; c < d; ++c) {
@@ -359,8 +365,13 @@ std::vector<uint8_t> PairwiseHist::Serialize() const {
 }
 
 StatusOr<PairwiseHist> PairwiseHist::Deserialize(
-    const std::vector<uint8_t>& data) {
+    std::span<const uint8_t> data) {
   return SynopsisCodec::Decode(data);
+}
+
+StatusOr<PairwiseHist> PairwiseHist::Deserialize(
+    const std::vector<uint8_t>& data) {
+  return SynopsisCodec::Decode(std::span<const uint8_t>(data));
 }
 
 size_t PairwiseHist::StorageBytes() const { return Serialize().size(); }

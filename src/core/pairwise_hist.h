@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,7 +97,7 @@ class PairView {
   }
   /// Per 1-d aggregation-column bin: fraction of 1-d rows with the
   /// predicate column non-null (see PairHistogram::nonnull_frac_*).
-  const std::vector<double>& NonNullFrac() const {
+  const VecView<double>& NonNullFrac() const {
     return swapped_ ? ph_->nonnull_frac_j : ph_->nonnull_frac_i;
   }
 
@@ -162,6 +163,8 @@ class PairwiseHist {
   /// bin counts, transform catalog).
   std::vector<uint8_t> Serialize() const;
   /// Restores a synopsis; full query capability is preserved.
+  static StatusOr<PairwiseHist> Deserialize(std::span<const uint8_t> data);
+  /// Legacy overload; delegates to the span overload without copying.
   static StatusOr<PairwiseHist> Deserialize(const std::vector<uint8_t>& data);
   /// Bytes of the serialized form.
   size_t StorageBytes() const;
@@ -181,8 +184,14 @@ class PairwiseHist {
   /// then updates. New raw values outside the fitted domain clamp to it.
   Status UpdateFromTable(const Table& batch);
 
+  /// True when this synopsis was opened zero-copy from a memory-mapped
+  /// PWS3 file (its arrays borrow the mapping; mutation copy-on-write
+  /// promotes individual arrays but the handle stays until destruction).
+  bool mapped() const { return backing_ != nullptr; }
+
  private:
   friend class SynopsisCodec;
+  friend class Pws3Codec;
   PairwiseHist() = default;
 
   static size_t PairSlot(size_t i, size_t j);  // requires i > j
@@ -200,6 +209,10 @@ class PairwiseHist {
   std::vector<HistogramDim> hist1d_;
   std::vector<PairHistogram> pairs_;  // slot PairSlot(i,j) holds pair (i,j), i>j
   std::shared_ptr<Chi2CriticalCache> critical_;
+  /// Keeps the memory-mapped PWS3 file alive while any VecView field
+  /// borrows from it (null for heap-built/heap-opened synopses). Typed as
+  /// void so core/ need not depend on storage/mmap_file.h.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace pairwisehist

@@ -1,0 +1,401 @@
+// PWS3 memory-mappable synopsis container — writer, validator and the
+// zero-copy / heap-copy readers. See pws3.h for the layout.
+
+#include "core/pws3.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/serialize.h"
+#include "core/transform_codec.h"
+#include "storage/wal.h"  // Crc32
+
+namespace pairwisehist {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Accumulates the aligned array region (starting right after the header)
+// and the metadata stream referencing into it.
+class ImageBuilder {
+ public:
+  ImageBuilder() { body_.resize(Pws3Codec::kHeaderSize, 0); }
+
+  // Appends one array payload at the next 64-byte-aligned offset and
+  // writes its {offset, count} reference into the metadata stream. Empty
+  // arrays write {0, 0} and occupy no payload bytes.
+  template <typename T>
+  void Arr(const VecView<T>& v) {
+    if (v.empty()) {
+      meta_.WriteVarint(0);
+      meta_.WriteVarint(0);
+      return;
+    }
+    size_t off = Align(body_.size());
+    body_.resize(off, 0);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(v.data());
+    body_.insert(body_.end(), p, p + v.size() * sizeof(T));
+    meta_.WriteVarint(off);
+    meta_.WriteVarint(v.size());
+  }
+
+  void Dim(const HistogramDim& h) {
+    Arr(h.edges);
+    Arr(h.counts);
+    Arr(h.v_min);
+    Arr(h.v_max);
+    Arr(h.unique);
+    Arr(h.parent);
+    Arr(h.count_prefix);
+    Arr(h.centre_mid);
+    Arr(h.centre_lo);
+    Arr(h.centre_hi);
+  }
+
+  ByteWriter* meta() { return &meta_; }
+
+  std::vector<uint8_t> Finish(uint32_t num_segments) {
+    // Close the data region on an aligned boundary so the meta offset is
+    // stable regardless of the last array's length.
+    size_t data_end = Align(body_.size());
+    body_.resize(data_end, 0);
+    std::vector<uint8_t> meta = meta_.Finish();
+    uint32_t crc = Crc32(meta.data(), meta.size());
+
+    std::vector<uint8_t> out = std::move(body_);
+    out.insert(out.end(), meta.begin(), meta.end());
+
+    auto put32 = [&out](size_t at, uint32_t v) {
+      std::memcpy(out.data() + at, &v, 4);
+    };
+    auto put64 = [&out](size_t at, uint64_t v) {
+      std::memcpy(out.data() + at, &v, 8);
+    };
+    put32(0, Pws3Codec::kMagic);
+    put32(4, Pws3Codec::kVersion);
+    put64(8, out.size());              // file_size
+    put64(16, data_end);               // data_end == meta offset
+    put64(24, meta.size());            // meta_size
+    put32(32, crc);                    // meta_crc32
+    put32(36, num_segments);
+    return out;
+  }
+
+ private:
+  static size_t Align(size_t n) {
+    return (n + Pws3Codec::kAlign - 1) & ~(Pws3Codec::kAlign - 1);
+  }
+
+  std::vector<uint8_t> body_;  // header placeholder + aligned arrays
+  ByteWriter meta_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Status Bad(const std::string& what) {
+  return Status::DataLoss("PWS3: " + what);
+}
+
+// Context shared by every array load of one Decode call.
+struct LoadCtx {
+  std::span<const uint8_t> bytes;
+  uint64_t data_end = 0;
+  bool zero_copy = false;
+};
+
+// Reads one {offset, count} reference from the metadata stream, validates
+// it against the data region, and binds (zero-copy) or copies (heap) the
+// payload into `out`. `expect` is the required element count; pass
+// kAnyCount to accept any (the caller validates afterwards).
+constexpr size_t kAnyCount = static_cast<size_t>(-1);
+
+template <typename T>
+Status LoadArr(ByteReader* r, const LoadCtx& ctx, size_t expect,
+               VecView<T>* out, const char* name, bool optional = false) {
+  uint64_t off = 0, count = 0;
+  if (!r->ReadVarintFast(&off) || !r->ReadVarintFast(&count)) {
+    return Bad("truncated array reference");
+  }
+  if (expect != kAnyCount && count != expect && !(optional && count == 0)) {
+    return Bad(std::string(name) + " count " + std::to_string(count) +
+               " != expected " + std::to_string(expect));
+  }
+  if (count == 0) {
+    *out = VecView<T>();
+    return Status::OK();
+  }
+  if (off < Pws3Codec::kHeaderSize || off % Pws3Codec::kAlign != 0 ||
+      off > ctx.data_end) {
+    return Bad("array offset out of range");
+  }
+  if (count > (ctx.data_end - off) / sizeof(T)) {
+    return Bad("array extends past data region");
+  }
+  const uint8_t* src = ctx.bytes.data() + off;
+  if (ctx.zero_copy) {
+    // The mapping is page-aligned and offsets are 64-byte-aligned, so the
+    // typed pointer is aligned for any element type used here.
+    out->BindView(reinterpret_cast<const T*>(src), count);
+  } else {
+    out->resize(count);
+    std::memcpy(out->mut_data(), src, count * sizeof(T));
+  }
+  return Status::OK();
+}
+
+// Loads one HistogramDim and validates the internal size invariants.
+// `parent_bins`: 0 for a 1-d histogram (no parent mapping), else the
+// number of bins the parent indices must stay below.
+Status LoadDim(ByteReader* r, const LoadCtx& ctx, size_t parent_bins,
+               HistogramDim* h) {
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, kAnyCount, &h->edges, "edges"));
+  if (h->edges.size() < 2) return Bad("histogram has fewer than 2 edges");
+  const size_t k = h->edges.size() - 1;
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->counts, "counts"));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->v_min, "v_min"));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->v_max, "v_max"));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->unique, "unique"));
+  PH_RETURN_IF_ERROR(
+      LoadArr(r, ctx, parent_bins == 0 ? 0 : k, &h->parent, "parent"));
+  // The execution-index arrays are absent where FinishExecIndex does not
+  // fill them (pair dims carry no count_prefix): empty or exact-size.
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k + 1, &h->count_prefix,
+                             "count_prefix", /*optional=*/true));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->centre_mid, "centre_mid",
+                             /*optional=*/true));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->centre_lo, "centre_lo",
+                             /*optional=*/true));
+  PH_RETURN_IF_ERROR(LoadArr(r, ctx, k, &h->centre_hi, "centre_hi",
+                             /*optional=*/true));
+  for (size_t t = 0; t < h->parent.size(); ++t) {
+    if (h->parent[t] >= parent_bins) return Bad("parent bin out of range");
+  }
+  return Status::OK();
+}
+
+struct Header {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  uint64_t data_end = 0;
+  uint64_t meta_size = 0;
+  uint32_t meta_crc = 0;
+  uint32_t num_segments = 0;
+};
+
+Status ReadHeader(std::span<const uint8_t> bytes, Header* h) {
+  if (bytes.size() < Pws3Codec::kHeaderSize) {
+    return Bad("file smaller than header");
+  }
+  ByteReader r(bytes.data(), Pws3Codec::kHeaderSize);
+  PH_ASSIGN_OR_RETURN(h->magic, r.ReadU32());
+  PH_ASSIGN_OR_RETURN(h->version, r.ReadU32());
+  PH_ASSIGN_OR_RETURN(h->file_size, r.ReadU64());
+  PH_ASSIGN_OR_RETURN(h->data_end, r.ReadU64());
+  PH_ASSIGN_OR_RETURN(h->meta_size, r.ReadU64());
+  PH_ASSIGN_OR_RETURN(h->meta_crc, r.ReadU32());
+  PH_ASSIGN_OR_RETURN(h->num_segments, r.ReadU32());
+  if (h->magic != Pws3Codec::kMagic) return Bad("bad magic");
+  if (h->version == 0 || h->version > Pws3Codec::kVersion) {
+    return Bad("unsupported version " + std::to_string(h->version));
+  }
+  if (h->file_size != bytes.size()) {
+    return Bad("file size mismatch (truncated or torn write)");
+  }
+  if (h->data_end < Pws3Codec::kHeaderSize || h->data_end > bytes.size() ||
+      h->meta_size > bytes.size() - h->data_end ||
+      h->data_end + h->meta_size != bytes.size()) {
+    return Bad("section directory out of range");
+  }
+  if (h->num_segments == 0 || h->num_segments > (1u << 20)) {
+    return Bad("segment count out of range");
+  }
+  uint32_t crc = Crc32(bytes.data() + h->data_end, h->meta_size);
+  if (crc != h->meta_crc) return Bad("metadata checksum mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Pws3Codec::Encode(const SynopsisSet& set) {
+  ImageBuilder b;
+  ByteWriter* m = b.meta();
+  for (const SynopsisSet::Segment& seg : set.segments_) {
+    m->WriteU64(seg.meta.row_begin);
+    m->WriteU64(seg.meta.row_end);
+    const ColumnRanges& ranges = seg.meta.ranges;
+    m->WriteVarint(ranges.valid.size());
+    for (size_t c = 0; c < ranges.valid.size(); ++c) {
+      m->WriteU8(ranges.valid[c]);
+      m->WriteF64(ranges.min[c]);
+      m->WriteF64(ranges.max[c]);
+    }
+
+    const PairwiseHist& ph = *seg.synopsis;
+    m->WriteU64(ph.total_rows_);
+    m->WriteU64(ph.sample_rows_);
+    m->WriteU64(ph.min_points_);
+    m->WriteF64(ph.alpha_);
+    m->WriteVarint(ph.transforms_.size());
+    for (const ColumnTransform& tr : ph.transforms_) WriteTransform(m, tr);
+
+    for (const HistogramDim& h : ph.hist1d_) b.Dim(h);
+
+    m->WriteVarint(ph.pairs_.size());
+    for (const PairHistogram& p : ph.pairs_) {
+      m->WriteU32(p.col_i);
+      m->WriteU32(p.col_j);
+      b.Dim(p.dim_i);
+      b.Dim(p.dim_j);
+      b.Arr(p.cells);
+      b.Arr(p.cell_prefix_i);
+      b.Arr(p.cell_prefix_j);
+      b.Arr(p.cell_colpre_i);
+      b.Arr(p.cell_colpre_j);
+      b.Arr(p.nonnull_frac_i);
+      b.Arr(p.nonnull_frac_j);
+    }
+  }
+  return b.Finish(static_cast<uint32_t>(set.segments_.size()));
+}
+
+StatusOr<SynopsisSet> Pws3Codec::Decode(
+    std::span<const uint8_t> bytes,
+    std::shared_ptr<const MappedFile> backing) {
+  Header hdr;
+  PH_RETURN_IF_ERROR(ReadHeader(bytes, &hdr));
+
+  LoadCtx ctx;
+  ctx.bytes = bytes;
+  ctx.data_end = hdr.data_end;
+  ctx.zero_copy = backing != nullptr;
+
+  ByteReader r(bytes.data() + hdr.data_end, hdr.meta_size);
+
+  SynopsisSet out;
+  out.segments_.resize(hdr.num_segments);
+  for (uint32_t s = 0; s < hdr.num_segments; ++s) {
+    SynopsisSet::Segment& seg = out.segments_[s];
+    PH_ASSIGN_OR_RETURN(seg.meta.row_begin, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(seg.meta.row_end, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(uint64_t nranges, r.ReadVarint());
+    if (nranges > r.remaining()) return Bad("range count out of range");
+    ColumnRanges& ranges = seg.meta.ranges;
+    ranges.valid.resize(nranges);
+    ranges.min.resize(nranges);
+    ranges.max.resize(nranges);
+    for (uint64_t c = 0; c < nranges; ++c) {
+      PH_ASSIGN_OR_RETURN(ranges.valid[c], r.ReadU8());
+      PH_ASSIGN_OR_RETURN(ranges.min[c], r.ReadF64());
+      PH_ASSIGN_OR_RETURN(ranges.max[c], r.ReadF64());
+    }
+
+    PairwiseHist ph;  // private ctor: Pws3Codec is a friend
+    PH_ASSIGN_OR_RETURN(ph.total_rows_, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(ph.sample_rows_, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(ph.min_points_, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(ph.alpha_, r.ReadF64());
+    PH_ASSIGN_OR_RETURN(uint64_t d, r.ReadVarint());
+    if (d > (1u << 16)) return Bad("column count out of range");
+    // Process-wide per-alpha cache: the eager chi-squared quantile fill
+    // would otherwise be the only real compute on this O(1) open path.
+    ph.critical_ = SharedChi2CriticalCache(ph.alpha_);
+    ph.backing_ = backing;
+
+    ph.transforms_.reserve(d);
+    for (uint64_t c = 0; c < d; ++c) {
+      PH_ASSIGN_OR_RETURN(ColumnTransform tr, ReadTransform(&r));
+      ph.transforms_.push_back(std::move(tr));
+    }
+
+    ph.hist1d_.resize(d);
+    for (uint64_t c = 0; c < d; ++c) {
+      PH_RETURN_IF_ERROR(LoadDim(&r, ctx, /*parent_bins=*/0,
+                                 &ph.hist1d_[c]));
+    }
+
+    PH_ASSIGN_OR_RETURN(uint64_t npairs, r.ReadVarint());
+    if (npairs != d * (d - 1) / 2) return Bad("pair count mismatch");
+    ph.pairs_.resize(npairs);
+    size_t slot = 0;
+    for (uint64_t i = 1; i < d; ++i) {
+      for (uint64_t j = 0; j < i; ++j, ++slot) {
+        PairHistogram& p = ph.pairs_[slot];
+        PH_ASSIGN_OR_RETURN(p.col_i, r.ReadU32());
+        PH_ASSIGN_OR_RETURN(p.col_j, r.ReadU32());
+        if (p.col_i != i || p.col_j != j) return Bad("pair slot mismatch");
+        PH_RETURN_IF_ERROR(
+            LoadDim(&r, ctx, ph.hist1d_[i].NumBins(), &p.dim_i));
+        PH_RETURN_IF_ERROR(
+            LoadDim(&r, ctx, ph.hist1d_[j].NumBins(), &p.dim_j));
+        const size_t ki = p.dim_i.NumBins();
+        const size_t kj = p.dim_j.NumBins();
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ki * kj, &p.cells, "cells"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ki * (kj + 1),
+                                   &p.cell_prefix_i, "cell_prefix_i"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, kj * (ki + 1),
+                                   &p.cell_prefix_j, "cell_prefix_j"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, (kj + 1) * ki,
+                                   &p.cell_colpre_i, "cell_colpre_i"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, (ki + 1) * kj,
+                                   &p.cell_colpre_j, "cell_colpre_j"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ph.hist1d_[i].NumBins(),
+                                   &p.nonnull_frac_i, "nonnull_frac_i",
+                                   /*optional=*/true));
+        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ph.hist1d_[j].NumBins(),
+                                   &p.nonnull_frac_j, "nonnull_frac_j",
+                                   /*optional=*/true));
+      }
+    }
+    // Execution indexes were persisted verbatim — no FinishExecIndex.
+    seg.synopsis = std::make_shared<PairwiseHist>(std::move(ph));
+  }
+  if (r.remaining() != 0) return Bad("trailing metadata bytes");
+  out.mapped_bytes_ = backing ? bytes.size() : 0;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SynopsisSet entry points (declared in synopsis_set.h).
+
+std::vector<uint8_t> SynopsisSet::SerializeMapped() const {
+  return Pws3Codec::Encode(*this);
+}
+
+Status SynopsisSet::SaveMapped(const std::string& path) const {
+  std::vector<uint8_t> image = Pws3Codec::Encode(*this);
+  return WriteFileAtomic(path, image.data(), image.size());
+}
+
+StatusOr<SynopsisSet> SynopsisSet::OpenMapped(const std::string& path) {
+  PH_ASSIGN_OR_RETURN(MappedFile mf, MappedFile::Open(path));
+  uint32_t magic = 0;
+  if (mf.size() >= 4) std::memcpy(&magic, mf.bytes().data(), 4);
+  if (magic != Pws3Codec::kMagic) {
+    // Legacy PWS2/PWH1 file: heap-convert through the span reader (the
+    // mapping serves as the read buffer and is unmapped on return).
+    return Deserialize(mf.bytes());
+  }
+  auto backing = std::make_shared<const MappedFile>(std::move(mf));
+  // Cold open: kick off one readahead batch for the metadata section (the
+  // only bytes Decode touches) instead of faulting it in page by page
+  // while the CRC and the varint walk run. Bounds are validated again by
+  // ReadHeader; a garbage data_end at worst advises a wrong range.
+  if (backing->size() >= Pws3Codec::kHeaderSize) {
+    uint64_t data_end = 0;
+    std::memcpy(&data_end, backing->bytes().data() + 16, 8);
+    if (data_end < backing->size()) {
+      backing->Advise(MappedFile::Advice::kWillNeed, data_end,
+                      backing->size() - data_end);
+    }
+  }
+  return Pws3Codec::Decode(backing->bytes(), backing);
+}
+
+}  // namespace pairwisehist

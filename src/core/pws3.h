@@ -1,0 +1,70 @@
+// PWS3: the memory-mappable synopsis container.
+//
+// Layout (all little-endian):
+//
+//   [ 64-byte header ]
+//   [ 64-byte-aligned raw array payloads ... ]        <- "data" region
+//   [ ByteWriter metadata stream, CRC32-protected ]   <- "meta" region
+//
+//   header:  u32 magic "PWS3"   u32 version
+//            u64 file_size      u64 data_end (== meta offset)
+//            u64 meta_size      u32 meta_crc32
+//            u32 num_segments   [20 reserved zero bytes]
+//
+// Every numeric array of every segment (bin edges, counts, per-bin
+// metadata, cell matrices, AND the FinishExecIndex-derived execution
+// indexes: count prefixes, dense cell prefixes in both orientations,
+// centre-bound caches, non-null fractions) is stored as a raw
+// little-endian payload at a 64-byte-aligned offset. The metadata stream
+// holds everything small (params, transforms, pruning ranges) plus one
+// {offset, count} reference per array, in fixed traversal order.
+//
+// Opening is therefore O(metadata): validate the header, CRC-check and
+// parse the meta stream, and bind each array as a std::span view straight
+// into the mapping — no per-row decode, no prefix-sum recomputation, no
+// allocation proportional to synopsis size. The page cache backs the
+// mapping, so N processes opening the same file share one physical copy.
+//
+// This trades disk space for startup: the compact Fig.-6 PWS2 encoding
+// (SynopsisSet::Serialize) remains the paper's storage-efficiency format.
+#ifndef PAIRWISEHIST_CORE_PWS3_H_
+#define PAIRWISEHIST_CORE_PWS3_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/synopsis_set.h"
+#include "storage/mmap_file.h"
+
+namespace pairwisehist {
+
+/// Friend of PairwiseHist and SynopsisSet: encodes/decodes their private
+/// representation to/from the PWS3 image.
+class Pws3Codec {
+ public:
+  static constexpr uint32_t kMagic = 0x50575333;  // "PWS3"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kHeaderSize = 64;
+  static constexpr size_t kAlign = 64;
+
+  /// Builds the complete PWS3 image in memory. Requires every segment to
+  /// carry its execution indexes (true for all public construction paths,
+  /// which end in FinishExecIndex).
+  static std::vector<uint8_t> Encode(const SynopsisSet& set);
+
+  /// Validates and decodes a PWS3 image. With `backing` non-null (the
+  /// zero-copy mmap path) every array binds as a borrowed span into
+  /// `bytes`, and each segment holds the backing handle so the mapping
+  /// outlives the set. With `backing` null (a heap blob of arbitrary
+  /// alignment) arrays are memcpy'd into owned vectors.
+  static StatusOr<SynopsisSet> Decode(
+      std::span<const uint8_t> bytes,
+      std::shared_ptr<const MappedFile> backing);
+};
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_CORE_PWS3_H_

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/serialize.h"
+#include "core/pws3.h"
 
 namespace pairwisehist {
 
@@ -108,6 +109,7 @@ SynopsisSet SynopsisSet::Share() const {
   SynopsisSet out;
   out.segments_ = segments_;  // shares every (immutable) synopsis
   out.meta_generation_ = meta_generation_;
+  out.mapped_bytes_ = mapped_bytes_;  // shared segments keep borrowing
   return out;
 }
 
@@ -168,9 +170,19 @@ std::vector<uint8_t> SynopsisSet::Serialize() const {
 
 StatusOr<SynopsisSet> SynopsisSet::Deserialize(
     const std::vector<uint8_t>& blob) {
+  return Deserialize(std::span<const uint8_t>(blob));
+}
+
+StatusOr<SynopsisSet> SynopsisSet::Deserialize(std::span<const uint8_t> blob) {
   ByteReader peek(blob);
   PH_ASSIGN_OR_RETURN(uint32_t magic, peek.ReadU32());
 
+  if (magic == Pws3Codec::kMagic) {
+    // PWS3 image handed to the heap path (e.g. a blob read into memory):
+    // arrays are copied out of the image rather than borrowed, because the
+    // blob's lifetime and alignment are the caller's business.
+    return Pws3Codec::Decode(blob, /*backing=*/nullptr);
+  }
   if (magic == kLegacyMagic) {
     // PR-1-era single-synopsis file: wrap as one segment. Pruning ranges
     // are unknown (col_valid all zero), so the planner never prunes.
@@ -217,7 +229,7 @@ StatusOr<SynopsisSet> SynopsisSet::Deserialize(
       PH_ASSIGN_OR_RETURN(ranges.min[c], r.ReadF64());
       PH_ASSIGN_OR_RETURN(ranges.max[c], r.ReadF64());
     }
-    PH_ASSIGN_OR_RETURN(std::vector<uint8_t> ph_blob, r.ReadBytes());
+    PH_ASSIGN_OR_RETURN(std::span<const uint8_t> ph_blob, r.ReadBytesView());
     PH_ASSIGN_OR_RETURN(PairwiseHist ph, PairwiseHist::Deserialize(ph_blob));
     seg.synopsis = std::make_shared<PairwiseHist>(std::move(ph));
   }

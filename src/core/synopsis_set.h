@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -100,12 +102,37 @@ class SynopsisSet {
   }
 
   // ---- Persistence ------------------------------------------------------
+  /// Compact Fig.-6 PWS2 container (the paper's storage encoding; this is
+  /// what StorageBytes measures).
   std::vector<uint8_t> Serialize() const;
-  /// Accepts both the PWS2 container and a bare legacy PWH1 blob.
+  /// Accepts the PWS2 container, a bare legacy PWH1 blob, or a PWS3 image
+  /// (heap-converted — arrays are copied out of the blob). Zero-copy PWS3
+  /// opens go through OpenMapped instead.
+  static StatusOr<SynopsisSet> Deserialize(std::span<const uint8_t> blob);
+  /// Legacy overload; delegates to the span overload without copying.
   static StatusOr<SynopsisSet> Deserialize(const std::vector<uint8_t>& blob);
   size_t StorageBytes() const;
 
+  // ---- PWS3 memory-mapped persistence (core/pws3.cc) --------------------
+  /// Flat 64-byte-aligned PWS3 image including every FinishExecIndex-
+  /// derived structure, so opening needs no recomputation. Larger on disk
+  /// than Serialize() — the classic space-for-startup trade.
+  std::vector<uint8_t> SerializeMapped() const;
+  /// Atomically writes the PWS3 image (tmp + fsync + rename).
+  Status SaveMapped(const std::string& path) const;
+  /// O(1) open: validates the header + metadata stream and binds every
+  /// array as a span view into the mapping. The mapping stays alive (and
+  /// shared page-cache-backed across processes) until the last segment
+  /// referencing it is destroyed. Legacy PWS2/PWH1 files heap-convert
+  /// transparently.
+  static StatusOr<SynopsisSet> OpenMapped(const std::string& path);
+
+  /// Bytes currently memory-mapped by this set (0 for heap-opened sets).
+  size_t mapped_bytes() const { return mapped_bytes_; }
+  bool mapped() const { return mapped_bytes_ != 0; }
+
  private:
+  friend class Pws3Codec;
   /// shared_ptr because sealed segments are immutable and shared across
   /// copy-on-append snapshots (WithSealed); only the legacy kMutateBins
   /// path mutates a synopsis in place, and that path never coexists with
@@ -126,6 +153,9 @@ class SynopsisSet {
 
   std::vector<Segment> segments_;
   uint64_t meta_generation_ = 0;
+  /// Size of the PWS3 mapping backing this set's segments (0 = heap).
+  /// Copied by Share()/WithSealed() — shared segments keep borrowing.
+  size_t mapped_bytes_ = 0;
 };
 
 }  // namespace pairwisehist

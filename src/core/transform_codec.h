@@ -1,0 +1,21 @@
+// Shared varint codec for the per-column transform catalog.
+//
+// Implemented in encoding.cc (the Fig.-6 PWH1/PWS2 writer) and reused by
+// the PWS3 memory-mapped container (core/pws3.cc), whose metadata stream
+// embeds the same transform encoding so the two formats agree byte-for-byte
+// on this section.
+#ifndef PAIRWISEHIST_CORE_TRANSFORM_CODEC_H_
+#define PAIRWISEHIST_CORE_TRANSFORM_CODEC_H_
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "gd/preprocess.h"
+
+namespace pairwisehist {
+
+void WriteTransform(ByteWriter* w, const ColumnTransform& tr);
+StatusOr<ColumnTransform> ReadTransform(ByteReader* r);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_CORE_TRANSFORM_CODEC_H_

@@ -37,13 +37,13 @@ void PairHistogram::BuildCellPrefix() {
   cell_prefix_i.resize(ki * (kj + 1));
   for (size_t ti = 0; ti < ki; ++ti) {
     const uint64_t* row = cells.data() + ti * kj;
-    uint64_t* pre = cell_prefix_i.data() + ti * (kj + 1);
+    uint64_t* pre = cell_prefix_i.mut_data() + ti * (kj + 1);
     pre[0] = 0;
     for (size_t tj = 0; tj < kj; ++tj) pre[tj + 1] = pre[tj] + row[tj];
   }
   cell_prefix_j.resize(kj * (ki + 1));
   for (size_t tj = 0; tj < kj; ++tj) {
-    uint64_t* pre = cell_prefix_j.data() + tj * (ki + 1);
+    uint64_t* pre = cell_prefix_j.mut_data() + tj * (ki + 1);
     pre[0] = 0;
     for (size_t ti = 0; ti < ki; ++ti) {
       pre[ti + 1] = pre[ti] + cells[ti * kj + tj];
@@ -56,7 +56,7 @@ void PairHistogram::BuildCellPrefix() {
   cell_colpre_i.assign((kj + 1) * ki, 0);
   for (size_t tp = 0; tp < kj; ++tp) {
     const uint64_t* prev = cell_colpre_i.data() + tp * ki;
-    uint64_t* next = cell_colpre_i.data() + (tp + 1) * ki;
+    uint64_t* next = cell_colpre_i.mut_data() + (tp + 1) * ki;
     for (size_t ti = 0; ti < ki; ++ti) {
       next[ti] = prev[ti] + cells[ti * kj + tp];
     }
@@ -64,7 +64,7 @@ void PairHistogram::BuildCellPrefix() {
   cell_colpre_j.assign((ki + 1) * kj, 0);
   for (size_t tp = 0; tp < ki; ++tp) {
     const uint64_t* prev = cell_colpre_j.data() + tp * kj;
-    uint64_t* next = cell_colpre_j.data() + (tp + 1) * kj;
+    uint64_t* next = cell_colpre_j.mut_data() + (tp + 1) * kj;
     const uint64_t* row = cells.data() + tp * kj;
     for (size_t tj = 0; tj < kj; ++tj) {
       next[tj] = prev[tj] + row[tj];
@@ -332,9 +332,9 @@ PairHistogram BuildPairHistogram(const std::vector<double>& xi,
   }
 
   // Merge refined edges with the 1-d edges.
-  auto merge_edges = [](const std::vector<double>& base,
+  auto merge_edges = [](std::span<const double> base,
                         std::vector<double>& extra) {
-    std::vector<double> all = base;
+    std::vector<double> all(base.begin(), base.end());
     all.insert(all.end(), extra.begin(), extra.end());
     std::sort(all.begin(), all.end());
     all.erase(std::unique(all.begin(), all.end()), all.end());

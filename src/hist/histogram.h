@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/vec_view.h"
 #include "hist/uniformity.h"
 
 namespace pairwisehist {
@@ -27,25 +28,32 @@ struct RefineConfig {
 /// One dimension of a histogram: k bins delimited by k+1 edges, with the
 /// paper's per-bin metadata. For pairwise histograms, `parent` maps each
 /// refined bin to the 1-d bin of the same column that contains it.
+///
+/// Every array is a VecView: an owned vector for built/deserialized
+/// synopses, a borrowed zero-copy span into the mapped file for
+/// PWS3-opened ones (mutation copy-on-write-promotes; see
+/// common/vec_view.h).
 struct HistogramDim {
-  std::vector<double> edges;        ///< k+1 ascending edges, bins [e_t, e_{t+1})
-  std::vector<uint64_t> counts;     ///< k bin counts (marginal for 2-d)
-  std::vector<double> v_min;        ///< k actual minimum values (v−)
-  std::vector<double> v_max;        ///< k actual maximum values (v+)
-  std::vector<uint64_t> unique;     ///< k unique-value counts (u)
-  std::vector<uint32_t> parent;     ///< k parent 1-d bin indices (2-d only)
-  /// k+1 exclusive prefix sums of `counts` (execution index, not
-  /// serialized): count over bins [a, b) is count_prefix[b] -
-  /// count_prefix[a]. Rebuilt by BuildCountPrefix after counts change.
-  std::vector<uint64_t> count_prefix;
-  /// Per-bin aggregation metadata cache (execution index, not serialized):
-  /// midpoint (v− + v+)/2 and the Theorem-1 weighted-centre bounds already
-  /// clamped to [v−, v+]. Filled by PairwiseHist::FinishExecIndex (the
-  /// bounds need M and the chi-squared cache) so Table-3 aggregation reads
-  /// flat arrays instead of recomputing a sqrt per bin per query.
-  std::vector<double> centre_mid;
-  std::vector<double> centre_lo;
-  std::vector<double> centre_hi;
+  VecView<double> edges;        ///< k+1 ascending edges, bins [e_t, e_{t+1})
+  VecView<uint64_t> counts;     ///< k bin counts (marginal for 2-d)
+  VecView<double> v_min;        ///< k actual minimum values (v−)
+  VecView<double> v_max;        ///< k actual maximum values (v+)
+  VecView<uint64_t> unique;     ///< k unique-value counts (u)
+  VecView<uint32_t> parent;     ///< k parent 1-d bin indices (2-d only)
+  /// k+1 exclusive prefix sums of `counts` (execution index, not part of
+  /// the compact PWS2 encoding but persisted verbatim by PWS3): count over
+  /// bins [a, b) is count_prefix[b] - count_prefix[a]. Rebuilt by
+  /// BuildCountPrefix after counts change.
+  VecView<uint64_t> count_prefix;
+  /// Per-bin aggregation metadata cache (execution index, persisted only
+  /// by PWS3): midpoint (v− + v+)/2 and the Theorem-1 weighted-centre
+  /// bounds already clamped to [v−, v+]. Filled by
+  /// PairwiseHist::FinishExecIndex (the bounds need M and the chi-squared
+  /// cache) so Table-3 aggregation reads flat arrays instead of
+  /// recomputing a sqrt per bin per query.
+  VecView<double> centre_mid;
+  VecView<double> centre_lo;
+  VecView<double> centre_hi;
 
   size_t NumBins() const { return counts.size(); }
   bool HasCentreCache() const { return centre_mid.size() == counts.size(); }
@@ -82,7 +90,7 @@ struct PairHistogram {
   HistogramDim dim_i;  ///< refined e(i|j) with metadata and parent mapping
   HistogramDim dim_j;  ///< refined e(j|i)
   /// Row-major dim_i.NumBins() x dim_j.NumBins() cell counts H(ij).
-  std::vector<uint64_t> cells;
+  VecView<uint64_t> cells;
 
   // ---- Cell prefix index (execution index, not serialized) --------------
   // Dense per-row cell prefixes (exact integers): row ti of
@@ -93,8 +101,8 @@ struct PairHistogram {
   // answer fully-covered coverage runs per aggregation bin in O(1)
   // instead of walking cells. Rebuilt by BuildCellPrefix whenever cells
   // change.
-  std::vector<uint64_t> cell_prefix_i;
-  std::vector<uint64_t> cell_prefix_j;
+  VecView<uint64_t> cell_prefix_i;
+  VecView<uint64_t> cell_prefix_j;
   // Column-major transpose of the prefixes: cell_colpre_i has kj+1 rows of
   // ki entries, entry [tp][ti] = Σ cells[ti][0..tp). For one pred-bin
   // boundary tp the values of EVERY aggregation bin are contiguous, so a
@@ -103,13 +111,13 @@ struct PairHistogram {
   // the multi-row reduction kernels in common/simd.h). cell_colpre_j is
   // the swapped orientation (ki+1 rows of kj). Same exact integers as
   // cell_prefix_*, laid out for cross-row sweeps.
-  std::vector<uint64_t> cell_colpre_i;
-  std::vector<uint64_t> cell_colpre_j;
+  VecView<uint64_t> cell_colpre_i;
+  VecView<uint64_t> cell_colpre_j;
   /// Per 1-d bin of col_i / col_j: fraction of the 1-d rows that have the
   /// OTHER column non-null (clamped to [0, 1]; 1.0 for empty 1-d bins).
   /// Filled by PairwiseHist::FinishExecIndex (needs the 1-d histograms).
-  std::vector<double> nonnull_frac_i;
-  std::vector<double> nonnull_frac_j;
+  VecView<double> nonnull_frac_i;
+  VecView<double> nonnull_frac_j;
 
   uint64_t CellCount(size_t ti, size_t tj) const {
     return cells[ti * dim_j.NumBins() + tj];

@@ -1,6 +1,8 @@
 #include "hist/uniformity.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
 #include "common/stats.h"
 
@@ -27,6 +29,20 @@ double Chi2CriticalCache::Get(int df) const {
     slot.store(v, std::memory_order_relaxed);
   }
   return v;
+}
+
+std::shared_ptr<Chi2CriticalCache> SharedChi2CriticalCache(double alpha) {
+  static std::mutex mu;
+  static std::map<double, std::shared_ptr<Chi2CriticalCache>>* memo =
+      new std::map<double, std::shared_ptr<Chi2CriticalCache>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = memo->find(alpha);
+  if (it != memo->end()) return it->second;
+  auto cache = std::make_shared<Chi2CriticalCache>(alpha);
+  // Alphas come from persisted synopses — a handful of values, so the map
+  // never meaningfully grows and entries are deliberately immortal.
+  memo->emplace(alpha, cache);
+  return cache;
 }
 
 uint64_t CountUniqueSorted(const double* begin, const double* end) {

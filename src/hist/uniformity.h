@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pairwisehist {
@@ -46,6 +47,14 @@ class Chi2CriticalCache {
   // 0.0 marks "not yet computed" (critical values are strictly positive).
   mutable std::vector<std::atomic<double>> slots_;
 };
+
+/// Process-wide memo of caches keyed by alpha, for deserialization paths
+/// that materialize many segments sharing a handful of significance
+/// levels: the eager fill (kEager quantile computations) runs once per
+/// distinct alpha per process instead of once per segment per open.
+/// Thread-safe; the returned cache is immutable apart from its internal
+/// memoization and lives for the process.
+std::shared_ptr<Chi2CriticalCache> SharedChi2CriticalCache(double alpha);
 
 /// Result of a uniformity test.
 struct UniformityResult {

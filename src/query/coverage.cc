@@ -1,5 +1,7 @@
 #include "query/coverage.h"
 
+#include <span>
+
 #include <algorithm>
 #include <cmath>
 
@@ -211,7 +213,7 @@ void FinishCoverageBin(uint64_t h, uint64_t unique, uint64_t min_points,
 // First bin whose half-open edge span [e_t, e_{t+1}) can intersect values
 // >= v: the first t with edges[t+1] > v. Returns k when v is past the last
 // edge.
-size_t FirstOverlapBin(const std::vector<double>& edges, double v) {
+size_t FirstOverlapBin(std::span<const double> edges, double v) {
   return static_cast<size_t>(
       std::upper_bound(edges.begin() + 1, edges.end(), v) -
       (edges.begin() + 1));
@@ -219,7 +221,7 @@ size_t FirstOverlapBin(const std::vector<double>& edges, double v) {
 
 // One past the last bin whose edge span can intersect values <= v: the
 // number of lower edges <= v.
-size_t EndOverlapBin(const std::vector<double>& edges, double v) {
+size_t EndOverlapBin(std::span<const double> edges, double v) {
   return static_cast<size_t>(
       std::upper_bound(edges.begin(), edges.end() - 1, v) - edges.begin());
 }
@@ -229,7 +231,7 @@ size_t EndOverlapBin(const std::vector<double>& edges, double v) {
 // are integer codes and v_max < edges[t+1], so edges[t+1] <= hi + 0.5
 // implies v_max <= hi; bins outside [f0, f1) may still be fully covered
 // (checked per bin against v_min/v_max by the caller).
-void FullSpan(const std::vector<double>& edges, double lo, double hi,
+void FullSpan(std::span<const double> edges, double lo, double hi,
               size_t a, size_t b, size_t* f0, size_t* f1) {
   *f0 = static_cast<size_t>(
       std::lower_bound(edges.begin() + a, edges.begin() + b, lo) -
@@ -274,7 +276,7 @@ void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
   out->n_runs = 0;
   out->n_segs = 0;
   if (k == 0 || pred.Empty()) return;
-  const std::vector<double>& edges = dim.edges;
+  const std::span<const double> edges = dim.edges;
 
   // Overall candidate range: pieces are sorted, so the first piece's lower
   // bound and the last piece's upper bound delimit every touched bin.
@@ -365,8 +367,8 @@ void ComputeCoverageInto(const HistogramDim& dim, const IntervalSet& pred,
 
 bool CountFullyCovered(const HistogramDim& dim, const IntervalSet& pred,
                        double* total) {
-  const std::vector<double>& edges = dim.edges;
-  const std::vector<uint64_t>& prefix = dim.count_prefix;
+  const std::span<const double> edges = dim.edges;
+  const std::span<const uint64_t> prefix = dim.count_prefix;
   if (prefix.size() != dim.NumBins() + 1) return false;  // no exec index
   double sum = 0.0;
   for (const auto& piece : pred.pieces) {

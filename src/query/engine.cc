@@ -820,7 +820,7 @@ ProbSpan LeafProbFast(const PairwiseHist& ph, ExecArena& arena,
                          static_cast<uint32_t>(pmax)) -
         gdim.parent.begin());
   }
-  const std::vector<double>& nnf = pair.NonNullFrac();
+  const VecView<double>& nnf = pair.NonNullFrac();
   out.p = arena.Alloc(k);
   out.lo = arena.Alloc(k);
   out.hi = arena.Alloc(k);

@@ -290,6 +290,7 @@ HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
   b += ",\"cache_entries\":" + std::to_string(s.cache_entries);
   b += ",\"appends\":" + std::to_string(s.appends);
   b += ",\"errors\":" + std::to_string(s.errors);
+  b += ",\"mapped_bytes\":" + std::to_string(s.mapped_bytes);
   b += ",\"durable\":";
   b += s.durable ? "true" : "false";
   if (s.durable) {

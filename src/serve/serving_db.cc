@@ -20,7 +20,12 @@ namespace {
 
 constexpr char kWalFile[] = "wal.log";
 constexpr char kCheckpointPrefix[] = "checkpoint-";
-constexpr char kCheckpointSuffix[] = ".pws2";
+// New checkpoints are written in the memory-mappable PWS3 format, so
+// Recover reopens them in O(1) via Db::Open's mmap path. Pre-existing
+// .pws2 checkpoints (earlier builds) are still recognized and recovered
+// from — the next checkpoint rewrites the state as .pws3.
+constexpr char kCheckpointSuffix[] = ".pws3";
+constexpr char kLegacyCheckpointSuffix[] = ".pws2";
 
 std::string CheckpointPath(const std::string& dir, uint64_t epoch) {
   char buf[32];
@@ -29,31 +34,46 @@ std::string CheckpointPath(const std::string& dir, uint64_t epoch) {
   return dir + "/" + kCheckpointPrefix + buf + kCheckpointSuffix;
 }
 
-/// Checkpoint epochs present in `dir`, ascending. Missing dir = empty.
-std::vector<uint64_t> ListCheckpoints(const std::string& dir) {
-  std::vector<uint64_t> epochs;
+struct CheckpointFile {
+  uint64_t epoch = 0;
+  std::string path;
+};
+
+/// Checkpoint files present in `dir` (either suffix), ascending by epoch;
+/// for the same epoch the .pws3 file sorts after the legacy one, so
+/// back() is always the preferred recovery base. Missing dir = empty.
+std::vector<CheckpointFile> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointFile> files;
   DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return epochs;
+  if (d == nullptr) return files;
   const size_t prefix_len = std::strlen(kCheckpointPrefix);
-  const size_t suffix_len = std::strlen(kCheckpointSuffix);
   while (struct dirent* e = ::readdir(d)) {
     const std::string name = e->d_name;
-    if (name.size() <= prefix_len + suffix_len) continue;
-    if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) continue;
-    if (name.compare(name.size() - suffix_len, suffix_len,
-                     kCheckpointSuffix) != 0) {
-      continue;
+    size_t suffix_len = 0;
+    for (const char* suffix : {kCheckpointSuffix, kLegacyCheckpointSuffix}) {
+      const size_t n = std::strlen(suffix);
+      if (name.size() > prefix_len + n &&
+          name.compare(name.size() - n, n, suffix) == 0) {
+        suffix_len = n;
+        break;
+      }
     }
+    if (suffix_len == 0) continue;
+    if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) continue;
     const std::string digits =
         name.substr(prefix_len, name.size() - prefix_len - suffix_len);
     char* end = nullptr;
     const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
     if (end != digits.c_str() + digits.size()) continue;
-    epochs.push_back(v);
+    files.push_back({v, dir + "/" + name});
   }
   ::closedir(d);
-  std::sort(epochs.begin(), epochs.end());
-  return epochs;
+  std::sort(files.begin(), files.end(),
+            [](const CheckpointFile& a, const CheckpointFile& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch
+                                        : a.path < b.path;
+            });
+  return files;
 }
 
 Status EnsureDir(const std::string& dir) {
@@ -144,14 +164,15 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
     return Status::InvalidArgument(
         "ServingDb::Recover: durability.dir is empty");
   }
-  const std::vector<uint64_t> checkpoints = ListCheckpoints(dir);
+  const std::vector<CheckpointFile> checkpoints = ListCheckpoints(dir);
   if (checkpoints.empty()) {
     return Status::NotFound("ServingDb::Recover: no checkpoint in '" + dir +
                             "'");
   }
-  const uint64_t ckpt_epoch = checkpoints.back();
-  PH_ASSIGN_OR_RETURN(Db db,
-                      Db::Open(CheckpointPath(dir, ckpt_epoch), engine));
+  const uint64_t ckpt_epoch = checkpoints.back().epoch;
+  // PWS3 checkpoints mmap here (O(1), shared page cache); legacy .pws2
+  // ones heap-deserialize.
+  PH_ASSIGN_OR_RETURN(Db db, Db::Open(checkpoints.back().path, engine));
 
   RecoveryInfo info;
   info.checkpoint_epoch = ckpt_epoch;
@@ -429,8 +450,13 @@ Status ServingDb::CheckpointLocked() {
   // below is harmless: replay skips WAL records with epoch <= cur->epoch.
   PH_RETURN_IF_ERROR(failpoint::Fire("checkpoint.truncate_wal").status);
   PH_RETURN_IF_ERROR(wal_->Truncate());
-  for (uint64_t old : ListCheckpoints(dir)) {
-    if (old < cur->epoch) ::unlink(CheckpointPath(dir, old).c_str());
+  for (const CheckpointFile& old : ListCheckpoints(dir)) {
+    // Also removes a legacy .pws2 file of the current epoch: this fresh
+    // .pws3 checkpoint of the same state supersedes it.
+    if (old.epoch < cur->epoch ||
+        (old.epoch == cur->epoch && old.path != path)) {
+      ::unlink(old.path.c_str());
+    }
   }
   appends_since_checkpoint_ = 0;
   last_checkpoint_epoch_.store(cur->epoch, std::memory_order_relaxed);
@@ -445,6 +471,7 @@ ServingStats ServingDb::Stats() const {
     s.epoch = snap->epoch;
     s.segments = snap->db.num_segments();
     s.rows = snap->db.total_rows();
+    s.mapped_bytes = snap->db.mapped_bytes();
   }
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);

@@ -100,6 +100,11 @@ struct ServingStats {
   uint64_t cache_entries = 0;
   uint64_t appends = 0;
   uint64_t errors = 0;
+  /// Bytes of the current snapshot's synopsis borrowed zero-copy from a
+  /// memory-mapped PWS3 checkpoint (0 when heap-backed, e.g. built
+  /// fresh). Appended snapshots keep sharing the recovered segments, so
+  /// the mapping persists across appends until the segments are dropped.
+  uint64_t mapped_bytes = 0;
   // Durability (all zero when serving in-memory).
   bool durable = false;
   uint64_t wal_records = 0;

@@ -42,8 +42,9 @@ void RemoveDirIfPresent(const std::string& dir) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%020llu",
                   static_cast<unsigned long long>(e));
-    ::unlink((dir + "/checkpoint-" + buf + ".pws2").c_str());
-    ::unlink((dir + "/checkpoint-" + buf + ".pws2.tmp").c_str());
+    for (const char* suffix : {".pws2", ".pws2.tmp", ".pws3", ".pws3.tmp"}) {
+      ::unlink((dir + "/checkpoint-" + buf + suffix).c_str());
+    }
   }
   ::rmdir(dir.c_str());
 }
