@@ -1,4 +1,4 @@
-// Robustness benchmark for the hardened serving layer. Two experiments,
+// Robustness benchmark for the hardened serving layer. Three experiments,
 // one artifact (BENCH_robustness.json):
 //
 //  1. Durability cost: closed-loop readers plus a continuous /append
@@ -12,6 +12,12 @@
 //     shedding on, excess requests get fast 503s instead of queueing, so
 //     the p99 of ACCEPTED requests must stay within 3x of the
 //     uncontended p99 (the acceptance bar; recorded as p99_within_3x).
+//
+//  3. Integrity cost: the price of the PWS3 v2 checksum layer — cold
+//     mmap open + synchronous full verification (what recovery pays per
+//     checkpoint candidate), and in-process read QPS with the continuous
+//     background scrubber off vs on. Acceptance bar: the scrubber steals
+//     at most 5% of read throughput (recorded as scrub_within_5pct).
 //
 // Environment knobs (see bench_util.h for the shared ones):
 //   PH_SCALE_ROWS  dataset rows (default 100000)
@@ -31,6 +37,7 @@
 
 #include "api/db.h"
 #include "bench/bench_util.h"
+#include "core/integrity.h"
 #include "datagen/datasets.h"
 #include "serve/http_client.h"
 #include "serve/http_server.h"
@@ -333,6 +340,82 @@ OverloadResult RunOverload(const std::string& name, size_t rows,
   return r;
 }
 
+struct IntegrityResult {
+  double cold_open_ms = 0;    ///< mmap open, page cache dropped, no verify
+  double verify_ms = 0;       ///< synchronous full checksum sweep
+  uint64_t verified_blocks = 0;
+  double qps_scrub_off = 0;   ///< in-process readers, no scrubber
+  double qps_scrub_on = 0;    ///< same readers, continuous scrub passes
+  uint64_t scrub_passes_hint = 0;  ///< blocks verified during the on-run
+};
+
+/// In-process read throughput over a mmap-opened Db: `readers` threads
+/// hammer the heavy query for `secs` seconds. No HTTP — this isolates
+/// exactly what the scrubber's page walks steal from query execution.
+double MeasureReadQps(const Db& db, size_t readers, double secs) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = db.ExecuteSql(HeavySql());
+        if (r.ok()) done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const double t0 = NowSeconds();
+  while (NowSeconds() - t0 < secs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = NowSeconds() - t0;
+  return elapsed > 0 ? static_cast<double>(done.load()) / elapsed : 0;
+}
+
+IntegrityResult RunIntegrity(size_t rows, size_t readers, double secs) {
+  const std::string path = "/tmp/ph_bench_robustness_integrity.pws3";
+  {
+    Db db = BuildDb(rows);
+    if (!db.Save(path, SaveFormat::kPws3).ok()) std::exit(1);
+  }
+  IntegrityResult r;
+
+  // Cold open + verify: what Recover pays per checkpoint candidate.
+  DropFileCache(path);
+  DbOptions opts;
+  opts.open_mode = OpenMode::kMmap;
+  opts.scrub = false;
+  {
+    double t0 = NowSeconds();
+    auto cold = Db::Open(path, opts);
+    r.cold_open_ms = (NowSeconds() - t0) * 1e3;
+    if (!cold.ok()) std::exit(1);
+    t0 = NowSeconds();
+    if (!cold->VerifyIntegrity().ok()) std::exit(1);
+    r.verify_ms = (NowSeconds() - t0) * 1e3;
+    r.verified_blocks = cold->synopses().integrity() != nullptr
+                            ? cold->synopses().integrity()->blocks_verified()
+                            : 0;
+    r.qps_scrub_off = MeasureReadQps(cold.value(), readers, secs);
+  }
+
+  // Same workload with the continuous scrubber sweeping underneath.
+  DbOptions scrub_opts = opts;
+  scrub_opts.scrub = true;
+  scrub_opts.scrub_repeat_ms = 10;
+  auto scrubbed = Db::Open(path, scrub_opts);
+  if (!scrubbed.ok()) std::exit(1);
+  r.qps_scrub_on = MeasureReadQps(scrubbed.value(), readers, secs);
+  r.scrub_passes_hint =
+      scrubbed->synopses().integrity() != nullptr
+          ? scrubbed->synopses().integrity()->blocks_verified()
+          : 0;
+  ::unlink(path.c_str());
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -412,6 +495,20 @@ int main() {
     overload_json += row;
   }
 
+  // Experiment 3: integrity cost (checksummed open + background scrub).
+  const IntegrityResult integrity = RunIntegrity(rows, capacity, secs);
+  const double scrub_ratio = integrity.qps_scrub_off > 0
+                                 ? integrity.qps_scrub_on /
+                                       integrity.qps_scrub_off
+                                 : 0;
+  const bool scrub_within_5pct = scrub_ratio >= 0.95;
+  std::printf(
+      "\n%-18s %12s %12s %12s %12s\n", "integrity", "open ms", "verify ms",
+      "qps off", "qps on");
+  std::printf("%-18s %12.2f %12.2f %12.0f %12.0f\n", "mmap_v2",
+              integrity.cold_open_ms, integrity.verify_ms,
+              integrity.qps_scrub_off, integrity.qps_scrub_on);
+
   const double p99_ratio =
       overload[0].p99_us > 0 ? overload[2].p99_us / overload[0].p99_us : 0;
   const bool p99_within_3x = p99_ratio > 0 && p99_ratio <= 3.0;
@@ -421,9 +518,23 @@ int main() {
           : 0;
   std::printf(
       "\nshed p99 vs uncontended: %.2fx (bar: <= 3x, %s); "
-      "read QPS no_wal/wal_always: %.2fx%s\n",
-      p99_ratio, p99_within_3x ? "PASS" : "FAIL", wal_cost,
+      "read QPS no_wal/wal_always: %.2fx; "
+      "scrub-on/scrub-off QPS: %.3fx (bar: >= 0.95, %s)%s\n",
+      p99_ratio, p99_within_3x ? "PASS" : "FAIL", wal_cost, scrub_ratio,
+      scrub_within_5pct ? "PASS" : "FAIL",
       total_errors == 0 ? "" : "  [HTTP ERRORS!]");
+
+  char integrity_json[448];
+  std::snprintf(
+      integrity_json, sizeof(integrity_json),
+      "    {\"cold_open_ms\": %.3f, \"verify_ms\": %.3f, "
+      "\"verified_blocks\": %llu, \"qps_scrub_off\": %.1f, "
+      "\"qps_scrub_on\": %.1f, \"scrub_qps_ratio\": %.4f, "
+      "\"scrub_within_5pct\": %s}",
+      integrity.cold_open_ms, integrity.verify_ms,
+      (unsigned long long)integrity.verified_blocks, integrity.qps_scrub_off,
+      integrity.qps_scrub_on, scrub_ratio,
+      scrub_within_5pct ? "true" : "false");
 
   char head[320];
   std::snprintf(head, sizeof(head),
@@ -437,6 +548,7 @@ int main() {
   WriteBenchJson("BENCH_robustness.json",
                  std::string(head) + durability_json +
                      "\n  ],\n  \"overload\": [\n" + overload_json +
-                     "\n  ]\n}");
-  return total_errors == 0 && p99_within_3x ? 0 : 1;
+                     "\n  ],\n  \"integrity\": [\n" +
+                     std::string(integrity_json) + "\n  ]\n}");
+  return total_errors == 0 && p99_within_3x && scrub_within_5pct ? 0 : 1;
 }

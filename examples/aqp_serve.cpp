@@ -23,6 +23,7 @@
 //   POST /batch   {"sqls":["...", "..."]}
 //   POST /append  CSV body with header row (sealed as fresh segments)
 //   GET  /stats   serving counters (epoch, WAL, shedding, cache, ...)
+//   GET  /healthz lifecycle + integrity (200 ok / 503 starting|draining)
 //
 // Prints "serving on port <P>" once ready (the CI smoke test greps it),
 // then blocks until SIGINT/SIGTERM or EOF on stdin. SIGTERM/SIGINT drain
@@ -196,9 +197,11 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<ServiceGate> gate;
   if (has_limits) gate = std::make_unique<ServiceGate>(limits);
-  HttpServer server(MakeServingHandler(serving.get(), gate.get()),
-                    MakeServingBatchHandler(serving.get(), gate.get()),
+  ServiceState state;
+  HttpServer server(MakeServingHandler(serving.get(), gate.get(), &state),
+                    MakeServingBatchHandler(serving.get(), gate.get(), &state),
                     server_options);
+  state.Set(ServiceState::Phase::kOk);
   Status st = server.Start(static_cast<uint16_t>(port));
   if (!st.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
@@ -223,8 +226,10 @@ int main(int argc, char** argv) {
     if (c == 'q') break;
   }
 
-  // Graceful shutdown: finish in-flight requests, then (durable mode)
-  // take a final checkpoint so restart needs no WAL replay.
+  // Graceful shutdown: flip /healthz to 503 so load balancers route
+  // away, finish in-flight requests, then (durable mode) take a final
+  // checkpoint so restart needs no WAL replay.
+  state.Set(ServiceState::Phase::kDraining);
   server.Drain(/*grace_ms=*/5000);
   if (serving->durable()) {
     Status cp = serving->Checkpoint();

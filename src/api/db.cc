@@ -148,6 +148,7 @@ StatusOr<Db> Db::Build(Table table, const DbOptions& opts) {
   }
   db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
                                                  MakeExecOptions(options));
+  db.allow_degraded_ = options.allow_degraded;
   return db;
 }
 
@@ -172,6 +173,7 @@ StatusOr<Db> Db::FromSet(SynopsisSet set, const DbOptions& options) {
   db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
                                                  MakeExecOptions(options));
   db.name_ = "synopsis";
+  db.allow_degraded_ = options.allow_degraded;
   // Recover append build parameters from the newest stored segment so
   // post-Open appends seal segments consistent with the original build
   // (the original DbOptions are not serialized). When the segment sampled
@@ -221,6 +223,12 @@ StatusOr<Db> Db::Open(const std::string& path, const DbOptions& options) {
   }
   if (mode == OpenMode::kMmap) {
     PH_ASSIGN_OR_RETURN(SynopsisSet set, SynopsisSet::OpenMapped(path));
+    // Mapped PWS3 v2 opens skip eager verification (the open stays
+    // O(metadata)); the background scrubber sweeps the payload blocks
+    // instead, and a CoW promotion re-verifies whatever it copies from.
+    if (options.scrub) {
+      set.StartScrub(options.scrub_mb_per_s, options.scrub_repeat_ms);
+    }
     return FromSet(std::move(set), options);
   }
   std::ifstream in(path, std::ios::binary);
@@ -494,6 +502,7 @@ StatusOr<Db> Db::WithAppended(const Table& batch) const {
   out.append_cfg_ = append_cfg_;
   out.target_segment_rows_ = target_segment_rows_;
   out.append_mode_ = append_mode_;
+  out.allow_degraded_ = allow_degraded_;
   if (batch.NumRows() == 0) {
     out.set_ = std::make_unique<SynopsisSet>(set_->Share());
     if (table_ != nullptr) out.table_ = std::make_unique<Table>(*table_);
@@ -509,6 +518,28 @@ StatusOr<Db> Db::WithAppended(const Table& batch) const {
       PH_RETURN_IF_ERROR(AppendRows(out.table_.get(), canonical));
     }
   }
+  out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
+                                                  exec_->options());
+  return out;
+}
+
+StatusOr<Db> Db::WithoutQuarantined() const {
+  if (!has_quarantine()) {
+    return Status::InvalidArgument(
+        "WithoutQuarantined: no segment is quarantined");
+  }
+  SynopsisSet healthy = set_->ShareHealthy();
+  if (healthy.NumSegments() == 0) {
+    return Status::DataLoss(
+        "every segment is quarantined; nothing left to serve");
+  }
+  Db out;
+  out.name_ = name_;
+  out.append_cfg_ = append_cfg_;
+  out.target_segment_rows_ = target_segment_rows_;
+  out.append_mode_ = append_mode_;
+  out.allow_degraded_ = allow_degraded_;
+  out.set_ = std::make_unique<SynopsisSet>(std::move(healthy));
   out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
                                                   exec_->options());
   return out;

@@ -126,6 +126,20 @@ struct DbOptions {
   /// How Db::Open(path, options) materializes the synopsis file (ignored
   /// by the build-from-data constructors). See OpenMode.
   OpenMode open_mode = OpenMode::kAuto;
+  /// Serve queries from the surviving segments when some are quarantined
+  /// by integrity verification, instead of failing closed. Plumbed to
+  /// ServingDb as its default; per-request opt-in (X-Allow-Degraded)
+  /// overrides it there.
+  bool allow_degraded = false;
+  /// Background-scrub a memory-mapped PWS3 v2 open: one checksum sweep of
+  /// the mapping starts after open (heap opens verify eagerly instead and
+  /// ignore these knobs).
+  bool scrub = true;
+  /// Scrub rate limit in MB/s (0 = unthrottled).
+  uint32_t scrub_mb_per_s = 128;
+  /// Pause between scrub passes; 0 = a single pass, >0 = continuous
+  /// scrubbing with this many milliseconds between sweeps.
+  uint32_t scrub_repeat_ms = 0;
 };
 
 class Db;
@@ -336,6 +350,28 @@ class Db {
   bool mapped() const { return set_->mapped(); }
   size_t mapped_bytes() const { return set_->mapped_bytes(); }
 
+  // ---- Integrity (memory-mapped PWS3 v2 opens) --------------------------
+  /// Synchronous checksum sweep of the backing mapping (OK for heap /
+  /// legacy opens, which verified eagerly). Failing blocks quarantine
+  /// their segments.
+  Status VerifyIntegrity() const { return set_->VerifyIntegrity(); }
+  /// True when integrity verification has quarantined any segment.
+  bool has_quarantine() const { return set_->has_quarantine(); }
+  size_t quarantined_segment_count() const {
+    return set_->quarantined_segment_count();
+  }
+  /// Rows a degraded answer would skip.
+  uint64_t quarantined_rows() const { return set_->quarantined_rows(); }
+  /// Bumped per newly quarantined segment (degraded caches key on it).
+  uint64_t quarantine_version() const { return set_->quarantine_version(); }
+  uint64_t scrub_errors() const { return set_->scrub_errors(); }
+  /// The DbOptions::allow_degraded this Db was opened with.
+  bool allow_degraded() const { return allow_degraded_; }
+  /// The degraded-serving view: a NEW synopsis-only Db sharing every
+  /// non-quarantined segment with this one. Fails InvalidArgument when
+  /// nothing is quarantined (use `this`) or every segment is quarantined.
+  StatusOr<Db> WithoutQuarantined() const;
+
  private:
   Db() = default;
   static StatusOr<Db> Build(Table table, const DbOptions& options);
@@ -363,6 +399,7 @@ class Db {
   PairwiseHistConfig append_cfg_;
   size_t target_segment_rows_ = 0;
   AppendMode append_mode_ = AppendMode::kSealSegment;
+  bool allow_degraded_ = false;
 };
 
 }  // namespace pairwisehist

@@ -1,0 +1,25 @@
+// Out-of-line home of the VecView promotion hook: a single process-wide
+// atomic function pointer, so the header-only template stays dependency-
+// free and promotions cost one relaxed load when no hook is installed.
+#include "common/vec_view.h"
+
+#include <atomic>
+
+namespace pairwisehist {
+namespace internal {
+
+namespace {
+std::atomic<VecViewPromotionHook> g_hook{nullptr};
+}  // namespace
+
+void NotifyVecViewPromotion(const void* data, size_t bytes) {
+  VecViewPromotionHook hook = g_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(data, bytes);
+}
+
+void SetVecViewPromotionHook(VecViewPromotionHook hook) {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+}  // namespace internal
+}  // namespace pairwisehist

@@ -26,6 +26,17 @@
 
 namespace pairwisehist {
 
+namespace internal {
+/// Called once per borrowed→owned promotion, BEFORE the bytes are copied,
+/// with the borrowed source range. The PWS3 integrity layer installs a
+/// hook here that checksum-verifies the mapped blocks a copy-on-write
+/// promotion reads from; with no hook installed this is one relaxed
+/// atomic load. Defined in vec_view.cc.
+void NotifyVecViewPromotion(const void* data, size_t bytes);
+using VecViewPromotionHook = void (*)(const void* data, size_t bytes);
+void SetVecViewPromotionHook(VecViewPromotionHook hook);
+}  // namespace internal
+
 template <typename T>
 class VecView {
  public:
@@ -116,6 +127,7 @@ class VecView {
  private:
   std::vector<T>& EnsureOwned() {
     if (borrowed()) {
+      internal::NotifyVecViewPromotion(view_, view_size_ * sizeof(T));
       own_.assign(view_, view_ + view_size_);
       view_ = nullptr;
       view_size_ = 0;

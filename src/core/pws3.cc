@@ -3,15 +3,23 @@
 
 #include "core/pws3.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/serialize.h"
+#include "core/integrity.h"
 #include "core/transform_codec.h"
 #include "storage/wal.h"  // Crc32
 
 namespace pairwisehist {
+
+static_assert(Pws3Codec::kCrcBlockSize == Pws3Integrity::kBlockSize,
+              "codec and verifier must agree on the CRC block size");
 
 namespace {
 
@@ -58,14 +66,42 @@ class ImageBuilder {
   ByteWriter* meta() { return &meta_; }
 
   std::vector<uint8_t> Finish(uint32_t num_segments) {
-    // Close the data region on an aligned boundary so the meta offset is
-    // stable regardless of the last array's length.
+    // Close the data region on an aligned boundary so the crc/meta
+    // offsets are stable regardless of the last array's length.
     size_t data_end = Align(body_.size());
     body_.resize(data_end, 0);
+
+    // Per-block payload CRCs over [kHeaderSize, data_end); the final
+    // block may be short.
+    const size_t data_bytes = data_end - Pws3Codec::kHeaderSize;
+    const size_t nblocks =
+        (data_bytes + Pws3Codec::kCrcBlockSize - 1) / Pws3Codec::kCrcBlockSize;
+    std::vector<uint32_t> block_crcs(nblocks);
+    for (size_t k = 0; k < nblocks; ++k) {
+      const size_t begin = Pws3Codec::kHeaderSize + k * Pws3Codec::kCrcBlockSize;
+      const size_t end =
+          std::min(data_end, begin + Pws3Codec::kCrcBlockSize);
+      block_crcs[k] = Crc32(body_.data() + begin, end - begin);
+    }
+    const uint8_t* table =
+        reinterpret_cast<const uint8_t*>(block_crcs.data());
+    const size_t table_bytes = nblocks * sizeof(uint32_t);
+    const uint32_t table_crc = Crc32(table, table_bytes);
+
+    // Corruption generator for tests: with `pws3.block_corrupt` armed as
+    // error, flip one payload byte AFTER the CRCs were computed — the
+    // image then carries exactly the at-rest rot the verifiers must
+    // catch. (crash mode kills the writer here, before any file I/O.)
+    if (!failpoint::Fire("pws3.block_corrupt").status.ok() &&
+        data_bytes > 0) {
+      body_[Pws3Codec::kHeaderSize + data_bytes / 2] ^= 0x01;
+    }
+
     std::vector<uint8_t> meta = meta_.Finish();
     uint32_t crc = Crc32(meta.data(), meta.size());
 
     std::vector<uint8_t> out = std::move(body_);
+    out.insert(out.end(), table, table + table_bytes);
     out.insert(out.end(), meta.begin(), meta.end());
 
     auto put32 = [&out](size_t at, uint32_t v) {
@@ -77,10 +113,13 @@ class ImageBuilder {
     put32(0, Pws3Codec::kMagic);
     put32(4, Pws3Codec::kVersion);
     put64(8, out.size());              // file_size
-    put64(16, data_end);               // data_end == meta offset
+    put64(16, data_end);               // data_end
     put64(24, meta.size());            // meta_size
     put32(32, crc);                    // meta_crc32
     put32(36, num_segments);
+    put64(40, data_end);               // crc_off (table follows the data)
+    put32(48, static_cast<uint32_t>(nblocks));  // crc_count
+    put32(52, table_crc);              // crc_table_crc32
     return out;
   }
 
@@ -100,11 +139,17 @@ Status Bad(const std::string& what) {
   return Status::DataLoss("PWS3: " + what);
 }
 
-// Context shared by every array load of one Decode call.
+// Context shared by every array load of one Decode call. seg_lo/seg_hi
+// accumulate the data-region byte range the current segment's arrays
+// occupy (contiguous by construction: Encode lays segments out in
+// order); Decode resets them per segment and snapshots the result as
+// that segment's integrity span.
 struct LoadCtx {
   std::span<const uint8_t> bytes;
   uint64_t data_end = 0;
   bool zero_copy = false;
+  uint64_t seg_lo = 0;
+  uint64_t seg_hi = 0;
 };
 
 // Reads one {offset, count} reference from the metadata stream, validates
@@ -114,7 +159,7 @@ struct LoadCtx {
 constexpr size_t kAnyCount = static_cast<size_t>(-1);
 
 template <typename T>
-Status LoadArr(ByteReader* r, const LoadCtx& ctx, size_t expect,
+Status LoadArr(ByteReader* r, LoadCtx* ctx, size_t expect,
                VecView<T>* out, const char* name, bool optional = false) {
   uint64_t off = 0, count = 0;
   if (!r->ReadVarintFast(&off) || !r->ReadVarintFast(&count)) {
@@ -129,14 +174,16 @@ Status LoadArr(ByteReader* r, const LoadCtx& ctx, size_t expect,
     return Status::OK();
   }
   if (off < Pws3Codec::kHeaderSize || off % Pws3Codec::kAlign != 0 ||
-      off > ctx.data_end) {
+      off > ctx->data_end) {
     return Bad("array offset out of range");
   }
-  if (count > (ctx.data_end - off) / sizeof(T)) {
+  if (count > (ctx->data_end - off) / sizeof(T)) {
     return Bad("array extends past data region");
   }
-  const uint8_t* src = ctx.bytes.data() + off;
-  if (ctx.zero_copy) {
+  ctx->seg_lo = std::min(ctx->seg_lo, off);
+  ctx->seg_hi = std::max(ctx->seg_hi, off + count * sizeof(T));
+  const uint8_t* src = ctx->bytes.data() + off;
+  if (ctx->zero_copy) {
     // The mapping is page-aligned and offsets are 64-byte-aligned, so the
     // typed pointer is aligned for any element type used here.
     out->BindView(reinterpret_cast<const T*>(src), count);
@@ -150,7 +197,7 @@ Status LoadArr(ByteReader* r, const LoadCtx& ctx, size_t expect,
 // Loads one HistogramDim and validates the internal size invariants.
 // `parent_bins`: 0 for a 1-d histogram (no parent mapping), else the
 // number of bins the parent indices must stay below.
-Status LoadDim(ByteReader* r, const LoadCtx& ctx, size_t parent_bins,
+Status LoadDim(ByteReader* r, LoadCtx* ctx, size_t parent_bins,
                HistogramDim* h) {
   PH_RETURN_IF_ERROR(LoadArr(r, ctx, kAnyCount, &h->edges, "edges"));
   if (h->edges.size() < 2) return Bad("histogram has fewer than 2 edges");
@@ -185,6 +232,13 @@ struct Header {
   uint64_t meta_size = 0;
   uint32_t meta_crc = 0;
   uint32_t num_segments = 0;
+  // v2 only (zero on v1 files):
+  uint64_t crc_off = 0;
+  uint32_t crc_count = 0;
+  uint32_t crc_table_crc = 0;
+  // Where the metadata stream begins: data_end on v1, after the CRC
+  // table on v2.
+  uint64_t meta_off = 0;
 };
 
 Status ReadHeader(std::span<const uint8_t> bytes, Header* h) {
@@ -206,15 +260,43 @@ Status ReadHeader(std::span<const uint8_t> bytes, Header* h) {
   if (h->file_size != bytes.size()) {
     return Bad("file size mismatch (truncated or torn write)");
   }
-  if (h->data_end < Pws3Codec::kHeaderSize || h->data_end > bytes.size() ||
-      h->meta_size > bytes.size() - h->data_end ||
-      h->data_end + h->meta_size != bytes.size()) {
+  if (h->data_end < Pws3Codec::kHeaderSize || h->data_end > bytes.size()) {
+    return Bad("section directory out of range");
+  }
+  if (h->version >= 2) {
+    PH_ASSIGN_OR_RETURN(h->crc_off, r.ReadU64());
+    PH_ASSIGN_OR_RETURN(h->crc_count, r.ReadU32());
+    PH_ASSIGN_OR_RETURN(h->crc_table_crc, r.ReadU32());
+    PH_ASSIGN_OR_RETURN(uint32_t rsvd_lo, r.ReadU32());
+    PH_ASSIGN_OR_RETURN(uint32_t rsvd_hi, r.ReadU32());
+    // Reserved bytes are zero by construction; enforcing that makes a
+    // bit flip anywhere in the header detectable.
+    if (rsvd_lo != 0 || rsvd_hi != 0) return Bad("reserved bytes not zero");
+    if (h->crc_off != h->data_end) return Bad("crc table offset mismatch");
+    const uint64_t data_bytes = h->data_end - Pws3Codec::kHeaderSize;
+    const uint64_t expect_blocks =
+        (data_bytes + Pws3Codec::kCrcBlockSize - 1) / Pws3Codec::kCrcBlockSize;
+    if (h->crc_count != expect_blocks) return Bad("crc table size mismatch");
+    h->meta_off = h->data_end + uint64_t{4} * h->crc_count;
+  } else {
+    h->meta_off = h->data_end;
+  }
+  if (h->meta_off > bytes.size() ||
+      h->meta_size > bytes.size() - h->meta_off ||
+      h->meta_off + h->meta_size != bytes.size()) {
     return Bad("section directory out of range");
   }
   if (h->num_segments == 0 || h->num_segments > (1u << 20)) {
     return Bad("segment count out of range");
   }
-  uint32_t crc = Crc32(bytes.data() + h->data_end, h->meta_size);
+  if (h->version >= 2) {
+    uint32_t table_crc =
+        Crc32(bytes.data() + h->crc_off, uint64_t{4} * h->crc_count);
+    if (table_crc != h->crc_table_crc) {
+      return Bad("crc table checksum mismatch");
+    }
+  }
+  uint32_t crc = Crc32(bytes.data() + h->meta_off, h->meta_size);
   if (crc != h->meta_crc) return Bad("metadata checksum mismatch");
   return Status::OK();
 }
@@ -270,17 +352,40 @@ StatusOr<SynopsisSet> Pws3Codec::Decode(
     std::shared_ptr<const MappedFile> backing) {
   Header hdr;
   PH_RETURN_IF_ERROR(ReadHeader(bytes, &hdr));
+  if (hdr.version == 1) BumpPws3LegacyOpenCount();
+
+  // Heap opens verify every payload block eagerly: the bytes are about
+  // to be copied anyway, so the sweep is one extra sequential pass and
+  // corruption fails the open instead of surfacing as wrong answers.
+  // Mapped opens stay O(metadata); their blocks are verified lazily by
+  // the scrubber and the copy-on-write promotion hook.
+  if (hdr.version >= 2 && backing == nullptr) {
+    for (uint32_t k = 0; k < hdr.crc_count; ++k) {
+      const uint64_t begin =
+          Pws3Codec::kHeaderSize + uint64_t{k} * Pws3Codec::kCrcBlockSize;
+      const uint64_t end =
+          std::min<uint64_t>(hdr.data_end, begin + Pws3Codec::kCrcBlockSize);
+      uint32_t want = 0;
+      std::memcpy(&want, bytes.data() + hdr.crc_off + uint64_t{4} * k, 4);
+      if (Crc32(bytes.data() + begin, end - begin) != want) {
+        return Bad("data block " + std::to_string(k) + " checksum mismatch");
+      }
+    }
+  }
 
   LoadCtx ctx;
   ctx.bytes = bytes;
   ctx.data_end = hdr.data_end;
   ctx.zero_copy = backing != nullptr;
 
-  ByteReader r(bytes.data() + hdr.data_end, hdr.meta_size);
+  ByteReader r(bytes.data() + hdr.meta_off, hdr.meta_size);
 
   SynopsisSet out;
+  std::vector<Pws3Integrity::SegmentSpan> spans(hdr.num_segments);
   out.segments_.resize(hdr.num_segments);
   for (uint32_t s = 0; s < hdr.num_segments; ++s) {
+    ctx.seg_lo = hdr.data_end;  // min/max identities for the span fold
+    ctx.seg_hi = Pws3Codec::kHeaderSize;
     SynopsisSet::Segment& seg = out.segments_[s];
     PH_ASSIGN_OR_RETURN(seg.meta.row_begin, r.ReadU64());
     PH_ASSIGN_OR_RETURN(seg.meta.row_end, r.ReadU64());
@@ -316,7 +421,7 @@ StatusOr<SynopsisSet> Pws3Codec::Decode(
 
     ph.hist1d_.resize(d);
     for (uint64_t c = 0; c < d; ++c) {
-      PH_RETURN_IF_ERROR(LoadDim(&r, ctx, /*parent_bins=*/0,
+      PH_RETURN_IF_ERROR(LoadDim(&r, &ctx, /*parent_bins=*/0,
                                  &ph.hist1d_[c]));
     }
 
@@ -331,33 +436,46 @@ StatusOr<SynopsisSet> Pws3Codec::Decode(
         PH_ASSIGN_OR_RETURN(p.col_j, r.ReadU32());
         if (p.col_i != i || p.col_j != j) return Bad("pair slot mismatch");
         PH_RETURN_IF_ERROR(
-            LoadDim(&r, ctx, ph.hist1d_[i].NumBins(), &p.dim_i));
+            LoadDim(&r, &ctx, ph.hist1d_[i].NumBins(), &p.dim_i));
         PH_RETURN_IF_ERROR(
-            LoadDim(&r, ctx, ph.hist1d_[j].NumBins(), &p.dim_j));
+            LoadDim(&r, &ctx, ph.hist1d_[j].NumBins(), &p.dim_j));
         const size_t ki = p.dim_i.NumBins();
         const size_t kj = p.dim_j.NumBins();
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ki * kj, &p.cells, "cells"));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ki * (kj + 1),
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, ki * kj, &p.cells, "cells"));
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, ki * (kj + 1),
                                    &p.cell_prefix_i, "cell_prefix_i"));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, kj * (ki + 1),
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, kj * (ki + 1),
                                    &p.cell_prefix_j, "cell_prefix_j"));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, (kj + 1) * ki,
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, (kj + 1) * ki,
                                    &p.cell_colpre_i, "cell_colpre_i"));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, (ki + 1) * kj,
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, (ki + 1) * kj,
                                    &p.cell_colpre_j, "cell_colpre_j"));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ph.hist1d_[i].NumBins(),
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, ph.hist1d_[i].NumBins(),
                                    &p.nonnull_frac_i, "nonnull_frac_i",
                                    /*optional=*/true));
-        PH_RETURN_IF_ERROR(LoadArr(&r, ctx, ph.hist1d_[j].NumBins(),
+        PH_RETURN_IF_ERROR(LoadArr(&r, &ctx, ph.hist1d_[j].NumBins(),
                                    &p.nonnull_frac_j, "nonnull_frac_j",
                                    /*optional=*/true));
       }
     }
     // Execution indexes were persisted verbatim — no FinishExecIndex.
     seg.synopsis = std::make_shared<PairwiseHist>(std::move(ph));
+    if (ctx.seg_hi > ctx.seg_lo) spans[s] = {ctx.seg_lo, ctx.seg_hi};
   }
   if (r.remaining() != 0) return Bad("trailing metadata bytes");
   out.mapped_bytes_ = backing ? bytes.size() : 0;
+  if (backing != nullptr && hdr.version >= 2) {
+    std::vector<uint32_t> crcs(hdr.crc_count);
+    if (hdr.crc_count > 0) {
+      std::memcpy(crcs.data(), bytes.data() + hdr.crc_off,
+                  uint64_t{4} * hdr.crc_count);
+    }
+    auto integrity = std::make_shared<Pws3Integrity>(
+        backing, Pws3Codec::kHeaderSize, hdr.data_end, std::move(crcs),
+        std::move(spans));
+    Pws3Integrity::Register(integrity);
+    out.integrity_ = std::move(integrity);
+  }
   return out;
 }
 
@@ -395,7 +513,17 @@ StatusOr<SynopsisSet> SynopsisSet::OpenMapped(const std::string& path) {
                       backing->size() - data_end);
     }
   }
-  return Pws3Codec::Decode(backing->bytes(), backing);
+  PH_ASSIGN_OR_RETURN(SynopsisSet set,
+                      Pws3Codec::Decode(backing->bytes(), backing));
+  // Truncation-under-open check: if the file shrank after the mmap was
+  // established, reads past the new EOF would SIGBUS. Fail the open
+  // cleanly instead of handing out a mapping with a hole.
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0 ||
+      static_cast<uint64_t>(st.st_size) < backing->size()) {
+    return Bad("'" + path + "' truncated while opening");
+  }
+  return set;
 }
 
 }  // namespace pairwisehist

@@ -4,12 +4,25 @@
 //
 //   [ 64-byte header ]
 //   [ 64-byte-aligned raw array payloads ... ]        <- "data" region
+//   [ u32 CRC32 per 64 KB data block ]                <- "crc" region (v2)
 //   [ ByteWriter metadata stream, CRC32-protected ]   <- "meta" region
 //
 //   header:  u32 magic "PWS3"   u32 version
-//            u64 file_size      u64 data_end (== meta offset)
+//            u64 file_size      u64 data_end
 //            u64 meta_size      u32 meta_crc32
-//            u32 num_segments   [20 reserved zero bytes]
+//            u32 num_segments
+//            u64 crc_off (== data_end)   u32 crc_count
+//            u32 crc_table_crc32         [8 reserved zero bytes]
+//
+// v2 adds the crc region: one CRC32 per kCrcBlockSize (64 KB) block of
+// the data region (the last block may be short), so corruption in the
+// raw payloads — which v1 only checksummed indirectly via the meta
+// stream's array references — is detectable without decoding. The table
+// itself is covered by crc_table_crc32, and the meta stream now begins
+// at crc_off + 4 * crc_count. v1 files (no crc region, meta at data_end,
+// reserved bytes unchecked) still open; each such open bumps
+// Pws3LegacyOpenCount(). For v2 the reserved tail bytes must be zero so
+// single-bit flips anywhere in the header are rejected.
 //
 // Every numeric array of every segment (bin edges, counts, per-bin
 // metadata, cell matrices, AND the FinishExecIndex-derived execution
@@ -46,9 +59,11 @@ namespace pairwisehist {
 class Pws3Codec {
  public:
   static constexpr uint32_t kMagic = 0x50575333;  // "PWS3"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
   static constexpr size_t kHeaderSize = 64;
   static constexpr size_t kAlign = 64;
+  /// Payload checksum granularity: one CRC32 per 64 KB data block.
+  static constexpr size_t kCrcBlockSize = 64 * 1024;
 
   /// Builds the complete PWS3 image in memory. Requires every segment to
   /// carry its execution indexes (true for all public construction paths,

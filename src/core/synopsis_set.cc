@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/serialize.h"
+#include "core/integrity.h"
 #include "core/pws3.h"
 
 namespace pairwisehist {
@@ -110,6 +111,56 @@ SynopsisSet SynopsisSet::Share() const {
   out.segments_ = segments_;  // shares every (immutable) synopsis
   out.meta_generation_ = meta_generation_;
   out.mapped_bytes_ = mapped_bytes_;  // shared segments keep borrowing
+  out.integrity_ = integrity_;  // one quarantine state across snapshots
+  return out;
+}
+
+Status SynopsisSet::VerifyIntegrity() const {
+  return integrity_ ? integrity_->VerifyAll() : Status::OK();
+}
+
+void SynopsisSet::StartScrub(uint32_t mb_per_s, uint32_t repeat_ms) const {
+  if (integrity_) integrity_->StartScrub(mb_per_s, repeat_ms);
+}
+
+bool SynopsisSet::has_quarantine() const {
+  return integrity_ && integrity_->any_quarantined();
+}
+
+size_t SynopsisSet::quarantined_segment_count() const {
+  if (!integrity_) return 0;
+  size_t n = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (integrity_->quarantined(i)) ++n;
+  }
+  return n;
+}
+
+uint64_t SynopsisSet::quarantined_rows() const {
+  if (!integrity_) return 0;
+  uint64_t n = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (integrity_->quarantined(i)) n += segments_[i].synopsis->total_rows();
+  }
+  return n;
+}
+
+uint64_t SynopsisSet::quarantine_version() const {
+  return integrity_ ? integrity_->quarantine_version() : 0;
+}
+
+uint64_t SynopsisSet::scrub_errors() const {
+  return integrity_ ? integrity_->scrub_errors() : 0;
+}
+
+SynopsisSet SynopsisSet::ShareHealthy() const {
+  SynopsisSet out;
+  out.meta_generation_ = meta_generation_;
+  out.mapped_bytes_ = mapped_bytes_;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (integrity_ && integrity_->quarantined(i)) continue;
+    out.segments_.push_back(segments_[i]);
+  }
   return out;
 }
 

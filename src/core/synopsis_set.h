@@ -28,6 +28,8 @@
 
 namespace pairwisehist {
 
+class Pws3Integrity;  // core/integrity.h
+
 /// Per-segment metadata riding next to the synopsis: the row range it was
 /// sealed from and the planner pruning ranges.
 struct SegmentMeta {
@@ -131,6 +133,33 @@ class SynopsisSet {
   size_t mapped_bytes() const { return mapped_bytes_; }
   bool mapped() const { return mapped_bytes_ != 0; }
 
+  // ---- Integrity (PWS3 v2 mapped opens only; see core/integrity.h) ------
+  /// The verification state of the mapping backing this set's segments,
+  /// or null for heap sets, legacy files and built-in-memory sets.
+  /// Shared (not copied) by Share()/WithSealed(), so a quarantine raised
+  /// through any snapshot is visible to all of them.
+  const std::shared_ptr<Pws3Integrity>& integrity() const {
+    return integrity_;
+  }
+  /// Synchronous checksum sweep of the backing mapping; OK (trivially)
+  /// when there is no integrity state. Failing blocks quarantine their
+  /// segments as a side effect.
+  Status VerifyIntegrity() const;
+  /// Starts the background scrubber over the backing mapping (no-op
+  /// without integrity state). See Pws3Integrity::StartScrub.
+  void StartScrub(uint32_t mb_per_s, uint32_t repeat_ms) const;
+  bool has_quarantine() const;
+  size_t quarantined_segment_count() const;
+  /// Total rows in quarantined segments (what degraded answers skip).
+  uint64_t quarantined_rows() const;
+  uint64_t quarantine_version() const;
+  uint64_t scrub_errors() const;
+  /// Returns a set sharing only the non-quarantined segments — the
+  /// degraded-serving view. Drops the integrity handle (the mapping
+  /// itself stays alive through the shared segments' backing handles) so
+  /// the scrubber is not double-started, and keeps mapped_bytes_.
+  SynopsisSet ShareHealthy() const;
+
  private:
   friend class Pws3Codec;
   /// shared_ptr because sealed segments are immutable and shared across
@@ -156,6 +185,10 @@ class SynopsisSet {
   /// Size of the PWS3 mapping backing this set's segments (0 = heap).
   /// Copied by Share()/WithSealed() — shared segments keep borrowing.
   size_t mapped_bytes_ = 0;
+  /// Verification state of the backing mapping (PWS3 v2 mapped opens
+  /// only). Span index i == segment index i of the decoded file; segments
+  /// sealed later (appends) are heap-built and carry no span.
+  std::shared_ptr<Pws3Integrity> integrity_;
 };
 
 }  // namespace pairwisehist

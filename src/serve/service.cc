@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "core/integrity.h"
 #include "serve/json.h"
 #include "storage/csv.h"
 
@@ -77,10 +78,14 @@ int HttpCodeFor(const Status& st) {
     case StatusCode::kOutOfRange:
       return 413;
     case StatusCode::kDataLoss:
-      // On the service surface DataLoss means the client's bytes were
-      // truncated/corrupt (e.g. a torn CSV or WAL codec reject) — client
-      // input, not a server fault.
-      return 400;
+      // A read refused because integrity verification quarantined a
+      // segment is a server-side condition that clears when the operator
+      // restores the file (or the next checkpoint replaces it): 503, so
+      // clients retry. Every other DataLoss on the service surface means
+      // the client's bytes were truncated/corrupt (e.g. a torn CSV or
+      // WAL codec reject) — client input, not a server fault.
+      return st.message().find("quarantined") != std::string::npos ? 503
+                                                                   : 400;
     default:
       return 500;
   }
@@ -149,6 +154,22 @@ HttpResponse DeadlineResponse(ServiceGate* gate) {
   return SimpleError(408, "deadline expired before execution");
 }
 
+/// True when the client opted into degraded reads (X-Allow-Degraded: 1
+/// or true). Quarantined segments are then skipped instead of failing
+/// the read closed with 503.
+bool AllowsDegraded(const HttpRequest& req) {
+  const std::string* h = req.FindHeader("X-Allow-Degraded");
+  return h != nullptr && (*h == "1" || *h == "true");
+}
+
+void AppendDegradedFields(std::string* b, const DegradedInfo& degraded) {
+  if (!degraded.degraded) return;
+  *b += ",\"degraded\":true,\"rows_skipped\":";
+  *b += std::to_string(degraded.rows_skipped);
+  *b += ",\"segments_skipped\":";
+  *b += std::to_string(degraded.segments_skipped);
+}
+
 HttpResponse HandleQuery(ServingDb* db, const HttpRequest& req) {
   StatusOr<JsonValue> doc = ParseJson(req.body);
   if (!doc.ok()) return ErrorResponse(doc.status());
@@ -156,13 +177,17 @@ HttpResponse HandleQuery(ServingDb* db, const HttpRequest& req) {
   if (sql == nullptr || sql->type != JsonValue::Type::kString) {
     return SimpleError(400, "body must be {\"sql\": \"...\"}");
   }
+  ReadOptions ropts;
+  ropts.allow_degraded = AllowsDegraded(req);
   QueryResult result;
+  DegradedInfo degraded;
   uint64_t epoch = 0;
-  Status st = db->Query(sql->str, &result, &epoch);
+  Status st = db->Query(sql->str, ropts, &result, &degraded, &epoch);
   if (!st.ok()) return ErrorResponse(st);
   HttpResponse resp;
   resp.body += "{\"epoch\":";
   resp.body += std::to_string(epoch);
+  AppendDegradedFields(&resp.body, degraded);
   resp.body += ",\"result\":";
   AppendQueryResult(&resp.body, result);
   resp.body += "}";
@@ -184,14 +209,19 @@ HttpResponse HandleBatch(ServingDb* db, const HttpRequest& req) {
     }
     sqls.push_back(item.str);
   }
+  ReadOptions ropts;
+  ropts.allow_degraded = AllowsDegraded(req);
   std::vector<QueryResult> results;
   std::vector<Status> statement_status;
+  DegradedInfo degraded;
   uint64_t epoch = 0;
-  Status st = db->QueryBatch(sqls, &results, &statement_status, &epoch);
+  Status st = db->QueryBatch(sqls, ropts, &results, &statement_status,
+                             &degraded, &epoch);
   if (!st.ok()) return ErrorResponse(st);
   HttpResponse resp;
   resp.body += "{\"epoch\":";
   resp.body += std::to_string(epoch);
+  AppendDegradedFields(&resp.body, degraded);
   resp.body += ",\"results\":[";
   for (size_t i = 0; i < results.size(); ++i) {
     if (i != 0) resp.body.push_back(',');
@@ -291,6 +321,10 @@ HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
   b += ",\"appends\":" + std::to_string(s.appends);
   b += ",\"errors\":" + std::to_string(s.errors);
   b += ",\"mapped_bytes\":" + std::to_string(s.mapped_bytes);
+  b += ",\"quarantined_segments\":" + std::to_string(s.quarantined_segments);
+  b += ",\"quarantined_rows\":" + std::to_string(s.quarantined_rows);
+  b += ",\"scrub_errors\":" + std::to_string(s.scrub_errors);
+  b += ",\"degraded_reads\":" + std::to_string(s.degraded_reads);
   b += ",\"durable\":";
   b += s.durable ? "true" : "false";
   if (s.durable) {
@@ -304,6 +338,11 @@ HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
     b += ",\"recovered_rows\":" + std::to_string(s.recovered_rows);
     b += ",\"recovery_tail_truncated\":";
     b += s.recovery_tail_truncated ? "true" : "false";
+    b += ",\"checkpoints_skipped\":" + std::to_string(s.checkpoints_skipped);
+    if (!s.corrupt_checkpoint.empty()) {
+      b += ",\"corrupt_checkpoint\":";
+      AppendJsonString(&b, s.corrupt_checkpoint);
+    }
   }
   if (gate != nullptr) {
     const ServiceGate::Stats g = gate->stats();
@@ -317,8 +356,32 @@ HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
   return resp;
 }
 
+/// Liveness/readiness for load balancers and orchestration probes: 200
+/// only while serving (ok), 503 while starting or draining so traffic
+/// routes away before the listener actually stops. The body carries the
+/// integrity counters an operator checks first when probes flap.
+HttpResponse HandleHealthz(ServingDb* db, ServiceState* state) {
+  const ServiceState::Phase phase =
+      state != nullptr ? state->phase() : ServiceState::Phase::kOk;
+  const ServingStats s = db->Stats();
+  HttpResponse resp;
+  resp.status = phase == ServiceState::Phase::kOk ? 200 : 503;
+  std::string& b = resp.body;
+  b += "{\"status\":\"";
+  b += phase == ServiceState::Phase::kStarting   ? "starting"
+       : phase == ServiceState::Phase::kDraining ? "draining"
+                                                 : "ok";
+  b += "\",\"quarantined_segments\":" + std::to_string(s.quarantined_segments);
+  b += ",\"quarantined_rows\":" + std::to_string(s.quarantined_rows);
+  b += ",\"scrub_errors\":" + std::to_string(s.scrub_errors);
+  b += ",\"legacy_pws3v1_opens\":" + std::to_string(Pws3LegacyOpenCount());
+  b += "}";
+  return resp;
+}
+
 HttpResponse Dispatch(ServingDb* db, const HttpRequest& req,
-                      ServiceGate* gate, const Deadline& deadline) {
+                      ServiceGate* gate, ServiceState* state,
+                      const Deadline& deadline) {
   if (req.path == "/query") {
     if (req.method != "POST") return SimpleError(405, "use POST /query");
     return HandleQuery(db, req);
@@ -335,40 +398,48 @@ HttpResponse Dispatch(ServingDb* db, const HttpRequest& req,
     if (req.method != "GET") return SimpleError(405, "use GET /stats");
     return HandleStats(db, gate);
   }
+  if (req.path == "/healthz") {
+    if (req.method != "GET") return SimpleError(405, "use GET /healthz");
+    return HandleHealthz(db, state);
+  }
   return SimpleError(404, "unknown endpoint '" + req.path +
-                              "' (try /query /batch /append /stats)");
+                              "' (try /query /batch /append /stats /healthz)");
 }
 
-/// Admission + deadline wrapper around Dispatch. /stats is never gated:
-/// the operator's view must stay reachable during the overload it exists
-/// to diagnose.
+/// Admission + deadline wrapper around Dispatch. /stats and /healthz are
+/// never gated: the operator's view (and the probe that decides whether
+/// to route traffic here at all) must stay reachable during the overload
+/// they exist to diagnose.
 HttpResponse HandleRequest(ServingDb* db, const HttpRequest& req,
-                           ServiceGate* gate) {
-  if (gate == nullptr || req.path == "/stats") {
-    return Dispatch(db, req, gate, Deadline{});
+                           ServiceGate* gate, ServiceState* state) {
+  if (gate == nullptr || req.path == "/stats" || req.path == "/healthz") {
+    return Dispatch(db, req, gate, state, Deadline{});
   }
   const Deadline deadline = Deadline::For(req, gate);
   if (deadline.Expired()) return DeadlineResponse(gate);
   const bool is_append = req.path == "/append";
   if (!gate->Admit(is_append)) return ShedResponse(gate);
   Status injected = failpoint::Fire("service.handle").status;
-  HttpResponse resp = injected.ok() ? Dispatch(db, req, gate, deadline)
-                                    : ErrorResponse(injected);
+  HttpResponse resp = injected.ok()
+                          ? Dispatch(db, req, gate, state, deadline)
+                          : ErrorResponse(injected);
   gate->Release(is_append);
   return resp;
 }
 
 }  // namespace
 
-HttpServer::Handler MakeServingHandler(ServingDb* db, ServiceGate* gate) {
-  return [db, gate](const HttpRequest& req) -> HttpResponse {
-    return HandleRequest(db, req, gate);
+HttpServer::Handler MakeServingHandler(ServingDb* db, ServiceGate* gate,
+                                       ServiceState* state) {
+  return [db, gate, state](const HttpRequest& req) -> HttpResponse {
+    return HandleRequest(db, req, gate, state);
   };
 }
 
 HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
-                                                 ServiceGate* gate) {
-  return [db, gate](const std::vector<HttpRequest>& reqs)
+                                                 ServiceGate* gate,
+                                                 ServiceState* state) {
+  return [db, gate, state](const std::vector<HttpRequest>& reqs)
              -> std::vector<HttpResponse> {
     std::vector<HttpResponse> out(reqs.size());
     // Well-formed /query statements in the group coalesce into one
@@ -383,7 +454,11 @@ HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
     const bool coalesce = db->options().coalesce;
     for (size_t i = 0; i < reqs.size(); ++i) {
       const HttpRequest& req = reqs[i];
-      if (coalesce && req.method == "POST" && req.path == "/query") {
+      // A request that opts into degraded reads carries per-request read
+      // options the coalesced path cannot represent — route it through
+      // the single-request path so the header is honored.
+      if (coalesce && req.method == "POST" && req.path == "/query" &&
+          req.FindHeader("X-Allow-Degraded") == nullptr) {
         StatusOr<JsonValue> doc = ParseJson(req.body);
         const JsonValue* sql =
             doc.ok() ? doc.value().Find("sql") : nullptr;
@@ -404,10 +479,10 @@ HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
           continue;
         }
       }
-      out[i] = HandleRequest(db, req, gate);
+      out[i] = HandleRequest(db, req, gate, state);
     }
     if (sqls.size() == 1) {
-      out[qidx[0]] = Dispatch(db, reqs[qidx[0]], gate, Deadline{});
+      out[qidx[0]] = Dispatch(db, reqs[qidx[0]], gate, state, Deadline{});
     } else if (!sqls.empty()) {
       std::vector<QueryResult> results;
       std::vector<Status> statement_status;

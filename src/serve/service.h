@@ -6,9 +6,14 @@
 //   POST /append  CSV body (header row)      -> {"epoch":E,"rows":N,
 //                                                "segments":S}
 //   GET  /stats                              -> serving counters
+//   GET  /healthz                            -> lifecycle + integrity
+//                                               (200 ok / 503 otherwise)
 // Errors: {"error":"...","code":"..."} with 400 (bad input), 404, 405 or
 // 500 (internal). Per-statement /batch failures are inline
-// {"error":...} objects; the call itself still returns 200.
+// {"error":...} objects; the call itself still returns 200. A read
+// rejected because integrity verification quarantined a segment answers
+// 503 (retryable after repair); sending X-Allow-Degraded: 1 instead
+// answers from the surviving segments with "degraded":true.
 //
 // Overload behavior (when a ServiceGate is installed): requests beyond
 // the in-flight budget are shed with 503 + Retry-After, appends first
@@ -74,12 +79,27 @@ class ServiceGate {
   std::atomic<uint64_t> timeouts_{0};
 };
 
-/// Builds the request handler. `db` (and `gate`, when given) must outlive
-/// the returned handler (and any HttpServer it is installed into). With a
-/// null gate there is no admission control or deadline enforcement — the
-/// pre-robustness behavior.
+/// Lifecycle phase surfaced by GET /healthz. The embedding binary flips
+/// it around startup and drain (kOk just before HttpServer::Start, then
+/// kDraining when shutdown begins); handlers only read it. All methods
+/// thread-safe. With no ServiceState installed, /healthz reports ok.
+class ServiceState {
+ public:
+  enum class Phase : uint8_t { kStarting, kOk, kDraining };
+  void Set(Phase p) { phase_.store(p, std::memory_order_release); }
+  Phase phase() const { return phase_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<Phase> phase_{Phase::kStarting};
+};
+
+/// Builds the request handler. `db` (and `gate` / `state`, when given)
+/// must outlive the returned handler (and any HttpServer it is installed
+/// into). With a null gate there is no admission control or deadline
+/// enforcement — the pre-robustness behavior.
 HttpServer::Handler MakeServingHandler(ServingDb* db,
-                                       ServiceGate* gate = nullptr);
+                                       ServiceGate* gate = nullptr,
+                                       ServiceState* state = nullptr);
 
 /// Builds the pipelining-aware group handler: consecutive POST /query
 /// requests in a pipelined burst coalesce into one batch execution on
@@ -89,7 +109,8 @@ HttpServer::Handler MakeServingHandler(ServingDb* db,
 /// MakeServingHandler: HttpServer(MakeServingHandler(db, gate),
 /// MakeServingBatchHandler(db, gate)).
 HttpServer::BatchHandler MakeServingBatchHandler(ServingDb* db,
-                                                 ServiceGate* gate = nullptr);
+                                                 ServiceGate* gate = nullptr,
+                                                 ServiceState* state = nullptr);
 
 }  // namespace pairwisehist
 

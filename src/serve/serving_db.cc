@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -80,6 +81,17 @@ Status EnsureDir(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
   return Status::Internal("ServingDb: mkdir '" + dir +
                           "' failed: " + std::strerror(errno));
+}
+
+/// The fail-closed answer for a quarantined snapshot. The HTTP layer maps
+/// DataLoss mentioning "quarantined" to 503 (retryable once the operator
+/// restores the file or the next checkpoint replaces it), not 400.
+Status QuarantineStatus(const Db& db) {
+  return Status::DataLoss(
+      "ServingDb: " + std::to_string(db.quarantined_segment_count()) +
+      " segment(s) quarantined by integrity verification (" +
+      std::to_string(db.quarantined_rows()) +
+      " rows); pass X-Allow-Degraded: 1 to read the surviving segments");
 }
 
 Status FsyncPath(const std::string& path) {
@@ -159,6 +171,13 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::CreateDurable(
 
 StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
     ServingOptions options, AqpEngineOptions engine) {
+  DbOptions db_options;
+  db_options.engine = engine;
+  return Recover(std::move(options), db_options);
+}
+
+StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
+    ServingOptions options, const DbOptions& db_options) {
   const std::string& dir = options.durability.dir;
   if (dir.empty()) {
     return Status::InvalidArgument(
@@ -169,14 +188,42 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
     return Status::NotFound("ServingDb::Recover: no checkpoint in '" + dir +
                             "'");
   }
-  const uint64_t ckpt_epoch = checkpoints.back().epoch;
-  // PWS3 checkpoints mmap here (O(1), shared page cache); legacy .pws2
-  // ones heap-deserialize.
-  PH_ASSIGN_OR_RETURN(Db db, Db::Open(checkpoints.back().path, engine));
 
+  // Candidates newest-first. Every candidate is opened without the
+  // background scrubber and verified synchronously — recovery must not
+  // adopt a base it has not checked. One that fails to open or verify is
+  // recorded and skipped; whether skipping it was LEGAL is decided below
+  // by the epoch arithmetic, not here.
   RecoveryInfo info;
-  info.checkpoint_epoch = ckpt_epoch;
-  uint64_t epoch = ckpt_epoch;
+  std::optional<Db> db;
+  DbOptions open_opts = db_options;
+  open_opts.scrub = false;
+  for (size_t i = checkpoints.size(); i-- > 0;) {
+    const CheckpointFile& cand = checkpoints[i];
+    Status st = failpoint::Fire("recover.checkpoint_open").status;
+    if (st.ok()) {
+      StatusOr<Db> opened = Db::Open(cand.path, open_opts);
+      if (opened.ok()) {
+        st = opened.value().VerifyIntegrity();
+        if (st.ok()) {
+          db = std::move(opened).value();
+          info.checkpoint_epoch = cand.epoch;
+          break;
+        }
+      } else {
+        st = opened.status();
+      }
+    }
+    if (info.corrupt_checkpoint.empty()) info.corrupt_checkpoint = cand.path;
+    ++info.checkpoints_skipped;
+  }
+  if (!db.has_value()) {
+    return Status::DataLoss("ServingDb::Recover: no usable checkpoint in '" +
+                            dir + "' (newest corrupt: '" +
+                            info.corrupt_checkpoint + "')");
+  }
+
+  uint64_t epoch = info.checkpoint_epoch;
   // Replay the WAL tail. Records at or below the checkpoint epoch are
   // already inside the checkpoint (a crash between checkpoint-rename and
   // WAL-truncate leaves them behind) and are skipped by epoch.
@@ -187,16 +234,24 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
                     PH_ASSIGN_OR_RETURN(WalBatch wb,
                                         DecodeWalBatch(data, size));
                     ++info.wal_records;
-                    if (wb.epoch <= ckpt_epoch) return Status::OK();
+                    if (wb.epoch <= info.checkpoint_epoch) {
+                      return Status::OK();
+                    }
                     PH_RETURN_IF_ERROR(
                         failpoint::Fire("recovery.replay").status);
                     if (wb.epoch != epoch + 1) {
-                      return Status::DataLoss(
+                      std::string msg =
                           "ServingDb::Recover: WAL epoch gap (have " +
                           std::to_string(epoch) + ", next record " +
-                          std::to_string(wb.epoch) + ")");
+                          std::to_string(wb.epoch) + ")";
+                      if (info.checkpoints_skipped > 0) {
+                        msg += " after skipping corrupt checkpoint '" +
+                               info.corrupt_checkpoint + "'";
+                      }
+                      return Status::DataLoss(msg);
                     }
-                    PH_ASSIGN_OR_RETURN(Db next, db.WithAppended(wb.batch));
+                    PH_ASSIGN_OR_RETURN(Db next,
+                                        db->WithAppended(wb.batch));
                     db = std::move(next);
                     epoch = wb.epoch;
                     ++info.wal_records_applied;
@@ -205,8 +260,29 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
                   }));
   info.tail_truncated = replay.tail_truncated;
 
+  // Epoch floor: the newest checkpoint file — even a corrupt one we
+  // skipped — proves its epoch was once acknowledged. If the WAL could
+  // not replay back up to it (e.g. the WAL was truncated after that
+  // checkpoint landed), the fallback silently lost acknowledged appends;
+  // fail and name the file instead.
+  if (epoch < checkpoints.back().epoch) {
+    return Status::DataLoss(
+        "ServingDb::Recover: checkpoint '" + info.corrupt_checkpoint +
+        "' is corrupt and the WAL does not cover epochs " +
+        std::to_string(epoch + 1) + ".." +
+        std::to_string(checkpoints.back().epoch) +
+        "; refusing to serve with silent data loss");
+  }
+
+  // The base was verified above; continuous scrubbing (when asked for)
+  // keeps watching for rot while serving.
+  if (db_options.scrub && db_options.scrub_repeat_ms > 0) {
+    db->synopses().StartScrub(db_options.scrub_mb_per_s,
+                              db_options.scrub_repeat_ms);
+  }
+
   auto sdb = std::unique_ptr<ServingDb>(
-      new ServingDb(std::move(db), options, epoch));
+      new ServingDb(std::move(*db), options, epoch));
   PH_RETURN_IF_ERROR(sdb->InitDurable(info));
   return sdb;
 }
@@ -275,10 +351,72 @@ Status ServingDb::Query(const std::string& sql, QueryResult* result,
   return Status::OK();
 }
 
+Status ServingDb::Query(const std::string& sql, const ReadOptions& ropts,
+                        QueryResult* result, DegradedInfo* degraded,
+                        uint64_t* epoch) {
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap != nullptr && snap->db.has_quarantine()) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (!(ropts.allow_degraded || snap->db.allow_degraded())) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return QuarantineStatus(snap->db);
+    }
+    Status st = QueryDegraded(snap, sql, result, degraded, epoch);
+    if (!st.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  return Query(sql, result, epoch);
+}
+
+StatusOr<std::shared_ptr<const Db>> ServingDb::DegradedDb(
+    const std::shared_ptr<const DbSnapshot>& snap) {
+  const uint64_t qv = snap->db.quarantine_version();
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    if (degraded_db_ != nullptr && degraded_src_ == snap &&
+        degraded_qversion_ == qv) {
+      return degraded_db_;
+    }
+  }
+  // Build outside the lock (a synopsis-only executor rebuild); a racing
+  // builder is harmless — last one wins the cache slot.
+  PH_ASSIGN_OR_RETURN(Db view, snap->db.WithoutQuarantined());
+  auto shared = std::make_shared<const Db>(std::move(view));
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  degraded_src_ = snap;
+  degraded_db_ = shared;
+  degraded_qversion_ = qv;
+  return shared;
+}
+
+Status ServingDb::QueryDegraded(
+    const std::shared_ptr<const DbSnapshot>& snap, const std::string& sql,
+    QueryResult* result, DegradedInfo* degraded, uint64_t* epoch) {
+  // Degraded reads bypass the plan cache (its plans were prepared against
+  // the full snapshot) and the coalescer; correctness over throughput
+  // while the operator deals with the corruption.
+  PH_ASSIGN_OR_RETURN(std::shared_ptr<const Db> ddb, DegradedDb(snap));
+  degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+  PH_ASSIGN_OR_RETURN(PreparedQuery pq, ddb->Prepare(sql));
+  PH_RETURN_IF_ERROR(pq.ExecuteInto(result));
+  if (degraded != nullptr) {
+    degraded->degraded = true;
+    degraded->rows_skipped = snap->db.quarantined_rows();
+    degraded->segments_skipped =
+        static_cast<uint32_t>(snap->db.quarantined_segment_count());
+  }
+  if (epoch != nullptr) *epoch = snap->epoch;
+  return Status::OK();
+}
+
 Status ServingDb::QueryUncoalesced(const std::string& sql,
                                    QueryResult* result, uint64_t* epoch) {
   std::shared_ptr<const DbSnapshot> snap = Load();
   if (snap == nullptr) return Status::Internal("ServingDb: no snapshot");
+  if (snap->db.has_quarantine()) {
+    if (!snap->db.allow_degraded()) return QuarantineStatus(snap->db);
+    return QueryDegraded(snap, sql, result, nullptr, epoch);
+  }
   bool hit = false;
   StatusOr<PreparedQuery> pq = cache_.Get(snap, sql, &hit);
   (hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
@@ -297,6 +435,21 @@ void ServingDb::ExecuteGroup(
   if (snap == nullptr) {
     for (ReadCoalescer::Request* r : group) {
       r->status = Status::Internal("ServingDb: no snapshot");
+    }
+    return;
+  }
+  if (snap->db.has_quarantine()) {
+    // Coalesced requests carry no per-read options, so only the Db-level
+    // allow_degraded applies here (per-request X-Allow-Degraded bypasses
+    // the coalescer — see the Query overload).
+    if (!snap->db.allow_degraded()) {
+      Status st = QuarantineStatus(snap->db);
+      for (ReadCoalescer::Request* r : group) r->status = st;
+      return;
+    }
+    for (ReadCoalescer::Request* r : group) {
+      r->status = QueryDegraded(snap, *r->sql, r->result, nullptr,
+                                &r->epoch);
     }
     return;
   }
@@ -347,6 +500,15 @@ Status ServingDb::QueryBatch(const std::vector<std::string>& sqls,
                              std::vector<QueryResult>* results,
                              std::vector<Status>* statement_status,
                              uint64_t* epoch) {
+  return QueryBatch(sqls, ReadOptions{}, results, statement_status,
+                    /*degraded=*/nullptr, epoch);
+}
+
+Status ServingDb::QueryBatch(const std::vector<std::string>& sqls,
+                             const ReadOptions& ropts,
+                             std::vector<QueryResult>* results,
+                             std::vector<Status>* statement_status,
+                             DegradedInfo* degraded, uint64_t* epoch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_statements_.fetch_add(sqls.size(), std::memory_order_relaxed);
   results->clear();
@@ -356,6 +518,32 @@ Status ServingDb::QueryBatch(const std::vector<std::string>& sqls,
   std::shared_ptr<const DbSnapshot> snap = Load();
   if (snap == nullptr) return Status::Internal("ServingDb: no snapshot");
   if (epoch != nullptr) *epoch = snap->epoch;
+  if (snap->db.has_quarantine()) {
+    if (!(ropts.allow_degraded || snap->db.allow_degraded())) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return QuarantineStatus(snap->db);
+    }
+    // Degraded batch: statement-by-statement against the surviving
+    // segments (no cache, no cross-statement batching — see
+    // QueryDegraded).
+    PH_ASSIGN_OR_RETURN(std::shared_ptr<const Db> ddb, DegradedDb(snap));
+    degraded_reads_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      StatusOr<PreparedQuery> pq = ddb->Prepare(sqls[i]);
+      (*statement_status)[i] =
+          pq.ok() ? pq.value().ExecuteInto(&(*results)[i]) : pq.status();
+      if (!(*statement_status)[i].ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (degraded != nullptr) {
+      degraded->degraded = true;
+      degraded->rows_skipped = snap->db.quarantined_rows();
+      degraded->segments_skipped =
+          static_cast<uint32_t>(snap->db.quarantined_segment_count());
+    }
+    return Status::OK();
+  }
 
   std::vector<PreparedQuery> pqs;
   std::vector<size_t> owner;
@@ -472,7 +660,13 @@ ServingStats ServingDb::Stats() const {
     s.segments = snap->db.num_segments();
     s.rows = snap->db.total_rows();
     s.mapped_bytes = snap->db.mapped_bytes();
+    s.quarantined_segments = snap->db.quarantined_segment_count();
+    s.quarantined_rows = snap->db.quarantined_rows();
+    s.scrub_errors = snap->db.scrub_errors();
   }
+  s.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
+  s.checkpoints_skipped = recovery_.checkpoints_skipped;
+  s.corrupt_checkpoint = recovery_.corrupt_checkpoint;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_statements = batch_statements_.load(std::memory_order_relaxed);

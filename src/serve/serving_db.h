@@ -82,6 +82,24 @@ struct RecoveryInfo {
   uint64_t wal_records_applied = 0;///< records with epoch > checkpoint
   uint64_t rows_recovered = 0;     ///< rows re-appended from the WAL
   bool tail_truncated = false;     ///< a torn final record was dropped
+  /// Checkpoint files skipped as corrupt before one opened and verified.
+  uint32_t checkpoints_skipped = 0;
+  /// Path of the newest corrupt checkpoint (empty when none was skipped).
+  std::string corrupt_checkpoint;
+};
+
+/// Per-read options (the HTTP layer maps X-Allow-Degraded onto these).
+struct ReadOptions {
+  /// Answer from the surviving segments when some are quarantined,
+  /// instead of failing closed. OR-ed with the Db's own allow_degraded.
+  bool allow_degraded = false;
+};
+
+/// How degraded a degraded answer is (all zero for a full answer).
+struct DegradedInfo {
+  bool degraded = false;
+  uint64_t rows_skipped = 0;     ///< rows in the skipped segments
+  uint32_t segments_skipped = 0;
 };
 
 /// A point-in-time counter dump (see ServingDb::Stats).
@@ -115,6 +133,13 @@ struct ServingStats {
   uint64_t recovered_records = 0;
   uint64_t recovered_rows = 0;
   bool recovery_tail_truncated = false;
+  // Integrity (see core/integrity.h).
+  uint64_t quarantined_segments = 0;
+  uint64_t quarantined_rows = 0;
+  uint64_t scrub_errors = 0;
+  uint64_t degraded_reads = 0;
+  uint32_t checkpoints_skipped = 0;
+  std::string corrupt_checkpoint;
 };
 
 class ServingDb {
@@ -139,12 +164,22 @@ class ServingDb {
       Db db, ServingOptions options);
 
   /// Durable serving resumed from durability.dir: opens the newest
-  /// checkpoint, replays the WAL tail (records beyond the checkpoint
-  /// epoch), and serves from the recovered state. A torn final WAL record
-  /// — the signature of a crash mid-append — is truncated and reported in
-  /// recovery_info(); corruption anywhere else is an error.
+  /// USABLE checkpoint — candidates are tried newest-first, and one that
+  /// fails to open or fails its integrity sweep is skipped whenever an
+  /// older checkpoint plus the WAL still covers every acknowledged epoch
+  /// (a crash between checkpoint-rename and WAL-truncate leaves exactly
+  /// that fallback window) — then replays the WAL tail and serves. A torn
+  /// final WAL record is truncated and reported in recovery_info(); any
+  /// recovery that would silently lose an acknowledged epoch fails with
+  /// DataLoss naming the corrupt checkpoint file.
   static StatusOr<std::unique_ptr<ServingDb>> Recover(
       ServingOptions options, AqpEngineOptions engine = {});
+  /// Same with full open options (scrub knobs, allow_degraded, kernels…).
+  /// Candidates are verified synchronously during recovery regardless of
+  /// db_options.scrub; with scrub_repeat_ms > 0 continuous scrubbing
+  /// starts on the recovered state.
+  static StatusOr<std::unique_ptr<ServingDb>> Recover(
+      ServingOptions options, const DbOptions& db_options);
 
   /// The current snapshot (wait-free atomic load). Holding the returned
   /// pointer pins that epoch — including across subsequent appends.
@@ -152,8 +187,19 @@ class ServingDb {
 
   /// Executes one statement against the current snapshot, through the
   /// plan cache and (when enabled) the read coalescer. `*epoch` (optional)
-  /// reports the snapshot epoch that answered.
+  /// reports the snapshot epoch that answered. Fails closed with DataLoss
+  /// when integrity verification has quarantined any segment, unless the
+  /// snapshot's Db was opened with allow_degraded.
   Status Query(const std::string& sql, QueryResult* result,
+               uint64_t* epoch = nullptr);
+
+  /// Same with per-read options: with ropts.allow_degraded (or the Db's
+  /// own allow_degraded) a quarantine degrades the answer — the surviving
+  /// segments answer, bypassing the plan cache and the coalescer, and
+  /// `*degraded` (optional) reports what was skipped — instead of failing
+  /// closed.
+  Status Query(const std::string& sql, const ReadOptions& ropts,
+               QueryResult* result, DegradedInfo* degraded,
                uint64_t* epoch = nullptr);
 
   /// Executes `sqls` as one explicit batch against one snapshot.
@@ -164,6 +210,15 @@ class ServingDb {
                     std::vector<QueryResult>* results,
                     std::vector<Status>* statement_status,
                     uint64_t* epoch = nullptr);
+
+  /// Batch with per-read options; quarantine handling as in the Query
+  /// overload (a degraded batch executes statement-by-statement against
+  /// the surviving segments).
+  Status QueryBatch(const std::vector<std::string>& sqls,
+                    const ReadOptions& ropts,
+                    std::vector<QueryResult>* results,
+                    std::vector<Status>* statement_status,
+                    DegradedInfo* degraded, uint64_t* epoch = nullptr);
 
   /// Builds and publishes the successor snapshot containing `batch`.
   /// Serialized with other appends; never blocks readers. Under
@@ -193,6 +248,14 @@ class ServingDb {
   void ExecuteGroup(const std::vector<ReadCoalescer::Request*>& group);
   Status QueryUncoalesced(const std::string& sql, QueryResult* result,
                           uint64_t* epoch);
+  /// The degraded view of `snap` (surviving segments only), cached per
+  /// (snapshot, quarantine version) so repeated degraded reads do not
+  /// rebuild the executor.
+  StatusOr<std::shared_ptr<const Db>> DegradedDb(
+      const std::shared_ptr<const DbSnapshot>& snap);
+  Status QueryDegraded(const std::shared_ptr<const DbSnapshot>& snap,
+                       const std::string& sql, QueryResult* result,
+                       DegradedInfo* degraded, uint64_t* epoch);
   std::shared_ptr<DbSnapshot> Load() const;
   /// Opens the WAL + starts the checkpointer. `recovered` seeds recovery_.
   Status InitDurable(const RecoveryInfo& recovered);
@@ -217,6 +280,15 @@ class ServingDb {
   std::mutex cp_mu_;
   std::condition_variable cp_cv_;
   bool cp_stop_ = false;
+
+  // Degraded-read cache: the WithoutQuarantined view of one snapshot,
+  // keyed on the snapshot identity and its quarantine version (a newly
+  // quarantined segment invalidates it).
+  std::mutex degraded_mu_;
+  std::shared_ptr<const DbSnapshot> degraded_src_;
+  std::shared_ptr<const Db> degraded_db_;
+  uint64_t degraded_qversion_ = 0;
+  std::atomic<uint64_t> degraded_reads_{0};
 
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> batches_{0};

@@ -1,0 +1,67 @@
+#include "storage/sigbus_guard.h"
+
+#include <csetjmp>
+#include <csignal>
+#include <cstring>
+
+#include <atomic>
+#include <mutex>
+
+namespace pairwisehist {
+
+namespace {
+
+// The active recovery point of THIS thread (null = not inside a guard;
+// faults then re-raise with the default disposition). sig_atomic_t-like
+// usage: written only outside the handler, read inside it.
+thread_local sigjmp_buf* t_recovery = nullptr;
+
+std::atomic<uint64_t> g_absorbed{0};
+
+void OnSigbus(int signo) {
+  if (t_recovery != nullptr) {
+    g_absorbed.fetch_add(1, std::memory_order_relaxed);
+    siglongjmp(*t_recovery, 1);
+  }
+  // Fault outside any guard: restore the default action and re-raise so
+  // the process dies with the honest signal (core dump and all).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+std::once_flag g_install_once;
+
+void InstallHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSigbus;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler must survive repeated faults (every
+  // scrub pass over a truncated mapping faults again).
+  sa.sa_flags = SA_NODEFER;
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
+}  // namespace
+
+Status WithSigbusGuard(const std::function<Status()>& fn) {
+  std::call_once(g_install_once, InstallHandler);
+  sigjmp_buf recovery;
+  sigjmp_buf* prev = t_recovery;  // support nesting
+  if (sigsetjmp(recovery, /*savemask=*/1) != 0) {
+    t_recovery = prev;
+    return Status::DataLoss(
+        "SIGBUS while reading mapped bytes (file truncated or device "
+        "error under an active mapping)");
+  }
+  t_recovery = &recovery;
+  Status st = fn();
+  t_recovery = prev;
+  return st;
+}
+
+uint64_t SigbusFaultsAbsorbed() {
+  return g_absorbed.load(std::memory_order_relaxed);
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,34 @@
+// Scoped SIGBUS containment for walks over memory-mapped files.
+//
+// A file truncated while a MAP_SHARED mapping is live turns reads past the
+// new EOF into SIGBUS — by default a process kill. WithSigbusGuard runs a
+// short, allocation-free callback (a CRC loop over mapped bytes) with a
+// thread-local sigsetjmp recovery point installed: a fault inside the
+// callback longjmps back out and surfaces as Status::DataLoss instead of
+// terminating the server.
+//
+// The callback MUST be longjmp-safe: no heap allocation, no objects with
+// non-trivial destructors live across the faulting read — pure pointer
+// walks and checksum math only. Faults outside a guarded region keep the
+// default disposition (the handler re-raises), so genuine bugs still die
+// loudly.
+#ifndef PAIRWISEHIST_STORAGE_SIGBUS_GUARD_H_
+#define PAIRWISEHIST_STORAGE_SIGBUS_GUARD_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace pairwisehist {
+
+/// Runs `fn` with SIGBUS converted into DataLoss. Returns fn's status when
+/// it completes; DataLoss("SIGBUS ...") when a bus fault interrupted it.
+/// Nestable per thread; guards on different threads are independent.
+Status WithSigbusGuard(const std::function<Status()>& fn);
+
+/// Number of SIGBUS faults absorbed by guards in this process.
+uint64_t SigbusFaultsAbsorbed();
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_SIGBUS_GUARD_H_
