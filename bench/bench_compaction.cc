@@ -1,0 +1,210 @@
+// Segment-lifecycle benchmark: the append decay curve with and without
+// tiered compaction.
+//
+// Starting from 1-, 4- and 16-segment builds, streams PH_APPENDS sealed
+// append batches (~1k rows each) and samples the serving cost at regular
+// checkpoints: segment count, prepared-execute p50/p99 latency and the
+// median relative CI width over a fixed workload. With compaction off the
+// curve decays (fan-out latency grows, small segments widen CIs); with
+// compaction on it must flatten. The final compaction-on state is gated
+// against a synopsis built fresh over the same rows with the SAME
+// DbOptions (including target_segment_rows): p50 latency and median CI
+// width each within 1.3x. Emits BENCH_compaction.json for CI's perf
+// trajectory.
+//
+// No google-benchmark dependency: self-calibrating timing loops, so this
+// runs on bare machines and in every CI configuration.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+
+using namespace pairwisehist;
+using namespace pairwisehist::bench;
+
+namespace {
+
+/// Lighter than bench_segments' timer (many checkpoints x queries): ~2 ms
+/// per measurement is enough resolution for multi-microsecond latencies.
+template <typename F>
+double TimePerCallUs(F&& body) {
+  int reps = 1;
+  for (;;) {
+    double t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) body();
+    double dt = NowSeconds() - t0;
+    if (dt > 0.002 || reps >= (1 << 22)) {
+      return dt * 1e6 / reps;
+    }
+    reps *= 4;
+  }
+}
+
+struct Sample {
+  size_t appends = 0;
+  uint64_t rows = 0;
+  size_t segments = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double median_ci_width = 0;
+};
+
+/// Latency + CI width of `db` over the workload.
+Sample Measure(const Db& db, const std::vector<Query>& workload) {
+  Sample s;
+  s.rows = db.total_rows();
+  s.segments = db.num_segments();
+  std::vector<double> latencies, widths;
+  for (const Query& q : workload) {
+    auto pq = db.Prepare(q);
+    if (!pq.ok()) continue;
+    auto first = pq->Execute();
+    if (!first.ok() || first->Scalar().empty_selection) continue;
+    QueryResult reused;
+    latencies.push_back(
+        TimePerCallUs([&]() { (void)pq->ExecuteInto(&reused); }));
+    const AggResult& agg = first->Scalar();
+    widths.push_back((agg.upper - agg.lower) /
+                     std::max(1e-12, std::fabs(agg.estimate)));
+  }
+  s.p50_us = Percentile(latencies, 0.5);
+  s.p99_us = Percentile(latencies, 0.99);
+  s.median_ci_width = Median(widths);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Segment lifecycle: append decay with tiered compaction on/off");
+  const size_t base_rows = EnvSize("PH_ROWS", 8000);
+  const size_t batch_rows = 1000;
+  const size_t appends = EnvSize("PH_APPENDS", 100);
+  const size_t nqueries = EnvSize("PH_QUERIES", 24);
+  const size_t checkpoint_every = std::max<size_t>(1, appends / 5);
+
+  auto base_table = MakeDataset("power", base_rows, 71);
+  if (!base_table.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 base_table.status().ToString().c_str());
+    return 1;
+  }
+  WorkloadConfig wcfg = InitialWorkloadConfig(17);
+  wcfg.num_queries = nqueries;
+  wcfg.min_predicates = 1;
+  wcfg.max_predicates = 2;
+  wcfg.functions = {AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg};
+  auto workload = GenerateWorkload(base_table.value(), wcfg);
+  if (!workload.ok() || workload->empty()) {
+    std::fprintf(stderr, "workload generation failed\n");
+    return 1;
+  }
+
+  std::printf("%5s %6s %8s %8s %10s %10s %10s\n", "init", "cmpct", "appends",
+              "segs", "p50 us", "p99 us", "ci width");
+  std::string configs_json;
+  bool all_within_gate = true;
+  const size_t kInitialSegments[] = {1, 4, 16};
+  for (size_t nseg : kInitialSegments) {
+    for (int compaction = 0; compaction <= 1; ++compaction) {
+      DbOptions options;
+      // base_rows / nseg initial segments; nseg == 1 keeps ONE sealed
+      // base segment (target = base_rows) rather than a monolithic
+      // target-0 build, so the fresh-build gate compares like for like.
+      options.target_segment_rows = (base_rows + nseg - 1) / nseg;
+      options.compact.enabled = compaction != 0;
+      auto db = Db::FromTable(base_table->Slice(0, base_rows), options);
+      if (!db.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     db.status().ToString().c_str());
+        return 1;
+      }
+
+      // The fresh-build comparison target accumulates identical rows.
+      Table all_rows = base_table->Slice(0, base_rows);
+      std::string series_json;
+      Sample last;
+      for (size_t i = 0; i < appends; ++i) {
+        auto batch =
+            MakeDataset("power", batch_rows, 9000 + static_cast<int>(i));
+        if (!batch.ok() || !db->Append(batch.value()).ok() ||
+            !AppendTableRows(&all_rows, batch.value()).ok()) {
+          std::fprintf(stderr, "append %zu failed\n", i);
+          return 1;
+        }
+        if ((i + 1) % checkpoint_every == 0 || i + 1 == appends) {
+          last = Measure(db.value(), workload.value());
+          last.appends = i + 1;
+          std::printf("%5zu %6s %8zu %8zu %10.2f %10.2f %10.4f\n", nseg,
+                      compaction ? "on" : "off", last.appends, last.segments,
+                      last.p50_us, last.p99_us, last.median_ci_width);
+          char row[256];
+          std::snprintf(
+              row, sizeof(row),
+              "%s        {\"appends\": %zu, \"rows\": %llu, "
+              "\"segments\": %zu, \"p50_latency_us\": %.3f, "
+              "\"p99_latency_us\": %.3f, \"median_ci_width\": %.5f}",
+              series_json.empty() ? "" : ",\n", last.appends,
+              static_cast<unsigned long long>(last.rows), last.segments,
+              last.p50_us, last.p99_us, last.median_ci_width);
+          series_json += row;
+        }
+      }
+
+      // Gate: the decayed-then-compacted state vs a one-shot build of the
+      // same rows with the same options.
+      auto fresh = Db::FromTable(std::move(all_rows), options);
+      if (!fresh.ok()) {
+        std::fprintf(stderr, "fresh build failed: %s\n",
+                     fresh.status().ToString().c_str());
+        return 1;
+      }
+      const Sample fb = Measure(fresh.value(), workload.value());
+      const double p50_ratio = last.p50_us / std::max(1e-9, fb.p50_us);
+      const double width_ratio =
+          last.median_ci_width / std::max(1e-9, fb.median_ci_width);
+      const bool within = p50_ratio <= 1.3 && width_ratio <= 1.3;
+      if (compaction && !within) all_within_gate = false;
+      std::printf(
+          "%5zu %6s    fresh %8zu %10.2f %10.2f %10.4f   "
+          "p50 ratio %.2fx, ci ratio %.2fx%s\n",
+          nseg, compaction ? "on" : "off", fb.segments, fb.p50_us, fb.p99_us,
+          fb.median_ci_width, p50_ratio, width_ratio,
+          compaction ? (within ? "  [within 1.3x]" : "  [GATE MISS]") : "");
+
+      char tail[512];
+      std::snprintf(
+          tail, sizeof(tail),
+          "%s    {\"initial_segments\": %zu, \"compaction\": %s,\n"
+          "      \"series\": [\n%s\n      ],\n"
+          "      \"fresh\": {\"segments\": %zu, \"p50_latency_us\": %.3f, "
+          "\"p99_latency_us\": %.3f, \"median_ci_width\": %.5f},\n"
+          "      \"p50_ratio_vs_fresh\": %.4f, "
+          "\"ci_width_ratio_vs_fresh\": %.4f, \"within_1_3x\": %s}",
+          configs_json.empty() ? "" : ",\n", nseg,
+          compaction ? "true" : "false", series_json.c_str(), fb.segments,
+          fb.p50_us, fb.p99_us, fb.median_ci_width, p50_ratio, width_ratio,
+          within ? "true" : "false");
+      configs_json += tail;
+    }
+  }
+
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\n  \"bench\": \"compaction\",\n  \"base_rows\": %zu,\n"
+                "  \"batch_rows\": %zu,\n  \"appends\": %zu,\n"
+                "  \"compaction_on_within_1_3x\": %s,\n  \"configs\": [\n",
+                base_rows, batch_rows, appends,
+                all_within_gate ? "true" : "false");
+  WriteBenchJson("BENCH_compaction.json",
+                 std::string(head) + configs_json + "\n  ]\n}");
+  if (!all_within_gate) {
+    std::fprintf(stderr,
+                 "warning: a compaction-on config exceeded the 1.3x gate "
+                 "(see BENCH_compaction.json)\n");
+  }
+  return 0;
+}

@@ -11,7 +11,8 @@
 // Shell commands besides SQL:
 //   .schema           column names and types
 //   .stats            synopsis statistics
-//   .segments         per-segment row ranges and synopsis sizes
+//   .segments         per-segment ranges, sizes, compaction tier + error
+//   .compact          merge eligible segment runs (tiered compaction)
 //   .exact <sql>      run the same SQL exactly (ground truth)
 //   .prepare <sql>    compile once, then time repeated executions
 //   .batch <file>     execute one query per line as a single batch and
@@ -69,6 +70,9 @@ int main(int argc, char** argv) {
   std::string source = argc > 1 ? argv[1] : "flights";
 
   DbOptions options;
+  // Live segment lifecycle: .append seals segments, the tiered compactor
+  // merges eligible runs (automatically after appends, or via .compact).
+  options.compact.enabled = true;
   auto opened = source.find(".csv") != std::string::npos
                     ? Db::FromCsv(source, options)
                     : Db::FromGenerator(source, 0, 1, options);
@@ -102,7 +106,9 @@ int main(int argc, char** argv) {
           "      aggs: COUNT SUM AVG MIN MAX MEDIAN VAR\n"
           ".schema          column names and types\n"
           ".stats           synopsis statistics\n"
-          ".segments        per-segment row ranges and synopsis sizes\n"
+          ".segments        per-segment ranges, sizes, tier + error stats\n"
+          ".compact         merge eligible segment runs (tiered "
+          "compaction)\n"
           ".exact <sql>     run the same SQL exactly (ground truth)\n"
           ".prepare <sql>   compile once, time 1000 re-executions\n"
           ".batch <file>    run one query per line as a single batch\n"
@@ -140,15 +146,49 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == ".segments") {
-      std::printf("%4s %12s %12s %12s %10s %8s\n", "seg", "rows [begin",
-                  "end)", "synopsis B", "Ns", "rho");
+      // tier/err columns come from the segment lifecycle: the size tier
+      // the compactor bins the segment into, and its mean observed
+      // relative CI width from the feedback ledger ("-" = no feedback).
+      const CompactionOptions& copts = db.compaction_options();
+      std::printf("%4s %12s %12s %12s %10s %8s %5s %9s\n", "seg",
+                  "rows [begin", "end)", "synopsis B", "Ns", "rho", "tier",
+                  "err");
       for (size_t i = 0; i < db.num_segments(); ++i) {
         const SegmentMeta& m = db.segment_meta(i);
         const PairwiseHist& s = db.synopsis(i);
-        std::printf("%4zu %12llu %12llu %12zu %10llu %8.4f\n", i,
+        const uint32_t tier =
+            CompactionTier(m.row_end - m.row_begin, copts);
+        char err[16] = "-";
+        if (db.feedback_ledger() != nullptr) {
+          FeedbackLedger::Entry e = db.feedback_ledger()->Get(m.row_begin);
+          if (e.samples > 0) {
+            std::snprintf(err, sizeof(err), "%.4f", e.mean_rel_width);
+          }
+        }
+        std::printf("%4zu %12llu %12llu %12zu %10llu %8.4f %5u %9s\n", i,
                     (unsigned long long)m.row_begin,
                     (unsigned long long)m.row_end, s.StorageBytes(),
-                    (unsigned long long)s.sample_rows(), s.sampling_ratio());
+                    (unsigned long long)s.sample_rows(), s.sampling_ratio(),
+                    tier, err);
+      }
+      std::printf("backlog: %zu segment(s) in eligible merge runs\n",
+                  db.CompactionBacklogSize());
+      continue;
+    }
+    if (line == ".compact") {
+      const size_t before = db.num_segments();
+      auto applied = db.Compact();
+      if (!applied.ok()) {
+        std::printf("error: %s\n", applied.status().ToString().c_str());
+      } else if (applied.value() == 0) {
+        std::printf("nothing eligible (enable compaction or seal more "
+                    "segments; %zu segments)\n",
+                    before);
+      } else {
+        std::printf("compacted: %zu merge step(s), %zu -> %zu segments, "
+                    "%zu bytes\n",
+                    applied.value(), before, db.num_segments(),
+                    db.StorageBytes());
       }
       continue;
     }
@@ -310,8 +350,14 @@ int main(int argc, char** argv) {
       const uint16_t port = static_cast<uint16_t>(
           line.size() > 7 ? std::strtoul(line.c_str() + 7, nullptr, 10) : 0);
       // Hand the Db to a ServingDb (snapshot epoch 0), serve until Enter,
-      // then take it back — appends made over HTTP are kept.
-      ServingDb serving(std::move(db));
+      // then take it back — appends made over HTTP are kept. The shell's
+      // segment lifecycle carries over: the background compactor merges
+      // eligible runs between HTTP appends instead of letting the backlog
+      // accumulate until the shell reattaches.
+      ServingOptions serving_options;
+      serving_options.compaction = db.compaction_options();
+      serving_options.compaction.interval_ms = 250;
+      ServingDb serving(std::move(db), serving_options);
       HttpServer server(MakeServingHandler(&serving),
                     MakeServingBatchHandler(&serving));
       Status st = server.Start(port);

@@ -1,5 +1,6 @@
 #include "api/db.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <span>
@@ -18,40 +19,6 @@
 namespace pairwisehist {
 
 namespace {
-
-/// Appends every row of `batch` onto `dst` (schema already validated).
-Status AppendRows(Table* dst, const Table& batch) {
-  if (dst->NumColumns() != batch.NumColumns()) {
-    return Status::InvalidArgument(
-        "Append: batch has " + std::to_string(batch.NumColumns()) +
-        " columns, table has " + std::to_string(dst->NumColumns()));
-  }
-  for (size_t c = 0; c < dst->NumColumns(); ++c) {
-    const Column& src = batch.column(c);
-    Column& out = dst->column(c);
-    if (src.name() != out.name() || src.type() != out.type()) {
-      return Status::InvalidArgument("Append: column " + std::to_string(c) +
-                                     " mismatch ('" + src.name() + "' vs '" +
-                                     out.name() + "')");
-    }
-    out.Reserve(out.size() + src.size());
-    for (size_t r = 0; r < src.size(); ++r) {
-      if (src.IsNull(r)) {
-        out.AppendNull();
-      } else if (src.type() == DataType::kCategorical) {
-        // Re-intern through the destination dictionary: the batch may have
-        // been built with its own (differently ordered) dictionary.
-        PH_ASSIGN_OR_RETURN(
-            std::string cat,
-            src.CategoryName(static_cast<int64_t>(src.Value(r))));
-        out.AppendCategory(cat);
-      } else {
-        out.Append(src.Value(r));
-      }
-    }
-  }
-  return Status::OK();
-}
 
 SegmentedExecOptions MakeExecOptions(const DbOptions& options) {
   SegmentedExecOptions eo;
@@ -113,6 +80,10 @@ StatusOr<Db> Db::Build(Table table, const DbOptions& opts) {
   db.append_cfg_ = options.synopsis;
   db.target_segment_rows_ = options.target_segment_rows;
   db.append_mode_ = options.append_mode;
+  db.compact_ = options.compact;
+  if (options.compact.enabled) {
+    db.ledger_ = std::make_shared<FeedbackLedger>();
+  }
 
   if (options.compress) {
     PH_ASSIGN_OR_RETURN(PreprocessedTable pre, Preprocess(table));
@@ -146,8 +117,9 @@ StatusOr<Db> Db::Build(Table table, const DbOptions& opts) {
   if (options.keep_table) {
     db.table_ = std::make_unique<Table>(std::move(table));
   }
-  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
-                                                 MakeExecOptions(options));
+  SegmentedExecOptions eo = MakeExecOptions(options);
+  eo.ledger = db.ledger_;
+  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(), eo);
   db.allow_degraded_ = options.allow_degraded;
   return db;
 }
@@ -170,8 +142,13 @@ StatusOr<Db> Db::FromGenerator(const std::string& name, size_t rows,
 StatusOr<Db> Db::FromSet(SynopsisSet set, const DbOptions& options) {
   Db db;
   db.set_ = std::make_unique<SynopsisSet>(std::move(set));
-  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(),
-                                                 MakeExecOptions(options));
+  db.compact_ = options.compact;
+  if (options.compact.enabled) {
+    db.ledger_ = std::make_shared<FeedbackLedger>();
+  }
+  SegmentedExecOptions eo = MakeExecOptions(options);
+  eo.ledger = db.ledger_;
+  db.exec_ = std::make_unique<SegmentedExecutor>(db.set_.get(), eo);
   db.name_ = "synopsis";
   db.allow_degraded_ = options.allow_degraded;
   // Recover append build parameters from the newest stored segment so
@@ -475,7 +452,16 @@ Status Db::Append(const Table& batch) {
     PH_RETURN_IF_ERROR(compressed_->Append(pre));
   }
   if (table_ != nullptr) {
-    PH_RETURN_IF_ERROR(AppendRows(table_.get(), canonical));
+    PH_RETURN_IF_ERROR(AppendTableRows(table_.get(), canonical));
+  }
+  if (compact_.enabled && append_mode_ == AppendMode::kSealSegment) {
+    // Drain eligible compactions right away (Append is already the
+    // exclusive writer). Bounded: one Append seals O(1) segments, so at
+    // most a few merges cascade; the cap only guards pathological configs.
+    for (int step = 0; step < 8; ++step) {
+      PH_ASSIGN_OR_RETURN(bool did, CompactOnce());
+      if (!did) break;
+    }
   }
   return Status::OK();
 }
@@ -503,6 +489,8 @@ StatusOr<Db> Db::WithAppended(const Table& batch) const {
   out.target_segment_rows_ = target_segment_rows_;
   out.append_mode_ = append_mode_;
   out.allow_degraded_ = allow_degraded_;
+  out.compact_ = compact_;
+  out.ledger_ = ledger_;  // shared: feedback accumulates across snapshots
   if (batch.NumRows() == 0) {
     out.set_ = std::make_unique<SynopsisSet>(set_->Share());
     if (table_ != nullptr) out.table_ = std::make_unique<Table>(*table_);
@@ -515,7 +503,7 @@ StatusOr<Db> Db::WithAppended(const Table& batch) const {
     out.set_ = std::make_unique<SynopsisSet>(std::move(set));
     if (table_ != nullptr) {
       out.table_ = std::make_unique<Table>(*table_);
-      PH_RETURN_IF_ERROR(AppendRows(out.table_.get(), canonical));
+      PH_RETURN_IF_ERROR(AppendTableRows(out.table_.get(), canonical));
     }
   }
   out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
@@ -539,9 +527,129 @@ StatusOr<Db> Db::WithoutQuarantined() const {
   out.target_segment_rows_ = target_segment_rows_;
   out.append_mode_ = append_mode_;
   out.allow_degraded_ = allow_degraded_;
+  out.compact_ = compact_;
+  out.ledger_ = ledger_;
   out.set_ = std::make_unique<SynopsisSet>(std::move(healthy));
   out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
                                                   exec_->options());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Segment lifecycle: tiered compaction + error-driven refit
+
+std::optional<CompactionSpec> Db::PickCompactionSpec() const {
+  if (!compact_.enabled) return std::nullopt;
+  auto rebuildable = [this](uint64_t rb, uint64_t re) {
+    return table_ != nullptr && rb < re && re <= table_->NumRows();
+  };
+  return PickCompaction(*set_, compact_, ledger_.get(), rebuildable);
+}
+
+StatusOr<CompactedRun> Db::BuildCompaction(const CompactionSpec& spec) const {
+  if (table_ == nullptr) {
+    return Status::Unsupported(
+        "BuildCompaction requires the kept raw table (or pass the rows "
+        "explicitly)");
+  }
+  if (spec.row_begin >= spec.row_end ||
+      spec.row_end > table_->NumRows()) {
+    return Status::InvalidArgument(
+        "BuildCompaction: rows [" + std::to_string(spec.row_begin) + ", " +
+        std::to_string(spec.row_end) + ") outside the kept table");
+  }
+  Table rows = table_->Slice(spec.row_begin, spec.row_end);
+  return BuildCompaction(spec, rows);
+}
+
+StatusOr<CompactedRun> Db::BuildCompaction(const CompactionSpec& spec,
+                                           const Table& rows) const {
+  if (spec.row_begin >= spec.row_end ||
+      rows.NumRows() != spec.row_end - spec.row_begin) {
+    return Status::InvalidArgument(
+        "BuildCompaction: got " + std::to_string(rows.NumRows()) +
+        " rows for range [" + std::to_string(spec.row_begin) + ", " +
+        std::to_string(spec.row_end) + ")");
+  }
+  // Re-fit with fresh bin edges over the whole merged range. The seed is a
+  // pure function of (build seed, row range) so replaying a recorded spec
+  // rebuilds a bit-identical synopsis; the error-driven budget boost was
+  // captured in the spec at pick time for the same reason.
+  PairwiseHistConfig cfg = append_cfg_;
+  cfg.min_points_override = 0;
+  const double boost = std::max(1.0, spec.budget_boost);
+  cfg.min_points_fraction =
+      std::max(compact_.min_points_floor, cfg.min_points_fraction / boost);
+  cfg.seed = CompactionSeed(append_cfg_.seed, spec.row_begin, spec.row_end);
+  PH_ASSIGN_OR_RETURN(PairwiseHist ph,
+                      PairwiseHist::BuildFromTable(rows, cfg));
+  CompactedRun run;
+  run.synopsis = std::make_shared<PairwiseHist>(std::move(ph));
+  run.meta.row_begin = spec.row_begin;
+  run.meta.row_end = spec.row_end;
+  run.meta.ranges = ComputeColumnRanges(rows, 0, rows.NumRows());
+  return run;
+}
+
+StatusOr<bool> Db::CompactOnce(CompactionSpec* applied,
+                               const CompactionSpec* spec_in) {
+  std::optional<CompactionSpec> spec;
+  if (spec_in != nullptr) {
+    spec = *spec_in;
+  } else {
+    spec = PickCompactionSpec();
+  }
+  if (!spec.has_value()) return false;
+  PH_ASSIGN_OR_RETURN(auto run_idx,
+                      set_->FindRun(spec->row_begin, spec->row_end));
+  PH_ASSIGN_OR_RETURN(CompactedRun run, BuildCompaction(*spec));
+  PH_RETURN_IF_ERROR(set_->ReplaceRun(run_idx.first, run_idx.second,
+                                      std::move(run.synopsis),
+                                      std::move(run.meta)));
+  PH_RETURN_IF_ERROR(exec_->Refresh());
+  if (ledger_ != nullptr) ledger_->Forget(spec->row_begin, spec->row_end);
+  if (applied != nullptr) *applied = *spec;
+  return true;
+}
+
+StatusOr<size_t> Db::Compact() {
+  size_t applied = 0;
+  // The drain converges: every step strictly reduces the segment count,
+  // so the cap is only a guard against pathological configurations.
+  for (int step = 0; step < 64; ++step) {
+    PH_ASSIGN_OR_RETURN(bool did, CompactOnce());
+    if (!did) break;
+    ++applied;
+  }
+  return applied;
+}
+
+StatusOr<Db> Db::WithCompactionApplied(const CompactionSpec& spec,
+                                       CompactedRun run) const {
+  if (backend_ != nullptr) {
+    return Status::Unsupported(
+        "WithCompactionApplied snapshots use the built-in engine; reset "
+        "the backend first");
+  }
+  PH_ASSIGN_OR_RETURN(auto run_idx,
+                      set_->FindRun(spec.row_begin, spec.row_end));
+  PH_ASSIGN_OR_RETURN(
+      SynopsisSet set,
+      set_->WithReplacedRun(run_idx.first, run_idx.second,
+                            std::move(run.synopsis), std::move(run.meta)));
+  Db out;
+  out.name_ = name_;
+  out.append_cfg_ = append_cfg_;
+  out.target_segment_rows_ = target_segment_rows_;
+  out.append_mode_ = append_mode_;
+  out.allow_degraded_ = allow_degraded_;
+  out.compact_ = compact_;
+  out.ledger_ = ledger_;
+  out.set_ = std::make_unique<SynopsisSet>(std::move(set));
+  if (table_ != nullptr) out.table_ = std::make_unique<Table>(*table_);
+  out.exec_ = std::make_unique<SegmentedExecutor>(out.set_.get(),
+                                                  exec_->options());
+  if (ledger_ != nullptr) ledger_->Forget(spec.row_begin, spec.row_end);
   return out;
 }
 

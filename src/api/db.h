@@ -38,6 +38,7 @@
 #include "query/batch_exec.h"
 #include "query/engine.h"
 #include "query/segment_exec.h"
+#include "storage/compactor.h"
 #include "storage/table.h"
 
 namespace pairwisehist {
@@ -140,9 +141,22 @@ struct DbOptions {
   /// Pause between scrub passes; 0 = a single pass, >0 = continuous
   /// scrubbing with this many milliseconds between sweeps.
   uint32_t scrub_repeat_ms = 0;
+  /// Segment lifecycle: tiered background compaction + error-driven refit
+  /// (see storage/compactor.h). When `compact.enabled`, Append drains
+  /// eligible compactions after sealing and queries feed observed CI
+  /// widths into the refit ledger.
+  CompactionOptions compact;
 };
 
 class Db;
+
+/// The output of the off-path compaction build phase: one merged segment
+/// (fresh bin edges fitted over the whole merged row range) ready to be
+/// published into a synopsis set by Db::WithCompactionApplied.
+struct CompactedRun {
+  std::shared_ptr<PairwiseHist> synopsis;
+  SegmentMeta meta;
+};
 
 /// A SQL statement prepared against a Db: parsed, normalized and planned
 /// once per segment, executable many times. Must not outlive the Db it
@@ -311,6 +325,55 @@ class Db {
   /// endpoint) re-type numeric columns before Append's schema check.
   std::vector<std::pair<std::string, DataType>> AppendSchema() const;
 
+  // ---- Segment lifecycle: tiered compaction (storage/compactor.h) -------
+  /// Picks the highest-priority eligible compaction under this Db's
+  /// CompactionOptions (quarantined rebuildable segments first, then the
+  /// worst-error full tier run), or nullopt when nothing is eligible.
+  /// Requires the kept raw table to rebuild rows; ranges the table cannot
+  /// cover are skipped.
+  std::optional<CompactionSpec> PickCompactionSpec() const;
+
+  /// Runs one compaction in place (exclusive writer, like Append): picks
+  /// (or takes *spec_in), rebuilds the merged segment from the raw table,
+  /// replaces the run, refreshes the executor and forgets the range's
+  /// ledger entries. Returns false when nothing was eligible. Prepared
+  /// queries/batches stay valid: their plans recompile on next execution
+  /// (structure_generation changed). `applied` receives the spec used.
+  StatusOr<bool> CompactOnce(CompactionSpec* applied = nullptr,
+                             const CompactionSpec* spec_in = nullptr);
+
+  /// Drains eligible compactions (bounded): repeatedly CompactOnce until
+  /// nothing is eligible. Returns the number of compactions applied.
+  StatusOr<size_t> Compact();
+
+  /// Phase 1 of the serving snapshot-swap path: builds the merged segment
+  /// for `spec` from this Db's kept table, entirely off the write path
+  /// (const; safe concurrently with reads). The overload taking `rows`
+  /// rebuilds from caller-provided rows (e.g. WAL-retained batches) when
+  /// this Db has no kept table; `rows` must span exactly
+  /// [spec.row_begin, spec.row_end) in order.
+  StatusOr<CompactedRun> BuildCompaction(const CompactionSpec& spec) const;
+  StatusOr<CompactedRun> BuildCompaction(const CompactionSpec& spec,
+                                         const Table& rows) const;
+
+  /// Phase 2: a NEW Db sharing every segment except the compacted run,
+  /// which is replaced by `run` — `this` is untouched, so in-flight
+  /// readers stay valid (the RCU publish step). NotFound when the spec's
+  /// row range no longer aligns to a segment run (e.g. already compacted).
+  StatusOr<Db> WithCompactionApplied(const CompactionSpec& spec,
+                                     CompactedRun run) const;
+
+  /// This Db's compaction options / error-feedback ledger (ledger is null
+  /// unless DbOptions::compact.enabled).
+  const CompactionOptions& compaction_options() const { return compact_; }
+  const std::shared_ptr<FeedbackLedger>& feedback_ledger() const {
+    return ledger_;
+  }
+  /// Segments sitting in merge-eligible runs (the compaction backlog).
+  size_t CompactionBacklogSize() const {
+    return CompactionBacklog(*set_, compact_);
+  }
+
   // ---- Pluggable AQP backends ------------------------------------------
   /// Routes subsequent Execute/Prepare calls through `backend` instead of
   /// the built-in PairwiseHist engine. Passing nullptr restores the
@@ -400,6 +463,11 @@ class Db {
   size_t target_segment_rows_ = 0;
   AppendMode append_mode_ = AppendMode::kSealSegment;
   bool allow_degraded_ = false;
+  // Segment lifecycle: options + error-feedback ledger (created when
+  // compact.enabled; shared across copy-on-append/compact snapshots so
+  // feedback survives snapshot swaps).
+  CompactionOptions compact_;
+  std::shared_ptr<FeedbackLedger> ledger_;
 };
 
 }  // namespace pairwisehist

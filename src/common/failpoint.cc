@@ -54,6 +54,9 @@ const std::vector<std::string>& Points() {
       "scrub.verify",           // per-block CRC verify (scrub + CoW hook)
       "pws3.block_corrupt",     // flips a data byte after Encode's CRCs
       "recover.checkpoint_open",// before opening each checkpoint candidate
+      "compact.build",          // before building the merged segment
+      "compact.publish",        // merged segment built, swap not published
+      "compact.checkpoint",     // compacted snapshot live, not yet durable
   };
   return *kPoints;
 }

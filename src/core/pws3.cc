@@ -387,6 +387,10 @@ StatusOr<SynopsisSet> Pws3Codec::Decode(
     ctx.seg_lo = hdr.data_end;  // min/max identities for the span fold
     ctx.seg_hi = Pws3Codec::kHeaderSize;
     SynopsisSet::Segment& seg = out.segments_[s];
+    // Quarantine flags are per SPAN of the decoded file; remember which
+    // span this segment came from so later reindexing (compaction) keeps
+    // attributing flags correctly.
+    seg.integrity_span = s;
     PH_ASSIGN_OR_RETURN(seg.meta.row_begin, r.ReadU64());
     PH_ASSIGN_OR_RETURN(seg.meta.row_end, r.ReadU64());
     PH_ASSIGN_OR_RETURN(uint64_t nranges, r.ReadVarint());

@@ -110,9 +110,69 @@ SynopsisSet SynopsisSet::Share() const {
   SynopsisSet out;
   out.segments_ = segments_;  // shares every (immutable) synopsis
   out.meta_generation_ = meta_generation_;
+  out.structure_generation_ = structure_generation_;
   out.mapped_bytes_ = mapped_bytes_;  // shared segments keep borrowing
   out.integrity_ = integrity_;  // one quarantine state across snapshots
   return out;
+}
+
+StatusOr<std::pair<size_t, size_t>> SynopsisSet::FindRun(
+    uint64_t row_begin, uint64_t row_end) const {
+  size_t begin = segments_.size();
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].meta.row_begin == row_begin) {
+      begin = i;
+      break;
+    }
+  }
+  for (size_t end = begin; end < segments_.size(); ++end) {
+    if (segments_[end].meta.row_end == row_end) {
+      return std::make_pair(begin, end + 1);
+    }
+    if (segments_[end].meta.row_end > row_end) break;
+  }
+  return Status::NotFound(
+      "SynopsisSet: no segment run spans rows [" +
+      std::to_string(row_begin) + ", " + std::to_string(row_end) + ")");
+}
+
+Status SynopsisSet::ReplaceRun(size_t begin, size_t end,
+                               std::shared_ptr<PairwiseHist> merged,
+                               SegmentMeta meta) {
+  if (begin >= end || end > segments_.size() || merged == nullptr) {
+    return Status::InvalidArgument("ReplaceRun: bad segment range");
+  }
+  if (segments_[begin].meta.row_begin != meta.row_begin ||
+      segments_[end - 1].meta.row_end != meta.row_end) {
+    return Status::InvalidArgument(
+        "ReplaceRun: replacement rows do not match the replaced run");
+  }
+  Segment seg;
+  seg.synopsis = std::move(merged);
+  seg.meta = std::move(meta);
+  // seg.integrity_span stays kNoSpan: the rebuilt segment is heap-built,
+  // so replacing a quarantined segment removes it from the quarantine set.
+  segments_[begin] = std::move(seg);
+  segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(begin) + 1,
+                  segments_.begin() + static_cast<ptrdiff_t>(end));
+  ++meta_generation_;
+  ++structure_generation_;
+  return Status::OK();
+}
+
+StatusOr<SynopsisSet> SynopsisSet::WithReplacedRun(
+    size_t begin, size_t end, std::shared_ptr<PairwiseHist> merged,
+    SegmentMeta meta) const {
+  SynopsisSet out = Share();
+  PH_RETURN_IF_ERROR(
+      out.ReplaceRun(begin, end, std::move(merged), std::move(meta)));
+  return out;
+}
+
+bool SynopsisSet::SegmentQuarantined(size_t i) const {
+  return integrity_ != nullptr && i < segments_.size() &&
+         segments_[i].integrity_span != Segment::kNoSpan &&
+         integrity_->quarantined(segments_[i].integrity_span);
 }
 
 Status SynopsisSet::VerifyIntegrity() const {
@@ -124,14 +184,18 @@ void SynopsisSet::StartScrub(uint32_t mb_per_s, uint32_t repeat_ms) const {
 }
 
 bool SynopsisSet::has_quarantine() const {
-  return integrity_ && integrity_->any_quarantined();
+  // The flags live on the mapping's spans; whether any CURRENT segment is
+  // affected depends on which segments still reference a quarantined span
+  // (compaction rebuilds segments span-free, draining the quarantine).
+  if (!integrity_ || !integrity_->any_quarantined()) return false;
+  return quarantined_segment_count() > 0;
 }
 
 size_t SynopsisSet::quarantined_segment_count() const {
   if (!integrity_) return 0;
   size_t n = 0;
   for (size_t i = 0; i < segments_.size(); ++i) {
-    if (integrity_->quarantined(i)) ++n;
+    if (SegmentQuarantined(i)) ++n;
   }
   return n;
 }
@@ -140,7 +204,7 @@ uint64_t SynopsisSet::quarantined_rows() const {
   if (!integrity_) return 0;
   uint64_t n = 0;
   for (size_t i = 0; i < segments_.size(); ++i) {
-    if (integrity_->quarantined(i)) n += segments_[i].synopsis->total_rows();
+    if (SegmentQuarantined(i)) n += segments_[i].synopsis->total_rows();
   }
   return n;
 }
@@ -156,9 +220,10 @@ uint64_t SynopsisSet::scrub_errors() const {
 SynopsisSet SynopsisSet::ShareHealthy() const {
   SynopsisSet out;
   out.meta_generation_ = meta_generation_;
+  out.structure_generation_ = structure_generation_;
   out.mapped_bytes_ = mapped_bytes_;
   for (size_t i = 0; i < segments_.size(); ++i) {
-    if (integrity_ && integrity_->quarantined(i)) continue;
+    if (SegmentQuarantined(i)) continue;
     out.segments_.push_back(segments_[i]);
   }
   return out;

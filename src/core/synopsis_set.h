@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -77,6 +78,35 @@ class SynopsisSet {
   /// see bit-identical segments where they overlap.
   StatusOr<SynopsisSet> WithSealed(const SegmentedTable& st,
                                    const PairwiseHistConfig& cfg) const;
+
+  // ---- Compaction (see storage/compactor.h) -----------------------------
+  /// Locates the contiguous run of segments spanning EXACTLY rows
+  /// [row_begin, row_end); returns the half-open segment index range.
+  /// NotFound when no run aligns (e.g. the range was already compacted).
+  /// Stable across appends: sealing only ever adds segments past the end.
+  StatusOr<std::pair<size_t, size_t>> FindRun(uint64_t row_begin,
+                                              uint64_t row_end) const;
+  /// Replaces segments [begin, end) with one already-built merged segment
+  /// covering the same rows. Bumps meta_generation() AND
+  /// structure_generation(): executors must rebuild engines and recompile
+  /// every plan (indices shifted), not just extend the tail. The replaced
+  /// segment carries no integrity span, so replacing a quarantined segment
+  /// drains it from the quarantine set.
+  Status ReplaceRun(size_t begin, size_t end,
+                    std::shared_ptr<PairwiseHist> merged, SegmentMeta meta);
+  /// Copy-on-compact: a NEW set sharing every segment except the replaced
+  /// run, leaving `this` untouched (the serving snapshot-swap path).
+  StatusOr<SynopsisSet> WithReplacedRun(size_t begin, size_t end,
+                                        std::shared_ptr<PairwiseHist> merged,
+                                        SegmentMeta meta) const;
+  /// Bumped whenever existing segments are REPLACED (compaction) — unlike
+  /// meta_generation(), which also covers pure growth. A change means
+  /// cached per-segment engines/plans are structurally stale.
+  uint64_t structure_generation() const { return structure_generation_; }
+  /// Whether segment i (by CURRENT index) is quarantined. Integrity spans
+  /// are remembered per segment, so this stays correct after compaction
+  /// shifts indices.
+  bool SegmentQuarantined(size_t i) const;
 
   // ---- Introspection ----------------------------------------------------
   size_t NumSegments() const { return segments_.size(); }
@@ -167,8 +197,16 @@ class SynopsisSet {
   /// path mutates a synopsis in place, and that path never coexists with
   /// snapshot sharing (Db::WithAppended rejects kMutateBins).
   struct Segment {
+    /// "This segment is not backed by an integrity span" (heap-built:
+    /// sealed appends and compaction-merged segments).
+    static constexpr size_t kNoSpan = static_cast<size_t>(-1);
+
     std::shared_ptr<PairwiseHist> synopsis;
     SegmentMeta meta;
+    /// Index into integrity_'s spans for mapped segments. Kept per
+    /// segment (not derived from position) so compaction can replace and
+    /// reindex segments without misattributing quarantine flags.
+    size_t integrity_span = kNoSpan;
   };
 
   /// Shared per-segment build fan-out: fills out[i] for every segment of
@@ -182,6 +220,8 @@ class SynopsisSet {
 
   std::vector<Segment> segments_;
   uint64_t meta_generation_ = 0;
+  /// Bumped by ReplaceRun (compaction); see structure_generation().
+  uint64_t structure_generation_ = 0;
   /// Size of the PWS3 mapping backing this set's segments (0 = heap).
   /// Copied by Share()/WithSealed() — shared segments keep borrowing.
   size_t mapped_bytes_ = 0;

@@ -110,6 +110,12 @@ Status SegmentedExecutor::ExecuteBatchImpl(const SegmentedPlan* const* plans,
   for (const Status& s : scratch.statuses) {
     if (!s.ok()) return s;
   }
+  if (options_.ledger != nullptr) {
+    for (size_t q = 0; q < nq; ++q) {
+      const SegmentedPlan::State& st = *plans[q]->state_;
+      if (st.query.group_by.empty()) RecordFeedback(st, scratch.parts[q]);
+    }
+  }
 
   // Deterministic serial merge per query in segment order — the same
   // merge the single-plan path runs, so any exec_threads (and the batch

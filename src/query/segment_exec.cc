@@ -1,6 +1,7 @@
 #include "query/segment_exec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace pairwisehist {
@@ -109,6 +110,14 @@ SegmentedExecutor& SegmentedExecutor::operator=(SegmentedExecutor&&) noexcept =
     default;
 
 Status SegmentedExecutor::Refresh() {
+  // A structural change (compaction replaced a run of segments) shifts the
+  // index space: engine i may now face a different segment, so every
+  // engine rebuilds. Pure growth (appends) keeps the prefix and only adds.
+  const uint64_t sgen = set_->structure_generation();
+  if (sgen != structure_seen_) {
+    engines_.clear();
+    structure_seen_ = sgen;
+  }
   const size_t nseg = set_->NumSegments();
   for (size_t i = engines_.size(); i < nseg; ++i) {
     engines_.push_back(
@@ -123,15 +132,26 @@ Status SegmentedExecutor::Refresh() {
 Status SegmentedExecutor::EnsurePlans(SegmentedPlan::State* st) const {
   const size_t nseg = engines_.size();
   const uint64_t gen = set_->meta_generation();
+  const uint64_t sgen = structure_seen_;
   if (st->planned.load(std::memory_order_acquire) >= nseg &&
-      st->meta_gen.load(std::memory_order_acquire) == gen) {
+      st->meta_gen.load(std::memory_order_acquire) == gen &&
+      st->structure_gen.load(std::memory_order_acquire) == sgen) {
     return Status::OK();
   }
   std::lock_guard<std::mutex> lock(st->mu);
-  const size_t planned = st->planned.load(std::memory_order_relaxed);
+  size_t planned = st->planned.load(std::memory_order_relaxed);
   if (planned >= nseg &&
-      st->meta_gen.load(std::memory_order_relaxed) == gen) {
+      st->meta_gen.load(std::memory_order_relaxed) == gen &&
+      st->structure_gen.load(std::memory_order_relaxed) == sgen) {
     return Status::OK();
+  }
+  if (st->structure_gen.load(std::memory_order_relaxed) != sgen) {
+    // Compaction replaced segments: every compiled plan may target a
+    // retired segment. Discard and recompile the whole set (this is what
+    // keeps prepared queries valid across Db::Compact — a cached plan can
+    // never read a retired segment).
+    st->plans.clear();
+    planned = 0;
   }
 
   // Compile the missing tail into temporaries first so a failure leaves
@@ -156,6 +176,7 @@ Status SegmentedExecutor::EnsurePlans(SegmentedPlan::State* st) const {
     }
   }
   st->meta_gen.store(gen, std::memory_order_release);
+  st->structure_gen.store(sgen, std::memory_order_release);
   st->planned.store(nseg, std::memory_order_release);
   return Status::OK();
 }
@@ -202,6 +223,9 @@ Status SegmentedExecutor::ExecuteInto(const SegmentedPlan& plan,
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
+  if (options_.ledger != nullptr && st->query.group_by.empty()) {
+    RecordFeedback(*st, parts);
+  }
 
   // Deterministic serial merge in segment order: results are bit-equal for
   // any exec_threads value. The merge runs on the same kernel tier as the
@@ -209,6 +233,25 @@ Status SegmentedExecutor::ExecuteInto(const SegmentedPlan& plan,
   MergePartialResults(st->query.func, !st->query.group_by.empty(), parts,
                       result, &GetKernels(options_.engine.kernels));
   return Status::OK();
+}
+
+void SegmentedExecutor::RecordFeedback(
+    const SegmentedPlan::State& st,
+    const std::vector<PartialResult>& parts) const {
+  for (size_t i = 0; i < parts.size() && i < set_->NumSegments(); ++i) {
+    if (i < st.skip.size() && st.skip[i]) continue;
+    if (parts[i].groups.empty()) continue;
+    const PartialAggregate& a = parts[i].groups[0].agg;
+    if (a.empty) continue;
+    double rel;
+    if (st.query.func == AggFunc::kCount) {
+      rel = (a.count_hi - a.count_lo) / std::max(1.0, a.count);
+    } else {
+      rel = (a.value.upper - a.value.lower) /
+            std::max(1e-12, std::fabs(a.value.estimate));
+    }
+    options_.ledger->Record(set_->meta(i).row_begin, rel);
+  }
 }
 
 StatusOr<QueryResult> SegmentedExecutor::Execute(

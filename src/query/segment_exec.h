@@ -25,6 +25,7 @@
 #include "core/synopsis_set.h"
 #include "query/engine.h"
 #include "query/partial_agg.h"
+#include "storage/compactor.h"
 
 namespace pairwisehist {
 
@@ -38,6 +39,10 @@ struct SegmentedExecOptions {
   /// Skip segments whose per-column min/max provably cannot satisfy the
   /// WHERE clause.
   bool prune = true;
+  /// When set, multi-segment scalar executions record each segment's
+  /// observed relative CI width here (the compaction picker's error
+  /// signal). Shared across copy-on-append/compact snapshots.
+  std::shared_ptr<FeedbackLedger> ledger;
 };
 
 /// A query prepared against every segment of a SynopsisSet. Movable;
@@ -63,6 +68,11 @@ class SegmentedPlan {
     /// kMutateBins append widens segment ranges without growing the set,
     /// so prune flags re-validate against this, not just the count.
     std::atomic<uint64_t> meta_gen{0};
+    /// SynopsisSet::structure_generation() the plans were compiled at. A
+    /// compaction REPLACES segments (indices shift, engines rebuild), so
+    /// on mismatch every plan — not just the tail — recompiles. This is
+    /// what keeps PreparedQuery/PreparedBatch valid across Db::Compact.
+    std::atomic<uint64_t> structure_gen{0};
     std::vector<CompiledQuery> plans;  // one per segment
     std::vector<uint8_t> skip;         // 1 = provably no match
   };
@@ -79,6 +89,8 @@ class SegmentedExecutor {
   SegmentedExecutor& operator=(SegmentedExecutor&&) noexcept;
 
   /// Creates engines for segments appended since construction/last call.
+  /// After a compaction (structure_generation changed) EVERY engine is
+  /// rebuilt: replaced segments shifted the index space.
   Status Refresh();
 
   /// Compiles `query` against every current segment (later segments are
@@ -114,8 +126,14 @@ class SegmentedExecutor {
   const SegmentedExecOptions& options() const { return options_; }
 
  private:
-  /// Compiles plans (and prune flags) for segments in [planned, current).
+  /// Compiles plans (and prune flags) for segments in [planned, current);
+  /// after a compaction, discards and recompiles the whole plan set.
   Status EnsurePlans(SegmentedPlan::State* st) const;
+
+  /// Folds one scalar execution's per-segment partials into the feedback
+  /// ledger (no-op unless options_.ledger is set).
+  void RecordFeedback(const SegmentedPlan::State& st,
+                      const std::vector<PartialResult>& parts) const;
 
   /// Per-call bookkeeping for batch execution, leased from a pool so
   /// repeated batches reuse warmed capacity and concurrent const callers
@@ -138,6 +156,8 @@ class SegmentedExecutor {
   const SynopsisSet* set_;
   SegmentedExecOptions options_;
   std::vector<std::unique_ptr<AqpEngine>> engines_;
+  /// The set structure_generation() engines_ was built against.
+  uint64_t structure_seen_ = 0;
   /// Persistent fan-out pool; created by the constructor / Refresh once
   /// the set holds more than one segment (and exec_threads != 1).
   std::unique_ptr<TaskPool> pool_;

@@ -3,11 +3,14 @@
 // Preparation (parse → normalize → per-segment grid selection) is the
 // expensive part of a sub-millisecond query; the cache makes repeated
 // dashboard statements pay it once per snapshot epoch. Every entry pins
-// the snapshot it was prepared against, so a cached plan can never
-// dangle: after an append swaps the serving snapshot, lookups against the
-// new snapshot miss (epoch mismatch) and lazily re-prepare, exactly like
-// SegmentedPlan's own lazy extension — the old entry's pinned snapshot is
-// released when the entry is replaced or evicted.
+// the snapshot it was prepared against and matches by snapshot POINTER
+// identity, so a cached plan can never dangle or read a retired segment:
+// after an append OR a compaction swaps the serving snapshot (a compaction
+// keeps the epoch but replaces segments — pointer identity catches what an
+// epoch compare would miss), lookups against the new snapshot miss and
+// lazily re-prepare, exactly like SegmentedPlan's own lazy extension — the
+// old entry's pinned snapshot is released when the entry is replaced or
+// evicted.
 #ifndef PAIRWISEHIST_SERVE_PLAN_CACHE_H_
 #define PAIRWISEHIST_SERVE_PLAN_CACHE_H_
 

@@ -325,6 +325,20 @@ HttpResponse HandleStats(ServingDb* db, ServiceGate* gate) {
   b += ",\"quarantined_rows\":" + std::to_string(s.quarantined_rows);
   b += ",\"scrub_errors\":" + std::to_string(s.scrub_errors);
   b += ",\"degraded_reads\":" + std::to_string(s.degraded_reads);
+  b += ",\"compaction_enabled\":";
+  b += s.compaction_enabled ? "true" : "false";
+  b += ",\"compaction_seq\":" + std::to_string(s.compaction_seq);
+  b += ",\"compaction_runs\":" + std::to_string(s.compaction_runs);
+  b += ",\"compaction_segments_merged\":" +
+       std::to_string(s.compaction_segments_merged);
+  b += ",\"compaction_rows_rewritten\":" +
+       std::to_string(s.compaction_rows_rewritten);
+  b += ",\"compaction_bytes_rewritten\":" +
+       std::to_string(s.compaction_bytes_rewritten);
+  b += ",\"compaction_backlog\":" + std::to_string(s.compaction_backlog);
+  b += ",\"compaction_errors\":" + std::to_string(s.compaction_errors);
+  b += ",\"quarantine_drained\":" + std::to_string(s.quarantine_drained);
+  b += ",\"retained_bytes\":" + std::to_string(s.retained_bytes);
   b += ",\"durable\":";
   b += s.durable ? "true" : "false";
   if (s.durable) {
@@ -375,6 +389,9 @@ HttpResponse HandleHealthz(ServingDb* db, ServiceState* state) {
   b += ",\"quarantined_rows\":" + std::to_string(s.quarantined_rows);
   b += ",\"scrub_errors\":" + std::to_string(s.scrub_errors);
   b += ",\"legacy_pws3v1_opens\":" + std::to_string(Pws3LegacyOpenCount());
+  b += ",\"compaction_runs\":" + std::to_string(s.compaction_runs);
+  b += ",\"compaction_backlog\":" + std::to_string(s.compaction_backlog);
+  b += ",\"compaction_errors\":" + std::to_string(s.compaction_errors);
   b += "}";
   return resp;
 }

@@ -122,9 +122,20 @@ ServingDb::ServingDb(Db db, ServingOptions options, uint64_t start_epoch)
         },
         options_.coalesce_window_us);
   }
+  if (options_.compaction.enabled && options_.compaction.interval_ms > 0) {
+    compactor_ = std::thread([this] { CompactorLoop(); });
+  }
 }
 
 ServingDb::~ServingDb() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(co_mu_);
+      co_stop_ = true;
+    }
+    co_cv_.notify_all();
+    compactor_.join();
+  }
   if (checkpointer_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(cp_mu_);
@@ -224,6 +235,15 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
   }
 
   uint64_t epoch = info.checkpoint_epoch;
+  const uint64_t checkpoint_total = db->total_rows();
+  // Rebuild-row retention for compaction: WAL-covered batches are the only
+  // row source a checkpoint-recovered server has (no kept raw table).
+  // Skipped records (already inside the checkpoint) get their row ranges
+  // computed backward from the checkpoint's total below; applied records
+  // know their range at replay time.
+  std::vector<Table> skipped_batches;
+  std::vector<std::pair<uint64_t, Table>> applied_batches;  // (row_begin, rows)
+  const bool retain = options.compaction.enabled;
   // Replay the WAL tail. Records at or below the checkpoint epoch are
   // already inside the checkpoint (a crash between checkpoint-rename and
   // WAL-truncate leaves them behind) and are skipped by epoch.
@@ -235,6 +255,7 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
                                         DecodeWalBatch(data, size));
                     ++info.wal_records;
                     if (wb.epoch <= info.checkpoint_epoch) {
+                      if (retain) skipped_batches.push_back(wb.batch);
                       return Status::OK();
                     }
                     PH_RETURN_IF_ERROR(
@@ -250,12 +271,16 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
                       }
                       return Status::DataLoss(msg);
                     }
+                    const uint64_t prev_total = db->total_rows();
                     PH_ASSIGN_OR_RETURN(Db next,
                                         db->WithAppended(wb.batch));
                     db = std::move(next);
                     epoch = wb.epoch;
                     ++info.wal_records_applied;
                     info.rows_recovered += wb.batch.NumRows();
+                    if (retain) {
+                      applied_batches.emplace_back(prev_total, wb.batch);
+                    }
                     return Status::OK();
                   }));
   info.tail_truncated = replay.tail_truncated;
@@ -283,6 +308,28 @@ StatusOr<std::unique_ptr<ServingDb>> ServingDb::Recover(
 
   auto sdb = std::unique_ptr<ServingDb>(
       new ServingDb(std::move(*db), options, epoch));
+  if (retain) {
+    // Skipped records are the TAIL of the checkpoint's rows in epoch
+    // order: walk them backward from the checkpoint's total to recover
+    // each one's row range, then feed everything forward (oldest-first
+    // eviction keeps the newest — most compaction-relevant — batches).
+    std::vector<uint64_t> skipped_begin(skipped_batches.size(), 0);
+    size_t valid_from = skipped_batches.size();
+    uint64_t row_end = checkpoint_total;
+    for (size_t i = skipped_batches.size(); i-- > 0;) {
+      const uint64_t n = skipped_batches[i].NumRows();
+      if (n > row_end) break;  // ranges no longer derivable; stop here
+      row_end -= n;
+      skipped_begin[i] = row_end;
+      valid_from = i;
+    }
+    for (size_t i = valid_from; i < skipped_batches.size(); ++i) {
+      sdb->RetainRows(skipped_begin[i], std::move(skipped_batches[i]));
+    }
+    for (auto& [row_begin, rows] : applied_batches) {
+      sdb->RetainRows(row_begin, std::move(rows));
+    }
+  }
   PH_RETURN_IF_ERROR(sdb->InitDurable(info));
   return sdb;
 }
@@ -297,7 +344,12 @@ Status ServingDb::InitDurable(const RecoveryInfo& recovered) {
   PH_ASSIGN_OR_RETURN(Wal wal,
                       Wal::Open(options_.durability.dir + "/" + kWalFile,
                                 wopts));
-  wal_ = std::make_unique<Wal>(std::move(wal));
+  {
+    // append_mu_: the background compactor (started by the constructor)
+    // reads wal_ under this lock in its publish phase.
+    std::lock_guard<std::mutex> lock(append_mu_);
+    wal_ = std::make_unique<Wal>(std::move(wal));
+  }
   if (options_.durability.checkpoint_interval_ms > 0) {
     checkpointer_ = std::thread([this] { CheckpointerLoop(); });
   }
@@ -315,7 +367,8 @@ void ServingDb::CheckpointerLoop() {
     {
       std::lock_guard<std::mutex> append_lock(append_mu_);
       if (appends_since_checkpoint_ >=
-          options_.durability.checkpoint_min_appends) {
+              options_.durability.checkpoint_min_appends ||
+          compaction_since_checkpoint_) {
         (void)CheckpointLocked();  // failure leaves the WAL authoritative
       }
     }
@@ -603,10 +656,17 @@ Status ServingDb::Append(const Table& batch) {
     PH_RETURN_IF_ERROR(wal_->Append(EncodeWalBatch(next_epoch, batch)));
     PH_RETURN_IF_ERROR(failpoint::Fire("wal.append.acked").status);
   }
-  auto fresh = std::make_shared<DbSnapshot>(std::move(next), next_epoch);
+  auto fresh = std::make_shared<DbSnapshot>(std::move(next), next_epoch,
+                                            cur->compaction_seq);
   std::atomic_store_explicit(&snapshot_, fresh, std::memory_order_release);
   appends_.fetch_add(1, std::memory_order_relaxed);
   ++appends_since_checkpoint_;
+  if (options_.compaction.enabled && cur->db.table() == nullptr) {
+    // No kept raw table (checkpoint-recovered serving): keep the batch's
+    // rows in the bounded retention buffer so its segments can still be
+    // re-fitted by compaction.
+    RetainRows(cur->db.total_rows(), batch);
+  }
   return Status::OK();
 }
 
@@ -647,9 +707,172 @@ Status ServingDb::CheckpointLocked() {
     }
   }
   appends_since_checkpoint_ = 0;
+  compaction_since_checkpoint_ = false;
   last_checkpoint_epoch_.store(cur->epoch, std::memory_order_relaxed);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Segment lifecycle: tiered compaction through the snapshot swap
+
+Status ServingDb::CompactNow(bool* did) {
+  if (did != nullptr) *did = false;
+  std::shared_ptr<const DbSnapshot> snap = Load();
+  if (snap == nullptr) return Status::Internal("ServingDb: no snapshot");
+  const Db& db = snap->db;
+  const CompactionOptions& copts = options_.compaction;
+  auto rebuildable = [&](uint64_t rb, uint64_t re) {
+    if (rb >= re) return false;
+    if (db.table() != nullptr && re <= db.table()->NumRows()) return true;
+    return CanStitchRetained(rb, re);
+  };
+  std::optional<CompactionSpec> spec = PickCompaction(
+      db.synopses(), copts, db.feedback_ledger().get(), rebuildable);
+  if (!spec.has_value()) return Status::OK();
+
+  Status st = [&]() -> Status {
+    // Phase 1 (no locks): build the merged segment. Readers and appends
+    // proceed throughout; `snap` pins the source segments.
+    PH_RETURN_IF_ERROR(failpoint::Fire("compact.build").status);
+    CompactedRun run;
+    if (db.table() != nullptr && spec->row_end <= db.table()->NumRows()) {
+      PH_ASSIGN_OR_RETURN(run, db.BuildCompaction(*spec));
+    } else {
+      PH_ASSIGN_OR_RETURN(Table rows,
+                          StitchRetained(spec->row_begin, spec->row_end));
+      PH_ASSIGN_OR_RETURN(run, db.BuildCompaction(*spec, rows));
+    }
+    const uint64_t bytes = run.synopsis->StorageBytes();
+
+    // Phase 2 (append lock): re-locate the run by row range in the
+    // CURRENT snapshot — appends since phase 1 only added segments past
+    // the end, so the spec still applies — and publish atomically. The
+    // epoch does not change (no rows changed, no WAL record: the recovery
+    // epoch chain stays gapless); compaction_seq does.
+    std::lock_guard<std::mutex> lock(append_mu_);
+    std::shared_ptr<DbSnapshot> cur = Load();
+    if (cur == nullptr) return Status::Internal("ServingDb: no snapshot");
+    PH_RETURN_IF_ERROR(failpoint::Fire("compact.publish").status);
+    StatusOr<Db> next = cur->db.WithCompactionApplied(*spec, std::move(run));
+    if (!next.ok()) {
+      // NotFound: the run no longer aligns (a racing explicit CompactNow
+      // already replaced it). Nothing to do — not an error.
+      if (next.status().code() == StatusCode::kNotFound) return Status::OK();
+      return next.status();
+    }
+    const size_t before = cur->db.num_segments();
+    const size_t after = next.value().num_segments();
+    const uint32_t merged = static_cast<uint32_t>(before - after + 1);
+    auto fresh = std::make_shared<DbSnapshot>(std::move(next).value(),
+                                              cur->epoch,
+                                              cur->compaction_seq + 1);
+    std::atomic_store_explicit(&snapshot_, fresh,
+                               std::memory_order_release);
+    const uint64_t rows_rewritten = spec->row_end - spec->row_begin;
+    compaction_runs_.fetch_add(1, std::memory_order_relaxed);
+    compaction_segments_merged_.fetch_add(merged, std::memory_order_relaxed);
+    compaction_rows_rewritten_.fetch_add(rows_rewritten,
+                                         std::memory_order_relaxed);
+    compaction_bytes_rewritten_.fetch_add(bytes, std::memory_order_relaxed);
+    if (spec->quarantine_drain) {
+      quarantine_drained_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> ev(events_mu_);
+      events_.push_back({fresh->compaction_seq, fresh->epoch, *spec, merged,
+                         rows_rewritten, bytes});
+    }
+    if (did != nullptr) *did = true;
+    compaction_since_checkpoint_ = true;
+    if (wal_ != nullptr && copts.checkpoint_after) {
+      // Make the compacted structure durable promptly. A crash before (or
+      // during) this checkpoint recovers the PRE-compaction segment set
+      // from the previous checkpoint + WAL — consistent either way, never
+      // a mix.
+      PH_RETURN_IF_ERROR(failpoint::Fire("compact.checkpoint").status);
+      PH_RETURN_IF_ERROR(CheckpointLocked());
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) compaction_errors_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+void ServingDb::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(co_mu_);
+  const auto interval =
+      std::chrono::milliseconds(options_.compaction.interval_ms);
+  while (!co_stop_) {
+    co_cv_.wait_for(lock, interval, [this] { return co_stop_; });
+    if (co_stop_) return;
+    lock.unlock();
+    // Drain: a merge can cascade into a higher tier becoming eligible.
+    bool did = true;
+    for (int i = 0; i < 8 && did; ++i) {
+      if (!CompactNow(&did).ok()) break;  // already counted in errors
+    }
+    lock.lock();
+  }
+}
+
+std::vector<ServingDb::CompactionEvent> ServingDb::CompactionLog() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return events_;
+}
+
+void ServingDb::RetainRows(uint64_t row_begin, Table rows) {
+  const size_t cap = static_cast<size_t>(options_.compaction.retain_rows_mb)
+                     << 20;
+  if (cap == 0) return;
+  const size_t bytes = rows.RawSizeBytes();
+  const uint64_t row_end = row_begin + rows.NumRows();
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  retained_.push_back({row_begin, row_end, std::move(rows)});
+  retained_bytes_ += bytes;
+  while (retained_bytes_ > cap && !retained_.empty()) {
+    retained_bytes_ -= retained_.front().rows.RawSizeBytes();
+    retained_.pop_front();
+  }
+}
+
+bool ServingDb::CanStitchRetained(uint64_t begin, uint64_t end) const {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  uint64_t cursor = begin;
+  for (const RetainedBatch& b : retained_) {
+    if (cursor >= end) break;
+    if (b.row_end <= cursor) continue;
+    if (b.row_begin > cursor) return false;  // gap (evicted batch)
+    cursor = std::min(end, b.row_end);
+  }
+  return cursor >= end;
+}
+
+StatusOr<Table> ServingDb::StitchRetained(uint64_t begin,
+                                          uint64_t end) const {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  std::optional<Table> out;
+  uint64_t cursor = begin;
+  for (const RetainedBatch& b : retained_) {
+    if (cursor >= end) break;
+    if (b.row_end <= cursor) continue;
+    if (b.row_begin > cursor) break;
+    const uint64_t take_end = std::min(end, b.row_end);
+    Table slice = b.rows.Slice(static_cast<size_t>(cursor - b.row_begin),
+                               static_cast<size_t>(take_end - b.row_begin));
+    if (!out.has_value()) {
+      out = std::move(slice);
+    } else {
+      PH_RETURN_IF_ERROR(AppendTableRows(&out.value(), slice));
+    }
+    cursor = take_end;
+  }
+  if (!out.has_value() || cursor < end) {
+    return Status::NotFound(
+        "ServingDb: retained rows do not cover [" + std::to_string(begin) +
+        ", " + std::to_string(end) + ")");
+  }
+  return std::move(out).value();
 }
 
 ServingStats ServingDb::Stats() const {
@@ -667,6 +890,25 @@ ServingStats ServingDb::Stats() const {
   s.degraded_reads = degraded_reads_.load(std::memory_order_relaxed);
   s.checkpoints_skipped = recovery_.checkpoints_skipped;
   s.corrupt_checkpoint = recovery_.corrupt_checkpoint;
+  s.compaction_enabled = options_.compaction.enabled;
+  if (snap != nullptr) {
+    s.compaction_seq = snap->compaction_seq;
+    s.compaction_backlog =
+        CompactionBacklog(snap->db.synopses(), options_.compaction);
+  }
+  s.compaction_runs = compaction_runs_.load(std::memory_order_relaxed);
+  s.compaction_segments_merged =
+      compaction_segments_merged_.load(std::memory_order_relaxed);
+  s.compaction_rows_rewritten =
+      compaction_rows_rewritten_.load(std::memory_order_relaxed);
+  s.compaction_bytes_rewritten =
+      compaction_bytes_rewritten_.load(std::memory_order_relaxed);
+  s.compaction_errors = compaction_errors_.load(std::memory_order_relaxed);
+  s.quarantine_drained = quarantine_drained_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(retained_mu_);
+    s.retained_bytes = retained_bytes_;
+  }
   s.queries = queries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_statements = batch_statements_.load(std::memory_order_relaxed);

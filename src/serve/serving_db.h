@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,6 +74,11 @@ struct ServingOptions {
   size_t plan_cache_capacity = 1024;
   size_t plan_cache_shards = 8;
   DurabilityOptions durability;
+  /// Segment lifecycle (storage/compactor.h): with `compaction.enabled`
+  /// and interval_ms > 0 a background thread merges eligible segment runs
+  /// and publishes the result through the snapshot swap; CompactNow()
+  /// runs one step explicitly either way.
+  CompactionOptions compaction;
 };
 
 /// What Recover() found on disk.
@@ -140,6 +146,17 @@ struct ServingStats {
   uint64_t degraded_reads = 0;
   uint32_t checkpoints_skipped = 0;
   std::string corrupt_checkpoint;
+  // Segment lifecycle (compaction).
+  bool compaction_enabled = false;
+  uint64_t compaction_seq = 0;        ///< current snapshot's generation
+  uint64_t compaction_runs = 0;       ///< swaps published
+  uint64_t compaction_segments_merged = 0;
+  uint64_t compaction_rows_rewritten = 0;
+  uint64_t compaction_bytes_rewritten = 0;  ///< serialized merged synopses
+  uint64_t compaction_backlog = 0;    ///< segments in eligible merge runs
+  uint64_t compaction_errors = 0;
+  uint64_t quarantine_drained = 0;    ///< quarantined segments rebuilt
+  uint64_t retained_bytes = 0;        ///< rebuild-row retention buffer
 };
 
 class ServingDb {
@@ -232,6 +249,29 @@ class ServingDb {
   /// concurrent appends for the duration; readers are unaffected.
   Status Checkpoint();
 
+  /// Runs one compaction step: picks the highest-priority eligible run
+  /// under options().compaction, builds the merged segment OFF the append
+  /// lock (readers keep serving), then publishes a same-epoch snapshot
+  /// with compaction_seq + 1 under the append lock. `*did` (optional)
+  /// reports whether a compaction was applied. Durable mode with
+  /// compaction.checkpoint_after also checkpoints the compacted state; a
+  /// crash before that checkpoint recovers the PRE-compaction segment set
+  /// (the WAL is untouched — both states are consistent, never a mix).
+  Status CompactNow(bool* did = nullptr);
+
+  /// One published compaction, in apply order (the per-epoch replay log:
+  /// re-applying each event's spec right after its epoch's append
+  /// reproduces the exact segment structure).
+  struct CompactionEvent {
+    uint64_t seq = 0;    ///< compaction_seq of the published snapshot
+    uint64_t epoch = 0;  ///< epoch it was applied at
+    CompactionSpec spec;
+    uint32_t segments_merged = 0;
+    uint64_t rows = 0;
+    uint64_t bytes_rewritten = 0;
+  };
+  std::vector<CompactionEvent> CompactionLog() const;
+
   ServingStats Stats() const;
   const ServingOptions& options() const { return options_; }
   const RecoveryInfo& recovery_info() const { return recovery_; }
@@ -262,6 +302,15 @@ class ServingDb {
   /// Checkpoint body; append_mu_ must be held.
   Status CheckpointLocked();
   void CheckpointerLoop();
+  void CompactorLoop();
+  /// Keeps `rows` (spanning [row_begin, row_begin + rows.NumRows())) in
+  /// the bounded retention buffer so checkpoint-recovered serving (no kept
+  /// raw table) can still rebuild segments. Oldest batches evict first.
+  void RetainRows(uint64_t row_begin, Table rows);
+  /// Whether the retention buffer contiguously covers [begin, end).
+  bool CanStitchRetained(uint64_t begin, uint64_t end) const;
+  /// Materializes rows [begin, end) from the retention buffer.
+  StatusOr<Table> StitchRetained(uint64_t begin, uint64_t end) const;
 
   ServingOptions options_;
   /// Accessed only via std::atomic_load / std::atomic_store.
@@ -274,12 +323,40 @@ class ServingDb {
   std::unique_ptr<Wal> wal_;
   RecoveryInfo recovery_;
   uint64_t appends_since_checkpoint_ = 0;  ///< guarded by append_mu_
+  /// A compaction swap was published but not yet checkpointed (guarded by
+  /// append_mu_); nudges the periodic checkpointer even with no appends.
+  bool compaction_since_checkpoint_ = false;
   std::atomic<uint64_t> last_checkpoint_epoch_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::thread checkpointer_;
   std::mutex cp_mu_;
   std::condition_variable cp_cv_;
   bool cp_stop_ = false;
+
+  // Segment lifecycle (compaction) state.
+  std::thread compactor_;
+  std::mutex co_mu_;
+  std::condition_variable co_cv_;
+  bool co_stop_ = false;
+  mutable std::mutex events_mu_;
+  std::vector<CompactionEvent> events_;  ///< guarded by events_mu_
+  std::atomic<uint64_t> compaction_runs_{0};
+  std::atomic<uint64_t> compaction_segments_merged_{0};
+  std::atomic<uint64_t> compaction_rows_rewritten_{0};
+  std::atomic<uint64_t> compaction_bytes_rewritten_{0};
+  std::atomic<uint64_t> compaction_errors_{0};
+  std::atomic<uint64_t> quarantine_drained_{0};
+  /// Bounded retention of recent append rows (recovered serving has no
+  /// kept raw table; these are the rebuild source). Guarded by
+  /// retained_mu_.
+  struct RetainedBatch {
+    uint64_t row_begin = 0;
+    uint64_t row_end = 0;
+    Table rows;
+  };
+  mutable std::mutex retained_mu_;
+  std::deque<RetainedBatch> retained_;
+  size_t retained_bytes_ = 0;
 
   // Degraded-read cache: the WithoutQuarantined view of one snapshot,
   // keyed on the snapshot identity and its quarantine version (a newly

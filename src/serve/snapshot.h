@@ -18,12 +18,20 @@
 namespace pairwisehist {
 
 struct DbSnapshot {
-  DbSnapshot(Db db_in, uint64_t epoch_in)
-      : db(std::move(db_in)), epoch(epoch_in) {}
+  DbSnapshot(Db db_in, uint64_t epoch_in, uint64_t compaction_seq_in = 0)
+      : db(std::move(db_in)),
+        epoch(epoch_in),
+        compaction_seq(compaction_seq_in) {}
 
   Db db;
   /// Monotonically increasing append generation (0 = the initial open).
   uint64_t epoch = 0;
+  /// Monotonically increasing compaction generation. A compaction swap
+  /// publishes the SAME epoch (no rows changed, so no WAL record — the
+  /// recovery epoch chain stays gapless) with compaction_seq + 1; appends
+  /// carry the current value forward. (epoch, compaction_seq) together
+  /// identify a snapshot's exact segment structure.
+  uint64_t compaction_seq = 0;
 };
 
 }  // namespace pairwisehist

@@ -1,0 +1,228 @@
+#include "storage/compactor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pairwisehist {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// One candidate merge window: segments [begin, end) at pick time.
+struct Window {
+  size_t begin = 0;
+  size_t end = 0;
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  double score = 0;      ///< sample-weighted mean relative CI width
+  uint64_t samples = 0;  ///< total feedback samples behind the score
+};
+
+}  // namespace
+
+uint64_t CompactionSeed(uint64_t base_seed, uint64_t row_begin,
+                        uint64_t row_end) {
+  return base_seed ^ SplitMix64(row_begin * 2 + 1) ^ SplitMix64(row_end * 2);
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackLedger
+
+void FeedbackLedger::Record(uint64_t row_begin, double rel_width) {
+  if (!std::isfinite(rel_width) || rel_width < 0) return;
+  rel_width = std::min(rel_width, 16.0);
+  Shard& sh = shard(row_begin);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  Entry& e = sh.entries[row_begin];
+  ++e.samples;
+  e.mean_rel_width +=
+      (rel_width - e.mean_rel_width) / static_cast<double>(e.samples);
+}
+
+FeedbackLedger::Entry FeedbackLedger::Get(uint64_t row_begin) const {
+  Shard& sh = shard(row_begin);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.entries.find(row_begin);
+  return it == sh.entries.end() ? Entry{} : it->second;
+}
+
+void FeedbackLedger::Forget(uint64_t begin, uint64_t end) {
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (auto it = sh.entries.begin(); it != sh.entries.end();) {
+      if (it->first >= begin && it->first < end) {
+        it = sh.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<uint64_t, FeedbackLedger::Entry>>
+FeedbackLedger::Snapshot() const {
+  std::vector<std::pair<uint64_t, Entry>> out;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& kv : sh.entries) out.push_back(kv);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Policy
+
+uint32_t CompactionTier(uint64_t rows, const CompactionOptions& opts) {
+  const uint64_t tier0 = std::max<uint64_t>(1, opts.tier0_rows);
+  const uint64_t factor = std::max<uint32_t>(2, opts.tier_factor);
+  uint32_t tier = 0;
+  uint64_t bound = tier0;
+  while (rows >= bound) {
+    ++tier;
+    if (bound > opts.max_output_rows) break;  // everything huge: one tier
+    bound *= factor;
+  }
+  return tier;
+}
+
+std::optional<CompactionSpec> PickCompaction(
+    const SynopsisSet& set, const CompactionOptions& opts,
+    const FeedbackLedger* ledger,
+    const std::function<bool(uint64_t, uint64_t)>& rebuildable) {
+  const size_t nseg = set.NumSegments();
+  if (nseg == 0) return std::nullopt;
+  auto can = [&](uint64_t rb, uint64_t re) {
+    return !rebuildable || rebuildable(rb, re);
+  };
+
+  // Priority 1: drain quarantine. A rebuilt segment is both healthy and
+  // freshly fitted, so this shrinks the integrity blast radius first.
+  for (size_t i = 0; i < nseg; ++i) {
+    if (!set.SegmentQuarantined(i)) continue;
+    const SegmentMeta& m = set.meta(i);
+    if (m.row_end <= m.row_begin) continue;
+    if (!can(m.row_begin, m.row_end)) continue;
+    CompactionSpec spec;
+    spec.row_begin = m.row_begin;
+    spec.row_end = m.row_end;
+    spec.quarantine_drain = true;
+    return spec;
+  }
+
+  // Priority 2: size-tiered merge runs. Quarantined segments whose rows
+  // are gone cannot be rebuilt, so they break runs rather than join them.
+  const uint32_t min_merge = std::max<uint32_t>(2, opts.min_merge);
+  std::vector<Window> windows;
+  double global_width_sum = 0;
+  uint64_t global_samples = 0;
+  size_t i = 0;
+  while (i < nseg) {
+    if (set.SegmentQuarantined(i)) {
+      ++i;
+      continue;
+    }
+    const uint32_t tier = CompactionTier(
+        set.meta(i).row_end - set.meta(i).row_begin, opts);
+    size_t j = i + 1;
+    while (j < nseg && !set.SegmentQuarantined(j) &&
+           CompactionTier(set.meta(j).row_end - set.meta(j).row_begin,
+                          opts) == tier) {
+      ++j;
+    }
+    if (j - i >= min_merge) {
+      // Window = the run's prefix, clipped to max_merge and
+      // max_output_rows (never below min_merge — an over-clip skips it).
+      Window w;
+      w.begin = i;
+      w.end = i;
+      uint64_t rows = 0;
+      while (w.end < j && w.end - w.begin < opts.max_merge) {
+        const uint64_t seg_rows =
+            set.meta(w.end).row_end - set.meta(w.end).row_begin;
+        if (w.end > w.begin && rows + seg_rows > opts.max_output_rows) break;
+        rows += seg_rows;
+        ++w.end;
+      }
+      if (w.end - w.begin >= min_merge) {
+        w.row_begin = set.meta(w.begin).row_begin;
+        w.row_end = set.meta(w.end - 1).row_end;
+        if (ledger != nullptr) {
+          double width_sum = 0;
+          for (size_t s = w.begin; s < w.end; ++s) {
+            FeedbackLedger::Entry e = ledger->Get(set.meta(s).row_begin);
+            width_sum += e.mean_rel_width * static_cast<double>(e.samples);
+            w.samples += e.samples;
+          }
+          if (w.samples > 0) {
+            w.score = width_sum / static_cast<double>(w.samples);
+          }
+          global_width_sum += width_sum;
+          global_samples += w.samples;
+        }
+        windows.push_back(w);
+      }
+    }
+    i = j;
+  }
+  if (windows.empty()) return std::nullopt;
+
+  // Worst observed error first; ties (and the no-feedback case) resolve to
+  // the leftmost run, so picking is deterministic.
+  std::sort(windows.begin(), windows.end(), [](const Window& a,
+                                               const Window& b) {
+    return a.score != b.score ? a.score > b.score : a.row_begin < b.row_begin;
+  });
+  const double global_mean =
+      global_samples > 0 ? global_width_sum / static_cast<double>(global_samples)
+                         : 0;
+  for (const Window& w : windows) {
+    if (!can(w.row_begin, w.row_end)) continue;
+    CompactionSpec spec;
+    spec.row_begin = w.row_begin;
+    spec.row_end = w.row_end;
+    // Error-driven bin budget: a run whose queries see wider-than-average
+    // CIs gets proportionally more bins, up to error_boost_max.
+    if (w.samples > 0 && global_mean > 0) {
+      spec.budget_boost = std::clamp(w.score / global_mean, 1.0,
+                                     std::max(1.0, opts.error_boost_max));
+    }
+    return spec;
+  }
+  return std::nullopt;
+}
+
+size_t CompactionBacklog(const SynopsisSet& set,
+                         const CompactionOptions& opts) {
+  const size_t nseg = set.NumSegments();
+  const uint32_t min_merge = std::max<uint32_t>(2, opts.min_merge);
+  size_t backlog = 0;
+  size_t i = 0;
+  while (i < nseg) {
+    if (set.SegmentQuarantined(i)) {
+      ++backlog;
+      ++i;
+      continue;
+    }
+    const uint32_t tier = CompactionTier(
+        set.meta(i).row_end - set.meta(i).row_begin, opts);
+    size_t j = i + 1;
+    while (j < nseg && !set.SegmentQuarantined(j) &&
+           CompactionTier(set.meta(j).row_end - set.meta(j).row_begin,
+                          opts) == tier) {
+      ++j;
+    }
+    if (j - i >= min_merge) backlog += j - i;
+    i = j;
+  }
+  return backlog;
+}
+
+}  // namespace pairwisehist

@@ -1,0 +1,164 @@
+// Tiered background compaction policy + error-driven refit feedback.
+//
+// PR 3's append-seals-a-segment design keeps accuracy stable under
+// distribution shift, but sustained Append traffic accumulates ever-smaller
+// segments: each loses pairwise refinement resolution (BENCH_segments
+// quantifies the loss below ~5k rows) and every query pays O(num_segments)
+// fan-out. This module turns that decay into a steady state, LSM-style:
+//
+//  * Size-tiered candidate selection (PickCompaction): segments are binned
+//    into geometric size tiers; when >= min_merge ADJACENT segments share a
+//    tier, the run is merged into one freshly re-fitted synopsis. Merged
+//    output lands in a higher tier, so total segment count stays
+//    O(tiers * min_merge) under any append rate.
+//  * Error-driven refit (FeedbackLedger): cross-segment execution records
+//    each segment's observed relative CI width per query (Macke et al.'s
+//    adaptive-sampling principle: spend modeling effort where the estimate
+//    is still uncertain). The picker prefers the eligible run that hurts
+//    the workload most and scales the re-fit's bin budget (smaller
+//    min_points_fraction => more, finer bins) for high-error runs. The
+//    chosen budget is CAPTURED in the returned CompactionSpec so replaying
+//    a recorded spec is deterministic even though the ledger is
+//    workload-dependent.
+//  * Quarantine drain: a quarantined segment whose rows are still
+//    recoverable (retained table or WAL-covered epochs) is the top-priority
+//    candidate — rebuilding it from rows clears the quarantine.
+//
+// The policy is pure (no I/O, no threads): Db applies specs in place as an
+// exclusive writer, ServingDb applies them copy-on-compact through its RCU
+// snapshot swap. See api/db.h and serve/serving_db.h for the apply paths.
+#ifndef PAIRWISEHIST_STORAGE_COMPACTOR_H_
+#define PAIRWISEHIST_STORAGE_COMPACTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/synopsis_set.h"
+
+namespace pairwisehist {
+
+/// Knobs for the segment lifecycle (DbOptions::compact and
+/// ServingOptions::compaction).
+struct CompactionOptions {
+  /// Master switch. Off = PR-3 behaviour (segments only ever accumulate).
+  bool enabled = false;
+  /// Upper row bound of tier 0 (the "small segment" tier). Tier t covers
+  /// rows in [tier0_rows * tier_factor^(t-1), tier0_rows * tier_factor^t).
+  uint64_t tier0_rows = 8192;
+  /// Geometric width of each tier.
+  uint32_t tier_factor = 4;
+  /// Merge fires when this many ADJACENT segments share a tier.
+  uint32_t min_merge = 4;
+  /// At most this many segments merge in one step (bounds rebuild cost).
+  uint32_t max_merge = 16;
+  /// Never build a merged segment larger than this many rows.
+  uint64_t max_output_rows = 4u << 20;
+  /// Cap on the error-driven bin-budget boost: the re-fit divides
+  /// min_points_fraction by up to this factor for runs whose observed CI
+  /// widths exceed the workload average (more bins where queries hurt).
+  double error_boost_max = 4.0;
+  /// Floor for the boosted min_points_fraction (keeps bins statistically
+  /// meaningful; see PairwiseHistConfig::min_points_fraction).
+  double min_points_floor = 0.001;
+  /// ServingDb only: background compactor cadence. 0 = no background
+  /// thread (explicit CompactNow() calls only).
+  uint32_t interval_ms = 0;
+  /// ServingDb only: take a checkpoint right after publishing a compacted
+  /// snapshot, making it durable promptly (until then recovery restores
+  /// the pre-compaction segment set — both are consistent).
+  bool checkpoint_after = true;
+  /// ServingDb only: byte budget for retained append batches (rows kept in
+  /// memory so segments without a kept table — recovered serving — can
+  /// still be re-fitted). Oldest batches evict first; segments whose rows
+  /// fell out of the window simply stay uncompacted.
+  size_t retain_rows_mb = 256;
+};
+
+/// What one compaction step does, in stable coordinates: replace the
+/// contiguous run of segments covering rows [row_begin, row_end) with one
+/// freshly fitted segment. Row ranges (not segment indices) identify the
+/// run because appends only ever add segments past the end — a spec picked
+/// against one snapshot applies unchanged to any later one, and replaying
+/// a recorded spec sequence reproduces the exact segment structure.
+struct CompactionSpec {
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;
+  /// Bin-budget boost captured at pick time: the re-fit uses
+  /// max(min_points_floor, min_points_fraction / budget_boost).
+  double budget_boost = 1.0;
+  /// True when the run was picked to rebuild a quarantined segment.
+  bool quarantine_drain = false;
+};
+
+/// The deterministic sampling seed of a merged segment: a pure function of
+/// the build seed and the replaced row range, so replaying a spec (in any
+/// process, against any snapshot) rebuilds a bit-identical synopsis.
+uint64_t CompactionSeed(uint64_t base_seed, uint64_t row_begin,
+                        uint64_t row_end);
+
+/// Observed per-segment estimation error, keyed by the segment's stable
+/// identity (meta().row_begin — row ranges never change once sealed).
+/// Cross-segment execution calls Record once per (scalar query, segment)
+/// with the segment's relative CI width; PickCompaction reads the means to
+/// rank candidate runs. Thread-safe (sharded); shared across
+/// copy-on-append/compact snapshots so feedback accumulates over epochs.
+class FeedbackLedger {
+ public:
+  struct Entry {
+    uint64_t samples = 0;
+    double mean_rel_width = 0;  ///< running mean of relative CI width
+  };
+
+  /// Folds one observation into the segment's running mean. Non-finite or
+  /// negative widths are dropped; widths clamp to [0, 16] so one degenerate
+  /// estimate cannot dominate the mean.
+  void Record(uint64_t row_begin, double rel_width);
+  Entry Get(uint64_t row_begin) const;
+  /// Drops entries for segments whose row_begin lies in [begin, end) —
+  /// called after a compaction retires them.
+  void Forget(uint64_t begin, uint64_t end);
+  std::vector<std::pair<uint64_t, Entry>> Snapshot() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+  static constexpr size_t kShards = 8;
+  Shard& shard(uint64_t key) const {
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 61];
+  }
+  mutable std::array<Shard, kShards> shards_;
+};
+
+/// The tier of a segment with `rows` rows (0 = smallest).
+uint32_t CompactionTier(uint64_t rows, const CompactionOptions& opts);
+
+/// Picks the next compaction step against `set`, or nullopt when nothing
+/// is eligible. Priority order:
+///  1. a quarantined segment whose rows `rebuildable` confirms are still
+///     recoverable (drains the quarantine);
+///  2. the eligible same-tier run (>= min_merge adjacent segments, clipped
+///     to max_merge / max_output_rows) with the worst ledger error.
+/// `rebuildable(row_begin, row_end)` reports whether the caller can supply
+/// the raw rows for that range; runs it rejects are skipped. `ledger` may
+/// be null (no error ranking; first eligible run wins).
+std::optional<CompactionSpec> PickCompaction(
+    const SynopsisSet& set, const CompactionOptions& opts,
+    const FeedbackLedger* ledger,
+    const std::function<bool(uint64_t, uint64_t)>& rebuildable);
+
+/// How many segments currently sit in eligible merge runs (plus
+/// quarantined segments) — the compaction backlog surfaced by /healthz.
+size_t CompactionBacklog(const SynopsisSet& set,
+                         const CompactionOptions& opts);
+
+}  // namespace pairwisehist
+
+#endif  // PAIRWISEHIST_STORAGE_COMPACTOR_H_

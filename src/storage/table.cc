@@ -97,6 +97,37 @@ size_t Table::RawSizeBytes() const {
   return bytes;
 }
 
+Status AppendTableRows(Table* dst, const Table& batch) {
+  if (dst->NumColumns() != batch.NumColumns()) {
+    return Status::InvalidArgument(
+        "Append: batch has " + std::to_string(batch.NumColumns()) +
+        " columns, table has " + std::to_string(dst->NumColumns()));
+  }
+  for (size_t c = 0; c < dst->NumColumns(); ++c) {
+    const Column& src = batch.column(c);
+    Column& out = dst->column(c);
+    if (src.name() != out.name() || src.type() != out.type()) {
+      return Status::InvalidArgument("Append: column " + std::to_string(c) +
+                                     " mismatch ('" + src.name() + "' vs '" +
+                                     out.name() + "')");
+    }
+    out.Reserve(out.size() + src.size());
+    for (size_t r = 0; r < src.size(); ++r) {
+      if (src.IsNull(r)) {
+        out.AppendNull();
+      } else if (src.type() == DataType::kCategorical) {
+        PH_ASSIGN_OR_RETURN(
+            std::string cat,
+            src.CategoryName(static_cast<int64_t>(src.Value(r))));
+        out.AppendCategory(cat);
+      } else {
+        out.Append(src.Value(r));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 std::string Table::SchemaString() const {
   std::string s;
   for (size_t i = 0; i < columns_.size(); ++i) {

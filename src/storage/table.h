@@ -59,6 +59,11 @@ class Table {
   std::vector<Column> columns_;
 };
 
+/// Appends every row of `batch` onto `dst`. Columns must match by name and
+/// type; categorical values re-intern through the destination dictionary
+/// (the batch may have been built with its own, differently ordered one).
+Status AppendTableRows(Table* dst, const Table& batch);
+
 }  // namespace pairwisehist
 
 #endif  // PAIRWISEHIST_STORAGE_TABLE_H_
